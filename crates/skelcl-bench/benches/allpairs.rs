@@ -1,0 +1,45 @@
+//! EXT-ALLPAIRS: the Allpairs skeleton (paper §3.5) — generic row-function
+//! form vs the zip-reduce specialisation with local-memory tiling, over a
+//! matrix-multiplication sweep (DESIGN.md ablation 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl::{transpose, Allpairs, Context, Matrix};
+
+fn bench_allpairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allpairs_matmul");
+    group.sample_size(10);
+
+    for size in [32usize, 64] {
+        let (n, d, m) = (size, size, size);
+        let ctx = Context::single_gpu();
+        let generic: Allpairs<f32, f32> = Allpairs::new(
+            &ctx,
+            "float dotp(const float* a, const float* b, int d){
+                 float s = 0.0f;
+                 for (int k = 0; k < d; ++k) s += a[k] * b[k];
+                 return s;
+             }",
+        )
+        .unwrap();
+        let tiled: Allpairs<f32, f32> = Allpairs::zip_reduce(
+            &ctx,
+            "float mul(float x, float y){ return x * y; }",
+            "float add(float x, float y){ return x + y; }",
+        )
+        .unwrap();
+        let a = Matrix::from_fn(&ctx, n, d, |r, cc| ((r + cc) % 7) as f32);
+        let b = Matrix::from_fn(&ctx, d, m, |r, cc| ((r * cc) % 5) as f32);
+        let bt = transpose(&b).unwrap();
+
+        group.bench_function(BenchmarkId::new("generic", size), |bch| {
+            bch.iter(|| generic.call(&a, &bt).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("zip_reduce_tiled", size), |bch| {
+            bch.iter(|| tiled.call(&a, &bt).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allpairs);
+criterion_main!(benches);

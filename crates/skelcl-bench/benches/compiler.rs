@@ -1,0 +1,44 @@
+//! Compiler-substrate bench: runtime compilation speed of SkelCL C
+//! kernels (SkelCL compiles generated sources at skeleton-construction
+//! time, like `clBuildProgram`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SMALL: &str = "float func(float x){ return -x; }
+__kernel void map(__global const float* in, __global float* out, int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) out[i] = func(in[i]);
+}";
+
+const LARGE: &str = r#"
+float poly(float x) {
+    float acc = 0.0f;
+    for (int i = 0; i < 8; ++i) acc = acc * x + (float)i;
+    return acc;
+}
+float blend(float a, float b, float t) { return a * (1.0f - t) + b * t; }
+__kernel void pipeline(__global const float* in, __global float* out,
+                       __local float* tile, int n, float t) {
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    if (gid < n) tile[lid] = poly(in[gid]);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float left = lid > 0 ? tile[lid - 1] : tile[lid];
+    float right = lid < (int)get_local_size(0) - 1 ? tile[lid + 1] : tile[lid];
+    if (gid < n) out[gid] = blend(left, right, t) + sqrt(fabs(tile[lid]));
+}
+"#;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_compile");
+    group.bench_function("small_map", |b| {
+        b.iter(|| skelcl_kernel::compile("small.cl", SMALL).unwrap())
+    });
+    group.bench_function("barrier_pipeline", |b| {
+        b.iter(|| skelcl_kernel::compile("large.cl", LARGE).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

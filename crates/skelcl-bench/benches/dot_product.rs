@@ -1,0 +1,27 @@
+//! LOC-DOT companion: dot-product runtime — hand-written OpenCL style vs
+//! SkelCL's `Zip` + `Reduce` composition (paper §3.3 compares their code
+//! sizes; this bench shows the performance cost of the abstraction is
+//! small).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::baselines::{dot_opencl, dot_skelcl};
+use skelcl_bench::workloads::random_f32_vector;
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot_product");
+    group.sample_size(10);
+    for n in [1 << 12, 1 << 16] {
+        let a = random_f32_vector(n, 21);
+        let b = random_f32_vector(n, 22);
+        group.bench_function(BenchmarkId::new("opencl", n), |bch| {
+            bch.iter(|| dot_opencl::run(&a, &b).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("skelcl", n), |bch| {
+            bch.iter(|| dot_skelcl::run(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! DESIGN.md ablation 4: lazy (implicit) transfers vs pre-resident data.
+//! A cold call pays the host→device upload before the kernel; a warm call
+//! reuses the resident buffers (the paper's containers keep data on the
+//! GPUs between skeleton calls).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl::{Context, Distribution, Map, Vector};
+
+fn bench_lazy_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazy_transfers");
+    group.sample_size(10);
+    let n = 1 << 16;
+
+    // Cold: a fresh vector every iteration -> implicit upload + kernel.
+    group.bench_function(BenchmarkId::new("cold_upload_each_call", n), |b| {
+        let ctx = Context::single_gpu();
+        let map: Map<f32, f32> =
+            Map::new(&ctx, "float f(float x){ return x * 2.0f; }").unwrap();
+        b.iter(|| {
+            let v = Vector::from_fn(&ctx, n, |i| i as f32);
+            map.call(&v).unwrap()
+        })
+    });
+
+    // Warm: the input stays resident; only the kernel runs per iteration.
+    group.bench_function(BenchmarkId::new("warm_resident_data", n), |b| {
+        let ctx = Context::single_gpu();
+        let map: Map<f32, f32> =
+            Map::new(&ctx, "float f(float x){ return x * 2.0f; }").unwrap();
+        let v = Vector::from_fn(&ctx, n, |i| i as f32);
+        v.prefetch(Distribution::Block).unwrap();
+        b.iter(|| map.call(&v).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy_transfers);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! FIG4-TIME: Mandelbrot runtime — CUDA-style vs OpenCL-style vs SkelCL
+//! (paper Fig. 4b). Criterion measures the simulator's wall time; the
+//! paper-shape comparison (simulated seconds) is printed by the
+//! `fig4_mandelbrot` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::baselines::{mandelbrot_cuda, mandelbrot_opencl, mandelbrot_skelcl};
+
+fn bench_mandelbrot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mandelbrot");
+    group.sample_size(10);
+    let (w, h, it) = (128usize, 96usize, 64);
+
+    group.bench_function(BenchmarkId::new("cuda", format!("{w}x{h}")), |b| {
+        b.iter(|| mandelbrot_cuda::run(w, h, it).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("opencl", format!("{w}x{h}")), |b| {
+        b.iter(|| mandelbrot_opencl::run(w, h, it).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("skelcl", format!("{w}x{h}")), |b| {
+        b.iter(|| mandelbrot_skelcl::run(w, h, it).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mandelbrot);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! EXT-OVERHEAD: per-skeleton abstraction overhead — each skeleton against
+//! a hand-rolled kernel doing the same work on the same device (paper
+//! §4.1's "overhead of less than 5%" claim, isolated per skeleton).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skelcl::{Context, Map, Reduce, Vector, Zip};
+use skelcl_kernel::value::Value;
+use vgpu::{DeviceSpec, KernelArg, LaunchConfig, NdRange, Platform};
+
+const N: usize = 1 << 14;
+
+fn bench_map_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_map");
+    group.sample_size(10);
+
+    // Hand-rolled kernel on a raw queue.
+    let program = skelcl_kernel::compile(
+        "raw.cl",
+        "__kernel void scale(__global const float* in, __global float* out, int n) {
+             int i = (int)get_global_id(0);
+             if (i < n) out[i] = in[i] * 2.0f + 1.0f;
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let a = queue.create_buffer(4 * N).unwrap();
+    let b = queue.create_buffer(4 * N).unwrap();
+    let bytes: Vec<u8> = (0..N).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    queue.enqueue_write(&a, 0, &bytes).unwrap();
+    group.bench_function("raw_kernel", |bch| {
+        bch.iter(|| {
+            queue
+                .launch_kernel(
+                    &program,
+                    "scale",
+                    &[
+                        KernelArg::Buffer(a.clone()),
+                        KernelArg::Buffer(b.clone()),
+                        KernelArg::Scalar(Value::I32(N as i32)),
+                    ],
+                    NdRange::linear_default(N),
+                    &LaunchConfig::default(),
+                )
+                .unwrap()
+        })
+    });
+
+    // The same computation via the Map skeleton.
+    let ctx = Context::single_gpu();
+    let map: Map<f32, f32> =
+        Map::new(&ctx, "float f(float x){ return x * 2.0f + 1.0f; }").unwrap();
+    let v = Vector::from_fn(&ctx, N, |i| i as f32);
+    let _ = map.call(&v).unwrap(); // upload once
+    group.bench_function("map_skeleton", |bch| b_iter_map(bch, &map, &v));
+    group.finish();
+}
+
+fn b_iter_map(bch: &mut criterion::Bencher, map: &Map<f32, f32>, v: &Vector<f32>) {
+    bch.iter(|| map.call(v).unwrap())
+}
+
+fn bench_zip_reduce_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_zip_reduce");
+    group.sample_size(10);
+    let ctx = Context::single_gpu();
+    let zip: Zip<f32, f32, f32> =
+        Zip::new(&ctx, "float f(float x, float y){ return x * y; }").unwrap();
+    let sum: Reduce<f32> = Reduce::new(&ctx, "float f(float x, float y){ return x + y; }").unwrap();
+    let a = Vector::from_fn(&ctx, N, |i| (i % 97) as f32);
+    let b = Vector::from_fn(&ctx, N, |i| (i % 89) as f32);
+    group.bench_function("zip", |bch| bch.iter(|| zip.call(&a, &b).unwrap()));
+    let prod = zip.call(&a, &b).unwrap();
+    group.bench_function("reduce", |bch| bch.iter(|| sum.call(&prod).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_map_overhead, bench_zip_reduce_overhead);
+criterion_main!(benches);

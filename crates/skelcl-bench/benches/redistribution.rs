@@ -1,0 +1,40 @@
+//! EXT-REDIST: runtime redistribution cost (paper §3.2: changing a
+//! container's distribution moves data between the GPUs via the CPU,
+//! implicitly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl::{Context, DeviceSelection, Distribution, Vector};
+use vgpu::{DeviceSpec, Platform};
+
+fn ctx4() -> Context {
+    Context::init(Platform::new(4, DeviceSpec::tesla_t10()), DeviceSelection::All)
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redistribution");
+    group.sample_size(10);
+    for n in [1usize << 14, 1 << 18] {
+        let ctx = ctx4();
+        let v = Vector::from_fn(&ctx, n, |i| i as f32);
+        group.bench_function(BenchmarkId::new("block_to_copy_roundtrip", n), |b| {
+            b.iter(|| {
+                v.set_distribution(Distribution::Block).unwrap();
+                v.prefetch(Distribution::Block).unwrap();
+                v.set_distribution(Distribution::Copy).unwrap();
+                v.prefetch(Distribution::Copy).unwrap();
+            })
+        });
+        group.bench_function(BenchmarkId::new("block_to_overlap", n), |b| {
+            b.iter(|| {
+                v.set_distribution(Distribution::Block).unwrap();
+                v.prefetch(Distribution::Block).unwrap();
+                v.set_distribution(Distribution::Overlap { size: 64 }).unwrap();
+                v.prefetch(Distribution::Overlap { size: 64 }).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redistribution);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! EXT-SCALE companion: skeleton execution across 1–4 virtual GPUs (paper
+//! §3.2's scalability motivation).
+//!
+//! Note on the metric: the **simulated makespan** (the paper's quantity)
+//! shrinks with the device count and is printed by the `scaling` binary.
+//! This criterion bench measures the simulator's **wall time**, which is
+//! bound by the total interpreted work (constant across device counts,
+//! already spread over all host cores) — it tracks simulator overhead per
+//! device, not the paper's speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl::{Context, DeviceSelection, Map, Value, Vector};
+use vgpu::{DeviceSpec, Platform};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_map");
+    group.sample_size(10);
+    let n = 1 << 16;
+    for devices in [1usize, 2, 4] {
+        let ctx = Context::init(
+            Platform::new(devices, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        );
+        let map: Map<f32, f32> = Map::new(
+            &ctx,
+            "float f(float x, float k){
+                 float acc = x;
+                 for (int i = 0; i < 32; ++i) acc = acc * 0.999f + k;
+                 return acc;
+             }",
+        )
+        .unwrap();
+        let v = Vector::from_fn(&ctx, n, |i| i as f32);
+        // Materialise once so the bench isolates kernel execution.
+        let _ = map.call_with(&v, &[Value::F32(0.5)]).unwrap();
+        group.bench_function(BenchmarkId::new("gpus", devices), |b| {
+            b.iter(|| map.call_with(&v, &[Value::F32(0.5)]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! FIG5: Sobel kernel runtime — AMD-style (global memory) vs NVIDIA-style
+//! (local memory) vs SkelCL MapOverlap (paper Fig. 5). The paper-shape
+//! table (simulated kernel-only milliseconds) is printed by the
+//! `fig5_sobel` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::baselines::{sobel_amd, sobel_nvidia, sobel_skelcl};
+use skelcl_bench::workloads::synthetic_image;
+
+fn bench_sobel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sobel");
+    group.sample_size(10);
+    let (w, h) = (128usize, 128usize);
+    let img = synthetic_image(w, h);
+
+    group.bench_function(BenchmarkId::new("opencl_amd", format!("{w}x{h}")), |b| {
+        b.iter(|| sobel_amd::run(&img, w, h).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("opencl_nvidia", format!("{w}x{h}")), |b| {
+        b.iter(|| sobel_nvidia::run(&img, w, h).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("skelcl", format!("{w}x{h}")), |b| {
+        b.iter(|| sobel_skelcl::run(&img, w, h).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sobel);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Dot product in the style of the NVIDIA SDK OpenCL sample the paper
+//! cites (§3.3: "approximately 68 lines of code — kernel function: 9
+//! lines, host program: 59 lines"), written against the `vgpu::cl` API:
+//! an elementwise multiply kernel, a tree-reduction kernel, and all the
+//! host code to discover devices, build the program, size the multi-pass
+//! reduction and move data — by hand.
+
+use std::time::Duration;
+
+use skelcl_kernel::value::Value;
+use vgpu::cl;
+
+use super::RunResult;
+
+// BEGIN KERNEL
+/// The two kernels a hand-written OpenCL dot product needs.
+pub const KERNEL_SRC: &str = r#"
+__kernel void multiply(__global const float* a, __global const float* b,
+                       __global float* c, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n)
+        c[i] = a[i] * b[i];
+}
+
+__kernel void reduce_sum(__global const float* in, __global float* out, int n)
+{
+    __local float scratch[256];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    int gsize = (int)get_global_size(0);
+    float acc = 0.0f;
+    for (int i = gid; i < n; i += gsize)
+        acc = acc + in[i];
+    scratch[lid] = acc;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int stride = 128; stride > 0; stride >>= 1) {
+        if (lid < stride)
+            scratch[lid] = scratch[lid] + scratch[lid + stride];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0)
+        out[get_group_id(0)] = scratch[0];
+}
+"#;
+// END KERNEL
+
+/// Computes the dot product of `a` and `b` the hand-written OpenCL way.
+///
+/// # Errors
+///
+/// Returns the OpenCL-style status of the first failing call.
+///
+/// # Panics
+///
+/// Panics if the input lengths differ.
+pub fn run(a: &[f32], b: &[f32]) -> Result<RunResult<f32>, cl::Status> {
+    assert_eq!(a.len(), b.len(), "vector lengths must match");
+    let n = a.len();
+
+    let platforms = cl::get_platform_ids(Some(1), None);
+    let platform = platforms.first().ok_or(cl::Status::DeviceNotFound)?;
+    let devices = cl::get_device_ids(platform)?;
+    let context = cl::create_context(&devices)?;
+    let queue = cl::create_command_queue(&context, &devices[0])?;
+
+    let mut program = cl::create_program_with_source(&context, KERNEL_SRC);
+    if cl::build_program(&mut program).is_err() {
+        eprintln!("build log:\n{}", cl::get_program_build_info(&program));
+        return Err(cl::Status::BuildProgramFailure);
+    }
+    let multiply = cl::create_kernel(&program, "multiply")?;
+    let reduce = cl::create_kernel(&program, "reduce_sum")?;
+
+    let bytes_a: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let bytes_b: Vec<u8> = b.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let mem_a = cl::create_buffer(&queue, 4 * n)?;
+    let mem_b = cl::create_buffer(&queue, 4 * n)?;
+    let mem_c = cl::create_buffer(&queue, 4 * n)?;
+    let start_ns = cl::device_clock_ns(&queue);
+    cl::enqueue_write_buffer(&queue, &mem_a, 0, &bytes_a)?;
+    cl::enqueue_write_buffer(&queue, &mem_b, 0, &bytes_b)?;
+
+    let mut kernel_ns = 0u64;
+    cl::set_kernel_arg(&multiply, 0, cl::ClArg::Mem(mem_a))?;
+    cl::set_kernel_arg(&multiply, 1, cl::ClArg::Mem(mem_b))?;
+    cl::set_kernel_arg(&multiply, 2, cl::ClArg::Mem(mem_c.clone()))?;
+    cl::set_kernel_arg(&multiply, 3, cl::ClArg::Scalar(Value::I32(n as i32)))?;
+    let global = n.div_ceil(256) * 256;
+    let event = cl::enqueue_nd_range_kernel(&queue, &multiply, 1, &[global], &[256])?;
+    kernel_ns += cl::get_event_profiling_ns(&event);
+
+    // Multi-pass tree reduction, sized and chained by hand.
+    let mut current = mem_c;
+    let mut remaining = n;
+    while remaining > 1 {
+        let groups = remaining.div_ceil(256).min(64);
+        let partial = cl::create_buffer(&queue, 4 * groups)?;
+        cl::set_kernel_arg(&reduce, 0, cl::ClArg::Mem(current))?;
+        cl::set_kernel_arg(&reduce, 1, cl::ClArg::Mem(partial.clone()))?;
+        cl::set_kernel_arg(&reduce, 2, cl::ClArg::Scalar(Value::I32(remaining as i32)))?;
+        let event = cl::enqueue_nd_range_kernel(&queue, &reduce, 1, &[groups * 256], &[256])?;
+        kernel_ns += cl::get_event_profiling_ns(&event);
+        current = partial;
+        remaining = groups;
+    }
+
+    let mut result_bytes = [0u8; 4];
+    cl::enqueue_read_buffer(&queue, &current, 0, &mut result_bytes)?;
+    cl::finish(&queue);
+    let total = Duration::from_nanos(cl::device_clock_ns(&queue) - start_ns);
+    Ok(RunResult {
+        output: vec![f32::from_le_bytes(result_bytes)],
+        total,
+        kernel: Duration::from_nanos(kernel_ns),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_f32_vector;
+
+    #[test]
+    fn computes_dot_product() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        let r = run(&a, &b).unwrap();
+        assert_eq!(r.output[0], 32.0);
+    }
+
+    #[test]
+    fn matches_host_within_float_tolerance() {
+        let a = random_f32_vector(10_000, 1);
+        let b = random_f32_vector(10_000, 2);
+        let host: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let gpu = run(&a, &b).unwrap().output[0];
+        assert!(
+            (host - gpu).abs() <= 1e-2 * host.abs().max(1.0),
+            "host {host} vs gpu {gpu}"
+        );
+    }
+
+    #[test]
+    fn zero_padded_reduction_is_exact_on_integral_values() {
+        let a = vec![1.0f32; 1000];
+        let b = vec![1.0f32; 1000];
+        assert_eq!(run(&a, &b).unwrap().output[0], 1000.0);
+    }
+}

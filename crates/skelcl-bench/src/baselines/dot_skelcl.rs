@@ -1,0 +1,80 @@
+//! Dot product with SkelCL — the paper's Listing 1.1, almost verbatim:
+//! a Zip customized with multiplication composed with a Reduce customized
+//! with addition. Compare the handful of lines below with the hand-written
+//! OpenCL version next door.
+
+// BEGIN PROGRAM
+use std::time::Duration;
+
+use skelcl::{Context, Reduce, Vector, Zip};
+
+use super::RunResult;
+
+/// Computes the dot product of `a` and `b` with SkelCL on `ctx`.
+///
+/// # Errors
+///
+/// Propagates SkelCL failures.
+pub fn run_on(ctx: &Context, a: &[f32], b: &[f32]) -> skelcl::Result<RunResult<f32>> {
+    let start: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    // BEGIN KERNEL
+    let sum: Reduce<f32> = Reduce::new(ctx, "float sum(float x, float y){ return x + y; }")?;
+    let mult: Zip<f32, f32, f32> =
+        Zip::new(ctx, "float mult(float x, float y){ return x * y; }")?;
+    let va = Vector::from_vec(ctx, a.to_vec());
+    let vb = Vector::from_vec(ctx, b.to_vec());
+    let c = sum.call(&mult.call(&va, &vb)?)?;
+    // END KERNEL
+    let end: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    Ok(RunResult {
+        output: vec![c.value()],
+        total: Duration::from_nanos(end - start),
+        kernel: mult.events().last_kernel_time() + c.kernel_time(),
+    })
+}
+
+// END PROGRAM
+
+/// Single-GPU convenience wrapper.
+///
+/// # Errors
+///
+/// Propagates SkelCL failures.
+pub fn run(a: &[f32], b: &[f32]) -> skelcl::Result<RunResult<f32>> {
+    run_on(&Context::single_gpu(), a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_f32_vector;
+    use skelcl::DeviceSelection;
+    use vgpu::{DeviceSpec, Platform};
+
+    #[test]
+    fn computes_dot_product() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        assert_eq!(run(&a, &b).unwrap().output[0], 32.0);
+    }
+
+    #[test]
+    fn agrees_with_raw_opencl_version() {
+        let a = random_f32_vector(5000, 7);
+        let b = random_f32_vector(5000, 8);
+        let skel = run(&a, &b).unwrap().output[0];
+        let raw = super::super::dot_opencl::run(&a, &b).unwrap().output[0];
+        assert!(
+            (skel - raw).abs() <= 1e-2 * raw.abs().max(1.0),
+            "skelcl {skel} vs raw {raw}"
+        );
+    }
+
+    #[test]
+    fn multi_gpu_dot_product() {
+        let ctx = Context::init(Platform::new(4, DeviceSpec::tesla_t10()), DeviceSelection::All);
+        let a = vec![1.0f32; 4096];
+        let b = vec![2.0f32; 4096];
+        assert_eq!(run_on(&ctx, &a, &b).unwrap().output[0], 8192.0);
+    }
+}

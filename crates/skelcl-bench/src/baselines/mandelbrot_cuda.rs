@@ -1,0 +1,93 @@
+//! Mandelbrot in the style of a CUDA program (paper §4.1): the same kernel
+//! computation, launched "like an ordinary function" with a proprietary
+//! work-group syntax and far less host boilerplate than OpenCL. The cost
+//! model applies the device's CUDA toolchain factor (the paper observes
+//! CUDA ≈ 31% faster than OpenCL for the same kernel, citing Kong et al.).
+
+use std::time::Duration;
+
+use skelcl_kernel::value::Value;
+use vgpu::{DeviceSpec, KernelArg, LaunchConfig, NdRange, Platform};
+
+use super::RunResult;
+
+// BEGIN KERNEL
+/// The Mandelbrot kernel, identical math to the OpenCL version (a CUDA
+/// `__global__` function differs only in spelling).
+pub const KERNEL_SRC: &str = r#"
+__kernel void mandelbrot(__global uchar* out, int width, int height, int max_iter)
+{
+    int px = (int)get_global_id(0);
+    int py = (int)get_global_id(1);
+    if (px >= width || py >= height)
+        return;
+    float cr = 3.5f * (float)px / (float)width - 2.5f;
+    float ci = 3.0f * (float)py / (float)height - 1.5f;
+    float zr = 0.0f;
+    float zi = 0.0f;
+    int it = 0;
+    while (zr * zr + zi * zi <= 4.0f && it < max_iter) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0f * zr * zi + ci;
+        zr = t;
+        it = it + 1;
+    }
+    out[py * width + px] = (uchar)(255 * it / max_iter);
+}
+"#;
+// END KERNEL
+
+/// Computes the fractal, CUDA-style: one-line init, `kernel<<<grid, block>>>`-like launch.
+///
+/// # Errors
+///
+/// Propagates platform failures.
+///
+/// # Panics
+///
+/// Panics if the constant kernel fails to compile.
+pub fn run(width: usize, height: usize, max_iter: i32) -> vgpu::Result<RunResult<u8>> {
+    let platform = Platform::single(DeviceSpec::tesla_t10()); // cudaSetDevice(0)
+    let queue = platform.queue(0);
+    let program = skelcl_kernel::compile("mandelbrot.cu", KERNEL_SRC).expect("kernel compiles");
+    let n = width * height;
+    let out_buffer = queue.create_buffer(n)?; // cudaMalloc
+    let start_ns = platform.device(0).now_ns();
+    // mandelbrot<<<dim3(w/16, h/16), dim3(16, 16)>>>(out, w, h, it);
+    let event = queue.launch_kernel(
+        &program,
+        "mandelbrot",
+        &[
+            KernelArg::Buffer(out_buffer.clone()),
+            KernelArg::Scalar(Value::I32(width as i32)),
+            KernelArg::Scalar(Value::I32(height as i32)),
+            KernelArg::Scalar(Value::I32(max_iter)),
+        ],
+        NdRange::grid([width, height], [16, 16]),
+        &LaunchConfig::cuda(),
+    )?;
+    let mut output = vec![0u8; n]; // cudaMemcpy(DeviceToHost)
+    queue.enqueue_read(&out_buffer, 0, &mut output)?;
+    let total = Duration::from_nanos(platform.device(0).now_ns() - start_ns);
+    Ok(RunResult { output, total, kernel: event.duration() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::mandelbrot_reference;
+
+    #[test]
+    fn matches_reference_and_beats_opencl() {
+        let (w, h, it) = (64, 48, 32);
+        let cuda = run(w, h, it).unwrap();
+        assert_eq!(cuda.output, mandelbrot_reference(w, h, it));
+        let ocl = super::super::mandelbrot_opencl::run(w, h, it).unwrap();
+        assert!(
+            cuda.kernel < ocl.kernel,
+            "CUDA toolchain factor: {:?} < {:?}",
+            cuda.kernel,
+            ocl.kernel
+        );
+    }
+}

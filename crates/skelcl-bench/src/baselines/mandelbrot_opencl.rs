@@ -1,0 +1,106 @@
+//! Mandelbrot in the style of a hand-written OpenCL program (paper §4.1),
+//! written against the `vgpu::cl` OpenCL-1.2-flavoured API: explicit
+//! platform/device discovery, context and queue creation, program build
+//! with log retrieval, buffer management, one `set_kernel_arg` call per
+//! argument and an explicit 16×16 ND-range launch — everything SkelCL
+//! hides. Every call's status is checked, as correct OpenCL code must.
+
+use std::time::Duration;
+
+use skelcl_kernel::value::Value;
+use vgpu::cl;
+
+use super::RunResult;
+
+// BEGIN KERNEL
+/// The Mandelbrot kernel, as an OpenCL programmer would write it.
+pub const KERNEL_SRC: &str = r#"
+__kernel void mandelbrot(__global uchar* out, int width, int height, int max_iter)
+{
+    int px = (int)get_global_id(0);
+    int py = (int)get_global_id(1);
+    if (px >= width || py >= height)
+        return;
+    float cr = 3.5f * (float)px / (float)width - 2.5f;
+    float ci = 3.0f * (float)py / (float)height - 1.5f;
+    float zr = 0.0f;
+    float zi = 0.0f;
+    int it = 0;
+    while (zr * zr + zi * zi <= 4.0f && it < max_iter) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0f * zr * zi + ci;
+        zr = t;
+        it = it + 1;
+    }
+    out[py * width + px] = (uchar)(255 * it / max_iter);
+}
+"#;
+// END KERNEL
+
+/// Computes the fractal on a single virtual Tesla GPU, the OpenCL way.
+///
+/// # Errors
+///
+/// Returns the OpenCL-style status of the first failing call.
+pub fn run(width: usize, height: usize, max_iter: i32) -> Result<RunResult<u8>, cl::Status> {
+    let platforms = cl::get_platform_ids(Some(1), None);
+    let platform = platforms.first().ok_or(cl::Status::DeviceNotFound)?;
+    let devices = cl::get_device_ids(platform)?;
+    let device = &devices[0];
+    let context = cl::create_context(&devices)?;
+    let queue = cl::create_command_queue(&context, device)?;
+
+    let mut program = cl::create_program_with_source(&context, KERNEL_SRC);
+    if cl::build_program(&mut program).is_err() {
+        eprintln!("build log:\n{}", cl::get_program_build_info(&program));
+        return Err(cl::Status::BuildProgramFailure);
+    }
+    let kernel = cl::create_kernel(&program, "mandelbrot")?;
+
+    let n = width * height;
+    let out_mem = cl::create_buffer(&queue, n)?;
+
+    cl::set_kernel_arg(&kernel, 0, cl::ClArg::Mem(out_mem.clone()))?;
+    cl::set_kernel_arg(&kernel, 1, cl::ClArg::Scalar(Value::I32(width as i32)))?;
+    cl::set_kernel_arg(&kernel, 2, cl::ClArg::Scalar(Value::I32(height as i32)))?;
+    cl::set_kernel_arg(&kernel, 3, cl::ClArg::Scalar(Value::I32(max_iter)))?;
+
+    let local = [16usize, 16usize];
+    let global = [
+        width.div_ceil(local[0]) * local[0],
+        height.div_ceil(local[1]) * local[1],
+    ];
+    let start_ns = cl::device_clock_ns(&queue);
+    let event = cl::enqueue_nd_range_kernel(&queue, &kernel, 2, &global, &local)?;
+    cl::finish(&queue);
+
+    let mut output = vec![0u8; n];
+    cl::enqueue_read_buffer(&queue, &out_mem, 0, &mut output)?;
+    cl::finish(&queue);
+
+    let total = Duration::from_nanos(cl::device_clock_ns(&queue) - start_ns);
+    let kernel_time = Duration::from_nanos(cl::get_event_profiling_ns(&event));
+    Ok(RunResult { output, total, kernel: kernel_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::mandelbrot_reference;
+
+    #[test]
+    fn matches_host_reference() {
+        let (w, h, it) = (64, 48, 32);
+        let r = run(w, h, it).unwrap();
+        assert_eq!(r.output, mandelbrot_reference(w, h, it));
+        assert!(r.kernel > Duration::ZERO);
+        assert!(r.total >= r.kernel);
+    }
+
+    #[test]
+    fn non_multiple_of_group_size_is_padded_correctly() {
+        let (w, h, it) = (33, 17, 16);
+        let r = run(w, h, it).unwrap();
+        assert_eq!(r.output, mandelbrot_reference(w, h, it));
+    }
+}

@@ -1,0 +1,112 @@
+//! Mandelbrot with SkelCL (paper §4.1): the kernel becomes a customizing
+//! function for the `Map` skeleton; buffers, transfers and launch geometry
+//! (SkelCL's default work-group size of 256) are implicit.
+
+// BEGIN PROGRAM
+use std::time::Duration;
+
+use skelcl::{Context, Map, Value, Vector};
+
+use super::RunResult;
+
+// BEGIN KERNEL
+/// The customizing function: one pixel from its index.
+pub const FUNC_SRC: &str = r#"
+uchar func(int gid, int width, int height, int max_iter)
+{
+    int px = gid % width;
+    int py = gid / width;
+    float cr = 3.5f * (float)px / (float)width - 2.5f;
+    float ci = 3.0f * (float)py / (float)height - 1.5f;
+    float zr = 0.0f;
+    float zi = 0.0f;
+    int it = 0;
+    while (zr * zr + zi * zi <= 4.0f && it < max_iter) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0f * zr * zi + ci;
+        zr = t;
+        it = it + 1;
+    }
+    return (uchar)(255 * it / max_iter);
+}
+"#;
+// END KERNEL
+
+/// Computes the fractal with the Map skeleton on `ctx` (single- or
+/// multi-GPU).
+///
+/// # Errors
+///
+/// Propagates SkelCL failures.
+pub fn run_on(ctx: &Context, width: usize, height: usize, max_iter: i32) -> skelcl::Result<RunResult<u8>> {
+    let map: Map<i32, u8> = Map::new(ctx, FUNC_SRC)?;
+    let pixels = Vector::from_fn(ctx, width * height, |i| i as i32);
+    let start: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    let image = map.call_with(
+        &pixels,
+        &[
+            Value::I32(width as i32),
+            Value::I32(height as i32),
+            Value::I32(max_iter),
+        ],
+    )?;
+    let output = image.to_vec()?;
+    let end: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    Ok(RunResult {
+        output,
+        total: Duration::from_nanos(end - start),
+        kernel: map.events().last_kernel_time(),
+    })
+}
+
+// END PROGRAM
+
+/// Single-GPU convenience wrapper matching the baselines' signature.
+///
+/// # Errors
+///
+/// Propagates SkelCL failures.
+pub fn run(width: usize, height: usize, max_iter: i32) -> skelcl::Result<RunResult<u8>> {
+    run_on(&Context::single_gpu(), width, height, max_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::mandelbrot_reference;
+    use skelcl::DeviceSelection;
+    use vgpu::{DeviceSpec, Platform};
+
+    #[test]
+    fn matches_host_reference() {
+        let (w, h, it) = (64, 48, 32);
+        let r = run(w, h, it).unwrap();
+        assert_eq!(r.output, mandelbrot_reference(w, h, it));
+    }
+
+    #[test]
+    fn multi_gpu_matches_single() {
+        let (w, h, it) = (64, 48, 16);
+        let single = run(w, h, it).unwrap();
+        let ctx = Context::init(Platform::new(4, DeviceSpec::tesla_t10()), DeviceSelection::All);
+        let multi = run_on(&ctx, w, h, it).unwrap();
+        assert_eq!(single.output, multi.output);
+    }
+
+    #[test]
+    fn overhead_vs_opencl_is_small() {
+        // §4.1: "SkelCL introduces a tolerable overhead of less than 5%".
+        // The paper's runs take ~25 s per frame, i.e. an extremely
+        // compute-heavy regime; use a high iteration cap so per-pixel
+        // compute dominates the Map skeleton's extra input-vector load, as
+        // it does in the paper.
+        let (w, h, it) = (64, 48, 2000);
+        let skel = run(w, h, it).unwrap();
+        let ocl = super::super::mandelbrot_opencl::run(w, h, it).unwrap();
+        let ratio = skel.kernel.as_secs_f64() / ocl.kernel.as_secs_f64();
+        assert!(
+            ratio < 1.05 && ratio > 0.9,
+            "SkelCL/OpenCL kernel-time ratio should be ~1.0x..1.05x, got {ratio:.3}"
+        );
+    }
+}

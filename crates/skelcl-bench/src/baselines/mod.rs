@@ -1,0 +1,50 @@
+//! Baseline implementations of the paper's applications.
+//!
+//! Each variant lives in its own self-contained source file so that the
+//! lines-of-code comparisons (Fig. 4, §3.3, §4.2) count *this repository's
+//! own implementations* the same way the paper counts SDK samples. Kernel
+//! source strings are delimited by `// BEGIN KERNEL` / `// END KERNEL`
+//! markers for the kernel/host split.
+
+pub mod dot_opencl;
+pub mod dot_skelcl;
+pub mod mandelbrot_cuda;
+pub mod mandelbrot_opencl;
+pub mod mandelbrot_skelcl;
+pub mod sobel_amd;
+pub mod sobel_nvidia;
+pub mod sobel_skelcl;
+
+use std::time::Duration;
+
+/// Result of one application run on the virtual platform.
+#[derive(Debug, Clone)]
+pub struct RunResult<T> {
+    /// The computed output.
+    pub output: Vec<T>,
+    /// Total simulated time on the device timeline (transfers + kernels).
+    pub total: Duration,
+    /// Simulated kernel-only time (what the OpenCL profiling API reports,
+    /// used for Fig. 5).
+    pub kernel: Duration,
+}
+
+/// Embedded sources of every variant, for LoC accounting.
+pub mod sources {
+    /// CUDA-style Mandelbrot implementation source.
+    pub const MANDELBROT_CUDA: &str = include_str!("mandelbrot_cuda.rs");
+    /// OpenCL-style Mandelbrot implementation source.
+    pub const MANDELBROT_OPENCL: &str = include_str!("mandelbrot_opencl.rs");
+    /// SkelCL Mandelbrot implementation source.
+    pub const MANDELBROT_SKELCL: &str = include_str!("mandelbrot_skelcl.rs");
+    /// AMD-SDK-style Sobel implementation source.
+    pub const SOBEL_AMD: &str = include_str!("sobel_amd.rs");
+    /// NVIDIA-SDK-style Sobel implementation source.
+    pub const SOBEL_NVIDIA: &str = include_str!("sobel_nvidia.rs");
+    /// SkelCL Sobel implementation source.
+    pub const SOBEL_SKELCL: &str = include_str!("sobel_skelcl.rs");
+    /// Raw OpenCL-style dot-product implementation source.
+    pub const DOT_OPENCL: &str = include_str!("dot_opencl.rs");
+    /// SkelCL dot-product implementation source.
+    pub const DOT_SKELCL: &str = include_str!("dot_skelcl.rs");
+}

@@ -1,0 +1,91 @@
+//! Reproduces the paper's **Figure 4**: program size (LoC) and runtime of
+//! the Mandelbrot application in CUDA, OpenCL and SkelCL.
+//!
+//! Usage: `cargo run --release -p skelcl-bench --bin fig4_mandelbrot [--full]`
+//!
+//! `--full` runs the paper's 4096×3072 configuration (slow under the
+//! interpreter); the default is a proportionally scaled-down frame. Shapes
+//! to check against the paper: CUDA fastest (~31% over OpenCL), SkelCL
+//! within ~5% of OpenCL, and the OpenCL program more than twice the size
+//! of the CUDA and SkelCL programs.
+
+use skelcl_bench::baselines::{
+    mandelbrot_cuda, mandelbrot_opencl, mandelbrot_skelcl, sources,
+};
+use skelcl_bench::loc::{paper, split_kernel_host};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    // The paper's runs take ~25 s per frame on the Tesla, i.e. thousands
+    // of iterations per pixel: a strongly compute-dominated regime. The
+    // default scales the frame down but keeps the high iteration cap so
+    // the per-variant ratios (the figure's shape) are preserved.
+    let (width, height, max_iter) =
+        if full { (4096, 3072, 3000) } else { (256, 192, 3000) };
+
+    println!("== Figure 4 (a): Mandelbrot program size, lines of code ==\n");
+    println!(
+        "{:<10} {:>28} {:>28}",
+        "variant", "this repo (kernel/host/total)", "paper (kernel/host/total)"
+    );
+    let rows = [
+        ("CUDA", split_kernel_host(sources::MANDELBROT_CUDA), paper::MANDELBROT_CUDA),
+        ("OpenCL", split_kernel_host(sources::MANDELBROT_OPENCL), paper::MANDELBROT_OPENCL),
+        ("SkelCL", split_kernel_host(sources::MANDELBROT_SKELCL), paper::MANDELBROT_SKELCL),
+    ];
+    for (name, ours, theirs) in rows {
+        println!(
+            "{:<10} {:>12}/{:>4}/{:>5} {:>16}/{:>4}/{:>5}",
+            name,
+            ours.kernel,
+            ours.host,
+            ours.total(),
+            theirs.kernel,
+            theirs.host,
+            theirs.total()
+        );
+    }
+    let ocl = split_kernel_host(sources::MANDELBROT_OPENCL).total() as f64;
+    let cuda = split_kernel_host(sources::MANDELBROT_CUDA).total() as f64;
+    let skel = split_kernel_host(sources::MANDELBROT_SKELCL).total() as f64;
+    println!(
+        "\nshape check: OpenCL/CUDA size ratio = {:.2} (paper: {:.2}), OpenCL/SkelCL = {:.2} (paper: {:.2})",
+        ocl / cuda,
+        118.0 / 49.0,
+        ocl / skel,
+        118.0 / 57.0
+    );
+
+    println!(
+        "\n== Figure 4 (b): Mandelbrot runtime, {width}x{height}, max_iter {max_iter}, 1 GPU =="
+    );
+    println!("(simulated seconds on one virtual Tesla T10; paper seconds for 4096x3072)\n");
+    let cuda_run = mandelbrot_cuda::run(width, height, max_iter).expect("cuda run");
+    let ocl_run = mandelbrot_opencl::run(width, height, max_iter).expect("opencl run");
+    let skel_run = mandelbrot_skelcl::run(width, height, max_iter).expect("skelcl run");
+    assert_eq!(cuda_run.output, ocl_run.output, "variants agree");
+    assert_eq!(skel_run.output, ocl_run.output, "variants agree");
+
+    println!("{:<10} {:>16} {:>14}", "variant", "measured (s)", "paper (s)");
+    for ((name, paper_s), run) in paper::MANDELBROT_SECONDS
+        .iter()
+        .zip([&cuda_run, &ocl_run, &skel_run])
+    {
+        println!("{:<10} {:>16.4} {:>14.1}", name, run.total.as_secs_f64(), paper_s);
+    }
+
+    let cuda_speedup = ocl_run.kernel.as_secs_f64() / cuda_run.kernel.as_secs_f64();
+    let skel_overhead = skel_run.kernel.as_secs_f64() / ocl_run.kernel.as_secs_f64();
+    println!(
+        "\nshape check: CUDA speedup over OpenCL = {:.2}x (paper: {:.2}x)",
+        cuda_speedup,
+        25.0 / 18.0
+    );
+    println!(
+        "shape check: SkelCL kernel overhead over OpenCL = {:+.1}% (paper: ~+4% total)",
+        (skel_overhead - 1.0) * 100.0
+    );
+    let ok = cuda_speedup > 1.2 && skel_overhead < 1.10;
+    println!("\nresult: {}", if ok { "SHAPE REPRODUCED" } else { "SHAPE MISMATCH" });
+    std::process::exit(i32::from(!ok));
+}

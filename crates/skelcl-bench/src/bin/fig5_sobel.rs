@@ -1,0 +1,64 @@
+//! Reproduces the paper's **Figure 5**: Sobel edge detection kernel
+//! runtimes on a 512×512 image — the AMD-SDK-style kernel (no local
+//! memory) vs the NVIDIA-SDK-style kernel (local memory) vs SkelCL's
+//! MapOverlap (local memory, generated).
+//!
+//! Usage: `cargo run --release -p skelcl-bench --bin fig5_sobel [--runs N]`
+//!
+//! As in the paper, only kernel runtimes are reported (transfer times are
+//! identical across variants) and the mean of several runs is taken.
+
+use skelcl_bench::baselines::{sobel_amd, sobel_nvidia, sobel_skelcl};
+use skelcl_bench::loc::paper;
+use skelcl_bench::workloads::{sobel_reference, synthetic_image, SOBEL_FULL};
+
+fn main() {
+    let runs: usize = std::env::args()
+        .skip_while(|a| a != "--runs")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6); // the paper takes the mean of six runs
+    let (width, height) = SOBEL_FULL;
+    let img = synthetic_image(width, height);
+    let reference = sobel_reference(&img, width, height);
+
+    println!("== Figure 5: Sobel kernel runtime, {width}x{height}, mean of {runs} runs ==\n");
+
+    let mut means = Vec::new();
+    type Runner = fn(&[u8], usize, usize) -> Result<skelcl_bench::baselines::RunResult<u8>, String>;
+    let variants: [(&str, Runner); 3] = [
+        ("OpenCL (AMD)", |i, w, h| sobel_amd::run(i, w, h).map_err(|e| e.to_string())),
+        ("OpenCL (NVIDIA)", |i, w, h| sobel_nvidia::run(i, w, h).map_err(|e| e.to_string())),
+        ("SkelCL", |i, w, h| sobel_skelcl::run(i, w, h).map_err(|e| e.to_string())),
+    ];
+    println!("{:<17} {:>14} {:>12}", "variant", "measured (ms)", "paper (ms)");
+    for ((name, runner), (_, paper_ms)) in variants.iter().zip(paper::SOBEL_MS.iter()) {
+        let mut total = 0.0;
+        for run in 0..runs {
+            let r = runner(&img, width, height).expect("sobel run");
+            if run == 0 {
+                assert_eq!(r.output, reference, "{name} output matches reference");
+            }
+            total += r.kernel.as_secs_f64() * 1e3;
+        }
+        let mean = total / runs as f64;
+        println!("{name:<17} {mean:>14.4} {paper_ms:>12.3}");
+        means.push(mean);
+    }
+
+    let amd_over_nvidia = means[0] / means[1];
+    let skel_vs_nvidia = means[2] / means[1];
+    println!(
+        "\nshape check: AMD/NVIDIA ratio = {:.2}x (paper: ~{:.1}x)",
+        amd_over_nvidia,
+        0.23 / 0.07
+    );
+    println!(
+        "shape check: SkelCL/NVIDIA ratio = {:.2}x (paper: ~{:.2}x, slightly ahead)",
+        skel_vs_nvidia,
+        0.066 / 0.07
+    );
+    let ok = amd_over_nvidia > 2.0 && (0.7..1.3).contains(&skel_vs_nvidia);
+    println!("\nresult: {}", if ok { "SHAPE REPRODUCED" } else { "SHAPE MISMATCH" });
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,75 @@
+//! Multi-GPU scaling of the SkelCL applications (paper §3.2's motivation:
+//! "an automatic data (re)distribution mechanism … ensures scalability when
+//! using multiple GPUs"). Not a numbered figure in the paper; this is the
+//! EXT-SCALE experiment from DESIGN.md.
+//!
+//! Usage: `cargo run --release -p skelcl-bench --bin scaling`
+
+use skelcl::{Context, DeviceSelection};
+use skelcl_bench::baselines::{dot_skelcl, mandelbrot_skelcl, sobel_skelcl};
+use skelcl_bench::workloads::{random_f32_vector, synthetic_image};
+use vgpu::{DeviceSpec, Platform};
+
+fn ctx(devices: usize) -> Context {
+    Context::init(Platform::new(devices, DeviceSpec::tesla_t10()), DeviceSelection::All)
+}
+
+fn main() {
+    println!("== Multi-GPU scaling on virtual Tesla S1070 GPUs (simulated kernel makespan) ==\n");
+
+    let (mw, mh, it) = (512usize, 384usize, 200);
+    let (sw, sh) = (512usize, 512usize);
+    let img = synthetic_image(sw, sh);
+    let a = random_f32_vector(1 << 20, 11);
+    let b = random_f32_vector(1 << 20, 12);
+
+    println!(
+        "{:<6} {:>18} {:>18} {:>18}",
+        "GPUs", "mandelbrot (ms)", "sobel (ms)", "dot product (ms)"
+    );
+
+    let mut baseline: Option<[f64; 3]> = None;
+    let mut speedups_at_4 = [0.0f64; 3];
+    for devices in 1..=4usize {
+        let c = ctx(devices);
+        let mandel = mandelbrot_skelcl::run_on(&c, mw, mh, it).expect("mandelbrot");
+        let c = ctx(devices);
+        let sobel = sobel_skelcl::run_on(&c, &img, sw, sh).expect("sobel");
+        let c = ctx(devices);
+        let dot = dot_skelcl::run_on(&c, &a, &b).expect("dot");
+
+        let ms = [
+            mandel.kernel.as_secs_f64() * 1e3,
+            sobel.kernel.as_secs_f64() * 1e3,
+            dot.kernel.as_secs_f64() * 1e3,
+        ];
+        let base = *baseline.get_or_insert(ms);
+        let sp: Vec<String> = ms
+            .iter()
+            .zip(base)
+            .map(|(m, b)| format!("{m:>10.4} ({:>4.2}x)", b / m))
+            .collect();
+        println!("{devices:<6} {:>18} {:>18} {:>18}", sp[0], sp[1], sp[2]);
+        if devices == 4 {
+            for (s, (m, b)) in speedups_at_4.iter_mut().zip(ms.iter().zip(base)) {
+                *s = b / m;
+            }
+        }
+    }
+
+    println!(
+        "\nshape check: 4-GPU speedups = mandelbrot {:.2}x, sobel {:.2}x, dot {:.2}x",
+        speedups_at_4[0], speedups_at_4[1], speedups_at_4[2]
+    );
+    println!(
+        "note: mandelbrot scales sub-linearly because the block distribution is\n\
+         load-imbalanced — pixels inside the set (thousands of iterations)\n\
+         cluster in a few chunks, and the makespan is the slowest GPU's time.\n\
+         Sobel and dot product have uniform per-element work and scale linearly."
+    );
+    // Uniform-work kernels scale near-linearly; mandelbrot is bounded by
+    // its heaviest chunk; the reduction has a small serial combine tail.
+    let ok = speedups_at_4[0] > 2.0 && speedups_at_4[1] > 3.0 && speedups_at_4[2] > 2.0;
+    println!("\nresult: {}", if ok { "SHAPE REPRODUCED" } else { "SHAPE MISMATCH" });
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,18 @@
+//! # skelcl-bench — workloads, baselines and harnesses reproducing the
+//! SkelCL paper's evaluation (Section 4)
+//!
+//! * [`workloads`] — synthetic inputs (images, vectors, matrices);
+//! * [`baselines`] — CUDA-style, OpenCL-style and SkelCL implementations
+//!   of the paper's applications, each in a self-contained source file so
+//!   lines of code can be counted like the paper counts SDK samples;
+//! * [`loc`] — the LoC counter and the paper's reported numbers.
+//!
+//! Binaries (see `src/bin/`): `fig4_mandelbrot`, `fig5_sobel`, `loc_table`
+//! and `scaling` regenerate the paper's figures; criterion benches under
+//! `benches/` measure the same workloads.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod loc;
+pub mod workloads;

@@ -1,0 +1,202 @@
+//! Lines-of-code accounting for the programming-effort comparisons
+//! (paper Fig. 4 and §3.3/§4.2), applied to this reproduction's own
+//! implementation sources exactly as the paper applies it to SDK samples.
+
+/// Counts non-blank, non-comment lines (`//` lines and `/* */` blocks are
+/// excluded; code sharing a line with a trailing comment counts).
+pub fn count_loc(source: &str) -> usize {
+    let mut in_block_comment = false;
+    let mut count = 0;
+    for line in source.lines() {
+        let mut code = false;
+        let mut rest = line.trim();
+        while !rest.is_empty() {
+            if in_block_comment {
+                match rest.find("*/") {
+                    Some(i) => {
+                        in_block_comment = false;
+                        rest = rest[i + 2..].trim_start();
+                    }
+                    None => break,
+                }
+            } else if let Some(i) = rest.find("/*") {
+                if rest[..i].find("//").is_some() {
+                    // Line comment precedes the block start.
+                    if !rest[..rest.find("//").unwrap()].trim().is_empty() {
+                        code = true;
+                    }
+                    break;
+                }
+                if !rest[..i].trim().is_empty() {
+                    code = true;
+                }
+                in_block_comment = true;
+                rest = rest[i + 2..].trim_start();
+            } else if let Some(i) = rest.find("//") {
+                if !rest[..i].trim().is_empty() {
+                    code = true;
+                }
+                break;
+            } else {
+                code = true;
+                break;
+            }
+        }
+        if code {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// One implementation's size, split like the paper's Fig. 4 bars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramSize {
+    /// Kernel-function lines.
+    pub kernel: usize,
+    /// Host-program lines.
+    pub host: usize,
+}
+
+impl ProgramSize {
+    /// Total lines.
+    pub fn total(&self) -> usize {
+        self.kernel + self.host
+    }
+}
+
+/// The paper's reported program sizes for the Mandelbrot application
+/// (Fig. 4): `(kernel, host)` lines.
+pub mod paper {
+    use super::ProgramSize;
+
+    /// CUDA Mandelbrot: 49 total (28 kernel, 21 host).
+    pub const MANDELBROT_CUDA: ProgramSize = ProgramSize { kernel: 28, host: 21 };
+    /// OpenCL Mandelbrot: 118 total (28 kernel, 90 host).
+    pub const MANDELBROT_OPENCL: ProgramSize = ProgramSize { kernel: 28, host: 90 };
+    /// SkelCL Mandelbrot: 57 total (26 kernel, 31 host).
+    pub const MANDELBROT_SKELCL: ProgramSize = ProgramSize { kernel: 26, host: 31 };
+
+    /// NVIDIA SDK dot product (§3.3): 68 total (9 kernel, 59 host).
+    pub const DOT_OPENCL: ProgramSize = ProgramSize { kernel: 9, host: 59 };
+
+    /// Sobel kernel sizes (§4.2): AMD 37 lines, NVIDIA 208 lines.
+    pub const SOBEL_KERNEL_AMD: usize = 37;
+    /// NVIDIA SDK Sobel kernel lines.
+    pub const SOBEL_KERNEL_NVIDIA: usize = 208;
+
+    /// Paper runtimes for Mandelbrot on one Tesla GPU (Fig. 4), seconds.
+    pub const MANDELBROT_SECONDS: [(&str, f64); 3] =
+        [("CUDA", 18.0), ("OpenCL", 25.0), ("SkelCL", 26.0)];
+
+    /// Paper kernel runtimes for Sobel on 512×512 (Fig. 5), milliseconds
+    /// (read off the figure).
+    pub const SOBEL_MS: [(&str, f64); 3] =
+        [("OpenCL (AMD)", 0.23), ("OpenCL (NVIDIA)", 0.07), ("SkelCL", 0.066)];
+}
+
+/// Splits an implementation source file into kernel and host LoC.
+///
+/// * The kernel part is everything between `// BEGIN KERNEL` /
+///   `// END KERNEL` markers (the markers themselves do not count).
+/// * If the file contains `// BEGIN PROGRAM` / `// END PROGRAM` markers,
+///   only those regions are counted at all — this excludes test modules
+///   and benchmarking wrappers, so the comparison covers the *application
+///   program*, like the paper's standalone samples.
+/// * Without program markers, everything before the first `#[cfg(test)]`
+///   counts.
+pub fn split_kernel_host(source: &str) -> ProgramSize {
+    let mut kernel_text = String::new();
+    let mut host_text = String::new();
+    let mut in_kernel = false;
+    let has_program_markers = source.contains("// BEGIN PROGRAM");
+    let mut in_program = !has_program_markers;
+    for line in source.lines() {
+        let t = line.trim();
+        if t.starts_with("// BEGIN PROGRAM") {
+            in_program = true;
+            continue;
+        }
+        if t.starts_with("// END PROGRAM") {
+            in_program = false;
+            continue;
+        }
+        if !has_program_markers && t.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if t.starts_with("// BEGIN KERNEL") {
+            in_kernel = true;
+            continue;
+        }
+        if t.starts_with("// END KERNEL") {
+            in_kernel = false;
+            continue;
+        }
+        if !in_program {
+            continue;
+        }
+        if in_kernel {
+            kernel_text.push_str(line);
+            kernel_text.push('\n');
+        } else {
+            host_text.push_str(line);
+            host_text.push('\n');
+        }
+    }
+    ProgramSize { kernel: count_loc(&kernel_text), host: count_loc(&host_text) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_code_not_comments() {
+        let src = "\
+// a comment
+int x = 1; // trailing
+/* block
+   comment */
+int y = 2;
+
+/* inline */ int z = 3;
+";
+        assert_eq!(count_loc(src), 3);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert_eq!(count_loc(""), 0);
+        assert_eq!(count_loc("\n\n   \n"), 0);
+        assert_eq!(count_loc("x"), 1);
+    }
+
+    #[test]
+    fn block_comment_spanning_code() {
+        let src = "a /* start\n middle \n end */ b\nc";
+        assert_eq!(count_loc(src), 3); // `a`, `b`, `c` lines have code
+    }
+
+    #[test]
+    fn kernel_host_split() {
+        let src = "\
+host line 1
+// BEGIN KERNEL
+kernel line 1
+kernel line 2
+// END KERNEL
+host line 2
+";
+        let s = split_kernel_host(src);
+        assert_eq!(s, ProgramSize { kernel: 2, host: 2 });
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn paper_constants_match_text() {
+        assert_eq!(paper::MANDELBROT_CUDA.total(), 49);
+        assert_eq!(paper::MANDELBROT_OPENCL.total(), 118);
+        assert_eq!(paper::MANDELBROT_SKELCL.total(), 57);
+        assert_eq!(paper::DOT_OPENCL.total(), 68);
+    }
+}

@@ -1,0 +1,462 @@
+//! Abstract syntax tree for SkelCL C, produced by the [parser](crate::parser).
+//!
+//! The tree is untyped; semantic analysis ([`crate::sema`]) lowers it into
+//! the typed HIR. Every node carries the [`Span`] it was parsed from so that
+//! later phases can report precise diagnostics.
+
+use crate::source::Span;
+use crate::types::{AddressSpace, ScalarType, Type};
+
+/// A parsed translation unit: a sequence of function definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslationUnit {
+    /// Function definitions in source order.
+    pub functions: Vec<Function>,
+}
+
+impl TranslationUnit {
+    /// Finds a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Whether the function was declared `__kernel`.
+    pub is_kernel: bool,
+    /// Declared return type.
+    pub return_type: Type,
+    /// Function name.
+    pub name: String,
+    /// Span of the name token.
+    pub name_span: Span,
+    /// Formal parameters in order.
+    pub params: Vec<Param>,
+    /// The function body.
+    pub body: Block,
+    /// Span of the whole definition.
+    pub span: Span,
+}
+
+/// A formal function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+    /// Span of the parameter declaration.
+    pub span: Span,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Span from `{` to `}`.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A nested block.
+    Block(Block),
+    /// A local variable declaration (possibly several declarators).
+    Decl(VarDecl),
+    /// An expression evaluated for side effects.
+    Expr(Expr),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Taken branch.
+        then_branch: Box<Stmt>,
+        /// Optional `else` branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Span of the whole statement.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Loop initialiser (declaration or expression statement).
+        init: Option<Box<Stmt>>,
+        /// Loop condition; `None` means always true.
+        cond: Option<Expr>,
+        /// Step expression run after each iteration.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Span of the whole statement.
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Span of the whole statement.
+        span: Span,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Loop condition, tested after the body.
+        cond: Expr,
+        /// Span of the whole statement.
+        span: Span,
+    },
+    /// `return;` or `return expr;`.
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Span of the statement.
+        span: Span,
+    },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// A lone `;`.
+    Empty(Span),
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Block(b) => b.span,
+            Stmt::Decl(d) => d.span,
+            Stmt::Expr(e) => e.span(),
+            Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::Return { span, .. } => *span,
+            Stmt::Break(s) | Stmt::Continue(s) | Stmt::Empty(s) => *s,
+        }
+    }
+}
+
+/// A variable declaration statement, e.g. `const int i = 0, j = n;` or a
+/// local-memory array `__local float tile[256];`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Address space of the declared variables (`Private` for plain locals,
+    /// `Local` for work-group arrays).
+    pub space: AddressSpace,
+    /// Whether declared `const`.
+    pub is_const: bool,
+    /// Element/scalar type of all declarators.
+    pub scalar: ScalarType,
+    /// Whether the declarators are pointers (e.g. `float* p`).
+    pub is_pointer: bool,
+    /// Individual declarators.
+    pub declarators: Vec<Declarator>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// One name introduced by a [`VarDecl`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    /// Variable name.
+    pub name: String,
+    /// For array declarators, the (constant) element count expression.
+    pub array_size: Option<Expr>,
+    /// Optional initialiser.
+    pub init: Option<Expr>,
+    /// Span of this declarator.
+    pub span: Span,
+}
+
+/// Unary operators (including increment/decrement forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Plus,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*p`
+    Deref,
+    /// `&x`
+    AddrOf,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+}
+
+impl UnaryOp {
+    /// The source spelling (increment/decrement shown in prefix form).
+    pub fn symbol(self) -> &'static str {
+        use UnaryOp::*;
+        match self {
+            Neg => "-",
+            Plus => "+",
+            Not => "!",
+            BitNot => "~",
+            Deref => "*",
+            AddrOf => "&",
+            PreInc | PostInc => "++",
+            PreDec | PostDec => "--",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+}
+
+impl BinaryOp {
+    /// The source spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            LogicalAnd => "&&",
+            LogicalOr => "||",
+        }
+    }
+
+    /// Whether the operator yields `bool` regardless of operand types.
+    pub fn is_comparison(self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Lt | Le | Gt | Ge | Eq | Ne)
+    }
+
+    /// Whether the operator is `&&` or `||` (short-circuit).
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::LogicalAnd | BinaryOp::LogicalOr)
+    }
+
+    /// Whether the operator only accepts integer operands.
+    pub fn integer_only(self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Rem | BitAnd | BitOr | BitXor | Shl | Shr)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal. The value is stored unsigned; suffixes select type.
+    IntLit {
+        /// The literal value.
+        value: u64,
+        /// Whether a `u`/`U` suffix was present.
+        unsigned: bool,
+        /// Whether an `l`/`L` suffix was present.
+        long: bool,
+        /// Source span.
+        span: Span,
+    },
+    /// Floating-point literal.
+    FloatLit {
+        /// The literal value (as parsed, in double precision).
+        value: f64,
+        /// Whether an `f`/`F` suffix selected single precision.
+        single: bool,
+        /// Source span.
+        span: Span,
+    },
+    /// `true` or `false`.
+    BoolLit {
+        /// The literal value.
+        value: bool,
+        /// Source span.
+        span: Span,
+    },
+    /// Character literal (type `char`).
+    CharLit {
+        /// The character's value.
+        value: i8,
+        /// Source span.
+        span: Span,
+    },
+    /// A variable reference.
+    Ident {
+        /// The referenced name.
+        name: String,
+        /// Source span.
+        span: Span,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Assignment `lhs = rhs` or compound `lhs op= rhs`.
+    Assign {
+        /// `None` for plain `=`, otherwise the compound operator.
+        op: Option<BinaryOp>,
+        /// Assignment target (must be an l-value).
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `cond ? then : els`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value if true.
+        then_expr: Box<Expr>,
+        /// Value if false.
+        else_expr: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// A call `name(args...)`. Callees are plain identifiers (user functions
+    /// or builtins); SkelCL C has no function pointers.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Span of the callee identifier.
+        callee_span: Span,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source span of the whole call.
+        span: Span,
+    },
+    /// Indexing `base[index]`.
+    Index {
+        /// The pointer being indexed.
+        base: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// An explicit cast `(type)expr`.
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit { span, .. }
+            | Expr::FloatLit { span, .. }
+            | Expr::BoolLit { span, .. }
+            | Expr::CharLit { span, .. }
+            | Expr::Ident { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Cast { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_op_classification() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::LogicalAnd.is_logical());
+        assert!(BinaryOp::Shl.integer_only());
+        assert!(!BinaryOp::Div.integer_only());
+    }
+
+    #[test]
+    fn symbols_round_trip_spelling() {
+        assert_eq!(BinaryOp::Shr.symbol(), ">>");
+        assert_eq!(UnaryOp::BitNot.symbol(), "~");
+        assert_eq!(UnaryOp::PostInc.symbol(), "++");
+    }
+}

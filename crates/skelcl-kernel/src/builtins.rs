@@ -1,0 +1,488 @@
+//! Builtin functions available to SkelCL C kernels: OpenCL work-item query
+//! functions, synchronisation, and the common math library.
+
+use crate::types::ScalarType;
+use crate::value::Value;
+
+/// A builtin function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    // Work-item functions (evaluated by the VM against launch geometry).
+    /// `get_global_id(dim)`
+    GetGlobalId,
+    /// `get_local_id(dim)`
+    GetLocalId,
+    /// `get_group_id(dim)`
+    GetGroupId,
+    /// `get_global_size(dim)`
+    GetGlobalSize,
+    /// `get_local_size(dim)`
+    GetLocalSize,
+    /// `get_num_groups(dim)`
+    GetNumGroups,
+    /// `get_work_dim()`
+    GetWorkDim,
+    /// `barrier(flags)` — work-group synchronisation point.
+    Barrier,
+    /// `__skelcl_trap(code)` — aborts the launch with a runtime error.
+    /// Used by generated code for bounds violations.
+    Trap,
+    /// `__skelcl_trap_int(code)` — like `Trap` but typed as returning
+    /// `int`, so generated code can place it in a ternary arm
+    /// (`ok ? value : (T)__skelcl_trap_int(code)`). It never actually
+    /// returns.
+    TrapValue,
+
+    // Unary float math.
+    /// `sqrt(x)`
+    Sqrt,
+    /// `rsqrt(x)` = 1/sqrt(x)
+    Rsqrt,
+    /// `fabs(x)`
+    Fabs,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `asin(x)`
+    Asin,
+    /// `acos(x)`
+    Acos,
+    /// `atan(x)`
+    Atan,
+    /// `exp(x)`
+    Exp,
+    /// `exp2(x)`
+    Exp2,
+    /// `log(x)`
+    Log,
+    /// `log2(x)`
+    Log2,
+    /// `log10(x)`
+    Log10,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `round(x)`
+    Round,
+    /// `trunc(x)`
+    Trunc,
+
+    // Binary float math.
+    /// `pow(x, y)`
+    Pow,
+    /// `atan2(y, x)`
+    Atan2,
+    /// `fmod(x, y)`
+    Fmod,
+    /// `fmin(x, y)`
+    Fmin,
+    /// `fmax(x, y)`
+    Fmax,
+    /// `hypot(x, y)`
+    Hypot,
+
+    // Generic (integer or float) helpers.
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `clamp(x, lo, hi)`
+    Clamp,
+    /// `abs(x)` — absolute value. Deviation from OpenCL: on signed integers
+    /// this returns the same signed type rather than the unsigned type.
+    Abs,
+    /// `mad(a, b, c)` = a*b + c (float).
+    Mad,
+}
+
+/// The typing shape of a builtin's signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinKind {
+    /// `(uint dim) -> ulong`, evaluated against launch geometry.
+    WorkItemQuery,
+    /// `() -> uint`.
+    WorkDim,
+    /// `(int flags) -> void`, synchronisation.
+    Barrier,
+    /// `(int code) -> void`, aborts the launch.
+    Trap,
+    /// `(int code) -> int`, aborts the launch (never returns).
+    TrapValue,
+    /// `(genfloat) -> genfloat` — `float` unless the argument is `double`.
+    FloatUnary,
+    /// `(genfloat, genfloat) -> genfloat`.
+    FloatBinary,
+    /// `(gentype, gentype) -> gentype` — integer or float, common type.
+    GenBinary,
+    /// `(gentype, gentype, gentype) -> gentype`.
+    GenTernary,
+    /// `(gentype) -> gentype`.
+    GenUnary,
+}
+
+impl Builtin {
+    /// Resolves a source identifier to a builtin.
+    pub fn resolve(name: &str) -> Option<Builtin> {
+        use Builtin::*;
+        Some(match name {
+            "get_global_id" => GetGlobalId,
+            "get_local_id" => GetLocalId,
+            "get_group_id" => GetGroupId,
+            "get_global_size" => GetGlobalSize,
+            "get_local_size" => GetLocalSize,
+            "get_num_groups" => GetNumGroups,
+            "get_work_dim" => GetWorkDim,
+            "barrier" => Barrier,
+            "__skelcl_trap" => Trap,
+            "__skelcl_trap_int" => TrapValue,
+            "sqrt" | "native_sqrt" => Sqrt,
+            "rsqrt" | "native_rsqrt" => Rsqrt,
+            "fabs" => Fabs,
+            "sin" | "native_sin" => Sin,
+            "cos" | "native_cos" => Cos,
+            "tan" => Tan,
+            "asin" => Asin,
+            "acos" => Acos,
+            "atan" => Atan,
+            "exp" | "native_exp" => Exp,
+            "exp2" => Exp2,
+            "log" | "native_log" => Log,
+            "log2" => Log2,
+            "log10" => Log10,
+            "floor" => Floor,
+            "ceil" => Ceil,
+            "round" => Round,
+            "trunc" => Trunc,
+            "pow" | "powr" => Pow,
+            "atan2" => Atan2,
+            "fmod" => Fmod,
+            "fmin" => Fmin,
+            "fmax" => Fmax,
+            "hypot" => Hypot,
+            "min" => Min,
+            "max" => Max,
+            "clamp" => Clamp,
+            "abs" => Abs,
+            "mad" => Mad,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling.
+    pub fn name(self) -> &'static str {
+        use Builtin::*;
+        match self {
+            GetGlobalId => "get_global_id",
+            GetLocalId => "get_local_id",
+            GetGroupId => "get_group_id",
+            GetGlobalSize => "get_global_size",
+            GetLocalSize => "get_local_size",
+            GetNumGroups => "get_num_groups",
+            GetWorkDim => "get_work_dim",
+            Barrier => "barrier",
+            Trap => "__skelcl_trap",
+            TrapValue => "__skelcl_trap_int",
+            Sqrt => "sqrt",
+            Rsqrt => "rsqrt",
+            Fabs => "fabs",
+            Sin => "sin",
+            Cos => "cos",
+            Tan => "tan",
+            Asin => "asin",
+            Acos => "acos",
+            Atan => "atan",
+            Exp => "exp",
+            Exp2 => "exp2",
+            Log => "log",
+            Log2 => "log2",
+            Log10 => "log10",
+            Floor => "floor",
+            Ceil => "ceil",
+            Round => "round",
+            Trunc => "trunc",
+            Pow => "pow",
+            Atan2 => "atan2",
+            Fmod => "fmod",
+            Fmin => "fmin",
+            Fmax => "fmax",
+            Hypot => "hypot",
+            Min => "min",
+            Max => "max",
+            Clamp => "clamp",
+            Abs => "abs",
+            Mad => "mad",
+        }
+    }
+
+    /// The builtin's signature shape.
+    pub fn kind(self) -> BuiltinKind {
+        use Builtin::*;
+        use BuiltinKind::*;
+        match self {
+            GetGlobalId | GetLocalId | GetGroupId | GetGlobalSize | GetLocalSize
+            | GetNumGroups => WorkItemQuery,
+            GetWorkDim => WorkDim,
+            Builtin::Barrier => BuiltinKind::Barrier,
+            Builtin::Trap => BuiltinKind::Trap,
+            Builtin::TrapValue => BuiltinKind::TrapValue,
+            Sqrt | Rsqrt | Fabs | Sin | Cos | Tan | Asin | Acos | Atan | Exp | Exp2 | Log
+            | Log2 | Log10 | Floor | Ceil | Round | Trunc => FloatUnary,
+            Pow | Atan2 | Fmod | Fmin | Fmax | Hypot => FloatBinary,
+            Min | Max => GenBinary,
+            Clamp | Mad => GenTernary,
+            Abs => GenUnary,
+        }
+    }
+
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self.kind() {
+            BuiltinKind::WorkDim => 0,
+            BuiltinKind::WorkItemQuery
+            | BuiltinKind::Barrier
+            | BuiltinKind::Trap
+            | BuiltinKind::TrapValue
+            | BuiltinKind::FloatUnary
+            | BuiltinKind::GenUnary => 1,
+            BuiltinKind::FloatBinary | BuiltinKind::GenBinary => 2,
+            BuiltinKind::GenTernary => 3,
+        }
+    }
+
+    /// Whether the VM must handle the call specially (geometry queries,
+    /// barriers, traps) rather than through [`eval_pure`].
+    pub fn is_special(self) -> bool {
+        matches!(
+            self.kind(),
+            BuiltinKind::WorkItemQuery
+                | BuiltinKind::WorkDim
+                | BuiltinKind::Barrier
+                | BuiltinKind::Trap
+                | BuiltinKind::TrapValue
+        )
+    }
+}
+
+/// Evaluates a pure (math) builtin. Arguments must already be converted to
+/// the common type chosen by sema: all-`F32`, all-`F64`, or a uniform
+/// integer type for the generic helpers.
+///
+/// # Panics
+///
+/// Panics if called for a special builtin or with mismatched argument
+/// variants (both indicate compiler bugs; sema guarantees the contract).
+pub fn eval_pure(b: Builtin, args: &[Value]) -> Value {
+    use Builtin::*;
+    match b.kind() {
+        BuiltinKind::FloatUnary => match args[0] {
+            Value::F32(x) => Value::F32(float_unary(b, x as f64) as f32),
+            Value::F64(x) => Value::F64(float_unary(b, x)),
+            other => panic!("float builtin {b:?} on {other:?}"),
+        },
+        BuiltinKind::FloatBinary => match (args[0], args[1]) {
+            (Value::F32(x), Value::F32(y)) => Value::F32(float_binary(b, x as f64, y as f64) as f32),
+            (Value::F64(x), Value::F64(y)) => Value::F64(float_binary(b, x, y)),
+            other => panic!("float builtin {b:?} on {other:?}"),
+        },
+        BuiltinKind::GenUnary => {
+            debug_assert_eq!(b, Abs);
+            match args[0] {
+                Value::F32(x) => Value::F32(x.abs()),
+                Value::F64(x) => Value::F64(x.abs()),
+                Value::I8(x) => Value::I8(x.wrapping_abs()),
+                Value::I16(x) => Value::I16(x.wrapping_abs()),
+                Value::I32(x) => Value::I32(x.wrapping_abs()),
+                Value::I64(x) => Value::I64(x.wrapping_abs()),
+                v @ (Value::U8(_) | Value::U16(_) | Value::U32(_) | Value::U64(_)) => v,
+                other => panic!("abs on {other:?}"),
+            }
+        }
+        BuiltinKind::GenBinary => {
+            let take_min = b == Min;
+            debug_assert!(take_min || b == Max);
+            gen_minmax(args[0], args[1], take_min)
+        }
+        BuiltinKind::GenTernary => match b {
+            Clamp => {
+                let lo_clamped = gen_minmax(args[0], args[1], false); // max(x, lo)
+                gen_minmax(lo_clamped, args[2], true) // min(.., hi)
+            }
+            Mad => match (args[0], args[1], args[2]) {
+                (Value::F32(a), Value::F32(x), Value::F32(c)) => Value::F32(a * x + c),
+                (Value::F64(a), Value::F64(x), Value::F64(c)) => Value::F64(a * x + c),
+                other => panic!("mad on {other:?}"),
+            },
+            other => panic!("unexpected ternary builtin {other:?}"),
+        },
+        _ => panic!("special builtin {b:?} must be handled by the VM"),
+    }
+}
+
+fn gen_minmax(a: Value, b: Value, take_min: bool) -> Value {
+    macro_rules! mm {
+        ($x:expr, $y:expr, $v:ident) => {
+            if take_min {
+                Value::$v(if $x < $y { $x } else { $y })
+            } else {
+                Value::$v(if $x > $y { $x } else { $y })
+            }
+        };
+    }
+    match (a, b) {
+        (Value::I8(x), Value::I8(y)) => mm!(x, y, I8),
+        (Value::U8(x), Value::U8(y)) => mm!(x, y, U8),
+        (Value::I16(x), Value::I16(y)) => mm!(x, y, I16),
+        (Value::U16(x), Value::U16(y)) => mm!(x, y, U16),
+        (Value::I32(x), Value::I32(y)) => mm!(x, y, I32),
+        (Value::U32(x), Value::U32(y)) => mm!(x, y, U32),
+        (Value::I64(x), Value::I64(y)) => mm!(x, y, I64),
+        (Value::U64(x), Value::U64(y)) => mm!(x, y, U64),
+        (Value::F32(x), Value::F32(y)) => mm!(x, y, F32),
+        (Value::F64(x), Value::F64(y)) => mm!(x, y, F64),
+        other => panic!("min/max on mismatched operands {other:?}"),
+    }
+}
+
+fn float_unary(b: Builtin, x: f64) -> f64 {
+    use Builtin::*;
+    match b {
+        Sqrt => x.sqrt(),
+        Rsqrt => 1.0 / x.sqrt(),
+        Fabs => x.abs(),
+        Sin => x.sin(),
+        Cos => x.cos(),
+        Tan => x.tan(),
+        Asin => x.asin(),
+        Acos => x.acos(),
+        Atan => x.atan(),
+        Exp => x.exp(),
+        Exp2 => x.exp2(),
+        Log => x.ln(),
+        Log2 => x.log2(),
+        Log10 => x.log10(),
+        Floor => x.floor(),
+        Ceil => x.ceil(),
+        Round => x.round(),
+        Trunc => x.trunc(),
+        other => panic!("not a unary float builtin: {other:?}"),
+    }
+}
+
+fn float_binary(b: Builtin, x: f64, y: f64) -> f64 {
+    use Builtin::*;
+    match b {
+        Pow => x.powf(y),
+        Atan2 => x.atan2(y),
+        Fmod => x % y,
+        Fmin => x.min(y),
+        Fmax => x.max(y),
+        Hypot => x.hypot(y),
+        other => panic!("not a binary float builtin: {other:?}"),
+    }
+}
+
+/// Named integer constants predefined in every SkelCL C compilation, like
+/// OpenCL's memory-fence flags.
+pub fn predefined_constant(name: &str) -> Option<i32> {
+    Some(match name {
+        "CLK_LOCAL_MEM_FENCE" => 1,
+        "CLK_GLOBAL_MEM_FENCE" => 2,
+        _ => None?,
+    })
+}
+
+/// The result type family of work-item queries: OpenCL `size_t`, which
+/// SkelCL C models as `ulong`.
+pub const WORK_ITEM_QUERY_RESULT: ScalarType = ScalarType::ULong;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_and_names_agree() {
+        for b in [
+            Builtin::GetGlobalId,
+            Builtin::Barrier,
+            Builtin::Sqrt,
+            Builtin::Pow,
+            Builtin::Min,
+            Builtin::Clamp,
+            Builtin::Abs,
+            Builtin::Mad,
+        ] {
+            assert_eq!(Builtin::resolve(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::resolve("nonsense"), None);
+        assert_eq!(Builtin::resolve("native_sqrt"), Some(Builtin::Sqrt));
+    }
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(Builtin::GetWorkDim.arity(), 0);
+        assert_eq!(Builtin::Sqrt.arity(), 1);
+        assert_eq!(Builtin::Pow.arity(), 2);
+        assert_eq!(Builtin::Clamp.arity(), 3);
+    }
+
+    #[test]
+    fn float_math_f32_and_f64() {
+        assert_eq!(eval_pure(Builtin::Sqrt, &[Value::F32(9.0)]), Value::F32(3.0));
+        assert_eq!(eval_pure(Builtin::Sqrt, &[Value::F64(16.0)]), Value::F64(4.0));
+        assert_eq!(
+            eval_pure(Builtin::Pow, &[Value::F32(2.0), Value::F32(10.0)]),
+            Value::F32(1024.0)
+        );
+        assert_eq!(eval_pure(Builtin::Hypot, &[Value::F64(3.0), Value::F64(4.0)]), Value::F64(5.0));
+    }
+
+    #[test]
+    fn generic_min_max_clamp() {
+        assert_eq!(eval_pure(Builtin::Min, &[Value::I32(-3), Value::I32(2)]), Value::I32(-3));
+        assert_eq!(eval_pure(Builtin::Max, &[Value::U8(3), Value::U8(200)]), Value::U8(200));
+        assert_eq!(eval_pure(Builtin::Max, &[Value::F32(1.5), Value::F32(-2.0)]), Value::F32(1.5));
+        assert_eq!(
+            eval_pure(Builtin::Clamp, &[Value::I32(10), Value::I32(0), Value::I32(5)]),
+            Value::I32(5)
+        );
+        assert_eq!(
+            eval_pure(Builtin::Clamp, &[Value::I32(-10), Value::I32(0), Value::I32(5)]),
+            Value::I32(0)
+        );
+    }
+
+    #[test]
+    fn abs_behaviour() {
+        assert_eq!(eval_pure(Builtin::Abs, &[Value::I32(-5)]), Value::I32(5));
+        assert_eq!(eval_pure(Builtin::Abs, &[Value::U32(5)]), Value::U32(5));
+        assert_eq!(eval_pure(Builtin::Abs, &[Value::F64(-2.5)]), Value::F64(2.5));
+        assert_eq!(eval_pure(Builtin::Abs, &[Value::I32(i32::MIN)]), Value::I32(i32::MIN));
+    }
+
+    #[test]
+    fn mad_fused_shape() {
+        assert_eq!(
+            eval_pure(Builtin::Mad, &[Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)]),
+            Value::F32(10.0)
+        );
+    }
+
+    #[test]
+    fn special_builtins_flagged() {
+        assert!(Builtin::Barrier.is_special());
+        assert!(Builtin::GetGlobalId.is_special());
+        assert!(!Builtin::Sqrt.is_special());
+        assert!(!Builtin::Min.is_special());
+    }
+
+    #[test]
+    fn fence_constants() {
+        assert_eq!(predefined_constant("CLK_LOCAL_MEM_FENCE"), Some(1));
+        assert_eq!(predefined_constant("CLK_GLOBAL_MEM_FENCE"), Some(2));
+        assert_eq!(predefined_constant("OTHER"), None);
+    }
+}

@@ -1,0 +1,680 @@
+//! Bytecode generation from the typed HIR.
+
+use crate::builtins::BuiltinKind;
+use crate::fold::const_to_value;
+use crate::hir::{BinOp, Expr, Function, LocalArray, Place, Stmt, Unit};
+use crate::ir::{FuncCode, Op};
+use crate::program::{
+    KernelInfo, KernelParam, KernelParamKind, LocalArrayBinding, Program,
+};
+use crate::types::{AddressSpace, ScalarType, Type};
+use crate::value::{Ptr, Value};
+
+/// Sentinel for uninitialised pointer locals; dereferencing traps in the VM.
+pub const UNINIT_BUFFER: u32 = u32::MAX;
+
+/// Generates a [`Program`] from a type-checked unit.
+pub fn generate(unit: &Unit, source_name: &str) -> Program {
+    let mut barrier_counter = 0u32;
+    let mut functions = Vec::with_capacity(unit.functions.len());
+    let mut kernels = Vec::new();
+
+    for (idx, f) in unit.functions.iter().enumerate() {
+        let barrier_start = barrier_counter;
+        let code = FnCodegen::new(f, &mut barrier_counter).run();
+        let _ = barrier_start;
+        if f.is_kernel {
+            kernels.push(kernel_info(f, idx as u16));
+        }
+        functions.push(code);
+    }
+
+    // Conservative barrier count: any barrier site in the program may be
+    // reached from any kernel (helpers are shared), so every kernel reports
+    // the program-wide total. The executor only uses it as a "needs
+    // lockstep" hint.
+    for k in &mut kernels {
+        k.barrier_count = barrier_counter;
+    }
+
+    Program::from_parts(functions, kernels, source_name)
+}
+
+fn kernel_info(f: &Function, func: u16) -> KernelInfo {
+    let params = f
+        .params()
+        .iter()
+        .map(|p| KernelParam {
+            name: p.name.clone(),
+            kind: match p.ty {
+                Type::Scalar(s) => KernelParamKind::Scalar(s),
+                Type::Pointer { pointee, space: AddressSpace::Global, is_const } => {
+                    KernelParamKind::GlobalBuffer { elem: pointee, is_const }
+                }
+                Type::Pointer { pointee, space: AddressSpace::Local, .. } => {
+                    KernelParamKind::LocalBuffer { elem: pointee }
+                }
+                other => unreachable!("sema rejects kernel parameter type {other}"),
+            },
+        })
+        .collect();
+
+    let mut offset = 0u32;
+    let mut local_arrays = Vec::new();
+    for (id, decl) in f.local_arrays() {
+        let LocalArray { elem, len } = decl.local_array.expect("filtered");
+        let align = elem.size_bytes() as u32;
+        offset = offset.div_ceil(align) * align;
+        let byte_len = (len as u32) * align;
+        local_arrays.push(LocalArrayBinding { slot: id.0 as u16, byte_offset: offset, byte_len });
+        offset += byte_len;
+    }
+
+    KernelInfo {
+        name: f.name.clone(),
+        func,
+        params,
+        local_arrays,
+        static_local_bytes: offset,
+        barrier_count: 0, // filled in by `generate`
+    }
+}
+
+/// Per-function code generator.
+struct FnCodegen<'a> {
+    f: &'a Function,
+    code: Vec<Op>,
+    /// Initial values for every slot (locals then temps).
+    local_init: Vec<Value>,
+    free_temps: Vec<u16>,
+    loops: Vec<LoopFrame>,
+    barrier_counter: &'a mut u32,
+}
+
+struct LoopFrame {
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+}
+
+impl<'a> FnCodegen<'a> {
+    fn new(f: &'a Function, barrier_counter: &'a mut u32) -> Self {
+        let local_init = f
+            .locals
+            .iter()
+            .map(|l| match l.ty {
+                Type::Scalar(s) => Value::zero(s),
+                Type::Pointer { .. } => Value::Ptr(Ptr {
+                    space: AddressSpace::Private,
+                    buffer: UNINIT_BUFFER,
+                    byte_offset: 0,
+                }),
+                Type::Void => unreachable!("no void locals"),
+            })
+            .collect();
+        FnCodegen {
+            f,
+            code: Vec::new(),
+            local_init,
+            free_temps: Vec::new(),
+            loops: Vec::new(),
+            barrier_counter,
+        }
+    }
+
+    fn run(mut self) -> FuncCode {
+        for s in &self.f.body {
+            self.stmt(s);
+        }
+        // A trailing epilogue is only needed when control can actually fall
+        // off the end: the last instruction is not a return, or some jump
+        // targets the end of the code.
+        let end = self.code.len() as u32;
+        let end_reachable = !matches!(self.code.last(), Some(Op::Return | Op::ReturnVoid))
+            || self.code.iter().any(|op| {
+                matches!(op, Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) if *t == end)
+            });
+        if end_reachable {
+            if self.f.return_type == Type::Void {
+                self.code.push(Op::ReturnVoid);
+            } else {
+                self.code.push(Op::MissingReturn);
+            }
+        }
+        FuncCode {
+            name: self.f.name.clone(),
+            param_count: self.f.param_count as u16,
+            local_init: self.local_init,
+            code: self.code,
+            returns_void: self.f.return_type == Type::Void,
+        }
+    }
+
+    // ----- helpers ---------------------------------------------------------
+
+    fn alloc_temp(&mut self) -> u16 {
+        if let Some(t) = self.free_temps.pop() {
+            t
+        } else {
+            let slot = self.local_init.len() as u16;
+            self.local_init.push(Value::I64(0));
+            slot
+        }
+    }
+
+    fn free_temp(&mut self, t: u16) {
+        self.free_temps.push(t);
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Emits a placeholder jump, returning its index for later patching.
+    fn emit_patch(&mut self, make: impl Fn(u32) -> Op) -> usize {
+        self.code.push(make(u32::MAX));
+        self.code.len() - 1
+    }
+
+    fn patch(&mut self, idx: usize, target: u32) {
+        match &mut self.code[idx] {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Expr(e) => self.expr_for_effect(e),
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.expr(cond);
+                let to_else = self.emit_patch(Op::JumpIfFalse);
+                for s in then_branch {
+                    self.stmt(s);
+                }
+                if else_branch.is_empty() {
+                    let end = self.here();
+                    self.patch(to_else, end);
+                } else {
+                    let to_end = self.emit_patch(Op::Jump);
+                    let else_start = self.here();
+                    self.patch(to_else, else_start);
+                    for s in else_branch {
+                        self.stmt(s);
+                    }
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+            }
+            Stmt::Loop { cond, body, step, test_at_end } => {
+                self.loops.push(LoopFrame { break_patches: vec![], continue_patches: vec![] });
+                if *test_at_end {
+                    // do-while
+                    let body_start = self.here();
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    let step_start = self.here();
+                    if let Some(step) = step {
+                        self.expr_for_effect(step);
+                    }
+                    self.expr(cond);
+                    self.code.push(Op::JumpIfTrue(body_start));
+                    let end = self.here();
+                    self.finish_loop(step_start, end);
+                } else {
+                    let cond_start = self.here();
+                    self.expr(cond);
+                    let to_end = self.emit_patch(Op::JumpIfFalse);
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    let step_start = self.here();
+                    if let Some(step) = step {
+                        self.expr_for_effect(step);
+                    }
+                    self.code.push(Op::Jump(cond_start));
+                    let end = self.here();
+                    self.patch(to_end, end);
+                    self.finish_loop(step_start, end);
+                }
+            }
+            Stmt::Break => {
+                let p = self.emit_patch(Op::Jump);
+                self.loops
+                    .last_mut()
+                    .expect("sema rejects break outside loops")
+                    .break_patches
+                    .push(p);
+            }
+            Stmt::Continue => {
+                let p = self.emit_patch(Op::Jump);
+                self.loops
+                    .last_mut()
+                    .expect("sema rejects continue outside loops")
+                    .continue_patches
+                    .push(p);
+            }
+            Stmt::Return(Some(e)) => {
+                self.expr(e);
+                self.code.push(Op::Return);
+            }
+            Stmt::Return(None) => self.code.push(Op::ReturnVoid),
+        }
+    }
+
+    fn finish_loop(&mut self, continue_target: u32, break_target: u32) {
+        let frame = self.loops.pop().expect("pushed in Stmt::Loop");
+        for p in frame.break_patches {
+            self.patch(p, break_target);
+        }
+        for p in frame.continue_patches {
+            self.patch(p, continue_target);
+        }
+    }
+
+    /// Emits an expression for its side effects, discarding any value.
+    fn expr_for_effect(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign { place, value, .. } => self.emit_assign(place, value, false),
+            Expr::IncDec { place, ty, is_inc, .. } => {
+                self.emit_incdec(place, *ty, *is_inc, false, false)
+            }
+            other => {
+                self.expr(other);
+                if other.ty() != Type::Void {
+                    self.code.push(Op::Pop);
+                }
+            }
+        }
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    /// Emits `e`, leaving its value on the stack (nothing for `void`).
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const { value, .. } => self.code.push(Op::Const(const_to_value(*value))),
+            Expr::Local { id, .. } => self.code.push(Op::LoadLocal(id.0 as u16)),
+            Expr::Unary { op, expr, .. } => {
+                self.expr(expr);
+                self.code.push(Op::Un(*op));
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.code.push(Op::Bin(*op));
+            }
+            Expr::Compare { op, lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.code.push(Op::Cmp(*op));
+            }
+            Expr::Logical { is_and, lhs, rhs, .. } => {
+                self.expr(lhs);
+                if *is_and {
+                    let to_false = self.emit_patch(Op::JumpIfFalse);
+                    self.expr(rhs);
+                    let to_end = self.emit_patch(Op::Jump);
+                    let false_at = self.here();
+                    self.patch(to_false, false_at);
+                    self.code.push(Op::Const(Value::Bool(false)));
+                    let end = self.here();
+                    self.patch(to_end, end);
+                } else {
+                    let to_true = self.emit_patch(Op::JumpIfTrue);
+                    self.expr(rhs);
+                    let to_end = self.emit_patch(Op::Jump);
+                    let true_at = self.here();
+                    self.patch(to_true, true_at);
+                    self.code.push(Op::Const(Value::Bool(true)));
+                    let end = self.here();
+                    self.patch(to_end, end);
+                }
+            }
+            Expr::Convert { to, expr, .. } => {
+                self.expr(expr);
+                if *to == ScalarType::Bool {
+                    self.code.push(Op::ToBool);
+                } else {
+                    self.code.push(Op::Convert(*to));
+                }
+            }
+            Expr::Assign { place, value, .. } => self.emit_assign(place, value, true),
+            Expr::IncDec { place, ty, is_inc, is_post, .. } => {
+                self.emit_incdec(place, *ty, *is_inc, *is_post, true)
+            }
+            Expr::Ternary { cond, then_expr, else_expr, .. } => {
+                self.expr(cond);
+                let to_else = self.emit_patch(Op::JumpIfFalse);
+                self.expr(then_expr);
+                let to_end = self.emit_patch(Op::Jump);
+                let else_at = self.here();
+                self.patch(to_else, else_at);
+                self.expr(else_expr);
+                let end = self.here();
+                self.patch(to_end, end);
+            }
+            Expr::Call { func, args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.code.push(Op::Call { func: func.0 as u16, argc: args.len() as u8 });
+            }
+            Expr::BuiltinCall { builtin, args, .. } => match builtin.kind() {
+                BuiltinKind::WorkItemQuery => {
+                    self.expr(&args[0]);
+                    self.code.push(Op::WorkItem(*builtin));
+                }
+                BuiltinKind::WorkDim => self.code.push(Op::WorkItem(*builtin)),
+                BuiltinKind::Barrier => {
+                    // The flags operand is evaluated (it may have effects in
+                    // principle) and discarded; the barrier id is static.
+                    self.expr(&args[0]);
+                    self.code.push(Op::Pop);
+                    let id = *self.barrier_counter;
+                    *self.barrier_counter += 1;
+                    self.code.push(Op::Barrier { id });
+                }
+                BuiltinKind::Trap | BuiltinKind::TrapValue => {
+                    // TrapValue nominally yields `int`, but the trap makes
+                    // the continuation unreachable, so nothing is pushed.
+                    self.expr(&args[0]);
+                    self.code.push(Op::Trap);
+                }
+                _ => {
+                    for a in args {
+                        self.expr(a);
+                    }
+                    self.code.push(Op::CallPure(*builtin, args.len() as u8));
+                }
+            },
+            Expr::PtrOffset { ptr, offset, .. } => {
+                self.expr(ptr);
+                self.expr(offset);
+                let elem = pointee_of(ptr.ty());
+                self.code.push(Op::PtrOffset(elem.size_bytes() as u32));
+            }
+            Expr::PtrDiff { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                let elem = pointee_of(lhs.ty());
+                self.code.push(Op::PtrDiff(elem.size_bytes() as u32));
+            }
+            Expr::Load { ptr, elem, .. } => {
+                self.expr(ptr);
+                self.code.push(Op::LoadMem(*elem));
+            }
+        }
+    }
+
+    /// Emits an assignment; when `want_value` the stored value remains on
+    /// the stack.
+    fn emit_assign(&mut self, place: &Place, value: &Expr, want_value: bool) {
+        match place {
+            Place::Local(id) => {
+                self.expr(value);
+                if want_value {
+                    self.code.push(Op::Dup);
+                }
+                self.code.push(Op::StoreLocal(id.0 as u16));
+            }
+            Place::Deref { ptr, elem } => {
+                let tmp = self.alloc_temp();
+                self.expr(ptr);
+                self.code.push(Op::StoreLocal(tmp));
+                self.expr(value);
+                if want_value {
+                    self.code.push(Op::Dup);
+                }
+                self.code.push(Op::LoadLocal(tmp));
+                self.code.push(Op::StoreMem(*elem));
+                self.free_temp(tmp);
+            }
+        }
+    }
+
+    /// Emits `++`/`--` on a place. When `want_value`, leaves the old
+    /// (`is_post`) or new value on the stack.
+    fn emit_incdec(&mut self, place: &Place, ty: Type, is_inc: bool, is_post: bool, want_value: bool) {
+        // Load current value.
+        let tmp_ptr = match place {
+            Place::Local(id) => {
+                self.code.push(Op::LoadLocal(id.0 as u16));
+                None
+            }
+            Place::Deref { ptr, elem } => {
+                let tmp = self.alloc_temp();
+                self.expr(ptr);
+                self.code.push(Op::StoreLocal(tmp));
+                self.code.push(Op::LoadLocal(tmp));
+                self.code.push(Op::LoadMem(*elem));
+                Some(tmp)
+            }
+        };
+
+        if want_value && is_post {
+            self.code.push(Op::Dup);
+        }
+
+        // Compute the new value.
+        match ty {
+            Type::Scalar(s) => {
+                self.code.push(Op::Const(one_of(s)));
+                self.code.push(Op::Bin(if is_inc { BinOp::Add } else { BinOp::Sub }));
+            }
+            Type::Pointer { pointee, .. } => {
+                self.code.push(Op::Const(Value::I64(if is_inc { 1 } else { -1 })));
+                self.code.push(Op::PtrOffset(pointee.size_bytes() as u32));
+            }
+            Type::Void => unreachable!("sema rejects void inc/dec"),
+        }
+
+        if want_value && !is_post {
+            self.code.push(Op::Dup);
+        }
+
+        // Store back.
+        match (place, tmp_ptr) {
+            (Place::Local(id), _) => self.code.push(Op::StoreLocal(id.0 as u16)),
+            (Place::Deref { elem, .. }, Some(tmp)) => {
+                self.code.push(Op::LoadLocal(tmp));
+                self.code.push(Op::StoreMem(*elem));
+                self.free_temp(tmp);
+            }
+            (Place::Deref { .. }, None) => unreachable!(),
+        }
+
+        // Post/pre handling left the desired value below the store inputs:
+        // for Local stores the Dup'd copy survives; same for Deref since
+        // StoreMem consumed [value, ptr] pushed after the copy.
+        let _ = (is_post, want_value);
+    }
+}
+
+fn pointee_of(ty: Type) -> ScalarType {
+    match ty {
+        Type::Pointer { pointee, .. } => pointee,
+        other => unreachable!("expected pointer type, got {other}"),
+    }
+}
+
+/// The constant `1` of a scalar type (for inc/dec).
+fn one_of(s: ScalarType) -> Value {
+    use ScalarType::*;
+    match s {
+        Bool => Value::Bool(true),
+        Char => Value::I8(1),
+        UChar => Value::U8(1),
+        Short => Value::I16(1),
+        UShort => Value::U16(1),
+        Int => Value::I32(1),
+        UInt => Value::U32(1),
+        Long => Value::I64(1),
+        ULong => Value::U64(1),
+        Float => Value::F32(1.0),
+        Double => Value::F64(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+    use crate::source::SourceFile;
+
+    fn compile_unit(src: &str) -> Program {
+        let f = SourceFile::new("t.cl", src);
+        let mut d = Diagnostics::new();
+        let tu = parse(&f, &mut d);
+        let unit = analyze(&tu, &mut d).unwrap_or_else(|| panic!("{}", d.render(&f)));
+        generate(&unit, "t.cl")
+    }
+
+    #[test]
+    fn simple_function_bytecode() {
+        let p = compile_unit("float func(float x){ return -x; }");
+        let f = &p.functions()[0];
+        assert_eq!(f.param_count, 1);
+        assert!(!f.returns_void);
+        assert_eq!(
+            f.code,
+            vec![Op::LoadLocal(0), Op::Un(crate::hir::UnOp::Neg), Op::Return]
+        );
+    }
+
+    #[test]
+    fn void_function_ends_with_return_void() {
+        let p = compile_unit("void f(int x){ x + 1; }");
+        let f = &p.functions()[0];
+        assert_eq!(f.code.last(), Some(&Op::ReturnVoid));
+        // The discarded expression must be popped.
+        assert!(f.code.contains(&Op::Pop));
+    }
+
+    #[test]
+    fn non_void_fallthrough_emits_missing_return() {
+        let p = compile_unit("int f(int x){ if (x > 0) return 1; }");
+        let f = &p.functions()[0];
+        assert_eq!(f.code.last(), Some(&Op::MissingReturn));
+    }
+
+    #[test]
+    fn jumps_are_patched() {
+        let p = compile_unit("int f(int x){ if (x > 0) return 1; else return 2; }");
+        for op in &p.functions()[0].code {
+            if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) = op {
+                assert_ne!(*t, u32::MAX, "unpatched jump in {}", p.functions()[0].disassemble());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_param_kinds() {
+        let p = compile_unit(
+            "__kernel void k(__global float* in, __global char* out, __local int* scratch, float s, int n){ }",
+        );
+        let k = p.kernel("k").unwrap();
+        assert_eq!(k.params.len(), 5);
+        assert_eq!(
+            k.params[0].kind,
+            KernelParamKind::GlobalBuffer { elem: ScalarType::Float, is_const: false }
+        );
+        assert_eq!(k.params[2].kind, KernelParamKind::LocalBuffer { elem: ScalarType::Int });
+        assert_eq!(k.params[3].kind, KernelParamKind::Scalar(ScalarType::Float));
+    }
+
+    #[test]
+    fn local_arrays_are_laid_out_aligned() {
+        let p = compile_unit(
+            "__kernel void k(){
+                __local char small[3];
+                __local float tile[8];
+                __local char tail[1];
+            }",
+        );
+        let k = p.kernel("k").unwrap();
+        assert_eq!(k.local_arrays.len(), 3);
+        assert_eq!(k.local_arrays[0].byte_offset, 0);
+        assert_eq!(k.local_arrays[0].byte_len, 3);
+        // float array aligned to 4.
+        assert_eq!(k.local_arrays[1].byte_offset, 4);
+        assert_eq!(k.local_arrays[1].byte_len, 32);
+        assert_eq!(k.local_arrays[2].byte_offset, 36);
+        assert_eq!(k.static_local_bytes, 37);
+    }
+
+    #[test]
+    fn barrier_sites_get_unique_ids() {
+        let p = compile_unit(
+            "__kernel void k(){
+                barrier(CLK_LOCAL_MEM_FENCE);
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }",
+        );
+        let ids: Vec<u32> = p.functions()[0]
+            .code
+            .iter()
+            .filter_map(|op| match op {
+                Op::Barrier { id } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(p.kernel("k").unwrap().barrier_count, 2);
+    }
+
+    #[test]
+    fn deref_assignment_uses_temp_slot() {
+        let p = compile_unit("void f(__global float* p, int i){ p[i] = 2.0f; }");
+        let f = &p.functions()[0];
+        // Temp slot allocated beyond the declared locals (2 params).
+        assert!(f.local_init.len() > 2);
+        assert!(f.code.contains(&Op::StoreMem(ScalarType::Float)));
+    }
+
+    #[test]
+    fn nested_assignments_use_distinct_temps() {
+        let p = compile_unit(
+            "void f(__global float* p, __global float* q, int i, int j){ p[i] = q[j] = 1.0f; }",
+        );
+        let f = &p.functions()[0];
+        let stores: Vec<u16> = f
+            .code
+            .iter()
+            .filter_map(|op| match op {
+                Op::StoreLocal(s) if *s >= 4 => Some(*s),
+                _ => None,
+            })
+            .collect();
+        // Two pointer temps must not collide while both are live.
+        assert_eq!(stores.len(), 2);
+        assert_ne!(stores[0], stores[1]);
+    }
+
+    #[test]
+    fn uninitialized_pointer_sentinel() {
+        let p = compile_unit("void f(){ float* p; }");
+        let f = &p.functions()[0];
+        assert_eq!(
+            f.local_init[0],
+            Value::Ptr(Ptr {
+                space: AddressSpace::Private,
+                buffer: UNINIT_BUFFER,
+                byte_offset: 0
+            })
+        );
+    }
+
+    #[test]
+    fn short_circuit_codegen_shape() {
+        let p = compile_unit("bool f(int a, int b){ return a != 0 && b != 0; }");
+        let f = &p.functions()[0];
+        assert!(f.code.iter().any(|o| matches!(o, Op::JumpIfFalse(_))));
+        assert!(f.code.contains(&Op::Const(Value::Bool(false))));
+    }
+}

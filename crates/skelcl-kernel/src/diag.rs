@@ -1,0 +1,207 @@
+//! Compiler diagnostics: structured errors with source locations and
+//! caret-style rendering, in the spirit of vendor OpenCL build logs.
+
+use std::fmt;
+
+use crate::source::{SourceFile, Span};
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A remark that does not affect compilation.
+    Note,
+    /// Suspicious but accepted code.
+    Warning,
+    /// Compilation failed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A single compiler message anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the message is.
+    pub severity: Severity,
+    /// The primary source range the message refers to.
+    pub span: Span,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Optional follow-up notes (e.g. "previous definition was here").
+    pub notes: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, span, message: message.into(), notes: Vec::new() }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, span, message: message.into(), notes: Vec::new() }
+    }
+
+    /// Attaches a secondary note pointing at `span`.
+    pub fn with_note(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.notes.push((span, message.into()));
+        self
+    }
+
+    /// Renders the diagnostic as `file:line:col: severity: message` with a
+    /// caret line, like a classic C compiler.
+    pub fn render(&self, file: &SourceFile) -> String {
+        let mut out = String::new();
+        render_one(&mut out, file, self.severity, self.span, &self.message);
+        for (span, note) in &self.notes {
+            out.push('\n');
+            render_one(&mut out, file, Severity::Note, *span, note);
+        }
+        out
+    }
+}
+
+fn render_one(out: &mut String, file: &SourceFile, sev: Severity, span: Span, msg: &str) {
+    use fmt::Write;
+    let lc = file.line_col(span.start);
+    let line = file.line_text(span.start);
+    write!(out, "{}:{}: {}: {}", file.name(), lc, sev, msg).unwrap();
+    write!(out, "\n  {line}\n  ").unwrap();
+    for _ in 1..lc.col {
+        out.push(' ');
+    }
+    out.push('^');
+    // Underline the rest of the span while it stays on the same line.
+    let same_line = (span.len() as usize).min(line.len().saturating_sub(lc.col as usize - 1));
+    for _ in 1..same_line {
+        out.push('~');
+    }
+}
+
+/// An ordered collection of diagnostics produced by one compilation.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Convenience for pushing an error.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(span, message));
+    }
+
+    /// Convenience for pushing a warning.
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::warning(span, message));
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// All recorded diagnostics in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of recorded diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders every diagnostic against `file`, one block per message,
+    /// producing a vendor-style build log.
+    pub fn render(&self, file: &SourceFile) -> String {
+        let mut blocks: Vec<String> = Vec::with_capacity(self.items.len());
+        for d in &self.items {
+            blocks.push(d.render(file));
+        }
+        blocks.join("\n")
+    }
+
+    /// Consumes the collection, returning the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_offending_token() {
+        let f = SourceFile::new("k.cl", "float func(float x) {\n  return y;\n}\n");
+        let span = Span::new(31, 32); // the `y`
+        assert_eq!(f.snippet(span), "y");
+        let d = Diagnostic::error(span, "use of undeclared identifier `y`");
+        let rendered = d.render(&f);
+        assert!(rendered.starts_with("k.cl:2:10: error: use of undeclared identifier `y`"));
+        assert!(rendered.contains("return y;"));
+        assert!(rendered.ends_with("         ^"));
+    }
+
+    #[test]
+    fn render_underlines_multibyte_spans() {
+        let f = SourceFile::new("k.cl", "int foo = bar + 1;");
+        let span = Span::new(10, 13); // `bar`
+        let d = Diagnostic::error(span, "unknown");
+        let r = d.render(&f);
+        assert!(r.ends_with("^~~"), "got: {r}");
+    }
+
+    #[test]
+    fn notes_render_after_primary() {
+        let f = SourceFile::new("k.cl", "int x;\nint x;");
+        let d = Diagnostic::error(Span::new(11, 12), "redefinition of `x`")
+            .with_note(Span::new(4, 5), "previous definition is here");
+        let r = d.render(&f);
+        assert!(r.contains("error: redefinition"));
+        assert!(r.contains("note: previous definition"));
+    }
+
+    #[test]
+    fn diagnostics_error_tracking() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        assert!(ds.is_empty());
+        ds.warning(Span::point(0), "unused");
+        assert!(!ds.has_errors());
+        ds.error(Span::point(0), "bad");
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+}

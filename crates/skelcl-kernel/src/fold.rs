@@ -1,0 +1,330 @@
+//! Compile-time constant evaluation and folding over the HIR.
+//!
+//! Used by sema for `__local` array sizes and by codegen to shrink the
+//! emitted bytecode (e.g. `16 * 16` tile sizes, `-1 * x` coefficients in the
+//! Sobel stencil).
+
+use crate::builtins;
+use crate::hir::{ConstValue, Expr, Stmt, UnOp};
+use crate::types::ScalarType;
+use crate::value::{self, Value};
+
+/// Converts a HIR constant to a runtime value.
+pub fn const_to_value(c: ConstValue) -> Value {
+    match c {
+        ConstValue::Bool(b) => Value::Bool(b),
+        ConstValue::F32(f) => Value::F32(f),
+        ConstValue::F64(f) => Value::F64(f),
+        ConstValue::Int(v, ty) => value::convert(Value::I64(v), ty),
+    }
+}
+
+/// Converts a runtime scalar value back to a HIR constant.
+///
+/// # Panics
+///
+/// Panics on pointer values.
+pub fn value_to_const(v: Value) -> ConstValue {
+    match v {
+        Value::Bool(b) => ConstValue::Bool(b),
+        Value::F32(f) => ConstValue::F32(f),
+        Value::F64(f) => ConstValue::F64(f),
+        Value::Ptr(_) => panic!("pointer value cannot be a compile-time constant"),
+        other => {
+            let ty = other.scalar_type().expect("scalar");
+            ConstValue::Int(other.as_i64(), ty)
+        }
+    }
+}
+
+/// Attempts to evaluate `e` as a compile-time constant. Returns `None` for
+/// anything effectful or dependent on runtime state (locals, loads, calls,
+/// work-item queries).
+pub fn try_eval(e: &Expr) -> Option<ConstValue> {
+    let v = eval_value(e)?;
+    Some(value_to_const(v))
+}
+
+fn eval_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Const { value, .. } => Some(const_to_value(*value)),
+        Expr::Unary { op, expr, .. } => {
+            let v = eval_value(expr)?;
+            value::unary(*op, v).ok()
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let l = eval_value(lhs)?;
+            let r = eval_value(rhs)?;
+            value::binary(*op, l, r).ok()
+        }
+        Expr::Compare { op, lhs, rhs, .. } => {
+            let l = eval_value(lhs)?;
+            let r = eval_value(rhs)?;
+            value::compare(*op, l, r).ok().map(Value::Bool)
+        }
+        Expr::Logical { is_and, lhs, rhs, .. } => {
+            let l = eval_value(lhs)?.is_truthy();
+            // Short-circuit even at compile time so the other operand need
+            // not be constant.
+            if *is_and && !l {
+                return Some(Value::Bool(false));
+            }
+            if !*is_and && l {
+                return Some(Value::Bool(true));
+            }
+            let r = eval_value(rhs)?.is_truthy();
+            Some(Value::Bool(r))
+        }
+        Expr::Convert { to, expr, .. } => {
+            let v = eval_value(expr)?;
+            Some(value::convert(v, *to))
+        }
+        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            let c = eval_value(cond)?.is_truthy();
+            if c {
+                eval_value(then_expr)
+            } else {
+                eval_value(else_expr)
+            }
+        }
+        Expr::BuiltinCall { builtin, args, .. } if !builtin.is_special() => {
+            let vals: Option<Vec<Value>> = args.iter().map(eval_value).collect();
+            Some(builtins::eval_pure(*builtin, &vals?))
+        }
+        _ => None,
+    }
+}
+
+/// Recursively folds constant sub-expressions of `e` in place, replacing any
+/// fully-constant subtree by a [`Expr::Const`] node. Conservative: only pure
+/// arithmetic is folded; anything with side effects is left untouched.
+pub fn fold_expr(e: &mut Expr) {
+    // First fold children.
+    match e {
+        Expr::Unary { expr, .. } | Expr::Convert { expr, .. } => fold_expr(expr),
+        Expr::Binary { lhs, rhs, .. }
+        | Expr::Compare { lhs, rhs, .. }
+        | Expr::Logical { lhs, rhs, .. }
+        | Expr::PtrDiff { lhs, rhs, .. } => {
+            fold_expr(lhs);
+            fold_expr(rhs);
+        }
+        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            fold_expr(cond);
+            fold_expr(then_expr);
+            fold_expr(else_expr);
+        }
+        Expr::Assign { value, place, .. } => {
+            fold_expr(value);
+            if let crate::hir::Place::Deref { ptr, .. } = place {
+                fold_expr(ptr);
+            }
+        }
+        Expr::Call { args, .. } | Expr::BuiltinCall { args, .. } => {
+            for a in args {
+                fold_expr(a);
+            }
+        }
+        Expr::PtrOffset { ptr, offset, .. } => {
+            fold_expr(ptr);
+            fold_expr(offset);
+        }
+        Expr::Load { ptr, .. } => fold_expr(ptr),
+        Expr::Const { .. } | Expr::Local { .. } | Expr::IncDec { .. } => {}
+    }
+    // Then try to collapse this node.
+    if matches!(e, Expr::Const { .. }) {
+        return;
+    }
+    if let Some(v) = try_eval(e) {
+        *e = Expr::Const { value: v, span: e.span() };
+        return;
+    }
+    // Structural simplifications where only the *condition* is constant
+    // (the surviving arm may be effectful, e.g. a load): these arise from
+    // inlined bounds checks with literal offsets.
+    match e {
+        Expr::Ternary { cond, then_expr, else_expr, span, .. } => {
+            if let Some(c) = try_eval(cond) {
+                let span = *span;
+                let arm = if matches!(c, ConstValue::Bool(true))
+                    || matches!(c, ConstValue::Int(v, _) if v != 0)
+                {
+                    std::mem::replace(
+                        then_expr.as_mut(),
+                        Expr::Const { value: ConstValue::Bool(false), span },
+                    )
+                } else {
+                    std::mem::replace(
+                        else_expr.as_mut(),
+                        Expr::Const { value: ConstValue::Bool(false), span },
+                    )
+                };
+                *e = arm;
+            }
+        }
+        Expr::Logical { is_and, lhs, rhs, span } => {
+            if let Some(c) = try_eval(lhs) {
+                let truthy = matches!(c, ConstValue::Bool(true))
+                    || matches!(c, ConstValue::Int(v, _) if v != 0);
+                let span = *span;
+                if (*is_and && truthy) || (!*is_and && !truthy) {
+                    // `true && x` / `false || x` -> x (already bool-typed).
+                    let taken = std::mem::replace(
+                        rhs.as_mut(),
+                        Expr::Const { value: ConstValue::Bool(false), span },
+                    );
+                    *e = taken;
+                } else {
+                    // `false && x` / `true || x` -> constant. Sound even
+                    // for effectful `x`: short-circuit semantics mean `x`
+                    // is never evaluated.
+                    *e = Expr::Const { value: ConstValue::Bool(!*is_and), span };
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Folds all expressions in a statement list (in place).
+pub fn fold_stmts(stmts: &mut [Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::Expr(e) => fold_expr(e),
+            Stmt::If { cond, then_branch, else_branch } => {
+                fold_expr(cond);
+                fold_stmts(then_branch);
+                fold_stmts(else_branch);
+            }
+            Stmt::Loop { cond, body, step, .. } => {
+                fold_expr(cond);
+                fold_stmts(body);
+                if let Some(step) = step {
+                    fold_expr(step);
+                }
+            }
+            Stmt::Return(Some(e)) => fold_expr(e),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
+/// Negation helper used by tests and codegen: `-x` wrapped as HIR.
+pub fn negate(e: Expr, ty: ScalarType) -> Expr {
+    let span = e.span();
+    Expr::Unary { op: UnOp::Neg, expr: Box::new(e), ty, span }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+    use crate::source::SourceFile;
+
+    fn lower(src: &str) -> crate::hir::Unit {
+        let f = SourceFile::new("t.cl", src);
+        let mut d = Diagnostics::new();
+        let tu = parse(&f, &mut d);
+        analyze(&tu, &mut d).unwrap_or_else(|| panic!("errors: {}", d.render(&f)))
+    }
+
+    fn eval_return(src: &str) -> Option<ConstValue> {
+        let u = lower(src);
+        let (_, f) = u.function("f").expect("test functions are named `f`");
+        let Stmt::Return(Some(e)) = &f.body[f.body.len() - 1] else { panic!() };
+        try_eval(e)
+    }
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        assert_eq!(
+            eval_return("int f(){ return 16 * 16 + 1; }"),
+            Some(ConstValue::Int(257, ScalarType::Int))
+        );
+        assert_eq!(
+            eval_return("int f(){ return (1 << 10) - 1; }"),
+            Some(ConstValue::Int(1023, ScalarType::Int))
+        );
+    }
+
+    #[test]
+    fn folds_float_math_and_casts() {
+        assert_eq!(
+            eval_return("float f(){ return (float)(3 * 2); }"),
+            Some(ConstValue::F32(6.0))
+        );
+        assert_eq!(
+            eval_return("float f(){ return sqrt(16.0f); }"),
+            Some(ConstValue::F32(4.0))
+        );
+    }
+
+    #[test]
+    fn folds_comparisons_and_ternary() {
+        assert_eq!(
+            eval_return("int f(){ return 3 < 4 ? 10 : 20; }"),
+            Some(ConstValue::Int(10, ScalarType::Int))
+        );
+        assert_eq!(
+            eval_return("bool f(){ return 1 == 2; }"),
+            Some(ConstValue::Bool(false))
+        );
+    }
+
+    #[test]
+    fn short_circuit_ignores_non_constant_side() {
+        // `x != 0` is not constant but `false && ...` folds anyway.
+        assert_eq!(
+            eval_return("bool f(int x){ return false && x != 0; }"),
+            Some(ConstValue::Bool(false))
+        );
+        assert_eq!(
+            eval_return("bool f(int x){ return true || x != 0; }"),
+            Some(ConstValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn runtime_values_do_not_fold() {
+        assert_eq!(eval_return("int f(int x){ return x + 1; }"), None);
+        assert_eq!(
+            eval_return("float f(__global float* p){ return p[0]; }"),
+            None
+        );
+        assert_eq!(
+            eval_return("__kernel void unused(__global int* o){ o[0]=0; } int f(){ return (int)get_global_id(0); }"),
+            None
+        );
+    }
+
+    #[test]
+    fn division_by_zero_does_not_fold() {
+        // Folding must not hide the runtime trap.
+        assert_eq!(eval_return("int f(){ return 1 / 0; }"), None);
+    }
+
+    #[test]
+    fn fold_stmts_collapses_subtrees() {
+        let mut u = lower("float f(float x){ return x + 2.0f * 8.0f; }");
+        let f = &mut u.functions[0];
+        fold_stmts(&mut f.body);
+        let Stmt::Return(Some(Expr::Binary { rhs, .. })) = &f.body[0] else { panic!() };
+        assert!(matches!(**rhs, Expr::Const { value: ConstValue::F32(v), .. } if v == 16.0));
+    }
+
+    #[test]
+    fn const_value_round_trip() {
+        for c in [
+            ConstValue::Bool(true),
+            ConstValue::Int(-7, ScalarType::Char),
+            ConstValue::Int(70000, ScalarType::Int),
+            ConstValue::F32(1.5),
+            ConstValue::F64(-2.25),
+        ] {
+            assert_eq!(value_to_const(const_to_value(c)), c);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Hand-written lexer for SkelCL C.
+//!
+//! Produces a flat token stream with spans; malformed input is reported
+//! through [`Diagnostics`] and lexing continues so that several errors can be
+//! reported in one build, as vendor OpenCL compilers do.
+
+use crate::diag::Diagnostics;
+use crate::source::{SourceFile, Span};
+use crate::token::{keyword, Token, TokenKind};
+
+/// Lexes `file` into tokens, appending problems to `diags`.
+///
+/// The returned stream always ends with a single [`TokenKind::Eof`] token.
+pub fn lex(file: &SourceFile, diags: &mut Diagnostics) -> Vec<Token> {
+    Lexer { src: file.text().as_bytes(), file, pos: 0, diags }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    file: &'a SourceFile,
+    pos: usize,
+    diags: &'a mut Diagnostics,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos as u32;
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, span: Span::point(start) });
+                return out;
+            };
+            let kind = self.scan_token(c);
+            let span = Span::new(start, self.pos as u32);
+            if let Some(kind) = kind {
+                out.push(Token { kind, span });
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    /// Consumes `c` if it is next, returning whether it was.
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.eat(b'/') {
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        self.diags.error(Span::new(start, start + 2), "unterminated block comment");
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn scan_token(&mut self, first: u8) -> Option<TokenKind> {
+        use TokenKind::*;
+        let start = self.pos;
+        self.pos += 1;
+        let kind = match first {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b',' => Comma,
+            b';' => Semi,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'+' => {
+                if self.eat(b'+') {
+                    PlusPlus
+                } else if self.eat(b'=') {
+                    PlusEq
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.eat(b'-') {
+                    MinusMinus
+                } else if self.eat(b'=') {
+                    MinusEq
+                } else {
+                    Minus
+                }
+            }
+            b'*' => {
+                if self.eat(b'=') {
+                    StarEq
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.eat(b'=') {
+                    SlashEq
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.eat(b'=') {
+                    PercentEq
+                } else {
+                    Percent
+                }
+            }
+            b'&' => {
+                if self.eat(b'&') {
+                    AmpAmp
+                } else if self.eat(b'=') {
+                    AmpEq
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.eat(b'|') {
+                    PipePipe
+                } else if self.eat(b'=') {
+                    PipeEq
+                } else {
+                    Pipe
+                }
+            }
+            b'^' => {
+                if self.eat(b'=') {
+                    CaretEq
+                } else {
+                    Caret
+                }
+            }
+            b'!' => {
+                if self.eat(b'=') {
+                    BangEq
+                } else {
+                    Bang
+                }
+            }
+            b'=' => {
+                if self.eat(b'=') {
+                    EqEq
+                } else {
+                    Eq
+                }
+            }
+            b'<' => {
+                if self.eat(b'<') {
+                    if self.eat(b'=') {
+                        ShlEq
+                    } else {
+                        Shl
+                    }
+                } else if self.eat(b'=') {
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.eat(b'>') {
+                    if self.eat(b'=') {
+                        ShrEq
+                    } else {
+                        Shr
+                    }
+                } else if self.eat(b'=') {
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            b'\'' => return Some(self.scan_char_lit(start)),
+            c if c.is_ascii_digit() => return Some(self.scan_number(start)),
+            b'.' if self.peek().is_some_and(|c| c.is_ascii_digit()) => {
+                return Some(self.scan_number(start))
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                while self
+                    .peek()
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("identifier bytes are ASCII");
+                keyword(text).unwrap_or(Ident)
+            }
+            _ => {
+                let span = Span::new(start as u32, self.pos as u32);
+                let snippet = self.file.snippet(span);
+                self.diags.error(span, format!("unexpected character `{snippet}`"));
+                return None;
+            }
+        };
+        Some(kind)
+    }
+
+    /// Scans an integer or floating-point literal starting at `start`.
+    fn scan_number(&mut self, start: usize) -> TokenKind {
+        self.pos = start;
+        // Hexadecimal integers.
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x' | b'X')) {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            if self.pos == digits_start {
+                self.diags.error(
+                    Span::new(start as u32, self.pos as u32),
+                    "hexadecimal literal needs at least one digit",
+                );
+            }
+            self.eat_int_suffix();
+            return TokenKind::IntLit;
+        }
+
+        let mut is_float = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && self.peek_at(1) != Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut look = 1;
+            if matches!(self.peek_at(1), Some(b'+' | b'-')) {
+                look = 2;
+            }
+            if self.peek_at(look).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += look;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        if is_float {
+            // Optional f/F (float) or no suffix (double).
+            if matches!(self.peek(), Some(b'f' | b'F')) {
+                self.pos += 1;
+            }
+            TokenKind::FloatLit
+        } else {
+            if matches!(self.peek(), Some(b'f' | b'F')) {
+                // `1f` style literal: accept as float for convenience.
+                self.pos += 1;
+                return TokenKind::FloatLit;
+            }
+            self.eat_int_suffix();
+            TokenKind::IntLit
+        }
+    }
+
+    fn eat_int_suffix(&mut self) {
+        // Accept u/U and l/L in either order, at most one each.
+        if matches!(self.peek(), Some(b'u' | b'U')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'l' | b'L')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'u' | b'U')) {
+            self.pos += 1;
+        }
+    }
+
+    fn scan_char_lit(&mut self, start: usize) -> TokenKind {
+        // Opening quote already consumed.
+        match self.bump() {
+            Some(b'\\') => {
+                self.bump();
+            }
+            Some(b'\'') | None => {
+                self.diags.error(
+                    Span::new(start as u32, self.pos as u32),
+                    "empty character literal",
+                );
+                return TokenKind::CharLit;
+            }
+            Some(_) => {}
+        }
+        if !self.eat(b'\'') {
+            self.diags.error(
+                Span::new(start as u32, self.pos as u32),
+                "unterminated character literal",
+            );
+        }
+        TokenKind::CharLit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let f = SourceFile::new("t.cl", src);
+        let mut d = Diagnostics::new();
+        let toks = lex(&f, &mut d);
+        assert!(!d.has_errors(), "unexpected lex errors: {}", d.render(&f));
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        let f = SourceFile::new("t.cl", src);
+        let mut d = Diagnostics::new();
+        let toks = lex(&f, &mut d);
+        assert!(!d.has_errors());
+        toks.iter()
+            .filter(|t| t.kind != TokenKind::Eof)
+            .map(|t| f.snippet(t.span).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_function() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("float func(float x){ return -x; }"),
+            vec![
+                KwFloat, Ident, LParen, KwFloat, Ident, RParen, LBrace, KwReturn, Minus, Ident,
+                Semi, RBrace, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a<<=b >>= c << >> <= >= == != && || ++ --"),
+            vec![
+                Ident, ShlEq, Ident, ShrEq, Ident, Shl, Shr, Le, Ge, EqEq, BangEq, AmpAmp,
+                PipePipe, PlusPlus, MinusMinus, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_classified() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0 42 0xFF 7u 9L 1.0 2.5f .5 1e-3 3E+4f 1f"),
+            vec![
+                IntLit, IntLit, IntLit, IntLit, IntLit, FloatLit, FloatLit, FloatLit, FloatLit,
+                FloatLit, FloatLit, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_texts_preserved() {
+        assert_eq!(texts("1.5f+2"), vec!["1.5f", "+", "2"]);
+        assert_eq!(texts("0xABu"), vec!["0xABu"]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // line comment\n/* block\n comment */ b"),
+            vec![Ident, Ident, Eof]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds(r"'a' '\n' '\\'"), vec![CharLit, CharLit, CharLit, Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let f = SourceFile::new("t.cl", "a /* never closed");
+        let mut d = Diagnostics::new();
+        lex(&f, &mut d);
+        assert!(d.has_errors());
+        assert!(d.render(&f).contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn unexpected_character_reported_and_skipped() {
+        let f = SourceFile::new("t.cl", "a @ b");
+        let mut d = Diagnostics::new();
+        let toks = lex(&f, &mut d);
+        assert!(d.has_errors());
+        // Lexing continued past the bad character.
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Ident).count(), 2);
+    }
+
+    #[test]
+    fn field_access_not_supported_so_dot_digit_is_float() {
+        use TokenKind::*;
+        assert_eq!(kinds("x[ .25 ]"), vec![Ident, LBracket, FloatLit, RBracket, Eof]);
+    }
+
+    #[test]
+    fn eof_span_at_end() {
+        let f = SourceFile::new("t.cl", "ab");
+        let mut d = Diagnostics::new();
+        let toks = lex(&f, &mut d);
+        let eof = toks.last().unwrap();
+        assert_eq!(eof.kind, TokenKind::Eof);
+        assert_eq!(eof.span, Span::point(2));
+    }
+
+    #[test]
+    fn empty_char_literal_is_error() {
+        let f = SourceFile::new("t.cl", "''");
+        let mut d = Diagnostics::new();
+        lex(&f, &mut d);
+        assert!(d.has_errors());
+    }
+}

@@ -1,0 +1,394 @@
+//! Pretty-printer from the AST back to SkelCL C source.
+//!
+//! Used by SkelCL's skeleton code generator: user functions are parsed,
+//! rewritten (e.g. `get(m, i, j)` stencil accesses), then printed back into
+//! the generated kernel source. Sub-expressions are fully parenthesised so
+//! the output reparses to a structurally identical tree regardless of the
+//! original spelling.
+
+use std::fmt::Write;
+
+use crate::ast::*;
+use crate::types::Type;
+
+/// Prints a whole translation unit.
+pub fn print_unit(tu: &TranslationUnit) -> String {
+    let mut out = String::new();
+    for f in &tu.functions {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints one function definition.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    if f.is_kernel {
+        out.push_str("__kernel ");
+    }
+    write!(out, "{} {}(", print_type(f.return_type), f.name).unwrap();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{} {}", print_type(p.ty), p.name).unwrap();
+    }
+    out.push_str(") ");
+    print_block(&mut out, &f.body, 0);
+    out
+}
+
+/// Prints a type in parameter/declaration position.
+pub fn print_type(ty: Type) -> String {
+    ty.to_string()
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Block(b) => {
+            indent(out, level);
+            print_block(out, b, level);
+            out.push('\n');
+        }
+        Stmt::Decl(d) => {
+            indent(out, level);
+            print_decl(out, d);
+            out.push('\n');
+        }
+        Stmt::Expr(e) => {
+            indent(out, level);
+            writeln!(out, "{};", print_expr(e)).unwrap();
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            indent(out, level);
+            write!(out, "if ({}) ", print_expr(cond)).unwrap();
+            print_substmt(out, then_branch, level);
+            if let Some(e) = else_branch {
+                indent(out, level);
+                out.push_str("else ");
+                print_substmt(out, e, level);
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            indent(out, level);
+            out.push_str("for (");
+            match init.as_deref() {
+                Some(Stmt::Decl(d)) => print_decl(out, d),
+                Some(Stmt::Expr(e)) => write!(out, "{};", print_expr(e)).unwrap(),
+                Some(other) => unreachable!("parser produces decl/expr init only: {other:?}"),
+                None => out.push(';'),
+            }
+            out.push(' ');
+            if let Some(c) = cond {
+                out.push_str(&print_expr(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                out.push_str(&print_expr(st));
+            }
+            out.push_str(") ");
+            print_substmt(out, body, level);
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(out, level);
+            write!(out, "while ({}) ", print_expr(cond)).unwrap();
+            print_substmt(out, body, level);
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            indent(out, level);
+            out.push_str("do ");
+            print_substmt(out, body, level);
+            indent(out, level);
+            writeln!(out, "while ({});", print_expr(cond)).unwrap();
+        }
+        Stmt::Return { value, .. } => {
+            indent(out, level);
+            match value {
+                Some(v) => writeln!(out, "return {};", print_expr(v)).unwrap(),
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::Break(_) => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue(_) => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        Stmt::Empty(_) => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+    }
+}
+
+/// Prints a statement used as a loop/if body, bracing non-blocks.
+fn print_substmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Block(b) => {
+            print_block(out, b, level);
+            out.push('\n');
+        }
+        other => {
+            out.push_str("{\n");
+            print_stmt(out, other, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn print_decl(out: &mut String, d: &VarDecl) {
+    use crate::types::AddressSpace;
+    if d.space == AddressSpace::Local {
+        out.push_str("__local ");
+    }
+    if d.is_const {
+        out.push_str("const ");
+    }
+    write!(out, "{}", d.scalar).unwrap();
+    if d.is_pointer {
+        out.push('*');
+    }
+    out.push(' ');
+    for (i, dec) in d.declarators.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&dec.name);
+        if let Some(size) = &dec.array_size {
+            write!(out, "[{}]", print_expr(size)).unwrap();
+        }
+        if let Some(init) = &dec.init {
+            write!(out, " = {}", print_expr(init)).unwrap();
+        }
+    }
+    out.push(';');
+}
+
+/// Prints an expression (fully parenthesised composites).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit { value, unsigned, long, .. } => {
+            let mut s = value.to_string();
+            if *unsigned {
+                s.push('u');
+            }
+            if *long {
+                s.push('L');
+            }
+            s
+        }
+        Expr::FloatLit { value, single, .. } => {
+            let mut s = format_float(*value);
+            if *single {
+                s.push('f');
+            }
+            s
+        }
+        Expr::BoolLit { value, .. } => value.to_string(),
+        Expr::CharLit { value, .. } => match *value as u8 {
+            b'\n' => "'\\n'".into(),
+            b'\t' => "'\\t'".into(),
+            b'\r' => "'\\r'".into(),
+            0 => "'\\0'".into(),
+            b'\\' => "'\\\\'".into(),
+            b'\'' => "'\\''".into(),
+            c if c.is_ascii_graphic() || c == b' ' => format!("'{}'", c as char),
+            c => format!("{}", c as i8), // non-printable: emit numeric value
+        },
+        Expr::Ident { name, .. } => name.clone(),
+        Expr::Unary { op, expr, .. } => match op {
+            UnaryOp::PostInc => format!("({})++", print_expr(expr)),
+            UnaryOp::PostDec => format!("({})--", print_expr(expr)),
+            _ => format!("({}({}))", op.symbol(), print_expr(expr)),
+        },
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {} {})", print_expr(lhs), op.symbol(), print_expr(rhs))
+        }
+        Expr::Assign { op, lhs, rhs, .. } => {
+            let sym = match op {
+                Some(o) => format!("{}=", o.symbol()),
+                None => "=".into(),
+            };
+            format!("{} {} {}", print_expr(lhs), sym, print_expr(rhs))
+        }
+        Expr::Ternary { cond, then_expr, else_expr, .. } => format!(
+            "({} ? {} : {})",
+            print_expr(cond),
+            print_expr(then_expr),
+            print_expr(else_expr)
+        ),
+        Expr::Call { callee, args, .. } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}({})", callee, args.join(", "))
+        }
+        Expr::Index { base, index, .. } => {
+            format!("{}[{}]", print_primary(base), print_expr(index))
+        }
+        Expr::Cast { ty, expr, .. } => format!("(({})({}))", print_type(*ty), print_expr(expr)),
+    }
+}
+
+/// Prints an expression in a position that needs a primary (index base).
+fn print_primary(e: &Expr) -> String {
+    match e {
+        Expr::Ident { .. } | Expr::Call { .. } | Expr::Index { .. } => print_expr(e),
+        other => format!("({})", print_expr(other)),
+    }
+}
+
+/// Formats a float so it round-trips and always contains `.` or `e`.
+fn format_float(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use crate::parser::parse;
+    use crate::source::SourceFile;
+
+    fn parse_ok(src: &str) -> TranslationUnit {
+        let f = SourceFile::new("t.cl", src);
+        let mut d = Diagnostics::new();
+        let tu = parse(&f, &mut d);
+        assert!(!d.has_errors(), "{}", d.render(&f));
+        tu
+    }
+
+    /// Parsing the printed output must reproduce the printed output
+    /// (fixed-point) — a strong structural round-trip check.
+    fn assert_round_trip(src: &str) {
+        let once = print_unit(&parse_ok(src));
+        let twice = print_unit(&parse_ok(&once));
+        assert_eq!(once, twice, "printer not a fixed point for:\n{src}");
+    }
+
+    #[test]
+    fn round_trip_paper_functions() {
+        assert_round_trip("float func(float x){ return -x; }");
+        assert_round_trip("float func(float x, float y){ return x + y; }");
+        assert_round_trip(
+            "float func(float* m_in){
+                float sum = 0.0f;
+                for (int i = -1; i <= 1; ++i)
+                    for (int j = -1; j <= 1; ++j)
+                        sum += get(m_in, i, j);
+                return sum;
+            }",
+        );
+        assert_round_trip(
+            "char func(const char* img){
+                short h = -1*get(img,-1,-1) + 1*get(img,1,-1)
+                          -2*get(img,-1,0) + 2*get(img,1,0)
+                          -1*get(img,-1,1) + 1*get(img,1,1);
+                return (char)sqrt((float)(h*h));
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        assert_round_trip(
+            "__kernel void k(__global int* a, int n){
+                int i = 0;
+                while (i < n) { if (i % 2 == 0) a[i] = i; else a[i] = -i; i++; }
+                do { n--; } while (n > 0);
+                for (;;) break;
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_declarations() {
+        assert_round_trip(
+            "__kernel void k(__global float* p, __local float* q){
+                __local float tile[16 * 16];
+                const int a = 1, b = 2;
+                float* r = p;
+                tile[0] = q[0] + (float)(a + b);
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_operators() {
+        assert_round_trip(
+            "int f(int a, int b){
+                a += b; a <<= 2; a ^= b;
+                int c = a < b ? a : b;
+                bool d = a == b || !(a != c) && true;
+                return c + (d ? 1 : 0) + (a++) + (--b);
+            }",
+        );
+    }
+
+    #[test]
+    fn char_literals_print_escaped() {
+        assert_round_trip(r"void f(){ char a = 'x'; char b = '\n'; char c = '\0'; char d = '\\'; }");
+    }
+
+    #[test]
+    fn float_literals_keep_suffix() {
+        let tu = parse_ok("float f(){ return 2.5f + 1.0 + 3f; }");
+        let printed = print_unit(&tu);
+        assert!(printed.contains("2.5f"), "{printed}");
+        assert!(printed.contains("1.0"), "{printed}");
+        assert!(printed.contains("3.0f") || printed.contains("3f"), "{printed}");
+        assert_round_trip("float f(){ return 2.5f + 1.0 + 3f; }");
+    }
+
+    #[test]
+    fn printed_output_is_semantically_identical() {
+        // Compile both original and printed source and compare behaviour.
+        let src = "__kernel void k(__global int* out, int n){
+            int s = 0;
+            for (int i = 0; i < n; ++i) s += i * i;
+            out[0] = s;
+        }";
+        let printed = print_unit(&parse_ok(src));
+        let p1 = crate::compile("a.cl", src).unwrap();
+        let p2 = crate::compile("b.cl", &printed).unwrap();
+        use crate::vm::{HostMemory, ItemGeometry, WorkItem};
+        use crate::value::{Ptr, Value};
+        use crate::types::AddressSpace;
+        let run = |p: &crate::program::Program| {
+            let mut mem = HostMemory::new();
+            let out = mem.add_buffer(vec![0u8; 4]);
+            let k = p.kernel("k").unwrap();
+            let args = [
+                Value::Ptr(Ptr { space: AddressSpace::Global, buffer: out, byte_offset: 0 }),
+                Value::I32(10),
+            ];
+            let mut item = WorkItem::new(p, k.func, &args, ItemGeometry::single());
+            item.run(&mem, &mut []).unwrap();
+            i32::from_le_bytes(mem.bytes(out)[..4].try_into().unwrap())
+        };
+        assert_eq!(run(&p1), run(&p2));
+        assert_eq!(run(&p1), 285);
+    }
+}

@@ -1,0 +1,152 @@
+//! Compiled programs: the output of [`crate::compile`], ready for the VM.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ir::FuncCode;
+use crate::types::ScalarType;
+
+/// The kind of one kernel parameter, as seen by the host when binding
+/// arguments (mirrors `clSetKernelArg` usage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelParamKind {
+    /// A `__global T*` argument: the host binds a device buffer.
+    GlobalBuffer {
+        /// Element type.
+        elem: ScalarType,
+        /// Whether the kernel only reads through it.
+        is_const: bool,
+    },
+    /// A `__local T*` argument: the host passes a byte size; the runtime
+    /// carves the range out of the work-group's local memory.
+    LocalBuffer {
+        /// Element type.
+        elem: ScalarType,
+    },
+    /// A scalar argument passed by value.
+    Scalar(ScalarType),
+}
+
+/// A kernel parameter (name + kind), in declaration order.
+#[derive(Debug, Clone)]
+pub struct KernelParam {
+    /// Parameter name.
+    pub name: String,
+    /// How the host must bind it.
+    pub kind: KernelParamKind,
+}
+
+/// Binding of a `__local` array declared in a kernel body to its offset in
+/// the work-group's local-memory arena.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalArrayBinding {
+    /// Local slot of the array variable in the kernel's frame.
+    pub slot: u16,
+    /// Byte offset of the array within local memory.
+    pub byte_offset: u32,
+    /// Size of the array in bytes.
+    pub byte_len: u32,
+}
+
+/// Launch metadata of one `__kernel` entry point.
+#[derive(Debug, Clone)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub name: String,
+    /// Index of the kernel's [`FuncCode`] in the program.
+    pub func: u16,
+    /// Parameters in declaration order.
+    pub params: Vec<KernelParam>,
+    /// Statically declared `__local` arrays.
+    pub local_arrays: Vec<LocalArrayBinding>,
+    /// Total bytes of statically declared local memory.
+    pub static_local_bytes: u32,
+    /// Number of distinct barrier sites in code reachable from this kernel
+    /// (0 means launches never need lockstep rounds).
+    pub barrier_count: u32,
+}
+
+/// A compiled SkelCL C program: bytecode for every function plus kernel
+/// launch metadata. Cheap to clone and share across devices.
+#[derive(Debug, Clone)]
+pub struct Program {
+    inner: Arc<ProgramInner>,
+}
+
+#[derive(Debug)]
+struct ProgramInner {
+    functions: Vec<FuncCode>,
+    kernels: Vec<KernelInfo>,
+    kernel_index: HashMap<String, usize>,
+    source_name: String,
+}
+
+impl Program {
+    /// Assembles a program from compiled parts. Used by
+    /// [`crate::compile`]; not typically called directly.
+    pub fn from_parts(
+        functions: Vec<FuncCode>,
+        kernels: Vec<KernelInfo>,
+        source_name: impl Into<String>,
+    ) -> Self {
+        let kernel_index =
+            kernels.iter().enumerate().map(|(i, k)| (k.name.clone(), i)).collect();
+        Program {
+            inner: Arc::new(ProgramInner {
+                functions,
+                kernels,
+                kernel_index,
+                source_name: source_name.into(),
+            }),
+        }
+    }
+
+    /// All compiled functions, indexable by the ids in `Call` instructions.
+    pub fn functions(&self) -> &[FuncCode] {
+        &self.inner.functions
+    }
+
+    /// All kernels in the program.
+    pub fn kernels(&self) -> &[KernelInfo] {
+        &self.inner.kernels
+    }
+
+    /// Looks up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelInfo> {
+        self.inner.kernel_index.get(name).map(|&i| &self.inner.kernels[i])
+    }
+
+    /// The name of the source file the program was compiled from.
+    pub fn source_name(&self) -> &str {
+        &self.inner.source_name
+    }
+
+    /// Disassembles every function (testing/debugging aid).
+    pub fn disassemble(&self) -> String {
+        self.inner.functions.iter().map(|f| f.disassemble()).collect::<Vec<_>>().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_lookup() {
+        let p = Program::from_parts(
+            vec![],
+            vec![KernelInfo {
+                name: "k".into(),
+                func: 0,
+                params: vec![],
+                local_arrays: vec![],
+                static_local_bytes: 0,
+                barrier_count: 0,
+            }],
+            "t.cl",
+        );
+        assert!(p.kernel("k").is_some());
+        assert!(p.kernel("missing").is_none());
+        assert_eq!(p.source_name(), "t.cl");
+    }
+}

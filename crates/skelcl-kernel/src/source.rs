@@ -1,0 +1,211 @@
+//! Source text handling: files, byte spans and line/column mapping.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A half-open byte range `[start, end)` into a [`SourceFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start {start} past end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for end-of-file diagnostics.
+    pub fn point(pos: u32) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An immutable source file with a precomputed line index.
+///
+/// Cheap to clone (`Arc` internally); spans produced by the lexer and parser
+/// refer back into the file's text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    inner: Arc<SourceInner>,
+}
+
+#[derive(Debug)]
+struct SourceInner {
+    name: String,
+    text: String,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Creates a source file from a name (shown in diagnostics) and its text.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            inner: Arc::new(SourceInner { name: name.into(), text, line_starts }),
+        }
+    }
+
+    /// The display name of the file.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The full source text.
+    pub fn text(&self) -> &str {
+        &self.inner.text
+    }
+
+    /// The text covered by `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds or does not fall on UTF-8
+    /// boundaries.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.inner.text[span.start as usize..span.end as usize]
+    }
+
+    /// Converts a byte offset to a 1-based line/column position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let starts = &self.inner.line_starts;
+        let line_idx = match starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - starts[line_idx] + 1,
+        }
+    }
+
+    /// Returns the full text of the (1-based) line containing `offset`,
+    /// without its trailing newline.
+    pub fn line_text(&self, offset: u32) -> &str {
+        let starts = &self.inner.line_starts;
+        let line_idx = match starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let start = starts[line_idx] as usize;
+        let end = starts
+            .get(line_idx + 1)
+            .map(|&e| e as usize)
+            .unwrap_or(self.inner.text.len());
+        self.inner.text[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Number of lines in the file (at least 1, even when empty).
+    pub fn line_count(&self) -> usize {
+        self.inner.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_and_len() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::point(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn span_rejects_inverted_range() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn line_col_mapping() {
+        let f = SourceFile::new("t.cl", "ab\ncd\n\nxyz");
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(f.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(f.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(f.line_col(9), LineCol { line: 4, col: 3 });
+        assert_eq!(f.line_count(), 4);
+    }
+
+    #[test]
+    fn line_text_extraction() {
+        let f = SourceFile::new("t.cl", "first\nsecond\r\nthird");
+        assert_eq!(f.line_text(0), "first");
+        assert_eq!(f.line_text(8), "second");
+        assert_eq!(f.line_text(15), "third");
+    }
+
+    #[test]
+    fn snippet_returns_span_text() {
+        let f = SourceFile::new("t.cl", "float func(float x)");
+        assert_eq!(f.snippet(Span::new(6, 10)), "func");
+    }
+
+    #[test]
+    fn empty_file_has_one_line() {
+        let f = SourceFile::new("e.cl", "");
+        assert_eq!(f.line_count(), 1);
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+    }
+}

@@ -1,0 +1,300 @@
+//! Token definitions for SkelCL C.
+
+use std::fmt;
+
+use crate::source::Span;
+
+/// The kind of a lexed token.
+///
+/// Keyword and punctuation variants are self-describing (see
+/// [`TokenKind::describe`]) and intentionally undocumented individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    // Literals and identifiers ------------------------------------------------
+    /// An identifier or keyword candidate, e.g. `func`, `x1`.
+    Ident,
+    /// An integer literal, e.g. `42`, `0xFF`, `7u`, `9L`.
+    IntLit,
+    /// A floating-point literal, e.g. `1.0`, `2.5f`, `1e-3`.
+    FloatLit,
+    /// A character literal, e.g. `'a'`, `'\n'`.
+    CharLit,
+
+    // Keywords ----------------------------------------------------------------
+    KwVoid,
+    KwBool,
+    KwChar,
+    KwUchar,
+    KwShort,
+    KwUshort,
+    KwInt,
+    KwUint,
+    KwLong,
+    KwUlong,
+    KwFloat,
+    KwDouble,
+    /// `unsigned` (combines with a following base type).
+    KwUnsigned,
+    /// `signed` (combines with a following base type).
+    KwSigned,
+    KwConst,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+    /// `__kernel` or `kernel`.
+    KwKernel,
+    /// `__global` or `global`.
+    KwGlobal,
+    /// `__local` or `local`.
+    KwLocal,
+    /// `__private` or `private`.
+    KwPrivate,
+
+    // Punctuation ---------------------------------------------------------
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Question,
+    Colon,
+
+    // Operators -------------------------------------------------------------
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Ident => "identifier",
+            IntLit => "integer literal",
+            FloatLit => "floating-point literal",
+            CharLit => "character literal",
+            KwVoid => "`void`",
+            KwBool => "`bool`",
+            KwChar => "`char`",
+            KwUchar => "`uchar`",
+            KwShort => "`short`",
+            KwUshort => "`ushort`",
+            KwInt => "`int`",
+            KwUint => "`uint`",
+            KwLong => "`long`",
+            KwUlong => "`ulong`",
+            KwFloat => "`float`",
+            KwDouble => "`double`",
+            KwUnsigned => "`unsigned`",
+            KwSigned => "`signed`",
+            KwConst => "`const`",
+            KwIf => "`if`",
+            KwElse => "`else`",
+            KwFor => "`for`",
+            KwWhile => "`while`",
+            KwDo => "`do`",
+            KwReturn => "`return`",
+            KwBreak => "`break`",
+            KwContinue => "`continue`",
+            KwTrue => "`true`",
+            KwFalse => "`false`",
+            KwKernel => "`__kernel`",
+            KwGlobal => "`__global`",
+            KwLocal => "`__local`",
+            KwPrivate => "`__private`",
+            LParen => "`(`",
+            RParen => "`)`",
+            LBrace => "`{`",
+            RBrace => "`}`",
+            LBracket => "`[`",
+            RBracket => "`]`",
+            Comma => "`,`",
+            Semi => "`;`",
+            Question => "`?`",
+            Colon => "`:`",
+            Plus => "`+`",
+            Minus => "`-`",
+            Star => "`*`",
+            Slash => "`/`",
+            Percent => "`%`",
+            Amp => "`&`",
+            Pipe => "`|`",
+            Caret => "`^`",
+            Tilde => "`~`",
+            Bang => "`!`",
+            Lt => "`<`",
+            Gt => "`>`",
+            Le => "`<=`",
+            Ge => "`>=`",
+            EqEq => "`==`",
+            BangEq => "`!=`",
+            AmpAmp => "`&&`",
+            PipePipe => "`||`",
+            Shl => "`<<`",
+            Shr => "`>>`",
+            Eq => "`=`",
+            PlusEq => "`+=`",
+            MinusEq => "`-=`",
+            StarEq => "`*=`",
+            SlashEq => "`/=`",
+            PercentEq => "`%=`",
+            AmpEq => "`&=`",
+            PipeEq => "`|=`",
+            CaretEq => "`^=`",
+            ShlEq => "`<<=`",
+            ShrEq => "`>>=`",
+            PlusPlus => "`++`",
+            MinusMinus => "`--`",
+            Eof => "end of input",
+        }
+    }
+
+    /// Whether this token starts a type specifier.
+    pub fn starts_type(self) -> bool {
+        use TokenKind::*;
+        matches!(
+            self,
+            KwVoid
+                | KwBool
+                | KwChar
+                | KwUchar
+                | KwShort
+                | KwUshort
+                | KwInt
+                | KwUint
+                | KwLong
+                | KwUlong
+                | KwFloat
+                | KwDouble
+                | KwUnsigned
+                | KwSigned
+                | KwConst
+                | KwGlobal
+                | KwLocal
+                | KwPrivate
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// A lexed token: its kind and the source span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token text.
+    pub kind: TokenKind,
+    /// Where in the source the token appears.
+    pub span: Span,
+}
+
+/// Maps an identifier spelling to a keyword kind, if it is one.
+///
+/// OpenCL address-space and kernel qualifiers are accepted both with and
+/// without the double-underscore prefix, as in OpenCL C.
+pub fn keyword(ident: &str) -> Option<TokenKind> {
+    use TokenKind::*;
+    Some(match ident {
+        "void" => KwVoid,
+        "bool" => KwBool,
+        "char" => KwChar,
+        "uchar" => KwUchar,
+        "short" => KwShort,
+        "ushort" => KwUshort,
+        "int" => KwInt,
+        "uint" => KwUint,
+        "long" => KwLong,
+        "ulong" => KwUlong,
+        "float" => KwFloat,
+        "double" => KwDouble,
+        "unsigned" => KwUnsigned,
+        "signed" => KwSigned,
+        "const" => KwConst,
+        "if" => KwIf,
+        "else" => KwElse,
+        "for" => KwFor,
+        "while" => KwWhile,
+        "do" => KwDo,
+        "return" => KwReturn,
+        "break" => KwBreak,
+        "continue" => KwContinue,
+        "true" => KwTrue,
+        "false" => KwFalse,
+        "__kernel" | "kernel" => KwKernel,
+        "__global" | "global" => KwGlobal,
+        "__local" | "local" => KwLocal,
+        "__private" | "private" => KwPrivate,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve_with_and_without_prefix() {
+        assert_eq!(keyword("__global"), Some(TokenKind::KwGlobal));
+        assert_eq!(keyword("global"), Some(TokenKind::KwGlobal));
+        assert_eq!(keyword("__kernel"), Some(TokenKind::KwKernel));
+        assert_eq!(keyword("float"), Some(TokenKind::KwFloat));
+        assert_eq!(keyword("funky"), None);
+    }
+
+    #[test]
+    fn type_starters() {
+        assert!(TokenKind::KwFloat.starts_type());
+        assert!(TokenKind::KwConst.starts_type());
+        assert!(TokenKind::KwGlobal.starts_type());
+        assert!(!TokenKind::Ident.starts_type());
+        assert!(!TokenKind::KwIf.starts_type());
+    }
+}

@@ -1,0 +1,124 @@
+//! Build-log quality: a catalogue of broken kernels and the diagnostics a
+//! developer should get back — SkelCL forwards these logs verbatim when a
+//! customizing function is wrong, so they must point at the problem.
+
+use skelcl_kernel::compile;
+
+/// Compiles expecting failure; returns the rendered build log.
+fn build_log(src: &str) -> String {
+    match compile("diag.cl", src) {
+        Ok(_) => panic!("expected a compile error for:\n{src}"),
+        Err(e) => e.log,
+    }
+}
+
+#[track_caller]
+fn assert_log(src: &str, needles: &[&str]) {
+    let log = build_log(src);
+    for n in needles {
+        assert!(log.contains(n), "expected `{n}` in build log:\n{log}");
+    }
+}
+
+#[test]
+fn undeclared_identifier_points_at_use_site() {
+    assert_log(
+        "float f(float x){ return x + missing; }",
+        &["undeclared identifier `missing`", "diag.cl:1:30", "^"],
+    );
+}
+
+#[test]
+fn type_errors_name_both_types() {
+    assert_log(
+        "void f(__global float* p, __global int* q){ p = q; }",
+        &["element types differ"],
+    );
+    assert_log("float f(__global int* p){ return p; }", &["cannot convert"]);
+    assert_log("void f(float x){ x % 2.0f; }", &["requires integer operands"]);
+}
+
+#[test]
+fn const_violations() {
+    assert_log(
+        "void f(const float* p){ p[0] = 1.0f; }",
+        &["cannot store through a `const` pointer"],
+    );
+    assert_log(
+        "void f(){ const int x = 1; x += 1; }",
+        &["cannot assign to `const` variable `x`"],
+    );
+}
+
+#[test]
+fn arity_and_unknown_function() {
+    assert_log("float f(float x){ return sqrt(); }", &["`sqrt` expects 1 argument(s), found 0"]);
+    assert_log("float f(float x){ return g(x); }", &["undefined function `g`"]);
+}
+
+#[test]
+fn multiple_errors_reported_in_one_build() {
+    let log = build_log(
+        "void f(){
+            int x = missing_a;
+            int y = missing_b;
+            int z = missing_c;
+        }",
+    );
+    assert!(log.contains("missing_a"));
+    assert!(log.contains("missing_b"));
+    assert!(log.contains("missing_c"));
+}
+
+#[test]
+fn parse_errors_recover_and_continue() {
+    let log = build_log(
+        "void broken(){ int = 5; }
+         void also_broken(){ return 1 +; }",
+    );
+    assert!(log.contains("expected"), "{log}");
+    // Both functions produced diagnostics despite the first being broken.
+    assert!(log.matches("error").count() >= 2, "{log}");
+}
+
+#[test]
+fn kernel_restrictions() {
+    assert_log("__kernel int k(){ return 1; }", &["must return `void`"]);
+    assert_log(
+        "__kernel void k(float* p){ }",
+        &["kernel pointer parameters must be `__global` or `__local`"],
+    );
+    assert_log(
+        "__kernel void k(__global int* o){ } void f(){ k(0); }",
+        &["cannot be called from kernel code"],
+    );
+}
+
+#[test]
+fn recursion_is_rejected_like_opencl() {
+    assert_log("int f(int x){ return x <= 1 ? 1 : x * f(x - 1); }", &["recursion"]);
+}
+
+#[test]
+fn local_array_misuse() {
+    assert_log(
+        "void helper(){ __local float t[4]; }",
+        &["may only be declared inside kernel functions"],
+    );
+    assert_log(
+        "__kernel void k(int n){ __local float t[n]; }",
+        &["compile-time constant"],
+    );
+}
+
+#[test]
+fn caret_lines_align_with_source() {
+    let log = build_log("float f(float x){\n    return x + oops;\n}");
+    // The caret must sit under `oops` (column 16 of line 2).
+    let lines: Vec<&str> = log.lines().collect();
+    let src_line = lines.iter().position(|l| l.contains("return x + oops;")).unwrap();
+    let caret_line = lines[src_line + 1];
+    let src_rendered = lines[src_line];
+    let caret_col = caret_line.find('^').unwrap();
+    assert_eq!(&src_rendered[caret_col..caret_col + 4], "oops");
+}

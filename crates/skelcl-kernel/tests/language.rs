@@ -1,0 +1,274 @@
+//! SkelCL C language conformance: end-to-end (compile → VM) checks of the
+//! semantics corners a kernel language must get right — integer widths and
+//! conversions, float math, operator precedence, control flow, pointers,
+//! and the OpenCL-specific pieces.
+
+use skelcl_kernel::compile;
+use skelcl_kernel::types::AddressSpace;
+use skelcl_kernel::value::{Ptr, Value};
+use skelcl_kernel::vm::{HostMemory, ItemGeometry, WorkItem};
+
+/// Compiles `body` into `__kernel void t(__global T* out)` returning
+/// out[0] after running a single work-item.
+fn eval(ret: &str, body: &str) -> Value {
+    let src = format!(
+        "__kernel void t(__global {ret}* skelcl_out) {{ skelcl_out[0] = ({body}); }}"
+    );
+    eval_program(&src, ret)
+}
+
+fn eval_program(src: &str, ret: &str) -> Value {
+    let program = compile("lang.cl", src).unwrap_or_else(|e| panic!("compile:\n{e}"));
+    let kernel = program.kernel("t").expect("kernel t");
+    let mut mem = HostMemory::new();
+    let out = mem.add_buffer(vec![0u8; 8]);
+    let args = [Value::Ptr(Ptr { space: AddressSpace::Global, buffer: out, byte_offset: 0 })];
+    let mut item = WorkItem::new(&program, kernel.func, &args, ItemGeometry::single());
+    for b in &kernel.local_arrays {
+        item.bind_entry_slot(
+            b.slot,
+            Value::Ptr(Ptr {
+                space: AddressSpace::Local,
+                buffer: 0,
+                byte_offset: b.byte_offset as i64,
+            }),
+        );
+    }
+    let mut local = vec![0u8; (kernel.static_local_bytes as usize).max(1)];
+    item.run(&mem, &mut local).expect("runs");
+    let bytes = mem.bytes(out);
+    use skelcl_kernel::types::ScalarType::*;
+    let ty = match ret {
+        "char" => Char,
+        "uchar" => UChar,
+        "short" => Short,
+        "ushort" => UShort,
+        "int" => Int,
+        "uint" => UInt,
+        "long" => Long,
+        "ulong" => ULong,
+        "float" => Float,
+        "double" => Double,
+        other => panic!("unknown type {other}"),
+    };
+    skelcl_kernel::value::read_scalar(&bytes, ty)
+}
+
+#[test]
+fn integer_widths_wrap_correctly() {
+    assert_eq!(eval("char", "(char)127 + (char)1"), Value::I8(-128));
+    assert_eq!(eval("uchar", "(uchar)255 + (uchar)1"), Value::U8(0));
+    assert_eq!(eval("short", "(short)32767 + (short)1"), Value::I16(-32768));
+    assert_eq!(eval("int", "2147483647 + 1"), Value::I32(-2147483648));
+    assert_eq!(eval("uint", "4294967295u + 1u"), Value::U32(0));
+    assert_eq!(
+        eval("ulong", "18446744073709551615uL + 1uL"),
+        Value::U64(0)
+    );
+}
+
+#[test]
+fn char_arithmetic_promotes_before_overflowing() {
+    // (char)120 + (char)120 in C promotes to int: 240, then narrows.
+    assert_eq!(eval("int", "(char)120 + (char)120"), Value::I32(240));
+    assert_eq!(eval("char", "(char)((char)120 + (char)120)"), Value::I8(-16));
+}
+
+#[test]
+fn mixed_signedness_comparisons() {
+    // int vs uint: converted to uint, so -1 > 1u.
+    assert_eq!(eval("int", "(-1 > 1u) ? 10 : 20"), Value::I32(10));
+    // int vs long: converted to long, -1 < 1.
+    assert_eq!(eval("int", "(-1 < 1L) ? 10 : 20"), Value::I32(10));
+}
+
+#[test]
+fn division_and_remainder_signs() {
+    assert_eq!(eval("int", "7 / 2"), Value::I32(3));
+    assert_eq!(eval("int", "-7 / 2"), Value::I32(-3));
+    assert_eq!(eval("int", "-7 % 2"), Value::I32(-1));
+    assert_eq!(eval("int", "7 % -2"), Value::I32(1));
+}
+
+#[test]
+fn float_semantics() {
+    assert_eq!(eval("float", "1.0f / 0.0f"), Value::F32(f32::INFINITY));
+    assert_eq!(eval("float", "0.5f + 0.25f"), Value::F32(0.75));
+    assert_eq!(eval("double", "1.0 / 3.0"), Value::F64(1.0 / 3.0));
+    // float arithmetic stays in single precision.
+    assert_eq!(
+        eval("float", "0.1f + 0.2f"),
+        Value::F32(0.1f32 + 0.2f32)
+    );
+    // int/int is integer division even when assigned to float.
+    assert_eq!(eval("float", "(float)(3 / 2)"), Value::F32(1.0));
+    assert_eq!(eval("float", "(float)3 / 2"), Value::F32(1.5));
+}
+
+#[test]
+fn float_to_int_truncates_toward_zero() {
+    assert_eq!(eval("int", "(int)2.9f"), Value::I32(2));
+    assert_eq!(eval("int", "(int)(-2.9f)"), Value::I32(-2));
+    assert_eq!(eval("uchar", "(uchar)255.9f"), Value::U8(255));
+}
+
+#[test]
+fn precedence_and_associativity() {
+    assert_eq!(eval("int", "2 + 3 * 4"), Value::I32(14));
+    assert_eq!(eval("int", "(2 + 3) * 4"), Value::I32(20));
+    assert_eq!(eval("int", "20 - 5 - 3"), Value::I32(12));
+    assert_eq!(eval("int", "1 << 2 + 1"), Value::I32(8)); // shift binds looser than +
+    assert_eq!(eval("int", "7 & 3 == 3 ? 1 : 0"), Value::I32(1)); // == binds tighter than &
+    assert_eq!(eval("int", "1 + (2 < 3 ? 10 : 20)"), Value::I32(11));
+}
+
+#[test]
+fn short_circuit_does_not_evaluate_rhs() {
+    // The rhs would trap (division by zero) if evaluated.
+    assert_eq!(eval("int", "(0 != 0 && 1 / 0 == 0) ? 1 : 2"), Value::I32(2));
+    assert_eq!(eval("int", "(1 == 1 || 1 / 0 == 0) ? 1 : 2"), Value::I32(1));
+}
+
+#[test]
+fn control_flow_composition() {
+    let src = "__kernel void t(__global int* skelcl_out) {
+        int total = 0;
+        for (int i = 0; i < 10; ++i) {
+            if (i % 3 == 0) continue;
+            int j = i;
+            while (j > 0) { total += 1; j -= 2; }
+            if (i >= 8) break;
+        }
+        do { total *= 10; } while (false);
+        skelcl_out[0] = total;
+    }";
+    // i in {1,2,4,5,7,8}: ceil(i/2) additions = 1+1+2+3+4+4 = 15, then ×10.
+    assert_eq!(eval_program(src, "int"), Value::I32(150));
+}
+
+#[test]
+fn pointer_walking_and_difference() {
+    let src = "__kernel void t(__global long* skelcl_out) {
+        __local int buf[8];
+        for (int i = 0; i < 8; ++i) buf[i] = i * i;
+        int* p = buf;
+        int* q = buf + 7;
+        long sum = 0;
+        while (p <= q) { sum += *p; p++; }
+        int* r = buf + 3;
+        skelcl_out[0] = sum * 100 + (r - buf);
+    }";
+    let total: i64 = (0..8).map(|i| i * i).sum();
+    assert_eq!(eval_program(src, "long"), Value::I64(total * 100 + 3));
+}
+
+#[test]
+fn compound_assignment_through_pointers() {
+    let src = "__kernel void t(__global int* skelcl_out) {
+        __local int a[4];
+        a[0] = 10;
+        a[0] += 5;
+        a[0] <<= 2;
+        a[0] ^= 3;
+        int i = 0;
+        a[i] -= 1;
+        skelcl_out[0] = a[0];
+    }";
+    assert_eq!(eval_program(src, "int"), Value::I32((((10 + 5) << 2) ^ 3) - 1));
+}
+
+#[test]
+fn increment_semantics() {
+    let src = "__kernel void t(__global int* skelcl_out) {
+        int x = 5;
+        int a = x++;
+        int b = ++x;
+        int c = x--;
+        int d = --x;
+        skelcl_out[0] = a * 1000 + b * 100 + c * 10 + d;
+    }";
+    assert_eq!(eval_program(src, "int"), Value::I32(5 * 1000 + 7 * 100 + 7 * 10 + 5));
+}
+
+#[test]
+fn math_builtins_accuracy() {
+    assert_eq!(eval("float", "sqrt(2.0f)"), Value::F32(2.0f32.sqrt()));
+    assert_eq!(eval("double", "sin(1.0)"), Value::F64(1.0f64.sin()));
+    assert_eq!(eval("float", "pow(2.0f, 0.5f)"), Value::F32((2.0f64.powf(0.5)) as f32));
+    assert_eq!(eval("int", "abs(-42)"), Value::I32(42));
+    assert_eq!(eval("int", "clamp(15, 0, 10)"), Value::I32(10));
+    assert_eq!(eval("float", "fmax(1.0f, -3.0f)"), Value::F32(1.0));
+}
+
+#[test]
+fn nan_propagation_through_comparison() {
+    let src = "float nan_helper() { return sqrt(-1.0f); }
+        __kernel void t(__global int* skelcl_out) {
+        float n = nan_helper();
+        skelcl_out[0] = (n == n) ? 1 : 0;
+    }";
+    assert_eq!(eval_program(src, "int"), Value::I32(0));
+}
+
+#[test]
+fn ulong_work_item_conversions() {
+    // get_global_id returns ulong; usual conversions must make this work.
+    let src = "__kernel void t(__global long* skelcl_out) {
+        int i = (int)get_global_id(0);
+        long big = (long)get_global_size(0) * 1000000000L;
+        skelcl_out[0] = big + i;
+    }";
+    assert_eq!(eval_program(src, "long"), Value::I64(1_000_000_000));
+}
+
+#[test]
+fn helper_function_composition() {
+    let src = "
+        float square(float x) { return x * x; }
+        float hypot2(float a, float b) { return square(a) + square(b); }
+        __kernel void t(__global float* skelcl_out) {
+            skelcl_out[0] = sqrt(hypot2(3.0f, 4.0f));
+        }";
+    assert_eq!(eval_program(src, "float"), Value::F32(5.0));
+}
+
+#[test]
+fn comments_and_formatting_are_ignored() {
+    let src = "/* header */ __kernel void t(__global int* skelcl_out) {
+        // line comment
+        int x /* inline */ = 1 + /* two */ 2;
+        skelcl_out[0] = x; // done
+    }";
+    assert_eq!(eval_program(src, "int"), Value::I32(3));
+}
+
+#[test]
+fn bool_conversions() {
+    assert_eq!(eval("int", "(int)true + (int)false"), Value::I32(1));
+    assert_eq!(eval("int", "(bool)7 ? 5 : 6"), Value::I32(5));
+    assert_eq!(eval("int", "!3"), Value::I32(0));
+    assert_eq!(eval("int", "(int)!0.0f"), Value::I32(1));
+}
+
+#[test]
+fn shifts_mask_like_hardware() {
+    assert_eq!(eval("int", "1 << 33"), Value::I32(2));
+    assert_eq!(eval("uint", "0x80000000u >> 31"), Value::U32(1));
+    assert_eq!(eval("int", "-16 >> 2"), Value::I32(-4), "arithmetic shift for signed");
+    assert_eq!(eval("uint", "0xFFFFFFF0u >> 2"), Value::U32(0x3FFFFFFC), "logical for unsigned");
+}
+
+#[test]
+fn hex_literals_and_bitops() {
+    assert_eq!(eval("uint", "0xDEADBEEFu & 0xFFFFu"), Value::U32(0xBEEF));
+    assert_eq!(eval("uint", "0xF0u | 0x0Fu"), Value::U32(0xFF));
+    assert_eq!(eval("uint", "~0u"), Value::U32(u32::MAX));
+    assert_eq!(eval("int", "0x10 ^ 0x01"), Value::I32(0x11));
+}
+
+#[test]
+fn char_literals_in_kernels() {
+    assert_eq!(eval("int", r"(int)'A'"), Value::I32(65));
+    assert_eq!(eval("int", r"(int)'\n'"), Value::I32(10));
+    assert_eq!(eval("int", r"'z' - 'a'"), Value::I32(25));
+}

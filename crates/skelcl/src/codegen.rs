@@ -1,0 +1,546 @@
+//! Skeleton code generation: parsing user-provided customizing functions,
+//! validating their signatures, rewriting stencil `get()` accesses, and
+//! welding them into complete kernels (the paper's §3.3 mechanism — "rather
+//! than writing low-level kernels, the application developer customizes
+//! suitable skeletons by providing application-specific functions").
+
+use skelcl_kernel::ast::{self, Block, Declarator, Expr, Stmt, VarDecl};
+use skelcl_kernel::diag::Diagnostics;
+use skelcl_kernel::parser;
+use skelcl_kernel::pretty;
+use skelcl_kernel::source::SourceFile;
+use skelcl_kernel::types::{ScalarType, Type};
+use skelcl_kernel::value::Value;
+
+use crate::error::{Error, Result};
+
+/// A parsed and validated customizing function.
+#[derive(Debug, Clone)]
+pub(crate) struct UserFunction {
+    /// The whole user translation unit (customizing function first, then
+    /// optional helper functions).
+    pub unit: ast::TranslationUnit,
+    /// Name of the customizing function (the first one).
+    pub name: String,
+    /// Parameter types of the customizing function.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+impl UserFunction {
+    /// The user source, pretty-printed (after any rewriting).
+    pub fn source(&self) -> String {
+        pretty::print_unit(&self.unit)
+    }
+
+    /// Parameter types beyond the first `fixed` (the skeleton's extra
+    /// arguments, which must be scalars).
+    pub fn extra_params(&self, fixed: usize) -> &[Type] {
+        &self.params[fixed.min(self.params.len())..]
+    }
+}
+
+/// Parses `source` and extracts the customizing function (the first
+/// function definition; later functions are helpers it may call).
+///
+/// Skeletons whose user functions are self-contained also pass them through
+/// full semantic analysis here so the developer gets the compiler's
+/// diagnostics immediately; `MapOverlap` skips that (its `get()` accessor
+/// only resolves after rewriting) and relies on the post-weld check.
+pub(crate) fn parse_user_function(
+    skeleton: &'static str,
+    source: &str,
+) -> Result<UserFunction> {
+    let file = SourceFile::new(format!("<{skeleton} customizing function>"), source);
+    let mut diags = Diagnostics::new();
+    let unit = parser::parse(&file, &mut diags);
+    if diags.has_errors() {
+        return Err(Error::InvalidCustomizingFunction {
+            skeleton,
+            reason: format!("parse error:\n{}", diags.render(&file)),
+        });
+    }
+    if skeleton != "MapOverlap" {
+        if let Err(e) = skelcl_kernel::check(&format!("<{skeleton} customizing function>"), source)
+        {
+            return Err(Error::InvalidCustomizingFunction {
+                skeleton,
+                reason: format!("type error:\n{}", e.log),
+            });
+        }
+    }
+    let Some(first) = unit.functions.first() else {
+        return Err(Error::InvalidCustomizingFunction {
+            skeleton,
+            reason: "source contains no function definition".into(),
+        });
+    };
+    if unit.functions.iter().any(|f| f.is_kernel) {
+        return Err(Error::InvalidCustomizingFunction {
+            skeleton,
+            reason: "customizing functions must not be `__kernel`".into(),
+        });
+    }
+    Ok(UserFunction {
+        name: first.name.clone(),
+        params: first.params.iter().map(|p| p.ty).collect(),
+        ret: first.return_type,
+        unit,
+    })
+}
+
+/// Checks that a parameter is the scalar type `expected`.
+pub(crate) fn expect_scalar_param(
+    skeleton: &'static str,
+    f: &UserFunction,
+    index: usize,
+    expected: ScalarType,
+) -> Result<()> {
+    match f.params.get(index) {
+        Some(Type::Scalar(s)) if *s == expected => Ok(()),
+        other => Err(Error::InvalidCustomizingFunction {
+            skeleton,
+            reason: format!(
+                "parameter {} of `{}` must have type `{expected}`, found `{}`",
+                index + 1,
+                f.name,
+                other.map(|t| t.to_string()).unwrap_or_else(|| "<missing>".into())
+            ),
+        }),
+    }
+}
+
+/// Checks that a parameter is a (const) pointer to `expected` (the stencil
+/// or row-pointer parameter).
+pub(crate) fn expect_pointer_param(
+    skeleton: &'static str,
+    f: &UserFunction,
+    index: usize,
+    expected: ScalarType,
+) -> Result<()> {
+    match f.params.get(index) {
+        Some(Type::Pointer { pointee, .. }) if *pointee == expected => Ok(()),
+        other => Err(Error::InvalidCustomizingFunction {
+            skeleton,
+            reason: format!(
+                "parameter {} of `{}` must be a pointer to `{expected}`, found `{}`",
+                index + 1,
+                f.name,
+                other.map(|t| t.to_string()).unwrap_or_else(|| "<missing>".into())
+            ),
+        }),
+    }
+}
+
+/// Checks the return type.
+pub(crate) fn expect_return(
+    skeleton: &'static str,
+    f: &UserFunction,
+    expected: ScalarType,
+) -> Result<()> {
+    if f.ret == Type::Scalar(expected) {
+        Ok(())
+    } else {
+        Err(Error::InvalidCustomizingFunction {
+            skeleton,
+            reason: format!(
+                "`{}` must return `{expected}`, found `{}`",
+                f.name, f.ret
+            ),
+        })
+    }
+}
+
+/// Checks that all parameters from `fixed` onwards are scalars (extra
+/// skeleton arguments).
+pub(crate) fn expect_scalar_extras(
+    skeleton: &'static str,
+    f: &UserFunction,
+    fixed: usize,
+) -> Result<()> {
+    for (i, p) in f.params.iter().enumerate().skip(fixed) {
+        if !matches!(p, Type::Scalar(_)) {
+            return Err(Error::InvalidCustomizingFunction {
+                skeleton,
+                reason: format!(
+                    "extra parameter {} of `{}` must be a scalar, found `{p}`",
+                    i + 1,
+                    f.name
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Formats extra-parameter declarations (`, float scale, int n`) for a
+/// generated kernel signature.
+pub(crate) fn extra_param_decls(extras: &[Type], prefix: &str) -> String {
+    extras
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!(", {t} {prefix}{i}"))
+        .collect()
+}
+
+/// Formats extra-argument forwarding (`, __x0, __x1`).
+pub(crate) fn extra_param_uses(extras: &[Type], prefix: &str) -> String {
+    (0..extras.len()).map(|i| format!(", {prefix}{i}")).collect()
+}
+
+/// Validates the number of extra argument values supplied at call time.
+pub(crate) fn check_extra_args(
+    skeleton: &'static str,
+    extras: &[Type],
+    supplied: &[Value],
+) -> Result<()> {
+    if extras.len() != supplied.len() {
+        return Err(Error::ShapeMismatch {
+            reason: format!(
+                "{skeleton} customizing function takes {} extra argument(s), {} supplied",
+                extras.len(),
+                supplied.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Formats a scalar [`Value`] as a SkelCL C literal expression (used to
+/// inline the `MapOverlap` neutral element into generated source).
+pub(crate) fn c_literal(v: Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::I8(x) => format!("(char)({x})"),
+        Value::U8(x) => format!("(uchar)({x})"),
+        Value::I16(x) => format!("(short)({x})"),
+        Value::U16(x) => format!("(ushort)({x})"),
+        Value::I32(x) => format!("({x})"),
+        Value::U32(x) => format!("{x}u"),
+        Value::I64(x) => format!("({x}L)"),
+        Value::U64(x) => format!("{x}uL"),
+        Value::F32(x) => format_float(x as f64, true),
+        Value::F64(x) => format_float(x, false),
+        Value::Ptr(_) => unreachable!("pointers are not literal scalars"),
+    }
+}
+
+fn format_float(x: f64, single: bool) -> String {
+    let mut s = format!("{x}");
+    if !s.contains('.') && !s.contains('e') {
+        s.push_str(".0");
+    }
+    if single {
+        s.push('f');
+    }
+    if x < 0.0 {
+        s = format!("({s})");
+    }
+    s
+}
+
+/// Rewrites `get(p, dx[, dy])` stencil accesses inside the customizing
+/// function (the **first** function of `f.unit`) into calls to the
+/// generated checked accessors, and threads a tile-width parameter through
+/// for the matrix variant:
+///
+/// * matrix: `get(m, dx, dy)` → `__skelcl_get2(m, __skelcl_tw, dx, dy)`,
+///   and the function gains a `int __skelcl_tw` parameter right after the
+///   stencil pointer;
+/// * vector: `get(v, di)` → `__skelcl_get1(v, di)`.
+///
+/// Returns the rewritten function's new parameter list length.
+pub(crate) fn rewrite_get_calls(f: &mut UserFunction, matrix: bool) -> Result<()> {
+    let func = &mut f.unit.functions[0];
+    if matrix {
+        // Insert the tile-width parameter after the stencil pointer.
+        let span = func.params.first().map(|p| p.span).unwrap_or_default();
+        func.params.insert(
+            1,
+            ast::Param {
+                ty: Type::Scalar(ScalarType::Int),
+                name: "__skelcl_tw".into(),
+                span,
+            },
+        );
+        f.params.insert(1, Type::Scalar(ScalarType::Int));
+    }
+    let expected_args = if matrix { 3 } else { 2 };
+    let mut bad: Option<String> = None;
+    rewrite_block(&mut func.body, matrix, expected_args, &mut bad);
+    match bad {
+        Some(reason) => Err(Error::InvalidCustomizingFunction {
+            skeleton: "MapOverlap",
+            reason,
+        }),
+        None => Ok(()),
+    }
+}
+
+fn rewrite_block(b: &mut Block, matrix: bool, expected: usize, bad: &mut Option<String>) {
+    for s in &mut b.stmts {
+        rewrite_stmt(s, matrix, expected, bad);
+    }
+}
+
+fn rewrite_stmt(s: &mut Stmt, matrix: bool, expected: usize, bad: &mut Option<String>) {
+    match s {
+        Stmt::Block(b) => rewrite_block(b, matrix, expected, bad),
+        Stmt::Decl(VarDecl { declarators, .. }) => {
+            for Declarator { array_size, init, .. } in declarators {
+                if let Some(e) = array_size {
+                    rewrite_expr(e, matrix, expected, bad);
+                }
+                if let Some(e) = init {
+                    rewrite_expr(e, matrix, expected, bad);
+                }
+            }
+        }
+        Stmt::Expr(e) => rewrite_expr(e, matrix, expected, bad),
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            rewrite_expr(cond, matrix, expected, bad);
+            rewrite_stmt(then_branch, matrix, expected, bad);
+            if let Some(e) = else_branch {
+                rewrite_stmt(e, matrix, expected, bad);
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            if let Some(init) = init {
+                rewrite_stmt(init, matrix, expected, bad);
+            }
+            if let Some(cond) = cond {
+                rewrite_expr(cond, matrix, expected, bad);
+            }
+            if let Some(step) = step {
+                rewrite_expr(step, matrix, expected, bad);
+            }
+            rewrite_stmt(body, matrix, expected, bad);
+        }
+        Stmt::While { cond, body, .. } | Stmt::DoWhile { cond, body, .. } => {
+            rewrite_expr(cond, matrix, expected, bad);
+            rewrite_stmt(body, matrix, expected, bad);
+        }
+        Stmt::Return { value: Some(e), .. } => rewrite_expr(e, matrix, expected, bad),
+        Stmt::Return { value: None, .. }
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Empty(_) => {}
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<String>) {
+    match e {
+        Expr::Call { callee, args, span, callee_span } => {
+            for a in args.iter_mut() {
+                rewrite_expr(a, matrix, expected, bad);
+            }
+            if callee == "get" {
+                if args.len() != expected {
+                    *bad = Some(format!(
+                        "`get` takes {} arguments for {} stencils, found {}",
+                        expected,
+                        if matrix { "matrix" } else { "vector" },
+                        args.len()
+                    ));
+                    return;
+                }
+                if matrix {
+                    *callee = "__skelcl_get2".into();
+                    args.insert(
+                        1,
+                        Expr::Ident { name: "__skelcl_tw".into(), span: *callee_span },
+                    );
+                } else {
+                    *callee = "__skelcl_get1".into();
+                }
+                let _ = span;
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => {
+            rewrite_expr(expr, matrix, expected, bad)
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            rewrite_expr(lhs, matrix, expected, bad);
+            rewrite_expr(rhs, matrix, expected, bad);
+        }
+        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            rewrite_expr(cond, matrix, expected, bad);
+            rewrite_expr(then_expr, matrix, expected, bad);
+            rewrite_expr(else_expr, matrix, expected, bad);
+        }
+        Expr::Index { base, index, .. } => {
+            rewrite_expr(base, matrix, expected, bad);
+            rewrite_expr(index, matrix, expected, bad);
+        }
+        Expr::IntLit { .. }
+        | Expr::FloatLit { .. }
+        | Expr::BoolLit { .. }
+        | Expr::CharLit { .. }
+        | Expr::Ident { .. } => {}
+    }
+}
+
+/// Compiles generated kernel source, classifying failures as SkelCL bugs
+/// (the user function already parsed; a failure here means the weld is
+/// wrong).
+pub(crate) fn compile_generated(name: &str, source: &str) -> Result<skelcl_kernel::Program> {
+    skelcl_kernel::compile(name, source).map_err(|e| Error::KernelCompilation {
+        source: source.to_string(),
+        log: e.log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_map_function() {
+        let f = parse_user_function("Map", "float func(float x){ return -x; }").unwrap();
+        assert_eq!(f.name, "func");
+        assert_eq!(f.params, vec![Type::Scalar(ScalarType::Float)]);
+        assert_eq!(f.ret, Type::Scalar(ScalarType::Float));
+        assert!(f.extra_params(1).is_empty());
+    }
+
+    #[test]
+    fn helpers_allowed_after_customizing_function() {
+        let f = parse_user_function(
+            "Map",
+            "float func(float x){ return helper(x) * 2.0f; }
+             float helper(float x){ return x + 1.0f; }",
+        )
+        .unwrap();
+        assert_eq!(f.name, "func");
+        assert_eq!(f.unit.functions.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let err = parse_user_function("Map", "float func(float x){ return + ; }").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+        let err = parse_user_function("Map", "").unwrap_err();
+        assert!(err.to_string().contains("no function definition"));
+        let err =
+            parse_user_function("Map", "__kernel void k(__global int* p){ }").unwrap_err();
+        assert!(err.to_string().contains("must not be `__kernel`"));
+    }
+
+    #[test]
+    fn signature_validation() {
+        let f = parse_user_function("Zip", "float mult(float x, float y){ return x*y; }").unwrap();
+        expect_scalar_param("Zip", &f, 0, ScalarType::Float).unwrap();
+        expect_scalar_param("Zip", &f, 1, ScalarType::Float).unwrap();
+        expect_return("Zip", &f, ScalarType::Float).unwrap();
+        assert!(expect_scalar_param("Zip", &f, 0, ScalarType::Int).is_err());
+        assert!(expect_scalar_param("Zip", &f, 2, ScalarType::Float).is_err());
+        assert!(expect_return("Zip", &f, ScalarType::Char).is_err());
+    }
+
+    #[test]
+    fn extras_must_be_scalars() {
+        let f = parse_user_function(
+            "Map",
+            "uchar func(int gid, int width, float scale){ return (uchar)(gid + width); }",
+        )
+        .unwrap();
+        expect_scalar_extras("Map", &f, 1).unwrap();
+        assert_eq!(f.extra_params(1).len(), 2);
+        assert_eq!(extra_param_decls(f.extra_params(1), "__x"), ", int __x0, float __x1");
+        assert_eq!(extra_param_uses(f.extra_params(1), "__x"), ", __x0, __x1");
+
+        let g = parse_user_function(
+            "Map",
+            "float func(float x, const float* lut){ return lut[0] * x; }",
+        )
+        .unwrap();
+        assert!(expect_scalar_extras("Map", &g, 1).is_err());
+    }
+
+    #[test]
+    fn c_literals() {
+        assert_eq!(c_literal(Value::F32(0.0)), "0.0f");
+        assert_eq!(c_literal(Value::F32(-1.5)), "(-1.5f)");
+        assert_eq!(c_literal(Value::F64(2.0)), "2.0");
+        assert_eq!(c_literal(Value::I32(-3)), "(-3)");
+        assert_eq!(c_literal(Value::U8(200)), "(uchar)(200)");
+        assert_eq!(c_literal(Value::U64(1)), "1uL");
+        assert_eq!(c_literal(Value::Bool(true)), "true");
+    }
+
+    #[test]
+    fn rewrites_matrix_get_calls() {
+        let mut f = parse_user_function(
+            "MapOverlap",
+            "float func(const float* m){
+                float sum = 0.0f;
+                for (int i = -1; i <= 1; ++i)
+                    for (int j = -1; j <= 1; ++j)
+                        sum += get(m, i, j);
+                return sum;
+            }",
+        )
+        .unwrap();
+        rewrite_get_calls(&mut f, true).unwrap();
+        let src = f.source();
+        assert!(src.contains("__skelcl_get2(m, __skelcl_tw, i, j)"), "{src}");
+        assert!(src.contains("int __skelcl_tw"), "{src}");
+        assert!(!src.contains("get(m"), "{src}");
+        assert_eq!(f.params.len(), 2);
+    }
+
+    #[test]
+    fn rewrites_vector_get_calls() {
+        let mut f = parse_user_function(
+            "MapOverlap",
+            "float func(const float* v){ return get(v, -1) + get(v, 0) + get(v, 1); }",
+        )
+        .unwrap();
+        rewrite_get_calls(&mut f, false).unwrap();
+        let src = f.source();
+        assert!(src.contains("__skelcl_get1(v, "), "{src}");
+        assert_eq!(f.params.len(), 1, "vector variant adds no parameter");
+    }
+
+    #[test]
+    fn rejects_wrong_get_arity() {
+        let mut f = parse_user_function(
+            "MapOverlap",
+            "float func(const float* m){ return get(m, 1); }",
+        )
+        .unwrap();
+        let err = rewrite_get_calls(&mut f, true).unwrap_err();
+        assert!(err.to_string().contains("takes 3 arguments"), "{err}");
+    }
+
+    #[test]
+    fn rewritten_sobel_compiles_in_context() {
+        // The paper's Listing 1.5 user function, rewritten and welded into
+        // a minimal harness, must compile.
+        let mut f = parse_user_function(
+            "MapOverlap",
+            "char func(const char* img){
+                short h = -1*get(img,-1,-1) +1*get(img,+1,-1)
+                          -2*get(img,-1, 0) +2*get(img,+1, 0)
+                          -1*get(img,-1,+1) +1*get(img,+1,+1);
+                short v = -1*get(img,-1,-1) -2*get(img,0,-1) -1*get(img,+1,-1)
+                          +1*get(img,-1,+1) +2*get(img,0,+1) +1*get(img,+1,+1);
+                return (char)sqrt((float)(h*h + v*v));
+            }",
+        )
+        .unwrap();
+        rewrite_get_calls(&mut f, true).unwrap();
+        let source = format!(
+            "{}\nchar __skelcl_get2(const char* c, int tw, int dx, int dy){{\n\
+                 if (dx < -1 || dx > 1 || dy < -1 || dy > 1) __skelcl_trap(100);\n\
+                 return c[dy * tw + dx];\n\
+             }}\n\
+             __kernel void probe(__global const char* t, __global char* o, int tw){{\n\
+                 o[0] = func(&t[tw + 1], tw);\n\
+             }}",
+            f.source()
+        );
+        compile_generated("sobel_probe.cl", &source).unwrap();
+    }
+}

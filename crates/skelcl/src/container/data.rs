@@ -1,0 +1,345 @@
+//! Shared host↔device coherence machinery behind `Vector` and `Matrix`.
+//!
+//! A container's data lives on the host and/or distributed across device
+//! buffers. Transfers are *lazy and implicit* (paper §3.1): before a kernel
+//! uses a container the data is uploaded per its distribution; before the
+//! host reads, chunks are downloaded — both happen automatically.
+//!
+//! The distribution unit is an *element* for vectors and a *row* for
+//! matrices (`unit_elems` elements per unit, paper Fig. 2).
+
+use parking_lot::Mutex;
+
+use vgpu::DeviceBuffer;
+
+use crate::context::Context;
+use crate::distribution::{plan_chunks, ChunkPlan, Distribution};
+use crate::error::Result;
+use crate::types::{from_bytes, to_bytes, KernelScalar};
+
+/// One device's materialised chunk.
+#[derive(Debug, Clone)]
+pub(crate) struct DeviceChunk {
+    /// The chunk's range plan (in units).
+    pub plan: ChunkPlan,
+    /// The backing device buffer (covers the *stored* range).
+    pub buffer: DeviceBuffer,
+}
+
+#[derive(Debug)]
+struct DevicePart {
+    dist: Distribution,
+    chunks: Vec<DeviceChunk>,
+    /// Whether the device copy is up to date.
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    host: Vec<T>,
+    host_valid: bool,
+    device: Option<DevicePart>,
+    preferred_dist: Option<Distribution>,
+}
+
+/// Distributed storage of `units × unit_elems` elements of `T`.
+#[derive(Debug)]
+pub(crate) struct DistributedData<T> {
+    ctx: Context,
+    units: usize,
+    unit_elems: usize,
+    state: Mutex<State<T>>,
+}
+
+impl<T: KernelScalar> DistributedData<T> {
+    /// Creates host-resident data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host.len() != units * unit_elems`.
+    pub fn from_host(ctx: Context, units: usize, unit_elems: usize, host: Vec<T>) -> Self {
+        assert_eq!(host.len(), units * unit_elems, "host data does not match shape");
+        DistributedData {
+            ctx,
+            units,
+            unit_elems,
+            state: Mutex::new(State {
+                host,
+                host_valid: true,
+                device: None,
+                preferred_dist: None,
+            }),
+        }
+    }
+
+    /// The owning context.
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Number of distribution units (elements or rows).
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Elements per unit.
+    pub fn unit_elems(&self) -> usize {
+        self.unit_elems
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.units * self.unit_elems
+    }
+
+    /// The distribution the container currently has on the devices, if any.
+    pub fn current_distribution(&self) -> Option<Distribution> {
+        self.state.lock().device.as_ref().map(|d| d.dist)
+    }
+
+    /// The distribution skeletons should use: the explicitly requested one
+    /// if set, else the current device-side one, else `default`.
+    pub fn effective_distribution(&self, default: Distribution) -> Distribution {
+        let st = self.state.lock();
+        st.preferred_dist
+            .or_else(|| st.device.as_ref().map(|d| d.dist))
+            .unwrap_or(default)
+    }
+
+    /// Requests a distribution (paper: `setDistribution`). If the data is
+    /// currently distributed differently, it is gathered back to the host
+    /// (implicit data movement via the CPU, §3.2); the upload under the new
+    /// distribution happens lazily at the next use.
+    pub fn set_distribution(&self, dist: Distribution) -> Result<()> {
+        let mut st = self.state.lock();
+        st.preferred_dist = Some(dist);
+        if st.device.as_ref().is_some_and(|d| d.dist != dist) {
+            self.download_locked(&mut st)?;
+            st.device = None;
+        }
+        Ok(())
+    }
+
+    /// Makes the data available on the devices under `dist`, uploading if
+    /// necessary, and returns the chunks.
+    pub fn ensure_device(&self, dist: Distribution) -> Result<Vec<DeviceChunk>> {
+        let mut st = self.state.lock();
+        if let Some(part) = &st.device {
+            if part.dist == dist && part.valid {
+                return Ok(part.chunks.clone());
+            }
+        }
+        // Gather the freshest copy to the host first, then (re)distribute.
+        self.download_locked(&mut st)?;
+        let elem = std::mem::size_of::<T>();
+        let plans = plan_chunks(self.units, self.ctx.device_count(), dist);
+        let mut chunks = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let queue = self.ctx.queue(plan.device);
+            let byte_len = plan.stored_len() * self.unit_elems * elem;
+            let buffer = queue.create_buffer(byte_len)?;
+            let start = plan.stored.start * self.unit_elems;
+            let end = plan.stored.end * self.unit_elems;
+            let bytes = to_bytes(&st.host[start..end]);
+            queue.enqueue_write(&buffer, 0, &bytes)?;
+            chunks.push(DeviceChunk { plan, buffer });
+        }
+        st.device = Some(DevicePart { dist, chunks: chunks.clone(), valid: true });
+        Ok(chunks)
+    }
+
+    /// Creates device-only storage under `dist` (skeleton outputs): buffers
+    /// are allocated but not initialised; the host copy is marked stale.
+    pub fn alloc_device(ctx: Context, units: usize, unit_elems: usize, dist: Distribution) -> Result<(Self, Vec<DeviceChunk>)> {
+        let elem = std::mem::size_of::<T>();
+        let plans = plan_chunks(units, ctx.device_count(), dist);
+        let mut chunks = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let queue = ctx.queue(plan.device);
+            let buffer = queue.create_buffer(plan.stored_len() * unit_elems * elem)?;
+            chunks.push(DeviceChunk { plan, buffer });
+        }
+        let data = DistributedData {
+            ctx,
+            units,
+            unit_elems,
+            state: Mutex::new(State {
+                host: vec![T::default(); units * unit_elems],
+                host_valid: units == 0,
+                device: Some(DevicePart { dist, chunks: chunks.clone(), valid: true }),
+                preferred_dist: None,
+            }),
+        };
+        Ok((data, chunks))
+    }
+
+    /// Marks the device copy as freshly written by a kernel (host copy
+    /// becomes stale).
+    pub fn mark_device_written(&self) {
+        let mut st = self.state.lock();
+        if let Some(part) = &mut st.device {
+            part.valid = true;
+            st.host_valid = false;
+        }
+    }
+
+    /// Runs `f` over the up-to-date host data (downloading first if
+    /// needed).
+    pub fn with_host<R>(&self, f: impl FnOnce(&[T]) -> R) -> Result<R> {
+        let mut st = self.state.lock();
+        self.download_locked(&mut st)?;
+        Ok(f(&st.host))
+    }
+
+    /// Runs `f` over mutable host data; the device copies are invalidated.
+    pub fn with_host_mut<R>(&self, f: impl FnOnce(&mut [T]) -> R) -> Result<R> {
+        let mut st = self.state.lock();
+        self.download_locked(&mut st)?;
+        if let Some(part) = &mut st.device {
+            part.valid = false;
+        }
+        Ok(f(&mut st.host))
+    }
+
+    /// Replaces the whole host contents (device copies invalidated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs.
+    pub fn replace_host(&self, data: Vec<T>) {
+        let mut st = self.state.lock();
+        assert_eq!(data.len(), self.units * self.unit_elems, "replacement size mismatch");
+        st.host = data;
+        st.host_valid = true;
+        if let Some(part) = &mut st.device {
+            part.valid = false;
+        }
+    }
+
+    /// Gathers the freshest data to the host if the host copy is stale.
+    fn download_locked(&self, st: &mut State<T>) -> Result<()> {
+        if st.host_valid {
+            return Ok(());
+        }
+        let part = st
+            .device
+            .as_ref()
+            .expect("host invalid implies a device copy exists");
+        assert!(part.valid, "neither host nor device copy is valid");
+        let elem = std::mem::size_of::<T>();
+        // For `copy` distribution every chunk owns everything; reading the
+        // first suffices. For block/overlap each chunk's core is gathered.
+        let chunks: &[DeviceChunk] = if part.dist == Distribution::Copy {
+            &part.chunks[..1.min(part.chunks.len())]
+        } else {
+            &part.chunks
+        };
+        for chunk in chunks {
+            let queue = self.ctx.queue(chunk.plan.device);
+            let core_units = chunk.plan.core_len();
+            let mut bytes = vec![0u8; core_units * self.unit_elems * elem];
+            let offset = chunk.plan.core_offset() * self.unit_elems * elem;
+            queue.enqueue_read(&chunk.buffer, offset, &mut bytes)?;
+            let host_start = chunk.plan.core.start * self.unit_elems;
+            let host_end = chunk.plan.core.end * self.unit_elems;
+            st.host[host_start..host_end].copy_from_slice(&from_bytes::<T>(&bytes));
+        }
+        st.host_valid = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::{DeviceSpec, Platform};
+
+    fn ctx(devices: usize) -> Context {
+        Context::init(
+            Platform::new(devices, DeviceSpec::tesla_t10()),
+            crate::context::DeviceSelection::All,
+        )
+    }
+
+    #[test]
+    fn upload_download_round_trip_block() {
+        let ctx = ctx(3);
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let d = DistributedData::from_host(ctx, 100, 1, data.clone());
+        let chunks = d.ensure_device(Distribution::Block).unwrap();
+        assert_eq!(chunks.len(), 3);
+        // Pretend a kernel wrote, then gather.
+        d.mark_device_written();
+        let out = d.with_host(|h| h.to_vec()).unwrap();
+        assert_eq!(out, data);
+        fn assert_send<T: Send>() {}
+        assert_send::<DistributedData<f32>>();
+    }
+
+    #[test]
+    fn redistribution_goes_through_host() {
+        let ctx = ctx(2);
+        let d = DistributedData::from_host(ctx.clone(), 10, 1, (0..10i32).collect());
+        d.ensure_device(Distribution::Block).unwrap();
+        assert_eq!(d.current_distribution(), Some(Distribution::Block));
+        d.set_distribution(Distribution::Copy).unwrap();
+        assert_eq!(d.current_distribution(), None, "buffers dropped until next use");
+        let chunks = d.ensure_device(Distribution::Copy).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].buffer.len(), 40);
+        assert_eq!(d.current_distribution(), Some(Distribution::Copy));
+    }
+
+    #[test]
+    fn effective_distribution_priorities() {
+        let ctx = ctx(2);
+        let d = DistributedData::from_host(ctx, 10, 1, vec![0f32; 10]);
+        assert_eq!(d.effective_distribution(Distribution::Block), Distribution::Block);
+        d.ensure_device(Distribution::Copy).unwrap();
+        assert_eq!(d.effective_distribution(Distribution::Block), Distribution::Copy);
+        d.set_distribution(Distribution::Single(1)).unwrap();
+        assert_eq!(d.effective_distribution(Distribution::Block), Distribution::Single(1));
+    }
+
+    #[test]
+    fn host_mutation_invalidates_device() {
+        let ctx = ctx(2);
+        let d = DistributedData::from_host(ctx, 4, 1, vec![1i32, 2, 3, 4]);
+        let chunks1 = d.ensure_device(Distribution::Block).unwrap();
+        d.with_host_mut(|h| h[0] = 42).unwrap();
+        let chunks2 = d.ensure_device(Distribution::Block).unwrap();
+        // Fresh upload happened (buffers may be reallocated); data correct.
+        let _ = (chunks1, chunks2);
+        let v = d.with_host(|h| h.to_vec()).unwrap();
+        assert_eq!(v, vec![42, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rows_as_units() {
+        let ctx = ctx(2);
+        // A 4×3 matrix distributed by rows.
+        let data: Vec<i32> = (0..12).collect();
+        let d = DistributedData::from_host(ctx, 4, 3, data.clone());
+        let chunks = d.ensure_device(Distribution::Block).unwrap();
+        assert_eq!(chunks[0].plan.core, 0..2);
+        assert_eq!(chunks[0].buffer.len(), 2 * 3 * 4);
+        d.mark_device_written();
+        assert_eq!(d.with_host(|h| h.to_vec()).unwrap(), data);
+    }
+
+    #[test]
+    fn alloc_device_outputs_gather_correctly() {
+        let ctx = ctx(2);
+        let (d, chunks) =
+            DistributedData::<i32>::alloc_device(ctx.clone(), 6, 1, Distribution::Block).unwrap();
+        // Simulate kernels writing each chunk's stored range.
+        for chunk in &chunks {
+            let vals: Vec<i32> =
+                (chunk.plan.stored.start as i32..chunk.plan.stored.end as i32).map(|v| v * 10).collect();
+            let queue = ctx.queue(chunk.plan.device);
+            queue.enqueue_write(&chunk.buffer, 0, &to_bytes(&vals)).unwrap();
+        }
+        d.mark_device_written();
+        assert_eq!(d.with_host(|h| h.to_vec()).unwrap(), vec![0, 10, 20, 30, 40, 50]);
+    }
+}

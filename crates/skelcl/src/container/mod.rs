@@ -1,0 +1,26 @@
+//! Parallel container data types (paper §3.1): [`Vector`], [`Matrix`] and
+//! the [`Scalar`] reduction result.
+
+pub(crate) mod data;
+mod matrix;
+mod scalar;
+mod vector;
+
+pub use matrix::Matrix;
+pub use scalar::Scalar;
+pub use vector::Vector;
+
+/// One device's share of a container, exposed for raw OpenCL-level interop
+/// (paper §3: SkelCL code can be freely mixed with plain OpenCL). Ranges
+/// are elements for vectors and rows for matrices.
+#[derive(Debug, Clone)]
+pub struct InteropChunk {
+    /// Device index within the context.
+    pub device: usize,
+    /// The chunk's backing buffer (covers `stored`).
+    pub buffer: vgpu::DeviceBuffer,
+    /// The range the device stores (core plus halo for overlap).
+    pub stored: std::ops::Range<usize>,
+    /// The range the device owns.
+    pub core: std::ops::Range<usize>,
+}

@@ -1,0 +1,49 @@
+//! The [`Scalar`] result type of the `Reduce` skeleton (paper Listing 1.1:
+//! `SkelCL::Scalar<float> C = sum(...); float c = C.getValue();`).
+
+use std::time::Duration;
+
+use crate::types::KernelScalar;
+
+/// The scalar result of a reduction, together with the simulated kernel
+/// time spent computing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scalar<T: KernelScalar> {
+    value: T,
+    kernel_time: Duration,
+}
+
+impl<T: KernelScalar> Scalar<T> {
+    pub(crate) fn new(value: T, kernel_time: Duration) -> Self {
+        Scalar { value, kernel_time }
+    }
+
+    /// The computed value (the paper's `getValue()`).
+    pub fn value(&self) -> T {
+        self.value
+    }
+
+    /// Total simulated kernel time of the reduction passes.
+    pub fn kernel_time(&self) -> Duration {
+        self.kernel_time
+    }
+}
+
+impl<T: KernelScalar + std::fmt::Display> std::fmt::Display for Scalar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Scalar::new(42i32, Duration::from_nanos(100));
+        assert_eq!(s.value(), 42);
+        assert_eq!(s.kernel_time(), Duration::from_nanos(100));
+        assert_eq!(s.to_string(), "42");
+    }
+}

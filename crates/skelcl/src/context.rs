@@ -1,0 +1,136 @@
+//! The SkelCL context: the analogue of the paper's `SkelCL::init()`.
+//!
+//! A [`Context`] owns the platform's devices (all of them, or a selected
+//! count) and one command queue per device. Containers and skeletons hold a
+//! clone of the context, which is cheap (`Arc` internally).
+
+use std::sync::Arc;
+
+use vgpu::{CommandQueue, DeviceSpec, LaunchConfig, Platform};
+
+/// Which devices of the platform SkelCL should use (the paper's
+/// `SkelCL::init()` device-selection knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceSelection {
+    /// Every device in the platform.
+    All,
+    /// The first `n` devices.
+    Count(usize),
+}
+
+#[derive(Debug)]
+struct ContextInner {
+    platform: Platform,
+    queues: Vec<CommandQueue>,
+    launch_config: LaunchConfig,
+}
+
+/// A SkelCL session: selected devices plus their queues.
+#[derive(Debug, Clone)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+impl Context {
+    /// Initialises SkelCL on `platform` with the given device selection —
+    /// the analogue of `SkelCL::init()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection is `Count(0)` or exceeds the platform.
+    pub fn init(platform: Platform, selection: DeviceSelection) -> Self {
+        let count = match selection {
+            DeviceSelection::All => platform.device_count(),
+            DeviceSelection::Count(n) => {
+                assert!(
+                    n > 0 && n <= platform.device_count(),
+                    "device selection {n} out of range (platform has {})",
+                    platform.device_count()
+                );
+                n
+            }
+        };
+        let queues = (0..count).map(|i| platform.queue(i)).collect();
+        Context {
+            inner: Arc::new(ContextInner {
+                platform,
+                queues,
+                launch_config: LaunchConfig::default(),
+            }),
+        }
+    }
+
+    /// A context on the paper's testbed: all 4 GPUs of a Tesla S1070.
+    pub fn tesla_s1070() -> Self {
+        Context::init(Platform::tesla_s1070(), DeviceSelection::All)
+    }
+
+    /// A single-GPU context (one Tesla T10), for the paper's single-GPU
+    /// experiments.
+    pub fn single_gpu() -> Self {
+        Context::init(Platform::single(DeviceSpec::tesla_t10()), DeviceSelection::All)
+    }
+
+    /// Number of devices in use.
+    pub fn device_count(&self) -> usize {
+        self.inner.queues.len()
+    }
+
+    /// The queue of device `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn queue(&self, index: usize) -> &CommandQueue {
+        &self.inner.queues[index]
+    }
+
+    /// All queues, ordered by device index.
+    pub fn queues(&self) -> &[CommandQueue] {
+        &self.inner.queues
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &Platform {
+        &self.inner.platform
+    }
+
+    /// The launch configuration used by skeleton executions.
+    pub fn launch_config(&self) -> &LaunchConfig {
+        &self.inner.launch_config
+    }
+
+    /// Whether two contexts refer to the same session.
+    pub fn same_as(&self, other: &Context) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_selects_devices() {
+        let ctx = Context::init(Platform::tesla_s1070(), DeviceSelection::All);
+        assert_eq!(ctx.device_count(), 4);
+        let ctx = Context::init(Platform::tesla_s1070(), DeviceSelection::Count(2));
+        assert_eq!(ctx.device_count(), 2);
+        assert_eq!(ctx.queues().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn init_rejects_oversized_selection() {
+        let _ = Context::init(Platform::single(DeviceSpec::test_tiny()), DeviceSelection::Count(3));
+    }
+
+    #[test]
+    fn clones_share_the_session() {
+        let a = Context::single_gpu();
+        let b = a.clone();
+        assert!(a.same_as(&b));
+        let c = Context::single_gpu();
+        assert!(!a.same_as(&c));
+    }
+}

@@ -1,0 +1,238 @@
+//! Data distributions across multiple GPUs (paper §3.2, Figs. 1–2).
+//!
+//! A distribution describes which part of a container each device stores:
+//!
+//! * **single** — all data on one GPU;
+//! * **copy** — the full data on every GPU;
+//! * **block** — contiguous, disjoint chunks, one per GPU;
+//! * **overlap** — block plus a halo of border elements (vector) or border
+//!   rows (matrix) replicated from the neighbouring chunks.
+//!
+//! For matrices, distributions partition **rows** (the paper's Fig. 2).
+//! This module contains the pure range arithmetic; containers apply it.
+
+use std::ops::Range;
+
+/// A data distribution (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// The whole container on one device (the first if not specified
+    /// otherwise — use `Single(0)`).
+    Single(usize),
+    /// The whole container replicated on every device.
+    Copy,
+    /// Contiguous disjoint chunks, one per device.
+    Block,
+    /// Block chunks extended by `overlap` border elements/rows replicated
+    /// from the neighbouring chunks.
+    Overlap {
+        /// Number of border elements (vector) or rows (matrix) replicated
+        /// on each side of a chunk.
+        size: usize,
+    },
+}
+
+impl Distribution {
+    /// The default `single` distribution (first GPU), as in the paper.
+    pub fn single() -> Self {
+        Distribution::Single(0)
+    }
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Distribution::Single(d) => write!(f, "single(gpu{d})"),
+            Distribution::Copy => f.write_str("copy"),
+            Distribution::Block => f.write_str("block"),
+            Distribution::Overlap { size } => write!(f, "overlap({size})"),
+        }
+    }
+}
+
+/// One device's part of a distributed container, in element (vector) or row
+/// (matrix) indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Which device stores the chunk.
+    pub device: usize,
+    /// The range the device *stores* (core plus halo for overlap).
+    pub stored: Range<usize>,
+    /// The range the device *owns* (writes when producing output).
+    pub core: Range<usize>,
+}
+
+impl ChunkPlan {
+    /// Number of stored units.
+    pub fn stored_len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Number of owned units.
+    pub fn core_len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// Offset of the first core unit within the stored range.
+    pub fn core_offset(&self) -> usize {
+        self.core.start - self.stored.start
+    }
+}
+
+/// Splits `n` units across `devices` according to `dist`.
+///
+/// Every returned plan has a non-empty `core` except possibly trailing
+/// devices when `n < devices` (those are omitted entirely). For `Single`
+/// and `Copy`, `core`/`stored` conventions are:
+///
+/// * `Single(d)`: one chunk on device `d` covering everything;
+/// * `Copy`: every device stores everything and *owns* everything (callers
+///   that gather output read from the first chunk).
+pub fn plan_chunks(n: usize, devices: usize, dist: Distribution) -> Vec<ChunkPlan> {
+    assert!(devices > 0, "at least one device");
+    match dist {
+        Distribution::Single(d) => {
+            assert!(d < devices, "single distribution on unknown device {d}");
+            vec![ChunkPlan { device: d, stored: 0..n, core: 0..n }]
+        }
+        Distribution::Copy => (0..devices)
+            .map(|device| ChunkPlan { device, stored: 0..n, core: 0..n })
+            .collect(),
+        Distribution::Block => block_ranges(n, devices)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(device, r)| ChunkPlan { device, stored: r.clone(), core: r })
+            .collect(),
+        Distribution::Overlap { size } => block_ranges(n, devices)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(device, core)| {
+                let stored = core.start.saturating_sub(size)..(core.end + size).min(n);
+                ChunkPlan { device, stored, core }
+            })
+            .collect(),
+    }
+}
+
+/// Even partition of `n` units into `devices` contiguous ranges (remainder
+/// spread over the first ranges), as SkelCL's block distribution does.
+pub fn block_ranges(n: usize, devices: usize) -> Vec<Range<usize>> {
+    assert!(devices > 0, "at least one device");
+    let base = n / devices;
+    let extra = n % devices;
+    let mut start = 0;
+    (0..devices)
+        .map(|i| {
+            let len = base + usize::from(i < extra);
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_everything_disjointly() {
+        for n in [0usize, 1, 7, 100, 101, 102, 103] {
+            for d in 1..=6 {
+                let rs = block_ranges(n, d);
+                assert_eq!(rs.len(), d);
+                assert_eq!(rs[0].start, 0);
+                assert_eq!(rs.last().unwrap().end, n);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+                let max = lens.iter().max().unwrap();
+                let min = lens.iter().min().unwrap();
+                assert!(max - min <= 1, "near-even split: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_plan() {
+        let plans = plan_chunks(10, 4, Distribution::Single(2));
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].device, 2);
+        assert_eq!(plans[0].stored, 0..10);
+        assert_eq!(plans[0].core, 0..10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn single_plan_validates_device() {
+        let _ = plan_chunks(10, 2, Distribution::Single(5));
+    }
+
+    #[test]
+    fn copy_plan_replicates() {
+        let plans = plan_chunks(10, 3, Distribution::Copy);
+        assert_eq!(plans.len(), 3);
+        for (i, p) in plans.iter().enumerate() {
+            assert_eq!(p.device, i);
+            assert_eq!(p.stored, 0..10);
+        }
+    }
+
+    #[test]
+    fn block_plan_matches_figure_1c() {
+        // Fig. 1(c): two GPUs each store a contiguous half.
+        let plans = plan_chunks(8, 2, Distribution::Block);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].stored, 0..4);
+        assert_eq!(plans[1].stored, 4..8);
+        assert_eq!(plans[0].core, plans[0].stored);
+    }
+
+    #[test]
+    fn overlap_plan_matches_figure_1d() {
+        // Fig. 1(d): block chunks plus border elements of the neighbour.
+        let plans = plan_chunks(8, 2, Distribution::Overlap { size: 1 });
+        assert_eq!(plans[0].stored, 0..5);
+        assert_eq!(plans[0].core, 0..4);
+        assert_eq!(plans[1].stored, 3..8);
+        assert_eq!(plans[1].core, 4..8);
+        assert_eq!(plans[0].core_offset(), 0);
+        assert_eq!(plans[1].core_offset(), 1);
+    }
+
+    #[test]
+    fn overlap_halo_clamped_at_edges() {
+        let plans = plan_chunks(10, 2, Distribution::Overlap { size: 100 });
+        assert_eq!(plans[0].stored, 0..10);
+        assert_eq!(plans[1].stored, 0..10);
+        assert_eq!(plans[0].core, 0..5);
+        assert_eq!(plans[1].core, 5..10);
+    }
+
+    #[test]
+    fn overlap_middle_chunk_has_halo_on_both_sides() {
+        let plans = plan_chunks(30, 3, Distribution::Overlap { size: 2 });
+        assert_eq!(plans[1].core, 10..20);
+        assert_eq!(plans[1].stored, 8..22);
+        assert_eq!(plans[1].core_offset(), 2);
+    }
+
+    #[test]
+    fn tiny_containers_skip_empty_chunks() {
+        let plans = plan_chunks(2, 4, Distribution::Block);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].core, 0..1);
+        assert_eq!(plans[1].core, 1..2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Distribution::single().to_string(), "single(gpu0)");
+        assert_eq!(Distribution::Copy.to_string(), "copy");
+        assert_eq!(Distribution::Block.to_string(), "block");
+        assert_eq!(Distribution::Overlap { size: 3 }.to_string(), "overlap(3)");
+    }
+}

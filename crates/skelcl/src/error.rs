@@ -1,0 +1,97 @@
+//! SkelCL error types.
+
+use std::fmt;
+
+/// An error raised by the SkelCL library.
+#[derive(Debug)]
+pub enum Error {
+    /// The user's customizing function failed to compile or did not match
+    /// the skeleton's expected signature.
+    InvalidCustomizingFunction {
+        /// Which skeleton was being constructed.
+        skeleton: &'static str,
+        /// What was wrong (possibly a rendered compiler log).
+        reason: String,
+    },
+    /// The generated kernel failed to compile — a SkelCL bug, reported with
+    /// the full source and log for diagnosis.
+    KernelCompilation {
+        /// The generated source.
+        source: String,
+        /// The compiler log.
+        log: String,
+    },
+    /// Container shapes don't match the skeleton's requirements.
+    ShapeMismatch {
+        /// Explanation, e.g. "zip requires vectors of equal length".
+        reason: String,
+    },
+    /// An invalid distribution request (e.g. `single` on a device index
+    /// that doesn't exist).
+    InvalidDistribution {
+        /// Explanation.
+        reason: String,
+    },
+    /// The underlying virtual platform failed.
+    Platform(vgpu::Error),
+    /// The container is empty where a non-empty one is required (e.g.
+    /// `Reduce` of zero elements has no defined value without an identity).
+    EmptyContainer {
+        /// Which operation required data.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidCustomizingFunction { skeleton, reason } => {
+                write!(f, "invalid customizing function for {skeleton}: {reason}")
+            }
+            Error::KernelCompilation { log, .. } => {
+                write!(f, "generated kernel failed to compile (SkelCL bug): {log}")
+            }
+            Error::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            Error::InvalidDistribution { reason } => {
+                write!(f, "invalid distribution: {reason}")
+            }
+            Error::Platform(e) => write!(f, "platform error: {e}"),
+            Error::EmptyContainer { operation } => {
+                write!(f, "{operation} requires a non-empty container")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vgpu::Error> for Error {
+    fn from(e: vgpu::Error) -> Self {
+        Error::Platform(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::ShapeMismatch { reason: "lengths 3 vs 4".into() };
+        assert!(e.to_string().contains("lengths 3 vs 4"));
+        let e: Error = vgpu::Error::UnknownKernel { name: "k".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::EmptyContainer { operation: "Reduce" };
+        assert!(e.to_string().contains("Reduce"));
+    }
+}

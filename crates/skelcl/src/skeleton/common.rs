@@ -1,0 +1,151 @@
+//! Shared skeleton execution machinery: multi-device parallel launches and
+//! per-skeleton event logs.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use vgpu::{CommandKind, Event, KernelArg, NdRange};
+
+use crate::context::Context;
+use crate::error::{Error, Result};
+
+/// One device's share of a skeleton execution.
+#[derive(Debug)]
+pub(crate) struct DeviceLaunch {
+    /// Device index within the context.
+    pub device: usize,
+    /// Kernel arguments.
+    pub args: Vec<KernelArg>,
+    /// Launch geometry.
+    pub range: NdRange,
+}
+
+/// Launches `kernel` on every listed device in parallel (one host thread
+/// per device, as SkelCL's implementation drives one queue per GPU),
+/// returning the events in device order.
+pub(crate) fn launch_parallel(
+    ctx: &Context,
+    program: &skelcl_kernel::Program,
+    kernel: &str,
+    launches: Vec<DeviceLaunch>,
+) -> Result<Vec<Event>> {
+    if launches.len() <= 1 {
+        // Single device: no thread overhead.
+        return launches
+            .into_iter()
+            .map(|l| {
+                ctx.queue(l.device)
+                    .launch_kernel(program, kernel, &l.args, l.range, ctx.launch_config())
+                    .map_err(Error::from)
+            })
+            .collect();
+    }
+    let results: Vec<Result<Event>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = launches
+            .iter()
+            .map(|l| {
+                scope.spawn(move || {
+                    ctx.queue(l.device)
+                        .launch_kernel(program, kernel, &l.args, l.range, ctx.launch_config())
+                        .map_err(Error::from)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("launch thread panicked")).collect()
+    });
+    results.into_iter().collect()
+}
+
+/// A log of the events produced by a skeleton's most recent call, exposing
+/// the paper's profiling measurements (Fig. 5 reports kernel-only times via
+/// the OpenCL profiling API).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    /// Replaces the log with the events of a new call.
+    pub(crate) fn record(&self, events: Vec<Event>) {
+        *self.events.lock().expect("event log lock") = events;
+    }
+
+    /// The events of the most recent call.
+    pub fn last_events(&self) -> Vec<Event> {
+        self.events.lock().expect("event log lock").clone()
+    }
+
+    /// Simulated kernel-only time of the most recent call: per device the
+    /// kernel durations add up (in-order queue); across devices the
+    /// execution overlaps, so the maximum is the makespan.
+    pub fn last_kernel_time(&self) -> Duration {
+        let events = self.events.lock().expect("event log lock");
+        let mut per_device: HashMap<usize, Duration> = HashMap::new();
+        for e in events.iter() {
+            if matches!(e.kind(), CommandKind::Kernel { .. }) {
+                *per_device.entry(e.device().0).or_default() += e.duration();
+            }
+        }
+        per_device.into_values().max().unwrap_or_default()
+    }
+
+    /// Total simulated transfer time of the most recent call (max across
+    /// devices).
+    pub fn last_transfer_time(&self) -> Duration {
+        let events = self.events.lock().expect("event log lock");
+        let mut per_device: HashMap<usize, Duration> = HashMap::new();
+        for e in events.iter() {
+            if !matches!(e.kind(), CommandKind::Kernel { .. }) {
+                *per_device.entry(e.device().0).or_default() += e.duration();
+            }
+        }
+        per_device.into_values().max().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::DeviceId;
+
+    fn kernel_event(device: usize, start: u64, end: u64) -> Event {
+        Event::new(
+            DeviceId(device),
+            CommandKind::Kernel { name: "k".into() },
+            start,
+            start,
+            end,
+            None,
+        )
+    }
+
+    #[test]
+    fn kernel_time_is_per_device_makespan() {
+        let log = EventLog::default();
+        log.record(vec![
+            kernel_event(0, 0, 100),
+            kernel_event(0, 100, 150), // device 0 total: 150
+            kernel_event(1, 0, 120),   // device 1 total: 120
+        ]);
+        assert_eq!(log.last_kernel_time(), Duration::from_nanos(150));
+    }
+
+    #[test]
+    fn transfer_time_excludes_kernels() {
+        let log = EventLog::default();
+        log.record(vec![
+            Event::new(DeviceId(0), CommandKind::WriteBuffer { bytes: 10 }, 0, 0, 40, None),
+            kernel_event(0, 40, 100),
+        ]);
+        assert_eq!(log.last_transfer_time(), Duration::from_nanos(40));
+        assert_eq!(log.last_kernel_time(), Duration::from_nanos(60));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::default();
+        assert_eq!(log.last_kernel_time(), Duration::ZERO);
+        assert!(log.last_events().is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Algorithmic skeletons (paper §3.3–§3.5): pre-implemented parallel
+//! patterns customized by user functions given as SkelCL C source strings.
+
+mod allpairs;
+mod common;
+mod map;
+mod map_overlap;
+mod reduce;
+mod scan;
+mod zip;
+
+pub use allpairs::{matrix_multiply, transpose, Allpairs};
+pub use common::EventLog;
+pub use map::Map;
+pub use map_overlap::{BoundaryHandling, MapOverlap, MapOverlapVec};
+pub use reduce::Reduce;
+pub use scan::Scan;
+pub use zip::Zip;

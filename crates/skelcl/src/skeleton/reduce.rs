@@ -1,0 +1,369 @@
+//! The **Reduce** skeleton (paper §3.3): combines all elements of a vector
+//! with a binary associative customizing operator.
+//!
+//! Implementation: the classic two-level GPU reduction — each work-group
+//! accumulates a grid-strided slice into local memory and tree-reduces it
+//! behind barriers; partial results are reduced again until one value
+//! remains. No identity element is required (the paper's `Reduce` takes
+//! only the operator): the first loaded element seeds each accumulator.
+
+use std::marker::PhantomData;
+
+use skelcl_kernel::value::Value;
+use vgpu::{DeviceBuffer, Event, KernelArg, NdRange};
+
+use crate::codegen::{
+    compile_generated, expect_return, expect_scalar_param, parse_user_function,
+};
+use crate::container::{Matrix, Scalar, Vector};
+use crate::context::Context;
+use crate::distribution::Distribution;
+use crate::error::{Error, Result};
+use crate::skeleton::common::EventLog;
+use crate::types::KernelScalar;
+
+/// Work-group size used by the reduction kernels.
+const WG: usize = 256;
+/// Maximum number of work-groups per pass (grid-stride covers the rest).
+const MAX_GROUPS: usize = 64;
+
+/// The Reduce skeleton: `red (⊕) [v1, …, vn] = v1 ⊕ v2 ⊕ … ⊕ vn`.
+///
+/// The customizing operator must be **associative** (the reduction order is
+/// unspecified, as in the paper); commutativity is *also* required because
+/// grid-striding interleaves lanes.
+///
+/// ```
+/// use skelcl::{Context, Reduce, Vector};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ctx = Context::single_gpu();
+/// let sum: Reduce<f32> = Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }")?;
+/// let v = Vector::from_vec(&ctx, vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(sum.call(&v)?.value(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Reduce<T: KernelScalar> {
+    ctx: Context,
+    program: skelcl_kernel::Program,
+    events: EventLog,
+    _types: PhantomData<fn(T, T) -> T>,
+}
+
+impl<T: KernelScalar> Reduce<T> {
+    /// Creates a Reduce skeleton from a binary operator `T f(T x, T y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCustomizingFunction`] on parse or signature
+    /// problems.
+    pub fn new(ctx: &Context, source: &str) -> Result<Self> {
+        let f = parse_user_function("Reduce", source)?;
+        expect_scalar_param("Reduce", &f, 0, T::SCALAR)?;
+        expect_scalar_param("Reduce", &f, 1, T::SCALAR)?;
+        expect_return("Reduce", &f, T::SCALAR)?;
+        if f.params.len() != 2 {
+            return Err(Error::InvalidCustomizingFunction {
+                skeleton: "Reduce",
+                reason: format!("`{}` must take exactly two parameters", f.name),
+            });
+        }
+
+        let kernel_source = format!(
+            "{user}\n\
+             __kernel void skelcl_reduce(__global const {t}* skelcl_in, __global {t}* skelcl_out, int skelcl_n) {{\n\
+                 __local {t} skelcl_scratch[{wg}];\n\
+                 int lid = (int)get_local_id(0);\n\
+                 int gid = (int)get_global_id(0);\n\
+                 int gsize = (int)get_global_size(0);\n\
+                 int lsz = (int)get_local_size(0);\n\
+                 int active = skelcl_n < gsize ? skelcl_n : gsize;\n\
+                 if (gid < active) {{\n\
+                     {t} acc = skelcl_in[gid];\n\
+                     for (int i = gid + gsize; i < skelcl_n; i += gsize) acc = {f}(acc, skelcl_in[i]);\n\
+                     skelcl_scratch[lid] = acc;\n\
+                 }}\n\
+                 barrier(CLK_LOCAL_MEM_FENCE);\n\
+                 int group_base = (int)get_group_id(0) * lsz;\n\
+                 int group_active = active - group_base;\n\
+                 if (group_active > lsz) group_active = lsz;\n\
+                 for (int stride = lsz / 2; stride > 0; stride >>= 1) {{\n\
+                     if (lid < stride && lid + stride < group_active)\n\
+                         skelcl_scratch[lid] = {f}(skelcl_scratch[lid], skelcl_scratch[lid + stride]);\n\
+                     barrier(CLK_LOCAL_MEM_FENCE);\n\
+                 }}\n\
+                 if (lid == 0 && group_active > 0)\n\
+                     skelcl_out[get_group_id(0)] = skelcl_scratch[0];\n\
+             }}\n",
+            user = f.source(),
+            t = T::SCALAR,
+            f = f.name,
+            wg = WG,
+        );
+        let program = compile_generated("skelcl_reduce.cl", &kernel_source)?;
+        Ok(Reduce { ctx: ctx.clone(), program, events: EventLog::default(), _types: PhantomData })
+    }
+
+    /// Reduces a vector to a scalar.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::EmptyContainer`] on empty input, plus any
+    /// platform failure.
+    pub fn call(&self, input: &Vector<T>) -> Result<Scalar<T>> {
+        if input.is_empty() {
+            return Err(Error::EmptyContainer { operation: "Reduce" });
+        }
+        let mut events: Vec<Event> = Vec::new();
+
+        // Distribute (block by default; copy degrades to a single device —
+        // reducing the same copy on every GPU would be redundant work).
+        let dist = match input.effective_distribution(Distribution::Block) {
+            Distribution::Copy => Distribution::Single(0),
+            Distribution::Overlap { .. } => Distribution::Block,
+            other => other,
+        };
+        let chunks = input.ensure_device(dist)?;
+
+        // Phase 1: each device reduces its chunk to a single value, in
+        // parallel host threads.
+        let partials: Vec<Result<(usize, T, Vec<Event>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut evs = Vec::new();
+                        let v = self.reduce_on_device(
+                            chunk.plan.device,
+                            chunk.buffer.clone(),
+                            chunk.plan.core_len(),
+                            &mut evs,
+                        )?;
+                        Ok((chunk.plan.device, v, evs))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("reduce thread panicked")).collect()
+        });
+        let mut values = Vec::with_capacity(partials.len());
+        for p in partials {
+            let (_, v, mut evs) = p?;
+            events.append(&mut evs);
+            values.push(v);
+        }
+
+        // Phase 2: combine the per-device partials (at most one per GPU) on
+        // the first participating device.
+        let result = if values.len() == 1 {
+            values[0]
+        } else {
+            let device = chunks[0].plan.device;
+            let queue = self.ctx.queue(device);
+            let bytes = crate::types::to_bytes(&values);
+            let buf = queue.create_buffer(bytes.len())?;
+            events.push(queue.enqueue_write(&buf, 0, &bytes)?);
+            self.reduce_on_device(device, buf, values.len(), &mut events)?
+        };
+
+        self.events.record(events);
+        Ok(Scalar::new(result, self.events.last_kernel_time()))
+    }
+
+    /// Reduces a matrix (all elements, row-major order of combination per
+    /// chunk) to a scalar.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Reduce::call`].
+    pub fn call_matrix(&self, input: &Matrix<T>) -> Result<Scalar<T>> {
+        if input.is_empty() {
+            return Err(Error::EmptyContainer { operation: "Reduce" });
+        }
+        let mut events: Vec<Event> = Vec::new();
+        let dist = match input.effective_distribution(Distribution::Block) {
+            Distribution::Copy => Distribution::Single(0),
+            Distribution::Overlap { .. } => Distribution::Block,
+            other => other,
+        };
+        let chunks = input.ensure_device(dist)?;
+        let cols = input.cols();
+
+        let partials: Vec<Result<(T, Vec<Event>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut evs = Vec::new();
+                        let v = self.reduce_on_device(
+                            chunk.plan.device,
+                            chunk.buffer.clone(),
+                            chunk.plan.core_len() * cols,
+                            &mut evs,
+                        )?;
+                        Ok((v, evs))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("reduce thread panicked")).collect()
+        });
+        let mut values = Vec::with_capacity(partials.len());
+        for p in partials {
+            let (v, mut evs) = p?;
+            events.append(&mut evs);
+            values.push(v);
+        }
+
+        let result = if values.len() == 1 {
+            values[0]
+        } else {
+            let device = chunks[0].plan.device;
+            let queue = self.ctx.queue(device);
+            let bytes = crate::types::to_bytes(&values);
+            let buf = queue.create_buffer(bytes.len())?;
+            events.push(queue.enqueue_write(&buf, 0, &bytes)?);
+            self.reduce_on_device(device, buf, values.len(), &mut events)?
+        };
+
+        self.events.record(events);
+        Ok(Scalar::new(result, self.events.last_kernel_time()))
+    }
+
+    /// Reduces `n` leading elements of `buffer` on one device, downloading
+    /// the final value.
+    fn reduce_on_device(
+        &self,
+        device: usize,
+        mut buffer: DeviceBuffer,
+        mut n: usize,
+        events: &mut Vec<Event>,
+    ) -> Result<T> {
+        let queue = self.ctx.queue(device);
+        let elem = std::mem::size_of::<T>();
+        while n > 1 {
+            let groups = n.div_ceil(WG).min(MAX_GROUPS);
+            let out = queue.create_buffer(groups * elem)?;
+            events.push(queue.launch_kernel(
+                &self.program,
+                "skelcl_reduce",
+                &[
+                    KernelArg::Buffer(buffer.clone()),
+                    KernelArg::Buffer(out.clone()),
+                    KernelArg::Scalar(Value::I32(n as i32)),
+                ],
+                NdRange::linear(groups * WG, WG),
+                self.ctx.launch_config(),
+            )?);
+            buffer = out;
+            n = groups.min(n.div_ceil(WG));
+        }
+        let mut bytes = vec![0u8; elem];
+        events.push(queue.enqueue_read(&buffer, 0, &mut bytes)?);
+        Ok(T::from_le_bytes(&bytes))
+    }
+
+    /// Profiling of the most recent call.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DeviceSelection;
+    use vgpu::{DeviceSpec, Platform};
+
+    fn ctx(n: usize) -> Context {
+        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+    }
+
+    fn sum_reduce(ctx: &Context) -> Reduce<i64> {
+        Reduce::new(ctx, "long sum(long x, long y){ return x + y; }").unwrap()
+    }
+
+    #[test]
+    fn sums_small_vector() {
+        let ctx = ctx(1);
+        let sum = sum_reduce(&ctx);
+        let v = Vector::from_vec(&ctx, vec![1i64, 2, 3, 4, 5]);
+        assert_eq!(sum.call(&v).unwrap().value(), 15);
+    }
+
+    #[test]
+    fn sums_across_group_and_pass_boundaries() {
+        let ctx = ctx(1);
+        let sum = sum_reduce(&ctx);
+        // Sizes straddling WG (256), MAX_GROUPS*WG (16384) and beyond.
+        for n in [1usize, 2, 255, 256, 257, 1000, 16384, 16385, 100_000] {
+            let v = Vector::from_fn(&ctx, n, |i| i as i64);
+            let expected: i64 = (0..n as i64).sum();
+            assert_eq!(sum.call(&v).unwrap().value(), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multi_gpu_reduction() {
+        let ctx = ctx(4);
+        let sum = sum_reduce(&ctx);
+        let n = 10_001usize;
+        let v = Vector::from_fn(&ctx, n, |i| i as i64);
+        let expected: i64 = (0..n as i64).sum();
+        let s = sum.call(&v).unwrap();
+        assert_eq!(s.value(), expected);
+        assert!(s.kernel_time().as_nanos() > 0);
+    }
+
+    #[test]
+    fn maximum_reduce() {
+        let ctx = ctx(2);
+        let maxr: Reduce<f32> =
+            Reduce::new(&ctx, "float m(float x, float y){ return fmax(x, y); }").unwrap();
+        let v = Vector::from_fn(&ctx, 5000, |i| ((i * 37) % 1999) as f32);
+        let expected = v.to_vec().unwrap().iter().cloned().fold(f32::MIN, f32::max);
+        assert_eq!(maxr.call(&v).unwrap().value(), expected);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let ctx = ctx(1);
+        let sum = sum_reduce(&ctx);
+        let v = Vector::<i64>::zeros(&ctx, 0);
+        assert!(matches!(sum.call(&v), Err(Error::EmptyContainer { .. })));
+    }
+
+    #[test]
+    fn signature_checked() {
+        let ctx = ctx(1);
+        assert!(Reduce::<f32>::new(&ctx, "float f(float x){ return x; }").is_err());
+        assert!(Reduce::<f32>::new(&ctx, "int f(float x, float y){ return 1; }").is_err());
+        assert!(
+            Reduce::<f32>::new(&ctx, "float f(float x, float y, float z){ return x; }").is_err()
+        );
+    }
+
+    #[test]
+    fn matrix_reduction() {
+        let ctx = ctx(3);
+        let sum = sum_reduce(&ctx);
+        let m = crate::Matrix::from_fn(&ctx, 37, 23, |r, c| (r * 23 + c) as i64);
+        let expected: i64 = (0..(37 * 23) as i64).sum();
+        assert_eq!(sum.call_matrix(&m).unwrap().value(), expected);
+        // Empty matrix rejected.
+        let empty = crate::Matrix::<i64>::zeros(&ctx, 0, 5);
+        assert!(matches!(
+            sum.call_matrix(&empty),
+            Err(Error::EmptyContainer { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_distribution_reduces_once() {
+        let ctx = ctx(2);
+        let sum = sum_reduce(&ctx);
+        let v = Vector::from_fn(&ctx, 100, |i| i as i64);
+        v.set_distribution(Distribution::Copy).unwrap();
+        assert_eq!(sum.call(&v).unwrap().value(), (0..100).sum::<i64>());
+    }
+}

@@ -1,0 +1,346 @@
+//! The **Scan** skeleton (paper §3.3): inclusive prefix computation
+//! (a.k.a. prefix-sum) with a binary associative customizing operator.
+//!
+//! Implementation: per-block Hillis–Steele scan in local memory (pointer
+//! double-buffering behind barriers), a recursive scan of the block sums,
+//! and an offset-application pass — the standard multi-block GPU scan. On
+//! multiple GPUs each device scans its block chunk; the chunk totals are
+//! scanned on the first device and applied as per-device offsets.
+
+use std::marker::PhantomData;
+
+use skelcl_kernel::value::Value;
+use vgpu::{DeviceBuffer, Event, KernelArg, NdRange};
+
+use crate::codegen::{
+    compile_generated, expect_return, expect_scalar_param, parse_user_function,
+};
+use crate::container::Vector;
+use crate::context::Context;
+use crate::distribution::Distribution;
+use crate::error::{Error, Result};
+use crate::skeleton::common::EventLog;
+use crate::types::{from_bytes, to_bytes, KernelScalar};
+
+/// Work-group (and scan block) size.
+const WG: usize = 256;
+
+/// The Scan skeleton:
+/// `scan (⊕) [v1, …, vn] = [v1, v1 ⊕ v2, …, v1 ⊕ … ⊕ vn]` (inclusive).
+///
+/// ```
+/// use skelcl::{Context, Scan, Vector};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ctx = Context::single_gpu();
+/// let prefix: Scan<i32> = Scan::new(&ctx, "int add(int x, int y){ return x + y; }")?;
+/// let v = Vector::from_vec(&ctx, vec![1, 2, 3, 4]);
+/// assert_eq!(prefix.call(&v)?.to_vec()?, vec![1, 3, 6, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Scan<T: KernelScalar> {
+    ctx: Context,
+    program: skelcl_kernel::Program,
+    events: EventLog,
+    _types: PhantomData<fn(T, T) -> T>,
+}
+
+impl<T: KernelScalar> Scan<T> {
+    /// Creates a Scan skeleton from a binary associative operator
+    /// `T f(T x, T y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCustomizingFunction`] on parse or signature
+    /// problems.
+    pub fn new(ctx: &Context, source: &str) -> Result<Self> {
+        let f = parse_user_function("Scan", source)?;
+        expect_scalar_param("Scan", &f, 0, T::SCALAR)?;
+        expect_scalar_param("Scan", &f, 1, T::SCALAR)?;
+        expect_return("Scan", &f, T::SCALAR)?;
+        if f.params.len() != 2 {
+            return Err(Error::InvalidCustomizingFunction {
+                skeleton: "Scan",
+                reason: format!("`{}` must take exactly two parameters", f.name),
+            });
+        }
+
+        let kernel_source = format!(
+            "{user}\n\
+             __kernel void skelcl_scan_block(__global const {t}* skelcl_in, __global {t}* skelcl_out,\n\
+                                             __global {t}* skelcl_sums, int skelcl_n) {{\n\
+                 __local {t} skelcl_bufa[{wg}];\n\
+                 __local {t} skelcl_bufb[{wg}];\n\
+                 __local {t}* cur = skelcl_bufa;\n\
+                 __local {t}* nxt = skelcl_bufb;\n\
+                 int lid = (int)get_local_id(0);\n\
+                 int gid = (int)get_global_id(0);\n\
+                 int lsz = (int)get_local_size(0);\n\
+                 if (gid < skelcl_n) cur[lid] = skelcl_in[gid];\n\
+                 barrier(CLK_LOCAL_MEM_FENCE);\n\
+                 for (int off = 1; off < lsz; off <<= 1) {{\n\
+                     if (lid >= off && gid < skelcl_n) nxt[lid] = {f}(cur[lid - off], cur[lid]);\n\
+                     else nxt[lid] = cur[lid];\n\
+                     barrier(CLK_LOCAL_MEM_FENCE);\n\
+                     __local {t}* tmp = cur; cur = nxt; nxt = tmp;\n\
+                 }}\n\
+                 if (gid < skelcl_n) skelcl_out[gid] = cur[lid];\n\
+                 if (lid == lsz - 1) skelcl_sums[get_group_id(0)] = cur[lid];\n\
+             }}\n\
+             __kernel void skelcl_scan_add_sums(__global {t}* skelcl_data,\n\
+                                                __global const {t}* skelcl_sums, int skelcl_n) {{\n\
+                 int gid = (int)get_global_id(0);\n\
+                 int g = (int)get_group_id(0);\n\
+                 if (g > 0 && gid < skelcl_n)\n\
+                     skelcl_data[gid] = {f}(skelcl_sums[g - 1], skelcl_data[gid]);\n\
+             }}\n\
+             __kernel void skelcl_scan_offset(__global {t}* skelcl_data, {t} skelcl_off, int skelcl_n) {{\n\
+                 int gid = (int)get_global_id(0);\n\
+                 if (gid < skelcl_n) skelcl_data[gid] = {f}(skelcl_off, skelcl_data[gid]);\n\
+             }}\n",
+            user = f.source(),
+            t = T::SCALAR,
+            f = f.name,
+            wg = WG,
+        );
+        let program = compile_generated("skelcl_scan.cl", &kernel_source)?;
+        Ok(Scan { ctx: ctx.clone(), program, events: EventLog::default(), _types: PhantomData })
+    }
+
+    /// Computes the inclusive prefix of a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform failures; empty input yields an empty output.
+    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
+        if input.is_empty() {
+            return Ok(Vector::from_vec(&self.ctx, Vec::new()));
+        }
+        let dist = match input.effective_distribution(Distribution::Block) {
+            Distribution::Copy => Distribution::Single(0),
+            Distribution::Overlap { .. } => Distribution::Block,
+            other => other,
+        };
+        let in_chunks = input.ensure_device(dist)?;
+        let (output, out_chunks) = Vector::alloc_device(&self.ctx, input.len(), dist)?;
+
+        // Phase 1: scan every chunk on its device, in parallel.
+        let scans: Vec<Result<Vec<Event>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = in_chunks
+                .iter()
+                .zip(&out_chunks)
+                .map(|(ic, oc)| {
+                    scope.spawn(move || {
+                        let mut evs = Vec::new();
+                        self.scan_on_device(
+                            ic.plan.device,
+                            &ic.buffer,
+                            &oc.buffer,
+                            ic.plan.core_len(),
+                            &mut evs,
+                        )?;
+                        Ok(evs)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
+        });
+        let mut events = Vec::new();
+        for s in scans {
+            events.extend(s?);
+        }
+
+        // Phase 2: apply cross-device offsets (chunk totals scanned on the
+        // first device).
+        if out_chunks.len() > 1 {
+            let elem = std::mem::size_of::<T>();
+            let mut totals: Vec<T> = Vec::with_capacity(out_chunks.len());
+            for oc in &out_chunks {
+                let queue = self.ctx.queue(oc.plan.device);
+                let mut bytes = vec![0u8; elem];
+                events.push(queue.enqueue_read(
+                    &oc.buffer,
+                    (oc.plan.core_len() - 1) * elem,
+                    &mut bytes,
+                )?);
+                totals.push(T::from_le_bytes(&bytes));
+            }
+            // Inclusive scan of the (tiny) totals on the first device.
+            let first = out_chunks[0].plan.device;
+            let queue = self.ctx.queue(first);
+            let tot_buf = queue.create_buffer(totals.len() * elem)?;
+            events.push(queue.enqueue_write(&tot_buf, 0, &to_bytes(&totals))?);
+            let scanned = queue.create_buffer(totals.len() * elem)?;
+            self.scan_on_device(first, &tot_buf, &scanned, totals.len(), &mut events)?;
+            let mut bytes = vec![0u8; totals.len() * elem];
+            events.push(queue.enqueue_read(&scanned, 0, &mut bytes)?);
+            let prefixes: Vec<T> = from_bytes(&bytes);
+
+            for (i, oc) in out_chunks.iter().enumerate().skip(1) {
+                let queue = self.ctx.queue(oc.plan.device);
+                let n = oc.plan.core_len();
+                events.push(queue.launch_kernel(
+                    &self.program,
+                    "skelcl_scan_offset",
+                    &[
+                        KernelArg::Buffer(oc.buffer.clone()),
+                        KernelArg::Scalar(prefixes[i - 1].to_value()),
+                        KernelArg::Scalar(Value::I32(n as i32)),
+                    ],
+                    NdRange::linear(n, WG),
+                    self.ctx.launch_config(),
+                )?);
+            }
+        }
+
+        self.events.record(events);
+        output.mark_device_written();
+        Ok(output)
+    }
+
+    /// Scans `n` elements of `input` into `output` on one device
+    /// (recursive multi-block scan).
+    fn scan_on_device(
+        &self,
+        device: usize,
+        input: &DeviceBuffer,
+        output: &DeviceBuffer,
+        n: usize,
+        events: &mut Vec<Event>,
+    ) -> Result<()> {
+        let queue = self.ctx.queue(device);
+        let elem = std::mem::size_of::<T>();
+        let groups = n.div_ceil(WG);
+        let sums = queue.create_buffer(groups * elem)?;
+        events.push(queue.launch_kernel(
+            &self.program,
+            "skelcl_scan_block",
+            &[
+                KernelArg::Buffer(input.clone()),
+                KernelArg::Buffer(output.clone()),
+                KernelArg::Buffer(sums.clone()),
+                KernelArg::Scalar(Value::I32(n as i32)),
+            ],
+            NdRange::linear(groups * WG, WG),
+            self.ctx.launch_config(),
+        )?);
+        if groups > 1 {
+            let scanned = queue.create_buffer(groups * elem)?;
+            self.scan_on_device(device, &sums, &scanned, groups, events)?;
+            events.push(queue.launch_kernel(
+                &self.program,
+                "skelcl_scan_add_sums",
+                &[
+                    KernelArg::Buffer(output.clone()),
+                    KernelArg::Buffer(scanned),
+                    KernelArg::Scalar(Value::I32(n as i32)),
+                ],
+                NdRange::linear(groups * WG, WG),
+                self.ctx.launch_config(),
+            )?);
+        }
+        Ok(())
+    }
+
+    /// Profiling of the most recent call.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DeviceSelection;
+    use vgpu::{DeviceSpec, Platform};
+
+    fn ctx(n: usize) -> Context {
+        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+    }
+
+    fn prefix_sum(ctx: &Context) -> Scan<i64> {
+        Scan::new(ctx, "long add(long x, long y){ return x + y; }").unwrap()
+    }
+
+    fn host_scan(input: &[i64]) -> Vec<i64> {
+        input
+            .iter()
+            .scan(0i64, |acc, &x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_prefix_sum_example() {
+        let ctx = ctx(1);
+        let scan = prefix_sum(&ctx);
+        let v = Vector::from_vec(&ctx, vec![1i64, 2, 3, 4, 5]);
+        assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn scan_across_block_boundaries() {
+        let ctx = ctx(1);
+        let scan = prefix_sum(&ctx);
+        for n in [1usize, 255, 256, 257, 512, 1000, 65537] {
+            let data: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 13 - 6).collect();
+            let v = Vector::from_vec(&ctx, data.clone());
+            assert_eq!(
+                scan.call(&v).unwrap().to_vec().unwrap(),
+                host_scan(&data),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_gpu_scan() {
+        let ctx = ctx(4);
+        let scan = prefix_sum(&ctx);
+        let data: Vec<i64> = (0..4099).map(|i| i % 17 - 8).collect();
+        let v = Vector::from_vec(&ctx, data.clone());
+        assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), host_scan(&data));
+    }
+
+    #[test]
+    fn non_commutative_operator() {
+        // Scan must preserve order; use a non-commutative associative op:
+        // 2x2 matrix multiplication is overkill, but string-like "last"
+        // composition works: f(x, y) = y ("replace"), whose scan is the
+        // input itself.
+        let ctx = ctx(2);
+        let last: Scan<i32> = Scan::new(&ctx, "int f(int x, int y){ return y; }").unwrap();
+        let data: Vec<i32> = (0..1000).map(|i| i * 3).collect();
+        let v = Vector::from_vec(&ctx, data.clone());
+        assert_eq!(last.call(&v).unwrap().to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn float_prefix_product() {
+        let ctx = ctx(2);
+        let prod: Scan<f64> =
+            Scan::new(&ctx, "double mul(double x, double y){ return x * y; }").unwrap();
+        let v = Vector::from_vec(&ctx, vec![1.0f64, 2.0, 0.5, 4.0, 0.25]);
+        let out = prod.call(&v).unwrap().to_vec().unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 1.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_scan_is_empty() {
+        let ctx = ctx(2);
+        let scan = prefix_sum(&ctx);
+        let v = Vector::<i64>::zeros(&ctx, 0);
+        assert!(scan.call(&v).unwrap().is_empty());
+    }
+
+    #[test]
+    fn signature_checked() {
+        let ctx = ctx(1);
+        assert!(Scan::<i32>::new(&ctx, "int f(int x){ return x; }").is_err());
+        assert!(Scan::<i32>::new(&ctx, "float f(int x, int y){ return 0.0f; }").is_err());
+    }
+}

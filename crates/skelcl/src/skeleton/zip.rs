@@ -1,0 +1,274 @@
+//! The **Zip** skeleton (paper §3.3): combines two containers elementwise
+//! with a binary customizing operator.
+
+use std::marker::PhantomData;
+
+use skelcl_kernel::value::Value;
+use vgpu::{KernelArg, NdRange};
+
+use crate::codegen::{
+    check_extra_args, compile_generated, expect_return, expect_scalar_extras,
+    expect_scalar_param, extra_param_decls, extra_param_uses, parse_user_function,
+};
+use crate::container::{Matrix, Vector};
+use crate::context::Context;
+use crate::distribution::Distribution;
+use crate::error::{Error, Result};
+use crate::skeleton::common::{launch_parallel, DeviceLaunch, EventLog};
+use crate::skeleton::map::normalize_elementwise;
+use crate::types::KernelScalar;
+
+/// The Zip skeleton: `zip (⊕) xs ys = [x1 ⊕ y1, …, xn ⊕ yn]`.
+///
+/// ```
+/// use skelcl::{Context, Zip, Vector};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ctx = Context::single_gpu();
+/// let add: Zip<f32, f32, f32> =
+///     Zip::new(&ctx, "float func(float x, float y){ return x + y; }")?;
+/// let a = Vector::from_vec(&ctx, vec![1.0, 2.0]);
+/// let b = Vector::from_vec(&ctx, vec![10.0, 20.0]);
+/// assert_eq!(add.call(&a, &b)?.to_vec()?, vec![11.0, 22.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Zip<L: KernelScalar, R: KernelScalar, O: KernelScalar> {
+    ctx: Context,
+    program: skelcl_kernel::Program,
+    extras: Vec<skelcl_kernel::types::Type>,
+    events: EventLog,
+    _types: PhantomData<fn(L, R) -> O>,
+}
+
+impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
+    /// Creates a Zip skeleton from a binary customizing function
+    /// `O f(L x, R y, …scalars)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCustomizingFunction`] on parse or signature
+    /// problems.
+    pub fn new(ctx: &Context, source: &str) -> Result<Self> {
+        let f = parse_user_function("Zip", source)?;
+        expect_scalar_param("Zip", &f, 0, L::SCALAR)?;
+        expect_scalar_param("Zip", &f, 1, R::SCALAR)?;
+        expect_return("Zip", &f, O::SCALAR)?;
+        expect_scalar_extras("Zip", &f, 2)?;
+        let extras = f.extra_params(2).to_vec();
+
+        let kernel_source = format!(
+            "{user}\n\
+             __kernel void skelcl_zip(__global const {l}* skelcl_lhs, __global const {r}* skelcl_rhs,\n\
+                                      __global {o}* skelcl_out, int skelcl_n{decls}) {{\n\
+                 int skelcl_i = (int)get_global_id(0);\n\
+                 if (skelcl_i < skelcl_n)\n\
+                     skelcl_out[skelcl_i] = {f}(skelcl_lhs[skelcl_i], skelcl_rhs[skelcl_i]{uses});\n\
+             }}\n",
+            user = f.source(),
+            l = L::SCALAR,
+            r = R::SCALAR,
+            o = O::SCALAR,
+            f = f.name,
+            decls = extra_param_decls(&extras, "skelcl_x"),
+            uses = extra_param_uses(&extras, "skelcl_x"),
+        );
+        let program = compile_generated("skelcl_zip.cl", &kernel_source)?;
+        Ok(Zip { ctx: ctx.clone(), program, extras, events: EventLog::default(), _types: PhantomData })
+    }
+
+    /// Applies the skeleton to two vectors of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::ShapeMismatch`] for unequal lengths, plus any
+    /// platform failure.
+    pub fn call(&self, lhs: &Vector<L>, rhs: &Vector<R>) -> Result<Vector<O>> {
+        self.call_with(lhs, rhs, &[])
+    }
+
+    /// [`Zip::call`] with extra scalar arguments.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Zip::call`], plus extra-argument arity mismatches.
+    pub fn call_with(
+        &self,
+        lhs: &Vector<L>,
+        rhs: &Vector<R>,
+        extra: &[Value],
+    ) -> Result<Vector<O>> {
+        check_extra_args("Zip", &self.extras, extra)?;
+        if lhs.len() != rhs.len() {
+            return Err(Error::ShapeMismatch {
+                reason: format!(
+                    "zip requires equal lengths, found {} and {}",
+                    lhs.len(),
+                    rhs.len()
+                ),
+            });
+        }
+        // Both operands follow the left operand's effective distribution so
+        // their chunks align (the right one is redistributed implicitly).
+        let dist = normalize_elementwise(lhs.effective_distribution(Distribution::Block));
+        let l_chunks = lhs.ensure_device(dist)?;
+        let r_chunks = rhs.ensure_device(dist)?;
+        let (output, out_chunks) = Vector::alloc_device(&self.ctx, lhs.len(), dist)?;
+
+        let launches = l_chunks
+            .iter()
+            .zip(&r_chunks)
+            .zip(&out_chunks)
+            .map(|((lc, rc), oc)| {
+                let n = lc.plan.core_len();
+                let mut args = vec![
+                    KernelArg::Buffer(lc.buffer.clone()),
+                    KernelArg::Buffer(rc.buffer.clone()),
+                    KernelArg::Buffer(oc.buffer.clone()),
+                    KernelArg::Scalar(Value::I32(n as i32)),
+                ];
+                args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
+                DeviceLaunch { device: lc.plan.device, args, range: NdRange::linear_default(n) }
+            })
+            .collect();
+        let events = launch_parallel(&self.ctx, &self.program, "skelcl_zip", launches)?;
+        self.events.record(events);
+        output.mark_device_written();
+        Ok(output)
+    }
+
+    /// Applies the skeleton elementwise to two matrices of equal shape.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Zip::call`].
+    pub fn call_matrix(&self, lhs: &Matrix<L>, rhs: &Matrix<R>) -> Result<Matrix<O>> {
+        check_extra_args("Zip", &self.extras, &[])?;
+        if lhs.rows() != rhs.rows() || lhs.cols() != rhs.cols() {
+            return Err(Error::ShapeMismatch {
+                reason: format!(
+                    "zip requires equal shapes, found {}×{} and {}×{}",
+                    lhs.rows(),
+                    lhs.cols(),
+                    rhs.rows(),
+                    rhs.cols()
+                ),
+            });
+        }
+        let dist = normalize_elementwise(lhs.effective_distribution(Distribution::Block));
+        let l_chunks = lhs.ensure_device(dist)?;
+        let r_chunks = rhs.ensure_device(dist)?;
+        let (output, out_chunks) =
+            Matrix::alloc_device(&self.ctx, lhs.rows(), lhs.cols(), dist)?;
+        let cols = lhs.cols();
+
+        let launches = l_chunks
+            .iter()
+            .zip(&r_chunks)
+            .zip(&out_chunks)
+            .map(|((lc, rc), oc)| {
+                let n = lc.plan.core_len() * cols;
+                let args = vec![
+                    KernelArg::Buffer(lc.buffer.clone()),
+                    KernelArg::Buffer(rc.buffer.clone()),
+                    KernelArg::Buffer(oc.buffer.clone()),
+                    KernelArg::Scalar(Value::I32(n as i32)),
+                ];
+                DeviceLaunch { device: lc.plan.device, args, range: NdRange::linear_default(n) }
+            })
+            .collect();
+        let events = launch_parallel(&self.ctx, &self.program, "skelcl_zip", launches)?;
+        self.events.record(events);
+        output.mark_device_written();
+        Ok(output)
+    }
+
+    /// Profiling of the most recent call.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DeviceSelection;
+    use vgpu::{DeviceSpec, Platform};
+
+    fn ctx(n: usize) -> Context {
+        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+    }
+
+    #[test]
+    fn paper_vector_multiplication() {
+        let ctx = ctx(2);
+        let mult: Zip<f32, f32, f32> =
+            Zip::new(&ctx, "float mult(float x, float y){ return x * y; }").unwrap();
+        let a = Vector::from_fn(&ctx, 500, |i| i as f32);
+        let b = Vector::from_fn(&ctx, 500, |i| 2.0 * i as f32);
+        let c = mult.call(&a, &b).unwrap();
+        let out = c.to_vec().unwrap();
+        assert_eq!(out[10], 200.0);
+        assert_eq!(out[499], 2.0 * 499.0 * 499.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let ctx = ctx(1);
+        let add: Zip<i32, i32, i32> =
+            Zip::new(&ctx, "int f(int a, int b){ return a + b; }").unwrap();
+        let a = Vector::from_vec(&ctx, vec![1, 2, 3]);
+        let b = Vector::from_vec(&ctx, vec![1, 2]);
+        assert!(matches!(add.call(&a, &b), Err(Error::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn mixed_element_types() {
+        let ctx = ctx(1);
+        let select: Zip<f32, u8, f32> = Zip::new(
+            &ctx,
+            "float f(float x, uchar keep){ return keep != 0 ? x : 0.0f; }",
+        )
+        .unwrap();
+        let a = Vector::from_vec(&ctx, vec![1.5f32, 2.5, 3.5]);
+        let mask = Vector::from_vec(&ctx, vec![1u8, 0, 1]);
+        assert_eq!(select.call(&a, &mask).unwrap().to_vec().unwrap(), vec![1.5, 0.0, 3.5]);
+    }
+
+    #[test]
+    fn rhs_redistributed_to_match_lhs() {
+        let ctx = ctx(2);
+        let add: Zip<i32, i32, i32> =
+            Zip::new(&ctx, "int f(int a, int b){ return a + b; }").unwrap();
+        let a = Vector::from_fn(&ctx, 100, |i| i as i32);
+        let b = Vector::from_fn(&ctx, 100, |i| (1000 - i) as i32);
+        // Put b under copy first; zip must coerce it to a's block.
+        b.set_distribution(Distribution::Copy).unwrap();
+        b.ensure_device(Distribution::Copy).unwrap();
+        a.set_distribution(Distribution::Block).unwrap();
+        let c = add.call(&a, &b).unwrap();
+        assert!(c.to_vec().unwrap().iter().all(|&v| v == 1000));
+    }
+
+    #[test]
+    fn matrix_zip() {
+        let ctx = ctx(2);
+        let sub: Zip<i32, i32, i32> =
+            Zip::new(&ctx, "int f(int a, int b){ return a - b; }").unwrap();
+        let a = Matrix::from_fn(&ctx, 6, 4, |r, c| (r * 4 + c) as i32 * 3);
+        let b = Matrix::from_fn(&ctx, 6, 4, |r, c| (r * 4 + c) as i32);
+        let out = sub.call_matrix(&a, &b).unwrap();
+        assert_eq!(out.get(5, 3).unwrap(), 46);
+        let bad = Matrix::<i32>::zeros(&ctx, 4, 6);
+        assert!(sub.call_matrix(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn binary_signature_checked() {
+        let ctx = ctx(1);
+        assert!(Zip::<f32, f32, f32>::new(&ctx, "float f(float x){ return x; }").is_err());
+        assert!(Zip::<f32, i32, f32>::new(&ctx, "float f(float x, float y){ return x; }")
+            .is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Mapping between Rust element types and SkelCL C scalar types.
+
+use skelcl_kernel::types::ScalarType;
+use skelcl_kernel::value::Value;
+
+mod private {
+    pub trait Sealed {}
+}
+
+/// A Rust type usable as a container element and kernel scalar.
+///
+/// This trait is sealed: exactly the fixed-width numeric types that SkelCL C
+/// kernels can address implement it.
+pub trait KernelScalar: private::Sealed + Copy + Default + Send + Sync + 'static {
+    /// The corresponding SkelCL C type.
+    const SCALAR: ScalarType;
+
+    /// Converts to a VM value (for scalar kernel arguments).
+    fn to_value(self) -> Value;
+
+    /// Reads one element from the start of a little-endian byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than the element size.
+    fn from_le_bytes(bytes: &[u8]) -> Self;
+
+    /// Appends the element's little-endian bytes to `out`.
+    fn write_le_bytes(self, out: &mut Vec<u8>);
+}
+
+macro_rules! impl_kernel_scalar {
+    ($t:ty, $scalar:ident, $value:ident) => {
+        impl private::Sealed for $t {}
+        impl KernelScalar for $t {
+            const SCALAR: ScalarType = ScalarType::$scalar;
+
+            fn to_value(self) -> Value {
+                Value::$value(self)
+            }
+
+            fn from_le_bytes(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..std::mem::size_of::<$t>()].try_into().unwrap())
+            }
+
+            fn write_le_bytes(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    };
+}
+
+impl_kernel_scalar!(i8, Char, I8);
+impl_kernel_scalar!(u8, UChar, U8);
+impl_kernel_scalar!(i16, Short, I16);
+impl_kernel_scalar!(u16, UShort, U16);
+impl_kernel_scalar!(i32, Int, I32);
+impl_kernel_scalar!(u32, UInt, U32);
+impl_kernel_scalar!(i64, Long, I64);
+impl_kernel_scalar!(u64, ULong, U64);
+impl_kernel_scalar!(f32, Float, F32);
+impl_kernel_scalar!(f64, Double, F64);
+
+/// Serialises a slice of elements to little-endian bytes.
+pub fn to_bytes<T: KernelScalar>(items: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(std::mem::size_of_val(items));
+    for &x in items {
+        x.write_le_bytes(&mut out);
+    }
+    out
+}
+
+/// Deserialises little-endian bytes into elements.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not a whole number of elements.
+pub fn from_bytes<T: KernelScalar>(bytes: &[u8]) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % size, 0, "byte length is not a whole number of elements");
+    bytes.chunks_exact(size).map(T::from_le_bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_mapping() {
+        assert_eq!(<u8 as KernelScalar>::SCALAR, ScalarType::UChar);
+        assert_eq!(<f32 as KernelScalar>::SCALAR, ScalarType::Float);
+        assert_eq!(<i64 as KernelScalar>::SCALAR, ScalarType::Long);
+    }
+
+    #[test]
+    fn value_conversion() {
+        assert_eq!(3.5f32.to_value(), Value::F32(3.5));
+        assert_eq!((-7i8).to_value(), Value::I8(-7));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let xs: Vec<f32> = vec![1.5, -2.25, 0.0];
+        assert_eq!(from_bytes::<f32>(&to_bytes(&xs)), xs);
+        let ys: Vec<u16> = vec![0, 1, 65535];
+        assert_eq!(from_bytes::<u16>(&to_bytes(&ys)), ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of elements")]
+    fn from_bytes_rejects_ragged_input() {
+        let _ = from_bytes::<f32>(&[0u8; 6]);
+    }
+}

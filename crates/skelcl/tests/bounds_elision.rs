@@ -1,0 +1,111 @@
+//! The paper's stated *future work* (§3.4): "we plan to avoid boundary
+//! checks at runtime by statically proving that all memory accesses are in
+//! bounds, as it is the case in the shown example."
+//!
+//! In this reproduction that optimisation falls out of the compiler: the
+//! generated `get()` accessor is a single bounds-checked expression, the
+//! inliner substitutes it at every call site, and constant folding
+//! evaluates the range comparison for literal offsets — eliminating the
+//! check (and its trap) from the kernel entirely. These tests pin that
+//! behaviour down.
+
+use skelcl::{BoundaryHandling, Context, MapOverlap, Matrix};
+
+/// Counts `trap` instructions outside the standalone accessor helpers —
+/// i.e. in the code work-items actually execute per access once the
+/// accessors are inlined. (The un-inlined `__skelcl_get2` definition keeps
+/// its trap but is never called when all sites were substituted.)
+fn kernel_trap_count(m: &MapOverlap<f32, f32>) -> usize {
+    m.program()
+        .functions()
+        .iter()
+        .filter(|f| !f.name.starts_with("__skelcl_"))
+        .flat_map(|f| f.code.iter())
+        .filter(|op| matches!(op, skelcl_kernel::ir::Op::Trap))
+        .count()
+}
+
+#[test]
+fn constant_offsets_prove_bounds_statically() {
+    let ctx = Context::single_gpu();
+    // Sobel-style stencil: every get() offset is a literal within ±1.
+    let m: MapOverlap<f32, f32> = MapOverlap::new(
+        &ctx,
+        "float func(const float* img){
+            return get(img, -1, -1) + get(img, 1, 1) + get(img, 0, 0);
+        }",
+        1,
+        BoundaryHandling::Neutral(0.0),
+    )
+    .unwrap();
+    assert_eq!(
+        kernel_trap_count(&m),
+        0,
+        "all accesses statically in bounds — no runtime checks remain:\n{}",
+        m.program().disassemble()
+    );
+    // And it still computes correctly.
+    let input = Matrix::from_fn(&ctx, 8, 8, |r, c| (r * 8 + c) as f32);
+    let out = m.call(&input).unwrap();
+    assert_eq!(out.get(4, 4).unwrap(), (3 * 8 + 3) as f32 + (5 * 8 + 5) as f32 + (4 * 8 + 4) as f32);
+}
+
+#[test]
+fn dynamic_offsets_keep_the_runtime_check() {
+    let ctx = Context::single_gpu();
+    // Listing 1.2 style: offsets are loop variables — not statically
+    // provable, so the check must remain and still fire at runtime.
+    let m: MapOverlap<f32, f32> = MapOverlap::new(
+        &ctx,
+        "float func(const float* m_in){
+            float sum = 0.0f;
+            for (int i = -1; i <= 1; ++i)
+                for (int j = -1; j <= 1; ++j)
+                    sum += get(m_in, i, j);
+            return sum;
+        }",
+        1,
+        BoundaryHandling::Neutral(0.0),
+    )
+    .unwrap();
+    assert!(
+        kernel_trap_count(&m) > 0,
+        "dynamic offsets cannot be proven — runtime check retained"
+    );
+
+    // A dynamic out-of-range access traps, as the paper specifies.
+    let bad: MapOverlap<f32, f32> = MapOverlap::new(
+        &ctx,
+        "float func(const float* m_in, int k){
+            return get(m_in, k, 0);
+        }",
+        1,
+        BoundaryHandling::Neutral(0.0),
+    )
+    .unwrap();
+    let input = Matrix::<f32>::zeros(&ctx, 4, 4);
+    assert!(bad
+        .call_with(&input, &[skelcl::Value::I32(0)])
+        .is_ok());
+    let err = bad
+        .call_with(&input, &[skelcl::Value::I32(2)])
+        .unwrap_err();
+    assert!(err.to_string().contains("trap"), "{err}");
+}
+
+#[test]
+fn statically_out_of_range_offset_is_caught_at_first_run() {
+    let ctx = Context::single_gpu();
+    // get(m, 2, 0) with d=1 is *always* wrong; the folded condition is
+    // constantly false, so the kernel body becomes an unconditional trap.
+    let bad: MapOverlap<f32, f32> = MapOverlap::new(
+        &ctx,
+        "float func(const float* m){ return get(m, 2, 0); }",
+        1,
+        BoundaryHandling::Neutral(0.0),
+    )
+    .unwrap();
+    let input = Matrix::<f32>::zeros(&ctx, 4, 4);
+    let err = bad.call(&input).unwrap_err();
+    assert!(err.to_string().contains("trap"), "{err}");
+}

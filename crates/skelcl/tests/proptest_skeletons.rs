@@ -1,0 +1,163 @@
+//! Property-based tests: every skeleton must agree with a host reference
+//! for arbitrary inputs, lengths and device counts — including the awkward
+//! sizes around work-group and chunk boundaries.
+
+use proptest::prelude::*;
+
+use skelcl::{
+    BoundaryHandling, Context, DeviceSelection, Distribution, Map, MapOverlap, Matrix, Reduce,
+    Scan, Vector, Zip,
+};
+use vgpu::{DeviceSpec, Platform};
+
+fn ctx(devices: usize) -> Context {
+    Context::init(Platform::new(devices, DeviceSpec::tesla_t10()), DeviceSelection::All)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn map_matches_host(
+        data in proptest::collection::vec(any::<i32>(), 0..2000),
+        devices in 1usize..=4,
+    ) {
+        let ctx = ctx(devices);
+        let map: Map<i32, i32> =
+            Map::new(&ctx, "int f(int x){ return x * 3 - 7; }").unwrap();
+        let v = Vector::from_vec(&ctx, data.clone());
+        let out = map.call(&v).unwrap().to_vec().unwrap();
+        let expected: Vec<i32> =
+            data.iter().map(|&x| x.wrapping_mul(3).wrapping_sub(7)).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn zip_matches_host(
+        data in proptest::collection::vec((any::<i32>(), any::<i32>()), 1..1500),
+        devices in 1usize..=4,
+        dist_choice in 0usize..4,
+    ) {
+        let ctx = ctx(devices);
+        let zip: Zip<i32, i32, i32> =
+            Zip::new(&ctx, "int f(int a, int b){ return a ^ (b + 1); }").unwrap();
+        let (xs, ys): (Vec<i32>, Vec<i32>) = data.into_iter().unzip();
+        let a = Vector::from_vec(&ctx, xs.clone());
+        let b = Vector::from_vec(&ctx, ys.clone());
+        let dist = match dist_choice {
+            0 => Distribution::Block,
+            1 => Distribution::Copy,
+            2 => Distribution::single(),
+            _ => Distribution::Overlap { size: 3 },
+        };
+        a.set_distribution(dist).unwrap();
+        let out = zip.call(&a, &b).unwrap().to_vec().unwrap();
+        let expected: Vec<i32> =
+            xs.iter().zip(&ys).map(|(&x, &y)| x ^ y.wrapping_add(1)).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn reduce_matches_host(
+        data in proptest::collection::vec(any::<i64>(), 1..5000),
+        devices in 1usize..=4,
+    ) {
+        let ctx = ctx(devices);
+        let sum: Reduce<i64> =
+            Reduce::new(&ctx, "long f(long x, long y){ return x + y; }").unwrap();
+        let v = Vector::from_vec(&ctx, data.clone());
+        let expected = data.iter().fold(0i64, |a, &b| a.wrapping_add(b));
+        // Wrapping addition is associative and commutative, so any
+        // reduction order gives the same result.
+        prop_assert_eq!(sum.call(&v).unwrap().value(), expected);
+    }
+
+    #[test]
+    fn scan_matches_host(
+        data in proptest::collection::vec(any::<i64>(), 1..3000),
+        devices in 1usize..=4,
+    ) {
+        let ctx = ctx(devices);
+        let scan: Scan<i64> =
+            Scan::new(&ctx, "long f(long x, long y){ return x + y; }").unwrap();
+        let v = Vector::from_vec(&ctx, data.clone());
+        let out = scan.call(&v).unwrap().to_vec().unwrap();
+        let expected: Vec<i64> = data
+            .iter()
+            .scan(0i64, |acc, &x| {
+                *acc = acc.wrapping_add(x);
+                Some(*acc)
+            })
+            .collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_overlap_matches_host(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        d in 1usize..3,
+        devices in 1usize..=4,
+        seed in any::<u32>(),
+    ) {
+        let ctx = ctx(devices);
+        // Stencil: sum of the four axis neighbours at distance d, neutral 1.
+        let src = format!(
+            "int f(const int* m){{
+                 return get(m, -{d}, 0) + get(m, {d}, 0) + get(m, 0, -{d}) + get(m, 0, {d});
+             }}"
+        );
+        let m: MapOverlap<i32, i32> =
+            MapOverlap::new(&ctx, &src, d, BoundaryHandling::Neutral(1)).unwrap();
+        let data: Vec<i32> = (0..rows * cols)
+            .map(|i| ((i as u32).wrapping_mul(seed | 1) >> 16) as i32 % 100)
+            .collect();
+        let input = Matrix::from_vec(&ctx, rows, cols, data.clone());
+        let out = m.call(&input).unwrap().to_vec().unwrap();
+
+        let get = |r: isize, c: isize| -> i32 {
+            if r < 0 || r >= rows as isize || c < 0 || c >= cols as isize {
+                1
+            } else {
+                data[r as usize * cols + c as usize]
+            }
+        };
+        let di = d as isize;
+        for r in 0..rows as isize {
+            for c in 0..cols as isize {
+                let expected = get(r, c - di) + get(r, c + di) + get(r - di, c) + get(r + di, c);
+                prop_assert_eq!(
+                    out[r as usize * cols + c as usize],
+                    expected,
+                    "rows={} cols={} d={} at ({}, {})", rows, cols, d, r, c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redistribution_preserves_contents(
+        data in proptest::collection::vec(any::<f32>(), 0..1000),
+        dists in proptest::collection::vec(0usize..4, 1..5),
+        devices in 1usize..=4,
+    ) {
+        let ctx = ctx(devices);
+        let v = Vector::from_vec(&ctx, data.clone());
+        for d in dists {
+            let dist = match d {
+                0 => Distribution::Block,
+                1 => Distribution::Copy,
+                2 => Distribution::single(),
+                _ => Distribution::Overlap { size: 2 },
+            };
+            v.set_distribution(dist).unwrap();
+            v.prefetch(dist).unwrap();
+            let back = v.to_vec().unwrap();
+            // NaN-safe bitwise comparison.
+            prop_assert_eq!(back.len(), data.len());
+            for (a, b) in back.iter().zip(&data) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The analytic cost model converting execution counters into simulated
+//! time.
+//!
+//! The model captures the first-order effects the SkelCL paper's evaluation
+//! depends on:
+//!
+//! * **compute**: every VM instruction costs `cycles_per_op` on one of
+//!   `cores` scalar cores;
+//! * **memory hierarchy**: global accesses cost an order of magnitude more
+//!   cycles than local (scratchpad) accesses — this is what makes the
+//!   local-memory Sobel kernels (NVIDIA SDK, SkelCL's MapOverlap) beat the
+//!   AMD SDK kernel in Fig. 5;
+//! * **bandwidth bound**: a kernel cannot move bytes faster than the global
+//!   memory bandwidth;
+//! * **toolchain**: CUDA-built kernels run ~1.39× faster than OpenCL-built
+//!   ones, matching the paper's Fig. 4 observation (attributed to compiler
+//!   maturity, citing Kong et al.);
+//! * **transfers**: PCIe latency + bandwidth for host↔device copies.
+
+use skelcl_kernel::vm::CostCounters;
+
+use crate::device::DeviceSpec;
+
+/// Which toolchain "built" the kernel (the paper's CUDA-vs-OpenCL axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Toolchain {
+    /// OpenCL-style compilation (the default; SkelCL builds on OpenCL).
+    #[default]
+    OpenCl,
+    /// CUDA-style compilation: same kernel, multiplied by the device's
+    /// `cuda_toolchain_speedup`.
+    Cuda,
+}
+
+/// Simulated duration of a kernel execution with the given aggregate
+/// counters on `spec`, excluding the fixed launch overhead.
+pub fn kernel_ns(spec: &DeviceSpec, counters: &CostCounters, toolchain: Toolchain) -> u64 {
+    let compute_cycles = counters.ops as f64 * spec.cycles_per_op
+        + counters.global_mem_ops() as f64 * spec.cycles_per_global_access
+        + counters.local_mem_ops() as f64 * spec.cycles_per_local_access;
+    let compute_s = compute_cycles / (spec.cores as f64 * spec.clock_hz as f64);
+    let bandwidth_s = counters.global_bytes as f64 / spec.global_bandwidth;
+    let mut seconds = compute_s.max(bandwidth_s);
+    if toolchain == Toolchain::Cuda {
+        seconds /= spec.cuda_toolchain_speedup;
+    }
+    (seconds * 1e9).ceil() as u64
+}
+
+/// Simulated duration of a kernel launch including the fixed overhead.
+pub fn launch_ns(spec: &DeviceSpec, counters: &CostCounters, toolchain: Toolchain) -> u64 {
+    spec.kernel_launch_overhead_ns + kernel_ns(spec, counters, toolchain)
+}
+
+/// Simulated duration of a host↔device transfer of `bytes`.
+pub fn transfer_ns(spec: &DeviceSpec, bytes: usize) -> u64 {
+    spec.transfer_latency_ns + (bytes as f64 / spec.transfer_bandwidth * 1e9).ceil() as u64
+}
+
+/// Simulated duration of a device↔device copy (via PCIe through the host,
+/// as the paper describes for redistribution: download then upload).
+pub fn device_to_device_ns(spec: &DeviceSpec, bytes: usize) -> u64 {
+    2 * transfer_ns(spec, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::tesla_t10()
+    }
+
+    fn counters(ops: u64, g: u64, l: u64, bytes: u64) -> CostCounters {
+        CostCounters {
+            ops,
+            global_loads: g,
+            global_stores: 0,
+            local_loads: l,
+            local_stores: 0,
+            barriers: 0,
+            global_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_ops() {
+        let s = spec();
+        let t1 = kernel_ns(&s, &counters(1_000_000, 0, 0, 0), Toolchain::OpenCl);
+        let t2 = kernel_ns(&s, &counters(2_000_000, 0, 0, 0), Toolchain::OpenCl);
+        assert!(t2 >= 2 * t1 - 2, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn global_accesses_cost_more_than_local() {
+        let s = spec();
+        let tg = kernel_ns(&s, &counters(0, 1_000_000, 0, 0), Toolchain::OpenCl);
+        let tl = kernel_ns(&s, &counters(0, 0, 1_000_000, 0), Toolchain::OpenCl);
+        assert!(
+            tg as f64 / tl as f64 > 5.0,
+            "global/local ratio too small: {tg}/{tl}"
+        );
+    }
+
+    #[test]
+    fn cuda_toolchain_is_faster() {
+        let s = spec();
+        let c = counters(10_000_000, 1_000_000, 0, 4_000_000);
+        let ocl = kernel_ns(&s, &c, Toolchain::OpenCl);
+        let cuda = kernel_ns(&s, &c, Toolchain::Cuda);
+        let ratio = ocl as f64 / cuda as f64;
+        assert!((ratio - s.cuda_toolchain_speedup).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel() {
+        let s = spec();
+        // Very few ops but lots of bytes: the bandwidth term dominates.
+        let c = counters(10, 10, 0, 102_000_000_000);
+        let t = kernel_ns(&s, &c, Toolchain::OpenCl);
+        assert!((t as f64 - 1e9).abs() / 1e9 < 0.01, "expected ~1s, got {t} ns");
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let s = spec();
+        assert_eq!(transfer_ns(&s, 0), s.transfer_latency_ns);
+        let t = transfer_ns(&s, 5_300_000_000);
+        assert!((t as i64 - (1_000_000_000 + s.transfer_latency_ns as i64)).abs() < 1_000);
+        assert_eq!(device_to_device_ns(&s, 0), 2 * s.transfer_latency_ns);
+    }
+
+    #[test]
+    fn launch_adds_fixed_overhead() {
+        let s = spec();
+        let c = counters(0, 0, 0, 0);
+        assert_eq!(launch_ns(&s, &c, Toolchain::OpenCl), s.kernel_launch_overhead_ns);
+    }
+
+    #[test]
+    fn empty_kernel_is_free_modulo_overhead() {
+        let s = spec();
+        assert_eq!(kernel_ns(&s, &CostCounters::default(), Toolchain::OpenCl), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Error types of the virtual platform.
+
+use std::fmt;
+
+use skelcl_kernel::vm::RuntimeError;
+
+/// An error raised by the virtual GPU platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A device-memory allocation exceeded the device's capacity.
+    OutOfDeviceMemory {
+        /// Requested allocation size in bytes.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+    /// A host transfer's ranges did not fit the buffer.
+    TransferOutOfRange {
+        /// Buffer length in bytes.
+        buffer_len: usize,
+        /// Transfer offset in bytes.
+        offset: usize,
+        /// Transfer length in bytes.
+        len: usize,
+    },
+    /// The named kernel does not exist in the program.
+    UnknownKernel {
+        /// The requested kernel name.
+        name: String,
+    },
+    /// Kernel argument binding mismatch.
+    InvalidKernelArg {
+        /// The kernel being launched.
+        kernel: String,
+        /// Zero-based argument index.
+        index: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The ND-range was malformed (zero sizes, local not dividing global,
+    /// too many work-items per group).
+    InvalidNdRange {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A buffer argument belongs to a different device than the queue.
+    WrongDevice {
+        /// The queue's device id.
+        queue_device: usize,
+        /// The buffer's device id.
+        buffer_device: usize,
+    },
+    /// A work-item faulted during execution.
+    Launch {
+        /// The kernel name.
+        kernel: String,
+        /// Global id of the faulting work-item.
+        global_id: [u64; 3],
+        /// The underlying fault.
+        error: RuntimeError,
+    },
+    /// Work-items of one group reached different barriers (or one finished
+    /// while others wait) — undefined behaviour in OpenCL, an error here.
+    BarrierDivergence {
+        /// The kernel name.
+        kernel: String,
+        /// The group's id.
+        group_id: [u64; 3],
+    },
+    /// The requested local memory exceeds the device limit.
+    LocalMemoryExceeded {
+        /// Requested bytes (static arrays + dynamic arguments).
+        requested: usize,
+        /// Device limit in bytes.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfDeviceMemory { requested, available } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            Error::TransferOutOfRange { buffer_len, offset, len } => write!(
+                f,
+                "transfer of {len} bytes at offset {offset} exceeds buffer of {buffer_len} bytes"
+            ),
+            Error::UnknownKernel { name } => write!(f, "unknown kernel `{name}`"),
+            Error::InvalidKernelArg { kernel, index, reason } => {
+                write!(f, "invalid argument {index} of kernel `{kernel}`: {reason}")
+            }
+            Error::InvalidNdRange { reason } => write!(f, "invalid ND-range: {reason}"),
+            Error::WrongDevice { queue_device, buffer_device } => write!(
+                f,
+                "buffer belongs to device {buffer_device} but the queue targets device {queue_device}"
+            ),
+            Error::Launch { kernel, global_id, error } => write!(
+                f,
+                "kernel `{kernel}` faulted at work-item {global_id:?}: {error}"
+            ),
+            Error::BarrierDivergence { kernel, group_id } => write!(
+                f,
+                "kernel `{kernel}`: work-group {group_id:?} reached divergent barriers"
+            ),
+            Error::LocalMemoryExceeded { requested, limit } => write!(
+                f,
+                "local memory request of {requested} bytes exceeds the device limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::OutOfDeviceMemory { requested: 100, available: 10 };
+        assert!(e.to_string().contains("requested 100"));
+        let e = Error::UnknownKernel { name: "nope".into() };
+        assert_eq!(e.to_string(), "unknown kernel `nope`");
+        let e = Error::Launch {
+            kernel: "k".into(),
+            global_id: [1, 2, 0],
+            error: RuntimeError::DivisionByZero,
+        };
+        assert!(e.to_string().contains("division by zero"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Events with OpenCL-style profiling information.
+//!
+//! Every enqueued command returns an [`Event`] carrying its simulated
+//! timeline timestamps, mirroring `clGetEventProfilingInfo` — the paper's
+//! Fig. 5 measurements use exactly this API ("measurements were taken using
+//! the OpenCL profiling API").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skelcl_kernel::vm::CostCounters;
+
+use crate::device::DeviceId;
+
+/// What kind of command an event belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Host → device transfer.
+    WriteBuffer {
+        /// Bytes transferred.
+        bytes: usize,
+    },
+    /// Device → host transfer.
+    ReadBuffer {
+        /// Bytes transferred.
+        bytes: usize,
+    },
+    /// Device → device copy (through the host, as in the paper).
+    CopyBuffer {
+        /// Bytes transferred.
+        bytes: usize,
+    },
+    /// A kernel execution.
+    Kernel {
+        /// The kernel's name.
+        name: String,
+    },
+}
+
+#[derive(Debug)]
+struct EventData {
+    device: DeviceId,
+    kind: CommandKind,
+    queued_ns: u64,
+    started_ns: u64,
+    ended_ns: u64,
+    counters: Option<CostCounters>,
+}
+
+/// A completed command with profiling data (commands execute eagerly in the
+/// simulator, so events are always complete).
+#[derive(Debug, Clone)]
+pub struct Event {
+    inner: Arc<EventData>,
+}
+
+impl Event {
+    /// Creates an event from raw profiling data. Normally events come from
+    /// [`crate::CommandQueue`]; this constructor exists for tooling and
+    /// tests that synthesise timelines.
+    pub fn new(
+        device: DeviceId,
+        kind: CommandKind,
+        queued_ns: u64,
+        started_ns: u64,
+        ended_ns: u64,
+        counters: Option<CostCounters>,
+    ) -> Self {
+        Event {
+            inner: Arc::new(EventData { device, kind, queued_ns, started_ns, ended_ns, counters }),
+        }
+    }
+
+    /// The device the command ran on.
+    pub fn device(&self) -> DeviceId {
+        self.inner.device
+    }
+
+    /// The command's kind.
+    pub fn kind(&self) -> &CommandKind {
+        &self.inner.kind
+    }
+
+    /// Simulated enqueue timestamp (ns on the device timeline).
+    pub fn queued_ns(&self) -> u64 {
+        self.inner.queued_ns
+    }
+
+    /// Simulated execution start timestamp.
+    pub fn started_ns(&self) -> u64 {
+        self.inner.started_ns
+    }
+
+    /// Simulated execution end timestamp.
+    pub fn ended_ns(&self) -> u64 {
+        self.inner.ended_ns
+    }
+
+    /// Simulated execution duration (`end - start`), the quantity the
+    /// OpenCL profiling API reports per command.
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.inner.ended_ns - self.inner.started_ns)
+    }
+
+    /// Aggregate execution counters (kernel commands only).
+    pub fn counters(&self) -> Option<&CostCounters> {
+        self.inner.counters.as_ref()
+    }
+}
+
+/// Sums the durations of a sequence of events — e.g. total kernel time of a
+/// multi-phase skeleton (reduce, scan).
+pub fn total_duration<'a>(events: impl IntoIterator<Item = &'a Event>) -> Duration {
+    events.into_iter().map(Event::duration).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiling_accessors() {
+        let e = Event::new(
+            DeviceId(1),
+            CommandKind::Kernel { name: "k".into() },
+            5,
+            10,
+            110,
+            Some(CostCounters::default()),
+        );
+        assert_eq!(e.device(), DeviceId(1));
+        assert_eq!(e.queued_ns(), 5);
+        assert_eq!(e.duration(), Duration::from_nanos(100));
+        assert!(e.counters().is_some());
+        assert_eq!(e.kind(), &CommandKind::Kernel { name: "k".into() });
+    }
+
+    #[test]
+    fn total_duration_sums() {
+        let mk = |s, t| Event::new(DeviceId(0), CommandKind::ReadBuffer { bytes: 1 }, s, s, t, None);
+        let events = vec![mk(0, 10), mk(10, 25)];
+        assert_eq!(total_duration(&events), Duration::from_nanos(25));
+    }
+}

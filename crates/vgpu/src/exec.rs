@@ -1,0 +1,239 @@
+//! The work-group execution engine.
+//!
+//! Work-groups are independent (as in OpenCL) and are executed in parallel
+//! on host threads. Within one group, work-items run in **lockstep rounds**:
+//! every item executes until it finishes or reaches a `barrier()`; the group
+//! only proceeds past a barrier once *all* items arrived at the *same*
+//! barrier site, which is checked and reported as
+//! [`Error::BarrierDivergence`] instead of OpenCL's undefined behaviour.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use skelcl_kernel::program::{KernelInfo, Program};
+use skelcl_kernel::types::AddressSpace;
+use skelcl_kernel::value::{Ptr, Value};
+use skelcl_kernel::vm::{CostCounters, Exit, ItemGeometry, WorkItem};
+
+use crate::cost::Toolchain;
+use crate::error::{Error, Result};
+use crate::memory::BufferTable;
+use crate::ndrange::NdRange;
+
+/// Tuning knobs for a kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Which toolchain "built" the kernel (cost model input; see
+    /// [`Toolchain`]).
+    pub toolchain: Toolchain,
+    /// Instruction budget per work-item, guarding against kernels that do
+    /// not terminate.
+    pub ops_budget_per_item: u64,
+    /// Number of host threads executing work-groups (`None`: one per
+    /// available CPU).
+    pub host_threads: Option<usize>,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig {
+            toolchain: Toolchain::OpenCl,
+            ops_budget_per_item: 1 << 34,
+            host_threads: None,
+        }
+    }
+}
+
+impl LaunchConfig {
+    /// A config with the CUDA toolchain factor applied (paper's Fig. 4
+    /// baseline).
+    pub fn cuda() -> Self {
+        LaunchConfig { toolchain: Toolchain::Cuda, ..Default::default() }
+    }
+}
+
+/// Executes a launch and returns the aggregated counters.
+pub(crate) fn execute_launch(
+    program: &Program,
+    kernel: &KernelInfo,
+    args: &[Value],
+    buffers: &BufferTable,
+    range: &NdRange,
+    local_bytes: usize,
+    config: &LaunchConfig,
+) -> Result<CostCounters> {
+    let group_counts = range.group_counts();
+    let total_groups = range.total_groups();
+    if total_groups == 0 {
+        return Ok(CostCounters::default());
+    }
+
+    let threads = config
+        .host_threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .clamp(1, total_groups);
+
+    let next_group = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<Error>> = Mutex::new(None);
+    let totals: Mutex<CostCounters> = Mutex::new(CostCounters::default());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local_counters = CostCounters::default();
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let g = next_group.fetch_add(1, Ordering::Relaxed);
+                    if g >= total_groups {
+                        break;
+                    }
+                    let gx = g % group_counts[0];
+                    let gy = (g / group_counts[0]) % group_counts[1];
+                    let gz = g / (group_counts[0] * group_counts[1]);
+                    match run_group(
+                        program,
+                        kernel,
+                        args,
+                        buffers,
+                        range,
+                        [gx as u64, gy as u64, gz as u64],
+                        local_bytes,
+                        config,
+                    ) {
+                        Ok(c) => local_counters.merge(&c),
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let mut slot = failure.lock().expect("failure mutex");
+                            slot.get_or_insert(e);
+                            break;
+                        }
+                    }
+                }
+                totals.lock().expect("totals mutex").merge(&local_counters);
+            });
+        }
+    });
+
+    if let Some(e) = failure.into_inner().expect("failure mutex") {
+        return Err(e);
+    }
+    Ok(totals.into_inner().expect("totals mutex"))
+}
+
+/// Runs one work-group's items in lockstep rounds.
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    program: &Program,
+    kernel: &KernelInfo,
+    args: &[Value],
+    buffers: &BufferTable,
+    range: &NdRange,
+    group_id: [u64; 3],
+    local_bytes: usize,
+    config: &LaunchConfig,
+) -> Result<CostCounters> {
+    let group_counts = range.group_counts();
+    let items_per_group = range.items_per_group();
+    let mut local_mem = vec![0u8; local_bytes];
+
+    let mut items: Vec<WorkItem> = Vec::with_capacity(items_per_group);
+    for lz in 0..range.local[2] {
+        for ly in 0..range.local[1] {
+            for lx in 0..range.local[0] {
+                let local_id = [lx as u64, ly as u64, lz as u64];
+                let global_id = [
+                    group_id[0] * range.local[0] as u64 + local_id[0],
+                    group_id[1] * range.local[1] as u64 + local_id[1],
+                    group_id[2] * range.local[2] as u64 + local_id[2],
+                ];
+                let geometry = ItemGeometry {
+                    work_dim: range.dims,
+                    global_id,
+                    local_id,
+                    group_id,
+                    global_size: [
+                        range.global[0] as u64,
+                        range.global[1] as u64,
+                        range.global[2] as u64,
+                    ],
+                    local_size: [
+                        range.local[0] as u64,
+                        range.local[1] as u64,
+                        range.local[2] as u64,
+                    ],
+                    num_groups: [
+                        group_counts[0] as u64,
+                        group_counts[1] as u64,
+                        group_counts[2] as u64,
+                    ],
+                };
+                let mut item = WorkItem::new(program, kernel.func, args, geometry);
+                item.set_ops_budget(config.ops_budget_per_item);
+                for b in &kernel.local_arrays {
+                    item.bind_entry_slot(
+                        b.slot,
+                        Value::Ptr(Ptr {
+                            space: AddressSpace::Local,
+                            buffer: 0,
+                            byte_offset: b.byte_offset as i64,
+                        }),
+                    );
+                }
+                items.push(item);
+            }
+        }
+    }
+
+    // Lockstep rounds across barriers.
+    loop {
+        let mut barrier: Option<u32> = None;
+        let mut any_done = false;
+        for item in items.iter_mut() {
+            if item.is_finished() {
+                any_done = true;
+                continue;
+            }
+            let global_id = item.geometry().global_id;
+            let exit = item.run(buffers, &mut local_mem).map_err(|error| Error::Launch {
+                kernel: kernel.name.clone(),
+                global_id,
+                error,
+            })?;
+            match exit {
+                Exit::Done => any_done = true,
+                Exit::Barrier(id) => match barrier {
+                    None => barrier = Some(id),
+                    Some(prev) if prev == id => {}
+                    Some(_) => {
+                        return Err(Error::BarrierDivergence {
+                            kernel: kernel.name.clone(),
+                            group_id,
+                        })
+                    }
+                },
+            }
+        }
+        match barrier {
+            None => break, // every item finished
+            Some(_) if any_done => {
+                // Some items finished while others wait at a barrier: the
+                // barrier can never be satisfied.
+                return Err(Error::BarrierDivergence {
+                    kernel: kernel.name.clone(),
+                    group_id,
+                });
+            }
+            Some(_) => {} // all at the same barrier: next round resumes them
+        }
+    }
+
+    let mut counters = CostCounters::default();
+    for item in &items {
+        counters.merge(&item.counters);
+    }
+    Ok(counters)
+}
+

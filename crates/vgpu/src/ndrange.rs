@@ -1,0 +1,167 @@
+//! ND-range descriptions: global and work-group sizes, as in OpenCL.
+
+use crate::error::{Error, Result};
+
+/// Default 1-D work-group size, matching SkelCL's default of 256 work-items
+/// (the paper, §4.1).
+pub const DEFAULT_WORK_GROUP_SIZE: usize = 256;
+
+/// Default 2-D work-group size (16×16), as used by the paper's CUDA and
+/// OpenCL Mandelbrot implementations.
+pub const DEFAULT_WORK_GROUP_SIZE_2D: [usize; 2] = [16, 16];
+
+/// A launch geometry: global size and work-group (local) size per
+/// dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Number of dimensions used (1 or 2).
+    pub dims: u32,
+    /// Global work size per dimension (unused dimensions are 1).
+    pub global: [usize; 3],
+    /// Work-group size per dimension (unused dimensions are 1).
+    pub local: [usize; 3],
+}
+
+impl NdRange {
+    /// A 1-D range with an explicit work-group size. The global size is
+    /// rounded **up** to a multiple of the group size (kernels guard with an
+    /// `if (gid < n)` check, as SkelCL-generated kernels do).
+    pub fn linear(global: usize, local: usize) -> NdRange {
+        let padded = global.div_ceil(local.max(1)) * local.max(1);
+        NdRange { dims: 1, global: [padded.max(local), 1, 1], local: [local.max(1), 1, 1] }
+    }
+
+    /// A 1-D range with the default group size of 256.
+    pub fn linear_default(global: usize) -> NdRange {
+        Self::linear(global, DEFAULT_WORK_GROUP_SIZE)
+    }
+
+    /// A 2-D range with an explicit work-group size, rounded up per
+    /// dimension.
+    pub fn grid(global: [usize; 2], local: [usize; 2]) -> NdRange {
+        let pad = |g: usize, l: usize| g.div_ceil(l.max(1)) * l.max(1);
+        NdRange {
+            dims: 2,
+            global: [pad(global[0], local[0]).max(local[0]), pad(global[1], local[1]).max(local[1]), 1],
+            local: [local[0].max(1), local[1].max(1), 1],
+        }
+    }
+
+    /// A 2-D range with the default 16×16 work-groups.
+    pub fn grid_default(global: [usize; 2]) -> NdRange {
+        Self::grid(global, DEFAULT_WORK_GROUP_SIZE_2D)
+    }
+
+    /// Total number of work-items.
+    pub fn total_items(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Work-items per group.
+    pub fn items_per_group(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    /// Number of groups per dimension.
+    pub fn group_counts(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    /// Total number of work-groups.
+    pub fn total_groups(&self) -> usize {
+        let g = self.group_counts();
+        g[0] * g[1] * g[2]
+    }
+
+    /// Validates the range against a device's limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidNdRange`] for zero sizes, non-dividing local
+    /// sizes or oversized work-groups.
+    pub fn validate(&self, max_work_group_size: usize) -> Result<()> {
+        for d in 0..3 {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(Error::InvalidNdRange {
+                    reason: format!("zero size in dimension {d}"),
+                });
+            }
+            if !self.global[d].is_multiple_of(self.local[d]) {
+                return Err(Error::InvalidNdRange {
+                    reason: format!(
+                        "global size {} is not a multiple of local size {} in dimension {d}",
+                        self.global[d], self.local[d]
+                    ),
+                });
+            }
+        }
+        if self.items_per_group() > max_work_group_size {
+            return Err(Error::InvalidNdRange {
+                reason: format!(
+                    "work-group of {} items exceeds the device maximum of {}",
+                    self.items_per_group(),
+                    max_work_group_size
+                ),
+            });
+        }
+        if self.dims == 0 || self.dims > 3 {
+            return Err(Error::InvalidNdRange {
+                reason: format!("unsupported dimensionality {}", self.dims),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_pads_to_group_multiple() {
+        let r = NdRange::linear(1000, 256);
+        assert_eq!(r.global[0], 1024);
+        assert_eq!(r.total_groups(), 4);
+        assert_eq!(r.items_per_group(), 256);
+        r.validate(512).unwrap();
+    }
+
+    #[test]
+    fn linear_default_uses_skelcl_default() {
+        let r = NdRange::linear_default(256);
+        assert_eq!(r.local[0], 256);
+        assert_eq!(r.total_groups(), 1);
+    }
+
+    #[test]
+    fn grid_pads_both_dimensions() {
+        let r = NdRange::grid([100, 50], [16, 16]);
+        assert_eq!(r.global, [112, 64, 1]);
+        assert_eq!(r.group_counts(), [7, 4, 1]);
+        assert_eq!(r.total_groups(), 28);
+        assert_eq!(r.items_per_group(), 256);
+        r.validate(256).unwrap();
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert!(NdRange { dims: 1, global: [10, 1, 1], local: [3, 1, 1] }
+            .validate(256)
+            .is_err());
+        assert!(NdRange { dims: 1, global: [0, 1, 1], local: [1, 1, 1] }
+            .validate(256)
+            .is_err());
+        assert!(NdRange::grid([32, 32], [32, 32]).validate(256).is_err());
+    }
+
+    #[test]
+    fn small_global_still_one_full_group() {
+        let r = NdRange::linear(3, 256);
+        assert_eq!(r.global[0], 256);
+        assert_eq!(r.total_groups(), 1);
+    }
+}

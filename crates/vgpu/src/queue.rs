@@ -1,0 +1,268 @@
+//! In-order command queues: the host-facing API for transfers and kernel
+//! launches, mirroring `clCommandQueue` usage.
+//!
+//! Commands execute eagerly (the simulator has no asynchrony to model — the
+//! simulated *timeline* carries the timing), so every enqueue returns a
+//! completed [`Event`] with profiling timestamps on the device's clock.
+
+use std::sync::Arc;
+
+use skelcl_kernel::program::{KernelParamKind, Program};
+use skelcl_kernel::types::{AddressSpace, Type};
+use skelcl_kernel::value::{self, Ptr, Value};
+
+use crate::cost;
+use crate::device::Device;
+use crate::error::{Error, Result};
+use crate::event::{CommandKind, Event};
+use crate::exec::{execute_launch, LaunchConfig};
+use crate::memory::{BufferTable, DeviceBuffer};
+use crate::ndrange::NdRange;
+
+/// An argument bound to a kernel launch.
+#[derive(Debug, Clone)]
+pub enum KernelArg {
+    /// A device buffer for a `__global T*` parameter.
+    Buffer(DeviceBuffer),
+    /// A scalar value (converted to the declared parameter type).
+    Scalar(Value),
+    /// A byte size for a `__local T*` parameter (dynamic local memory),
+    /// as with `clSetKernelArg(…, size, NULL)`.
+    Local(usize),
+}
+
+/// An in-order command queue bound to one device.
+#[derive(Debug, Clone)]
+pub struct CommandQueue {
+    device: Arc<Device>,
+}
+
+impl CommandQueue {
+    /// Creates a queue on `device`.
+    pub fn new(device: Arc<Device>) -> Self {
+        CommandQueue { device }
+    }
+
+    /// The queue's device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Allocates a zero-initialised device buffer (no simulated cost, as
+    /// with `clCreateBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfDeviceMemory`] when the device is full.
+    pub fn create_buffer(&self, len: usize) -> Result<DeviceBuffer> {
+        DeviceBuffer::alloc(self.device.clone(), len)
+    }
+
+    /// Enqueues a host→device transfer into `buffer` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range exceeds the buffer or the buffer belongs to
+    /// another device.
+    pub fn enqueue_write(&self, buffer: &DeviceBuffer, offset: usize, src: &[u8]) -> Result<Event> {
+        self.check_same_device(buffer)?;
+        buffer.write_bytes(offset, src)?;
+        let ns = cost::transfer_ns(self.device.spec(), src.len());
+        let (start, end) = self.device.advance(ns);
+        Ok(Event::new(
+            self.device.id(),
+            CommandKind::WriteBuffer { bytes: src.len() },
+            start,
+            start,
+            end,
+            None,
+        ))
+    }
+
+    /// Enqueues a device→host transfer from `buffer` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range exceeds the buffer or the buffer belongs to
+    /// another device.
+    pub fn enqueue_read(
+        &self,
+        buffer: &DeviceBuffer,
+        offset: usize,
+        dst: &mut [u8],
+    ) -> Result<Event> {
+        self.check_same_device(buffer)?;
+        buffer.read_bytes(offset, dst)?;
+        let ns = cost::transfer_ns(self.device.spec(), dst.len());
+        let (start, end) = self.device.advance(ns);
+        Ok(Event::new(
+            self.device.id(),
+            CommandKind::ReadBuffer { bytes: dst.len() },
+            start,
+            start,
+            end,
+            None,
+        ))
+    }
+
+    /// Enqueues an on-device copy of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range spans or buffers of other devices.
+    pub fn enqueue_copy(
+        &self,
+        src: &DeviceBuffer,
+        src_offset: usize,
+        dst: &DeviceBuffer,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<Event> {
+        self.check_same_device(src)?;
+        self.check_same_device(dst)?;
+        let mut tmp = vec![0u8; len];
+        src.read_bytes(src_offset, &mut tmp)?;
+        dst.write_bytes(dst_offset, &tmp)?;
+        // On-device copies are bandwidth-limited (read + write).
+        let spec = self.device.spec();
+        let ns = ((2 * len) as f64 / spec.global_bandwidth * 1e9).ceil() as u64;
+        let (start, end) = self.device.advance(ns);
+        Ok(Event::new(self.device.id(), CommandKind::CopyBuffer { bytes: len }, start, start, end, None))
+    }
+
+    /// Launches `kernel_name` from `program` over `range` with `args`.
+    ///
+    /// Buffer arguments bind `__global` pointer parameters in order; scalar
+    /// arguments are converted to the declared type; [`KernelArg::Local`]
+    /// sizes carve dynamic `__local` memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown kernels, mismatched arguments, invalid ranges,
+    /// local-memory overflow, or any work-item fault (out-of-bounds access,
+    /// division by zero, barrier divergence, …).
+    pub fn launch_kernel(
+        &self,
+        program: &Program,
+        kernel_name: &str,
+        args: &[KernelArg],
+        range: NdRange,
+        config: &LaunchConfig,
+    ) -> Result<Event> {
+        let spec = self.device.spec();
+        let kernel = program
+            .kernel(kernel_name)
+            .ok_or_else(|| Error::UnknownKernel { name: kernel_name.to_string() })?;
+        range.validate(spec.max_work_group_size)?;
+
+        if args.len() != kernel.params.len() {
+            return Err(Error::InvalidKernelArg {
+                kernel: kernel_name.into(),
+                index: args.len().min(kernel.params.len()),
+                reason: format!(
+                    "expected {} arguments, got {}",
+                    kernel.params.len(),
+                    args.len()
+                ),
+            });
+        }
+
+        let mut buffers = Vec::new();
+        let mut values = Vec::with_capacity(args.len());
+        let mut local_bytes = kernel.static_local_bytes as usize;
+
+        for (index, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
+            let bad = |reason: String| Error::InvalidKernelArg {
+                kernel: kernel_name.into(),
+                index,
+                reason,
+            };
+            match (&param.kind, arg) {
+                (KernelParamKind::GlobalBuffer { .. }, KernelArg::Buffer(b)) => {
+                    self.check_same_device(b)?;
+                    let buffer_index = buffers.len() as u32;
+                    buffers.push(b.clone());
+                    values.push(Value::Ptr(Ptr {
+                        space: AddressSpace::Global,
+                        buffer: buffer_index,
+                        byte_offset: 0,
+                    }));
+                }
+                (KernelParamKind::Scalar(s), KernelArg::Scalar(v)) => {
+                    if v.as_ptr().is_some() {
+                        return Err(bad("pointer value passed as scalar".into()));
+                    }
+                    values.push(value::convert(*v, *s));
+                }
+                (KernelParamKind::LocalBuffer { elem }, KernelArg::Local(bytes)) => {
+                    let align = elem.size_bytes();
+                    local_bytes = local_bytes.div_ceil(align) * align;
+                    values.push(Value::Ptr(Ptr {
+                        space: AddressSpace::Local,
+                        buffer: 0,
+                        byte_offset: local_bytes as i64,
+                    }));
+                    local_bytes += bytes;
+                }
+                (expected, got) => {
+                    return Err(bad(format!(
+                        "parameter `{}` expects {:?}, got {}",
+                        param.name,
+                        expected,
+                        match got {
+                            KernelArg::Buffer(_) => "a buffer",
+                            KernelArg::Scalar(_) => "a scalar",
+                            KernelArg::Local(_) => "a local size",
+                        }
+                    )));
+                }
+            }
+        }
+
+        if local_bytes > spec.local_memory_bytes {
+            return Err(Error::LocalMemoryExceeded {
+                requested: local_bytes,
+                limit: spec.local_memory_bytes,
+            });
+        }
+
+        let table = BufferTable { buffers };
+        let counters =
+            execute_launch(program, kernel, &values, &table, &range, local_bytes, config)?;
+        let ns = cost::launch_ns(spec, &counters, config.toolchain);
+        let (queued, end) = self.device.advance(ns);
+        let start = queued + spec.kernel_launch_overhead_ns;
+        Ok(Event::new(
+            self.device.id(),
+            CommandKind::Kernel { name: kernel_name.into() },
+            queued,
+            start.min(end),
+            end,
+            Some(counters),
+        ))
+    }
+
+    fn check_same_device(&self, buffer: &DeviceBuffer) -> Result<()> {
+        if buffer.device_id() != self.device.id() {
+            return Err(Error::WrongDevice {
+                queue_device: self.device.id().0,
+                buffer_device: buffer.device_id().0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Helper: the declared element type of a kernel's global-buffer parameter,
+/// for host-side size computations.
+pub fn param_elem_type(kind: &KernelParamKind) -> Option<Type> {
+    match kind {
+        KernelParamKind::GlobalBuffer { elem, is_const } => Some(Type::Pointer {
+            pointee: *elem,
+            space: AddressSpace::Global,
+            is_const: *is_const,
+        }),
+        KernelParamKind::LocalBuffer { elem } => Some(Type::local_ptr(*elem)),
+        KernelParamKind::Scalar(s) => Some(Type::Scalar(*s)),
+    }
+}

@@ -1,0 +1,410 @@
+//! Integration tests: compiling SkelCL C kernels and launching them on the
+//! virtual platform.
+
+use skelcl_kernel::compile;
+use skelcl_kernel::value::Value;
+use vgpu::{
+    CommandKind, DeviceSpec, Error, KernelArg, LaunchConfig, NdRange, Platform, Toolchain,
+};
+
+fn f32s(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn to_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+fn to_i32s(bytes: &[u8]) -> Vec<i32> {
+    bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[test]
+fn multi_group_map_kernel() {
+    let program = compile(
+        "map.cl",
+        "__kernel void double_it(__global const float* in, __global float* out, int n) {
+             int i = (int)get_global_id(0);
+             if (i < n) out[i] = in[i] * 2.0f;
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+
+    let n = 10_000usize;
+    let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let a = queue.create_buffer(n * 4).unwrap();
+    let b = queue.create_buffer(n * 4).unwrap();
+    queue.enqueue_write(&a, 0, &f32s(&input)).unwrap();
+
+    let ev = queue
+        .launch_kernel(
+            &program,
+            "double_it",
+            &[KernelArg::Buffer(a), KernelArg::Buffer(b.clone()), KernelArg::Scalar(Value::I32(n as i32))],
+            NdRange::linear_default(n),
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+
+    let mut out = vec![0u8; n * 4];
+    queue.enqueue_read(&b, 0, &mut out).unwrap();
+    let out = to_f32s(&out);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as f32 * 2.0, "index {i}");
+    }
+    let c = ev.counters().unwrap();
+    assert_eq!(c.global_loads, n as u64);
+    assert_eq!(c.global_stores, n as u64);
+}
+
+#[test]
+fn barrier_across_many_groups_parallel() {
+    // Per-group reduction into one partial sum per group, with local
+    // memory and barriers — exercises lockstep rounds under the
+    // multi-threaded group scheduler.
+    let program = compile(
+        "reduce.cl",
+        "__kernel void partial_sum(__global const int* in, __global int* out, int n) {
+             __local int scratch[64];
+             int lid = (int)get_local_id(0);
+             int gid = (int)get_global_id(0);
+             scratch[lid] = gid < n ? in[gid] : 0;
+             barrier(CLK_LOCAL_MEM_FENCE);
+             for (int stride = 32; stride > 0; stride >>= 1) {
+                 if (lid < stride) scratch[lid] += scratch[lid + stride];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+             }
+             if (lid == 0) out[get_group_id(0)] = scratch[0];
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+
+    let n = 64 * 37;
+    let input: Vec<i32> = (0..n as i32).collect();
+    let a = queue.create_buffer(n * 4).unwrap();
+    let out = queue.create_buffer(37 * 4).unwrap();
+    let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    queue.enqueue_write(&a, 0, &bytes).unwrap();
+
+    queue
+        .launch_kernel(
+            &program,
+            "partial_sum",
+            &[KernelArg::Buffer(a), KernelArg::Buffer(out.clone()), KernelArg::Scalar(Value::I32(n as i32))],
+            NdRange::linear(n, 64),
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+
+    let mut result = vec![0u8; 37 * 4];
+    queue.enqueue_read(&out, 0, &mut result).unwrap();
+    let partials = to_i32s(&result);
+    let total: i32 = partials.iter().sum();
+    assert_eq!(total, (0..n as i32).sum::<i32>());
+    // Each group's partial is the sum of its 64 consecutive values.
+    assert_eq!(partials[0], (0..64).sum::<i32>());
+    assert_eq!(partials[36], (64 * 36..64 * 37).sum::<i32>());
+}
+
+#[test]
+fn dynamic_local_memory_argument() {
+    let program = compile(
+        "dyn.cl",
+        "__kernel void shift(__global const int* in, __global int* out, __local int* tile) {
+             int lid = (int)get_local_id(0);
+             int n = (int)get_local_size(0);
+             tile[lid] = in[get_global_id(0)];
+             barrier(CLK_LOCAL_MEM_FENCE);
+             out[get_global_id(0)] = tile[(lid + 1) % n];
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let input: Vec<i32> = (0..8).collect();
+    let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let a = queue.create_buffer(32).unwrap();
+    let b = queue.create_buffer(32).unwrap();
+    queue.enqueue_write(&a, 0, &bytes).unwrap();
+    queue
+        .launch_kernel(
+            &program,
+            "shift",
+            &[KernelArg::Buffer(a), KernelArg::Buffer(b.clone()), KernelArg::Local(8 * 4)],
+            NdRange::linear(8, 8),
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+    let mut out = vec![0u8; 32];
+    queue.enqueue_read(&b, 0, &mut out).unwrap();
+    assert_eq!(to_i32s(&out), vec![1, 2, 3, 4, 5, 6, 7, 0]);
+}
+
+#[test]
+fn local_memory_limit_enforced() {
+    let program = compile(
+        "big.cl",
+        "__kernel void big(__global int* out, __local int* tile) { out[0] = 0; }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let out = queue.create_buffer(4).unwrap();
+    let err = queue
+        .launch_kernel(
+            &program,
+            "big",
+            &[KernelArg::Buffer(out), KernelArg::Local(1 << 20)],
+            NdRange::linear(1, 1),
+            &LaunchConfig::default(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::LocalMemoryExceeded { .. }), "{err}");
+}
+
+#[test]
+fn launch_faults_are_reported_with_location() {
+    let program = compile(
+        "oob.cl",
+        "__kernel void oob(__global int* out, int n) {
+             int i = (int)get_global_id(0);
+             out[i + n] = i; // off the end for the last items
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let out = queue.create_buffer(8 * 4).unwrap();
+    let err = queue
+        .launch_kernel(
+            &program,
+            "oob",
+            &[KernelArg::Buffer(out), KernelArg::Scalar(Value::I32(4))],
+            NdRange::linear(8, 8),
+            &LaunchConfig::default(),
+        )
+        .unwrap_err();
+    match err {
+        Error::Launch { kernel, error, .. } => {
+            assert_eq!(kernel, "oob");
+            assert!(error.to_string().contains("out-of-bounds"));
+        }
+        other => panic!("expected launch fault, got {other}"),
+    }
+}
+
+#[test]
+fn barrier_divergence_detected() {
+    let program = compile(
+        "div.cl",
+        "__kernel void diverge(__global int* out) {
+             if (get_local_id(0) < 2) barrier(CLK_LOCAL_MEM_FENCE);
+             out[get_global_id(0)] = 1;
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let out = queue.create_buffer(4 * 4).unwrap();
+    let err = queue
+        .launch_kernel(
+            &program,
+            "diverge",
+            &[KernelArg::Buffer(out)],
+            NdRange::linear(4, 4),
+            &LaunchConfig::default(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::BarrierDivergence { .. }), "{err}");
+}
+
+#[test]
+fn argument_validation() {
+    let program = compile(
+        "args.cl",
+        "__kernel void k(__global int* buf, int n) { buf[0] = n; }",
+    )
+    .unwrap();
+    let platform = Platform::new(2, DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let buf = queue.create_buffer(4).unwrap();
+
+    // Wrong count.
+    assert!(matches!(
+        queue.launch_kernel(&program, "k", &[KernelArg::Buffer(buf.clone())],
+            NdRange::linear(1, 1), &LaunchConfig::default()),
+        Err(Error::InvalidKernelArg { .. })
+    ));
+    // Wrong kind.
+    assert!(matches!(
+        queue.launch_kernel(&program, "k",
+            &[KernelArg::Scalar(Value::I32(1)), KernelArg::Scalar(Value::I32(1))],
+            NdRange::linear(1, 1), &LaunchConfig::default()),
+        Err(Error::InvalidKernelArg { .. })
+    ));
+    // Unknown kernel.
+    assert!(matches!(
+        queue.launch_kernel(&program, "nope", &[], NdRange::linear(1, 1), &LaunchConfig::default()),
+        Err(Error::UnknownKernel { .. })
+    ));
+    // Buffer from the wrong device.
+    let other_queue = platform.queue(1);
+    let foreign = other_queue.create_buffer(4).unwrap();
+    assert!(matches!(
+        queue.launch_kernel(&program, "k",
+            &[KernelArg::Buffer(foreign), KernelArg::Scalar(Value::I32(1))],
+            NdRange::linear(1, 1), &LaunchConfig::default()),
+        Err(Error::WrongDevice { .. })
+    ));
+}
+
+#[test]
+fn scalar_arguments_are_converted() {
+    let program = compile(
+        "conv.cl",
+        "__kernel void k(__global float* out, float x) { out[0] = x; }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let out = queue.create_buffer(4).unwrap();
+    // Pass an int where a float is declared: converted like clSetKernelArg
+    // would with an explicit host-side cast.
+    queue
+        .launch_kernel(
+            &program,
+            "k",
+            &[KernelArg::Buffer(out.clone()), KernelArg::Scalar(Value::I32(7))],
+            NdRange::linear(1, 1),
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+    let mut bytes = [0u8; 4];
+    queue.enqueue_read(&out, 0, &mut bytes).unwrap();
+    assert_eq!(f32::from_le_bytes(bytes), 7.0);
+}
+
+#[test]
+fn profiling_timeline_is_ordered_and_additive() {
+    let program = compile(
+        "t.cl",
+        "__kernel void busy(__global float* data, int n) {
+             int i = (int)get_global_id(0);
+             float acc = 0.0f;
+             for (int k = 0; k < 100; ++k) acc += (float)k * 0.5f;
+             if (i < n) data[i] = acc;
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let buf = queue.create_buffer(1024 * 4).unwrap();
+    let w = queue.enqueue_write(&buf, 0, &vec![0u8; 4096]).unwrap();
+    let k = queue
+        .launch_kernel(
+            &program,
+            "busy",
+            &[KernelArg::Buffer(buf.clone()), KernelArg::Scalar(Value::I32(1024))],
+            NdRange::linear_default(1024),
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+    let mut out = vec![0u8; 4096];
+    let r = queue.enqueue_read(&buf, 0, &mut out).unwrap();
+
+    // In-order queue: write fully precedes kernel precedes read.
+    assert!(w.ended_ns() <= k.queued_ns());
+    assert!(k.ended_ns() <= r.queued_ns());
+    assert!(k.duration().as_nanos() > 0);
+    assert_eq!(k.kind(), &CommandKind::Kernel { name: "busy".into() });
+    assert_eq!(platform.device(0).now_ns(), r.ended_ns());
+}
+
+#[test]
+fn cuda_toolchain_runs_faster_in_simulated_time() {
+    let src = "__kernel void work(__global float* data, int n) {
+         int i = (int)get_global_id(0);
+         float acc = 0.0f;
+         for (int k = 0; k < 200; ++k) acc = acc * 1.0001f + (float)k;
+         if (i < n) data[i] = acc;
+     }";
+    let program = compile("w.cl", src).unwrap();
+    let run = |config: &LaunchConfig| {
+        let platform = Platform::single(DeviceSpec::tesla_t10());
+        let queue = platform.queue(0);
+        let buf = queue.create_buffer(4096 * 4).unwrap();
+        queue
+            .launch_kernel(
+                &program,
+                "work",
+                &[KernelArg::Buffer(buf), KernelArg::Scalar(Value::I32(4096))],
+                NdRange::linear_default(4096),
+                config,
+            )
+            .unwrap()
+            .duration()
+            .as_nanos() as f64
+    };
+    let ocl = run(&LaunchConfig::default());
+    let cuda = run(&LaunchConfig::cuda());
+    let speedup = ocl / cuda;
+    assert!(
+        speedup > 1.2 && speedup < 1.6,
+        "expected ~1.39x CUDA speedup, got {speedup:.3}"
+    );
+    assert_eq!(LaunchConfig::cuda().toolchain, Toolchain::Cuda);
+}
+
+#[test]
+fn two_dimensional_launch() {
+    let program = compile(
+        "grid.cl",
+        "__kernel void coords(__global int* out, int w, int h) {
+             int x = (int)get_global_id(0);
+             int y = (int)get_global_id(1);
+             if (x < w && y < h) out[y * w + x] = y * 100 + x;
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let (w, h) = (20usize, 10usize);
+    let out = queue.create_buffer(w * h * 4).unwrap();
+    queue
+        .launch_kernel(
+            &program,
+            "coords",
+            &[
+                KernelArg::Buffer(out.clone()),
+                KernelArg::Scalar(Value::I32(w as i32)),
+                KernelArg::Scalar(Value::I32(h as i32)),
+            ],
+            NdRange::grid_default([w, h]),
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+    let mut bytes = vec![0u8; w * h * 4];
+    queue.enqueue_read(&out, 0, &mut bytes).unwrap();
+    let vals = to_i32s(&bytes);
+    assert_eq!(vals[0], 0);
+    assert_eq!(vals[w * 3 + 7], 307);
+    assert_eq!(vals[w * 9 + 19], 919);
+}
+
+#[test]
+fn on_device_copy() {
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let a = queue.create_buffer(16).unwrap();
+    let b = queue.create_buffer(16).unwrap();
+    queue.enqueue_write(&a, 0, &f32s(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+    let ev = queue.enqueue_copy(&a, 4, &b, 8, 8).unwrap();
+    assert_eq!(ev.kind(), &CommandKind::CopyBuffer { bytes: 8 });
+    let mut out = vec![0u8; 16];
+    queue.enqueue_read(&b, 0, &mut out).unwrap();
+    assert_eq!(to_f32s(&out), vec![0.0, 0.0, 2.0, 3.0]);
+}

@@ -1,0 +1,71 @@
+//! The paper's first case study (§4.1): computing a Mandelbrot fractal
+//! with the Map skeleton, on one and on four virtual GPUs, writing the
+//! image as a PGM file.
+//!
+//! Run with: `cargo run --release --example mandelbrot [-- <width> <height> <max_iter>]`
+
+use std::io::Write;
+
+use skelcl_repro::skelcl::{Context, DeviceSelection, Map, Value, Vector};
+use skelcl_repro::vgpu::{DeviceSpec, Platform};
+
+/// The customizing function: each pixel from its linear index.
+const FUNC: &str = r#"
+uchar func(int gid, int width, int height, int max_iter)
+{
+    int px = gid % width;
+    int py = gid / width;
+    float cr = 3.5f * (float)px / (float)width - 2.5f;
+    float ci = 3.0f * (float)py / (float)height - 1.5f;
+    float zr = 0.0f;
+    float zi = 0.0f;
+    int it = 0;
+    while (zr * zr + zi * zi <= 4.0f && it < max_iter) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0f * zr * zi + ci;
+        zr = t;
+        it = it + 1;
+    }
+    return (uchar)(255 * it / max_iter);
+}
+"#;
+
+fn render(devices: usize, width: usize, height: usize, max_iter: i32) -> Result<(Vec<u8>, std::time::Duration), Box<dyn std::error::Error>> {
+    let ctx = Context::init(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    );
+    let mandelbrot: Map<i32, u8> = Map::new(&ctx, FUNC)?;
+    let pixels = Vector::from_fn(&ctx, width * height, |i| i as i32);
+    let image = mandelbrot.call_with(
+        &pixels,
+        &[
+            Value::I32(width as i32),
+            Value::I32(height as i32),
+            Value::I32(max_iter),
+        ],
+    )?;
+    Ok((image.to_vec()?, mandelbrot.events().last_kernel_time()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let width: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(640);
+    let height: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(480);
+    let max_iter: i32 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(128);
+
+    println!("rendering {width}x{height} fractal, max_iter {max_iter}");
+    let (img1, t1) = render(1, width, height, max_iter)?;
+    println!("1 GPU : kernel time {t1:?} (simulated)");
+    let (img4, t4) = render(4, width, height, max_iter)?;
+    println!("4 GPUs: kernel time {t4:?} (simulated), speedup {:.2}x",
+        t1.as_secs_f64() / t4.as_secs_f64());
+    assert_eq!(img1, img4, "multi-GPU result matches single-GPU");
+
+    let path = std::env::temp_dir().join("skelcl_mandelbrot.pgm");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "P5\n{width} {height}\n255")?;
+    f.write_all(&img1)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: the paper's Listing 1.1 — dot product of two vectors with
+//! the Zip and Reduce skeletons.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use skelcl_repro::skelcl::{Context, Reduce, Vector, Zip};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // SkelCL::init() — here: all 4 GPUs of a virtual Tesla S1070.
+    let ctx = Context::tesla_s1070();
+    println!("initialised SkelCL on {} virtual GPUs", ctx.device_count());
+
+    // Create the skeletons, customized by plain source strings.
+    let sum: Reduce<f32> = Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }")?;
+    let mult: Zip<f32, f32, f32> =
+        Zip::new(&ctx, "float mult(float x, float y){ return x * y; }")?;
+
+    // Create and fill the input vectors.
+    const SIZE: usize = 1 << 20;
+    let a = Vector::from_fn(&ctx, SIZE, |i| (i % 100) as f32 / 100.0);
+    let b = Vector::from_fn(&ctx, SIZE, |i| ((i + 7) % 50) as f32 / 50.0);
+
+    // Execute the skeletons: C = sum( mult( A, B ) ).
+    let c = sum.call(&mult.call(&a, &b)?)?;
+
+    // Fetch the result.
+    let host: f64 = {
+        let av = a.to_vec()?;
+        let bv = b.to_vec()?;
+        av.iter().zip(&bv).map(|(x, y)| (x * y) as f64).sum()
+    };
+    println!("dot product   = {:.3}", c.value());
+    println!("host check    = {host:.3}");
+    println!("kernel time   = {:?} (simulated)", c.kernel_time());
+
+    let rel_err = ((c.value() as f64 - host) / host).abs();
+    assert!(rel_err < 1e-3, "GPU and host results agree (rel err {rel_err:.2e})");
+    println!("OK");
+    Ok(())
+}

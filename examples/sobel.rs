@@ -1,0 +1,69 @@
+//! The paper's second case study (§4.2): Sobel edge detection with the
+//! MapOverlap skeleton on the matrix data type — the paper's Listing 1.5.
+//!
+//! Run with: `cargo run --release --example sobel`
+
+use std::io::Write;
+
+use skelcl_repro::skelcl::{BoundaryHandling, Context, MapOverlap, Matrix};
+
+/// The paper's Listing 1.5 customizing function.
+const SOBEL: &str = r#"
+uchar func(const uchar* img)
+{
+    int h = -1 * (int)get(img, -1, -1) + 1 * (int)get(img, +1, -1)
+            -2 * (int)get(img, -1,  0) + 2 * (int)get(img, +1,  0)
+            -1 * (int)get(img, -1, +1) + 1 * (int)get(img, +1, +1);
+    int v = -1 * (int)get(img, -1, -1) - 2 * (int)get(img, 0, -1) - 1 * (int)get(img, +1, -1)
+            +1 * (int)get(img, -1, +1) + 2 * (int)get(img, 0, +1) + 1 * (int)get(img, +1, +1);
+    int mag = (int)sqrt((float)(h * h + v * v));
+    return (uchar)(mag > 255 ? 255 : mag);
+}
+"#;
+
+/// Generates a synthetic 512×512 grayscale test image (stand-in for the
+/// paper's Lena photograph; see DESIGN.md).
+fn test_image(width: usize, height: usize) -> Vec<u8> {
+    let mut img = vec![0u8; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let circles = {
+                let dx = x as f64 - width as f64 / 2.0;
+                let dy = y as f64 - height as f64 / 2.0;
+                if ((dx * dx + dy * dy).sqrt() as usize / 32).is_multiple_of(2) { 180 } else { 60 }
+            };
+            let stripes = if (x / 24) % 2 == 0 { 30 } else { 0 };
+            img[y * width + x] = (circles + stripes) as u8;
+        }
+    }
+    img
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (width, height) = (512usize, 512usize);
+    let ctx = Context::single_gpu();
+
+    // Skeleton customized with the Sobel edge detection algorithm.
+    let m: MapOverlap<u8, u8> = MapOverlap::new(&ctx, SOBEL, 1, BoundaryHandling::Nearest)?;
+
+    let img = Matrix::from_vec(&ctx, height, width, test_image(width, height));
+    let out_img = m.call(&img)?; // execution of the skeleton
+
+    println!(
+        "sobel {width}x{height}: kernel time {:?} (simulated; the paper's Fig. 5 metric)",
+        m.events().last_kernel_time()
+    );
+
+    // Edge pixels should be a small but nonzero fraction.
+    let edges = out_img.with_slice(|s| s.iter().filter(|&&p| p > 128).count())?;
+    let frac = edges as f64 / (width * height) as f64;
+    println!("strong-edge pixels: {edges} ({:.1}%)", frac * 100.0);
+    assert!(frac > 0.01 && frac < 0.5, "plausible edge density");
+
+    let path = std::env::temp_dir().join("skelcl_sobel.pgm");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "P5\n{width} {height}\n255")?;
+    f.write_all(&out_img.to_vec()?)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

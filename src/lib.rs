@@ -1,0 +1,11 @@
+//! Umbrella crate for the SkelCL reproduction workspace.
+//!
+//! Re-exports the three layers so examples and integration tests can use a
+//! single dependency:
+//!
+//! * [`kernel`] — the SkelCL C compiler and work-item VM,
+//! * [`vgpu`] — the virtual multi-GPU platform,
+//! * [`skelcl`] — containers, distributions and algorithmic skeletons.
+pub use skelcl;
+pub use skelcl_kernel as kernel;
+pub use vgpu;
