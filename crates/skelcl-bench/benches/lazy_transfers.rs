@@ -14,8 +14,7 @@ fn bench_lazy_transfers(c: &mut Criterion) {
     // Cold: a fresh vector every iteration -> implicit upload + kernel.
     group.bench_function(BenchmarkId::new("cold_upload_each_call", n), |b| {
         let ctx = Context::single_gpu();
-        let map: Map<f32, f32> =
-            Map::new(&ctx, "float f(float x){ return x * 2.0f; }").unwrap();
+        let map: Map<f32, f32> = Map::new(&ctx, "float f(float x){ return x * 2.0f; }").unwrap();
         b.iter(|| {
             let v = Vector::from_fn(&ctx, n, |i| i as f32);
             map.call(&v).unwrap()
@@ -25,8 +24,7 @@ fn bench_lazy_transfers(c: &mut Criterion) {
     // Warm: the input stays resident; only the kernel runs per iteration.
     group.bench_function(BenchmarkId::new("warm_resident_data", n), |b| {
         let ctx = Context::single_gpu();
-        let map: Map<f32, f32> =
-            Map::new(&ctx, "float f(float x){ return x * 2.0f; }").unwrap();
+        let map: Map<f32, f32> = Map::new(&ctx, "float f(float x){ return x * 2.0f; }").unwrap();
         let v = Vector::from_fn(&ctx, n, |i| i as f32);
         v.prefetch(Distribution::Block).unwrap();
         b.iter(|| map.call(&v).unwrap())

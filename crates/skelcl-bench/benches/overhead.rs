@@ -48,8 +48,7 @@ fn bench_map_overhead(c: &mut Criterion) {
 
     // The same computation via the Map skeleton.
     let ctx = Context::single_gpu();
-    let map: Map<f32, f32> =
-        Map::new(&ctx, "float f(float x){ return x * 2.0f + 1.0f; }").unwrap();
+    let map: Map<f32, f32> = Map::new(&ctx, "float f(float x){ return x * 2.0f + 1.0f; }").unwrap();
     let v = Vector::from_fn(&ctx, N, |i| i as f32);
     let _ = map.call(&v).unwrap(); // upload once
     group.bench_function("map_skeleton", |bch| b_iter_map(bch, &map, &v));

@@ -7,7 +7,10 @@ use skelcl::{Context, DeviceSelection, Distribution, Vector};
 use vgpu::{DeviceSpec, Platform};
 
 fn ctx4() -> Context {
-    Context::init(Platform::new(4, DeviceSpec::tesla_t10()), DeviceSelection::All)
+    Context::init(
+        Platform::new(4, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    )
 }
 
 fn bench_redistribution(c: &mut Criterion) {
@@ -28,7 +31,8 @@ fn bench_redistribution(c: &mut Criterion) {
             b.iter(|| {
                 v.set_distribution(Distribution::Block).unwrap();
                 v.prefetch(Distribution::Block).unwrap();
-                v.set_distribution(Distribution::Overlap { size: 64 }).unwrap();
+                v.set_distribution(Distribution::Overlap { size: 64 })
+                    .unwrap();
                 v.prefetch(Distribution::Overlap { size: 64 }).unwrap();
             })
         });

@@ -88,7 +88,8 @@ pub fn run(a: &[f32], b: &[f32]) -> Result<RunResult<f32>, cl::Status> {
     cl::set_kernel_arg(&multiply, 3, cl::ClArg::Scalar(Value::I32(n as i32)))?;
     let global = n.div_ceil(256) * 256;
     let event = cl::enqueue_nd_range_kernel(&queue, &multiply, 1, &[global], &[256])?;
-    kernel_ns += cl::get_event_profiling_ns(&event);
+    kernel_ns += cl::get_event_profiling(&event, cl::ProfilingInfo::CommandEnd)
+        - cl::get_event_profiling(&event, cl::ProfilingInfo::CommandStart);
 
     // Multi-pass tree reduction, sized and chained by hand.
     let mut current = mem_c;
@@ -100,7 +101,8 @@ pub fn run(a: &[f32], b: &[f32]) -> Result<RunResult<f32>, cl::Status> {
         cl::set_kernel_arg(&reduce, 1, cl::ClArg::Mem(partial.clone()))?;
         cl::set_kernel_arg(&reduce, 2, cl::ClArg::Scalar(Value::I32(remaining as i32)))?;
         let event = cl::enqueue_nd_range_kernel(&queue, &reduce, 1, &[groups * 256], &[256])?;
-        kernel_ns += cl::get_event_profiling_ns(&event);
+        kernel_ns += cl::get_event_profiling(&event, cl::ProfilingInfo::CommandEnd)
+            - cl::get_event_profiling(&event, cl::ProfilingInfo::CommandStart);
         current = partial;
         remaining = groups;
     }

@@ -16,16 +16,25 @@ use super::RunResult;
 ///
 /// Propagates SkelCL failures.
 pub fn run_on(ctx: &Context, a: &[f32], b: &[f32]) -> skelcl::Result<RunResult<f32>> {
-    let start: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    let start: u64 = ctx
+        .queues()
+        .iter()
+        .map(|q| q.device().now_ns())
+        .max()
+        .unwrap_or(0);
     // BEGIN KERNEL
     let sum: Reduce<f32> = Reduce::new(ctx, "float sum(float x, float y){ return x + y; }")?;
-    let mult: Zip<f32, f32, f32> =
-        Zip::new(ctx, "float mult(float x, float y){ return x * y; }")?;
+    let mult: Zip<f32, f32, f32> = Zip::new(ctx, "float mult(float x, float y){ return x * y; }")?;
     let va = Vector::from_vec(ctx, a.to_vec());
     let vb = Vector::from_vec(ctx, b.to_vec());
     let c = sum.call(&mult.call(&va, &vb)?)?;
     // END KERNEL
-    let end: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    let end: u64 = ctx
+        .queues()
+        .iter()
+        .map(|q| q.device().now_ns())
+        .max()
+        .unwrap_or(0);
     Ok(RunResult {
         output: vec![c.value()],
         total: Duration::from_nanos(end - start),
@@ -72,7 +81,10 @@ mod tests {
 
     #[test]
     fn multi_gpu_dot_product() {
-        let ctx = Context::init(Platform::new(4, DeviceSpec::tesla_t10()), DeviceSelection::All);
+        let ctx = Context::init(
+            Platform::new(4, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        );
         let a = vec![1.0f32; 4096];
         let b = vec![2.0f32; 4096];
         assert_eq!(run_on(&ctx, &a, &b).unwrap().output[0], 8192.0);

@@ -69,7 +69,11 @@ pub fn run(width: usize, height: usize, max_iter: i32) -> vgpu::Result<RunResult
     let mut output = vec![0u8; n]; // cudaMemcpy(DeviceToHost)
     queue.enqueue_read(&out_buffer, 0, &mut output)?;
     let total = Duration::from_nanos(platform.device(0).now_ns() - start_ns);
-    Ok(RunResult { output, total, kernel: event.duration() })
+    Ok(RunResult {
+        output,
+        total,
+        kernel: event.duration(),
+    })
 }
 
 #[cfg(test)]

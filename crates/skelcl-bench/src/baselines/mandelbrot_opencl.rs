@@ -79,8 +79,15 @@ pub fn run(width: usize, height: usize, max_iter: i32) -> Result<RunResult<u8>, 
     cl::finish(&queue);
 
     let total = Duration::from_nanos(cl::device_clock_ns(&queue) - start_ns);
-    let kernel_time = Duration::from_nanos(cl::get_event_profiling_ns(&event));
-    Ok(RunResult { output, total, kernel: kernel_time })
+    let kernel_time = Duration::from_nanos(
+        cl::get_event_profiling(&event, cl::ProfilingInfo::CommandEnd)
+            - cl::get_event_profiling(&event, cl::ProfilingInfo::CommandStart),
+    );
+    Ok(RunResult {
+        output,
+        total,
+        kernel: kernel_time,
+    })
 }
 
 #[cfg(test)]

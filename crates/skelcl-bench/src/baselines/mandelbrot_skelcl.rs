@@ -38,10 +38,20 @@ uchar func(int gid, int width, int height, int max_iter)
 /// # Errors
 ///
 /// Propagates SkelCL failures.
-pub fn run_on(ctx: &Context, width: usize, height: usize, max_iter: i32) -> skelcl::Result<RunResult<u8>> {
+pub fn run_on(
+    ctx: &Context,
+    width: usize,
+    height: usize,
+    max_iter: i32,
+) -> skelcl::Result<RunResult<u8>> {
     let map: Map<i32, u8> = Map::new(ctx, FUNC_SRC)?;
     let pixels = Vector::from_fn(ctx, width * height, |i| i as i32);
-    let start: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    let start: u64 = ctx
+        .queues()
+        .iter()
+        .map(|q| q.device().now_ns())
+        .max()
+        .unwrap_or(0);
     let image = map.call_with(
         &pixels,
         &[
@@ -51,7 +61,12 @@ pub fn run_on(ctx: &Context, width: usize, height: usize, max_iter: i32) -> skel
         ],
     )?;
     let output = image.to_vec()?;
-    let end: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    let end: u64 = ctx
+        .queues()
+        .iter()
+        .map(|q| q.device().now_ns())
+        .max()
+        .unwrap_or(0);
     Ok(RunResult {
         output,
         total: Duration::from_nanos(end - start),
@@ -88,7 +103,10 @@ mod tests {
     fn multi_gpu_matches_single() {
         let (w, h, it) = (64, 48, 16);
         let single = run(w, h, it).unwrap();
-        let ctx = Context::init(Platform::new(4, DeviceSpec::tesla_t10()), DeviceSelection::All);
+        let ctx = Context::init(
+            Platform::new(4, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        );
         let multi = run_on(&ctx, w, h, it).unwrap();
         assert_eq!(single.output, multi.output);
     }

@@ -76,7 +76,11 @@ pub fn run(img: &[u8], width: usize, height: usize) -> vgpu::Result<RunResult<u8
     let mut output = vec![0u8; img.len()];
     queue.enqueue_read(&out_buffer, 0, &mut output)?;
     let total = Duration::from_nanos(platform.device(0).now_ns() - start_ns);
-    Ok(RunResult { output, total, kernel: event.duration() })
+    Ok(RunResult {
+        output,
+        total,
+        kernel: event.duration(),
+    })
 }
 
 #[cfg(test)]

@@ -81,8 +81,7 @@ pub fn run(img: &[u8], width: usize, height: usize) -> vgpu::Result<RunResult<u8
     assert_eq!(img.len(), width * height, "image shape mismatch");
     let platform = Platform::single(DeviceSpec::tesla_t10());
     let queue = platform.queue(0);
-    let program =
-        skelcl_kernel::compile("sobel_nvidia.cl", KERNEL_SRC).expect("kernel compiles");
+    let program = skelcl_kernel::compile("sobel_nvidia.cl", KERNEL_SRC).expect("kernel compiles");
     let in_buffer = queue.create_buffer(img.len())?;
     let out_buffer = queue.create_buffer(img.len())?;
     let start_ns = platform.device(0).now_ns();
@@ -102,7 +101,11 @@ pub fn run(img: &[u8], width: usize, height: usize) -> vgpu::Result<RunResult<u8
     let mut output = vec![0u8; img.len()];
     queue.enqueue_read(&out_buffer, 0, &mut output)?;
     let total = Duration::from_nanos(platform.device(0).now_ns() - start_ns);
-    Ok(RunResult { output, total, kernel: event.duration() })
+    Ok(RunResult {
+        output,
+        total,
+        kernel: event.duration(),
+    })
 }
 
 #[cfg(test)]
@@ -128,6 +131,9 @@ mod tests {
         let amd = super::super::sobel_amd::run(&img, w, h).unwrap();
         assert_eq!(nv.output, amd.output, "same result");
         let speedup = amd.kernel.as_secs_f64() / nv.kernel.as_secs_f64();
-        assert!(speedup > 1.5, "local memory should win clearly, got {speedup:.2}x");
+        assert!(
+            speedup > 1.5,
+            "local memory should win clearly, got {speedup:.2}x"
+        );
     }
 }

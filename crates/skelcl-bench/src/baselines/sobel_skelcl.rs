@@ -37,14 +37,29 @@ uchar func(const uchar* img)
 /// # Panics
 ///
 /// Panics if the image shape is wrong.
-pub fn run_on(ctx: &Context, img: &[u8], width: usize, height: usize) -> skelcl::Result<RunResult<u8>> {
+pub fn run_on(
+    ctx: &Context,
+    img: &[u8],
+    width: usize,
+    height: usize,
+) -> skelcl::Result<RunResult<u8>> {
     assert_eq!(img.len(), width * height, "image shape mismatch");
     let m: MapOverlap<u8, u8> = MapOverlap::new(ctx, FUNC_SRC, 1, BoundaryHandling::Nearest)?;
     let input = Matrix::from_vec(ctx, height, width, img.to_vec());
-    let start: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    let start: u64 = ctx
+        .queues()
+        .iter()
+        .map(|q| q.device().now_ns())
+        .max()
+        .unwrap_or(0);
     let out_img = m.call(&input)?;
     let output = out_img.to_vec()?;
-    let end: u64 = ctx.queues().iter().map(|q| q.device().now_ns()).max().unwrap_or(0);
+    let end: u64 = ctx
+        .queues()
+        .iter()
+        .map(|q| q.device().now_ns())
+        .max()
+        .unwrap_or(0);
     Ok(RunResult {
         output,
         total: Duration::from_nanos(end - start),
@@ -94,7 +109,10 @@ mod tests {
         let (w, h) = (64, 48);
         let img = synthetic_image(w, h);
         let single = run(&img, w, h).unwrap();
-        let ctx = Context::init(Platform::new(3, DeviceSpec::tesla_t10()), DeviceSelection::All);
+        let ctx = Context::init(
+            Platform::new(3, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        );
         let multi = run_on(&ctx, &img, w, h).unwrap();
         assert_eq!(single.output, multi.output);
     }

@@ -9,10 +9,11 @@
 //! within ~5% of OpenCL, and the OpenCL program more than twice the size
 //! of the CUDA and SkelCL programs.
 
-use skelcl_bench::baselines::{
-    mandelbrot_cuda, mandelbrot_opencl, mandelbrot_skelcl, sources,
-};
+use skelcl_bench::baselines::{mandelbrot_cuda, mandelbrot_opencl, mandelbrot_skelcl, sources};
 use skelcl_bench::loc::{paper, split_kernel_host};
+use skelcl_bench::report::{ms, profiled_ctx, write_report};
+use skelcl_profile::json::Json;
+use skelcl_profile::report::bench_report;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -20,8 +21,11 @@ fn main() {
     // of iterations per pixel: a strongly compute-dominated regime. The
     // default scales the frame down but keeps the high iteration cap so
     // the per-variant ratios (the figure's shape) are preserved.
-    let (width, height, max_iter) =
-        if full { (4096, 3072, 3000) } else { (256, 192, 3000) };
+    let (width, height, max_iter) = if full {
+        (4096, 3072, 3000)
+    } else {
+        (256, 192, 3000)
+    };
 
     println!("== Figure 4 (a): Mandelbrot program size, lines of code ==\n");
     println!(
@@ -29,9 +33,21 @@ fn main() {
         "variant", "this repo (kernel/host/total)", "paper (kernel/host/total)"
     );
     let rows = [
-        ("CUDA", split_kernel_host(sources::MANDELBROT_CUDA), paper::MANDELBROT_CUDA),
-        ("OpenCL", split_kernel_host(sources::MANDELBROT_OPENCL), paper::MANDELBROT_OPENCL),
-        ("SkelCL", split_kernel_host(sources::MANDELBROT_SKELCL), paper::MANDELBROT_SKELCL),
+        (
+            "CUDA",
+            split_kernel_host(sources::MANDELBROT_CUDA),
+            paper::MANDELBROT_CUDA,
+        ),
+        (
+            "OpenCL",
+            split_kernel_host(sources::MANDELBROT_OPENCL),
+            paper::MANDELBROT_OPENCL,
+        ),
+        (
+            "SkelCL",
+            split_kernel_host(sources::MANDELBROT_SKELCL),
+            paper::MANDELBROT_SKELCL,
+        ),
     ];
     for (name, ours, theirs) in rows {
         println!(
@@ -66,12 +82,20 @@ fn main() {
     assert_eq!(cuda_run.output, ocl_run.output, "variants agree");
     assert_eq!(skel_run.output, ocl_run.output, "variants agree");
 
-    println!("{:<10} {:>16} {:>14}", "variant", "measured (s)", "paper (s)");
+    println!(
+        "{:<10} {:>16} {:>14}",
+        "variant", "measured (s)", "paper (s)"
+    );
     for ((name, paper_s), run) in paper::MANDELBROT_SECONDS
         .iter()
         .zip([&cuda_run, &ocl_run, &skel_run])
     {
-        println!("{:<10} {:>16.4} {:>14.1}", name, run.total.as_secs_f64(), paper_s);
+        println!(
+            "{:<10} {:>16.4} {:>14.1}",
+            name,
+            run.total.as_secs_f64(),
+            paper_s
+        );
     }
 
     let cuda_speedup = ocl_run.kernel.as_secs_f64() / cuda_run.kernel.as_secs_f64();
@@ -86,6 +110,47 @@ fn main() {
         (skel_overhead - 1.0) * 100.0
     );
     let ok = cuda_speedup > 1.2 && skel_overhead < 1.10;
-    println!("\nresult: {}", if ok { "SHAPE REPRODUCED" } else { "SHAPE MISMATCH" });
+    println!(
+        "\nresult: {}",
+        if ok {
+            "SHAPE REPRODUCED"
+        } else {
+            "SHAPE MISMATCH"
+        }
+    );
+
+    // Machine-readable report: the table above, plus the profiler's view of
+    // an instrumented SkelCL run (transfer bytes, compile cache, busy-ns).
+    let profiled = profiled_ctx(1);
+    let prof_run =
+        mandelbrot_skelcl::run_on(&profiled, width, height, max_iter).expect("profiled skelcl run");
+    let metrics = profiled
+        .profiler()
+        .metrics_snapshot()
+        .expect("profiler enabled");
+    let report = bench_report(
+        "fig4_mandelbrot",
+        &[
+            ("width", (width as u64).into()),
+            ("height", (height as u64).into()),
+            ("max_iter", (max_iter as u64).into()),
+            ("full", Json::Bool(full)),
+        ],
+        Json::obj([
+            ("cuda_total_ms", ms(cuda_run.total)),
+            ("opencl_total_ms", ms(ocl_run.total)),
+            ("skelcl_total_ms", ms(skel_run.total)),
+            ("cuda_kernel_ms", ms(cuda_run.kernel)),
+            ("opencl_kernel_ms", ms(ocl_run.kernel)),
+            ("skelcl_kernel_ms", ms(skel_run.kernel)),
+            ("profiled_skelcl_kernel_ms", ms(prof_run.kernel)),
+            ("cuda_speedup_over_opencl", Json::Num(cuda_speedup)),
+            ("skelcl_kernel_overhead", Json::Num(skel_overhead)),
+            ("shape_reproduced", Json::Bool(ok)),
+        ]),
+        Some(&metrics),
+    );
+    let path = write_report("fig4_mandelbrot", &report).expect("write report");
+    println!("report: {}", path.display());
     std::process::exit(i32::from(!ok));
 }

@@ -10,7 +10,10 @@
 
 use skelcl_bench::baselines::{sobel_amd, sobel_nvidia, sobel_skelcl};
 use skelcl_bench::loc::paper;
+use skelcl_bench::report::{profiled_ctx, write_report};
 use skelcl_bench::workloads::{sobel_reference, synthetic_image, SOBEL_FULL};
+use skelcl_profile::json::Json;
+use skelcl_profile::report::bench_report;
 
 fn main() {
     let runs: usize = std::env::args()
@@ -27,11 +30,20 @@ fn main() {
     let mut means = Vec::new();
     type Runner = fn(&[u8], usize, usize) -> Result<skelcl_bench::baselines::RunResult<u8>, String>;
     let variants: [(&str, Runner); 3] = [
-        ("OpenCL (AMD)", |i, w, h| sobel_amd::run(i, w, h).map_err(|e| e.to_string())),
-        ("OpenCL (NVIDIA)", |i, w, h| sobel_nvidia::run(i, w, h).map_err(|e| e.to_string())),
-        ("SkelCL", |i, w, h| sobel_skelcl::run(i, w, h).map_err(|e| e.to_string())),
+        ("OpenCL (AMD)", |i, w, h| {
+            sobel_amd::run(i, w, h).map_err(|e| e.to_string())
+        }),
+        ("OpenCL (NVIDIA)", |i, w, h| {
+            sobel_nvidia::run(i, w, h).map_err(|e| e.to_string())
+        }),
+        ("SkelCL", |i, w, h| {
+            sobel_skelcl::run(i, w, h).map_err(|e| e.to_string())
+        }),
     ];
-    println!("{:<17} {:>14} {:>12}", "variant", "measured (ms)", "paper (ms)");
+    println!(
+        "{:<17} {:>14} {:>12}",
+        "variant", "measured (ms)", "paper (ms)"
+    );
     for ((name, runner), (_, paper_ms)) in variants.iter().zip(paper::SOBEL_MS.iter()) {
         let mut total = 0.0;
         for run in 0..runs {
@@ -59,6 +71,41 @@ fn main() {
         0.066 / 0.07
     );
     let ok = amd_over_nvidia > 2.0 && (0.7..1.3).contains(&skel_vs_nvidia);
-    println!("\nresult: {}", if ok { "SHAPE REPRODUCED" } else { "SHAPE MISMATCH" });
+    println!(
+        "\nresult: {}",
+        if ok {
+            "SHAPE REPRODUCED"
+        } else {
+            "SHAPE MISMATCH"
+        }
+    );
+
+    // Machine-readable report with the profiler's view of an instrumented
+    // SkelCL run (transfer bytes, compile cache, per-device busy-ns).
+    let profiled = profiled_ctx(1);
+    sobel_skelcl::run_on(&profiled, &img, width, height).expect("profiled skelcl run");
+    let metrics = profiled
+        .profiler()
+        .metrics_snapshot()
+        .expect("profiler enabled");
+    let report = bench_report(
+        "fig5_sobel",
+        &[
+            ("width", (width as u64).into()),
+            ("height", (height as u64).into()),
+            ("runs", (runs as u64).into()),
+        ],
+        Json::obj([
+            ("amd_kernel_ms", Json::Num(means[0])),
+            ("nvidia_kernel_ms", Json::Num(means[1])),
+            ("skelcl_kernel_ms", Json::Num(means[2])),
+            ("amd_over_nvidia", Json::Num(amd_over_nvidia)),
+            ("skelcl_vs_nvidia", Json::Num(skel_vs_nvidia)),
+            ("shape_reproduced", Json::Bool(ok)),
+        ]),
+        Some(&metrics),
+    );
+    let path = write_report("fig5_sobel", &report).expect("write report");
+    println!("report: {}", path.display());
     std::process::exit(i32::from(!ok));
 }

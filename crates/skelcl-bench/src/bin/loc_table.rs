@@ -43,15 +43,36 @@ fn main() {
     let nvidia = kernel_loc(sources::SOBEL_NVIDIA);
     let skel = kernel_loc(sources::SOBEL_SKELCL);
     println!("{:<22} {:>8} {:>12}", "variant", "kernel", "paper");
-    println!("{:<22} {:>8} {:>12}", "OpenCL (AMD style)", amd, paper::SOBEL_KERNEL_AMD);
-    println!("{:<22} {:>8} {:>12}", "OpenCL (NVIDIA style)", nvidia, paper::SOBEL_KERNEL_NVIDIA);
-    println!("{:<22} {:>8} {:>12}", "SkelCL (Listing 1.5)", skel, "\"few lines\"");
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "OpenCL (AMD style)",
+        amd,
+        paper::SOBEL_KERNEL_AMD
+    );
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "OpenCL (NVIDIA style)",
+        nvidia,
+        paper::SOBEL_KERNEL_NVIDIA
+    );
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "SkelCL (Listing 1.5)", skel, "\"few lines\""
+    );
 
     println!("\n== Mandelbrot, lines of code (Figure 4a) ==\n");
     for (name, src, p) in [
         ("CUDA", sources::MANDELBROT_CUDA, paper::MANDELBROT_CUDA),
-        ("OpenCL", sources::MANDELBROT_OPENCL, paper::MANDELBROT_OPENCL),
-        ("SkelCL", sources::MANDELBROT_SKELCL, paper::MANDELBROT_SKELCL),
+        (
+            "OpenCL",
+            sources::MANDELBROT_OPENCL,
+            paper::MANDELBROT_OPENCL,
+        ),
+        (
+            "SkelCL",
+            sources::MANDELBROT_SKELCL,
+            paper::MANDELBROT_SKELCL,
+        ),
     ] {
         let s = split_kernel_host(src);
         println!(
@@ -79,6 +100,13 @@ fn main() {
     );
     let _ = count_loc("");
     let ok = dot_ratio > 1.5 && sobel_skel_smallest && nvidia > amd;
-    println!("\nresult: {}", if ok { "SHAPE REPRODUCED" } else { "SHAPE MISMATCH" });
+    println!(
+        "\nresult: {}",
+        if ok {
+            "SHAPE REPRODUCED"
+        } else {
+            "SHAPE MISMATCH"
+        }
+    );
     std::process::exit(i32::from(!ok));
 }

@@ -5,13 +5,17 @@
 //!
 //! Usage: `cargo run --release -p skelcl-bench --bin scaling`
 
-use skelcl::{Context, DeviceSelection};
+use skelcl::Context;
 use skelcl_bench::baselines::{dot_skelcl, mandelbrot_skelcl, sobel_skelcl};
+use skelcl_bench::report::{profiled_ctx, write_report};
 use skelcl_bench::workloads::{random_f32_vector, synthetic_image};
-use vgpu::{DeviceSpec, Platform};
+use skelcl_profile::json::Json;
+use skelcl_profile::report::bench_report;
 
 fn ctx(devices: usize) -> Context {
-    Context::init(Platform::new(devices, DeviceSpec::tesla_t10()), DeviceSelection::All)
+    // Profiling is host-side only: simulated device timelines (the numbers
+    // below) are unaffected, and the 4-GPU metrics feed the JSON report.
+    profiled_ctx(devices)
 }
 
 fn main() {
@@ -30,9 +34,14 @@ fn main() {
 
     let mut baseline: Option<[f64; 3]> = None;
     let mut speedups_at_4 = [0.0f64; 3];
+    let mut rows = Vec::new();
+    let mut mandel_metrics_at_4 = None;
     for devices in 1..=4usize {
         let c = ctx(devices);
         let mandel = mandelbrot_skelcl::run_on(&c, mw, mh, it).expect("mandelbrot");
+        if devices == 4 {
+            mandel_metrics_at_4 = c.profiler().metrics_snapshot();
+        }
         let c = ctx(devices);
         let sobel = sobel_skelcl::run_on(&c, &img, sw, sh).expect("sobel");
         let c = ctx(devices);
@@ -43,6 +52,12 @@ fn main() {
             sobel.kernel.as_secs_f64() * 1e3,
             dot.kernel.as_secs_f64() * 1e3,
         ];
+        rows.push(Json::obj([
+            ("devices", (devices as u64).into()),
+            ("mandelbrot_kernel_ms", Json::Num(ms[0])),
+            ("sobel_kernel_ms", Json::Num(ms[1])),
+            ("dot_kernel_ms", Json::Num(ms[2])),
+        ]));
         let base = *baseline.get_or_insert(ms);
         let sp: Vec<String> = ms
             .iter()
@@ -70,6 +85,39 @@ fn main() {
     // Uniform-work kernels scale near-linearly; mandelbrot is bounded by
     // its heaviest chunk; the reduction has a small serial combine tail.
     let ok = speedups_at_4[0] > 2.0 && speedups_at_4[1] > 3.0 && speedups_at_4[2] > 2.0;
-    println!("\nresult: {}", if ok { "SHAPE REPRODUCED" } else { "SHAPE MISMATCH" });
+    println!(
+        "\nresult: {}",
+        if ok {
+            "SHAPE REPRODUCED"
+        } else {
+            "SHAPE MISMATCH"
+        }
+    );
+
+    // Machine-readable report; the attached metrics are the 4-GPU
+    // mandelbrot run's, whose load_imbalance explains the sub-linear row.
+    let report = bench_report(
+        "scaling",
+        &[
+            ("mandelbrot", Json::from(format!("{mw}x{mh} max_iter {it}"))),
+            ("sobel", Json::from(format!("{sw}x{sh}"))),
+            ("dot", (1u64 << 20).into()),
+        ],
+        Json::obj([
+            ("per_device_count", Json::Arr(rows)),
+            (
+                "speedups_at_4",
+                Json::obj([
+                    ("mandelbrot", Json::Num(speedups_at_4[0])),
+                    ("sobel", Json::Num(speedups_at_4[1])),
+                    ("dot", Json::Num(speedups_at_4[2])),
+                ]),
+            ),
+            ("shape_reproduced", Json::Bool(ok)),
+        ]),
+        mandel_metrics_at_4.as_ref(),
+    );
+    let path = write_report("scaling", &report).expect("write report");
+    println!("report: {}", path.display());
     std::process::exit(i32::from(!ok));
 }

@@ -5,7 +5,9 @@
 //! * [`baselines`] — CUDA-style, OpenCL-style and SkelCL implementations
 //!   of the paper's applications, each in a self-contained source file so
 //!   lines of code can be counted like the paper counts SDK samples;
-//! * [`loc`] — the LoC counter and the paper's reported numbers.
+//! * [`loc`] — the LoC counter and the paper's reported numbers;
+//! * [`report`] — the `BENCH_*.json` machine-readable reports the figure
+//!   binaries emit alongside their tables.
 //!
 //! Binaries (see `src/bin/`): `fig4_mandelbrot`, `fig5_sobel`, `loc_table`
 //! and `scaling` regenerate the paper's figures; criterion benches under
@@ -15,4 +17,5 @@
 
 pub mod baselines;
 pub mod loc;
+pub mod report;
 pub mod workloads;

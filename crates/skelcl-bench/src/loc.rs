@@ -71,14 +71,26 @@ pub mod paper {
     use super::ProgramSize;
 
     /// CUDA Mandelbrot: 49 total (28 kernel, 21 host).
-    pub const MANDELBROT_CUDA: ProgramSize = ProgramSize { kernel: 28, host: 21 };
+    pub const MANDELBROT_CUDA: ProgramSize = ProgramSize {
+        kernel: 28,
+        host: 21,
+    };
     /// OpenCL Mandelbrot: 118 total (28 kernel, 90 host).
-    pub const MANDELBROT_OPENCL: ProgramSize = ProgramSize { kernel: 28, host: 90 };
+    pub const MANDELBROT_OPENCL: ProgramSize = ProgramSize {
+        kernel: 28,
+        host: 90,
+    };
     /// SkelCL Mandelbrot: 57 total (26 kernel, 31 host).
-    pub const MANDELBROT_SKELCL: ProgramSize = ProgramSize { kernel: 26, host: 31 };
+    pub const MANDELBROT_SKELCL: ProgramSize = ProgramSize {
+        kernel: 26,
+        host: 31,
+    };
 
     /// NVIDIA SDK dot product (§3.3): 68 total (9 kernel, 59 host).
-    pub const DOT_OPENCL: ProgramSize = ProgramSize { kernel: 9, host: 59 };
+    pub const DOT_OPENCL: ProgramSize = ProgramSize {
+        kernel: 9,
+        host: 59,
+    };
 
     /// Sobel kernel sizes (§4.2): AMD 37 lines, NVIDIA 208 lines.
     pub const SOBEL_KERNEL_AMD: usize = 37;
@@ -91,8 +103,11 @@ pub mod paper {
 
     /// Paper kernel runtimes for Sobel on 512×512 (Fig. 5), milliseconds
     /// (read off the figure).
-    pub const SOBEL_MS: [(&str, f64); 3] =
-        [("OpenCL (AMD)", 0.23), ("OpenCL (NVIDIA)", 0.07), ("SkelCL", 0.066)];
+    pub const SOBEL_MS: [(&str, f64); 3] = [
+        ("OpenCL (AMD)", 0.23),
+        ("OpenCL (NVIDIA)", 0.07),
+        ("SkelCL", 0.066),
+    ];
 }
 
 /// Splits an implementation source file into kernel and host LoC.
@@ -143,7 +158,10 @@ pub fn split_kernel_host(source: &str) -> ProgramSize {
             host_text.push('\n');
         }
     }
-    ProgramSize { kernel: count_loc(&kernel_text), host: count_loc(&host_text) }
+    ProgramSize {
+        kernel: count_loc(&kernel_text),
+        host: count_loc(&host_text),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,48 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every figure binary ends by writing a self-describing
+//! `BENCH_<name>.json` (schema `skelcl-bench-report/1`, built with
+//! [`skelcl_profile::report::bench_report`]) next to the human-readable
+//! table it prints, so runs can be diffed and regression-gated without
+//! scraping stdout. `SKELCL_BENCH_DIR` overrides the output directory
+//! (default: current directory).
+
+use std::path::PathBuf;
+
+use skelcl::{Context, DeviceSelection, Profiler};
+use skelcl_profile::json::Json;
+use vgpu::{DeviceSpec, Platform};
+
+/// Directory benchmark reports are written to: `SKELCL_BENCH_DIR` if set,
+/// else the current directory.
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("SKELCL_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// Writes `report` to `BENCH_<name>.json` in [`out_dir`] and returns the
+/// path.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_report(name: &str, report: &Json) -> std::io::Result<PathBuf> {
+    let path = out_dir().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, report.to_json())?;
+    Ok(path)
+}
+
+/// A context with profiling force-enabled, for the instrumented SkelCL run
+/// each figure binary reports metrics from. Simulated device timelines are
+/// unaffected by the (host-side) profiler.
+pub fn profiled_ctx(devices: usize) -> Context {
+    Context::init_with_profiler(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+        Profiler::enabled(),
+    )
+}
+
+/// Duration in fractional milliseconds, as a JSON number.
+pub fn ms(d: std::time::Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e3)
+}

@@ -24,8 +24,12 @@ pub fn synthetic_image(width: usize, height: usize) -> Vec<u8> {
     for y in 0..height {
         for x in 0..width {
             let gradient = (x * 255 / width.max(1)) as i32;
-            let blocks = if ((x / 32) + (y / 32)) % 2 == 0 { 64 } else { -64 };
-            let noise = rng.gen_range(-8..=8);
+            let blocks = if ((x / 32) + (y / 32)) % 2 == 0 {
+                64
+            } else {
+                -64
+            };
+            let noise: i32 = rng.gen_range(-8..=8);
             let ring = {
                 let dx = x as f64 - width as f64 / 2.0;
                 let dy = y as f64 - height as f64 / 2.0;
@@ -64,8 +68,7 @@ pub fn sobel_reference(img: &[u8], width: usize, height: usize) -> Vec<u8> {
     let mut out = vec![0u8; width * height];
     for y in 0..height as isize {
         for x in 0..width as isize {
-            let h = -px(x - 1, y - 1) + px(x + 1, y - 1) - 2 * px(x - 1, y)
-                + 2 * px(x + 1, y)
+            let h = -px(x - 1, y - 1) + px(x + 1, y - 1) - 2 * px(x - 1, y) + 2 * px(x + 1, y)
                 - px(x - 1, y + 1)
                 + px(x + 1, y + 1);
             let v = -px(x - 1, y - 1) - 2 * px(x, y - 1) - px(x + 1, y - 1)
@@ -112,14 +115,20 @@ mod tests {
         let b = synthetic_image(64, 64);
         assert_eq!(a, b, "seeded generation is reproducible");
         let distinct: std::collections::HashSet<u8> = a.iter().copied().collect();
-        assert!(distinct.len() > 20, "image has texture: {} levels", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "image has texture: {} levels",
+            distinct.len()
+        );
     }
 
     #[test]
     fn sobel_reference_finds_edges() {
         // A vertical step edge produces strong responses along the step.
         let w = 16;
-        let img: Vec<u8> = (0..w * w).map(|i| if i % w < w / 2 { 0 } else { 200 }).collect();
+        let img: Vec<u8> = (0..w * w)
+            .map(|i| if i % w < w / 2 { 0 } else { 200 })
+            .collect();
         let out = sobel_reference(&img, w, w);
         let edge_col = w / 2;
         assert!(out[8 * w + edge_col] > 100, "edge detected");

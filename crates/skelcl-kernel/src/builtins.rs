@@ -223,8 +223,9 @@ impl Builtin {
         use Builtin::*;
         use BuiltinKind::*;
         match self {
-            GetGlobalId | GetLocalId | GetGroupId | GetGlobalSize | GetLocalSize
-            | GetNumGroups => WorkItemQuery,
+            GetGlobalId | GetLocalId | GetGroupId | GetGlobalSize | GetLocalSize | GetNumGroups => {
+                WorkItemQuery
+            }
             GetWorkDim => WorkDim,
             Builtin::Barrier => BuiltinKind::Barrier,
             Builtin::Trap => BuiltinKind::Trap,
@@ -284,7 +285,9 @@ pub fn eval_pure(b: Builtin, args: &[Value]) -> Value {
             other => panic!("float builtin {b:?} on {other:?}"),
         },
         BuiltinKind::FloatBinary => match (args[0], args[1]) {
-            (Value::F32(x), Value::F32(y)) => Value::F32(float_binary(b, x as f64, y as f64) as f32),
+            (Value::F32(x), Value::F32(y)) => {
+                Value::F32(float_binary(b, x as f64, y as f64) as f32)
+            }
             (Value::F64(x), Value::F64(y)) => Value::F64(float_binary(b, x, y)),
             other => panic!("float builtin {b:?} on {other:?}"),
         },
@@ -431,26 +434,50 @@ mod tests {
 
     #[test]
     fn float_math_f32_and_f64() {
-        assert_eq!(eval_pure(Builtin::Sqrt, &[Value::F32(9.0)]), Value::F32(3.0));
-        assert_eq!(eval_pure(Builtin::Sqrt, &[Value::F64(16.0)]), Value::F64(4.0));
+        assert_eq!(
+            eval_pure(Builtin::Sqrt, &[Value::F32(9.0)]),
+            Value::F32(3.0)
+        );
+        assert_eq!(
+            eval_pure(Builtin::Sqrt, &[Value::F64(16.0)]),
+            Value::F64(4.0)
+        );
         assert_eq!(
             eval_pure(Builtin::Pow, &[Value::F32(2.0), Value::F32(10.0)]),
             Value::F32(1024.0)
         );
-        assert_eq!(eval_pure(Builtin::Hypot, &[Value::F64(3.0), Value::F64(4.0)]), Value::F64(5.0));
+        assert_eq!(
+            eval_pure(Builtin::Hypot, &[Value::F64(3.0), Value::F64(4.0)]),
+            Value::F64(5.0)
+        );
     }
 
     #[test]
     fn generic_min_max_clamp() {
-        assert_eq!(eval_pure(Builtin::Min, &[Value::I32(-3), Value::I32(2)]), Value::I32(-3));
-        assert_eq!(eval_pure(Builtin::Max, &[Value::U8(3), Value::U8(200)]), Value::U8(200));
-        assert_eq!(eval_pure(Builtin::Max, &[Value::F32(1.5), Value::F32(-2.0)]), Value::F32(1.5));
         assert_eq!(
-            eval_pure(Builtin::Clamp, &[Value::I32(10), Value::I32(0), Value::I32(5)]),
+            eval_pure(Builtin::Min, &[Value::I32(-3), Value::I32(2)]),
+            Value::I32(-3)
+        );
+        assert_eq!(
+            eval_pure(Builtin::Max, &[Value::U8(3), Value::U8(200)]),
+            Value::U8(200)
+        );
+        assert_eq!(
+            eval_pure(Builtin::Max, &[Value::F32(1.5), Value::F32(-2.0)]),
+            Value::F32(1.5)
+        );
+        assert_eq!(
+            eval_pure(
+                Builtin::Clamp,
+                &[Value::I32(10), Value::I32(0), Value::I32(5)]
+            ),
             Value::I32(5)
         );
         assert_eq!(
-            eval_pure(Builtin::Clamp, &[Value::I32(-10), Value::I32(0), Value::I32(5)]),
+            eval_pure(
+                Builtin::Clamp,
+                &[Value::I32(-10), Value::I32(0), Value::I32(5)]
+            ),
             Value::I32(0)
         );
     }
@@ -459,14 +486,23 @@ mod tests {
     fn abs_behaviour() {
         assert_eq!(eval_pure(Builtin::Abs, &[Value::I32(-5)]), Value::I32(5));
         assert_eq!(eval_pure(Builtin::Abs, &[Value::U32(5)]), Value::U32(5));
-        assert_eq!(eval_pure(Builtin::Abs, &[Value::F64(-2.5)]), Value::F64(2.5));
-        assert_eq!(eval_pure(Builtin::Abs, &[Value::I32(i32::MIN)]), Value::I32(i32::MIN));
+        assert_eq!(
+            eval_pure(Builtin::Abs, &[Value::F64(-2.5)]),
+            Value::F64(2.5)
+        );
+        assert_eq!(
+            eval_pure(Builtin::Abs, &[Value::I32(i32::MIN)]),
+            Value::I32(i32::MIN)
+        );
     }
 
     #[test]
     fn mad_fused_shape() {
         assert_eq!(
-            eval_pure(Builtin::Mad, &[Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)]),
+            eval_pure(
+                Builtin::Mad,
+                &[Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)]
+            ),
             Value::F32(10.0)
         );
     }

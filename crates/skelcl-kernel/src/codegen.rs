@@ -4,9 +4,7 @@ use crate::builtins::BuiltinKind;
 use crate::fold::const_to_value;
 use crate::hir::{BinOp, Expr, Function, LocalArray, Place, Stmt, Unit};
 use crate::ir::{FuncCode, Op};
-use crate::program::{
-    KernelInfo, KernelParam, KernelParamKind, LocalArrayBinding, Program,
-};
+use crate::program::{KernelInfo, KernelParam, KernelParamKind, LocalArrayBinding, Program};
 use crate::types::{AddressSpace, ScalarType, Type};
 use crate::value::{Ptr, Value};
 
@@ -48,12 +46,19 @@ fn kernel_info(f: &Function, func: u16) -> KernelInfo {
             name: p.name.clone(),
             kind: match p.ty {
                 Type::Scalar(s) => KernelParamKind::Scalar(s),
-                Type::Pointer { pointee, space: AddressSpace::Global, is_const } => {
-                    KernelParamKind::GlobalBuffer { elem: pointee, is_const }
-                }
-                Type::Pointer { pointee, space: AddressSpace::Local, .. } => {
-                    KernelParamKind::LocalBuffer { elem: pointee }
-                }
+                Type::Pointer {
+                    pointee,
+                    space: AddressSpace::Global,
+                    is_const,
+                } => KernelParamKind::GlobalBuffer {
+                    elem: pointee,
+                    is_const,
+                },
+                Type::Pointer {
+                    pointee,
+                    space: AddressSpace::Local,
+                    ..
+                } => KernelParamKind::LocalBuffer { elem: pointee },
                 other => unreachable!("sema rejects kernel parameter type {other}"),
             },
         })
@@ -66,7 +71,11 @@ fn kernel_info(f: &Function, func: u16) -> KernelInfo {
         let align = elem.size_bytes() as u32;
         offset = offset.div_ceil(align) * align;
         let byte_len = (len as u32) * align;
-        local_arrays.push(LocalArrayBinding { slot: id.0 as u16, byte_offset: offset, byte_len });
+        local_arrays.push(LocalArrayBinding {
+            slot: id.0 as u16,
+            byte_offset: offset,
+            byte_len,
+        });
         offset += byte_len;
     }
 
@@ -187,7 +196,11 @@ impl<'a> FnCodegen<'a> {
     fn stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::Expr(e) => self.expr_for_effect(e),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.expr(cond);
                 let to_else = self.emit_patch(Op::JumpIfFalse);
                 for s in then_branch {
@@ -207,8 +220,16 @@ impl<'a> FnCodegen<'a> {
                     self.patch(to_end, end);
                 }
             }
-            Stmt::Loop { cond, body, step, test_at_end } => {
-                self.loops.push(LoopFrame { break_patches: vec![], continue_patches: vec![] });
+            Stmt::Loop {
+                cond,
+                body,
+                step,
+                test_at_end,
+            } => {
+                self.loops.push(LoopFrame {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
                 if *test_at_end {
                     // do-while
                     let body_start = self.here();
@@ -278,9 +299,9 @@ impl<'a> FnCodegen<'a> {
     fn expr_for_effect(&mut self, e: &Expr) {
         match e {
             Expr::Assign { place, value, .. } => self.emit_assign(place, value, false),
-            Expr::IncDec { place, ty, is_inc, .. } => {
-                self.emit_incdec(place, *ty, *is_inc, false, false)
-            }
+            Expr::IncDec {
+                place, ty, is_inc, ..
+            } => self.emit_incdec(place, *ty, *is_inc, false, false),
             other => {
                 self.expr(other);
                 if other.ty() != Type::Void {
@@ -311,7 +332,9 @@ impl<'a> FnCodegen<'a> {
                 self.expr(rhs);
                 self.code.push(Op::Cmp(*op));
             }
-            Expr::Logical { is_and, lhs, rhs, .. } => {
+            Expr::Logical {
+                is_and, lhs, rhs, ..
+            } => {
                 self.expr(lhs);
                 if *is_and {
                     let to_false = self.emit_patch(Op::JumpIfFalse);
@@ -342,10 +365,19 @@ impl<'a> FnCodegen<'a> {
                 }
             }
             Expr::Assign { place, value, .. } => self.emit_assign(place, value, true),
-            Expr::IncDec { place, ty, is_inc, is_post, .. } => {
-                self.emit_incdec(place, *ty, *is_inc, *is_post, true)
-            }
-            Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            Expr::IncDec {
+                place,
+                ty,
+                is_inc,
+                is_post,
+                ..
+            } => self.emit_incdec(place, *ty, *is_inc, *is_post, true),
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
                 self.expr(cond);
                 let to_else = self.emit_patch(Op::JumpIfFalse);
                 self.expr(then_expr);
@@ -360,7 +392,10 @@ impl<'a> FnCodegen<'a> {
                 for a in args {
                     self.expr(a);
                 }
-                self.code.push(Op::Call { func: func.0 as u16, argc: args.len() as u8 });
+                self.code.push(Op::Call {
+                    func: func.0 as u16,
+                    argc: args.len() as u8,
+                });
             }
             Expr::BuiltinCall { builtin, args, .. } => match builtin.kind() {
                 BuiltinKind::WorkItemQuery => {
@@ -437,7 +472,14 @@ impl<'a> FnCodegen<'a> {
 
     /// Emits `++`/`--` on a place. When `want_value`, leaves the old
     /// (`is_post`) or new value on the stack.
-    fn emit_incdec(&mut self, place: &Place, ty: Type, is_inc: bool, is_post: bool, want_value: bool) {
+    fn emit_incdec(
+        &mut self,
+        place: &Place,
+        ty: Type,
+        is_inc: bool,
+        is_post: bool,
+        want_value: bool,
+    ) {
         // Load current value.
         let tmp_ptr = match place {
             Place::Local(id) => {
@@ -462,10 +504,12 @@ impl<'a> FnCodegen<'a> {
         match ty {
             Type::Scalar(s) => {
                 self.code.push(Op::Const(one_of(s)));
-                self.code.push(Op::Bin(if is_inc { BinOp::Add } else { BinOp::Sub }));
+                self.code
+                    .push(Op::Bin(if is_inc { BinOp::Add } else { BinOp::Sub }));
             }
             Type::Pointer { pointee, .. } => {
-                self.code.push(Op::Const(Value::I64(if is_inc { 1 } else { -1 })));
+                self.code
+                    .push(Op::Const(Value::I64(if is_inc { 1 } else { -1 })));
                 self.code.push(Op::PtrOffset(pointee.size_bytes() as u32));
             }
             Type::Void => unreachable!("sema rejects void inc/dec"),
@@ -567,7 +611,12 @@ mod tests {
         let p = compile_unit("int f(int x){ if (x > 0) return 1; else return 2; }");
         for op in &p.functions()[0].code {
             if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) = op {
-                assert_ne!(*t, u32::MAX, "unpatched jump in {}", p.functions()[0].disassemble());
+                assert_ne!(
+                    *t,
+                    u32::MAX,
+                    "unpatched jump in {}",
+                    p.functions()[0].disassemble()
+                );
             }
         }
     }
@@ -581,9 +630,17 @@ mod tests {
         assert_eq!(k.params.len(), 5);
         assert_eq!(
             k.params[0].kind,
-            KernelParamKind::GlobalBuffer { elem: ScalarType::Float, is_const: false }
+            KernelParamKind::GlobalBuffer {
+                elem: ScalarType::Float,
+                is_const: false
+            }
         );
-        assert_eq!(k.params[2].kind, KernelParamKind::LocalBuffer { elem: ScalarType::Int });
+        assert_eq!(
+            k.params[2].kind,
+            KernelParamKind::LocalBuffer {
+                elem: ScalarType::Int
+            }
+        );
         assert_eq!(k.params[3].kind, KernelParamKind::Scalar(ScalarType::Float));
     }
 

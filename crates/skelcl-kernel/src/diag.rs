@@ -42,12 +42,22 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, span, message: message.into(), notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Warning, span, message: message.into(), notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a secondary note pointing at `span`.

@@ -62,7 +62,9 @@ fn eval_value(e: &Expr) -> Option<Value> {
             let r = eval_value(rhs)?;
             value::compare(*op, l, r).ok().map(Value::Bool)
         }
-        Expr::Logical { is_and, lhs, rhs, .. } => {
+        Expr::Logical {
+            is_and, lhs, rhs, ..
+        } => {
             let l = eval_value(lhs)?.is_truthy();
             // Short-circuit even at compile time so the other operand need
             // not be constant.
@@ -79,7 +81,12 @@ fn eval_value(e: &Expr) -> Option<Value> {
             let v = eval_value(expr)?;
             Some(value::convert(v, *to))
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
             let c = eval_value(cond)?.is_truthy();
             if c {
                 eval_value(then_expr)
@@ -109,7 +116,12 @@ pub fn fold_expr(e: &mut Expr) {
             fold_expr(lhs);
             fold_expr(rhs);
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
             fold_expr(cond);
             fold_expr(then_expr);
             fold_expr(else_expr);
@@ -137,14 +149,23 @@ pub fn fold_expr(e: &mut Expr) {
         return;
     }
     if let Some(v) = try_eval(e) {
-        *e = Expr::Const { value: v, span: e.span() };
+        *e = Expr::Const {
+            value: v,
+            span: e.span(),
+        };
         return;
     }
     // Structural simplifications where only the *condition* is constant
     // (the surviving arm may be effectful, e.g. a load): these arise from
     // inlined bounds checks with literal offsets.
     match e {
-        Expr::Ternary { cond, then_expr, else_expr, span, .. } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            span,
+            ..
+        } => {
             if let Some(c) = try_eval(cond) {
                 let span = *span;
                 let arm = if matches!(c, ConstValue::Bool(true))
@@ -152,18 +173,29 @@ pub fn fold_expr(e: &mut Expr) {
                 {
                     std::mem::replace(
                         then_expr.as_mut(),
-                        Expr::Const { value: ConstValue::Bool(false), span },
+                        Expr::Const {
+                            value: ConstValue::Bool(false),
+                            span,
+                        },
                     )
                 } else {
                     std::mem::replace(
                         else_expr.as_mut(),
-                        Expr::Const { value: ConstValue::Bool(false), span },
+                        Expr::Const {
+                            value: ConstValue::Bool(false),
+                            span,
+                        },
                     )
                 };
                 *e = arm;
             }
         }
-        Expr::Logical { is_and, lhs, rhs, span } => {
+        Expr::Logical {
+            is_and,
+            lhs,
+            rhs,
+            span,
+        } => {
             if let Some(c) = try_eval(lhs) {
                 let truthy = matches!(c, ConstValue::Bool(true))
                     || matches!(c, ConstValue::Int(v, _) if v != 0);
@@ -172,14 +204,20 @@ pub fn fold_expr(e: &mut Expr) {
                     // `true && x` / `false || x` -> x (already bool-typed).
                     let taken = std::mem::replace(
                         rhs.as_mut(),
-                        Expr::Const { value: ConstValue::Bool(false), span },
+                        Expr::Const {
+                            value: ConstValue::Bool(false),
+                            span,
+                        },
                     );
                     *e = taken;
                 } else {
                     // `false && x` / `true || x` -> constant. Sound even
                     // for effectful `x`: short-circuit semantics mean `x`
                     // is never evaluated.
-                    *e = Expr::Const { value: ConstValue::Bool(!*is_and), span };
+                    *e = Expr::Const {
+                        value: ConstValue::Bool(!*is_and),
+                        span,
+                    };
                 }
             }
         }
@@ -192,12 +230,18 @@ pub fn fold_stmts(stmts: &mut [Stmt]) {
     for s in stmts {
         match s {
             Stmt::Expr(e) => fold_expr(e),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 fold_expr(cond);
                 fold_stmts(then_branch);
                 fold_stmts(else_branch);
             }
-            Stmt::Loop { cond, body, step, .. } => {
+            Stmt::Loop {
+                cond, body, step, ..
+            } => {
                 fold_expr(cond);
                 fold_stmts(body);
                 if let Some(step) = step {
@@ -213,7 +257,12 @@ pub fn fold_stmts(stmts: &mut [Stmt]) {
 /// Negation helper used by tests and codegen: `-x` wrapped as HIR.
 pub fn negate(e: Expr, ty: ScalarType) -> Expr {
     let span = e.span();
-    Expr::Unary { op: UnOp::Neg, expr: Box::new(e), ty, span }
+    Expr::Unary {
+        op: UnOp::Neg,
+        expr: Box::new(e),
+        ty,
+        span,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +283,9 @@ mod tests {
     fn eval_return(src: &str) -> Option<ConstValue> {
         let u = lower(src);
         let (_, f) = u.function("f").expect("test functions are named `f`");
-        let Stmt::Return(Some(e)) = &f.body[f.body.len() - 1] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[f.body.len() - 1] else {
+            panic!()
+        };
         try_eval(e)
     }
 
@@ -311,7 +362,9 @@ mod tests {
         let mut u = lower("float f(float x){ return x + 2.0f * 8.0f; }");
         let f = &mut u.functions[0];
         fold_stmts(&mut f.body);
-        let Stmt::Return(Some(Expr::Binary { rhs, .. })) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary { rhs, .. })) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(**rhs, Expr::Const { value: ConstValue::F32(v), .. } if v == 16.0));
     }
 

@@ -458,7 +458,10 @@ mod tests {
     #[test]
     fn const_value_types() {
         assert_eq!(ConstValue::Bool(true).scalar_type(), ScalarType::Bool);
-        assert_eq!(ConstValue::Int(-1, ScalarType::Int).scalar_type(), ScalarType::Int);
+        assert_eq!(
+            ConstValue::Int(-1, ScalarType::Int).scalar_type(),
+            ScalarType::Int
+        );
         assert_eq!(ConstValue::F32(1.0).scalar_type(), ScalarType::Float);
         assert_eq!(ConstValue::F64(1.0).scalar_type(), ScalarType::Double);
     }
@@ -466,8 +469,14 @@ mod tests {
     #[test]
     fn expr_type_of_compare_is_bool() {
         let span = Span::point(0);
-        let one = Expr::Const { value: ConstValue::Int(1, ScalarType::Int), span };
-        let two = Expr::Const { value: ConstValue::Int(2, ScalarType::Int), span };
+        let one = Expr::Const {
+            value: ConstValue::Int(1, ScalarType::Int),
+            span,
+        };
+        let two = Expr::Const {
+            value: ConstValue::Int(2, ScalarType::Int),
+            span,
+        };
         let cmp = Expr::Compare {
             op: CmpOp::Lt,
             lhs: Box::new(one),

@@ -73,9 +73,11 @@ fn template_of(f: &Function) -> Option<Template> {
     for s in init {
         match s {
             // Sema lowers `T x = e;` to `Expr(Assign{Local(x), e})`.
-            Stmt::Expr(Expr::Assign { place: Place::Local(id), value, .. })
-                if id.0 as usize >= f.param_count =>
-            {
+            Stmt::Expr(Expr::Assign {
+                place: Place::Local(id),
+                value,
+                ..
+            }) if id.0 as usize >= f.param_count => {
                 if !expr_is_inline_safe(value) {
                     return None;
                 }
@@ -84,7 +86,9 @@ fn template_of(f: &Function) -> Option<Template> {
             _ => return None,
         }
     }
-    let Stmt::Return(Some(result)) = last else { return None };
+    let Stmt::Return(Some(result)) = last else {
+        return None;
+    };
     if !expr_is_inline_safe(result) {
         return None;
     }
@@ -104,7 +108,11 @@ fn template_of(f: &Function) -> Option<Template> {
             return None;
         }
     }
-    Some(Template { param_count: f.param_count, lets, result: result.clone() })
+    Some(Template {
+        param_count: f.param_count,
+        lets,
+        result: result.clone(),
+    })
 }
 
 /// Whether an expression may be inlined at all: pure except for loads,
@@ -120,7 +128,12 @@ fn expr_is_inline_safe(e: &Expr) -> bool {
         | Expr::Compare { lhs, rhs, .. }
         | Expr::Logical { lhs, rhs, .. }
         | Expr::PtrDiff { lhs, rhs, .. } => expr_is_inline_safe(lhs) && expr_is_inline_safe(rhs),
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
             expr_is_inline_safe(cond)
                 && expr_is_inline_safe(then_expr)
                 && expr_is_inline_safe(else_expr)
@@ -180,7 +193,12 @@ fn visit(e: &Expr, f: &mut impl FnMut(&Expr)) {
             visit(lhs, f);
             visit(rhs, f);
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
             visit(cond, f);
             visit(then_expr, f);
             visit(else_expr, f);
@@ -213,7 +231,11 @@ fn visit(e: &Expr, f: &mut impl FnMut(&Expr)) {
 fn inline_stmt(s: &mut Stmt, templates: &HashMap<FuncId, Template>) -> bool {
     match s {
         Stmt::Expr(e) | Stmt::Return(Some(e)) => inline_expr(e, templates),
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let mut c = inline_expr(cond, templates);
             for s in then_branch {
                 c |= inline_stmt(s, templates);
@@ -223,7 +245,9 @@ fn inline_stmt(s: &mut Stmt, templates: &HashMap<FuncId, Template>) -> bool {
             }
             c
         }
-        Stmt::Loop { cond, body, step, .. } => {
+        Stmt::Loop {
+            cond, body, step, ..
+        } => {
             let mut c = inline_expr(cond, templates);
             for s in body {
                 c |= inline_stmt(s, templates);
@@ -247,7 +271,12 @@ fn inline_expr(e: &mut Expr, templates: &HashMap<FuncId, Template>) -> bool {
         | Expr::PtrDiff { lhs, rhs, .. } => {
             inline_expr(lhs, templates) | inline_expr(rhs, templates)
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
             inline_expr(cond, templates)
                 | inline_expr(then_expr, templates)
                 | inline_expr(else_expr, templates)
@@ -318,9 +347,7 @@ fn try_substitute(t: &Template, args: &[Expr]) -> Option<Expr> {
 
 fn substitute(e: &Expr, env: &HashMap<LocalId, Expr>) -> Expr {
     match e {
-        Expr::Local { id, .. } => {
-            env.get(id).cloned().unwrap_or_else(|| e.clone())
-        }
+        Expr::Local { id, .. } => env.get(id).cloned().unwrap_or_else(|| e.clone()),
         Expr::Const { .. } => e.clone(),
         Expr::Unary { op, expr, ty, span } => Expr::Unary {
             op: *op,
@@ -333,46 +360,84 @@ fn substitute(e: &Expr, env: &HashMap<LocalId, Expr>) -> Expr {
             expr: Box::new(substitute(expr, env)),
             span: *span,
         },
-        Expr::Binary { op, lhs, rhs, ty, span } => Expr::Binary {
+        Expr::Binary {
+            op,
+            lhs,
+            rhs,
+            ty,
+            span,
+        } => Expr::Binary {
             op: *op,
             lhs: Box::new(substitute(lhs, env)),
             rhs: Box::new(substitute(rhs, env)),
             ty: *ty,
             span: *span,
         },
-        Expr::Compare { op, lhs, rhs, operand_ty, span } => Expr::Compare {
+        Expr::Compare {
+            op,
+            lhs,
+            rhs,
+            operand_ty,
+            span,
+        } => Expr::Compare {
             op: *op,
             lhs: Box::new(substitute(lhs, env)),
             rhs: Box::new(substitute(rhs, env)),
             operand_ty: *operand_ty,
             span: *span,
         },
-        Expr::Logical { is_and, lhs, rhs, span } => Expr::Logical {
+        Expr::Logical {
+            is_and,
+            lhs,
+            rhs,
+            span,
+        } => Expr::Logical {
             is_and: *is_and,
             lhs: Box::new(substitute(lhs, env)),
             rhs: Box::new(substitute(rhs, env)),
             span: *span,
         },
-        Expr::Ternary { cond, then_expr, else_expr, ty, span } => Expr::Ternary {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ty,
+            span,
+        } => Expr::Ternary {
             cond: Box::new(substitute(cond, env)),
             then_expr: Box::new(substitute(then_expr, env)),
             else_expr: Box::new(substitute(else_expr, env)),
             ty: *ty,
             span: *span,
         },
-        Expr::Call { func, args, ty, span } => Expr::Call {
+        Expr::Call {
+            func,
+            args,
+            ty,
+            span,
+        } => Expr::Call {
             func: *func,
             args: args.iter().map(|a| substitute(a, env)).collect(),
             ty: *ty,
             span: *span,
         },
-        Expr::BuiltinCall { builtin, args, ty, span } => Expr::BuiltinCall {
+        Expr::BuiltinCall {
+            builtin,
+            args,
+            ty,
+            span,
+        } => Expr::BuiltinCall {
             builtin: *builtin,
             args: args.iter().map(|a| substitute(a, env)).collect(),
             ty: *ty,
             span: *span,
         },
-        Expr::PtrOffset { ptr, offset, ty, span } => Expr::PtrOffset {
+        Expr::PtrOffset {
+            ptr,
+            offset,
+            ty,
+            span,
+        } => Expr::PtrOffset {
             ptr: Box::new(substitute(ptr, env)),
             offset: Box::new(substitute(offset, env)),
             ty: *ty,
@@ -434,7 +499,11 @@ mod tests {
     fn count_calls_stmt(s: &Stmt, target: FuncId, n: &mut usize) {
         match s {
             Stmt::Expr(e) | Stmt::Return(Some(e)) => count_calls_expr(e, target, n),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 count_calls_expr(cond, target, n);
                 for s in then_branch {
                     count_calls_stmt(s, target, n);
@@ -443,7 +512,9 @@ mod tests {
                     count_calls_stmt(s, target, n);
                 }
             }
-            Stmt::Loop { cond, body, step, .. } => {
+            Stmt::Loop {
+                cond, body, step, ..
+            } => {
                 count_calls_expr(cond, target, n);
                 for s in body {
                     count_calls_stmt(s, target, n);

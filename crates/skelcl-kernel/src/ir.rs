@@ -163,7 +163,10 @@ mod tests {
         assert_eq!(Op::Jump(3).to_string(), "jump 3");
         assert_eq!(Op::LoadMem(ScalarType::Float).to_string(), "load_mem float");
         assert_eq!(Op::Barrier { id: 2 }.to_string(), "barrier #2");
-        assert_eq!(Op::CallPure(Builtin::Sqrt, 1).to_string(), "call_pure sqrt argc=1");
+        assert_eq!(
+            Op::CallPure(Builtin::Sqrt, 1).to_string(),
+            "call_pure sqrt argc=1"
+        );
     }
 
     #[test]

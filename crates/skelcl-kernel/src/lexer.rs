@@ -12,7 +12,13 @@ use crate::token::{keyword, Token, TokenKind};
 ///
 /// The returned stream always ends with a single [`TokenKind::Eof`] token.
 pub fn lex(file: &SourceFile, diags: &mut Diagnostics) -> Vec<Token> {
-    Lexer { src: file.text().as_bytes(), file, pos: 0, diags }.run()
+    Lexer {
+        src: file.text().as_bytes(),
+        file,
+        pos: 0,
+        diags,
+    }
+    .run()
 }
 
 struct Lexer<'a> {
@@ -29,7 +35,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia();
             let start = self.pos as u32;
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, span: Span::point(start) });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::point(start),
+                });
                 return out;
             };
             let kind = self.scan_token(c);
@@ -89,7 +98,8 @@ impl<'a> Lexer<'a> {
                         }
                     }
                     if !closed {
-                        self.diags.error(Span::new(start, start + 2), "unterminated block comment");
+                        self.diags
+                            .error(Span::new(start, start + 2), "unterminated block comment");
                     }
                 }
                 _ => return,
@@ -236,7 +246,8 @@ impl<'a> Lexer<'a> {
             _ => {
                 let span = Span::new(start as u32, self.pos as u32);
                 let snippet = self.file.snippet(span);
-                self.diags.error(span, format!("unexpected character `{snippet}`"));
+                self.diags
+                    .error(span, format!("unexpected character `{snippet}`"));
                 return None;
             }
         };
@@ -419,7 +430,10 @@ mod tests {
     #[test]
     fn char_literals() {
         use TokenKind::*;
-        assert_eq!(kinds(r"'a' '\n' '\\'"), vec![CharLit, CharLit, CharLit, Eof]);
+        assert_eq!(
+            kinds(r"'a' '\n' '\\'"),
+            vec![CharLit, CharLit, CharLit, Eof]
+        );
     }
 
     #[test]
@@ -438,13 +452,19 @@ mod tests {
         let toks = lex(&f, &mut d);
         assert!(d.has_errors());
         // Lexing continued past the bad character.
-        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Ident).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Ident).count(),
+            2
+        );
     }
 
     #[test]
     fn field_access_not_supported_so_dot_digit_is_float() {
         use TokenKind::*;
-        assert_eq!(kinds("x[ .25 ]"), vec![Ident, LBracket, FloatLit, RBracket, Eof]);
+        assert_eq!(
+            kinds("x[ .25 ]"),
+            vec![Ident, LBracket, FloatLit, RBracket, Eof]
+        );
     }
 
     #[test]

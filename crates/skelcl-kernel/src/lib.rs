@@ -113,7 +113,11 @@ pub fn compile(name: &str, source: &str) -> Result<Program, CompileError> {
     let file = SourceFile::new(name, source);
     let mut diags = diag::Diagnostics::new();
     let tu = parser::parse(&file, &mut diags);
-    let unit = if diags.has_errors() { None } else { sema::analyze(&tu, &mut diags) };
+    let unit = if diags.has_errors() {
+        None
+    } else {
+        sema::analyze(&tu, &mut diags)
+    };
     match unit {
         Some(mut unit) => {
             inline::inline_unit(&mut unit);
@@ -124,7 +128,10 @@ pub fn compile(name: &str, source: &str) -> Result<Program, CompileError> {
         }
         None => {
             let log = diags.render(&file);
-            Err(CompileError { diagnostics: diags.into_vec(), log })
+            Err(CompileError {
+                diagnostics: diags.into_vec(),
+                log,
+            })
         }
     }
 }
@@ -140,10 +147,17 @@ pub fn check(name: &str, source: &str) -> Result<hir::Unit, CompileError> {
     let file = SourceFile::new(name, source);
     let mut diags = diag::Diagnostics::new();
     let tu = parser::parse(&file, &mut diags);
-    let unit = if diags.has_errors() { None } else { sema::analyze(&tu, &mut diags) };
+    let unit = if diags.has_errors() {
+        None
+    } else {
+        sema::analyze(&tu, &mut diags)
+    };
     unit.ok_or_else(|| {
         let log = diags.render(&file);
-        CompileError { diagnostics: diags.into_vec(), log }
+        CompileError {
+            diagnostics: diags.into_vec(),
+            log,
+        }
     })
 }
 

@@ -15,7 +15,12 @@ use crate::types::{AddressSpace, ScalarType, Type};
 /// partially broken unit.
 pub fn parse(file: &SourceFile, diags: &mut Diagnostics) -> TranslationUnit {
     let tokens = lex(file, diags);
-    let mut p = Parser { file, tokens, pos: 0, diags };
+    let mut p = Parser {
+        file,
+        tokens,
+        pos: 0,
+        diags,
+    };
     p.translation_unit()
 }
 
@@ -23,7 +28,12 @@ pub fn parse(file: &SourceFile, diags: &mut Diagnostics) -> TranslationUnit {
 /// validation). Returns `None` if the input is not a complete expression.
 pub fn parse_expr(file: &SourceFile, diags: &mut Diagnostics) -> Option<Expr> {
     let tokens = lex(file, diags);
-    let mut p = Parser { file, tokens, pos: 0, diags };
+    let mut p = Parser {
+        file,
+        tokens,
+        pos: 0,
+        diags,
+    };
     let e = p.expr().ok()?;
     if p.peek().kind != TokenKind::Eof {
         p.error_here("expected end of expression");
@@ -87,7 +97,11 @@ impl<'a> Parser<'a> {
             let found = self.peek();
             self.diags.error(
                 found.span,
-                format!("expected {}, found {}", kind.describe(), found.kind.describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    found.kind.describe()
+                ),
             );
             Err(())
         }
@@ -160,14 +174,26 @@ impl<'a> Parser<'a> {
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
         let span = start.to(body.span);
-        Ok(Function { is_kernel, return_type, name, name_span: name_tok.span, params, body, span })
+        Ok(Function {
+            is_kernel,
+            return_type,
+            name,
+            name_span: name_tok.span,
+            params,
+            body,
+            span,
+        })
     }
 
     fn param(&mut self) -> PResult<Param> {
         let start = self.peek().span;
         let ty = self.type_spec(false)?;
         let name_tok = self.expect(TokenKind::Ident)?;
-        Ok(Param { ty, name: self.text(name_tok).to_string(), span: start.to(name_tok.span) })
+        Ok(Param {
+            ty,
+            name: self.text(name_tok).to_string(),
+            span: start.to(name_tok.span),
+        })
     }
 
     // ----- types -------------------------------------------------------------
@@ -191,8 +217,16 @@ impl<'a> Parser<'a> {
             // Trailing `const` after `*` (pointer itself const) is accepted
             // and ignored: SkelCL C pointers cannot be reseated anyway.
             let _ = self.eat(TokenKind::KwConst);
-            let space = if space == AddressSpace::Private { AddressSpace::Private } else { space };
-            Ok(Type::Pointer { pointee: scalar, space, is_const })
+            let space = if space == AddressSpace::Private {
+                AddressSpace::Private
+            } else {
+                space
+            };
+            Ok(Type::Pointer {
+                pointee: scalar,
+                space,
+                is_const,
+            })
         } else {
             if space != AddressSpace::Private {
                 // e.g. `__global int x` as a value: invalid.
@@ -334,7 +368,10 @@ impl<'a> Parser<'a> {
             }
         }
         let close = self.expect(TokenKind::RBrace)?;
-        Ok(Block { stmts, span: open.span.to(close.span) })
+        Ok(Block {
+            stmts,
+            span: open.span.to(close.span),
+        })
     }
 
     /// After a statement parse error, skips to the next `;` (consumed) or to
@@ -377,9 +414,16 @@ impl<'a> Parser<'a> {
             TokenKind::KwDo => self.do_while_stmt(),
             TokenKind::KwReturn => {
                 let kw = self.bump();
-                let value = if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let semi = self.expect(TokenKind::Semi)?;
-                Ok(Stmt::Return { value, span: kw.span.to(semi.span) })
+                Ok(Stmt::Return {
+                    value,
+                    span: kw.span.to(semi.span),
+                })
             }
             TokenKind::KwBreak => {
                 let kw = self.bump();
@@ -416,7 +460,12 @@ impl<'a> Parser<'a> {
         } else {
             (None, then_branch.span())
         };
-        Ok(Stmt::If { cond, then_branch, else_branch, span: kw.span.to(end) })
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span: kw.span.to(end),
+        })
     }
 
     fn for_stmt(&mut self) -> PResult<Stmt> {
@@ -432,13 +481,27 @@ impl<'a> Parser<'a> {
             self.expect(TokenKind::Semi)?;
             Some(Box::new(Stmt::Expr(e)))
         };
-        let cond = if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+        let cond = if self.at(TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::Semi)?;
-        let step = if self.at(TokenKind::RParen) { None } else { Some(self.expr()?) };
+        let step = if self.at(TokenKind::RParen) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::RParen)?;
         let body = Box::new(self.stmt()?);
         let span = kw.span.to(body.span());
-        Ok(Stmt::For { init, cond, step, body, span })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        })
     }
 
     fn while_stmt(&mut self) -> PResult<Stmt> {
@@ -459,7 +522,11 @@ impl<'a> Parser<'a> {
         let cond = self.expr()?;
         self.expect(TokenKind::RParen)?;
         let semi = self.expect(TokenKind::Semi)?;
-        Ok(Stmt::DoWhile { body, cond, span: kw.span.to(semi.span) })
+        Ok(Stmt::DoWhile {
+            body,
+            cond,
+            span: kw.span.to(semi.span),
+        })
     }
 
     /// Parses a declaration statement including the trailing `;`.
@@ -498,7 +565,12 @@ impl<'a> Parser<'a> {
             } else {
                 None
             };
-            declarators.push(Declarator { name, array_size, init, span: d_span });
+            declarators.push(Declarator {
+                name,
+                array_size,
+                init,
+                span: d_span,
+            });
             if self.eat(TokenKind::Comma).is_none() {
                 break;
             }
@@ -539,7 +611,12 @@ impl<'a> Parser<'a> {
         self.bump();
         let rhs = self.assignment_expr()?;
         let span = lhs.span().to(rhs.span());
-        Ok(Expr::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span })
+        Ok(Expr::Assign {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
     }
 
     fn ternary_expr(&mut self) -> PResult<Expr> {
@@ -572,7 +649,12 @@ impl<'a> Parser<'a> {
             self.bump();
             let rhs = self.binary_expr(prec + 1)?;
             let span = lhs.span().to(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
     }
 
@@ -594,7 +676,11 @@ impl<'a> Parser<'a> {
                 let close = self.expect(TokenKind::RParen)?;
                 let expr = self.unary_expr()?;
                 let span = t.span.to(close.span).to(expr.span());
-                return Ok(Expr::Cast { ty, expr: Box::new(expr), span });
+                return Ok(Expr::Cast {
+                    ty,
+                    expr: Box::new(expr),
+                    span,
+                });
             }
             _ => None,
         };
@@ -602,7 +688,11 @@ impl<'a> Parser<'a> {
             self.bump();
             let expr = self.unary_expr()?;
             let span = t.span.to(expr.span());
-            return Ok(Expr::Unary { op, expr: Box::new(expr), span });
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+                span,
+            });
         }
         self.postfix_expr()
     }
@@ -616,10 +706,18 @@ impl<'a> Parser<'a> {
                     let index = self.expr()?;
                     let close = self.expect(TokenKind::RBracket)?;
                     let span = e.span().to(close.span);
-                    e = Expr::Index { base: Box::new(e), index: Box::new(index), span };
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                        span,
+                    };
                 }
                 TokenKind::LParen => {
-                    let Expr::Ident { name, span: callee_span } = &e else {
+                    let Expr::Ident {
+                        name,
+                        span: callee_span,
+                    } = &e
+                    else {
                         self.error_here("only named functions can be called");
                         return Err(());
                     };
@@ -637,17 +735,30 @@ impl<'a> Parser<'a> {
                     }
                     let close = self.expect(TokenKind::RParen)?;
                     let span = callee_span.to(close.span);
-                    e = Expr::Call { callee, callee_span, args, span };
+                    e = Expr::Call {
+                        callee,
+                        callee_span,
+                        args,
+                        span,
+                    };
                 }
                 TokenKind::PlusPlus => {
                     let t = self.bump();
                     let span = e.span().to(t.span);
-                    e = Expr::Unary { op: UnaryOp::PostInc, expr: Box::new(e), span };
+                    e = Expr::Unary {
+                        op: UnaryOp::PostInc,
+                        expr: Box::new(e),
+                        span,
+                    };
                 }
                 TokenKind::MinusMinus => {
                     let t = self.bump();
                     let span = e.span().to(t.span);
-                    e = Expr::Unary { op: UnaryOp::PostDec, expr: Box::new(e), span };
+                    e = Expr::Unary {
+                        op: UnaryOp::PostDec,
+                        expr: Box::new(e),
+                        span,
+                    };
                 }
                 _ => return Ok(e),
             }
@@ -671,15 +782,24 @@ impl<'a> Parser<'a> {
             }
             TokenKind::KwTrue => {
                 self.bump();
-                Ok(Expr::BoolLit { value: true, span: t.span })
+                Ok(Expr::BoolLit {
+                    value: true,
+                    span: t.span,
+                })
             }
             TokenKind::KwFalse => {
                 self.bump();
-                Ok(Expr::BoolLit { value: false, span: t.span })
+                Ok(Expr::BoolLit {
+                    value: false,
+                    span: t.span,
+                })
             }
             TokenKind::Ident => {
                 self.bump();
-                Ok(Expr::Ident { name: self.text(t).to_string(), span: t.span })
+                Ok(Expr::Ident {
+                    name: self.text(t).to_string(),
+                    span: t.span,
+                })
             }
             TokenKind::LParen => {
                 self.bump();
@@ -710,9 +830,15 @@ impl<'a> Parser<'a> {
             body.parse::<u64>()
         };
         match parsed {
-            Ok(value) => Ok(Expr::IntLit { value, unsigned, long, span: t.span }),
+            Ok(value) => Ok(Expr::IntLit {
+                value,
+                unsigned,
+                long,
+                span: t.span,
+            }),
             Err(_) => {
-                self.diags.error(t.span, format!("integer literal `{text}` is out of range"));
+                self.diags
+                    .error(t.span, format!("integer literal `{text}` is out of range"));
                 Err(())
             }
         }
@@ -723,9 +849,14 @@ impl<'a> Parser<'a> {
         let single = text.ends_with(['f', 'F']);
         let body = text.trim_end_matches(['f', 'F']);
         match body.parse::<f64>() {
-            Ok(value) => Ok(Expr::FloatLit { value, single, span: t.span }),
+            Ok(value) => Ok(Expr::FloatLit {
+                value,
+                single,
+                span: t.span,
+            }),
             Err(_) => {
-                self.diags.error(t.span, format!("invalid floating-point literal `{text}`"));
+                self.diags
+                    .error(t.span, format!("invalid floating-point literal `{text}`"));
                 Err(())
             }
         }
@@ -756,7 +887,10 @@ impl<'a> Parser<'a> {
                 return Err(());
             }
         };
-        Ok(Expr::CharLit { value, span: t.span })
+        Ok(Expr::CharLit {
+            value,
+            span: t.span,
+        })
     }
 }
 
@@ -849,18 +983,30 @@ mod tests {
     fn precedence_mul_binds_tighter_than_add() {
         let tu = parse_ok("int f(int a, int b, int c){ return a + b * c; }");
         let body = &tu.functions[0].body.stmts[0];
-        let Stmt::Return { value: Some(Expr::Binary { op, rhs, .. }), .. } = body else {
+        let Stmt::Return {
+            value: Some(Expr::Binary { op, rhs, .. }),
+            ..
+        } = body
+        else {
             panic!("expected return of binary expr, got {body:?}");
         };
         assert_eq!(*op, BinaryOp::Add);
-        assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn shift_and_relational_precedence() {
         let tu = parse_ok("bool f(int a){ return a << 1 < a + 2; }");
-        let Stmt::Return { value: Some(Expr::Binary { op, .. }), .. } =
-            &tu.functions[0].body.stmts[0]
+        let Stmt::Return {
+            value: Some(Expr::Binary { op, .. }),
+            ..
+        } = &tu.functions[0].body.stmts[0]
         else {
             panic!()
         };
@@ -870,8 +1016,7 @@ mod tests {
     #[test]
     fn assignment_is_right_associative() {
         let tu = parse_ok("void f(int a, int b){ a = b = 1; }");
-        let Stmt::Expr(Expr::Assign { op: None, rhs, .. }) = &tu.functions[0].body.stmts[0]
-        else {
+        let Stmt::Expr(Expr::Assign { op: None, rhs, .. }) = &tu.functions[0].body.stmts[0] else {
             panic!()
         };
         assert!(matches!(**rhs, Expr::Assign { .. }));
@@ -891,25 +1036,41 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![Some(BinaryOp::Add), Some(BinaryOp::Shl), Some(BinaryOp::Rem)]
+            vec![
+                Some(BinaryOp::Add),
+                Some(BinaryOp::Shl),
+                Some(BinaryOp::Rem)
+            ]
         );
     }
 
     #[test]
     fn cast_vs_parenthesized_expression() {
         let tu = parse_ok("float f(int x){ return (float)x + (x); }");
-        let Stmt::Return { value: Some(Expr::Binary { lhs, .. }), .. } =
-            &tu.functions[0].body.stmts[0]
+        let Stmt::Return {
+            value: Some(Expr::Binary { lhs, .. }),
+            ..
+        } = &tu.functions[0].body.stmts[0]
         else {
             panic!()
         };
-        assert!(matches!(**lhs, Expr::Cast { ty: Type::Scalar(ScalarType::Float), .. }));
+        assert!(matches!(
+            **lhs,
+            Expr::Cast {
+                ty: Type::Scalar(ScalarType::Float),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn for_loop_with_decl_init() {
-        let tu = parse_ok("int f(int n){ int s = 0; for (int i = 0; i < n; ++i) s += i; return s; }");
-        let Stmt::For { init, cond, step, .. } = &tu.functions[0].body.stmts[1] else {
+        let tu =
+            parse_ok("int f(int n){ int s = 0; for (int i = 0; i < n; ++i) s += i; return s; }");
+        let Stmt::For {
+            init, cond, step, ..
+        } = &tu.functions[0].body.stmts[1]
+        else {
             panic!()
         };
         assert!(matches!(**init.as_ref().unwrap(), Stmt::Decl(_)));
@@ -929,14 +1090,18 @@ mod tests {
                 return sum;
             }",
         );
-        let Stmt::For { body, .. } = &tu.functions[0].body.stmts[1] else { panic!() };
+        let Stmt::For { body, .. } = &tu.functions[0].body.stmts[1] else {
+            panic!()
+        };
         assert!(matches!(**body, Stmt::For { .. }));
     }
 
     #[test]
     fn local_array_declaration() {
         let tu = parse_ok("__kernel void k(){ __local float tile[256]; tile[0] = 1.0f; }");
-        let Stmt::Decl(d) = &tu.functions[0].body.stmts[0] else { panic!() };
+        let Stmt::Decl(d) = &tu.functions[0].body.stmts[0] else {
+            panic!()
+        };
         assert_eq!(d.space, AddressSpace::Local);
         assert_eq!(d.scalar, ScalarType::Float);
         assert!(d.declarators[0].array_size.is_some());
@@ -945,7 +1110,9 @@ mod tests {
     #[test]
     fn multiple_declarators() {
         let tu = parse_ok("void f(){ int i = 0, j, k = 2; }");
-        let Stmt::Decl(d) = &tu.functions[0].body.stmts[0] else { panic!() };
+        let Stmt::Decl(d) = &tu.functions[0].body.stmts[0] else {
+            panic!()
+        };
         assert_eq!(d.declarators.len(), 3);
         assert!(d.declarators[0].init.is_some());
         assert!(d.declarators[1].init.is_none());
@@ -954,8 +1121,10 @@ mod tests {
     #[test]
     fn ternary_and_call() {
         let tu = parse_ok("float f(float a, float b){ return a < b ? fmin(a, b) : b; }");
-        let Stmt::Return { value: Some(Expr::Ternary { then_expr, .. }), .. } =
-            &tu.functions[0].body.stmts[0]
+        let Stmt::Return {
+            value: Some(Expr::Ternary { then_expr, .. }),
+            ..
+        } = &tu.functions[0].body.stmts[0]
         else {
             panic!()
         };
@@ -974,11 +1143,17 @@ mod tests {
         let tu = parse_ok("void f(int i){ i++; --i; }");
         assert!(matches!(
             tu.functions[0].body.stmts[0],
-            Stmt::Expr(Expr::Unary { op: UnaryOp::PostInc, .. })
+            Stmt::Expr(Expr::Unary {
+                op: UnaryOp::PostInc,
+                ..
+            })
         ));
         assert!(matches!(
             tu.functions[0].body.stmts[1],
-            Stmt::Expr(Expr::Unary { op: UnaryOp::PreDec, .. })
+            Stmt::Expr(Expr::Unary {
+                op: UnaryOp::PreDec,
+                ..
+            })
         ));
     }
 
@@ -986,19 +1161,32 @@ mod tests {
     fn unsigned_base_types() {
         let tu = parse_ok("unsigned int f(unsigned char c, unsigned x){ return c + x; }");
         assert_eq!(tu.functions[0].return_type, Type::scalar(ScalarType::UInt));
-        assert_eq!(tu.functions[0].params[0].ty, Type::scalar(ScalarType::UChar));
+        assert_eq!(
+            tu.functions[0].params[0].ty,
+            Type::scalar(ScalarType::UChar)
+        );
         assert_eq!(tu.functions[0].params[1].ty, Type::scalar(ScalarType::UInt));
     }
 
     #[test]
     fn dangling_else_binds_to_nearest_if() {
         let tu = parse_ok("void f(int a){ if (a) if (a > 1) a = 2; else a = 3; }");
-        let Stmt::If { then_branch, else_branch: outer_else, .. } = &tu.functions[0].body.stmts[0]
+        let Stmt::If {
+            then_branch,
+            else_branch: outer_else,
+            ..
+        } = &tu.functions[0].body.stmts[0]
         else {
             panic!()
         };
         assert!(outer_else.is_none());
-        assert!(matches!(**then_branch, Stmt::If { else_branch: Some(_), .. }));
+        assert!(matches!(
+            **then_branch,
+            Stmt::If {
+                else_branch: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1009,7 +1197,10 @@ mod tests {
 
     #[test]
     fn error_recovery_keeps_later_functions() {
-        let f = SourceFile::new("t.cl", "void bad(){ int = ; }\nint good(int x){ return x; }");
+        let f = SourceFile::new(
+            "t.cl",
+            "void bad(){ int = ; }\nint good(int x){ return x; }",
+        );
         let mut d = Diagnostics::new();
         let tu = parse(&f, &mut d);
         assert!(d.has_errors());
@@ -1031,8 +1222,12 @@ mod tests {
     #[test]
     fn hex_and_suffixed_literals() {
         let tu = parse_ok("void f(){ int a = 0xFF; unsigned b = 7u; long c = 9L; }");
-        let Stmt::Decl(d) = &tu.functions[0].body.stmts[0] else { panic!() };
-        let Some(Expr::IntLit { value, .. }) = &d.declarators[0].init else { panic!() };
+        let Stmt::Decl(d) = &tu.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        let Some(Expr::IntLit { value, .. }) = &d.declarators[0].init else {
+            panic!()
+        };
         assert_eq!(*value, 255);
     }
 
@@ -1059,7 +1254,13 @@ mod tests {
         let f = SourceFile::new("e.cl", "1 + 2 * 3");
         let mut d = Diagnostics::new();
         let e = parse_expr(&f, &mut d).unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Add, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
 
         let f = SourceFile::new("e.cl", "1 +");
         let mut d = Diagnostics::new();

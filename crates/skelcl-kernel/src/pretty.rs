@@ -75,7 +75,12 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             indent(out, level);
             writeln!(out, "{};", print_expr(e)).unwrap();
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             indent(out, level);
             write!(out, "if ({}) ", print_expr(cond)).unwrap();
             print_substmt(out, then_branch, level);
@@ -85,7 +90,13 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
                 print_substmt(out, e, level);
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             indent(out, level);
             out.push_str("for (");
             match init.as_deref() {
@@ -186,7 +197,12 @@ fn print_decl(out: &mut String, d: &VarDecl) {
 /// Prints an expression (fully parenthesised composites).
 pub fn print_expr(e: &Expr) -> String {
     match e {
-        Expr::IntLit { value, unsigned, long, .. } => {
+        Expr::IntLit {
+            value,
+            unsigned,
+            long,
+            ..
+        } => {
             let mut s = value.to_string();
             if *unsigned {
                 s.push('u');
@@ -230,7 +246,12 @@ pub fn print_expr(e: &Expr) -> String {
             };
             format!("{} {} {}", print_expr(lhs), sym, print_expr(rhs))
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => format!(
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => format!(
             "({} ? {} : {})",
             print_expr(cond),
             print_expr(then_expr),
@@ -349,7 +370,9 @@ mod tests {
 
     #[test]
     fn char_literals_print_escaped() {
-        assert_round_trip(r"void f(){ char a = 'x'; char b = '\n'; char c = '\0'; char d = '\\'; }");
+        assert_round_trip(
+            r"void f(){ char a = 'x'; char b = '\n'; char c = '\0'; char d = '\\'; }",
+        );
     }
 
     #[test]
@@ -358,7 +381,10 @@ mod tests {
         let printed = print_unit(&tu);
         assert!(printed.contains("2.5f"), "{printed}");
         assert!(printed.contains("1.0"), "{printed}");
-        assert!(printed.contains("3.0f") || printed.contains("3f"), "{printed}");
+        assert!(
+            printed.contains("3.0f") || printed.contains("3f"),
+            "{printed}"
+        );
         assert_round_trip("float f(){ return 2.5f + 1.0 + 3f; }");
     }
 
@@ -373,15 +399,19 @@ mod tests {
         let printed = print_unit(&parse_ok(src));
         let p1 = crate::compile("a.cl", src).unwrap();
         let p2 = crate::compile("b.cl", &printed).unwrap();
-        use crate::vm::{HostMemory, ItemGeometry, WorkItem};
-        use crate::value::{Ptr, Value};
         use crate::types::AddressSpace;
+        use crate::value::{Ptr, Value};
+        use crate::vm::{HostMemory, ItemGeometry, WorkItem};
         let run = |p: &crate::program::Program| {
             let mut mem = HostMemory::new();
             let out = mem.add_buffer(vec![0u8; 4]);
             let k = p.kernel("k").unwrap();
             let args = [
-                Value::Ptr(Ptr { space: AddressSpace::Global, buffer: out, byte_offset: 0 }),
+                Value::Ptr(Ptr {
+                    space: AddressSpace::Global,
+                    buffer: out,
+                    byte_offset: 0,
+                }),
                 Value::I32(10),
             ];
             let mut item = WorkItem::new(p, k.func, &args, ItemGeometry::single());

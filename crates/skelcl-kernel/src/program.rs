@@ -89,8 +89,11 @@ impl Program {
         kernels: Vec<KernelInfo>,
         source_name: impl Into<String>,
     ) -> Self {
-        let kernel_index =
-            kernels.iter().enumerate().map(|(i, k)| (k.name.clone(), i)).collect();
+        let kernel_index = kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.name.clone(), i))
+            .collect();
         Program {
             inner: Arc::new(ProgramInner {
                 functions,
@@ -113,7 +116,10 @@ impl Program {
 
     /// Looks up a kernel by name.
     pub fn kernel(&self, name: &str) -> Option<&KernelInfo> {
-        self.inner.kernel_index.get(name).map(|&i| &self.inner.kernels[i])
+        self.inner
+            .kernel_index
+            .get(name)
+            .map(|&i| &self.inner.kernels[i])
     }
 
     /// The name of the source file the program was compiled from.
@@ -123,7 +129,12 @@ impl Program {
 
     /// Disassembles every function (testing/debugging aid).
     pub fn disassemble(&self) -> String {
-        self.inner.functions.iter().map(|f| f.disassemble()).collect::<Vec<_>>().join("\n")
+        self.inner
+            .functions
+            .iter()
+            .map(|f| f.disassemble())
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 

@@ -21,13 +21,11 @@ use crate::builtins::{predefined_constant, Builtin, BuiltinKind, WORK_ITEM_QUERY
 use crate::diag::Diagnostics;
 use crate::fold;
 use crate::hir::{
-    BinOp, CmpOp, ConstValue, Expr, FuncId, Function, LocalArray, LocalDecl, LocalId, Place,
-    Stmt, UnOp, Unit,
+    BinOp, CmpOp, ConstValue, Expr, FuncId, Function, LocalArray, LocalDecl, LocalId, Place, Stmt,
+    UnOp, Unit,
 };
 use crate::source::Span;
-use crate::types::{
-    integer_promote, usual_arithmetic_conversion, AddressSpace, ScalarType, Type,
-};
+use crate::types::{integer_promote, usual_arithmetic_conversion, AddressSpace, ScalarType, Type};
 
 /// Type-checks `tu`, returning the lowered unit, or `None` when errors were
 /// reported to `diags`.
@@ -39,7 +37,10 @@ pub fn analyze(tu: &ast::TranslationUnit, diags: &mut Diagnostics) -> Option<Uni
     // definition (SkelCL welds user functions before generated kernels).
     for f in &tu.functions {
         if Builtin::resolve(&f.name).is_some() {
-            diags.error(f.name_span, format!("cannot redefine builtin function `{}`", f.name));
+            diags.error(
+                f.name_span,
+                format!("cannot redefine builtin function `{}`", f.name),
+            );
             continue;
         }
         if let Some(&prev) = by_name.get(f.name.as_str()) {
@@ -48,7 +49,10 @@ pub fn analyze(tu: &ast::TranslationUnit, diags: &mut Diagnostics) -> Option<Uni
                     f.name_span,
                     format!("redefinition of function `{}`", f.name),
                 )
-                .with_note(sigs[prev.0 as usize].name_span, "previous definition is here"),
+                .with_note(
+                    sigs[prev.0 as usize].name_span,
+                    "previous definition is here",
+                ),
             );
             continue;
         }
@@ -60,7 +64,11 @@ pub fn analyze(tu: &ast::TranslationUnit, diags: &mut Diagnostics) -> Option<Uni
                 diags.error(p.span, "parameters cannot have type `void`");
             }
             if f.is_kernel {
-                if let Type::Pointer { space: AddressSpace::Private, .. } = p.ty {
+                if let Type::Pointer {
+                    space: AddressSpace::Private,
+                    ..
+                } = p.ty
+                {
                     diags.error(
                         p.span,
                         "kernel pointer parameters must be `__global` or `__local`",
@@ -87,7 +95,9 @@ pub fn analyze(tu: &ast::TranslationUnit, diags: &mut Diagnostics) -> Option<Uni
     let mut functions = Vec::with_capacity(sigs.len());
     let mut call_edges: Vec<Vec<FuncId>> = vec![Vec::new(); sigs.len()];
     for f in &tu.functions {
-        let Some(&id) = by_name.get(f.name.as_str()) else { continue };
+        let Some(&id) = by_name.get(f.name.as_str()) else {
+            continue;
+        };
         let checker = FnChecker {
             sigs: &sigs,
             by_name: &by_name,
@@ -185,7 +195,10 @@ impl<'a> FnChecker<'a> {
         if f.return_type != Type::Void && !stmts_definitely_return(&body) {
             self.diags.warning(
                 f.name_span,
-                format!("control may reach the end of non-void function `{}`", f.name),
+                format!(
+                    "control may reach the end of non-void function `{}`",
+                    f.name
+                ),
             );
         }
 
@@ -223,7 +236,13 @@ impl<'a> FnChecker<'a> {
             );
         }
         scope.insert(name.clone(), id);
-        self.locals.push(LocalDecl { name, ty, is_const, local_array, span });
+        self.locals.push(LocalDecl {
+            name,
+            ty,
+            is_const,
+            local_array,
+            span,
+        });
         id
     }
 
@@ -267,7 +286,12 @@ impl<'a> FnChecker<'a> {
                     out.push(Stmt::Expr(e));
                 }
             }
-            ast::Stmt::If { cond, then_branch, else_branch, .. } => {
+            ast::Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let cond = self.check_condition(cond);
                 let then_branch = self.in_scope(|t| {
                     let mut v = Vec::new();
@@ -283,24 +307,44 @@ impl<'a> FnChecker<'a> {
                     None => Vec::new(),
                 };
                 if let Ok(cond) = cond {
-                    out.push(Stmt::If { cond, then_branch, else_branch });
+                    out.push(Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    });
                 }
             }
             ast::Stmt::While { cond, body, .. } => {
                 let cond = self.check_condition(cond);
                 let body = self.check_loop_body(body);
                 if let Ok(cond) = cond {
-                    out.push(Stmt::Loop { cond, body, step: None, test_at_end: false });
+                    out.push(Stmt::Loop {
+                        cond,
+                        body,
+                        step: None,
+                        test_at_end: false,
+                    });
                 }
             }
             ast::Stmt::DoWhile { body, cond, .. } => {
                 let body = self.check_loop_body(body);
                 let cond = self.check_condition(cond);
                 if let Ok(cond) = cond {
-                    out.push(Stmt::Loop { cond, body, step: None, test_at_end: true });
+                    out.push(Stmt::Loop {
+                        cond,
+                        body,
+                        step: None,
+                        test_at_end: true,
+                    });
                 }
             }
-            ast::Stmt::For { init, cond, step, body, .. } => {
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.in_scope(|this| {
                     if let Some(init) = init {
                         this.check_stmt_into(init, out);
@@ -318,7 +362,12 @@ impl<'a> FnChecker<'a> {
                     };
                     let body = this.check_loop_body(body);
                     if let Ok(cond) = cond {
-                        out.push(Stmt::Loop { cond, body, step, test_at_end: false });
+                        out.push(Stmt::Loop {
+                            cond,
+                            body,
+                            step,
+                            test_at_end: false,
+                        });
                     }
                 });
             }
@@ -328,16 +377,14 @@ impl<'a> FnChecker<'a> {
                     (Some(v), Type::Void) => {
                         // Evaluate for errors, then complain.
                         let _ = self.check_expr(v);
-                        self.diags.error(*span, "void function cannot return a value");
+                        self.diags
+                            .error(*span, "void function cannot return a value");
                         None
                     }
                     (None, _) => {
                         self.diags.error(
                             *span,
-                            format!(
-                                "non-void function `{}` must return a value",
-                                self.func.name
-                            ),
+                            format!("non-void function `{}` must return a value", self.func.name),
                         );
                         None
                     }
@@ -402,7 +449,11 @@ impl<'a> FnChecker<'a> {
             let ty = if d.is_pointer {
                 // The address-space qualifier on a pointer declaration
                 // qualifies the pointee, as in OpenCL C.
-                Type::Pointer { pointee: d.scalar, space: d.space, is_const: d.is_const }
+                Type::Pointer {
+                    pointee: d.scalar,
+                    space: d.space,
+                    is_const: d.is_const,
+                }
             } else {
                 Type::Scalar(d.scalar)
             };
@@ -445,14 +496,18 @@ impl<'a> FnChecker<'a> {
             return;
         }
         if d.is_pointer {
-            self.diags.error(decl.span, "arrays of pointers are not supported");
+            self.diags
+                .error(decl.span, "arrays of pointers are not supported");
             return;
         }
         if decl.init.is_some() {
-            self.diags.error(decl.span, "`__local` arrays cannot have initialisers");
+            self.diags
+                .error(decl.span, "`__local` arrays cannot have initialisers");
             return;
         }
-        let Ok(size_expr) = self.check_expr(size) else { return };
+        let Ok(size_expr) = self.check_expr(size) else {
+            return;
+        };
         let Some(value) = fold::try_eval(&size_expr) else {
             self.diags.error(
                 size.span(),
@@ -467,16 +522,24 @@ impl<'a> FnChecker<'a> {
                 return;
             }
             _ => {
-                self.diags.error(size.span(), "array size must be an integer constant");
+                self.diags
+                    .error(size.span(), "array size must be an integer constant");
                 return;
             }
         };
-        let ty = Type::Pointer { pointee: d.scalar, space: AddressSpace::Local, is_const: false };
+        let ty = Type::Pointer {
+            pointee: d.scalar,
+            space: AddressSpace::Local,
+            is_const: false,
+        };
         self.declare(
             decl.name.clone(),
             ty,
             true, // the array binding itself is not assignable
-            Some(LocalArray { elem: d.scalar, len }),
+            Some(LocalArray {
+                elem: d.scalar,
+                len,
+            }),
             decl.span,
         );
     }
@@ -492,12 +555,16 @@ impl<'a> FnChecker<'a> {
     fn coerce_to_bool(&mut self, e: Expr, span: Span) -> CResult<Expr> {
         match e.ty() {
             Type::Scalar(ScalarType::Bool) => Ok(e),
-            Type::Scalar(_) => {
-                Ok(Expr::Convert { to: ScalarType::Bool, expr: Box::new(e), span })
-            }
+            Type::Scalar(_) => Ok(Expr::Convert {
+                to: ScalarType::Bool,
+                expr: Box::new(e),
+                span,
+            }),
             other => {
-                self.diags
-                    .error(span, format!("expected a scalar condition, found `{other}`"));
+                self.diags.error(
+                    span,
+                    format!("expected a scalar condition, found `{other}`"),
+                );
                 Err(())
             }
         }
@@ -510,12 +577,22 @@ impl<'a> FnChecker<'a> {
             return Ok(e);
         }
         match (from, to) {
-            (Type::Scalar(_), Type::Scalar(t)) => {
-                Ok(Expr::Convert { to: t, expr: Box::new(e), span })
-            }
+            (Type::Scalar(_), Type::Scalar(t)) => Ok(Expr::Convert {
+                to: t,
+                expr: Box::new(e),
+                span,
+            }),
             (
-                Type::Pointer { pointee: pf, is_const: cf, space: sf },
-                Type::Pointer { pointee: pt, is_const: ct, space: st },
+                Type::Pointer {
+                    pointee: pf,
+                    is_const: cf,
+                    space: sf,
+                },
+                Type::Pointer {
+                    pointee: pt,
+                    is_const: ct,
+                    space: st,
+                },
             ) => {
                 if pf != pt {
                     self.diags.error(
@@ -533,9 +610,8 @@ impl<'a> FnChecker<'a> {
                 }
                 // Address spaces: an unqualified (generic) pointer converts
                 // freely; explicit spaces must match.
-                let compatible = sf == st
-                    || sf == AddressSpace::Private
-                    || st == AddressSpace::Private;
+                let compatible =
+                    sf == st || sf == AddressSpace::Private || st == AddressSpace::Private;
                 if !compatible {
                     self.diags.error(
                         span,
@@ -548,7 +624,8 @@ impl<'a> FnChecker<'a> {
                 Ok(retype_pointer(e, to))
             }
             _ => {
-                self.diags.error(span, format!("cannot convert `{from}` to `{to}`"));
+                self.diags
+                    .error(span, format!("cannot convert `{from}` to `{to}`"));
                 Err(())
             }
         }
@@ -556,11 +633,23 @@ impl<'a> FnChecker<'a> {
 
     fn check_expr(&mut self, e: &ast::Expr) -> CResult<Expr> {
         match e {
-            ast::Expr::IntLit { value, unsigned, long, span } => {
+            ast::Expr::IntLit {
+                value,
+                unsigned,
+                long,
+                span,
+            } => {
                 let (v, ty) = classify_int_literal(*value, *unsigned, *long);
-                Ok(Expr::Const { value: ConstValue::Int(v, ty), span: *span })
+                Ok(Expr::Const {
+                    value: ConstValue::Int(v, ty),
+                    span: *span,
+                })
             }
-            ast::Expr::FloatLit { value, single, span } => Ok(Expr::Const {
+            ast::Expr::FloatLit {
+                value,
+                single,
+                span,
+            } => Ok(Expr::Const {
                 value: if *single {
                     ConstValue::F32(*value as f32)
                 } else {
@@ -568,9 +657,10 @@ impl<'a> FnChecker<'a> {
                 },
                 span: *span,
             }),
-            ast::Expr::BoolLit { value, span } => {
-                Ok(Expr::Const { value: ConstValue::Bool(*value), span: *span })
-            }
+            ast::Expr::BoolLit { value, span } => Ok(Expr::Const {
+                value: ConstValue::Bool(*value),
+                span: *span,
+            }),
             ast::Expr::CharLit { value, span } => Ok(Expr::Const {
                 value: ConstValue::Int(*value as i64, ScalarType::Char),
                 span: *span,
@@ -578,7 +668,11 @@ impl<'a> FnChecker<'a> {
             ast::Expr::Ident { name, span } => {
                 if let Some(id) = self.lookup(name) {
                     let ty = self.locals[id.0 as usize].ty;
-                    return Ok(Expr::Local { id, ty, span: *span });
+                    return Ok(Expr::Local {
+                        id,
+                        ty,
+                        span: *span,
+                    });
                 }
                 if let Some(c) = predefined_constant(name) {
                     return Ok(Expr::Const {
@@ -586,22 +680,35 @@ impl<'a> FnChecker<'a> {
                         span: *span,
                     });
                 }
-                self.diags.error(*span, format!("use of undeclared identifier `{name}`"));
+                self.diags
+                    .error(*span, format!("use of undeclared identifier `{name}`"));
                 Err(())
             }
             ast::Expr::Unary { op, expr, span } => self.check_unary(*op, expr, *span),
             ast::Expr::Binary { op, lhs, rhs, span } => self.check_binary(*op, lhs, rhs, *span),
             ast::Expr::Assign { op, lhs, rhs, span } => self.check_assign(*op, lhs, rhs, *span),
-            ast::Expr::Ternary { cond, then_expr, else_expr, span } => {
-                self.check_ternary(cond, then_expr, else_expr, *span)
-            }
-            ast::Expr::Call { callee, callee_span, args, span } => {
-                self.check_call(callee, *callee_span, args, *span)
-            }
+            ast::Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                span,
+            } => self.check_ternary(cond, then_expr, else_expr, *span),
+            ast::Expr::Call {
+                callee,
+                callee_span,
+                args,
+                span,
+            } => self.check_call(callee, *callee_span, args, *span),
             ast::Expr::Index { base, index, span } => {
                 let ptr = self.check_index_ptr(base, index, *span)?;
-                let Type::Pointer { pointee, .. } = ptr.ty() else { unreachable!() };
-                Ok(Expr::Load { ptr: Box::new(ptr), elem: pointee, span: *span })
+                let Type::Pointer { pointee, .. } = ptr.ty() else {
+                    unreachable!()
+                };
+                Ok(Expr::Load {
+                    ptr: Box::new(ptr),
+                    elem: pointee,
+                    span: *span,
+                })
             }
             ast::Expr::Cast { ty, expr, span } => {
                 let inner = self.check_expr(expr)?;
@@ -610,15 +717,17 @@ impl<'a> FnChecker<'a> {
                         if inner.ty() == *ty {
                             Ok(inner)
                         } else {
-                            Ok(Expr::Convert { to: t, expr: Box::new(inner), span: *span })
+                            Ok(Expr::Convert {
+                                to: t,
+                                expr: Box::new(inner),
+                                span: *span,
+                            })
                         }
                     }
                     (Type::Pointer { pointee: pf, .. }, Type::Pointer { pointee: pt, .. }) => {
                         if pf != pt {
-                            self.diags.error(
-                                *span,
-                                "pointer casts may not change the element type",
-                            );
+                            self.diags
+                                .error(*span, "pointer casts may not change the element type");
                             return Err(());
                         }
                         Ok(retype_pointer(inner, *ty))
@@ -639,7 +748,10 @@ impl<'a> FnChecker<'a> {
             U::Plus | U::Neg => {
                 let e = self.check_expr(operand)?;
                 let Some(s) = e.ty().as_scalar() else {
-                    self.diags.error(span, format!("cannot apply unary `{}` to `{}`", op.symbol(), e.ty()));
+                    self.diags.error(
+                        span,
+                        format!("cannot apply unary `{}` to `{}`", op.symbol(), e.ty()),
+                    );
                     return Err(());
                 };
                 let promoted = if s.is_float() { s } else { integer_promote(s) };
@@ -647,41 +759,67 @@ impl<'a> FnChecker<'a> {
                 if op == U::Plus {
                     Ok(e)
                 } else {
-                    Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e), ty: promoted, span })
+                    Ok(Expr::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(e),
+                        ty: promoted,
+                        span,
+                    })
                 }
             }
             U::Not => {
                 let e = self.check_expr(operand)?;
                 let e = self.coerce_to_bool(e, span)?;
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e), ty: ScalarType::Bool, span })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                    ty: ScalarType::Bool,
+                    span,
+                })
             }
             U::BitNot => {
                 let e = self.check_expr(operand)?;
-                let Some(s) = e.ty().as_scalar().filter(|s| s.is_integer() || *s == ScalarType::Bool)
+                let Some(s) = e
+                    .ty()
+                    .as_scalar()
+                    .filter(|s| s.is_integer() || *s == ScalarType::Bool)
                 else {
                     self.diags.error(span, "`~` requires an integer operand");
                     return Err(());
                 };
                 let promoted = integer_promote(s);
                 let e = self.coerce(e, Type::Scalar(promoted), span)?;
-                Ok(Expr::Unary { op: UnOp::BitNot, expr: Box::new(e), ty: promoted, span })
+                Ok(Expr::Unary {
+                    op: UnOp::BitNot,
+                    expr: Box::new(e),
+                    ty: promoted,
+                    span,
+                })
             }
             U::Deref => {
                 let e = self.check_expr(operand)?;
                 let Type::Pointer { pointee, .. } = e.ty() else {
-                    self.diags.error(span, format!("cannot dereference `{}`", e.ty()));
+                    self.diags
+                        .error(span, format!("cannot dereference `{}`", e.ty()));
                     return Err(());
                 };
-                Ok(Expr::Load { ptr: Box::new(e), elem: pointee, span })
+                Ok(Expr::Load {
+                    ptr: Box::new(e),
+                    elem: pointee,
+                    span,
+                })
             }
             U::AddrOf => match operand {
                 ast::Expr::Index { base, index, .. } => self.check_index_ptr(base, index, span),
-                ast::Expr::Unary { op: U::Deref, expr, .. } => {
+                ast::Expr::Unary {
+                    op: U::Deref, expr, ..
+                } => {
                     let e = self.check_expr(expr)?;
                     if e.ty().is_pointer() {
                         Ok(e)
                     } else {
-                        self.diags.error(span, "cannot take the address of a non-pointer");
+                        self.diags
+                            .error(span, "cannot take the address of a non-pointer");
                         Err(())
                     }
                 }
@@ -747,7 +885,8 @@ impl<'a> FnChecker<'a> {
         }
 
         let (Some(ls), Some(rs)) = (l.ty().as_scalar(), r.ty().as_scalar()) else {
-            self.diags.error(span, format!("invalid operands to `{}`", op.symbol()));
+            self.diags
+                .error(span, format!("invalid operands to `{}`", op.symbol()));
             return Err(());
         };
 
@@ -799,13 +938,19 @@ impl<'a> FnChecker<'a> {
         use ast::BinaryOp as B;
         match (l.ty(), r.ty(), op) {
             (Type::Pointer { .. }, Type::Pointer { pointee: rp, .. }, B::Sub) => {
-                let Type::Pointer { pointee: lp, .. } = l.ty() else { unreachable!() };
+                let Type::Pointer { pointee: lp, .. } = l.ty() else {
+                    unreachable!()
+                };
                 if lp != rp {
                     self.diags
                         .error(span, "cannot subtract pointers to different element types");
                     return Err(());
                 }
-                Ok(Expr::PtrDiff { lhs: Box::new(l), rhs: Box::new(r), span })
+                Ok(Expr::PtrDiff {
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                    span,
+                })
             }
             (Type::Pointer { .. }, Type::Pointer { .. }, cmp) if cmp.is_comparison() => {
                 Ok(Expr::Compare {
@@ -816,7 +961,9 @@ impl<'a> FnChecker<'a> {
                     span,
                 })
             }
-            (Type::Pointer { .. }, Type::Scalar(s), B::Add | B::Sub) if s.is_integer() || s == ScalarType::Bool => {
+            (Type::Pointer { .. }, Type::Scalar(s), B::Add | B::Sub)
+                if s.is_integer() || s == ScalarType::Bool =>
+            {
                 let ty = l.ty();
                 let mut off = self.coerce(r, Type::Scalar(ScalarType::Long), span)?;
                 if op == B::Sub {
@@ -827,12 +974,24 @@ impl<'a> FnChecker<'a> {
                         span,
                     };
                 }
-                Ok(Expr::PtrOffset { ptr: Box::new(l), offset: Box::new(off), ty, span })
+                Ok(Expr::PtrOffset {
+                    ptr: Box::new(l),
+                    offset: Box::new(off),
+                    ty,
+                    span,
+                })
             }
-            (Type::Scalar(s), Type::Pointer { .. }, B::Add) if s.is_integer() || s == ScalarType::Bool => {
+            (Type::Scalar(s), Type::Pointer { .. }, B::Add)
+                if s.is_integer() || s == ScalarType::Bool =>
+            {
                 let ty = r.ty();
                 let off = self.coerce(l, Type::Scalar(ScalarType::Long), span)?;
-                Ok(Expr::PtrOffset { ptr: Box::new(r), offset: Box::new(off), ty, span })
+                Ok(Expr::PtrOffset {
+                    ptr: Box::new(r),
+                    offset: Box::new(off),
+                    ty,
+                    span,
+                })
             }
             _ => {
                 self.diags.error(
@@ -869,7 +1028,12 @@ impl<'a> FnChecker<'a> {
                 self.coerce(combined, ty, span)?
             }
         };
-        Ok(Expr::Assign { place, value: Box::new(value), ty, span })
+        Ok(Expr::Assign {
+            place,
+            value: Box::new(value),
+            ty,
+            span,
+        })
     }
 
     /// Checks `lhs_hir op rhs_ast` where the left side is already lowered
@@ -887,12 +1051,15 @@ impl<'a> FnChecker<'a> {
             return self.check_pointer_binary(op, l, r, span);
         }
         let (Some(ls), Some(rs)) = (l.ty().as_scalar(), r.ty().as_scalar()) else {
-            self.diags.error(span, format!("invalid operands to `{}`", op.symbol()));
+            self.diags
+                .error(span, format!("invalid operands to `{}`", op.symbol()));
             return Err(());
         };
         if op.integer_only() && (ls.is_float() || rs.is_float()) {
-            self.diags
-                .error(span, format!("operator `{}` requires integer operands", op.symbol()));
+            self.diags.error(
+                span,
+                format!("operator `{}` requires integer operands", op.symbol()),
+            );
             return Err(());
         }
         let common = if matches!(op, B::Shl | B::Shr) {
@@ -902,15 +1069,23 @@ impl<'a> FnChecker<'a> {
         };
         let l = self.coerce(l, Type::Scalar(common), span)?;
         let r = self.coerce(r, Type::Scalar(common), span)?;
-        Ok(Expr::Binary { op: bin_op(op), lhs: Box::new(l), rhs: Box::new(r), ty: common, span })
+        Ok(Expr::Binary {
+            op: bin_op(op),
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+            ty: common,
+            span,
+        })
     }
 
     fn place_to_expr(&self, place: &Place, ty: Type, span: Span) -> Expr {
         match place {
             Place::Local(id) => Expr::Local { id: *id, ty, span },
-            Place::Deref { ptr, elem } => {
-                Expr::Load { ptr: ptr.clone(), elem: *elem, span }
-            }
+            Place::Deref { ptr, elem } => Expr::Load {
+                ptr: ptr.clone(),
+                elem: *elem,
+                span,
+            },
         }
     }
 
@@ -918,13 +1093,16 @@ impl<'a> FnChecker<'a> {
         match e {
             ast::Expr::Ident { name, span } => {
                 let Some(id) = self.lookup(name) else {
-                    self.diags.error(*span, format!("use of undeclared identifier `{name}`"));
+                    self.diags
+                        .error(*span, format!("use of undeclared identifier `{name}`"));
                     return Err(());
                 };
                 let decl = &self.locals[id.0 as usize];
                 if decl.local_array.is_some() {
-                    self.diags
-                        .error(*span, format!("`{name}` is an array and cannot be assigned"));
+                    self.diags.error(
+                        *span,
+                        format!("`{name}` is an array and cannot be assigned"),
+                    );
                     return Err(());
                 }
                 if decl.is_const {
@@ -936,27 +1114,55 @@ impl<'a> FnChecker<'a> {
             }
             ast::Expr::Index { base, index, span } => {
                 let ptr = self.check_index_ptr(base, index, *span)?;
-                let Type::Pointer { pointee, is_const, .. } = ptr.ty() else { unreachable!() };
+                let Type::Pointer {
+                    pointee, is_const, ..
+                } = ptr.ty()
+                else {
+                    unreachable!()
+                };
                 if is_const {
-                    self.diags.error(*span, "cannot store through a `const` pointer");
+                    self.diags
+                        .error(*span, "cannot store through a `const` pointer");
                     return Err(());
                 }
-                Ok((Place::Deref { ptr: Box::new(ptr), elem: pointee }, Type::Scalar(pointee)))
+                Ok((
+                    Place::Deref {
+                        ptr: Box::new(ptr),
+                        elem: pointee,
+                    },
+                    Type::Scalar(pointee),
+                ))
             }
-            ast::Expr::Unary { op: ast::UnaryOp::Deref, expr, span } => {
+            ast::Expr::Unary {
+                op: ast::UnaryOp::Deref,
+                expr,
+                span,
+            } => {
                 let ptr = self.check_expr(expr)?;
-                let Type::Pointer { pointee, is_const, .. } = ptr.ty() else {
-                    self.diags.error(*span, format!("cannot dereference `{}`", ptr.ty()));
+                let Type::Pointer {
+                    pointee, is_const, ..
+                } = ptr.ty()
+                else {
+                    self.diags
+                        .error(*span, format!("cannot dereference `{}`", ptr.ty()));
                     return Err(());
                 };
                 if is_const {
-                    self.diags.error(*span, "cannot store through a `const` pointer");
+                    self.diags
+                        .error(*span, "cannot store through a `const` pointer");
                     return Err(());
                 }
-                Ok((Place::Deref { ptr: Box::new(ptr), elem: pointee }, Type::Scalar(pointee)))
+                Ok((
+                    Place::Deref {
+                        ptr: Box::new(ptr),
+                        elem: pointee,
+                    },
+                    Type::Scalar(pointee),
+                ))
             }
             other => {
-                self.diags.error(other.span(), "expression is not assignable");
+                self.diags
+                    .error(other.span(), "expression is not assignable");
                 Err(())
             }
         }
@@ -972,18 +1178,28 @@ impl<'a> FnChecker<'a> {
         let b = self.check_expr(base)?;
         let ty = b.ty();
         if !ty.is_pointer() {
-            self.diags.error(span, format!("cannot index a value of type `{ty}`"));
+            self.diags
+                .error(span, format!("cannot index a value of type `{ty}`"));
             return Err(());
         }
         let i = self.check_expr(index)?;
-        let Some(s) = i.ty().as_scalar().filter(|s| s.is_integer() || *s == ScalarType::Bool)
+        let Some(s) = i
+            .ty()
+            .as_scalar()
+            .filter(|s| s.is_integer() || *s == ScalarType::Bool)
         else {
-            self.diags.error(index.span(), "array index must be an integer");
+            self.diags
+                .error(index.span(), "array index must be an integer");
             return Err(());
         };
         let _ = s;
         let i = self.coerce(i, Type::Scalar(ScalarType::Long), span)?;
-        Ok(Expr::PtrOffset { ptr: Box::new(b), offset: Box::new(i), ty, span })
+        Ok(Expr::PtrOffset {
+            ptr: Box::new(b),
+            offset: Box::new(i),
+            ty,
+            span,
+        })
     }
 
     fn check_ternary(
@@ -998,9 +1214,7 @@ impl<'a> FnChecker<'a> {
         let fe = self.check_expr(f)?;
         let ty = match (te.ty(), fe.ty()) {
             (a, b) if a == b => a,
-            (Type::Scalar(a), Type::Scalar(b)) => {
-                Type::Scalar(usual_arithmetic_conversion(a, b))
-            }
+            (Type::Scalar(a), Type::Scalar(b)) => Type::Scalar(usual_arithmetic_conversion(a, b)),
             (a, b) => {
                 self.diags.error(
                     span,
@@ -1028,14 +1242,20 @@ impl<'a> FnChecker<'a> {
         span: Span,
     ) -> CResult<Expr> {
         if self.lookup(callee).is_some() {
-            self.diags.error(callee_span, format!("`{callee}` is a variable, not a function"));
+            self.diags.error(
+                callee_span,
+                format!("`{callee}` is a variable, not a function"),
+            );
             return Err(());
         }
         if let Some(b) = Builtin::resolve(callee) {
             return self.check_builtin_call(b, args, span);
         }
         let Some(&func) = self.by_name.get(callee) else {
-            self.diags.error(callee_span, format!("call to undefined function `{callee}`"));
+            self.diags.error(
+                callee_span,
+                format!("call to undefined function `{callee}`"),
+            );
             return Err(());
         };
         let sig = &self.sigs[func.0 as usize];
@@ -1065,14 +1285,24 @@ impl<'a> FnChecker<'a> {
             lowered.push(self.coerce(e, pty, a.span())?);
         }
         self.calls.push(func);
-        Ok(Expr::Call { func, args: lowered, ty: ret, span })
+        Ok(Expr::Call {
+            func,
+            args: lowered,
+            ty: ret,
+            span,
+        })
     }
 
     fn check_builtin_call(&mut self, b: Builtin, args: &[ast::Expr], span: Span) -> CResult<Expr> {
         if args.len() != b.arity() {
             self.diags.error(
                 span,
-                format!("`{}` expects {} argument(s), found {}", b.name(), b.arity(), args.len()),
+                format!(
+                    "`{}` expects {} argument(s), found {}",
+                    b.name(),
+                    b.arity(),
+                    args.len()
+                ),
             );
             return Err(());
         }
@@ -1119,7 +1349,10 @@ impl<'a> FnChecker<'a> {
                 for e in &mut lowered {
                     let taken = std::mem::replace(
                         e,
-                        Expr::Const { value: ConstValue::Bool(false), span },
+                        Expr::Const {
+                            value: ConstValue::Bool(false),
+                            span,
+                        },
                     );
                     *e = self.coerce(taken, Type::Scalar(common), span)?;
                 }
@@ -1127,7 +1360,11 @@ impl<'a> FnChecker<'a> {
             }
             BuiltinKind::GenUnary => {
                 let s = scalar_of(self, &lowered[0], "abs")?;
-                let target = if s == ScalarType::Bool { ScalarType::Int } else { s };
+                let target = if s == ScalarType::Bool {
+                    ScalarType::Int
+                } else {
+                    s
+                };
                 let a = lowered.pop().expect("arity checked");
                 lowered.push(self.coerce(a, Type::Scalar(target), span)?);
                 Type::Scalar(target)
@@ -1140,14 +1377,22 @@ impl<'a> FnChecker<'a> {
                 for e in &mut lowered {
                     let taken = std::mem::replace(
                         e,
-                        Expr::Const { value: ConstValue::Bool(false), span },
+                        Expr::Const {
+                            value: ConstValue::Bool(false),
+                            span,
+                        },
                     );
                     *e = self.coerce(taken, Type::Scalar(common), span)?;
                 }
                 Type::Scalar(common)
             }
         };
-        Ok(Expr::BuiltinCall { builtin: b, args: lowered, ty, span })
+        Ok(Expr::BuiltinCall {
+            builtin: b,
+            args: lowered,
+            ty,
+            span,
+        })
     }
 }
 
@@ -1156,19 +1401,56 @@ impl<'a> FnChecker<'a> {
 fn retype_pointer(e: Expr, to: Type) -> Expr {
     match e {
         Expr::Local { id, span, .. } => Expr::Local { id, ty: to, span },
-        Expr::PtrOffset { ptr, offset, span, .. } => Expr::PtrOffset { ptr, offset, ty: to, span },
-        Expr::Ternary { cond, then_expr, else_expr, span, .. } => Expr::Ternary {
+        Expr::PtrOffset {
+            ptr, offset, span, ..
+        } => Expr::PtrOffset {
+            ptr,
+            offset,
+            ty: to,
+            span,
+        },
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            span,
+            ..
+        } => Expr::Ternary {
             cond,
             then_expr: Box::new(retype_pointer(*then_expr, to)),
             else_expr: Box::new(retype_pointer(*else_expr, to)),
             ty: to,
             span,
         },
-        Expr::Call { func, args, span, .. } => Expr::Call { func, args, ty: to, span },
-        Expr::Assign { place, value, span, .. } => Expr::Assign { place, value, ty: to, span },
-        Expr::IncDec { place, is_inc, is_post, span, .. } => {
-            Expr::IncDec { place, ty: to, is_inc, is_post, span }
-        }
+        Expr::Call {
+            func, args, span, ..
+        } => Expr::Call {
+            func,
+            args,
+            ty: to,
+            span,
+        },
+        Expr::Assign {
+            place, value, span, ..
+        } => Expr::Assign {
+            place,
+            value,
+            ty: to,
+            span,
+        },
+        Expr::IncDec {
+            place,
+            is_inc,
+            is_post,
+            span,
+            ..
+        } => Expr::IncDec {
+            place,
+            ty: to,
+            is_inc,
+            is_post,
+            span,
+        },
         other => other,
     }
 }
@@ -1245,9 +1527,11 @@ fn stmts_definitely_return(stmts: &[Stmt]) -> bool {
 fn stmt_definitely_returns(s: &Stmt) -> bool {
     match s {
         Stmt::Return(_) => true,
-        Stmt::If { then_branch, else_branch, .. } => {
-            stmts_definitely_return(then_branch) && stmts_definitely_return(else_branch)
-        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => stmts_definitely_return(then_branch) && stmts_definitely_return(else_branch),
         _ => false,
     }
 }
@@ -1293,16 +1577,26 @@ mod tests {
     fn implicit_conversions_inserted() {
         let u = expect_ok("float func(float x, int n){ return x + n; }");
         let (_, f) = u.function("func").unwrap();
-        let Stmt::Return(Some(Expr::Binary { ty, rhs, .. })) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary { ty, rhs, .. })) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(*ty, ScalarType::Float);
-        assert!(matches!(**rhs, Expr::Convert { to: ScalarType::Float, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Convert {
+                to: ScalarType::Float,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn char_arithmetic_promotes_to_int() {
         let u = expect_ok("int f(char a, char b){ return a + b; }");
         let (_, f) = u.function("f").unwrap();
-        let Stmt::Return(Some(Expr::Binary { ty, .. })) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary { ty, .. })) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(*ty, ScalarType::Int);
     }
 
@@ -1325,7 +1619,10 @@ mod tests {
     #[test]
     fn kernel_rules() {
         expect_err("__kernel int k(){ return 0; }", "must return `void`");
-        expect_err("__kernel void k(int* p){ }", "must be `__global` or `__local`");
+        expect_err(
+            "__kernel void k(int* p){ }",
+            "must be `__global` or `__local`",
+        );
         expect_ok("__kernel void k(__global float* p, int n){ }");
         expect_err(
             "__kernel void k(__global int* p){ } void f(){ k(0); }",
@@ -1335,7 +1632,10 @@ mod tests {
 
     #[test]
     fn recursion_rejected() {
-        expect_err("int f(int x){ return f(x - 1); }", "recursion is not allowed");
+        expect_err(
+            "int f(int x){ return f(x - 1); }",
+            "recursion is not allowed",
+        );
         expect_err(
             "int g(int x){ return h(x); } int h(int x){ return g(x); }",
             "recursion is not allowed",
@@ -1354,10 +1654,22 @@ mod tests {
             "void f(){ __local float tile[4]; }",
             "may only be declared inside kernel",
         );
-        expect_err("__kernel void k(int n){ __local float t[n]; }", "compile-time constant");
-        expect_err("__kernel void k(){ __local float t[0]; }", "must be positive");
-        expect_err("__kernel void k(){ float t[4]; }", "only supported in `__local` memory");
-        expect_err("__kernel void k(){ __local int x; }", "only `__local` arrays");
+        expect_err(
+            "__kernel void k(int n){ __local float t[n]; }",
+            "compile-time constant",
+        );
+        expect_err(
+            "__kernel void k(){ __local float t[0]; }",
+            "must be positive",
+        );
+        expect_err(
+            "__kernel void k(){ float t[4]; }",
+            "only supported in `__local` memory",
+        );
+        expect_err(
+            "__kernel void k(){ __local int x; }",
+            "only `__local` arrays",
+        );
         expect_err(
             "__kernel void k(){ __local float t[2]; t = t; }",
             "array and cannot be assigned",
@@ -1366,7 +1678,10 @@ mod tests {
 
     #[test]
     fn const_rules() {
-        expect_err("void f(){ const int x = 1; x = 2; }", "cannot assign to `const`");
+        expect_err(
+            "void f(){ const int x = 1; x = 2; }",
+            "cannot assign to `const`",
+        );
         expect_err(
             "void f(const float* p){ p[0] = 1.0f; }",
             "cannot store through a `const` pointer",
@@ -1380,11 +1695,11 @@ mod tests {
 
     #[test]
     fn pointer_arithmetic_lowering() {
-        let u = expect_ok(
-            "float f(__global float* a, int i){ return *(a + i) + a[i + 1]; }",
-        );
+        let u = expect_ok("float f(__global float* a, int i){ return *(a + i) + a[i + 1]; }");
         let (_, f) = u.function("f").unwrap();
-        let Stmt::Return(Some(Expr::Binary { lhs, rhs, .. })) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary { lhs, rhs, .. })) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(**lhs, Expr::Load { .. }));
         assert!(matches!(**rhs, Expr::Load { .. }));
     }
@@ -1393,7 +1708,10 @@ mod tests {
     fn pointer_difference() {
         let u = expect_ok("long f(__global float* a, __global float* b){ return a - b; }");
         let (_, f) = u.function("f").unwrap();
-        assert!(matches!(f.body[0], Stmt::Return(Some(Expr::PtrDiff { .. }))));
+        assert!(matches!(
+            f.body[0],
+            Stmt::Return(Some(Expr::PtrDiff { .. }))
+        ));
         expect_err(
             "long f(__global float* a, __global int* b){ return a - b; }",
             "different element types",
@@ -1439,21 +1757,31 @@ mod tests {
         );
         assert_eq!(u.functions.len(), 1);
         expect_err("void f(){ sqrt(1.0f, 2.0f); }", "expects 1 argument");
-        expect_err("float f(float x){ float sqrt = x; return sqrt(x); }", "is a variable");
-        expect_err("float sqrt(float x){ return x; }", "cannot redefine builtin");
+        expect_err(
+            "float f(float x){ float sqrt = x; return sqrt(x); }",
+            "is a variable",
+        );
+        expect_err(
+            "float sqrt(float x){ return x; }",
+            "cannot redefine builtin",
+        );
     }
 
     #[test]
     fn float_builtin_promotes_to_double() {
         let u = expect_ok("double f(double x){ return sin(x); }");
         let (_, f) = u.function("f").unwrap();
-        let Stmt::Return(Some(Expr::BuiltinCall { ty, .. })) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::BuiltinCall { ty, .. })) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(*ty, Type::scalar(ScalarType::Double));
         let u = expect_ok("float f(int x){ return sin(x); }");
         let (_, f) = u.function("f").unwrap();
         let Stmt::Return(Some(Expr::Convert { .. })) = &f.body[0] else {
             // sin(int) is float; returning as float requires no conversion.
-            let Stmt::Return(Some(Expr::BuiltinCall { ty, .. })) = &f.body[0] else { panic!() };
+            let Stmt::Return(Some(Expr::BuiltinCall { ty, .. })) = &f.body[0] else {
+                panic!()
+            };
             assert_eq!(*ty, Type::scalar(ScalarType::Float));
             return;
         };
@@ -1494,11 +1822,16 @@ mod tests {
 
     #[test]
     fn return_type_checks() {
-        expect_err("void f(){ return 1; }", "void function cannot return a value");
+        expect_err(
+            "void f(){ return 1; }",
+            "void function cannot return a value",
+        );
         expect_err("int f(){ return; }", "must return a value");
         let u = expect_ok("float f(){ return 1; }");
         let (_, f) = u.function("f").unwrap();
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(e.ty(), Type::scalar(ScalarType::Float));
     }
 
@@ -1517,7 +1850,9 @@ mod tests {
     fn ternary_type_unification() {
         let u = expect_ok("float f(int c, float a, int b){ return c ? a : b; }");
         let (_, f) = u.function("f").unwrap();
-        let Stmt::Return(Some(Expr::Ternary { ty, .. })) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Ternary { ty, .. })) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(*ty, Type::scalar(ScalarType::Float));
         expect_err(
             "void f(__global float* p, int c){ float x = c ? p : 1.0f; }",
@@ -1529,7 +1864,11 @@ mod tests {
     fn compound_assignment_reads_place() {
         let u = expect_ok("void f(__global float* p, int i){ p[i] += 2.0f; }");
         let (_, f) = u.function("f").unwrap();
-        let Stmt::Expr(Expr::Assign { place: Place::Deref { .. }, value, .. }) = &f.body[0]
+        let Stmt::Expr(Expr::Assign {
+            place: Place::Deref { .. },
+            value,
+            ..
+        }) = &f.body[0]
         else {
             panic!()
         };
@@ -1544,17 +1883,26 @@ mod tests {
 
     #[test]
     fn integer_only_operators() {
-        expect_err("float f(float a){ return a % 2.0f; }", "requires integer operands");
-        expect_err("float f(float a){ return a << 1; }", "requires integer operands");
+        expect_err(
+            "float f(float a){ return a % 2.0f; }",
+            "requires integer operands",
+        );
+        expect_err(
+            "float f(float a){ return a << 1; }",
+            "requires integer operands",
+        );
         expect_ok("int f(int a){ return (a % 3) ^ (a & 1) | (a << 2) >> 1; }");
     }
 
     #[test]
     fn literal_classification() {
-        let u = expect_ok("void f(){ long a = 3000000000; int b = 5; ulong c = 0xFFFFFFFFFFFFFFFF; }");
+        let u =
+            expect_ok("void f(){ long a = 3000000000; int b = 5; ulong c = 0xFFFFFFFFFFFFFFFF; }");
         let (_, f) = u.function("f").unwrap();
         // `a` initialiser: literal 3000000000 doesn't fit in int -> Long.
-        let Stmt::Expr(Expr::Assign { value, .. }) = &f.body[0] else { panic!() };
+        let Stmt::Expr(Expr::Assign { value, .. }) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(value.ty(), Type::scalar(ScalarType::Long));
     }
 
@@ -1569,19 +1917,27 @@ mod tests {
             "int g(int a, int b){ return a + b; } int f(){ return g(1); }",
             "expects 2 argument(s), found 1",
         );
-        expect_err("int f(){ return nothere(); }", "undefined function `nothere`");
+        expect_err(
+            "int f(){ return nothere(); }",
+            "undefined function `nothere`",
+        );
     }
 
     #[test]
     fn logical_operators_yield_bool() {
         let u = expect_ok("bool f(int a, float b){ return a && b || !a; }");
         let (_, f) = u.function("f").unwrap();
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(e.ty(), Type::scalar(ScalarType::Bool));
     }
 
     #[test]
     fn pointer_condition_rejected() {
-        expect_err("void f(__global int* p){ if (p) { } }", "expected a scalar condition");
+        expect_err(
+            "void f(__global int* p){ if (p) { } }",
+            "expected a scalar condition",
+        );
     }
 }

@@ -25,7 +25,10 @@ impl Span {
 
     /// A zero-width span at `pos`, used for end-of-file diagnostics.
     pub fn point(pos: u32) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.
@@ -96,7 +99,11 @@ impl SourceFile {
             }
         }
         SourceFile {
-            inner: Arc::new(SourceInner { name: name.into(), text, line_starts }),
+            inner: Arc::new(SourceInner {
+                name: name.into(),
+                text,
+                line_starts,
+            }),
         }
     }
 

@@ -49,7 +49,10 @@ impl ScalarType {
     /// Whether the type is an integer type (`bool` is not).
     pub fn is_integer(self) -> bool {
         use ScalarType::*;
-        matches!(self, Char | UChar | Short | UShort | Int | UInt | Long | ULong)
+        matches!(
+            self,
+            Char | UChar | Short | UShort | Int | UInt | Long | ULong
+        )
     }
 
     /// Whether the type is `float` or `double`.
@@ -183,17 +186,29 @@ impl Type {
 
     /// Shorthand for a mutable global pointer.
     pub fn global_ptr(pointee: ScalarType) -> Type {
-        Type::Pointer { pointee, space: AddressSpace::Global, is_const: false }
+        Type::Pointer {
+            pointee,
+            space: AddressSpace::Global,
+            is_const: false,
+        }
     }
 
     /// Shorthand for a const global pointer.
     pub fn const_global_ptr(pointee: ScalarType) -> Type {
-        Type::Pointer { pointee, space: AddressSpace::Global, is_const: true }
+        Type::Pointer {
+            pointee,
+            space: AddressSpace::Global,
+            is_const: true,
+        }
     }
 
     /// Shorthand for a local-memory pointer.
     pub fn local_ptr(pointee: ScalarType) -> Type {
-        Type::Pointer { pointee, space: AddressSpace::Local, is_const: false }
+        Type::Pointer {
+            pointee,
+            space: AddressSpace::Local,
+            is_const: false,
+        }
     }
 
     /// The scalar type if this is a scalar.
@@ -221,7 +236,11 @@ impl fmt::Display for Type {
         match self {
             Type::Void => f.write_str("void"),
             Type::Scalar(s) => write!(f, "{s}"),
-            Type::Pointer { pointee, space, is_const } => {
+            Type::Pointer {
+                pointee,
+                space,
+                is_const,
+            } => {
                 if *is_const {
                     write!(f, "const ")?;
                 }
@@ -254,7 +273,11 @@ pub fn usual_arithmetic_conversion(a: ScalarType, b: ScalarType) -> ScalarType {
     if pa == pb {
         return pa;
     }
-    let (lo, hi) = if pa.rank() < pb.rank() { (pa, pb) } else { (pb, pa) };
+    let (lo, hi) = if pa.rank() < pb.rank() {
+        (pa, pb)
+    } else {
+        (pb, pa)
+    };
     // Same width, differing signedness: the unsigned type wins (e.g.
     // int + uint -> uint). Otherwise the wider type wins.
     if lo.size_bytes() == hi.size_bytes() {
@@ -295,8 +318,10 @@ mod tests {
     #[test]
     fn classification_is_partitioned() {
         for s in ScalarType::ALL {
-            let classes =
-                [s.is_integer(), s.is_float(), s == Bool].iter().filter(|&&b| b).count();
+            let classes = [s.is_integer(), s.is_float(), s == Bool]
+                .iter()
+                .filter(|&&b| b)
+                .count();
             assert_eq!(classes, 1, "{s} must be in exactly one class");
             if s.is_integer() {
                 assert_ne!(s.is_signed_integer(), s.is_unsigned_integer());
@@ -334,11 +359,18 @@ mod tests {
     fn display_forms() {
         assert_eq!(Type::scalar(Float).to_string(), "float");
         assert_eq!(Type::global_ptr(Char).to_string(), "__global char*");
-        assert_eq!(Type::const_global_ptr(Float).to_string(), "const __global float*");
+        assert_eq!(
+            Type::const_global_ptr(Float).to_string(),
+            "const __global float*"
+        );
         assert_eq!(Type::local_ptr(Int).to_string(), "__local int*");
         assert_eq!(
-            Type::Pointer { pointee: Int, space: AddressSpace::Private, is_const: false }
-                .to_string(),
+            Type::Pointer {
+                pointee: Int,
+                space: AddressSpace::Private,
+                is_const: false
+            }
+            .to_string(),
             "int*"
         );
         assert_eq!(Type::Void.to_string(), "void");

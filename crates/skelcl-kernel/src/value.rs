@@ -315,7 +315,11 @@ macro_rules! float_binop {
             BinOp::Mul => a * b,
             BinOp::Div => a / b,
             BinOp::Rem => a % b,
-            _ => return Err(EvalError::TypeMismatch { context: "float bit operation" }),
+            _ => {
+                return Err(EvalError::TypeMismatch {
+                    context: "float bit operation",
+                })
+            }
         }))
     }};
 }
@@ -339,7 +343,9 @@ pub fn binary(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
         (Value::U64(x), Value::U64(y)) => int_binop!(op, x, y, U64, true),
         (Value::F32(x), Value::F32(y)) => float_binop!(op, x, y, F32),
         (Value::F64(x), Value::F64(y)) => float_binop!(op, x, y, F64),
-        _ => Err(EvalError::TypeMismatch { context: "binary operation" }),
+        _ => Err(EvalError::TypeMismatch {
+            context: "binary operation",
+        }),
     }
 }
 
@@ -367,10 +373,12 @@ pub fn compare(op: CmpOp, a: Value, b: Value) -> Result<bool, EvalError> {
         (Value::F64(x), Value::F64(y)) => {
             return Ok(float_cmp(op, x.partial_cmp(&y)));
         }
-        (Value::Ptr(x), Value::Ptr(y)) => {
-            (x.buffer, x.byte_offset).cmp(&(y.buffer, y.byte_offset))
+        (Value::Ptr(x), Value::Ptr(y)) => (x.buffer, x.byte_offset).cmp(&(y.buffer, y.byte_offset)),
+        _ => {
+            return Err(EvalError::TypeMismatch {
+                context: "comparison",
+            })
         }
-        _ => return Err(EvalError::TypeMismatch { context: "comparison" }),
     };
     Ok(match op {
         CmpOp::Lt => ord == Ordering::Less,
@@ -417,7 +425,11 @@ pub fn unary(op: UnOp, v: Value) -> Result<Value, EvalError> {
             Value::U64(x) => Value::U64(x.wrapping_neg()),
             Value::F32(x) => Value::F32(-x),
             Value::F64(x) => Value::F64(-x),
-            _ => return Err(EvalError::TypeMismatch { context: "negation" }),
+            _ => {
+                return Err(EvalError::TypeMismatch {
+                    context: "negation",
+                })
+            }
         }),
         UnOp::BitNot => Ok(match v {
             Value::I8(x) => Value::I8(!x),
@@ -428,7 +440,11 @@ pub fn unary(op: UnOp, v: Value) -> Result<Value, EvalError> {
             Value::U32(x) => Value::U32(!x),
             Value::I64(x) => Value::I64(!x),
             Value::U64(x) => Value::U64(!x),
-            _ => return Err(EvalError::TypeMismatch { context: "bitwise complement" }),
+            _ => {
+                return Err(EvalError::TypeMismatch {
+                    context: "bitwise complement",
+                })
+            }
         }),
     }
 }
@@ -493,7 +509,10 @@ mod tests {
         assert_eq!(convert(Value::F32(2.9), Int), Value::I32(2));
         assert_eq!(convert(Value::F64(-2.9), Int), Value::I32(-2));
         assert_eq!(convert(Value::I32(3), Float), Value::F32(3.0));
-        assert_eq!(convert(Value::U64(u64::MAX), Double), Value::F64(u64::MAX as f64));
+        assert_eq!(
+            convert(Value::U64(u64::MAX), Double),
+            Value::F64(u64::MAX as f64)
+        );
         assert_eq!(convert(Value::I32(0), Bool), Value::Bool(false));
         assert_eq!(convert(Value::F32(0.5), Bool), Value::Bool(true));
         assert_eq!(convert(Value::Bool(true), Float), Value::F32(1.0));
@@ -508,8 +527,14 @@ mod tests {
 
     #[test]
     fn integer_arithmetic_wraps() {
-        assert_eq!(binary(BinOp::Add, Value::I32(i32::MAX), Value::I32(1)).unwrap(), Value::I32(i32::MIN));
-        assert_eq!(binary(BinOp::Mul, Value::U8(200), Value::U8(2)).unwrap(), Value::U8(144));
+        assert_eq!(
+            binary(BinOp::Add, Value::I32(i32::MAX), Value::I32(1)).unwrap(),
+            Value::I32(i32::MIN)
+        );
+        assert_eq!(
+            binary(BinOp::Mul, Value::U8(200), Value::U8(2)).unwrap(),
+            Value::U8(144)
+        );
     }
 
     #[test]
@@ -531,13 +556,22 @@ mod tests {
 
     #[test]
     fn shift_amounts_are_masked() {
-        assert_eq!(binary(BinOp::Shl, Value::I32(1), Value::I32(33)).unwrap(), Value::I32(2));
-        assert_eq!(binary(BinOp::Shr, Value::U8(128), Value::U8(9)).unwrap(), Value::U8(64));
+        assert_eq!(
+            binary(BinOp::Shl, Value::I32(1), Value::I32(33)).unwrap(),
+            Value::I32(2)
+        );
+        assert_eq!(
+            binary(BinOp::Shr, Value::U8(128), Value::U8(9)).unwrap(),
+            Value::U8(64)
+        );
     }
 
     #[test]
     fn signed_vs_unsigned_shift_right() {
-        assert_eq!(binary(BinOp::Shr, Value::I32(-8), Value::I32(1)).unwrap(), Value::I32(-4));
+        assert_eq!(
+            binary(BinOp::Shr, Value::I32(-8), Value::I32(1)).unwrap(),
+            Value::I32(-4)
+        );
         assert_eq!(
             binary(BinOp::Shr, Value::U32(0x8000_0000), Value::U32(1)).unwrap(),
             Value::U32(0x4000_0000)
@@ -556,7 +590,11 @@ mod tests {
     #[test]
     fn pointer_comparison_by_offset() {
         let p = |off| {
-            Value::Ptr(Ptr { space: AddressSpace::Global, buffer: 0, byte_offset: off })
+            Value::Ptr(Ptr {
+                space: AddressSpace::Global,
+                buffer: 0,
+                byte_offset: off,
+            })
         };
         assert!(compare(CmpOp::Lt, p(0), p(8)).unwrap());
         assert!(compare(CmpOp::Eq, p(4), p(4)).unwrap());
@@ -565,10 +603,19 @@ mod tests {
     #[test]
     fn unary_operations() {
         assert_eq!(unary(UnOp::Neg, Value::F32(2.0)).unwrap(), Value::F32(-2.0));
-        assert_eq!(unary(UnOp::Neg, Value::I32(i32::MIN)).unwrap(), Value::I32(i32::MIN));
-        assert_eq!(unary(UnOp::BitNot, Value::U8(0xF0)).unwrap(), Value::U8(0x0F));
+        assert_eq!(
+            unary(UnOp::Neg, Value::I32(i32::MIN)).unwrap(),
+            Value::I32(i32::MIN)
+        );
+        assert_eq!(
+            unary(UnOp::BitNot, Value::U8(0xF0)).unwrap(),
+            Value::U8(0x0F)
+        );
         assert_eq!(unary(UnOp::Not, Value::I32(0)).unwrap(), Value::Bool(true));
-        assert_eq!(unary(UnOp::Not, Value::F64(1.5)).unwrap(), Value::Bool(false));
+        assert_eq!(
+            unary(UnOp::Not, Value::F64(1.5)).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]

@@ -156,13 +156,14 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::OutOfBounds(e) => write!(f, "{e}"),
-            RuntimeError::UninitializedPointer => {
-                f.write_str("use of an uninitialized pointer")
-            }
+            RuntimeError::UninitializedPointer => f.write_str("use of an uninitialized pointer"),
             RuntimeError::DivisionByZero => f.write_str("integer division by zero"),
             RuntimeError::Trap { code } => write!(f, "kernel trap with code {code}"),
             RuntimeError::MissingReturn { function } => {
-                write!(f, "control reached the end of non-void function `{function}`")
+                write!(
+                    f,
+                    "control reached the end of non-void function `{function}`"
+                )
             }
             RuntimeError::StackOverflow => f.write_str("kernel call stack overflow"),
             RuntimeError::OpLimitExceeded => {
@@ -245,7 +246,13 @@ fn check_range(
 ) -> Result<usize, MemAccessError> {
     let size = ty.size_bytes();
     if byte_offset < 0 || (byte_offset as usize).saturating_add(size) > len {
-        return Err(MemAccessError { space, buffer, byte_offset, len, ty });
+        return Err(MemAccessError {
+            space,
+            buffer,
+            byte_offset,
+            len,
+            ty,
+        });
     }
     Ok(byte_offset as usize)
 }
@@ -337,7 +344,12 @@ impl WorkItem {
         WorkItem {
             program: program.clone(),
             geometry,
-            frames: vec![Frame { func, pc: 0, locals, stack: Vec::new() }],
+            frames: vec![Frame {
+                func,
+                pc: 0,
+                locals,
+                stack: Vec::new(),
+            }],
             counters: CostCounters::default(),
             ops_budget: u64::MAX,
             finished: false,
@@ -396,7 +408,10 @@ impl WorkItem {
             }
             self.counters.ops += 1;
 
-            let frame = self.frames.last_mut().expect("frame stack never empty while running");
+            let frame = self
+                .frames
+                .last_mut()
+                .expect("frame stack never empty while running");
             let code = &self.program.functions()[frame.func as usize];
             let op = code.code[frame.pc].clone();
             frame.pc += 1;
@@ -425,12 +440,16 @@ impl WorkItem {
                 Op::Bin(bin) => {
                     let r = pop(frame)?;
                     let l = pop(frame)?;
-                    frame.stack.push(value::binary(bin, l, r).map_err(eval_err)?);
+                    frame
+                        .stack
+                        .push(value::binary(bin, l, r).map_err(eval_err)?);
                 }
                 Op::Cmp(cmp) => {
                     let r = pop(frame)?;
                     let l = pop(frame)?;
-                    frame.stack.push(Value::Bool(value::compare(cmp, l, r).map_err(eval_err)?));
+                    frame
+                        .stack
+                        .push(Value::Bool(value::compare(cmp, l, r).map_err(eval_err)?));
                 }
                 Op::Convert(to) => {
                     let v = pop(frame)?;
@@ -461,7 +480,12 @@ impl WorkItem {
                     for i in (0..argc as usize).rev() {
                         locals[i] = pop(frame)?;
                     }
-                    self.frames.push(Frame { func, pc: 0, locals, stack: Vec::new() });
+                    self.frames.push(Frame {
+                        func,
+                        pc: 0,
+                        locals,
+                        stack: Vec::new(),
+                    });
                 }
                 Op::CallPure(b, argc) => {
                     let frame = self.frames.last_mut().expect("frame");
@@ -484,7 +508,9 @@ impl WorkItem {
                 }
                 Op::Trap => {
                     let code = pop(self.frames.last_mut().expect("frame"))?;
-                    return Err(RuntimeError::Trap { code: code.as_i64() as i32 });
+                    return Err(RuntimeError::Trap {
+                        code: code.as_i64() as i32,
+                    });
                 }
                 Op::LoadMem(ty) => {
                     let p = pop_ptr(self.frames.last_mut().expect("frame"))?;
@@ -513,7 +539,9 @@ impl WorkItem {
                     if l.space != r.space || l.buffer != r.buffer {
                         return Err(RuntimeError::IncompatiblePointers);
                     }
-                    frame.stack.push(Value::I64((l.byte_offset - r.byte_offset) / size as i64));
+                    frame
+                        .stack
+                        .push(Value::I64((l.byte_offset - r.byte_offset) / size as i64));
                 }
                 Op::Return => {
                     let frame = self.frames.last_mut().expect("frame");
@@ -566,7 +594,11 @@ impl WorkItem {
                 )))
             }
         };
-        let v = if (0..3).contains(&dim) { arr[dim as usize] } else { default };
+        let v = if (0..3).contains(&dim) {
+            arr[dim as usize]
+        } else {
+            default
+        };
         Ok(Value::U64(v))
     }
 
@@ -584,7 +616,9 @@ impl WorkItem {
             AddressSpace::Global => {
                 self.counters.global_loads += 1;
                 self.counters.global_bytes += ty.size_bytes() as u64;
-                global.load(p.buffer, p.byte_offset, ty).map_err(RuntimeError::OutOfBounds)
+                global
+                    .load(p.buffer, p.byte_offset, ty)
+                    .map_err(RuntimeError::OutOfBounds)
             }
             AddressSpace::Local => {
                 self.counters.local_loads += 1;
@@ -634,7 +668,9 @@ fn pop(frame: &mut Frame) -> Result<Value, RuntimeError> {
 fn pop_ptr(frame: &mut Frame) -> Result<Ptr, RuntimeError> {
     match pop(frame)? {
         Value::Ptr(p) => Ok(p),
-        other => Err(RuntimeError::Internal(format!("expected pointer, found {other}"))),
+        other => Err(RuntimeError::Internal(format!(
+            "expected pointer, found {other}"
+        ))),
     }
 }
 
@@ -662,7 +698,11 @@ mod tests {
     }
 
     fn gptr(buffer: u32) -> Value {
-        Value::Ptr(Ptr { space: AddressSpace::Global, buffer, byte_offset: 0 })
+        Value::Ptr(Ptr {
+            space: AddressSpace::Global,
+            buffer,
+            byte_offset: 0,
+        })
     }
 
     fn f32_buffer(vals: &[f32]) -> Vec<u8> {
@@ -670,7 +710,10 @@ mod tests {
     }
 
     fn read_f32s(bytes: &[u8]) -> Vec<f32> {
-        bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
     }
 
     /// Runs a 1-D kernel over `n` items sequentially (no barriers).
@@ -729,7 +772,13 @@ mod tests {
         let mut mem = HostMemory::new();
         let input = mem.add_buffer(f32_buffer(&[1.0, -2.5, 0.0, 7.0]));
         let output = mem.add_buffer(vec![0u8; 16]);
-        run_simple_mem(&p, "map_neg", &[gptr(input), gptr(output), Value::I32(4)], 4, &mem);
+        run_simple_mem(
+            &p,
+            "map_neg",
+            &[gptr(input), gptr(output), Value::I32(4)],
+            4,
+            &mem,
+        );
         assert_eq!(read_f32s(&mem.bytes(output)), vec![-1.0, 2.5, 0.0, -7.0]);
     }
 
@@ -770,7 +819,10 @@ mod tests {
         let out = mem.add_buffer(vec![0u8; 4]);
         run_simple_mem(&p, "tricky", &[gptr(out)], 1, &mem);
         // 0+1+2+3+4+6+7 = 23, plus 2000.
-        assert_eq!(i32::from_le_bytes(mem.bytes(out)[..4].try_into().unwrap()), 2023);
+        assert_eq!(
+            i32::from_le_bytes(mem.bytes(out)[..4].try_into().unwrap()),
+            2023
+        );
     }
 
     #[test]
@@ -805,7 +857,10 @@ mod tests {
         let bytes = mem.bytes(out);
         // Points inside the set reach max_iter -> 255; outside escape sooner.
         assert!(bytes.contains(&255), "some pixel in the set: {bytes:?}");
-        assert!(bytes.iter().any(|&b| b < 255), "some pixel escapes: {bytes:?}");
+        assert!(
+            bytes.iter().any(|&b| b < 255),
+            "some pixel escapes: {bytes:?}"
+        );
     }
 
     #[test]
@@ -824,8 +879,7 @@ mod tests {
         );
         let k = p.kernel("reverse").unwrap();
         let mut mem = HostMemory::new();
-        let input =
-            mem.add_buffer((0..8i32).flat_map(|v| v.to_le_bytes()).collect());
+        let input = mem.add_buffer((0..8i32).flat_map(|v| v.to_le_bytes()).collect());
         let out = mem.add_buffer(vec![0u8; 32]);
         let args = [gptr(input), gptr(out)];
 
@@ -876,14 +930,11 @@ mod tests {
 
     #[test]
     fn out_of_bounds_global_access_traps() {
-        let p = program(
-            "__kernel void oob(__global float* out){ out[100] = 1.0f; }",
-        );
+        let p = program("__kernel void oob(__global float* out){ out[100] = 1.0f; }");
         let mut mem = HostMemory::new();
         let out = mem.add_buffer(vec![0u8; 16]);
         let k = p.kernel("oob").unwrap();
-        let mut item =
-            WorkItem::new(&p, k.func, &[gptr(out)], ItemGeometry::single());
+        let mut item = WorkItem::new(&p, k.func, &[gptr(out)], ItemGeometry::single());
         let err = item.run(&mem, &mut []).unwrap_err();
         match err {
             RuntimeError::OutOfBounds(e) => {
@@ -924,7 +975,10 @@ mod tests {
             &[gptr(out), Value::I32(0)],
             ItemGeometry::single(),
         );
-        assert_eq!(item.run(&mem, &mut []).unwrap_err(), RuntimeError::DivisionByZero);
+        assert_eq!(
+            item.run(&mem, &mut []).unwrap_err(),
+            RuntimeError::DivisionByZero
+        );
     }
 
     #[test]
@@ -948,7 +1002,10 @@ mod tests {
         let k = p.kernel("spin").unwrap();
         let mut item = WorkItem::new(&p, k.func, &[gptr(out)], ItemGeometry::single());
         item.set_ops_budget(10_000);
-        assert_eq!(item.run(&mem, &mut []).unwrap_err(), RuntimeError::OpLimitExceeded);
+        assert_eq!(
+            item.run(&mem, &mut []).unwrap_err(),
+            RuntimeError::OpLimitExceeded
+        );
     }
 
     #[test]
@@ -958,7 +1015,10 @@ mod tests {
         let out = mem.add_buffer(vec![0u8; 4]);
         let k = p.kernel("t").unwrap();
         let mut item = WorkItem::new(&p, k.func, &[gptr(out)], ItemGeometry::single());
-        assert_eq!(item.run(&mem, &mut []).unwrap_err(), RuntimeError::Trap { code: 42 });
+        assert_eq!(
+            item.run(&mem, &mut []).unwrap_err(),
+            RuntimeError::Trap { code: 42 }
+        );
     }
 
     #[test]
@@ -973,7 +1033,9 @@ mod tests {
         let mut item = WorkItem::new(&p, k.func, &[gptr(out)], ItemGeometry::single());
         assert_eq!(
             item.run(&mem, &mut []).unwrap_err(),
-            RuntimeError::MissingReturn { function: "f".into() }
+            RuntimeError::MissingReturn {
+                function: "f".into()
+            }
         );
     }
 

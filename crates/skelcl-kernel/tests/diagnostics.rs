@@ -35,7 +35,10 @@ fn type_errors_name_both_types() {
         &["element types differ"],
     );
     assert_log("float f(__global int* p){ return p; }", &["cannot convert"]);
-    assert_log("void f(float x){ x % 2.0f; }", &["requires integer operands"]);
+    assert_log(
+        "void f(float x){ x % 2.0f; }",
+        &["requires integer operands"],
+    );
 }
 
 #[test]
@@ -52,8 +55,14 @@ fn const_violations() {
 
 #[test]
 fn arity_and_unknown_function() {
-    assert_log("float f(float x){ return sqrt(); }", &["`sqrt` expects 1 argument(s), found 0"]);
-    assert_log("float f(float x){ return g(x); }", &["undefined function `g`"]);
+    assert_log(
+        "float f(float x){ return sqrt(); }",
+        &["`sqrt` expects 1 argument(s), found 0"],
+    );
+    assert_log(
+        "float f(float x){ return g(x); }",
+        &["undefined function `g`"],
+    );
 }
 
 #[test]
@@ -96,7 +105,10 @@ fn kernel_restrictions() {
 
 #[test]
 fn recursion_is_rejected_like_opencl() {
-    assert_log("int f(int x){ return x <= 1 ? 1 : x * f(x - 1); }", &["recursion"]);
+    assert_log(
+        "int f(int x){ return x <= 1 ? 1 : x * f(x - 1); }",
+        &["recursion"],
+    );
 }
 
 #[test]
@@ -116,7 +128,10 @@ fn caret_lines_align_with_source() {
     let log = build_log("float f(float x){\n    return x + oops;\n}");
     // The caret must sit under `oops` (column 16 of line 2).
     let lines: Vec<&str> = log.lines().collect();
-    let src_line = lines.iter().position(|l| l.contains("return x + oops;")).unwrap();
+    let src_line = lines
+        .iter()
+        .position(|l| l.contains("return x + oops;"))
+        .unwrap();
     let caret_line = lines[src_line + 1];
     let src_rendered = lines[src_line];
     let caret_col = caret_line.find('^').unwrap();

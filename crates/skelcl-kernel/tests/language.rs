@@ -11,9 +11,8 @@ use skelcl_kernel::vm::{HostMemory, ItemGeometry, WorkItem};
 /// Compiles `body` into `__kernel void t(__global T* out)` returning
 /// out[0] after running a single work-item.
 fn eval(ret: &str, body: &str) -> Value {
-    let src = format!(
-        "__kernel void t(__global {ret}* skelcl_out) {{ skelcl_out[0] = ({body}); }}"
-    );
+    let src =
+        format!("__kernel void t(__global {ret}* skelcl_out) {{ skelcl_out[0] = ({body}); }}");
     eval_program(&src, ret)
 }
 
@@ -22,7 +21,11 @@ fn eval_program(src: &str, ret: &str) -> Value {
     let kernel = program.kernel("t").expect("kernel t");
     let mut mem = HostMemory::new();
     let out = mem.add_buffer(vec![0u8; 8]);
-    let args = [Value::Ptr(Ptr { space: AddressSpace::Global, buffer: out, byte_offset: 0 })];
+    let args = [Value::Ptr(Ptr {
+        space: AddressSpace::Global,
+        buffer: out,
+        byte_offset: 0,
+    })];
     let mut item = WorkItem::new(&program, kernel.func, &args, ItemGeometry::single());
     for b in &kernel.local_arrays {
         item.bind_entry_slot(
@@ -61,17 +64,17 @@ fn integer_widths_wrap_correctly() {
     assert_eq!(eval("short", "(short)32767 + (short)1"), Value::I16(-32768));
     assert_eq!(eval("int", "2147483647 + 1"), Value::I32(-2147483648));
     assert_eq!(eval("uint", "4294967295u + 1u"), Value::U32(0));
-    assert_eq!(
-        eval("ulong", "18446744073709551615uL + 1uL"),
-        Value::U64(0)
-    );
+    assert_eq!(eval("ulong", "18446744073709551615uL + 1uL"), Value::U64(0));
 }
 
 #[test]
 fn char_arithmetic_promotes_before_overflowing() {
     // (char)120 + (char)120 in C promotes to int: 240, then narrows.
     assert_eq!(eval("int", "(char)120 + (char)120"), Value::I32(240));
-    assert_eq!(eval("char", "(char)((char)120 + (char)120)"), Value::I8(-16));
+    assert_eq!(
+        eval("char", "(char)((char)120 + (char)120)"),
+        Value::I8(-16)
+    );
 }
 
 #[test]
@@ -96,10 +99,7 @@ fn float_semantics() {
     assert_eq!(eval("float", "0.5f + 0.25f"), Value::F32(0.75));
     assert_eq!(eval("double", "1.0 / 3.0"), Value::F64(1.0 / 3.0));
     // float arithmetic stays in single precision.
-    assert_eq!(
-        eval("float", "0.1f + 0.2f"),
-        Value::F32(0.1f32 + 0.2f32)
-    );
+    assert_eq!(eval("float", "0.1f + 0.2f"), Value::F32(0.1f32 + 0.2f32));
     // int/int is integer division even when assigned to float.
     assert_eq!(eval("float", "(float)(3 / 2)"), Value::F32(1.0));
     assert_eq!(eval("float", "(float)3 / 2"), Value::F32(1.5));
@@ -174,7 +174,10 @@ fn compound_assignment_through_pointers() {
         a[i] -= 1;
         skelcl_out[0] = a[0];
     }";
-    assert_eq!(eval_program(src, "int"), Value::I32((((10 + 5) << 2) ^ 3) - 1));
+    assert_eq!(
+        eval_program(src, "int"),
+        Value::I32((((10 + 5) << 2) ^ 3) - 1)
+    );
 }
 
 #[test]
@@ -187,14 +190,20 @@ fn increment_semantics() {
         int d = --x;
         skelcl_out[0] = a * 1000 + b * 100 + c * 10 + d;
     }";
-    assert_eq!(eval_program(src, "int"), Value::I32(5 * 1000 + 7 * 100 + 7 * 10 + 5));
+    assert_eq!(
+        eval_program(src, "int"),
+        Value::I32(5 * 1000 + 7 * 100 + 7 * 10 + 5)
+    );
 }
 
 #[test]
 fn math_builtins_accuracy() {
     assert_eq!(eval("float", "sqrt(2.0f)"), Value::F32(2.0f32.sqrt()));
     assert_eq!(eval("double", "sin(1.0)"), Value::F64(1.0f64.sin()));
-    assert_eq!(eval("float", "pow(2.0f, 0.5f)"), Value::F32((2.0f64.powf(0.5)) as f32));
+    assert_eq!(
+        eval("float", "pow(2.0f, 0.5f)"),
+        Value::F32((2.0f64.powf(0.5)) as f32)
+    );
     assert_eq!(eval("int", "abs(-42)"), Value::I32(42));
     assert_eq!(eval("int", "clamp(15, 0, 10)"), Value::I32(10));
     assert_eq!(eval("float", "fmax(1.0f, -3.0f)"), Value::F32(1.0));
@@ -254,8 +263,16 @@ fn bool_conversions() {
 fn shifts_mask_like_hardware() {
     assert_eq!(eval("int", "1 << 33"), Value::I32(2));
     assert_eq!(eval("uint", "0x80000000u >> 31"), Value::U32(1));
-    assert_eq!(eval("int", "-16 >> 2"), Value::I32(-4), "arithmetic shift for signed");
-    assert_eq!(eval("uint", "0xFFFFFFF0u >> 2"), Value::U32(0x3FFFFFFC), "logical for unsigned");
+    assert_eq!(
+        eval("int", "-16 >> 2"),
+        Value::I32(-4),
+        "arithmetic shift for signed"
+    );
+    assert_eq!(
+        eval("uint", "0xFFFFFFF0u >> 2"),
+        Value::U32(0x3FFFFFFC),
+        "logical for unsigned"
+    );
 }
 
 #[test]

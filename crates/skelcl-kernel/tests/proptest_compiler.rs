@@ -148,8 +148,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(t),
                 Box::new(f)
             )),
-            (any::<bool>(), inner.clone(), inner)
-                .prop_map(|(m, l, r)| Expr::MinMax(m, Box::new(l), Box::new(r))),
+            (any::<bool>(), inner.clone(), inner).prop_map(|(m, l, r)| Expr::MinMax(
+                m,
+                Box::new(l),
+                Box::new(r)
+            )),
         ]
     })
 }
@@ -168,7 +171,11 @@ fn run_compiled(expr: &Expr, vars: [i64; 3]) -> i64 {
     let mut mem = HostMemory::new();
     let out = mem.add_buffer(vec![0u8; 8]);
     let args = [
-        Value::Ptr(Ptr { space: AddressSpace::Global, buffer: out, byte_offset: 0 }),
+        Value::Ptr(Ptr {
+            space: AddressSpace::Global,
+            buffer: out,
+            byte_offset: 0,
+        }),
         Value::I64(vars[0]),
         Value::I64(vars[1]),
         Value::I64(vars[2]),

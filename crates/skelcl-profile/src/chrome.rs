@@ -1,0 +1,177 @@
+//! Chrome trace-event exporter.
+//!
+//! Produces the `chrome://tracing` / Perfetto JSON object format:
+//! `{"traceEvents": [...], "displayTimeUnit": "ns"}` with one thread lane
+//! per device plus a host lane. Device lanes show simulated device time;
+//! the host lane shows wall time since the profiler's epoch. Each lane is
+//! internally consistent (timestamps are monotone per lane) even though
+//! the lanes use different time bases.
+
+use std::collections::BTreeSet;
+
+use crate::json::Json;
+use crate::span::{Lane, SpanRecord};
+
+/// The process id used for all lanes.
+const PID: u64 = 1;
+/// The host lane's thread id; device `d` gets tid `HOST_TID + 1 + d`.
+const HOST_TID: u64 = 0;
+
+fn tid_of(lane: Lane) -> u64 {
+    match lane {
+        Lane::Host => HOST_TID,
+        Lane::Device(d) => HOST_TID + 1 + d as u64,
+    }
+}
+
+/// Builds the trace object for a set of recorded spans.
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(spans.len() + 8);
+
+    // Metadata: name the process and every lane that appears.
+    events.push(meta("process_name", PID, HOST_TID, "skelcl"));
+    let lanes: BTreeSet<u64> = spans.iter().map(|s| tid_of(s.lane)).collect();
+    for tid in lanes
+        .iter()
+        .chain(std::iter::once(&HOST_TID))
+        .collect::<BTreeSet<_>>()
+    {
+        let label = if *tid == HOST_TID {
+            "host".to_string()
+        } else {
+            format!("device {}", tid - HOST_TID - 1)
+        };
+        events.push(meta("thread_name", PID, *tid, &label));
+    }
+
+    // Spans are recorded when they close (a parent host span lands after
+    // its children); re-order so each lane's timestamps are monotone.
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| (tid_of(s.lane), s.start_ns, s.id));
+
+    for span in ordered {
+        let mut args: Vec<(String, Json)> = vec![
+            ("span_id".into(), span.id.into()),
+            ("parent".into(), span.parent.into()),
+        ];
+        if let Some(b) = span.bytes {
+            args.push(("bytes".into(), b.into()));
+        }
+        if let Some(r) = &span.nd_range {
+            args.push(("nd_range".into(), Json::from(r.as_str())));
+        }
+        if let Some(q) = span.queued_ns {
+            args.push((
+                "queue_latency_ns".into(),
+                span.start_ns.saturating_sub(q).into(),
+            ));
+        }
+        if let Some(c) = &span.counters {
+            args.push((
+                "counters".into(),
+                Json::obj([
+                    ("ops", c.ops.into()),
+                    ("global_loads", c.global_loads.into()),
+                    ("global_stores", c.global_stores.into()),
+                    ("local_loads", c.local_loads.into()),
+                    ("local_stores", c.local_stores.into()),
+                    ("barriers", c.barriers.into()),
+                    ("global_bytes", c.global_bytes.into()),
+                ]),
+            ));
+        }
+        events.push(Json::obj([
+            ("name", Json::from(span.name.as_str())),
+            ("cat", Json::from(span.kind.label())),
+            ("ph", Json::from("X")),
+            // Trace timestamps are microseconds (fractions allowed).
+            ("ts", Json::Num(span.start_ns as f64 / 1000.0)),
+            ("dur", Json::Num(span.duration_ns() as f64 / 1000.0)),
+            ("pid", PID.into()),
+            ("tid", tid_of(span.lane).into()),
+            ("args", Json::Obj(args)),
+        ]));
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ns")),
+    ])
+}
+
+fn meta(name: &str, pid: u64, tid: u64, value: &str) -> Json {
+    Json::obj([
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("pid", pid.into()),
+        ("tid", tid.into()),
+        ("args", Json::obj([("name", Json::from(value))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn span(id: u64, lane: Lane, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            name: format!("s{id}"),
+            kind: SpanKind::Kernel,
+            lane,
+            queued_ns: Some(start),
+            start_ns: start,
+            end_ns: end,
+            bytes: None,
+            nd_range: Some("256/64".into()),
+            counters: None,
+        }
+    }
+
+    #[test]
+    fn trace_structure_and_lanes() {
+        let spans = vec![
+            span(1, Lane::Host, 0, 100),
+            span(2, Lane::Device(0), 10, 60),
+            span(3, Lane::Device(1), 5, 90),
+        ];
+        let trace = chrome_trace(&spans);
+        let text = trace.to_json();
+        let parsed = Json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 3 thread_name + 3 spans.
+        assert_eq!(events.len(), 7);
+        let xs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        // Device 1 got its own tid.
+        assert!(xs
+            .iter()
+            .any(|e| e.get("tid").unwrap().as_f64() == Some(2.0)));
+        // ns → µs conversion.
+        let host = xs
+            .iter()
+            .find(|e| e.get("tid").unwrap().as_f64() == Some(0.0))
+            .unwrap();
+        assert_eq!(host.get("dur").unwrap().as_f64(), Some(0.1));
+        assert_eq!(
+            host.get("args").unwrap().get("nd_range").unwrap().as_str(),
+            Some("256/64")
+        );
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let trace = chrome_trace(&[]);
+        let parsed = Json::parse(&trace.to_json()).unwrap();
+        // Metadata only (process + host lane).
+        assert_eq!(
+            parsed.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The metrics registry: named counters, histograms, and per-device busy
+//! time.
+//!
+//! Metric names are `&'static str` constants so the hot paths never build
+//! strings. The registry is shared behind the profiler's `Arc`; when
+//! profiling is disabled no registry exists at all.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Host → device bytes.
+pub const BYTES_H2D: &str = "bytes.h2d";
+/// Device → host bytes.
+pub const BYTES_D2H: &str = "bytes.d2h";
+/// Device → device bytes.
+pub const BYTES_D2D: &str = "bytes.d2d";
+/// Container uses that found valid device data (no transfer needed).
+pub const TRANSFER_CACHE_HIT: &str = "transfer.cache_hit";
+/// Container uses that forced an upload.
+pub const TRANSFER_FORCED: &str = "transfer.forced_copy";
+/// Distribution changes that dropped device buffers (gather + re-upload).
+pub const REDISTRIBUTIONS: &str = "redistribution.count";
+/// Kernel compilations served from the context's program cache.
+pub const COMPILE_CACHE_HIT: &str = "compile.cache_hit";
+/// Kernel compilations that actually ran the compiler.
+pub const COMPILE_CACHE_MISS: &str = "compile.cache_miss";
+/// Skeleton invocations.
+pub const SKELETON_CALLS: &str = "skeleton.calls";
+
+/// Histogram of individual transfer sizes (bytes).
+pub const HIST_TRANSFER_BYTES: &str = "transfer.bytes";
+/// Histogram of individual kernel durations (simulated ns).
+pub const HIST_KERNEL_NS: &str = "kernel.duration_ns";
+
+/// Simulated time one device spent occupied, split by work type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceBusy {
+    /// Kernel execution ns.
+    pub kernel_ns: u64,
+    /// Transfer ns (uploads + downloads + copies).
+    pub transfer_ns: u64,
+}
+
+impl DeviceBusy {
+    /// Total occupied ns.
+    pub fn total_ns(&self) -> u64 {
+        self.kernel_ns + self.transfer_ns
+    }
+}
+
+/// Running statistics of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of all values.
+    pub sum: u64,
+    /// Smallest value (0 when empty).
+    pub min: u64,
+    /// Largest value.
+    pub max: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The registry itself.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    devices: Mutex<BTreeMap<usize, DeviceBusy>>,
+}
+
+impl Metrics {
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().entry(name).or_default() += delta;
+    }
+
+    /// Records one value into histogram `name`.
+    pub fn record(&self, name: &'static str, value: u64) {
+        self.histograms
+            .lock()
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Adds kernel busy time to a device.
+    pub fn add_kernel_ns(&self, device: usize, ns: u64) {
+        self.devices.lock().entry(device).or_default().kernel_ns += ns;
+    }
+
+    /// Adds transfer busy time to a device.
+    pub fn add_transfer_ns(&self, device: usize, ns: u64) {
+        self.devices.lock().entry(device).or_default().transfer_ns += ns;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// A point-in-time copy of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            devices: self.devices.lock().clone(),
+        }
+    }
+}
+
+/// An owned copy of the registry's state, for reports.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Busy time by device index.
+    pub devices: BTreeMap<usize, DeviceBusy>,
+}
+
+impl MetricsSnapshot {
+    /// Load imbalance across devices: `max_busy / mean_busy` (1.0 is
+    /// perfectly balanced; 0.0 when no device did anything).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.devices.is_empty() {
+            return 0.0;
+        }
+        let busies: Vec<u64> = self.devices.values().map(DeviceBusy::total_ns).collect();
+        let max = *busies.iter().max().unwrap() as f64;
+        let mean = busies.iter().sum::<u64>() as f64 / busies.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms() {
+        let m = Metrics::default();
+        m.add(BYTES_H2D, 100);
+        m.add(BYTES_H2D, 50);
+        m.record(HIST_TRANSFER_BYTES, 100);
+        m.record(HIST_TRANSFER_BYTES, 50);
+        assert_eq!(m.counter(BYTES_H2D), 150);
+        assert_eq!(m.counter(BYTES_D2H), 0);
+        let snap = m.snapshot();
+        let h = snap.histograms[HIST_TRANSFER_BYTES];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 150);
+        assert_eq!(h.min, 50);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 75.0);
+    }
+
+    #[test]
+    fn device_busy_and_imbalance() {
+        let m = Metrics::default();
+        m.add_kernel_ns(0, 300);
+        m.add_transfer_ns(0, 100);
+        m.add_kernel_ns(1, 200);
+        let snap = m.snapshot();
+        assert_eq!(snap.devices[&0].total_ns(), 400);
+        assert_eq!(snap.devices[&1].total_ns(), 200);
+        // max 400, mean 300 → 4/3.
+        assert!((snap.load_imbalance() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_imbalance_is_zero() {
+        assert_eq!(MetricsSnapshot::default().load_imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Human-readable summaries and machine-readable JSON reports.
+//!
+//! [`summary_table`] renders counters, histograms, per-device utilization
+//! and a per-span-kind breakdown as aligned text. [`metrics_json`] /
+//! [`bench_report`] produce the self-describing JSON the benchmark
+//! binaries write as `BENCH_*.json`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::metrics::{DeviceBusy, MetricsSnapshot};
+use crate::span::{Lane, SpanRecord};
+
+/// Renders the metrics registry plus a span breakdown as a text table.
+pub fn summary_table(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== skelcl profile summary ==");
+
+    if !metrics.counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        for (name, value) in &metrics.counters {
+            let _ = writeln!(out, "  {name:<28} {value:>14}");
+        }
+    }
+
+    if !metrics.histograms.is_empty() {
+        let _ = writeln!(out, "-- histograms --");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "sum", "min", "mean", "max"
+        );
+        for (name, h) in &metrics.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12.1} {:>12}",
+                name,
+                h.count,
+                h.sum,
+                h.min,
+                h.mean(),
+                h.max
+            );
+        }
+    }
+
+    if !metrics.devices.is_empty() {
+        let makespan = metrics
+            .devices
+            .values()
+            .map(DeviceBusy::total_ns)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "-- devices --");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>14} {:>14} {:>12}",
+            "device", "kernel_ns", "transfer_ns", "utilization"
+        );
+        for (device, busy) in &metrics.devices {
+            let util = if makespan == 0 {
+                0.0
+            } else {
+                busy.total_ns() as f64 / makespan as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>14} {:>14} {:>11.1}%",
+                device, busy.kernel_ns, busy.transfer_ns, util
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  load imbalance (max/mean): {:.3}",
+            metrics.load_imbalance()
+        );
+    }
+
+    if !spans.is_empty() {
+        // Aggregate span time by kind.
+        let mut by_kind: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in spans {
+            let e = by_kind.entry(s.kind.label()).or_default();
+            e.0 += 1;
+            e.1 += s.duration_ns();
+        }
+        let _ = writeln!(out, "-- spans --");
+        let _ = writeln!(out, "  {:<12} {:>8} {:>14}", "kind", "count", "total_ns");
+        for (kind, (count, total)) in by_kind {
+            let _ = writeln!(out, "  {kind:<12} {count:>8} {total:>14}");
+        }
+    }
+    out
+}
+
+/// The metrics registry as a JSON object (counters, histograms, devices,
+/// derived load imbalance).
+pub fn metrics_json(metrics: &MetricsSnapshot) -> Json {
+    let counters: Json = metrics
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::from(*v)))
+        .collect();
+    let histograms: Json = metrics
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                Json::obj([
+                    ("count", h.count.into()),
+                    ("sum", h.sum.into()),
+                    ("min", h.min.into()),
+                    ("mean", h.mean().into()),
+                    ("max", h.max.into()),
+                ]),
+            )
+        })
+        .collect();
+    let devices: Json = metrics
+        .devices
+        .iter()
+        .map(|(d, busy)| {
+            (
+                d.to_string(),
+                Json::obj([
+                    ("kernel_ns", busy.kernel_ns.into()),
+                    ("transfer_ns", busy.transfer_ns.into()),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("counters", counters),
+        ("histograms", histograms),
+        ("devices", devices),
+        ("load_imbalance", metrics.load_imbalance().into()),
+    ])
+}
+
+/// Builds a self-describing benchmark report: what ran, with which
+/// parameters, what came out, and (optionally) the profiler's metrics.
+pub fn bench_report(
+    name: &str,
+    params: &[(&str, Json)],
+    results: Json,
+    metrics: Option<&MetricsSnapshot>,
+) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("schema".into(), Json::from("skelcl-bench-report/1")),
+        ("name".into(), Json::from(name)),
+        (
+            "params".into(),
+            params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        ),
+        ("results".into(), results),
+    ];
+    if let Some(m) = metrics {
+        fields.push(("metrics".into(), metrics_json(m)));
+    }
+    Json::Obj(fields)
+}
+
+/// Total simulated kernel ns per device lane in a span list (helper for
+/// tests and reports).
+pub fn kernel_ns_by_device(spans: &[SpanRecord]) -> BTreeMap<usize, u64> {
+    let mut map = BTreeMap::new();
+    for s in spans {
+        if let (Lane::Device(d), crate::span::SpanKind::Kernel) = (s.lane, s.kind) {
+            *map.entry(d).or_default() += s.duration_ns();
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::span::SpanKind;
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let m = Metrics::default();
+        m.add(crate::metrics::BYTES_H2D, 4096);
+        m.add(crate::metrics::COMPILE_CACHE_MISS, 1);
+        m.record(crate::metrics::HIST_TRANSFER_BYTES, 4096);
+        m.add_kernel_ns(0, 1000);
+        m.add_kernel_ns(1, 500);
+        m.snapshot()
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let spans = vec![SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "skelcl_map".into(),
+            kind: SpanKind::Kernel,
+            lane: Lane::Device(0),
+            queued_ns: None,
+            start_ns: 0,
+            end_ns: 1000,
+            bytes: None,
+            nd_range: None,
+            counters: None,
+        }];
+        let text = summary_table(&spans, &sample_metrics());
+        assert!(text.contains("bytes.h2d"));
+        assert!(text.contains("4096"));
+        assert!(text.contains("load imbalance"));
+        assert!(text.contains("kernel"));
+        assert!(text.contains("utilization"));
+    }
+
+    #[test]
+    fn bench_report_schema() {
+        let report = bench_report(
+            "fig4_mandelbrot",
+            &[("width", 4096u64.into()), ("devices", 4u64.into())],
+            Json::obj([("total_ms", Json::Num(12.5))]),
+            Some(&sample_metrics()),
+        );
+        let parsed = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("skelcl-bench-report/1")
+        );
+        assert_eq!(
+            parsed.get("params").unwrap().get("width").unwrap().as_f64(),
+            Some(4096.0)
+        );
+        let metrics = parsed.get("metrics").unwrap();
+        assert_eq!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("bytes.h2d")
+                .unwrap()
+                .as_f64(),
+            Some(4096.0)
+        );
+        assert!(metrics.get("load_imbalance").unwrap().as_f64().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn kernel_ns_by_device_sums_kernel_lanes_only() {
+        let mk = |lane, kind, dur| SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "x".into(),
+            kind,
+            lane,
+            queued_ns: None,
+            start_ns: 0,
+            end_ns: dur,
+            bytes: None,
+            nd_range: None,
+            counters: None,
+        };
+        let spans = vec![
+            mk(Lane::Device(0), SpanKind::Kernel, 100),
+            mk(Lane::Device(0), SpanKind::Kernel, 50),
+            mk(Lane::Device(0), SpanKind::Upload, 30),
+            mk(Lane::Host, SpanKind::Skeleton, 500),
+        ];
+        let map = kernel_ns_by_device(&spans);
+        assert_eq!(map[&0], 150);
+        assert_eq!(map.len(), 1);
+    }
+}

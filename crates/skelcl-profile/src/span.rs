@@ -1,0 +1,166 @@
+//! The span model: what one traced operation looks like.
+//!
+//! Every skeleton call opens a **host** span; the work it triggers —
+//! code generation and compilation, uploads, per-device kernel executions,
+//! downloads — appears as child spans. Device-side spans are populated from
+//! `vgpu` [`Event`]s and live on their device's simulated timeline; host
+//! spans are wall-clock relative to the profiler's epoch.
+
+use skelcl_kernel::vm::CostCounters;
+use vgpu::{CommandKind, Event};
+
+/// Which timeline a span lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Host wall-clock time (ns since the profiler was created).
+    Host,
+    /// A device's simulated timeline (ns since platform creation).
+    Device(usize),
+}
+
+/// The kind of operation a span covers (the Chrome trace category).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A whole skeleton call (`Map.call`, `Reduce.call`, …).
+    Skeleton,
+    /// Kernel source generation + compilation.
+    Compile,
+    /// Host → device transfer.
+    Upload,
+    /// Device → host transfer.
+    Download,
+    /// Device → device copy.
+    Copy,
+    /// A kernel execution.
+    Kernel,
+    /// Anything else (host-side bookkeeping).
+    Other,
+}
+
+impl SpanKind {
+    /// Short category label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Skeleton => "skeleton",
+            SpanKind::Compile => "compile",
+            SpanKind::Upload => "upload",
+            SpanKind::Download => "download",
+            SpanKind::Copy => "copy",
+            SpanKind::Kernel => "kernel",
+            SpanKind::Other => "other",
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for roots.
+    pub parent: u64,
+    /// Display name (skeleton name, kernel name, `upload`, …).
+    pub name: String,
+    /// Operation category.
+    pub kind: SpanKind,
+    /// Timeline the timestamps belong to.
+    pub lane: Lane,
+    /// When the command was enqueued (device spans only).
+    pub queued_ns: Option<u64>,
+    /// Start timestamp on [`SpanRecord::lane`]'s timeline.
+    pub start_ns: u64,
+    /// End timestamp.
+    pub end_ns: u64,
+    /// Bytes moved (transfer spans).
+    pub bytes: Option<u64>,
+    /// Launch geometry, e.g. `1024/256` (kernel spans).
+    pub nd_range: Option<String>,
+    /// Aggregate execution counters (kernel spans).
+    pub counters: Option<CostCounters>,
+}
+
+impl SpanRecord {
+    /// Duration on the span's own timeline, saturating at zero.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Builds a device span from a `vgpu` profiling event.
+    pub fn from_event(id: u64, parent: u64, event: &Event, nd_range: Option<String>) -> Self {
+        let (kind, name, bytes) = match event.kind() {
+            CommandKind::WriteBuffer { bytes } => (
+                SpanKind::Upload,
+                "write_buffer".to_string(),
+                Some(*bytes as u64),
+            ),
+            CommandKind::ReadBuffer { bytes } => (
+                SpanKind::Download,
+                "read_buffer".to_string(),
+                Some(*bytes as u64),
+            ),
+            CommandKind::CopyBuffer { bytes } => (
+                SpanKind::Copy,
+                "copy_buffer".to_string(),
+                Some(*bytes as u64),
+            ),
+            CommandKind::Kernel { name } => (SpanKind::Kernel, name.clone(), None),
+        };
+        SpanRecord {
+            id,
+            parent,
+            name,
+            kind,
+            lane: Lane::Device(event.device().0),
+            queued_ns: Some(event.queued_ns()),
+            start_ns: event.started_ns(),
+            end_ns: event.ended_ns(),
+            bytes,
+            nd_range,
+            counters: event.counters().copied(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::DeviceId;
+
+    #[test]
+    fn from_kernel_event() {
+        let e = Event::new(
+            DeviceId(2),
+            CommandKind::Kernel {
+                name: "skelcl_map".into(),
+            },
+            5,
+            10,
+            110,
+            Some(CostCounters::default()),
+        );
+        let s = SpanRecord::from_event(7, 3, &e, Some("1024/256".into()));
+        assert_eq!(s.kind, SpanKind::Kernel);
+        assert_eq!(s.lane, Lane::Device(2));
+        assert_eq!(s.duration_ns(), 100);
+        assert_eq!(s.queued_ns, Some(5));
+        assert_eq!(s.parent, 3);
+        assert!(s.counters.is_some());
+        assert_eq!(s.bytes, None);
+    }
+
+    #[test]
+    fn from_transfer_event() {
+        let e = Event::new(
+            DeviceId(0),
+            CommandKind::WriteBuffer { bytes: 4096 },
+            0,
+            0,
+            50,
+            None,
+        );
+        let s = SpanRecord::from_event(1, 0, &e, None);
+        assert_eq!(s.kind, SpanKind::Upload);
+        assert_eq!(s.bytes, Some(4096));
+        assert_eq!(s.name, "write_buffer");
+    }
+}

@@ -48,10 +48,7 @@ impl UserFunction {
 /// full semantic analysis here so the developer gets the compiler's
 /// diagnostics immediately; `MapOverlap` skips that (its `get()` accessor
 /// only resolves after rewriting) and relies on the post-weld check.
-pub(crate) fn parse_user_function(
-    skeleton: &'static str,
-    source: &str,
-) -> Result<UserFunction> {
+pub(crate) fn parse_user_function(skeleton: &'static str, source: &str) -> Result<UserFunction> {
     let file = SourceFile::new(format!("<{skeleton} customizing function>"), source);
     let mut diags = Diagnostics::new();
     let unit = parser::parse(&file, &mut diags);
@@ -105,7 +102,9 @@ pub(crate) fn expect_scalar_param(
                 "parameter {} of `{}` must have type `{expected}`, found `{}`",
                 index + 1,
                 f.name,
-                other.map(|t| t.to_string()).unwrap_or_else(|| "<missing>".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "<missing>".into())
             ),
         }),
     }
@@ -127,7 +126,9 @@ pub(crate) fn expect_pointer_param(
                 "parameter {} of `{}` must be a pointer to `{expected}`, found `{}`",
                 index + 1,
                 f.name,
-                other.map(|t| t.to_string()).unwrap_or_else(|| "<missing>".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "<missing>".into())
             ),
         }),
     }
@@ -144,10 +145,7 @@ pub(crate) fn expect_return(
     } else {
         Err(Error::InvalidCustomizingFunction {
             skeleton,
-            reason: format!(
-                "`{}` must return `{expected}`, found `{}`",
-                f.name, f.ret
-            ),
+            reason: format!("`{}` must return `{expected}`, found `{}`", f.name, f.ret),
         })
     }
 }
@@ -186,7 +184,9 @@ pub(crate) fn extra_param_decls(extras: &[Type], prefix: &str) -> String {
 
 /// Formats extra-argument forwarding (`, __x0, __x1`).
 pub(crate) fn extra_param_uses(extras: &[Type], prefix: &str) -> String {
-    (0..extras.len()).map(|i| format!(", {prefix}{i}")).collect()
+    (0..extras.len())
+        .map(|i| format!(", {prefix}{i}"))
+        .collect()
 }
 
 /// Validates the number of extra argument values supplied at call time.
@@ -288,7 +288,10 @@ fn rewrite_stmt(s: &mut Stmt, matrix: bool, expected: usize, bad: &mut Option<St
     match s {
         Stmt::Block(b) => rewrite_block(b, matrix, expected, bad),
         Stmt::Decl(VarDecl { declarators, .. }) => {
-            for Declarator { array_size, init, .. } in declarators {
+            for Declarator {
+                array_size, init, ..
+            } in declarators
+            {
                 if let Some(e) = array_size {
                     rewrite_expr(e, matrix, expected, bad);
                 }
@@ -298,14 +301,25 @@ fn rewrite_stmt(s: &mut Stmt, matrix: bool, expected: usize, bad: &mut Option<St
             }
         }
         Stmt::Expr(e) => rewrite_expr(e, matrix, expected, bad),
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             rewrite_expr(cond, matrix, expected, bad);
             rewrite_stmt(then_branch, matrix, expected, bad);
             if let Some(e) = else_branch {
                 rewrite_stmt(e, matrix, expected, bad);
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             if let Some(init) = init {
                 rewrite_stmt(init, matrix, expected, bad);
             }
@@ -322,16 +336,18 @@ fn rewrite_stmt(s: &mut Stmt, matrix: bool, expected: usize, bad: &mut Option<St
             rewrite_stmt(body, matrix, expected, bad);
         }
         Stmt::Return { value: Some(e), .. } => rewrite_expr(e, matrix, expected, bad),
-        Stmt::Return { value: None, .. }
-        | Stmt::Break(_)
-        | Stmt::Continue(_)
-        | Stmt::Empty(_) => {}
+        Stmt::Return { value: None, .. } | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty(_) => {}
     }
 }
 
 fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<String>) {
     match e {
-        Expr::Call { callee, args, span, callee_span } => {
+        Expr::Call {
+            callee,
+            args,
+            span,
+            callee_span,
+        } => {
             for a in args.iter_mut() {
                 rewrite_expr(a, matrix, expected, bad);
             }
@@ -349,7 +365,10 @@ fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<St
                     *callee = "__skelcl_get2".into();
                     args.insert(
                         1,
-                        Expr::Ident { name: "__skelcl_tw".into(), span: *callee_span },
+                        Expr::Ident {
+                            name: "__skelcl_tw".into(),
+                            span: *callee_span,
+                        },
                     );
                 } else {
                     *callee = "__skelcl_get1".into();
@@ -364,7 +383,12 @@ fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<St
             rewrite_expr(lhs, matrix, expected, bad);
             rewrite_expr(rhs, matrix, expected, bad);
         }
-        Expr::Ternary { cond, then_expr, else_expr, .. } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
             rewrite_expr(cond, matrix, expected, bad);
             rewrite_expr(then_expr, matrix, expected, bad);
             rewrite_expr(else_expr, matrix, expected, bad);
@@ -389,6 +413,38 @@ pub(crate) fn compile_generated(name: &str, source: &str) -> Result<skelcl_kerne
         source: source.to_string(),
         log: e.log,
     })
+}
+
+/// FNV-1a hash of generated kernel source, the program-cache key.
+fn source_hash(name: &str, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes().chain([0u8]).chain(source.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`compile_generated`] through the context's program cache: identical
+/// generated source compiles once per context. Cache traffic is visible as
+/// the `compile.cache_hit` / `compile.cache_miss` metrics, and an actual
+/// compilation is traced as a `compile` span.
+pub(crate) fn compile_cached(
+    ctx: &crate::context::Context,
+    name: &str,
+    source: &str,
+) -> Result<skelcl_kernel::Program> {
+    let profiler = ctx.profiler();
+    let hash = source_hash(name, source);
+    if let Some(program) = ctx.cached_program(hash) {
+        profiler.add(skelcl_profile::metrics::COMPILE_CACHE_HIT, 1);
+        return Ok(program);
+    }
+    profiler.add(skelcl_profile::metrics::COMPILE_CACHE_MISS, 1);
+    let _span = profiler.host_span(skelcl_profile::SpanKind::Compile, name);
+    let program = compile_generated(name, source)?;
+    ctx.store_program(hash, program.clone());
+    Ok(program)
 }
 
 #[cfg(test)]
@@ -422,8 +478,7 @@ mod tests {
         assert!(err.to_string().contains("parse error"));
         let err = parse_user_function("Map", "").unwrap_err();
         assert!(err.to_string().contains("no function definition"));
-        let err =
-            parse_user_function("Map", "__kernel void k(__global int* p){ }").unwrap_err();
+        let err = parse_user_function("Map", "__kernel void k(__global int* p){ }").unwrap_err();
         assert!(err.to_string().contains("must not be `__kernel`"));
     }
 
@@ -447,7 +502,10 @@ mod tests {
         .unwrap();
         expect_scalar_extras("Map", &f, 1).unwrap();
         assert_eq!(f.extra_params(1).len(), 2);
-        assert_eq!(extra_param_decls(f.extra_params(1), "__x"), ", int __x0, float __x1");
+        assert_eq!(
+            extra_param_decls(f.extra_params(1), "__x"),
+            ", int __x0, float __x1"
+        );
         assert_eq!(extra_param_uses(f.extra_params(1), "__x"), ", __x0, __x1");
 
         let g = parse_user_function(
@@ -512,6 +570,28 @@ mod tests {
         .unwrap();
         let err = rewrite_get_calls(&mut f, true).unwrap_err();
         assert!(err.to_string().contains("takes 3 arguments"), "{err}");
+    }
+
+    #[test]
+    fn compile_cache_hits_on_identical_source() {
+        use skelcl_profile::{metrics, Profiler};
+        let ctx = crate::Context::init_with_profiler(
+            vgpu::Platform::single(vgpu::DeviceSpec::test_tiny()),
+            crate::DeviceSelection::All,
+            Profiler::enabled(),
+        );
+        let src = "__kernel void k(__global int* p){ p[0] = 7; }";
+        compile_cached(&ctx, "probe.cl", src).unwrap();
+        compile_cached(&ctx, "probe.cl", src).unwrap();
+        compile_cached(
+            &ctx,
+            "probe.cl",
+            "__kernel void k(__global int* p){ p[0] = 8; }",
+        )
+        .unwrap();
+        let prof = ctx.profiler();
+        assert_eq!(prof.counter(metrics::COMPILE_CACHE_HIT), 1);
+        assert_eq!(prof.counter(metrics::COMPILE_CACHE_MISS), 2);
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl<T: KernelScalar> DistributedData<T> {
     ///
     /// Panics if `host.len() != units * unit_elems`.
     pub fn from_host(ctx: Context, units: usize, unit_elems: usize, host: Vec<T>) -> Self {
-        assert_eq!(host.len(), units * unit_elems, "host data does not match shape");
+        assert_eq!(
+            host.len(),
+            units * unit_elems,
+            "host data does not match shape"
+        );
         DistributedData {
             ctx,
             units,
@@ -114,6 +118,9 @@ impl<T: KernelScalar> DistributedData<T> {
         let mut st = self.state.lock();
         st.preferred_dist = Some(dist);
         if st.device.as_ref().is_some_and(|d| d.dist != dist) {
+            self.ctx
+                .profiler()
+                .add(skelcl_profile::metrics::REDISTRIBUTIONS, 1);
             self.download_locked(&mut st)?;
             st.device = None;
         }
@@ -123,13 +130,16 @@ impl<T: KernelScalar> DistributedData<T> {
     /// Makes the data available on the devices under `dist`, uploading if
     /// necessary, and returns the chunks.
     pub fn ensure_device(&self, dist: Distribution) -> Result<Vec<DeviceChunk>> {
+        let profiler = self.ctx.profiler();
         let mut st = self.state.lock();
         if let Some(part) = &st.device {
             if part.dist == dist && part.valid {
+                profiler.add(skelcl_profile::metrics::TRANSFER_CACHE_HIT, 1);
                 return Ok(part.chunks.clone());
             }
         }
         // Gather the freshest copy to the host first, then (re)distribute.
+        profiler.add(skelcl_profile::metrics::TRANSFER_FORCED, 1);
         self.download_locked(&mut st)?;
         let elem = std::mem::size_of::<T>();
         let plans = plan_chunks(self.units, self.ctx.device_count(), dist);
@@ -141,16 +151,26 @@ impl<T: KernelScalar> DistributedData<T> {
             let start = plan.stored.start * self.unit_elems;
             let end = plan.stored.end * self.unit_elems;
             let bytes = to_bytes(&st.host[start..end]);
-            queue.enqueue_write(&buffer, 0, &bytes)?;
+            let event = queue.enqueue_write(&buffer, 0, &bytes)?;
+            profiler.record_event(&event);
             chunks.push(DeviceChunk { plan, buffer });
         }
-        st.device = Some(DevicePart { dist, chunks: chunks.clone(), valid: true });
+        st.device = Some(DevicePart {
+            dist,
+            chunks: chunks.clone(),
+            valid: true,
+        });
         Ok(chunks)
     }
 
     /// Creates device-only storage under `dist` (skeleton outputs): buffers
     /// are allocated but not initialised; the host copy is marked stale.
-    pub fn alloc_device(ctx: Context, units: usize, unit_elems: usize, dist: Distribution) -> Result<(Self, Vec<DeviceChunk>)> {
+    pub fn alloc_device(
+        ctx: Context,
+        units: usize,
+        unit_elems: usize,
+        dist: Distribution,
+    ) -> Result<(Self, Vec<DeviceChunk>)> {
         let elem = std::mem::size_of::<T>();
         let plans = plan_chunks(units, ctx.device_count(), dist);
         let mut chunks = Vec::with_capacity(plans.len());
@@ -166,7 +186,11 @@ impl<T: KernelScalar> DistributedData<T> {
             state: Mutex::new(State {
                 host: vec![T::default(); units * unit_elems],
                 host_valid: units == 0,
-                device: Some(DevicePart { dist, chunks: chunks.clone(), valid: true }),
+                device: Some(DevicePart {
+                    dist,
+                    chunks: chunks.clone(),
+                    valid: true,
+                }),
                 preferred_dist: None,
             }),
         };
@@ -208,7 +232,11 @@ impl<T: KernelScalar> DistributedData<T> {
     /// Panics if the length differs.
     pub fn replace_host(&self, data: Vec<T>) {
         let mut st = self.state.lock();
-        assert_eq!(data.len(), self.units * self.unit_elems, "replacement size mismatch");
+        assert_eq!(
+            data.len(),
+            self.units * self.unit_elems,
+            "replacement size mismatch"
+        );
         st.host = data;
         st.host_valid = true;
         if let Some(part) = &mut st.device {
@@ -239,7 +267,8 @@ impl<T: KernelScalar> DistributedData<T> {
             let core_units = chunk.plan.core_len();
             let mut bytes = vec![0u8; core_units * self.unit_elems * elem];
             let offset = chunk.plan.core_offset() * self.unit_elems * elem;
-            queue.enqueue_read(&chunk.buffer, offset, &mut bytes)?;
+            let event = queue.enqueue_read(&chunk.buffer, offset, &mut bytes)?;
+            self.ctx.profiler().record_event(&event);
             let host_start = chunk.plan.core.start * self.unit_elems;
             let host_end = chunk.plan.core.end * self.unit_elems;
             st.host[host_start..host_end].copy_from_slice(&from_bytes::<T>(&bytes));
@@ -283,7 +312,11 @@ mod tests {
         d.ensure_device(Distribution::Block).unwrap();
         assert_eq!(d.current_distribution(), Some(Distribution::Block));
         d.set_distribution(Distribution::Copy).unwrap();
-        assert_eq!(d.current_distribution(), None, "buffers dropped until next use");
+        assert_eq!(
+            d.current_distribution(),
+            None,
+            "buffers dropped until next use"
+        );
         let chunks = d.ensure_device(Distribution::Copy).unwrap();
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].buffer.len(), 40);
@@ -294,11 +327,20 @@ mod tests {
     fn effective_distribution_priorities() {
         let ctx = ctx(2);
         let d = DistributedData::from_host(ctx, 10, 1, vec![0f32; 10]);
-        assert_eq!(d.effective_distribution(Distribution::Block), Distribution::Block);
+        assert_eq!(
+            d.effective_distribution(Distribution::Block),
+            Distribution::Block
+        );
         d.ensure_device(Distribution::Copy).unwrap();
-        assert_eq!(d.effective_distribution(Distribution::Block), Distribution::Copy);
+        assert_eq!(
+            d.effective_distribution(Distribution::Block),
+            Distribution::Copy
+        );
         d.set_distribution(Distribution::Single(1)).unwrap();
-        assert_eq!(d.effective_distribution(Distribution::Block), Distribution::Single(1));
+        assert_eq!(
+            d.effective_distribution(Distribution::Block),
+            Distribution::Single(1)
+        );
     }
 
     #[test]
@@ -328,18 +370,47 @@ mod tests {
     }
 
     #[test]
+    fn transfer_metrics_recorded() {
+        use skelcl_profile::{metrics as m, Profiler};
+        let ctx = Context::init_with_profiler(
+            Platform::new(2, DeviceSpec::tesla_t10()),
+            crate::context::DeviceSelection::All,
+            Profiler::enabled(),
+        );
+        let d = DistributedData::from_host(ctx.clone(), 10, 1, (0..10i32).collect());
+        d.ensure_device(Distribution::Block).unwrap(); // forced upload
+        d.ensure_device(Distribution::Block).unwrap(); // cache hit
+        d.mark_device_written();
+        d.with_host(|_| ()).unwrap(); // download
+        d.set_distribution(Distribution::Copy).unwrap(); // redistribution
+
+        let p = ctx.profiler();
+        assert_eq!(p.counter(m::TRANSFER_FORCED), 1);
+        assert_eq!(p.counter(m::TRANSFER_CACHE_HIT), 1);
+        assert_eq!(p.counter(m::REDISTRIBUTIONS), 1);
+        assert_eq!(p.counter(m::BYTES_H2D), 40, "10 × i32 uploaded once");
+        assert_eq!(p.counter(m::BYTES_D2H), 40, "10 × i32 downloaded once");
+    }
+
+    #[test]
     fn alloc_device_outputs_gather_correctly() {
         let ctx = ctx(2);
         let (d, chunks) =
             DistributedData::<i32>::alloc_device(ctx.clone(), 6, 1, Distribution::Block).unwrap();
         // Simulate kernels writing each chunk's stored range.
         for chunk in &chunks {
-            let vals: Vec<i32> =
-                (chunk.plan.stored.start as i32..chunk.plan.stored.end as i32).map(|v| v * 10).collect();
+            let vals: Vec<i32> = (chunk.plan.stored.start as i32..chunk.plan.stored.end as i32)
+                .map(|v| v * 10)
+                .collect();
             let queue = ctx.queue(chunk.plan.device);
-            queue.enqueue_write(&chunk.buffer, 0, &to_bytes(&vals)).unwrap();
+            queue
+                .enqueue_write(&chunk.buffer, 0, &to_bytes(&vals))
+                .unwrap();
         }
         d.mark_device_written();
-        assert_eq!(d.with_host(|h| h.to_vec()).unwrap(), vec![0, 10, 20, 30, 40, 50]);
+        assert_eq!(
+            d.with_host(|h| h.to_vec()).unwrap(),
+            vec![0, 10, 20, 30, 40, 50]
+        );
     }
 }

@@ -42,7 +42,9 @@ impl<T: KernelScalar> Matrix<T> {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(ctx: &Context, rows: usize, cols: usize, data: Vec<T>) -> Self {
-        Matrix { data: Arc::new(DistributedData::from_host(ctx.clone(), rows, cols, data)) }
+        Matrix {
+            data: Arc::new(DistributedData::from_host(ctx.clone(), rows, cols, data)),
+        }
     }
 
     /// Creates a zero-filled matrix.
@@ -74,7 +76,12 @@ impl<T: KernelScalar> Matrix<T> {
         dist: Distribution,
     ) -> Result<(Self, Vec<DeviceChunk>)> {
         let (data, chunks) = DistributedData::alloc_device(ctx.clone(), rows, cols, dist)?;
-        Ok((Matrix { data: Arc::new(data) }, chunks))
+        Ok((
+            Matrix {
+                data: Arc::new(data),
+            },
+            chunks,
+        ))
     }
 
     /// Number of rows.
@@ -135,7 +142,10 @@ impl<T: KernelScalar> Matrix<T> {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, row: usize, col: usize) -> Result<T> {
-        assert!(row < self.rows() && col < self.cols(), "matrix index out of bounds");
+        assert!(
+            row < self.rows() && col < self.cols(),
+            "matrix index out of bounds"
+        );
         let cols = self.cols();
         self.data.with_host(|h| h[row * cols + col])
     }

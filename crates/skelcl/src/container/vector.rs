@@ -39,7 +39,9 @@ impl<T: KernelScalar> Vector<T> {
     /// Creates a vector from host data.
     pub fn from_vec(ctx: &Context, data: Vec<T>) -> Self {
         let len = data.len();
-        Vector { data: Arc::new(DistributedData::from_host(ctx.clone(), len, 1, data)) }
+        Vector {
+            data: Arc::new(DistributedData::from_host(ctx.clone(), len, 1, data)),
+        }
     }
 
     /// Creates a zero-filled vector of `len` elements.
@@ -59,7 +61,12 @@ impl<T: KernelScalar> Vector<T> {
         dist: Distribution,
     ) -> Result<(Self, Vec<DeviceChunk>)> {
         let (data, chunks) = DistributedData::alloc_device(ctx.clone(), len, 1, dist)?;
-        Ok((Vector { data: Arc::new(data) }, chunks))
+        Ok((
+            Vector {
+                data: Arc::new(data),
+            },
+            chunks,
+        ))
     }
 
     /// Number of elements.

@@ -3,9 +3,16 @@
 //! A [`Context`] owns the platform's devices (all of them, or a selected
 //! count) and one command queue per device. Containers and skeletons hold a
 //! clone of the context, which is cheap (`Arc` internally).
+//!
+//! The context also carries the session's [`Profiler`] (enabled via
+//! `SKELCL_PROFILE=1` or [`Context::init_with_profiler`]) and a cache of
+//! compiled skeleton programs keyed by source hash.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+use skelcl_profile::Profiler;
 use vgpu::{CommandQueue, DeviceSpec, LaunchConfig, Platform};
 
 /// Which devices of the platform SkelCL should use (the paper's
@@ -23,6 +30,26 @@ struct ContextInner {
     platform: Platform,
     queues: Vec<CommandQueue>,
     launch_config: LaunchConfig,
+    profiler: Profiler,
+    /// Compiled skeleton programs, keyed by a hash of the generated source.
+    program_cache: Mutex<HashMap<u64, skelcl_kernel::Program>>,
+}
+
+impl Drop for ContextInner {
+    fn drop(&mut self) {
+        // `SKELCL_TRACE=<path>` dumps the Chrome trace of a profiled
+        // session when it ends, so any example can produce a trace with no
+        // code changes.
+        if let Some(trace) = self.profiler.chrome_trace_json() {
+            if let Ok(path) = std::env::var("SKELCL_TRACE") {
+                if !path.is_empty() {
+                    if let Err(e) = std::fs::write(&path, trace) {
+                        eprintln!("skelcl: failed to write trace to {path}: {e}");
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A SkelCL session: selected devices plus their queues.
@@ -39,6 +66,20 @@ impl Context {
     ///
     /// Panics if the selection is `Count(0)` or exceeds the platform.
     pub fn init(platform: Platform, selection: DeviceSelection) -> Self {
+        Context::init_with_profiler(platform, selection, Profiler::from_env())
+    }
+
+    /// [`Context::init`] with an explicit profiler (instead of the
+    /// `SKELCL_PROFILE` environment default).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Context::init`].
+    pub fn init_with_profiler(
+        platform: Platform,
+        selection: DeviceSelection,
+        profiler: Profiler,
+    ) -> Self {
         let count = match selection {
             DeviceSelection::All => platform.device_count(),
             DeviceSelection::Count(n) => {
@@ -56,6 +97,8 @@ impl Context {
                 platform,
                 queues,
                 launch_config: LaunchConfig::default(),
+                profiler,
+                program_cache: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -68,7 +111,10 @@ impl Context {
     /// A single-GPU context (one Tesla T10), for the paper's single-GPU
     /// experiments.
     pub fn single_gpu() -> Self {
-        Context::init(Platform::single(DeviceSpec::tesla_t10()), DeviceSelection::All)
+        Context::init(
+            Platform::single(DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        )
     }
 
     /// Number of devices in use.
@@ -104,6 +150,22 @@ impl Context {
     pub fn same_as(&self, other: &Context) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// The session's profiler (disabled unless requested — see
+    /// [`Context::init_with_profiler`] and `SKELCL_PROFILE`).
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.profiler
+    }
+
+    /// Looks up a compiled program by source hash.
+    pub(crate) fn cached_program(&self, hash: u64) -> Option<skelcl_kernel::Program> {
+        self.inner.program_cache.lock().get(&hash).cloned()
+    }
+
+    /// Stores a compiled program under its source hash.
+    pub(crate) fn store_program(&self, hash: u64, program: skelcl_kernel::Program) {
+        self.inner.program_cache.lock().insert(hash, program);
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +184,34 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn init_rejects_oversized_selection() {
-        let _ = Context::init(Platform::single(DeviceSpec::test_tiny()), DeviceSelection::Count(3));
+        let _ = Context::init(
+            Platform::single(DeviceSpec::test_tiny()),
+            DeviceSelection::Count(3),
+        );
+    }
+
+    #[test]
+    fn profiler_injectable_and_shared_by_clones() {
+        let ctx = Context::init_with_profiler(
+            Platform::single(DeviceSpec::test_tiny()),
+            DeviceSelection::All,
+            Profiler::enabled(),
+        );
+        assert!(ctx.profiler().is_enabled());
+        assert!(ctx.clone().profiler().is_enabled());
+    }
+
+    #[test]
+    fn program_cache_round_trip() {
+        let ctx = Context::single_gpu();
+        assert!(ctx.cached_program(42).is_none());
+        let program = skelcl_kernel::compile(
+            "cache_probe.cl",
+            "__kernel void k(__global int* p){ p[0] = 1; }",
+        )
+        .unwrap();
+        ctx.store_program(42, program);
+        assert!(ctx.cached_program(42).is_some());
     }
 
     #[test]

@@ -93,16 +93,28 @@ pub fn plan_chunks(n: usize, devices: usize, dist: Distribution) -> Vec<ChunkPla
     match dist {
         Distribution::Single(d) => {
             assert!(d < devices, "single distribution on unknown device {d}");
-            vec![ChunkPlan { device: d, stored: 0..n, core: 0..n }]
+            vec![ChunkPlan {
+                device: d,
+                stored: 0..n,
+                core: 0..n,
+            }]
         }
         Distribution::Copy => (0..devices)
-            .map(|device| ChunkPlan { device, stored: 0..n, core: 0..n })
+            .map(|device| ChunkPlan {
+                device,
+                stored: 0..n,
+                core: 0..n,
+            })
             .collect(),
         Distribution::Block => block_ranges(n, devices)
             .into_iter()
             .enumerate()
             .filter(|(_, r)| !r.is_empty())
-            .map(|(device, r)| ChunkPlan { device, stored: r.clone(), core: r })
+            .map(|(device, r)| ChunkPlan {
+                device,
+                stored: r.clone(),
+                core: r,
+            })
             .collect(),
         Distribution::Overlap { size } => block_ranges(n, devices)
             .into_iter()
@@ -110,7 +122,11 @@ pub fn plan_chunks(n: usize, devices: usize, dist: Distribution) -> Vec<ChunkPla
             .filter(|(_, r)| !r.is_empty())
             .map(|(device, core)| {
                 let stored = core.start.saturating_sub(size)..(core.end + size).min(n);
-                ChunkPlan { device, stored, core }
+                ChunkPlan {
+                    device,
+                    stored,
+                    core,
+                }
             })
             .collect(),
     }

@@ -87,11 +87,15 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = Error::ShapeMismatch { reason: "lengths 3 vs 4".into() };
+        let e = Error::ShapeMismatch {
+            reason: "lengths 3 vs 4".into(),
+        };
         assert!(e.to_string().contains("lengths 3 vs 4"));
         let e: Error = vgpu::Error::UnknownKernel { name: "k".into() }.into();
         assert!(std::error::Error::source(&e).is_some());
-        let e = Error::EmptyContainer { operation: "Reduce" };
+        let e = Error::EmptyContainer {
+            operation: "Reduce",
+        };
         assert!(e.to_string().contains("Reduce"));
     }
 }

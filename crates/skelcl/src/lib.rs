@@ -62,3 +62,10 @@ pub use types::KernelScalar;
 /// Re-export of the kernel argument value type, used for skeletons' extra
 /// scalar arguments.
 pub use skelcl_kernel::value::Value;
+
+/// Re-export of the observability layer: [`profile::Profiler`] rides on
+/// every [`Context`] (see [`Context::profiler`]); `profile::metrics` names
+/// the counters, and `profile::report` builds summaries and JSON reports.
+pub use skelcl_profile as profile;
+/// Re-export of the profiler handle carried by [`Context`].
+pub use skelcl_profile::Profiler;

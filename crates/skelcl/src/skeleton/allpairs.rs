@@ -17,14 +17,13 @@ use skelcl_kernel::value::Value;
 use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
-    compile_generated, expect_pointer_param, expect_return, expect_scalar_param,
-    parse_user_function,
+    compile_cached, expect_pointer_param, expect_return, expect_scalar_param, parse_user_function,
 };
 use crate::container::Matrix;
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{launch_parallel, DeviceLaunch, EventLog};
+use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
 use crate::types::KernelScalar;
 
 /// Tile edge of the zip-reduce specialisation's work-groups.
@@ -105,7 +104,7 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
             o = O::SCALAR,
             f = f.name,
         );
-        let program = compile_generated("skelcl_allpairs.cl", &kernel_source)?;
+        let program = compile_cached(ctx, "skelcl_allpairs.cl", &kernel_source)?;
         Ok(Allpairs {
             ctx: ctx.clone(),
             program,
@@ -180,7 +179,7 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
             rf = rf.name,
             tile = TILE,
         );
-        let program = compile_generated("skelcl_allpairs_zr.cl", &kernel_source)?;
+        let program = compile_cached(ctx, "skelcl_allpairs_zr.cl", &kernel_source)?;
         Ok(Allpairs {
             ctx: ctx.clone(),
             program,
@@ -200,6 +199,7 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
     /// Fails with [`Error::ShapeMismatch`] when the row widths differ, plus
     /// any platform failure.
     pub fn call(&self, a: &Matrix<I>, b: &Matrix<I>) -> Result<Matrix<O>> {
+        let _span = skeleton_span(&self.ctx, "Allpairs.call");
         if a.cols() != b.cols() {
             return Err(Error::ShapeMismatch {
                 reason: format!(
@@ -306,7 +306,10 @@ mod tests {
     use vgpu::{DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
-        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+        Context::init(
+            Platform::new(n, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        )
     }
 
     const DOT: &str = "float func(const float* a, const float* b, int d){
@@ -414,14 +417,16 @@ mod tests {
         let b = Matrix::<f32>::zeros(&ctx, 3, 5);
         assert!(matches!(ap.call(&a, &b), Err(Error::ShapeMismatch { .. })));
         let b2 = Matrix::<f32>::zeros(&ctx, 5, 3);
-        assert!(matches!(matrix_multiply(&ap, &a, &b2), Err(Error::ShapeMismatch { .. })));
+        assert!(matches!(
+            matrix_multiply(&ap, &a, &b2),
+            Err(Error::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
     fn signature_validation() {
         let ctx = ctx(1);
-        assert!(Allpairs::<f32, f32>::new(&ctx, "float f(float a, float b){ return a; }")
-            .is_err());
+        assert!(Allpairs::<f32, f32>::new(&ctx, "float f(float a, float b){ return a; }").is_err());
         assert!(Allpairs::<f32, f32>::new(
             &ctx,
             "float f(const float* a, const float* b){ return a[0]; }"

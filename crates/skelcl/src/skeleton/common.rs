@@ -30,31 +30,64 @@ pub(crate) fn launch_parallel(
     kernel: &str,
     launches: Vec<DeviceLaunch>,
 ) -> Result<Vec<Event>> {
-    if launches.len() <= 1 {
+    let events: Result<Vec<Event>> = if launches.len() <= 1 {
         // Single device: no thread overhead.
-        return launches
-            .into_iter()
+        launches
+            .iter()
             .map(|l| {
                 ctx.queue(l.device)
                     .launch_kernel(program, kernel, &l.args, l.range, ctx.launch_config())
                     .map_err(Error::from)
             })
-            .collect();
-    }
-    let results: Vec<Result<Event>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = launches
-            .iter()
-            .map(|l| {
-                scope.spawn(move || {
-                    ctx.queue(l.device)
-                        .launch_kernel(program, kernel, &l.args, l.range, ctx.launch_config())
-                        .map_err(Error::from)
+            .collect()
+    } else {
+        let results: Vec<Result<Event>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = launches
+                .iter()
+                .map(|l| {
+                    scope.spawn(move || {
+                        ctx.queue(l.device)
+                            .launch_kernel(program, kernel, &l.args, l.range, ctx.launch_config())
+                            .map_err(Error::from)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("launch thread panicked")).collect()
-    });
-    results.into_iter().collect()
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("launch thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    };
+    let events = events?;
+    let profiler = ctx.profiler();
+    if profiler.is_enabled() {
+        for (event, launch) in events.iter().zip(&launches) {
+            profiler.record_event_with(event, Some(nd_range_label(&launch.range)));
+        }
+    }
+    Ok(events)
+}
+
+/// Compact launch-geometry label for kernel spans, e.g. `1024/256` or
+/// `4096x3072/16x16` (global/local per dimension).
+pub(crate) fn nd_range_label(range: &NdRange) -> String {
+    if range.dims <= 1 {
+        format!("{}/{}", range.global[0], range.local[0])
+    } else {
+        format!(
+            "{}x{}/{}x{}",
+            range.global[0], range.global[1], range.local[0], range.local[1]
+        )
+    }
+}
+
+/// Opens the host-lane span for one skeleton invocation and bumps the
+/// `skeleton.calls` counter. Inert when profiling is disabled.
+pub(crate) fn skeleton_span(ctx: &Context, name: &'static str) -> skelcl_profile::SpanGuard {
+    let profiler = ctx.profiler();
+    profiler.add(skelcl_profile::metrics::SKELETON_CALLS, 1);
+    profiler.host_span(skelcl_profile::SpanKind::Skeleton, name)
 }
 
 /// A log of the events produced by a skeleton's most recent call, exposing
@@ -135,11 +168,27 @@ mod tests {
     fn transfer_time_excludes_kernels() {
         let log = EventLog::default();
         log.record(vec![
-            Event::new(DeviceId(0), CommandKind::WriteBuffer { bytes: 10 }, 0, 0, 40, None),
+            Event::new(
+                DeviceId(0),
+                CommandKind::WriteBuffer { bytes: 10 },
+                0,
+                0,
+                40,
+                None,
+            ),
             kernel_event(0, 40, 100),
         ]);
         assert_eq!(log.last_transfer_time(), Duration::from_nanos(40));
         assert_eq!(log.last_kernel_time(), Duration::from_nanos(60));
+    }
+
+    #[test]
+    fn nd_range_labels() {
+        assert_eq!(nd_range_label(&NdRange::linear(1000, 256)), "1024/256");
+        assert_eq!(
+            nd_range_label(&NdRange::grid([100, 60], [16, 16])),
+            "112x64/16x16"
+        );
     }
 
     #[test]

@@ -7,14 +7,14 @@ use skelcl_kernel::value::Value;
 use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
-    check_extra_args, compile_generated, expect_return, expect_scalar_extras,
-    expect_scalar_param, extra_param_decls, extra_param_uses, parse_user_function,
+    check_extra_args, compile_cached, expect_return, expect_scalar_extras, expect_scalar_param,
+    extra_param_decls, extra_param_uses, parse_user_function,
 };
 use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::Result;
-use crate::skeleton::common::{launch_parallel, DeviceLaunch, EventLog};
+use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
 use crate::types::KernelScalar;
 
 /// The Map skeleton: `map f [x1, …, xn] = [f(x1), …, f(xn)]`.
@@ -96,7 +96,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
             decls = extra_param_decls(&extras, "skelcl_x"),
             uses = extra_param_uses(&extras, "skelcl_x"),
         );
-        let program = compile_generated("skelcl_map.cl", &kernel_source)?;
+        let program = compile_cached(ctx, "skelcl_map.cl", &kernel_source)?;
         Ok(Map {
             ctx: ctx.clone(),
             program,
@@ -124,6 +124,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
     /// Fails when the extra-argument count mismatches, plus anything
     /// [`Map::call`] can raise.
     pub fn call_with(&self, input: &Vector<I>, extra: &[Value]) -> Result<Vector<O>> {
+        let _span = skeleton_span(&self.ctx, "Map.call");
         check_extra_args("Map", &self.extras, extra)?;
         let dist = normalize_elementwise(input.effective_distribution(Distribution::Block));
         let in_chunks = input.ensure_device(dist)?;
@@ -141,7 +142,11 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                     KernelArg::Scalar(Value::I32(n as i32)),
                 ];
                 args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
-                DeviceLaunch { device: ic.plan.device, args, range: NdRange::linear_default(n) }
+                DeviceLaunch {
+                    device: ic.plan.device,
+                    args,
+                    range: NdRange::linear_default(n),
+                }
             })
             .collect();
         let events = launch_parallel(&self.ctx, &self.program, "skelcl_map", launches)?;
@@ -165,6 +170,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
     ///
     /// As for [`Map::call_with`].
     pub fn call_matrix_with(&self, input: &Matrix<I>, extra: &[Value]) -> Result<Matrix<O>> {
+        let _span = skeleton_span(&self.ctx, "Map.call_matrix");
         check_extra_args("Map", &self.extras, extra)?;
         let dist = normalize_elementwise(input.effective_distribution(Distribution::Block));
         let in_chunks = input.ensure_device(dist)?;
@@ -183,7 +189,11 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                     KernelArg::Scalar(Value::I32(n as i32)),
                 ];
                 args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
-                DeviceLaunch { device: ic.plan.device, args, range: NdRange::linear_default(n) }
+                DeviceLaunch {
+                    device: ic.plan.device,
+                    args,
+                    range: NdRange::linear_default(n),
+                }
             })
             .collect();
         let events = launch_parallel(&self.ctx, &self.program, "skelcl_map", launches)?;
@@ -202,6 +212,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
     /// Fails with [`crate::Error::ShapeMismatch`] when `I` is not `i32`,
     /// plus anything [`Map::call_with`] can raise.
     pub fn call_index(&self, len: usize, extra: &[Value]) -> Result<Vector<O>> {
+        let _span = skeleton_span(&self.ctx, "Map.call_index");
         if !self.has_index_kernel {
             return Err(crate::error::Error::ShapeMismatch {
                 reason: format!(
@@ -211,8 +222,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
             });
         }
         check_extra_args("Map", &self.extras, extra)?;
-        let (output, out_chunks) =
-            Vector::alloc_device(&self.ctx, len, Distribution::Block)?;
+        let (output, out_chunks) = Vector::alloc_device(&self.ctx, len, Distribution::Block)?;
         let launches = out_chunks
             .iter()
             .map(|oc| {
@@ -223,7 +233,11 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                     KernelArg::Scalar(Value::I32(oc.plan.core.start as i32)),
                 ];
                 args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
-                DeviceLaunch { device: oc.plan.device, args, range: NdRange::linear_default(n) }
+                DeviceLaunch {
+                    device: oc.plan.device,
+                    args,
+                    range: NdRange::linear_default(n),
+                }
             })
             .collect();
         let events = launch_parallel(&self.ctx, &self.program, "skelcl_map_index", launches)?;
@@ -259,14 +273,16 @@ mod tests {
     use vgpu::{DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
-        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+        Context::init(
+            Platform::new(n, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        )
     }
 
     #[test]
     fn negation_map_from_the_paper() {
         let ctx = ctx(1);
-        let neg: Map<f32, f32> =
-            Map::new(&ctx, "float func(float x){ return -x; }").unwrap();
+        let neg: Map<f32, f32> = Map::new(&ctx, "float func(float x){ return -x; }").unwrap();
         let v = Vector::from_fn(&ctx, 1000, |i| i as f32);
         let r = neg.call(&v).unwrap();
         let out = r.to_vec().unwrap();
@@ -298,22 +314,35 @@ mod tests {
         let v = Vector::from_fn(&ctx, 10, |i| i as i32);
         v.set_distribution(Distribution::Single(1)).unwrap();
         let r = double.call(&v).unwrap();
-        assert_eq!(r.to_vec().unwrap(), (0..10).map(|x| 2 * x).collect::<Vec<i32>>());
+        assert_eq!(
+            r.to_vec().unwrap(),
+            (0..10).map(|x| 2 * x).collect::<Vec<i32>>()
+        );
         assert_eq!(double.events().last_events().len(), 1);
         assert_eq!(double.events().last_events()[0].device().0, 1);
 
         let w = Vector::from_fn(&ctx, 10, |i| i as i32);
         w.set_distribution(Distribution::Copy).unwrap();
         let r = double.call(&w).unwrap();
-        assert_eq!(r.to_vec().unwrap(), (0..10).map(|x| 2 * x).collect::<Vec<i32>>());
-        assert_eq!(double.events().last_events().len(), 2, "copy computes everywhere");
+        assert_eq!(
+            r.to_vec().unwrap(),
+            (0..10).map(|x| 2 * x).collect::<Vec<i32>>()
+        );
+        assert_eq!(
+            double.events().last_events().len(),
+            2,
+            "copy computes everywhere"
+        );
     }
 
     #[test]
     fn map_with_extra_arguments() {
         let ctx = ctx(2);
-        let scale: Map<f32, f32> =
-            Map::new(&ctx, "float f(float x, float s, float o){ return x * s + o; }").unwrap();
+        let scale: Map<f32, f32> = Map::new(
+            &ctx,
+            "float f(float x, float s, float o){ return x * s + o; }",
+        )
+        .unwrap();
         let v = Vector::from_vec(&ctx, vec![1.0f32, 2.0, 3.0]);
         let r = scale
             .call_with(&v, &[Value::F32(10.0), Value::F32(0.5)])
@@ -330,7 +359,10 @@ mod tests {
         let classify: Map<f32, u8> =
             Map::new(&ctx, "uchar f(float x){ return x > 0.5f ? 255 : 0; }").unwrap();
         let v = Vector::from_vec(&ctx, vec![0.1f32, 0.9, 0.5, 0.7]);
-        assert_eq!(classify.call(&v).unwrap().to_vec().unwrap(), vec![0, 255, 0, 255]);
+        assert_eq!(
+            classify.call(&v).unwrap().to_vec().unwrap(),
+            vec![0, 255, 0, 255]
+        );
     }
 
     #[test]
@@ -348,8 +380,9 @@ mod tests {
     fn signature_mismatch_rejected_early() {
         let ctx = ctx(1);
         assert!(Map::<f32, f32>::new(&ctx, "int f(int x){ return x; }").is_err());
-        assert!(Map::<f32, f32>::new(&ctx, "float f(float x, const float* p){ return x; }")
-            .is_err());
+        assert!(
+            Map::<f32, f32>::new(&ctx, "float f(float x, const float* p){ return x; }").is_err()
+        );
         assert!(Map::<f32, f32>::new(&ctx, "not even C").is_err());
     }
 
@@ -358,7 +391,9 @@ mod tests {
         let ctx = ctx(2);
         let inc: Map<i32, i32> = Map::new(&ctx, "int f(int x){ return x + 1; }").unwrap();
         let v = Vector::from_fn(&ctx, 100, |i| i as i32);
-        let r = inc.call(&inc.call(&inc.call(&v).unwrap()).unwrap()).unwrap();
+        let r = inc
+            .call(&inc.call(&inc.call(&v).unwrap()).unwrap())
+            .unwrap();
         assert_eq!(r.get(0).unwrap(), 3);
         assert_eq!(r.get(99).unwrap(), 102);
     }
@@ -391,7 +426,10 @@ mod tests {
         let scale: Map<i32, f32> =
             Map::new(&ctx, "float f(int i, float s){ return (float)i * s; }").unwrap();
         let out = scale.call_index(8, &[Value::F32(0.5)]).unwrap();
-        assert_eq!(out.to_vec().unwrap(), (0..8).map(|i| i as f32 * 0.5).collect::<Vec<_>>());
+        assert_eq!(
+            out.to_vec().unwrap(),
+            (0..8).map(|i| i as f32 * 0.5).collect::<Vec<_>>()
+        );
         // Kernel-only launch: no input loads at all.
         let counters = scale
             .events()

@@ -15,7 +15,7 @@ use skelcl_kernel::value::Value;
 use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
-    c_literal, check_extra_args, compile_generated, expect_pointer_param, expect_return,
+    c_literal, check_extra_args, compile_cached, expect_pointer_param, expect_return,
     expect_scalar_extras, extra_param_decls, extra_param_uses, parse_user_function,
     rewrite_get_calls,
 };
@@ -23,7 +23,7 @@ use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{launch_parallel, DeviceLaunch, EventLog};
+use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
 use crate::types::KernelScalar;
 
 /// 2-D work-group edge for matrix stencils (16×16, as the paper's CUDA and
@@ -58,9 +58,7 @@ fn load_body<I: KernelScalar>(boundary: &BoundaryHandling<I>, matrix: bool) -> S
             "return (i < 0 || i >= n) ? {} : skelcl_in[i];",
             c_literal(v.to_value())
         ),
-        (BoundaryHandling::Nearest, false) => {
-            "return skelcl_in[clamp(i, 0, n - 1)];".to_string()
-        }
+        (BoundaryHandling::Nearest, false) => "return skelcl_in[clamp(i, 0, n - 1)];".to_string(),
     }
 }
 
@@ -189,7 +187,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
             decls = extra_param_decls(&extras, "skelcl_x"),
             uses = extra_param_uses(&extras, "skelcl_x"),
         );
-        let program = compile_generated("skelcl_mapoverlap.cl", &kernel_source)?;
+        let program = compile_cached(ctx, "skelcl_mapoverlap.cl", &kernel_source)?;
         Ok(MapOverlap {
             ctx: ctx.clone(),
             program,
@@ -215,11 +213,12 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
     ///
     /// As for [`MapOverlap::call`], plus extra-argument arity mismatches.
     pub fn call_with(&self, input: &Matrix<I>, extra: &[Value]) -> Result<Matrix<O>> {
+        let _span = skeleton_span(&self.ctx, "MapOverlap.call");
         check_extra_args("MapOverlap", &self.extras, extra)?;
-        let (in_dist, out_dist) =
-            stencil_distributions(input.effective_distribution(Distribution::Overlap {
-                size: self.d,
-            }), self.d);
+        let (in_dist, out_dist) = stencil_distributions(
+            input.effective_distribution(Distribution::Overlap { size: self.d }),
+            self.d,
+        );
         let in_chunks = input.ensure_device(in_dist)?;
         let (output, out_chunks) =
             Matrix::alloc_device(&self.ctx, input.rows(), input.cols(), out_dist)?;
@@ -277,9 +276,10 @@ fn stencil_distributions(requested: Distribution, d: usize) -> (Distribution, Di
         Distribution::Single(dev) => (Distribution::Single(dev), Distribution::Single(dev)),
         Distribution::Copy => (Distribution::Copy, Distribution::Copy),
         Distribution::Block => (Distribution::Overlap { size: d }, Distribution::Block),
-        Distribution::Overlap { size } => {
-            (Distribution::Overlap { size: size.max(d) }, Distribution::Block)
-        }
+        Distribution::Overlap { size } => (
+            Distribution::Overlap { size: size.max(d) },
+            Distribution::Block,
+        ),
     }
 }
 
@@ -371,7 +371,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
             decls = extra_param_decls(&extras, "skelcl_x"),
             uses = extra_param_uses(&extras, "skelcl_x"),
         );
-        let program = compile_generated("skelcl_mapoverlap_vec.cl", &kernel_source)?;
+        let program = compile_cached(ctx, "skelcl_mapoverlap_vec.cl", &kernel_source)?;
         Ok(MapOverlapVec {
             ctx: ctx.clone(),
             program,
@@ -397,6 +397,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
     ///
     /// As for [`MapOverlap::call_with`].
     pub fn call_with(&self, input: &Vector<I>, extra: &[Value]) -> Result<Vector<O>> {
+        let _span = skeleton_span(&self.ctx, "MapOverlapVec.call");
         check_extra_args("MapOverlap", &self.extras, extra)?;
         let (in_dist, out_dist) = stencil_distributions(
             input.effective_distribution(Distribution::Overlap { size: self.d }),
@@ -425,8 +426,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
                 }
             })
             .collect();
-        let events =
-            launch_parallel(&self.ctx, &self.program, "skelcl_mapoverlap_vec", launches)?;
+        let events = launch_parallel(&self.ctx, &self.program, "skelcl_mapoverlap_vec", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
@@ -450,7 +450,10 @@ mod tests {
     use vgpu::{DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
-        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+        Context::init(
+            Platform::new(n, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        )
     }
 
     const NEIGHBOUR_SUM: &str = "float func(const float* m_in){
@@ -501,8 +504,7 @@ mod tests {
         for devices in [1usize, 2, 3, 4] {
             let ctx = ctx(devices);
             let m: MapOverlap<f32, f32> =
-                MapOverlap::new(&ctx, NEIGHBOUR_SUM, 1, BoundaryHandling::Neutral(0.0))
-                    .unwrap();
+                MapOverlap::new(&ctx, NEIGHBOUR_SUM, 1, BoundaryHandling::Neutral(0.0)).unwrap();
             let matrix = Matrix::from_vec(&ctx, 64, 48, input.clone());
             results.push(m.call(&matrix).unwrap().to_vec().unwrap());
         }

@@ -12,14 +12,12 @@ use std::marker::PhantomData;
 use skelcl_kernel::value::Value;
 use vgpu::{DeviceBuffer, Event, KernelArg, NdRange};
 
-use crate::codegen::{
-    compile_generated, expect_return, expect_scalar_param, parse_user_function,
-};
+use crate::codegen::{compile_cached, expect_return, expect_scalar_param, parse_user_function};
 use crate::container::{Matrix, Scalar, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::EventLog;
+use crate::skeleton::common::{nd_range_label, skeleton_span, EventLog};
 use crate::types::KernelScalar;
 
 /// Work-group size used by the reduction kernels.
@@ -102,8 +100,13 @@ impl<T: KernelScalar> Reduce<T> {
             f = f.name,
             wg = WG,
         );
-        let program = compile_generated("skelcl_reduce.cl", &kernel_source)?;
-        Ok(Reduce { ctx: ctx.clone(), program, events: EventLog::default(), _types: PhantomData })
+        let program = compile_cached(ctx, "skelcl_reduce.cl", &kernel_source)?;
+        Ok(Reduce {
+            ctx: ctx.clone(),
+            program,
+            events: EventLog::default(),
+            _types: PhantomData,
+        })
     }
 
     /// Reduces a vector to a scalar.
@@ -113,8 +116,11 @@ impl<T: KernelScalar> Reduce<T> {
     /// Fails with [`Error::EmptyContainer`] on empty input, plus any
     /// platform failure.
     pub fn call(&self, input: &Vector<T>) -> Result<Scalar<T>> {
+        let _span = skeleton_span(&self.ctx, "Reduce.call");
         if input.is_empty() {
-            return Err(Error::EmptyContainer { operation: "Reduce" });
+            return Err(Error::EmptyContainer {
+                operation: "Reduce",
+            });
         }
         let mut events: Vec<Event> = Vec::new();
 
@@ -145,7 +151,10 @@ impl<T: KernelScalar> Reduce<T> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("reduce thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce thread panicked"))
+                .collect()
         });
         let mut values = Vec::with_capacity(partials.len());
         for p in partials {
@@ -163,7 +172,9 @@ impl<T: KernelScalar> Reduce<T> {
             let queue = self.ctx.queue(device);
             let bytes = crate::types::to_bytes(&values);
             let buf = queue.create_buffer(bytes.len())?;
-            events.push(queue.enqueue_write(&buf, 0, &bytes)?);
+            let event = queue.enqueue_write(&buf, 0, &bytes)?;
+            self.ctx.profiler().record_event(&event);
+            events.push(event);
             self.reduce_on_device(device, buf, values.len(), &mut events)?
         };
 
@@ -178,8 +189,11 @@ impl<T: KernelScalar> Reduce<T> {
     ///
     /// As for [`Reduce::call`].
     pub fn call_matrix(&self, input: &Matrix<T>) -> Result<Scalar<T>> {
+        let _span = skeleton_span(&self.ctx, "Reduce.call_matrix");
         if input.is_empty() {
-            return Err(Error::EmptyContainer { operation: "Reduce" });
+            return Err(Error::EmptyContainer {
+                operation: "Reduce",
+            });
         }
         let mut events: Vec<Event> = Vec::new();
         let dist = match input.effective_distribution(Distribution::Block) {
@@ -206,7 +220,10 @@ impl<T: KernelScalar> Reduce<T> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("reduce thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce thread panicked"))
+                .collect()
         });
         let mut values = Vec::with_capacity(partials.len());
         for p in partials {
@@ -222,7 +239,9 @@ impl<T: KernelScalar> Reduce<T> {
             let queue = self.ctx.queue(device);
             let bytes = crate::types::to_bytes(&values);
             let buf = queue.create_buffer(bytes.len())?;
-            events.push(queue.enqueue_write(&buf, 0, &bytes)?);
+            let event = queue.enqueue_write(&buf, 0, &bytes)?;
+            self.ctx.profiler().record_event(&event);
+            events.push(event);
             self.reduce_on_device(device, buf, values.len(), &mut events)?
         };
 
@@ -241,10 +260,12 @@ impl<T: KernelScalar> Reduce<T> {
     ) -> Result<T> {
         let queue = self.ctx.queue(device);
         let elem = std::mem::size_of::<T>();
+        let profiler = self.ctx.profiler();
         while n > 1 {
             let groups = n.div_ceil(WG).min(MAX_GROUPS);
             let out = queue.create_buffer(groups * elem)?;
-            events.push(queue.launch_kernel(
+            let range = NdRange::linear(groups * WG, WG);
+            let event = queue.launch_kernel(
                 &self.program,
                 "skelcl_reduce",
                 &[
@@ -252,14 +273,20 @@ impl<T: KernelScalar> Reduce<T> {
                     KernelArg::Buffer(out.clone()),
                     KernelArg::Scalar(Value::I32(n as i32)),
                 ],
-                NdRange::linear(groups * WG, WG),
+                range,
                 self.ctx.launch_config(),
-            )?);
+            )?;
+            if profiler.is_enabled() {
+                profiler.record_event_with(&event, Some(nd_range_label(&range)));
+            }
+            events.push(event);
             buffer = out;
             n = groups.min(n.div_ceil(WG));
         }
         let mut bytes = vec![0u8; elem];
-        events.push(queue.enqueue_read(&buffer, 0, &mut bytes)?);
+        let event = queue.enqueue_read(&buffer, 0, &mut bytes)?;
+        profiler.record_event(&event);
+        events.push(event);
         Ok(T::from_le_bytes(&bytes))
     }
 
@@ -276,7 +303,10 @@ mod tests {
     use vgpu::{DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
-        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+        Context::init(
+            Platform::new(n, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        )
     }
 
     fn sum_reduce(ctx: &Context) -> Reduce<i64> {

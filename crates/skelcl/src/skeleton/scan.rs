@@ -12,14 +12,12 @@ use std::marker::PhantomData;
 use skelcl_kernel::value::Value;
 use vgpu::{DeviceBuffer, Event, KernelArg, NdRange};
 
-use crate::codegen::{
-    compile_generated, expect_return, expect_scalar_param, parse_user_function,
-};
+use crate::codegen::{compile_cached, expect_return, expect_scalar_param, parse_user_function};
 use crate::container::Vector;
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::EventLog;
+use crate::skeleton::common::{skeleton_span, EventLog};
 use crate::types::{from_bytes, to_bytes, KernelScalar};
 
 /// Work-group (and scan block) size.
@@ -105,8 +103,13 @@ impl<T: KernelScalar> Scan<T> {
             f = f.name,
             wg = WG,
         );
-        let program = compile_generated("skelcl_scan.cl", &kernel_source)?;
-        Ok(Scan { ctx: ctx.clone(), program, events: EventLog::default(), _types: PhantomData })
+        let program = compile_cached(ctx, "skelcl_scan.cl", &kernel_source)?;
+        Ok(Scan {
+            ctx: ctx.clone(),
+            program,
+            events: EventLog::default(),
+            _types: PhantomData,
+        })
     }
 
     /// Computes the inclusive prefix of a vector.
@@ -115,6 +118,7 @@ impl<T: KernelScalar> Scan<T> {
     ///
     /// Propagates platform failures; empty input yields an empty output.
     pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
+        let _span = skeleton_span(&self.ctx, "Scan.call");
         if input.is_empty() {
             return Ok(Vector::from_vec(&self.ctx, Vec::new()));
         }
@@ -145,7 +149,10 @@ impl<T: KernelScalar> Scan<T> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan thread panicked"))
+                .collect()
         });
         let mut events = Vec::new();
         for s in scans {
@@ -195,6 +202,12 @@ impl<T: KernelScalar> Scan<T> {
             }
         }
 
+        let profiler = self.ctx.profiler();
+        if profiler.is_enabled() {
+            for event in &events {
+                profiler.record_event(event);
+            }
+        }
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
@@ -257,7 +270,10 @@ mod tests {
     use vgpu::{DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
-        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+        Context::init(
+            Platform::new(n, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        )
     }
 
     fn prefix_sum(ctx: &Context) -> Scan<i64> {
@@ -279,7 +295,10 @@ mod tests {
         let ctx = ctx(1);
         let scan = prefix_sum(&ctx);
         let v = Vector::from_vec(&ctx, vec![1i64, 2, 3, 4, 5]);
-        assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), vec![1, 3, 6, 10, 15]);
+        assert_eq!(
+            scan.call(&v).unwrap().to_vec().unwrap(),
+            vec![1, 3, 6, 10, 15]
+        );
     }
 
     #[test]

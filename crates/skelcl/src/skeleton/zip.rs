@@ -7,14 +7,14 @@ use skelcl_kernel::value::Value;
 use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
-    check_extra_args, compile_generated, expect_return, expect_scalar_extras,
-    expect_scalar_param, extra_param_decls, extra_param_uses, parse_user_function,
+    check_extra_args, compile_cached, expect_return, expect_scalar_extras, expect_scalar_param,
+    extra_param_decls, extra_param_uses, parse_user_function,
 };
 use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{launch_parallel, DeviceLaunch, EventLog};
+use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
 use crate::skeleton::map::normalize_elementwise;
 use crate::types::KernelScalar;
 
@@ -74,8 +74,14 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
             decls = extra_param_decls(&extras, "skelcl_x"),
             uses = extra_param_uses(&extras, "skelcl_x"),
         );
-        let program = compile_generated("skelcl_zip.cl", &kernel_source)?;
-        Ok(Zip { ctx: ctx.clone(), program, extras, events: EventLog::default(), _types: PhantomData })
+        let program = compile_cached(ctx, "skelcl_zip.cl", &kernel_source)?;
+        Ok(Zip {
+            ctx: ctx.clone(),
+            program,
+            extras,
+            events: EventLog::default(),
+            _types: PhantomData,
+        })
     }
 
     /// Applies the skeleton to two vectors of equal length.
@@ -99,6 +105,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
         rhs: &Vector<R>,
         extra: &[Value],
     ) -> Result<Vector<O>> {
+        let _span = skeleton_span(&self.ctx, "Zip.call");
         check_extra_args("Zip", &self.extras, extra)?;
         if lhs.len() != rhs.len() {
             return Err(Error::ShapeMismatch {
@@ -129,7 +136,11 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
                     KernelArg::Scalar(Value::I32(n as i32)),
                 ];
                 args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
-                DeviceLaunch { device: lc.plan.device, args, range: NdRange::linear_default(n) }
+                DeviceLaunch {
+                    device: lc.plan.device,
+                    args,
+                    range: NdRange::linear_default(n),
+                }
             })
             .collect();
         let events = launch_parallel(&self.ctx, &self.program, "skelcl_zip", launches)?;
@@ -144,6 +155,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
     ///
     /// As for [`Zip::call`].
     pub fn call_matrix(&self, lhs: &Matrix<L>, rhs: &Matrix<R>) -> Result<Matrix<O>> {
+        let _span = skeleton_span(&self.ctx, "Zip.call_matrix");
         check_extra_args("Zip", &self.extras, &[])?;
         if lhs.rows() != rhs.rows() || lhs.cols() != rhs.cols() {
             return Err(Error::ShapeMismatch {
@@ -159,8 +171,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
         let dist = normalize_elementwise(lhs.effective_distribution(Distribution::Block));
         let l_chunks = lhs.ensure_device(dist)?;
         let r_chunks = rhs.ensure_device(dist)?;
-        let (output, out_chunks) =
-            Matrix::alloc_device(&self.ctx, lhs.rows(), lhs.cols(), dist)?;
+        let (output, out_chunks) = Matrix::alloc_device(&self.ctx, lhs.rows(), lhs.cols(), dist)?;
         let cols = lhs.cols();
 
         let launches = l_chunks
@@ -175,7 +186,11 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
                     KernelArg::Buffer(oc.buffer.clone()),
                     KernelArg::Scalar(Value::I32(n as i32)),
                 ];
-                DeviceLaunch { device: lc.plan.device, args, range: NdRange::linear_default(n) }
+                DeviceLaunch {
+                    device: lc.plan.device,
+                    args,
+                    range: NdRange::linear_default(n),
+                }
             })
             .collect();
         let events = launch_parallel(&self.ctx, &self.program, "skelcl_zip", launches)?;
@@ -197,7 +212,10 @@ mod tests {
     use vgpu::{DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
-        Context::init(Platform::new(n, DeviceSpec::tesla_t10()), DeviceSelection::All)
+        Context::init(
+            Platform::new(n, DeviceSpec::tesla_t10()),
+            DeviceSelection::All,
+        )
     }
 
     #[test]
@@ -233,7 +251,10 @@ mod tests {
         .unwrap();
         let a = Vector::from_vec(&ctx, vec![1.5f32, 2.5, 3.5]);
         let mask = Vector::from_vec(&ctx, vec![1u8, 0, 1]);
-        assert_eq!(select.call(&a, &mask).unwrap().to_vec().unwrap(), vec![1.5, 0.0, 3.5]);
+        assert_eq!(
+            select.call(&a, &mask).unwrap().to_vec().unwrap(),
+            vec![1.5, 0.0, 3.5]
+        );
     }
 
     #[test]
@@ -268,7 +289,6 @@ mod tests {
     fn binary_signature_checked() {
         let ctx = ctx(1);
         assert!(Zip::<f32, f32, f32>::new(&ctx, "float f(float x){ return x; }").is_err());
-        assert!(Zip::<f32, i32, f32>::new(&ctx, "float f(float x, float y){ return x; }")
-            .is_err());
+        assert!(Zip::<f32, i32, f32>::new(&ctx, "float f(float x, float y){ return x; }").is_err());
     }
 }

@@ -77,7 +77,11 @@ pub fn to_bytes<T: KernelScalar>(items: &[T]) -> Vec<u8> {
 /// Panics if `bytes` is not a whole number of elements.
 pub fn from_bytes<T: KernelScalar>(bytes: &[u8]) -> Vec<T> {
     let size = std::mem::size_of::<T>();
-    assert_eq!(bytes.len() % size, 0, "byte length is not a whole number of elements");
+    assert_eq!(
+        bytes.len() % size,
+        0,
+        "byte length is not a whole number of elements"
+    );
     bytes.chunks_exact(size).map(T::from_le_bytes).collect()
 }
 

@@ -47,7 +47,10 @@ fn constant_offsets_prove_bounds_statically() {
     // And it still computes correctly.
     let input = Matrix::from_fn(&ctx, 8, 8, |r, c| (r * 8 + c) as f32);
     let out = m.call(&input).unwrap();
-    assert_eq!(out.get(4, 4).unwrap(), (3 * 8 + 3) as f32 + (5 * 8 + 5) as f32 + (4 * 8 + 4) as f32);
+    assert_eq!(
+        out.get(4, 4).unwrap(),
+        (3 * 8 + 3) as f32 + (5 * 8 + 5) as f32 + (4 * 8 + 4) as f32
+    );
 }
 
 #[test]
@@ -84,12 +87,8 @@ fn dynamic_offsets_keep_the_runtime_check() {
     )
     .unwrap();
     let input = Matrix::<f32>::zeros(&ctx, 4, 4);
-    assert!(bad
-        .call_with(&input, &[skelcl::Value::I32(0)])
-        .is_ok());
-    let err = bad
-        .call_with(&input, &[skelcl::Value::I32(2)])
-        .unwrap_err();
+    assert!(bad.call_with(&input, &[skelcl::Value::I32(0)]).is_ok());
+    let err = bad.call_with(&input, &[skelcl::Value::I32(2)]).unwrap_err();
     assert!(err.to_string().contains("trap"), "{err}");
 }
 

@@ -1,0 +1,124 @@
+//! End-to-end test of the observability layer: a Reduce on two virtual
+//! devices, cross-checked against the Chrome trace export and the
+//! skeleton's own `EventLog`.
+
+use skelcl::profile::json::Json;
+use skelcl::profile::{Lane, SpanKind};
+use skelcl::{Context, DeviceSelection, Profiler, Reduce, Vector};
+use vgpu::{event, CommandKind, DeviceSpec, Platform};
+
+fn two_gpu_profiled() -> Context {
+    Context::init_with_profiler(
+        Platform::new(2, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+        Profiler::enabled(),
+    )
+}
+
+#[test]
+fn reduce_trace_round_trips_and_matches_event_log() {
+    let ctx = two_gpu_profiled();
+    let sum: Reduce<i32> = Reduce::new(&ctx, "int sum(int x, int y){ return x + y; }").unwrap();
+    let input = Vector::from_fn(&ctx, 10_000, |i| i as i32);
+    let result = sum.call(&input).unwrap();
+    assert_eq!(result.value(), (0..10_000).sum::<i32>());
+
+    // 1. The Chrome trace parses and has the expected envelope.
+    let trace_text = ctx
+        .profiler()
+        .chrome_trace_json()
+        .expect("profiler enabled");
+    let trace = Json::parse(&trace_text).expect("chrome trace is valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // 2. Per-lane "X" timestamps are monotone: each device is an in-order
+    //    queue, and host spans are recorded at creation order per lane.
+    let mut last_ts: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    let mut complete_events = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("event phase");
+        if ph != "X" {
+            continue;
+        }
+        complete_events += 1;
+        let pid = e.get("pid").and_then(Json::as_f64).unwrap() as u64;
+        let tid = e.get("tid").and_then(Json::as_f64).unwrap() as u64;
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        assert!(
+            e.get("dur").and_then(Json::as_f64).is_some(),
+            "X event has dur"
+        );
+        let prev = last_ts.insert((pid, tid), ts);
+        if let Some(prev) = prev {
+            assert!(
+                ts >= prev,
+                "lane ({pid},{tid}) timestamps go backwards: {prev} > {ts}"
+            );
+        }
+    }
+    assert!(complete_events > 0, "trace has complete events");
+    // Both device lanes (tid 1 and 2) plus the host lane appear.
+    assert!(last_ts.contains_key(&(1, 0)), "host lane present");
+    assert!(last_ts.contains_key(&(1, 1)), "device 0 lane present");
+    assert!(last_ts.contains_key(&(1, 2)), "device 1 lane present");
+
+    // 3. The kernel spans are exactly the EventLog's kernel events: their
+    //    summed durations agree with `event::total_duration`.
+    let spans = ctx.profiler().spans();
+    let kernel_span_ns: u64 = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Kernel)
+        .map(|s| s.end_ns - s.start_ns)
+        .sum();
+    let log_events = sum.events().last_events();
+    let log_kernels: Vec<_> = log_events
+        .iter()
+        .filter(|e| matches!(e.kind(), CommandKind::Kernel { .. }))
+        .collect();
+    assert!(!log_kernels.is_empty());
+    let log_kernel_ns = event::total_duration(log_kernels.iter().copied()).as_nanos() as u64;
+    assert_eq!(
+        kernel_span_ns, log_kernel_ns,
+        "kernel spans mirror the event log"
+    );
+
+    // Kernel spans landed on both device lanes.
+    let devices: std::collections::BTreeSet<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Kernel)
+        .filter_map(|s| match s.lane {
+            Lane::Device(d) => Some(d),
+            Lane::Host => None,
+        })
+        .collect();
+    assert_eq!(devices.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+}
+
+#[test]
+fn metrics_cover_transfers_compile_cache_and_busy_ns() {
+    let ctx = two_gpu_profiled();
+    let sum: Reduce<i32> = Reduce::new(&ctx, "int sum(int x, int y){ return x + y; }").unwrap();
+    let input = Vector::from_fn(&ctx, 4096, |i| i as i32);
+    sum.call(&input).unwrap();
+    // Second call with the same skeleton: the program cache hits.
+    let sum2: Reduce<i32> = Reduce::new(&ctx, "int sum(int x, int y){ return x + y; }").unwrap();
+    sum2.call(&input).unwrap();
+
+    let m = ctx.profiler().metrics_snapshot().expect("profiler enabled");
+    let counter = |name: &str| m.counters.get(name).copied().unwrap_or(0);
+    assert!(counter(skelcl::profile::metrics::BYTES_H2D) >= 4096 * 4);
+    assert!(counter(skelcl::profile::metrics::BYTES_D2H) > 0);
+    assert_eq!(counter(skelcl::profile::metrics::COMPILE_CACHE_MISS), 1);
+    assert_eq!(counter(skelcl::profile::metrics::COMPILE_CACHE_HIT), 1);
+    assert_eq!(counter(skelcl::profile::metrics::SKELETON_CALLS), 2);
+    assert_eq!(m.devices.len(), 2, "both devices accrued busy time");
+    for busy in m.devices.values() {
+        assert!(busy.kernel_ns > 0);
+        assert!(busy.transfer_ns > 0);
+    }
+    assert!(m.load_imbalance() >= 1.0);
+}

@@ -11,7 +11,10 @@ use skelcl::{
 use vgpu::{DeviceSpec, Platform};
 
 fn ctx(devices: usize) -> Context {
-    Context::init(Platform::new(devices, DeviceSpec::tesla_t10()), DeviceSelection::All)
+    Context::init(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    )
 }
 
 proptest! {

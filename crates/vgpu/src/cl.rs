@@ -188,7 +188,9 @@ pub fn create_context(devices: &[ClDevice]) -> Result<ClContext, Status> {
     if devices.is_empty() {
         return Err(Status::InvalidValue);
     }
-    Ok(ClContext { devices: devices.to_vec() })
+    Ok(ClContext {
+        devices: devices.to_vec(),
+    })
 }
 
 /// `clCreateCommandQueue` (with `CL_QUEUE_PROFILING_ENABLE`; profiling is
@@ -197,8 +199,15 @@ pub fn create_context(devices: &[ClDevice]) -> Result<ClContext, Status> {
 /// # Errors
 ///
 /// Returns [`Status::InvalidValue`] when the device is not in the context.
-pub fn create_command_queue(context: &ClContext, device: &ClDevice) -> Result<ClCommandQueue, Status> {
-    if !context.devices.iter().any(|d| Arc::ptr_eq(&d.device, &device.device)) {
+pub fn create_command_queue(
+    context: &ClContext,
+    device: &ClDevice,
+) -> Result<ClCommandQueue, Status> {
+    if !context
+        .devices
+        .iter()
+        .any(|d| Arc::ptr_eq(&d.device, &device.device))
+    {
         return Err(Status::InvalidValue);
     }
     Ok(ClCommandQueue {
@@ -220,7 +229,10 @@ pub fn create_buffer(queue: &ClCommandQueue, size: usize) -> Result<ClMem, Statu
 
 /// `clCreateProgramWithSource`
 pub fn create_program_with_source(_context: &ClContext, source: &str) -> ClProgram {
-    ClProgram { source: source.to_string(), built: None }
+    ClProgram {
+        source: source.to_string(),
+        built: None,
+    }
 }
 
 /// `clBuildProgram` — compiles the SkelCL C source.
@@ -305,7 +317,10 @@ pub fn enqueue_write_buffer(
     offset: usize,
     bytes: &[u8],
 ) -> Result<ClEvent, Status> {
-    queue.queue.enqueue_write(&mem.buffer, offset, bytes).map_err(|e| status_of(&e))
+    queue
+        .queue
+        .enqueue_write(&mem.buffer, offset, bytes)
+        .map_err(|e| status_of(&e))
 }
 
 /// `clEnqueueReadBuffer` (always blocking).
@@ -319,7 +334,10 @@ pub fn enqueue_read_buffer(
     offset: usize,
     bytes: &mut [u8],
 ) -> Result<ClEvent, Status> {
-    queue.queue.enqueue_read(&mem.buffer, offset, bytes).map_err(|e| status_of(&e))
+    queue
+        .queue
+        .enqueue_read(&mem.buffer, offset, bytes)
+        .map_err(|e| status_of(&e))
 }
 
 /// `clEnqueueNDRangeKernel` — launches with explicit global and local
@@ -352,7 +370,10 @@ pub fn enqueue_nd_range_kernel(
         2 => NdRange::grid([global[0], global[1]], [local[0], local[1]]),
         _ => return Err(Status::InvalidValue),
     };
-    let config = LaunchConfig { toolchain: queue.toolchain, ..LaunchConfig::default() };
+    let config = LaunchConfig {
+        toolchain: queue.toolchain,
+        ..LaunchConfig::default()
+    };
     queue
         .queue
         .launch_kernel(&kernel.program, &kernel.name, &args, range, &config)
@@ -364,10 +385,33 @@ pub fn finish(_queue: &ClCommandQueue) -> Status {
     Status::Success
 }
 
-/// `clGetEventProfilingInfo(CL_PROFILING_COMMAND_END - COMMAND_START)`,
-/// in nanoseconds.
+/// Which profiling timestamp to query, mirroring the
+/// `CL_PROFILING_COMMAND_*` parameter names of `clGetEventProfilingInfo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfilingInfo {
+    /// `CL_PROFILING_COMMAND_QUEUED`: when the command was enqueued.
+    CommandQueued,
+    /// `CL_PROFILING_COMMAND_START`: when execution began.
+    CommandStart,
+    /// `CL_PROFILING_COMMAND_END`: when execution finished.
+    CommandEnd,
+}
+
+/// `clGetEventProfilingInfo` — the selected timestamp on the device
+/// timeline, in nanoseconds.
+pub fn get_event_profiling(event: &ClEvent, info: ProfilingInfo) -> u64 {
+    match info {
+        ProfilingInfo::CommandQueued => event.queued_ns(),
+        ProfilingInfo::CommandStart => event.started_ns(),
+        ProfilingInfo::CommandEnd => event.ended_ns(),
+    }
+}
+
+/// `CL_PROFILING_COMMAND_END - CL_PROFILING_COMMAND_START`, in nanoseconds.
+#[deprecated(note = "use `get_event_profiling(event, ProfilingInfo::…)` or `Event::duration`")]
 pub fn get_event_profiling_ns(event: &ClEvent) -> u64 {
-    event.ended_ns() - event.started_ns()
+    get_event_profiling(event, ProfilingInfo::CommandEnd)
+        .saturating_sub(get_event_profiling(event, ProfilingInfo::CommandStart))
 }
 
 /// Simulated device-timeline clock of the queue's device (for end-to-end
@@ -400,10 +444,19 @@ mod tests {
         set_kernel_arg(&kernel, 1, ClArg::Scalar(Value::I32(7))).unwrap();
         set_kernel_arg(&kernel, 2, ClArg::Scalar(Value::I32(10))).unwrap();
         let ev = enqueue_nd_range_kernel(&queue, &kernel, 1, &[10], &[10]).unwrap();
-        assert!(get_event_profiling_ns(&ev) > 0);
+        let start = get_event_profiling(&ev, ProfilingInfo::CommandStart);
+        let end = get_event_profiling(&ev, ProfilingInfo::CommandEnd);
+        assert!(end > start);
+        assert!(get_event_profiling(&ev, ProfilingInfo::CommandQueued) <= start);
+        #[allow(deprecated)]
+        {
+            assert_eq!(get_event_profiling_ns(&ev), end - start);
+        }
         let mut out = vec![0u8; 40];
         enqueue_read_buffer(&queue, &mem, 0, &mut out).unwrap();
-        assert!(out.chunks_exact(4).all(|c| i32::from_le_bytes(c.try_into().unwrap()) == 7));
+        assert!(out
+            .chunks_exact(4)
+            .all(|c| i32::from_le_bytes(c.try_into().unwrap()) == 7));
         assert_eq!(finish(&queue), Status::Success);
     }
 
@@ -424,7 +477,10 @@ mod tests {
         let devices = get_device_ids(&platforms[0]).unwrap();
         let context = create_context(&devices).unwrap();
         let mut program = create_program_with_source(&context, "__kernel void k( {");
-        assert_eq!(build_program(&mut program), Err(Status::BuildProgramFailure));
+        assert_eq!(
+            build_program(&mut program),
+            Err(Status::BuildProgramFailure)
+        );
         assert!(get_program_build_info(&program).contains("error"));
     }
 
@@ -441,7 +497,10 @@ mod tests {
             enqueue_nd_range_kernel(&queue, &kernel, 1, &[10], &[10]),
             Err(Status::InvalidKernelArgs)
         ));
-        assert_eq!(create_kernel(&program, "nope").unwrap_err(), Status::InvalidKernelName);
+        assert_eq!(
+            create_kernel(&program, "nope").unwrap_err(),
+            Status::InvalidKernelName
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ mod tests {
         let ocl = kernel_ns(&s, &c, Toolchain::OpenCl);
         let cuda = kernel_ns(&s, &c, Toolchain::Cuda);
         let ratio = ocl as f64 / cuda as f64;
-        assert!((ratio - s.cuda_toolchain_speedup).abs() < 0.01, "ratio {ratio}");
+        assert!(
+            (ratio - s.cuda_toolchain_speedup).abs() < 0.01,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -118,7 +121,10 @@ mod tests {
         // Very few ops but lots of bytes: the bandwidth term dominates.
         let c = counters(10, 10, 0, 102_000_000_000);
         let t = kernel_ns(&s, &c, Toolchain::OpenCl);
-        assert!((t as f64 - 1e9).abs() / 1e9 < 0.01, "expected ~1s, got {t} ns");
+        assert!(
+            (t as f64 - 1e9).abs() / 1e9 < 0.01,
+            "expected ~1s, got {t} ns"
+        );
     }
 
     #[test]
@@ -134,12 +140,18 @@ mod tests {
     fn launch_adds_fixed_overhead() {
         let s = spec();
         let c = counters(0, 0, 0, 0);
-        assert_eq!(launch_ns(&s, &c, Toolchain::OpenCl), s.kernel_launch_overhead_ns);
+        assert_eq!(
+            launch_ns(&s, &c, Toolchain::OpenCl),
+            s.kernel_launch_overhead_ns
+        );
     }
 
     #[test]
     fn empty_kernel_is_free_modulo_overhead() {
         let s = spec();
-        assert_eq!(kernel_ns(&s, &CostCounters::default(), Toolchain::OpenCl), 0);
+        assert_eq!(
+            kernel_ns(&s, &CostCounters::default(), Toolchain::OpenCl),
+            0
+        );
     }
 }

@@ -123,7 +123,12 @@ pub struct Device {
 impl Device {
     /// Creates a device.
     pub fn new(id: DeviceId, spec: DeviceSpec) -> Self {
-        Device { id, spec, allocated: AtomicUsize::new(0), clock_ns: AtomicU64::new(0) }
+        Device {
+            id,
+            spec,
+            allocated: AtomicUsize::new(0),
+            clock_ns: AtomicU64::new(0),
+        }
     }
 
     /// The device's id within its platform.

@@ -123,9 +123,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::OutOfDeviceMemory { requested: 100, available: 10 };
+        let e = Error::OutOfDeviceMemory {
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("requested 100"));
-        let e = Error::UnknownKernel { name: "nope".into() };
+        let e = Error::UnknownKernel {
+            name: "nope".into(),
+        };
         assert_eq!(e.to_string(), "unknown kernel `nope`");
         let e = Error::Launch {
             kernel: "k".into(),

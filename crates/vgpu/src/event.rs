@@ -67,7 +67,14 @@ impl Event {
         counters: Option<CostCounters>,
     ) -> Self {
         Event {
-            inner: Arc::new(EventData { device, kind, queued_ns, started_ns, ended_ns, counters }),
+            inner: Arc::new(EventData {
+                device,
+                kind,
+                queued_ns,
+                started_ns,
+                ended_ns,
+                counters,
+            }),
         }
     }
 
@@ -97,9 +104,16 @@ impl Event {
     }
 
     /// Simulated execution duration (`end - start`), the quantity the
-    /// OpenCL profiling API reports per command.
+    /// OpenCL profiling API reports per command. Saturates at zero for
+    /// synthesised timelines whose end precedes their start.
     pub fn duration(&self) -> Duration {
-        Duration::from_nanos(self.inner.ended_ns - self.inner.started_ns)
+        Duration::from_nanos(self.inner.ended_ns.saturating_sub(self.inner.started_ns))
+    }
+
+    /// Time the command spent waiting in the queue (`start - queued`),
+    /// saturating at zero.
+    pub fn queue_latency(&self) -> Duration {
+        Duration::from_nanos(self.inner.started_ns.saturating_sub(self.inner.queued_ns))
     }
 
     /// Aggregate execution counters (kernel commands only).
@@ -131,13 +145,38 @@ mod tests {
         assert_eq!(e.device(), DeviceId(1));
         assert_eq!(e.queued_ns(), 5);
         assert_eq!(e.duration(), Duration::from_nanos(100));
+        assert_eq!(e.queue_latency(), Duration::from_nanos(5));
         assert!(e.counters().is_some());
         assert_eq!(e.kind(), &CommandKind::Kernel { name: "k".into() });
     }
 
     #[test]
+    fn duration_saturates_on_inverted_timeline() {
+        // Synthesised events may carry end < start; duration must not panic.
+        let e = Event::new(
+            DeviceId(0),
+            CommandKind::WriteBuffer { bytes: 4 },
+            20,
+            15,
+            10,
+            None,
+        );
+        assert_eq!(e.duration(), Duration::ZERO);
+        assert_eq!(e.queue_latency(), Duration::ZERO);
+    }
+
+    #[test]
     fn total_duration_sums() {
-        let mk = |s, t| Event::new(DeviceId(0), CommandKind::ReadBuffer { bytes: 1 }, s, s, t, None);
+        let mk = |s, t| {
+            Event::new(
+                DeviceId(0),
+                CommandKind::ReadBuffer { bytes: 1 },
+                s,
+                s,
+                t,
+                None,
+            )
+        };
         let events = vec![mk(0, 10), mk(10, 25)];
         assert_eq!(total_duration(&events), Duration::from_nanos(25));
     }

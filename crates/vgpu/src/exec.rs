@@ -48,7 +48,10 @@ impl LaunchConfig {
     /// A config with the CUDA toolchain factor applied (paper's Fig. 4
     /// baseline).
     pub fn cuda() -> Self {
-        LaunchConfig { toolchain: Toolchain::Cuda, ..Default::default() }
+        LaunchConfig {
+            toolchain: Toolchain::Cuda,
+            ..Default::default()
+        }
     }
 }
 
@@ -70,7 +73,11 @@ pub(crate) fn execute_launch(
 
     let threads = config
         .host_threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .clamp(1, total_groups);
 
     let next_group = AtomicUsize::new(0);
@@ -197,11 +204,13 @@ fn run_group(
                 continue;
             }
             let global_id = item.geometry().global_id;
-            let exit = item.run(buffers, &mut local_mem).map_err(|error| Error::Launch {
-                kernel: kernel.name.clone(),
-                global_id,
-                error,
-            })?;
+            let exit = item
+                .run(buffers, &mut local_mem)
+                .map_err(|error| Error::Launch {
+                    kernel: kernel.name.clone(),
+                    global_id,
+                    error,
+                })?;
             match exit {
                 Exit::Done => any_done = true,
                 Exit::Barrier(id) => match barrier {
@@ -236,4 +245,3 @@ fn run_group(
     }
     Ok(counters)
 }
-

@@ -48,7 +48,9 @@ impl DeviceBuffer {
     pub(crate) fn alloc(device: Arc<Device>, len: usize) -> Result<DeviceBuffer> {
         device.reserve(len)?;
         let data = (0..len).map(|_| AtomicU8::new(0)).collect();
-        Ok(DeviceBuffer { inner: Arc::new(BufferInner { device, data }) })
+        Ok(DeviceBuffer {
+            inner: Arc::new(BufferInner { device, data }),
+        })
     }
 
     /// Length of the buffer in bytes.
@@ -70,7 +72,10 @@ impl DeviceBuffer {
     /// the queue layer accounts time).
     pub(crate) fn write_bytes(&self, offset: usize, src: &[u8]) -> Result<()> {
         let data = &self.inner.data;
-        if offset.checked_add(src.len()).is_none_or(|end| end > data.len()) {
+        if offset
+            .checked_add(src.len())
+            .is_none_or(|end| end > data.len())
+        {
             return Err(Error::TransferOutOfRange {
                 buffer_len: data.len(),
                 offset,
@@ -86,7 +91,10 @@ impl DeviceBuffer {
     /// Copies from the buffer at `offset` into `dst`.
     pub(crate) fn read_bytes(&self, offset: usize, dst: &mut [u8]) -> Result<()> {
         let data = &self.inner.data;
-        if offset.checked_add(dst.len()).is_none_or(|end| end > data.len()) {
+        if offset
+            .checked_add(dst.len())
+            .is_none_or(|end| end > data.len())
+        {
             return Err(Error::TransferOutOfRange {
                 buffer_len: data.len(),
                 offset,
@@ -108,7 +116,12 @@ pub(crate) struct BufferTable {
 }
 
 impl BufferTable {
-    fn buffer(&self, index: u32, byte_offset: i64, ty: ScalarType) -> std::result::Result<&BufferInner, MemAccessError> {
+    fn buffer(
+        &self,
+        index: u32,
+        byte_offset: i64,
+        ty: ScalarType,
+    ) -> std::result::Result<&BufferInner, MemAccessError> {
         self.buffers
             .get(index as usize)
             .map(|b| &*b.inner)
@@ -195,7 +208,11 @@ mod tests {
         assert_eq!(d.allocated_bytes(), 1024);
         let b2 = b.clone();
         drop(b);
-        assert_eq!(d.allocated_bytes(), 1024, "clone keeps the allocation alive");
+        assert_eq!(
+            d.allocated_bytes(),
+            1024,
+            "clone keeps the allocation alive"
+        );
         drop(b2);
         assert_eq!(d.allocated_bytes(), 0, "memory released on last drop");
     }
@@ -240,9 +257,16 @@ mod tests {
     fn buffer_table_load_store() {
         let d = device();
         let b = DeviceBuffer::alloc(d, 8).unwrap();
-        let table = BufferTable { buffers: vec![b.clone()] };
-        table.store(0, 4, ScalarType::Float, Value::F32(2.5)).unwrap();
-        assert_eq!(table.load(0, 4, ScalarType::Float).unwrap(), Value::F32(2.5));
+        let table = BufferTable {
+            buffers: vec![b.clone()],
+        };
+        table
+            .store(0, 4, ScalarType::Float, Value::F32(2.5))
+            .unwrap();
+        assert_eq!(
+            table.load(0, 4, ScalarType::Float).unwrap(),
+            Value::F32(2.5)
+        );
         assert!(table.load(0, 5, ScalarType::Float).is_err());
         assert!(table.load(0, -1, ScalarType::Char).is_err());
         assert!(table.load(1, 0, ScalarType::Char).is_err());

@@ -28,7 +28,11 @@ impl NdRange {
     /// `if (gid < n)` check, as SkelCL-generated kernels do).
     pub fn linear(global: usize, local: usize) -> NdRange {
         let padded = global.div_ceil(local.max(1)) * local.max(1);
-        NdRange { dims: 1, global: [padded.max(local), 1, 1], local: [local.max(1), 1, 1] }
+        NdRange {
+            dims: 1,
+            global: [padded.max(local), 1, 1],
+            local: [local.max(1), 1, 1],
+        }
     }
 
     /// A 1-D range with the default group size of 256.
@@ -42,7 +46,11 @@ impl NdRange {
         let pad = |g: usize, l: usize| g.div_ceil(l.max(1)) * l.max(1);
         NdRange {
             dims: 2,
-            global: [pad(global[0], local[0]).max(local[0]), pad(global[1], local[1]).max(local[1]), 1],
+            global: [
+                pad(global[0], local[0]).max(local[0]),
+                pad(global[1], local[1]).max(local[1]),
+                1,
+            ],
             local: [local[0].max(1), local[1].max(1), 1],
         }
     }
@@ -149,12 +157,20 @@ mod tests {
 
     #[test]
     fn validation_failures() {
-        assert!(NdRange { dims: 1, global: [10, 1, 1], local: [3, 1, 1] }
-            .validate(256)
-            .is_err());
-        assert!(NdRange { dims: 1, global: [0, 1, 1], local: [1, 1, 1] }
-            .validate(256)
-            .is_err());
+        assert!(NdRange {
+            dims: 1,
+            global: [10, 1, 1],
+            local: [3, 1, 1]
+        }
+        .validate(256)
+        .is_err());
+        assert!(NdRange {
+            dims: 1,
+            global: [0, 1, 1],
+            local: [1, 1, 1]
+        }
+        .validate(256)
+        .is_err());
         assert!(NdRange::grid([32, 32], [32, 32]).validate(256).is_err());
     }
 

@@ -127,7 +127,14 @@ impl CommandQueue {
         let spec = self.device.spec();
         let ns = ((2 * len) as f64 / spec.global_bandwidth * 1e9).ceil() as u64;
         let (start, end) = self.device.advance(ns);
-        Ok(Event::new(self.device.id(), CommandKind::CopyBuffer { bytes: len }, start, start, end, None))
+        Ok(Event::new(
+            self.device.id(),
+            CommandKind::CopyBuffer { bytes: len },
+            start,
+            start,
+            end,
+            None,
+        ))
     }
 
     /// Launches `kernel_name` from `program` over `range` with `args`.
@@ -152,7 +159,9 @@ impl CommandQueue {
         let spec = self.device.spec();
         let kernel = program
             .kernel(kernel_name)
-            .ok_or_else(|| Error::UnknownKernel { name: kernel_name.to_string() })?;
+            .ok_or_else(|| Error::UnknownKernel {
+                name: kernel_name.to_string(),
+            })?;
         range.validate(spec.max_work_group_size)?;
 
         if args.len() != kernel.params.len() {
@@ -227,14 +236,23 @@ impl CommandQueue {
         }
 
         let table = BufferTable { buffers };
-        let counters =
-            execute_launch(program, kernel, &values, &table, &range, local_bytes, config)?;
+        let counters = execute_launch(
+            program,
+            kernel,
+            &values,
+            &table,
+            &range,
+            local_bytes,
+            config,
+        )?;
         let ns = cost::launch_ns(spec, &counters, config.toolchain);
         let (queued, end) = self.device.advance(ns);
         let start = queued + spec.kernel_launch_overhead_ns;
         Ok(Event::new(
             self.device.id(),
-            CommandKind::Kernel { name: kernel_name.into() },
+            CommandKind::Kernel {
+                name: kernel_name.into(),
+            },
             queued,
             start.min(end),
             end,

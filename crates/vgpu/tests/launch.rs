@@ -3,20 +3,24 @@
 
 use skelcl_kernel::compile;
 use skelcl_kernel::value::Value;
-use vgpu::{
-    CommandKind, DeviceSpec, Error, KernelArg, LaunchConfig, NdRange, Platform, Toolchain,
-};
+use vgpu::{CommandKind, DeviceSpec, Error, KernelArg, LaunchConfig, NdRange, Platform, Toolchain};
 
 fn f32s(vals: &[f32]) -> Vec<u8> {
     vals.iter().flat_map(|v| v.to_le_bytes()).collect()
 }
 
 fn to_f32s(bytes: &[u8]) -> Vec<f32> {
-    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 fn to_i32s(bytes: &[u8]) -> Vec<i32> {
-    bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect()
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 #[test]
@@ -42,7 +46,11 @@ fn multi_group_map_kernel() {
         .launch_kernel(
             &program,
             "double_it",
-            &[KernelArg::Buffer(a), KernelArg::Buffer(b.clone()), KernelArg::Scalar(Value::I32(n as i32))],
+            &[
+                KernelArg::Buffer(a),
+                KernelArg::Buffer(b.clone()),
+                KernelArg::Scalar(Value::I32(n as i32)),
+            ],
             NdRange::linear_default(n),
             &LaunchConfig::default(),
         )
@@ -94,7 +102,11 @@ fn barrier_across_many_groups_parallel() {
         .launch_kernel(
             &program,
             "partial_sum",
-            &[KernelArg::Buffer(a), KernelArg::Buffer(out.clone()), KernelArg::Scalar(Value::I32(n as i32))],
+            &[
+                KernelArg::Buffer(a),
+                KernelArg::Buffer(out.clone()),
+                KernelArg::Scalar(Value::I32(n as i32)),
+            ],
             NdRange::linear(n, 64),
             &LaunchConfig::default(),
         )
@@ -134,7 +146,11 @@ fn dynamic_local_memory_argument() {
         .launch_kernel(
             &program,
             "shift",
-            &[KernelArg::Buffer(a), KernelArg::Buffer(b.clone()), KernelArg::Local(8 * 4)],
+            &[
+                KernelArg::Buffer(a),
+                KernelArg::Buffer(b.clone()),
+                KernelArg::Local(8 * 4),
+            ],
             NdRange::linear(8, 8),
             &LaunchConfig::default(),
         )
@@ -235,29 +251,51 @@ fn argument_validation() {
 
     // Wrong count.
     assert!(matches!(
-        queue.launch_kernel(&program, "k", &[KernelArg::Buffer(buf.clone())],
-            NdRange::linear(1, 1), &LaunchConfig::default()),
+        queue.launch_kernel(
+            &program,
+            "k",
+            &[KernelArg::Buffer(buf.clone())],
+            NdRange::linear(1, 1),
+            &LaunchConfig::default()
+        ),
         Err(Error::InvalidKernelArg { .. })
     ));
     // Wrong kind.
     assert!(matches!(
-        queue.launch_kernel(&program, "k",
-            &[KernelArg::Scalar(Value::I32(1)), KernelArg::Scalar(Value::I32(1))],
-            NdRange::linear(1, 1), &LaunchConfig::default()),
+        queue.launch_kernel(
+            &program,
+            "k",
+            &[
+                KernelArg::Scalar(Value::I32(1)),
+                KernelArg::Scalar(Value::I32(1))
+            ],
+            NdRange::linear(1, 1),
+            &LaunchConfig::default()
+        ),
         Err(Error::InvalidKernelArg { .. })
     ));
     // Unknown kernel.
     assert!(matches!(
-        queue.launch_kernel(&program, "nope", &[], NdRange::linear(1, 1), &LaunchConfig::default()),
+        queue.launch_kernel(
+            &program,
+            "nope",
+            &[],
+            NdRange::linear(1, 1),
+            &LaunchConfig::default()
+        ),
         Err(Error::UnknownKernel { .. })
     ));
     // Buffer from the wrong device.
     let other_queue = platform.queue(1);
     let foreign = other_queue.create_buffer(4).unwrap();
     assert!(matches!(
-        queue.launch_kernel(&program, "k",
+        queue.launch_kernel(
+            &program,
+            "k",
             &[KernelArg::Buffer(foreign), KernelArg::Scalar(Value::I32(1))],
-            NdRange::linear(1, 1), &LaunchConfig::default()),
+            NdRange::linear(1, 1),
+            &LaunchConfig::default()
+        ),
         Err(Error::WrongDevice { .. })
     ));
 }
@@ -278,7 +316,10 @@ fn scalar_arguments_are_converted() {
         .launch_kernel(
             &program,
             "k",
-            &[KernelArg::Buffer(out.clone()), KernelArg::Scalar(Value::I32(7))],
+            &[
+                KernelArg::Buffer(out.clone()),
+                KernelArg::Scalar(Value::I32(7)),
+            ],
             NdRange::linear(1, 1),
             &LaunchConfig::default(),
         )
@@ -308,7 +349,10 @@ fn profiling_timeline_is_ordered_and_additive() {
         .launch_kernel(
             &program,
             "busy",
-            &[KernelArg::Buffer(buf.clone()), KernelArg::Scalar(Value::I32(1024))],
+            &[
+                KernelArg::Buffer(buf.clone()),
+                KernelArg::Scalar(Value::I32(1024)),
+            ],
             NdRange::linear_default(1024),
             &LaunchConfig::default(),
         )
@@ -320,7 +364,12 @@ fn profiling_timeline_is_ordered_and_additive() {
     assert!(w.ended_ns() <= k.queued_ns());
     assert!(k.ended_ns() <= r.queued_ns());
     assert!(k.duration().as_nanos() > 0);
-    assert_eq!(k.kind(), &CommandKind::Kernel { name: "busy".into() });
+    assert_eq!(
+        k.kind(),
+        &CommandKind::Kernel {
+            name: "busy".into()
+        }
+    );
     assert_eq!(platform.device(0).now_ns(), r.ended_ns());
 }
 
@@ -401,7 +450,9 @@ fn on_device_copy() {
     let queue = platform.queue(0);
     let a = queue.create_buffer(16).unwrap();
     let b = queue.create_buffer(16).unwrap();
-    queue.enqueue_write(&a, 0, &f32s(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+    queue
+        .enqueue_write(&a, 0, &f32s(&[1.0, 2.0, 3.0, 4.0]))
+        .unwrap();
     let ev = queue.enqueue_copy(&a, 4, &b, 8, 8).unwrap();
     assert_eq!(ev.kind(), &CommandKind::CopyBuffer { bytes: 8 });
     let mut out = vec![0u8; 16];

@@ -24,7 +24,10 @@ fn thousands_of_groups_write_disjoint_cells_deterministically() {
         .launch_kernel(
             &program,
             "fill",
-            &[KernelArg::Buffer(buf.clone()), KernelArg::Scalar(Value::I32(n as i32))],
+            &[
+                KernelArg::Buffer(buf.clone()),
+                KernelArg::Scalar(Value::I32(n as i32)),
+            ],
             NdRange::linear(n, 256),
             &LaunchConfig::default(),
         )
@@ -32,7 +35,11 @@ fn thousands_of_groups_write_disjoint_cells_deterministically() {
     let mut bytes = vec![0u8; n * 4];
     queue.enqueue_read(&buf, 0, &mut bytes).unwrap();
     for (i, c) in bytes.chunks_exact(4).enumerate() {
-        assert_eq!(i32::from_le_bytes(c.try_into().unwrap()), i as i32 * 7 - 3, "cell {i}");
+        assert_eq!(
+            i32::from_le_bytes(c.try_into().unwrap()),
+            i as i32 * 7 - 3,
+            "cell {i}"
+        );
     }
 }
 
@@ -56,12 +63,18 @@ fn repeated_launches_give_identical_counters() {
         let platform = Platform::single(DeviceSpec::tesla_t10());
         let queue = platform.queue(0);
         let buf = queue.create_buffer(10_000 * 4).unwrap();
-        let config = LaunchConfig { host_threads: Some(threads), ..Default::default() };
+        let config = LaunchConfig {
+            host_threads: Some(threads),
+            ..Default::default()
+        };
         let ev = queue
             .launch_kernel(
                 &program,
                 "work",
-                &[KernelArg::Buffer(buf), KernelArg::Scalar(Value::I32(10_000))],
+                &[
+                    KernelArg::Buffer(buf),
+                    KernelArg::Scalar(Value::I32(10_000)),
+                ],
                 NdRange::linear_default(10_000),
                 &config,
             )
@@ -122,7 +135,10 @@ fn concurrent_queues_on_separate_devices() {
         }
     });
     for d in 0..4 {
-        assert!(platform.device(d).now_ns() > 0, "device {d} timeline advanced");
+        assert!(
+            platform.device(d).now_ns() > 0,
+            "device {d} timeline advanced"
+        );
     }
 }
 
@@ -174,10 +190,16 @@ fn memory_churn_many_allocations() {
     let queue = platform.queue(0);
     for round in 0..100 {
         let buf = queue.create_buffer(1 << 16).unwrap();
-        queue.enqueue_write(&buf, 0, &vec![round as u8; 1 << 16]).unwrap();
+        queue
+            .enqueue_write(&buf, 0, &vec![round as u8; 1 << 16])
+            .unwrap();
         let mut back = vec![0u8; 1 << 16];
         queue.enqueue_read(&buf, 0, &mut back).unwrap();
         assert!(back.iter().all(|&b| b == round as u8));
     }
-    assert_eq!(platform.device(0).allocated_bytes(), 0, "everything released");
+    assert_eq!(
+        platform.device(0).allocated_bytes(),
+        0,
+        "everything released"
+    );
 }

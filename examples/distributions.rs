@@ -50,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     assert_eq!(scanned.to_vec()?, host);
     println!("\nmulti-GPU scan verified over {} elements", scanned.len());
-    println!("scan kernel time: {:?} (simulated)", prefix.events().last_kernel_time());
+    println!(
+        "scan kernel time: {:?} (simulated)",
+        prefix.events().last_kernel_time()
+    );
     Ok(())
 }

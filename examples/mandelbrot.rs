@@ -30,7 +30,12 @@ uchar func(int gid, int width, int height, int max_iter)
 }
 "#;
 
-fn render(devices: usize, width: usize, height: usize, max_iter: i32) -> Result<(Vec<u8>, std::time::Duration), Box<dyn std::error::Error>> {
+fn render(
+    devices: usize,
+    width: usize,
+    height: usize,
+    max_iter: i32,
+) -> Result<(Vec<u8>, std::time::Duration), Box<dyn std::error::Error>> {
     let ctx = Context::init(
         Platform::new(devices, DeviceSpec::tesla_t10()),
         DeviceSelection::All,
@@ -58,8 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (img1, t1) = render(1, width, height, max_iter)?;
     println!("1 GPU : kernel time {t1:?} (simulated)");
     let (img4, t4) = render(4, width, height, max_iter)?;
-    println!("4 GPUs: kernel time {t4:?} (simulated), speedup {:.2}x",
-        t1.as_secs_f64() / t4.as_secs_f64());
+    println!(
+        "4 GPUs: kernel time {t4:?} (simulated), speedup {:.2}x",
+        t1.as_secs_f64() / t4.as_secs_f64()
+    );
     assert_eq!(img1, img4, "multi-GPU result matches single-GPU");
 
     let path = std::env::temp_dir().join("skelcl_mandelbrot.pgm");

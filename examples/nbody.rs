@@ -90,12 +90,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rel = (sx - axv[i]).abs() / sx.abs().max(1e-3);
         max_rel = max_rel.max(rel);
     }
-    assert!(max_rel < 1e-2, "force sums match host (max rel err {max_rel:.2e})");
+    assert!(
+        max_rel < 1e-2,
+        "force sums match host (max rel err {max_rel:.2e})"
+    );
 
     println!("n-body step for {n} bodies on {} GPUs", ctx.device_count());
-    println!("pairwise-force kernel time: {:?} (simulated)", fx_pairs.events().last_kernel_time());
+    println!(
+        "pairwise-force kernel time: {:?} (simulated)",
+        fx_pairs.events().last_kernel_time()
+    );
     println!("max relative error vs host: {max_rel:.3e}");
-    println!("first body moved from ({:.3}, {:.3}) to ({:.3}, {:.3})",
-        b[0], b[1], stepped[0], stepped[1]);
+    println!(
+        "first body moved from ({:.3}, {:.3}) to ({:.3}, {:.3})",
+        b[0], b[1], stepped[0], stepped[1]
+    );
     Ok(())
 }

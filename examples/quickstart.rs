@@ -2,18 +2,28 @@
 //! the Zip and Reduce skeletons.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Profiling is enabled, so the run ends with a metrics summary and a
+//! Chrome trace (`chrome://tracing` / Perfetto) written to `SKELCL_TRACE`
+//! if set, else `quickstart_trace.json`.
 
-use skelcl_repro::skelcl::{Context, Reduce, Vector, Zip};
+use skelcl_repro::skelcl::{Context, DeviceSelection, Profiler, Reduce, Vector, Zip};
+use skelcl_repro::vgpu::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // SkelCL::init() — here: all 4 GPUs of a virtual Tesla S1070.
-    let ctx = Context::tesla_s1070();
+    // SkelCL::init() — here: all 4 GPUs of a virtual Tesla S1070, with the
+    // tracing/metrics layer switched on (a plain `Context::tesla_s1070()`
+    // honours the `SKELCL_PROFILE` env variable instead).
+    let ctx = Context::init_with_profiler(
+        Platform::tesla_s1070(),
+        DeviceSelection::All,
+        Profiler::enabled(),
+    );
     println!("initialised SkelCL on {} virtual GPUs", ctx.device_count());
 
     // Create the skeletons, customized by plain source strings.
     let sum: Reduce<f32> = Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }")?;
-    let mult: Zip<f32, f32, f32> =
-        Zip::new(&ctx, "float mult(float x, float y){ return x * y; }")?;
+    let mult: Zip<f32, f32, f32> = Zip::new(&ctx, "float mult(float x, float y){ return x * y; }")?;
 
     // Create and fill the input vectors.
     const SIZE: usize = 1 << 20;
@@ -34,7 +44,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("kernel time   = {:?} (simulated)", c.kernel_time());
 
     let rel_err = ((c.value() as f64 - host) / host).abs();
-    assert!(rel_err < 1e-3, "GPU and host results agree (rel err {rel_err:.2e})");
+    assert!(
+        rel_err < 1e-3,
+        "GPU and host results agree (rel err {rel_err:.2e})"
+    );
+
+    // The observability layer's view of the run: counters, histograms and
+    // per-device utilization, plus a Chrome trace for chrome://tracing.
+    let profiler = ctx.profiler();
+    if let Some(summary) = profiler.summary() {
+        println!("\n{summary}");
+    }
+    if let Some(trace) = profiler.chrome_trace_json() {
+        let path = std::env::var("SKELCL_TRACE").unwrap_or_else(|_| "quickstart_trace.json".into());
+        std::fs::write(&path, trace)?;
+        println!("chrome trace  = {path} (open in chrome://tracing or Perfetto)");
+    }
     println!("OK");
     Ok(())
 }

@@ -30,7 +30,11 @@ fn test_image(width: usize, height: usize) -> Vec<u8> {
             let circles = {
                 let dx = x as f64 - width as f64 / 2.0;
                 let dy = y as f64 - height as f64 / 2.0;
-                if ((dx * dx + dy * dy).sqrt() as usize / 32).is_multiple_of(2) { 180 } else { 60 }
+                if ((dx * dx + dy * dy).sqrt() as usize / 32).is_multiple_of(2) {
+                    180
+                } else {
+                    60
+                }
             };
             let stripes = if (x / 24) % 2 == 0 { 30 } else { 0 };
             img[y * width + x] = (circles + stripes) as u8;

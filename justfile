@@ -1,0 +1,39 @@
+# Developer entry points. `just check` is what CI runs; everything works
+# offline (dependencies are vendored path crates under vendor/).
+
+# Build, test and lint — the full CI gate.
+check: build test clippy fmt-check
+
+# Release build of every crate.
+build:
+    cargo build --release --workspace
+
+# Tier-1 tests (root package, as the roadmap's verify command) plus the
+# whole workspace.
+test:
+    cargo test -q
+    cargo test -q --workspace
+
+# Lint with warnings denied.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Formatting check (non-mutating).
+fmt-check:
+    cargo fmt --all --check
+
+# Reformat the tree.
+fmt:
+    cargo fmt --all
+
+# Regenerate the paper's figures and their BENCH_*.json reports.
+figures:
+    cargo run --release -p skelcl-bench --bin fig4_mandelbrot
+    cargo run --release -p skelcl-bench --bin fig5_sobel
+    cargo run --release -p skelcl-bench --bin scaling
+    cargo run --release -p skelcl-bench --bin loc_table
+
+# Quickstart with profiling: prints the metrics summary and writes
+# trace.json for chrome://tracing.
+trace:
+    SKELCL_TRACE=trace.json cargo run --release -p skelcl-repro --example quickstart

@@ -33,8 +33,7 @@ fn listing_1_1_dot_product() {
 #[test]
 fn section_3_3_map_negation() {
     let ctx = Context::single_gpu();
-    let neg: Map<f32, f32> =
-        Map::new(&ctx, "float func(float x){ return -x; }").unwrap();
+    let neg: Map<f32, f32> = Map::new(&ctx, "float func(float x){ return -x; }").unwrap();
     let input = Vector::from_fn(&ctx, 1000, |i| i as f32 - 500.0);
     let result = neg.call(&input).unwrap();
     let out = result.to_vec().unwrap();
@@ -74,7 +73,11 @@ fn listing_1_2_neighbour_sum() {
     .unwrap();
     let ones = Matrix::from_fn(&ctx, 10, 10, |_, _| 1.0f32);
     let out = m.call(&ones).unwrap();
-    assert_eq!(out.get(5, 5).unwrap(), 9.0, "interior counts all 9 neighbours");
+    assert_eq!(
+        out.get(5, 5).unwrap(),
+        9.0,
+        "interior counts all 9 neighbours"
+    );
     assert_eq!(out.get(0, 0).unwrap(), 4.0, "corner sees 4 in-range cells");
     assert_eq!(out.get(0, 5).unwrap(), 6.0, "edge sees 6 in-range cells");
 }

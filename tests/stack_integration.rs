@@ -46,14 +46,23 @@ fn raw_kernel_and_skeleton_agree() {
         .unwrap();
     let mut raw_bytes = vec![0u8; 4 * n];
     queue.enqueue_read(&b, 0, &mut raw_bytes).unwrap();
-    let raw: Vec<f32> =
-        raw_bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+    let raw: Vec<f32> = raw_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
 
     // (b) Skeleton path.
     let ctx = Context::single_gpu();
-    let map: Map<f32, f32> =
-        Map::new(&ctx, "float poly(float x){ return 3.0f * x * x - 2.0f * x + 1.0f; }").unwrap();
-    let skel = map.call(&Vector::from_vec(&ctx, input.clone())).unwrap().to_vec().unwrap();
+    let map: Map<f32, f32> = Map::new(
+        &ctx,
+        "float poly(float x){ return 3.0f * x * x - 2.0f * x + 1.0f; }",
+    )
+    .unwrap();
+    let skel = map
+        .call(&Vector::from_vec(&ctx, input.clone()))
+        .unwrap()
+        .to_vec()
+        .unwrap();
 
     assert_eq!(raw, skel);
     // And both match the host.
@@ -67,8 +76,7 @@ fn raw_kernel_and_skeleton_agree() {
 #[test]
 fn compile_errors_propagate_with_context() {
     let ctx = Context::single_gpu();
-    let err = Map::<f32, f32>::new(&ctx, "float f(float x){ return x + undeclared; }")
-        .unwrap_err();
+    let err = Map::<f32, f32>::new(&ctx, "float f(float x){ return x + undeclared; }").unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("undeclared"), "{msg}");
     assert!(msg.contains("customizing function"), "{msg}");
@@ -127,7 +135,10 @@ fn container_drop_releases_device_memory() {
         let neg: Map<f32, f32> = Map::new(&ctx, "float f(float x){ return -x; }").unwrap();
         let v = Vector::from_fn(&ctx, 100_000, |i| i as f32);
         let out = neg.call(&v).unwrap();
-        assert!(device.allocated_bytes() > before, "buffers allocated on use");
+        assert!(
+            device.allocated_bytes() > before,
+            "buffers allocated on use"
+        );
         drop(out);
         drop(v);
     }
@@ -180,7 +191,10 @@ fn raw_opencl_interop_with_containers() {
             .launch_kernel(
                 &program,
                 "triple",
-                &[KernelArg::Buffer(chunk.buffer.clone()), KernelArg::Scalar(Value::I32(n as i32))],
+                &[
+                    KernelArg::Buffer(chunk.buffer.clone()),
+                    KernelArg::Scalar(Value::I32(n as i32)),
+                ],
                 NdRange::linear_default(n),
                 &LaunchConfig::default(),
             )

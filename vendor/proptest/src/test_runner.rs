@@ -1,0 +1,74 @@
+//! Runner configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the simulated-GPU tests here are
+        // heavyweight, so the shim keeps the explicit per-test configs and
+        // uses a smaller fallback.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG driving strategy generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A deterministic RNG derived from the test's name, so every run of
+    /// a given test sees the same case sequence.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform index below `bound`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniform `usize` in `range`.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform `u64` in the inclusive span `[lo, hi]` interpreted over
+    /// the raw two's-complement bits (shared by all integer strategies).
+    pub fn span(&mut self, lo: u64, span: u64) -> u64 {
+        if span == u64::MAX {
+            self.inner.next_u64()
+        } else {
+            lo.wrapping_add(self.inner.gen_range(0..=span))
+        }
+    }
+}
