@@ -1,0 +1,105 @@
+//! Regression gate over benchmark reports: compares every committed
+//! `BENCH_*.json` baseline against a freshly generated counterpart and
+//! exits non-zero on any regression (see `skelcl_bench::gate` for the
+//! rules).
+//!
+//! Usage: `bench_gate <baseline_dir> <fresh_dir> [--tolerance 0.10]`
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use skelcl_bench::gate::{diff_reports, GateConfig};
+use skelcl_profile::json::Json;
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = GateConfig::default();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it.next().and_then(|t| t.parse().ok());
+            match v {
+                Some(t) => cfg.rel_tolerance = t,
+                None => {
+                    eprintln!("--tolerance needs a number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            dirs.push(PathBuf::from(a));
+        }
+    }
+    let [baseline_dir, fresh_dir] = dirs.as_slice() else {
+        eprintln!("usage: bench_gate <baseline_dir> <fresh_dir> [--tolerance 0.10]");
+        return ExitCode::from(2);
+    };
+
+    let mut baselines: Vec<PathBuf> = match std::fs::read_dir(baseline_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", baseline_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!("no BENCH_*.json baselines in {}", baseline_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+    for base_path in &baselines {
+        let name = base_path.file_name().unwrap().to_string_lossy().to_string();
+        let fresh_path = fresh_dir.join(&name);
+        let result = load(base_path).and_then(|baseline| {
+            let fresh = load(&fresh_path)?;
+            Ok(diff_reports(
+                name.trim_start_matches("BENCH_").trim_end_matches(".json"),
+                &baseline,
+                &fresh,
+                &cfg,
+            ))
+        });
+        match result {
+            Ok(violations) if violations.is_empty() => println!("PASS {name}"),
+            Ok(violations) => {
+                println!("FAIL {name}");
+                for v in &violations {
+                    println!("  {v}");
+                }
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAIL {name}");
+                println!("  {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        println!(
+            "\nbench gate: {failures} of {} reports regressed",
+            baselines.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\nbench gate: all {} reports within tolerance",
+            baselines.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

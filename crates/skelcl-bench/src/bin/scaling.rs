@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run --release -p skelcl-bench --bin scaling`
 
-use skelcl::Context;
+use skelcl::{Context, Map, SchedulePolicy, Value, Vector};
 use skelcl_bench::baselines::{dot_skelcl, mandelbrot_skelcl, sobel_skelcl};
 use skelcl_bench::report::{profiled_ctx, write_report};
 use skelcl_bench::workloads::{random_f32_vector, synthetic_image};
@@ -84,7 +84,54 @@ fn main() {
     );
     // Uniform-work kernels scale near-linearly; mandelbrot is bounded by
     // its heaviest chunk; the reduction has a small serial combine tail.
-    let ok = speedups_at_4[0] > 2.0 && speedups_at_4[1] > 3.0 && speedups_at_4[2] > 2.0;
+    let shape_ok = speedups_at_4[0] > 2.0 && speedups_at_4[1] > 3.0 && speedups_at_4[2] > 2.0;
+
+    // The adaptive scheduler attacks exactly that imbalance: one even
+    // calibration frame seeds the per-device throughput model, then the
+    // next frame's block boundaries follow the measured busy times.
+    println!("\n== Adaptive block scheduling (SKELCL_SCHEDULE=adaptive), 4 GPUs ==\n");
+    let c = ctx(4);
+    let map: Map<i32, u8> = Map::new(&c, mandelbrot_skelcl::FUNC_SRC).expect("compile mandelbrot");
+    c.scheduler().set_policy(SchedulePolicy::Adaptive);
+    let frame = || {
+        let pixels = Vector::from_fn(&c, mw * mh, |i| i as i32);
+        let image = map
+            .call_with(
+                &pixels,
+                &[Value::I32(mw as i32), Value::I32(mh as i32), Value::I32(it)],
+            )
+            .expect("mandelbrot frame");
+        let out = image.to_vec().expect("gather");
+        let events = map.events();
+        (
+            events.load_imbalance(),
+            events.last_kernel_time().as_secs_f64() * 1e3,
+            out,
+        )
+    };
+    let (even_imb, even_ms, even_out) = c.scheduler().calibrate(frame);
+    let (adaptive_imb, adaptive_ms, adaptive_out) = frame();
+    assert_eq!(even_out, adaptive_out, "scheduling must not change pixels");
+    println!(
+        "{:<10} {:>22} {:>18}",
+        "schedule", "imbalance (max/mean)", "makespan (ms)"
+    );
+    println!("{:<10} {even_imb:>22.3} {even_ms:>18.4}", "even");
+    println!(
+        "{:<10} {adaptive_imb:>22.3} {adaptive_ms:>18.4}",
+        "adaptive"
+    );
+    let adaptive_ok = adaptive_imb <= 1.10 && adaptive_imb < even_imb && adaptive_ms < even_ms;
+    println!(
+        "\nadaptive: {}",
+        if adaptive_ok {
+            "BALANCED (one calibration frame)"
+        } else {
+            "NOT BALANCED"
+        }
+    );
+
+    let ok = shape_ok && adaptive_ok;
     println!(
         "\nresult: {}",
         if ok {
@@ -111,6 +158,16 @@ fn main() {
                     ("mandelbrot", Json::Num(speedups_at_4[0])),
                     ("sobel", Json::Num(speedups_at_4[1])),
                     ("dot", Json::Num(speedups_at_4[2])),
+                ]),
+            ),
+            (
+                "adaptive",
+                Json::obj([
+                    ("even_imbalance", Json::Num(even_imb)),
+                    ("adaptive_imbalance", Json::Num(adaptive_imb)),
+                    ("even_kernel_ms", Json::Num(even_ms)),
+                    ("adaptive_kernel_ms", Json::Num(adaptive_ms)),
+                    ("balanced", Json::Bool(adaptive_ok)),
                 ]),
             ),
             ("shape_reproduced", Json::Bool(ok)),

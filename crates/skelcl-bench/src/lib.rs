@@ -7,15 +7,19 @@
 //!   lines of code can be counted like the paper counts SDK samples;
 //! * [`loc`] — the LoC counter and the paper's reported numbers;
 //! * [`report`] — the `BENCH_*.json` machine-readable reports the figure
-//!   binaries emit alongside their tables.
+//!   binaries emit alongside their tables;
+//! * [`gate`] — the regression rules `bench_gate` applies when diffing
+//!   fresh reports against the committed baselines in `bench/baselines/`.
 //!
 //! Binaries (see `src/bin/`): `fig4_mandelbrot`, `fig5_sobel`, `loc_table`
-//! and `scaling` regenerate the paper's figures; criterion benches under
-//! `benches/` measure the same workloads.
+//! and `scaling` regenerate the paper's figures; `bench_gate` diffs their
+//! reports against committed baselines; criterion benches under `benches/`
+//! measure the same workloads.
 
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod gate;
 pub mod loc;
 pub mod report;
 pub mod workloads;

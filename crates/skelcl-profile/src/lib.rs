@@ -190,6 +190,13 @@ impl Profiler {
         }
     }
 
+    /// Sets per-device gauge `name` to `value` (no-op when disabled).
+    pub fn set_device_gauge(&self, name: &'static str, device: usize, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.set_device_gauge(name, device, value);
+        }
+    }
+
     /// Current value of a counter; 0 when disabled.
     pub fn counter(&self, name: &str) -> u64 {
         self.inner.as_ref().map_or(0, |i| i.metrics.counter(name))

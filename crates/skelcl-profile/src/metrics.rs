@@ -27,6 +27,18 @@ pub const COMPILE_CACHE_HIT: &str = "compile.cache_hit";
 pub const COMPILE_CACHE_MISS: &str = "compile.cache_miss";
 /// Skeleton invocations.
 pub const SKELETON_CALLS: &str = "skeleton.calls";
+/// Rebalances: redistributions where only block boundaries shifted and the
+/// container moved boundary units device-to-device instead of a full
+/// gather + re-upload.
+pub const SCHED_REBALANCES: &str = "sched.rebalances";
+/// Bytes moved by delta (boundary-only) redistribution.
+pub const SCHED_DELTA_BYTES: &str = "sched.delta_bytes_moved";
+/// Bytes a full gather + re-scatter moved when delta was not applicable
+/// (distribution kind changed, or device data had to round-trip the host).
+pub const SCHED_FULL_BYTES: &str = "sched.full_redistribution_bytes";
+
+/// Per-device gauge: the scheduler's current partition weight.
+pub const SCHED_WEIGHT: &str = "sched.weight";
 
 /// Histogram of individual transfer sizes (bytes).
 pub const HIST_TRANSFER_BYTES: &str = "transfer.bytes";
@@ -91,6 +103,7 @@ pub struct Metrics {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
     devices: Mutex<BTreeMap<usize, DeviceBusy>>,
+    gauges: Mutex<BTreeMap<(&'static str, usize), f64>>,
 }
 
 impl Metrics {
@@ -118,6 +131,12 @@ impl Metrics {
         self.devices.lock().entry(device).or_default().transfer_ns += ns;
     }
 
+    /// Sets per-device gauge `name` to `value` (last write wins — gauges
+    /// report current state, unlike monotone counters).
+    pub fn set_device_gauge(&self, name: &'static str, device: usize, value: f64) {
+        self.gauges.lock().insert((name, device), value);
+    }
+
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.lock().get(name).copied().unwrap_or(0)
@@ -139,6 +158,12 @@ impl Metrics {
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect(),
             devices: self.devices.lock().clone(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|((name, device), v)| (format!("{name}.gpu{device}"), *v))
+                .collect(),
         }
     }
 }
@@ -152,6 +177,8 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, Histogram>,
     /// Busy time by device index.
     pub devices: BTreeMap<usize, DeviceBusy>,
+    /// Per-device gauge values, keyed `"<name>.gpu<index>"`.
+    pub gauges: BTreeMap<String, f64>,
 }
 
 impl MetricsSnapshot {
@@ -210,5 +237,16 @@ mod tests {
     #[test]
     fn empty_imbalance_is_zero() {
         assert_eq!(MetricsSnapshot::default().load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn device_gauges_last_write_wins() {
+        let m = Metrics::default();
+        m.set_device_gauge(SCHED_WEIGHT, 0, 0.5);
+        m.set_device_gauge(SCHED_WEIGHT, 1, 0.5);
+        m.set_device_gauge(SCHED_WEIGHT, 0, 0.25);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauges["sched.weight.gpu0"], 0.25);
+        assert_eq!(snap.gauges["sched.weight.gpu1"], 0.5);
     }
 }

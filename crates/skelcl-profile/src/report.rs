@@ -45,6 +45,13 @@ pub fn summary_table(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String 
         }
     }
 
+    if !metrics.gauges.is_empty() {
+        let _ = writeln!(out, "-- gauges --");
+        for (name, value) in &metrics.gauges {
+            let _ = writeln!(out, "  {name:<28} {value:>14.4}");
+        }
+    }
+
     if !metrics.devices.is_empty() {
         let makespan = metrics
             .devices
@@ -131,10 +138,16 @@ pub fn metrics_json(metrics: &MetricsSnapshot) -> Json {
             )
         })
         .collect();
+    let gauges: Json = metrics
+        .gauges
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+        .collect();
     Json::obj([
         ("counters", counters),
         ("histograms", histograms),
         ("devices", devices),
+        ("gauges", gauges),
         ("load_imbalance", metrics.load_imbalance().into()),
     ])
 }

@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use vgpu::DeviceBuffer;
 
 use crate::context::Context;
-use crate::distribution::{plan_chunks, ChunkPlan, Distribution};
+use crate::distribution::{ChunkPlan, Distribution};
 use crate::error::Result;
 use crate::types::{from_bytes, to_bytes, KernelScalar};
 
@@ -129,20 +129,41 @@ impl<T: KernelScalar> DistributedData<T> {
 
     /// Makes the data available on the devices under `dist`, uploading if
     /// necessary, and returns the chunks.
+    ///
+    /// When the data is already valid on the devices under the same
+    /// distribution *kind* but the scheduler has shifted the block
+    /// boundaries, only the units that changed owner move — device to
+    /// device — instead of gathering everything through the host (see
+    /// [`DistributedData::delta_redistribute_locked`]).
     pub fn ensure_device(&self, dist: Distribution) -> Result<Vec<DeviceChunk>> {
         let profiler = self.ctx.profiler();
         let mut st = self.state.lock();
+        let plans = self.ctx.plan_units(self.units, dist);
         if let Some(part) = &st.device {
             if part.dist == dist && part.valid {
-                profiler.add(skelcl_profile::metrics::TRANSFER_CACHE_HIT, 1);
-                return Ok(part.chunks.clone());
+                let same_plans = part.chunks.len() == plans.len()
+                    && part.chunks.iter().zip(&plans).all(|(c, p)| c.plan == *p);
+                if same_plans {
+                    profiler.add(skelcl_profile::metrics::TRANSFER_CACHE_HIT, 1);
+                    return Ok(part.chunks.clone());
+                }
+                // Only Block/Overlap plans can shift with scheduler
+                // weights; their old cores disjointly cover `0..units`, so
+                // every new chunk can be assembled from device-resident
+                // data without touching the host.
+                if matches!(dist, Distribution::Block | Distribution::Overlap { .. }) {
+                    return self.delta_redistribute_locked(&mut st, plans);
+                }
             }
         }
         // Gather the freshest copy to the host first, then (re)distribute.
+        // If the devices held the only valid copy this is the full
+        // round-trip the delta path exists to avoid — account its cost.
+        let full_round_trip = !st.host_valid && st.device.as_ref().is_some_and(|p| p.valid);
         profiler.add(skelcl_profile::metrics::TRANSFER_FORCED, 1);
         self.download_locked(&mut st)?;
         let elem = std::mem::size_of::<T>();
-        let plans = plan_chunks(self.units, self.ctx.device_count(), dist);
+        let mut uploaded = 0u64;
         let mut chunks = Vec::with_capacity(plans.len());
         for plan in plans {
             let queue = self.ctx.queue(plan.device);
@@ -153,10 +174,79 @@ impl<T: KernelScalar> DistributedData<T> {
             let bytes = to_bytes(&st.host[start..end]);
             let event = queue.enqueue_write(&buffer, 0, &bytes)?;
             profiler.record_event(&event);
+            uploaded += byte_len as u64;
             chunks.push(DeviceChunk { plan, buffer });
+        }
+        if full_round_trip {
+            let downloaded = (self.len() * elem) as u64;
+            profiler.add(
+                skelcl_profile::metrics::SCHED_FULL_BYTES,
+                downloaded + uploaded,
+            );
         }
         st.device = Some(DevicePart {
             dist,
+            chunks: chunks.clone(),
+            valid: true,
+        });
+        Ok(chunks)
+    }
+
+    /// Re-chunks valid device data under shifted Block/Overlap boundaries
+    /// by copying unit subranges between devices, bypassing the host.
+    ///
+    /// Each new chunk's *stored* range is assembled from the old chunks'
+    /// *core* ranges — the cores disjointly cover `0..units` and are the
+    /// authoritative copy after kernel writes (halos may be stale).
+    /// Same-device spans use an on-device copy; cross-device spans stage
+    /// through the interconnect via [`vgpu::CommandQueue::enqueue_copy_to`].
+    fn delta_redistribute_locked(
+        &self,
+        st: &mut State<T>,
+        plans: Vec<ChunkPlan>,
+    ) -> Result<Vec<DeviceChunk>> {
+        let profiler = self.ctx.profiler();
+        let old = st
+            .device
+            .take()
+            .expect("delta redistribution requires a device part");
+        let bytes_per_unit = self.unit_elems * std::mem::size_of::<T>();
+        let mut delta_bytes = 0u64;
+        let mut chunks = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let dst_queue = self.ctx.queue(plan.device);
+            let buffer = dst_queue.create_buffer(plan.stored_len() * bytes_per_unit)?;
+            for oc in &old.chunks {
+                let lo = plan.stored.start.max(oc.plan.core.start);
+                let hi = plan.stored.end.min(oc.plan.core.end);
+                if lo >= hi {
+                    continue;
+                }
+                let src_off = (lo - oc.plan.stored.start) * bytes_per_unit;
+                let dst_off = (lo - plan.stored.start) * bytes_per_unit;
+                let len = (hi - lo) * bytes_per_unit;
+                if oc.plan.device == plan.device {
+                    let event = self
+                        .ctx
+                        .queue(oc.plan.device)
+                        .enqueue_copy(&oc.buffer, src_off, &buffer, dst_off, len)?;
+                    profiler.record_event(&event);
+                } else {
+                    let (read, write) = self
+                        .ctx
+                        .queue(oc.plan.device)
+                        .enqueue_copy_to(&oc.buffer, src_off, dst_queue, &buffer, dst_off, len)?;
+                    profiler.record_event(&read);
+                    profiler.record_event(&write);
+                }
+                delta_bytes += len as u64;
+            }
+            chunks.push(DeviceChunk { plan, buffer });
+        }
+        profiler.add(skelcl_profile::metrics::SCHED_REBALANCES, 1);
+        profiler.add(skelcl_profile::metrics::SCHED_DELTA_BYTES, delta_bytes);
+        st.device = Some(DevicePart {
+            dist: old.dist,
             chunks: chunks.clone(),
             valid: true,
         });
@@ -172,7 +262,7 @@ impl<T: KernelScalar> DistributedData<T> {
         dist: Distribution,
     ) -> Result<(Self, Vec<DeviceChunk>)> {
         let elem = std::mem::size_of::<T>();
-        let plans = plan_chunks(units, ctx.device_count(), dist);
+        let plans = ctx.plan_units(units, dist);
         let mut chunks = Vec::with_capacity(plans.len());
         for plan in plans {
             let queue = ctx.queue(plan.device);
@@ -390,6 +480,75 @@ mod tests {
         assert_eq!(p.counter(m::REDISTRIBUTIONS), 1);
         assert_eq!(p.counter(m::BYTES_H2D), 40, "10 × i32 uploaded once");
         assert_eq!(p.counter(m::BYTES_D2H), 40, "10 × i32 downloaded once");
+    }
+
+    #[test]
+    fn delta_redistribution_moves_only_boundary_units() {
+        use skelcl_profile::{metrics as m, Profiler};
+        let ctx = Context::init_with_profiler(
+            Platform::new(2, DeviceSpec::tesla_t10()),
+            crate::context::DeviceSelection::All,
+            Profiler::enabled(),
+        );
+        let n = 100usize;
+        let data: Vec<i32> = (0..n as i32).collect();
+        let d = DistributedData::from_host(ctx.clone(), n, 1, data.clone());
+        d.ensure_device(Distribution::Block).unwrap(); // even 50/50 upload
+        d.mark_device_written(); // device copy becomes authoritative
+        let p = ctx.profiler();
+        let h2d_upload = p.counter(m::BYTES_H2D);
+        assert_eq!(h2d_upload, 400, "full upload of 100 × i32");
+
+        // Warm the scheduler: device 0 three times faster → 75/25 split.
+        let s = ctx.scheduler();
+        s.set_policy(crate::schedule::SchedulePolicy::Adaptive);
+        s.observe(0, 300, 100);
+        s.observe(1, 100, 100);
+        let chunks = d.ensure_device(Distribution::Block).unwrap();
+        assert_eq!(chunks[0].plan.core, 0..75);
+        assert_eq!(chunks[1].plan.core, 75..100);
+
+        assert_eq!(p.counter(m::SCHED_REBALANCES), 1);
+        // 0..50 stays on gpu0 (200 B on-device), 50..75 crosses gpu1→gpu0
+        // (100 B), 75..100 stays on gpu1 (100 B): 400 B delta total, of
+        // which only 100 B touch the interconnect — strictly fewer than
+        // the 800 B a gather-and-rescatter round trip would move.
+        assert_eq!(p.counter(m::SCHED_DELTA_BYTES), 400);
+        assert_eq!(p.counter(m::BYTES_D2D), 300);
+        assert_eq!(p.counter(m::BYTES_D2H), 100, "read side of the hop");
+        assert_eq!(p.counter(m::BYTES_H2D) - h2d_upload, 100, "write side");
+        assert_eq!(p.counter(m::SCHED_FULL_BYTES), 0);
+        assert_eq!(p.counter(m::TRANSFER_FORCED), 1, "only the first upload");
+
+        // Contents bit-identical to what the gather path would produce.
+        assert_eq!(d.with_host(|h| h.to_vec()).unwrap(), data);
+    }
+
+    #[test]
+    fn plan_equal_rebalance_is_a_cache_hit_and_kind_change_goes_full() {
+        use skelcl_profile::{metrics as m, Profiler};
+        let ctx = Context::init_with_profiler(
+            Platform::new(2, DeviceSpec::tesla_t10()),
+            crate::context::DeviceSelection::All,
+            Profiler::enabled(),
+        );
+        let d = DistributedData::from_host(ctx.clone(), 10, 1, (0..10i32).collect());
+        d.ensure_device(Distribution::Block).unwrap();
+        d.mark_device_written();
+        // Same dist, unchanged plans → pure cache hit, no rebalance.
+        d.ensure_device(Distribution::Block).unwrap();
+        let p = ctx.profiler();
+        assert_eq!(p.counter(m::TRANSFER_CACHE_HIT), 1);
+        assert_eq!(p.counter(m::SCHED_REBALANCES), 0);
+        // Distribution *kind* change cannot go delta: full round trip,
+        // 40 B down + 80 B up (copy stores everything on both devices).
+        d.ensure_device(Distribution::Copy).unwrap();
+        assert_eq!(p.counter(m::SCHED_REBALANCES), 0);
+        assert_eq!(p.counter(m::SCHED_FULL_BYTES), 40 + 80);
+        assert_eq!(
+            d.with_host(|h| h.to_vec()).unwrap(),
+            (0..10i32).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@ use parking_lot::Mutex;
 use skelcl_profile::Profiler;
 use vgpu::{CommandQueue, DeviceSpec, LaunchConfig, Platform};
 
+use crate::distribution::{ChunkPlan, Distribution};
+use crate::schedule::Scheduler;
+
 /// Which devices of the platform SkelCL should use (the paper's
 /// `SkelCL::init()` device-selection knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +34,7 @@ struct ContextInner {
     queues: Vec<CommandQueue>,
     launch_config: LaunchConfig,
     profiler: Profiler,
+    scheduler: Scheduler,
     /// Compiled skeleton programs, keyed by a hash of the generated source.
     program_cache: Mutex<HashMap<u64, skelcl_kernel::Program>>,
 }
@@ -98,6 +102,7 @@ impl Context {
                 queues,
                 launch_config: LaunchConfig::default(),
                 profiler,
+                scheduler: Scheduler::from_env(),
                 program_cache: Mutex::new(HashMap::new()),
             }),
         }
@@ -155,6 +160,37 @@ impl Context {
     /// [`Context::init_with_profiler`] and `SKELCL_PROFILE`).
     pub fn profiler(&self) -> &Profiler {
         &self.inner.profiler
+    }
+
+    /// The session's chunk scheduler (policy from `SKELCL_SCHEDULE`, even
+    /// by default; switchable at runtime via
+    /// [`crate::schedule::Scheduler::set_policy`]).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.inner.scheduler
+    }
+
+    /// Plans `units` distribution units across this context's devices: the
+    /// scheduler's weighted partition when adaptive and warm, the paper's
+    /// even partition otherwise. Publishes the weights as per-device
+    /// gauges when profiling.
+    pub(crate) fn plan_units(&self, units: usize, dist: Distribution) -> Vec<ChunkPlan> {
+        let devices = self.device_count();
+        if let (Distribution::Block | Distribution::Overlap { .. }, Some(w)) =
+            (dist, self.inner.scheduler.weights(devices))
+        {
+            if self.inner.profiler.is_enabled() {
+                for (d, wi) in w.iter().enumerate() {
+                    self.inner.profiler.set_device_gauge(
+                        skelcl_profile::metrics::SCHED_WEIGHT,
+                        d,
+                        *wi,
+                    );
+                }
+            }
+            crate::distribution::plan_chunks_weighted(units, dist, &w)
+        } else {
+            crate::distribution::plan_chunks(units, devices, dist)
+        }
     }
 
     /// Looks up a compiled program by source hash.

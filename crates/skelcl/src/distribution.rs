@@ -149,9 +149,131 @@ pub fn block_ranges(n: usize, devices: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
+/// Weighted partition of `n` units into `weights.len()` contiguous ranges,
+/// device `i` receiving a share proportional to `weights[i]`.
+///
+/// Rounding uses the largest-remainder method: every device gets the floor
+/// of its exact quota and the leftover units go to the largest fractional
+/// remainders, ties broken towards lower device indices. This guarantees
+/// exact coverage of `0..n` and makes uniform weights reproduce
+/// [`block_ranges`] bit-for-bit (the even split also hands its remainder to
+/// the first devices), so `SKELCL_SCHEDULE=adaptive` with a cold model is
+/// indistinguishable from the even scheduler.
+///
+/// Weight vectors that are unusable (empty sum, a non-finite or negative
+/// entry) fall back to the even split rather than panicking — a scheduler
+/// fed garbage measurements must degrade, not crash.
+pub fn block_ranges_weighted(n: usize, weights: &[f64]) -> Vec<Range<usize>> {
+    assert!(!weights.is_empty(), "at least one device");
+    let devices = weights.len();
+    let sum: f64 = weights.iter().sum();
+    if !sum.is_finite() || sum <= 0.0 || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return block_ranges(n, devices);
+    }
+    // Floor of each exact quota, then hand the remaining units to the
+    // largest fractional remainders (Hamilton's method).
+    let mut lens = Vec::with_capacity(devices);
+    let mut remainders = Vec::with_capacity(devices);
+    let mut assigned = 0usize;
+    for w in weights {
+        let quota = n as f64 * w / sum;
+        let floor = quota.floor() as usize;
+        lens.push(floor.min(n));
+        remainders.push(quota - quota.floor());
+        assigned += floor.min(n);
+    }
+    let mut order: Vec<usize> = (0..devices).collect();
+    order.sort_by(|&a, &b| {
+        remainders[b]
+            .partial_cmp(&remainders[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut leftover = n.saturating_sub(assigned);
+    for &i in order.iter().cycle() {
+        if leftover == 0 {
+            break;
+        }
+        lens[i] += 1;
+        leftover -= 1;
+    }
+    let mut start = 0;
+    lens.into_iter()
+        .map(|len| {
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .collect()
+}
+
+/// [`plan_chunks`] with per-device weights for the `Block` and `Overlap`
+/// partitions (the adaptive scheduler's entry point). `Single` and `Copy`
+/// are weight-independent and planned exactly as [`plan_chunks`] does; the
+/// device count is `weights.len()`.
+pub fn plan_chunks_weighted(n: usize, dist: Distribution, weights: &[f64]) -> Vec<ChunkPlan> {
+    let devices = weights.len();
+    match dist {
+        Distribution::Single(_) | Distribution::Copy => plan_chunks(n, devices, dist),
+        Distribution::Block => block_ranges_weighted(n, weights)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(device, r)| ChunkPlan {
+                device,
+                stored: r.clone(),
+                core: r,
+            })
+            .collect(),
+        Distribution::Overlap { size } => block_ranges_weighted(n, weights)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(device, core)| {
+                let stored = core.start.saturating_sub(size)..(core.end + size).min(n);
+                ChunkPlan {
+                    device,
+                    stored,
+                    core,
+                }
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn weighted_ranges_cover_disjointly(
+            n in 0usize..5000,
+            weights in proptest::collection::vec(0.01f64..100.0, 1..8),
+        ) {
+            let rs = block_ranges_weighted(n, &weights);
+            prop_assert_eq!(rs.len(), weights.len());
+            let mut next = 0usize;
+            for r in &rs {
+                prop_assert_eq!(r.start, next);
+                next = r.end;
+            }
+            prop_assert_eq!(next, n);
+        }
+
+        #[test]
+        fn uniform_weights_degrade_to_even_split(
+            n in 0usize..5000,
+            devices in 1usize..8,
+            w in 0.1f64..10.0,
+        ) {
+            let weights = vec![w; devices];
+            prop_assert_eq!(block_ranges_weighted(n, &weights), block_ranges(n, devices));
+        }
+    }
 
     #[test]
     fn block_ranges_cover_everything_disjointly() {
@@ -242,6 +364,65 @@ mod tests {
         assert_eq!(plans.len(), 2);
         assert_eq!(plans[0].core, 0..1);
         assert_eq!(plans[1].core, 1..2);
+    }
+
+    #[test]
+    fn weighted_uniform_matches_even_split() {
+        for n in [0usize, 1, 7, 100, 101, 102, 103] {
+            for d in 1..=6 {
+                let w = vec![1.0; d];
+                assert_eq!(
+                    block_ranges_weighted(n, &w),
+                    block_ranges(n, d),
+                    "n={n} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_split_follows_weights() {
+        let rs = block_ranges_weighted(100, &[1.0, 3.0]);
+        assert_eq!(rs[0], 0..25);
+        assert_eq!(rs[1], 25..100);
+        let rs = block_ranges_weighted(10, &[1.0, 1.0, 2.0]);
+        assert_eq!(
+            rs.iter().map(std::ops::Range::len).collect::<Vec<_>>(),
+            vec![3, 2, 5]
+        );
+        assert_eq!(rs.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn weighted_split_rejects_garbage_weights() {
+        // NaN, negative, or all-zero weight sets degrade to the even split.
+        assert_eq!(
+            block_ranges_weighted(12, &[f64::NAN, 1.0, 1.0]),
+            block_ranges(12, 3)
+        );
+        assert_eq!(
+            block_ranges_weighted(12, &[-1.0, 1.0, 1.0]),
+            block_ranges(12, 3)
+        );
+        assert_eq!(block_ranges_weighted(12, &[0.0, 0.0]), block_ranges(12, 2));
+    }
+
+    #[test]
+    fn weighted_plan_covers_block_and_overlap() {
+        let plans = plan_chunks_weighted(100, Distribution::Block, &[1.0, 3.0]);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].core, 0..25);
+        assert_eq!(plans[1].core, 25..100);
+        let plans = plan_chunks_weighted(100, Distribution::Overlap { size: 2 }, &[1.0, 3.0]);
+        assert_eq!(plans[0].stored, 0..27);
+        assert_eq!(plans[1].stored, 23..100);
+        assert_eq!(plans[1].core_offset(), 2);
+        // Zero-weight devices are skipped, like empty chunks in plan_chunks.
+        let plans = plan_chunks_weighted(10, Distribution::Block, &[1.0, 0.0, 1.0]);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].device, 0);
+        assert_eq!(plans[1].device, 2);
+        assert_eq!(plans[1].core, 5..10);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod container;
 pub mod context;
 pub mod distribution;
 pub mod error;
+pub mod schedule;
 pub mod skeleton;
 pub mod types;
 
@@ -53,6 +54,7 @@ pub use container::{InteropChunk, Matrix, Scalar, Vector};
 pub use context::{Context, DeviceSelection};
 pub use distribution::Distribution;
 pub use error::{Error, Result};
+pub use schedule::{SchedulePolicy, Scheduler};
 pub use skeleton::{
     matrix_multiply, transpose, Allpairs, BoundaryHandling, EventLog, Map, MapOverlap,
     MapOverlapVec, Reduce, Scan, Zip,

@@ -237,6 +237,7 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
                     device: ac.plan.device,
                     args,
                     range: NdRange::grid([m, rows], [TILE, TILE]),
+                    units: ac.plan.core_len(),
                 }
             })
             .collect();

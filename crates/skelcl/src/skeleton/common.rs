@@ -19,6 +19,10 @@ pub(crate) struct DeviceLaunch {
     pub args: Vec<KernelArg>,
     /// Launch geometry.
     pub range: NdRange,
+    /// Distribution units (elements or rows) this launch owns — the
+    /// scheduler's throughput model divides them by the measured kernel
+    /// time.
+    pub units: usize,
 }
 
 /// Launches `kernel` on every listed device in parallel (one host thread
@@ -66,20 +70,49 @@ pub(crate) fn launch_parallel(
             profiler.record_event_with(event, Some(nd_range_label(&launch.range)));
         }
     }
+    // Feed measured kernel durations back into the throughput model —
+    // every skeleton launch is a scheduling measurement.
+    let scheduler = ctx.scheduler();
+    for (event, launch) in events.iter().zip(&launches) {
+        scheduler.observe(
+            launch.device,
+            launch.units,
+            event.duration().as_nanos() as u64,
+        );
+    }
     Ok(events)
 }
 
-/// Compact launch-geometry label for kernel spans, e.g. `1024/256` or
-/// `4096x3072/16x16` (global/local per dimension).
+/// Compact launch-geometry label for kernel spans, e.g. `1024/256`,
+/// `4096x3072/16x16` or `64x64x64/8x8x4` (global/local per dimension).
 pub(crate) fn nd_range_label(range: &NdRange) -> String {
-    if range.dims <= 1 {
-        format!("{}/{}", range.global[0], range.local[0])
-    } else {
-        format!(
+    match range.dims {
+        0 | 1 => format!("{}/{}", range.global[0], range.local[0]),
+        2 => format!(
             "{}x{}/{}x{}",
             range.global[0], range.global[1], range.local[0], range.local[1]
-        )
+        ),
+        _ => format!(
+            "{}x{}x{}/{}x{}x{}",
+            range.global[0],
+            range.global[1],
+            range.global[2],
+            range.local[0],
+            range.local[1],
+            range.local[2]
+        ),
     }
+}
+
+/// Summed kernel-event duration of an event list in ns — the busy time a
+/// skeleton phase spent computing on one device (transfers excluded), as
+/// the scheduler's `observe` wants it.
+pub(crate) fn kernel_busy_ns(events: &[Event]) -> u64 {
+    events
+        .iter()
+        .filter(|e| matches!(e.kind(), CommandKind::Kernel { .. }))
+        .map(|e| e.duration().as_nanos() as u64)
+        .sum()
 }
 
 /// Opens the host-lane span for one skeleton invocation and bumps the
@@ -121,6 +154,38 @@ impl EventLog {
             }
         }
         per_device.into_values().max().unwrap_or_default()
+    }
+
+    /// Simulated kernel busy ns per device for the most recent call —
+    /// the raw material of the paper-style load-imbalance analysis, scoped
+    /// to one skeleton invocation (the profiler's per-device busy time
+    /// accumulates across the whole session instead).
+    pub fn kernel_busy_by_device(&self) -> HashMap<usize, u64> {
+        let events = self.events.lock().expect("event log lock");
+        let mut per_device: HashMap<usize, u64> = HashMap::new();
+        for e in events.iter() {
+            if matches!(e.kind(), CommandKind::Kernel { .. }) {
+                *per_device.entry(e.device().0).or_default() += e.duration().as_nanos() as u64;
+            }
+        }
+        per_device
+    }
+
+    /// Kernel-time load imbalance of the most recent call: max/mean busy
+    /// ns across the devices that ran kernels (1.0 is perfectly balanced;
+    /// 0.0 when the log is empty).
+    pub fn load_imbalance(&self) -> f64 {
+        let per_device = self.kernel_busy_by_device();
+        if per_device.is_empty() {
+            return 0.0;
+        }
+        let max = *per_device.values().max().unwrap() as f64;
+        let mean = per_device.values().sum::<u64>() as f64 / per_device.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
     }
 
     /// Total simulated transfer time of the most recent call (max across
@@ -189,6 +254,36 @@ mod tests {
             nd_range_label(&NdRange::grid([100, 60], [16, 16])),
             "112x64/16x16"
         );
+        // 3-D ranges must not silently drop the z dimension.
+        let r3 = NdRange {
+            dims: 3,
+            global: [64, 64, 64],
+            local: [8, 8, 4],
+        };
+        assert_eq!(nd_range_label(&r3), "64x64x64/8x8x4");
+    }
+
+    #[test]
+    fn event_log_imbalance() {
+        let log = EventLog::default();
+        assert_eq!(log.load_imbalance(), 0.0);
+        log.record(vec![
+            kernel_event(0, 0, 300),
+            kernel_event(1, 0, 100),
+            Event::new(
+                DeviceId(1),
+                CommandKind::WriteBuffer { bytes: 8 },
+                0,
+                0,
+                1_000,
+                None,
+            ),
+        ]);
+        let busy = log.kernel_busy_by_device();
+        assert_eq!(busy[&0], 300);
+        assert_eq!(busy[&1], 100);
+        // max 300, mean 200 → 1.5; the transfer event is excluded.
+        assert!((log.load_imbalance() - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -146,6 +146,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                     device: ic.plan.device,
                     args,
                     range: NdRange::linear_default(n),
+                    units: ic.plan.core_len(),
                 }
             })
             .collect();
@@ -193,6 +194,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                     device: ic.plan.device,
                     args,
                     range: NdRange::linear_default(n),
+                    units: ic.plan.core_len(),
                 }
             })
             .collect();
@@ -237,6 +239,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                     device: oc.plan.device,
                     args,
                     range: NdRange::linear_default(n),
+                    units: oc.plan.core_len(),
                 }
             })
             .collect();

@@ -243,6 +243,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
                     device: ic.plan.device,
                     args,
                     range: NdRange::grid([cols, out_rows], [TILE, TILE]),
+                    units: ic.plan.core_len(),
                 }
             })
             .collect();
@@ -423,6 +424,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
                     device: ic.plan.device,
                     args,
                     range: NdRange::linear(out_n, WG),
+                    units: ic.plan.core_len(),
                 }
             })
             .collect();

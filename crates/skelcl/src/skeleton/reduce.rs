@@ -17,7 +17,7 @@ use crate::container::{Matrix, Scalar, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{nd_range_label, skeleton_span, EventLog};
+use crate::skeleton::common::{kernel_busy_ns, nd_range_label, skeleton_span, EventLog};
 use crate::types::KernelScalar;
 
 /// Work-group size used by the reduction kernels.
@@ -147,6 +147,11 @@ impl<T: KernelScalar> Reduce<T> {
                             chunk.plan.core_len(),
                             &mut evs,
                         )?;
+                        self.ctx.scheduler().observe(
+                            chunk.plan.device,
+                            chunk.plan.core_len(),
+                            kernel_busy_ns(&evs),
+                        );
                         Ok((chunk.plan.device, v, evs))
                     })
                 })
@@ -216,6 +221,11 @@ impl<T: KernelScalar> Reduce<T> {
                             chunk.plan.core_len() * cols,
                             &mut evs,
                         )?;
+                        self.ctx.scheduler().observe(
+                            chunk.plan.device,
+                            chunk.plan.core_len(),
+                            kernel_busy_ns(&evs),
+                        );
                         Ok((v, evs))
                     })
                 })

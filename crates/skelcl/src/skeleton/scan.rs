@@ -17,7 +17,7 @@ use crate::container::Vector;
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{skeleton_span, EventLog};
+use crate::skeleton::common::{kernel_busy_ns, skeleton_span, EventLog};
 use crate::types::{from_bytes, to_bytes, KernelScalar};
 
 /// Work-group (and scan block) size.
@@ -145,6 +145,11 @@ impl<T: KernelScalar> Scan<T> {
                             ic.plan.core_len(),
                             &mut evs,
                         )?;
+                        self.ctx.scheduler().observe(
+                            ic.plan.device,
+                            ic.plan.core_len(),
+                            kernel_busy_ns(&evs),
+                        );
                         Ok(evs)
                     })
                 })

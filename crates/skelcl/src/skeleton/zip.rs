@@ -140,6 +140,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
                     device: lc.plan.device,
                     args,
                     range: NdRange::linear_default(n),
+                    units: lc.plan.core_len(),
                 }
             })
             .collect();
@@ -190,6 +191,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
                     device: lc.plan.device,
                     args,
                     range: NdRange::linear_default(n),
+                    units: lc.plan.core_len(),
                 }
             })
             .collect();

@@ -1,0 +1,113 @@
+//! End-to-end adaptive scheduling: one calibration frame of busy-ns
+//! feedback must visibly flatten the per-device kernel-time imbalance,
+//! both for spatially non-uniform work (mandelbrot) on homogeneous GPUs
+//! and for uniform work on a heterogeneous platform — without changing
+//! any output bits.
+
+use skelcl::{Context, DeviceSelection, Map, SchedulePolicy, Value, Vector};
+use vgpu::Platform;
+
+/// Mandelbrot pixel from its linear index — per-pixel work varies by
+/// orders of magnitude between exterior and interior points, which is
+/// exactly the load imbalance the adaptive scheduler targets.
+const MANDEL_SRC: &str = r#"
+uchar func(int gid, int width, int height, int max_iter)
+{
+    int px = gid % width;
+    int py = gid / width;
+    float cr = 3.5f * (float)px / (float)width - 2.5f;
+    float ci = 3.0f * (float)py / (float)height - 1.5f;
+    float zr = 0.0f;
+    float zi = 0.0f;
+    int it = 0;
+    while (zr * zr + zi * zi <= 4.0f && it < max_iter) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0f * zr * zi + ci;
+        zr = t;
+        it = it + 1;
+    }
+    return (uchar)(255 * it / max_iter);
+}
+"#;
+
+fn mandel_frame(
+    ctx: &Context,
+    map: &Map<i32, u8>,
+    w: usize,
+    h: usize,
+    max_iter: i32,
+) -> (f64, Vec<u8>) {
+    let pixels = Vector::from_fn(ctx, w * h, |i| i as i32);
+    let image = map
+        .call_with(
+            &pixels,
+            &[
+                Value::I32(w as i32),
+                Value::I32(h as i32),
+                Value::I32(max_iter),
+            ],
+        )
+        .unwrap();
+    let out = image.to_vec().unwrap();
+    (map.events().load_imbalance(), out)
+}
+
+#[test]
+fn adaptive_flattens_mandelbrot_imbalance_after_one_calibration_frame() {
+    let (w, h, it) = (512usize, 384usize, 200);
+    let ctx = Context::tesla_s1070();
+    let map: Map<i32, u8> = Map::new(&ctx, MANDEL_SRC).unwrap();
+
+    ctx.scheduler().set_policy(SchedulePolicy::Adaptive);
+    // The calibration frame runs under the even policy and seeds the
+    // throughput model with its per-device busy times.
+    let (even_imb, even_out) = ctx
+        .scheduler()
+        .calibrate(|| mandel_frame(&ctx, &map, w, h, it));
+    let (adaptive_imb, adaptive_out) = mandel_frame(&ctx, &map, w, h, it);
+
+    // The paper's even block distribution leaves the middle GPUs (which
+    // own the interior of the set) far behind.
+    assert!(
+        even_imb > 1.2,
+        "even split should be visibly imbalanced, got {even_imb:.3}"
+    );
+    assert!(
+        adaptive_imb < even_imb,
+        "adaptive ({adaptive_imb:.3}) must beat even ({even_imb:.3})"
+    );
+    assert!(
+        adaptive_imb <= 1.10,
+        "one calibration frame should reach max/mean <= 1.10, got {adaptive_imb:.3}"
+    );
+    assert_eq!(even_out, adaptive_out, "scheduling must not change pixels");
+}
+
+#[test]
+fn adaptive_matches_throughput_on_heterogeneous_platform() {
+    // Two half-speed and two full-speed GPUs: an even split leaves the
+    // fast pair idle half the time (max/mean = 4/3).
+    let ctx = Context::init(Platform::tesla_s1070_slow_fast(), DeviceSelection::All);
+    let map: Map<f32, f32> =
+        Map::new(&ctx, "float func(float x){ return x * 2.0f + 1.0f; }").unwrap();
+    ctx.scheduler().set_policy(SchedulePolicy::Adaptive);
+
+    let frame = |n: usize| {
+        let v = Vector::from_fn(&ctx, n, |i| i as f32);
+        let out = map.call(&v).unwrap().to_vec().unwrap();
+        (map.events().load_imbalance(), out)
+    };
+    let n = 1 << 18;
+    let (even_imb, even_out) = ctx.scheduler().calibrate(|| frame(n));
+    let (adaptive_imb, adaptive_out) = frame(n);
+
+    assert!(
+        even_imb > 1.25,
+        "uniform work split evenly across 2x-speed-skewed GPUs, got {even_imb:.3}"
+    );
+    assert!(
+        adaptive_imb < 1.05,
+        "uniform work should balance almost perfectly, got {adaptive_imb:.3}"
+    );
+    assert_eq!(even_out, adaptive_out);
+}

@@ -80,6 +80,28 @@ impl DeviceSpec {
         }
     }
 
+    /// A copy of this spec with compute and memory throughput scaled by
+    /// `factor` (clock, global bandwidth and transfer bandwidth; latencies
+    /// and capacities untouched). `scaled(0.5)` models a device half as
+    /// fast — the building block for skewed multi-GPU platforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite factor.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "spec scale factor must be positive and finite, got {factor}"
+        );
+        DeviceSpec {
+            name: format!("{} x{factor}", self.name),
+            clock_hz: (self.clock_hz as f64 * factor) as u64,
+            global_bandwidth: self.global_bandwidth * factor,
+            transfer_bandwidth: self.transfer_bandwidth * factor,
+            ..self.clone()
+        }
+    }
+
     /// A deliberately tiny device for fast unit tests (few cores, small
     /// memory so capacity errors are easy to provoke).
     pub fn test_tiny() -> Self {

@@ -33,6 +33,33 @@ impl Platform {
         Platform::new(4, DeviceSpec::tesla_t10())
     }
 
+    /// Creates a platform from one explicit spec per device — a
+    /// heterogeneous system (mixed GPU generations, or a shared node where
+    /// some devices are contended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn heterogeneous(specs: Vec<DeviceSpec>) -> Self {
+        assert!(!specs.is_empty(), "a platform needs at least one device");
+        let devices = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Arc::new(Device::new(DeviceId(i), spec)))
+            .collect();
+        Platform { devices }
+    }
+
+    /// A skewed preset: the S1070 testbed with the first two GPUs running
+    /// at half speed (clock and bandwidth), as if contended or a slower
+    /// generation. Even block splits land at 1.33 max/mean busy time here;
+    /// the adaptive scheduler should recover ≈1.0.
+    pub fn tesla_s1070_slow_fast() -> Self {
+        let fast = DeviceSpec::tesla_t10();
+        let slow = fast.scaled(0.5);
+        Platform::heterogeneous(vec![slow.clone(), slow, fast.clone(), fast])
+    }
+
     /// A single-GPU platform.
     pub fn single(spec: DeviceSpec) -> Self {
         Platform::new(1, spec)

@@ -137,6 +137,55 @@ impl CommandQueue {
         ))
     }
 
+    /// Enqueues a cross-device copy of `len` bytes: `src` on this queue's
+    /// device to `dst` on `dst_queue`'s device, staged through the host as
+    /// the paper describes for redistribution (download then upload).
+    ///
+    /// Costs [`cost::transfer_ns`] on each side — together
+    /// [`cost::device_to_device_ns`] for identical specs — and returns the
+    /// `(read, write)` event pair so callers can account both timelines.
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range spans or buffers not owned by the respective
+    /// queues' devices.
+    pub fn enqueue_copy_to(
+        &self,
+        src: &DeviceBuffer,
+        src_offset: usize,
+        dst_queue: &CommandQueue,
+        dst: &DeviceBuffer,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<(Event, Event)> {
+        self.check_same_device(src)?;
+        dst_queue.check_same_device(dst)?;
+        let mut tmp = vec![0u8; len];
+        src.read_bytes(src_offset, &mut tmp)?;
+        dst.write_bytes(dst_offset, &tmp)?;
+        let read_ns = cost::transfer_ns(self.device.spec(), len);
+        let (rs, re) = self.device.advance(read_ns);
+        let read = Event::new(
+            self.device.id(),
+            CommandKind::ReadBuffer { bytes: len },
+            rs,
+            rs,
+            re,
+            None,
+        );
+        let write_ns = cost::transfer_ns(dst_queue.device.spec(), len);
+        let (ws, we) = dst_queue.device.advance(write_ns);
+        let write = Event::new(
+            dst_queue.device.id(),
+            CommandKind::WriteBuffer { bytes: len },
+            ws,
+            ws,
+            we,
+            None,
+        );
+        Ok((read, write))
+    }
+
     /// Launches `kernel_name` from `program` over `range` with `args`.
     ///
     /// Buffer arguments bind `__global` pointer parameters in order; scalar

@@ -459,3 +459,51 @@ fn on_device_copy() {
     queue.enqueue_read(&b, 0, &mut out).unwrap();
     assert_eq!(to_f32s(&out), vec![0.0, 0.0, 2.0, 3.0]);
 }
+
+#[test]
+fn cross_device_copy_stages_through_host() {
+    let platform = Platform::new(2, DeviceSpec::test_tiny());
+    let (q0, q1) = (platform.queue(0), platform.queue(1));
+    let a = q0.create_buffer(16).unwrap();
+    let b = q1.create_buffer(16).unwrap();
+    q0.enqueue_write(&a, 0, &f32s(&[1.0, 2.0, 3.0, 4.0]))
+        .unwrap();
+    let t0 = platform.device(0).now_ns();
+    let t1 = platform.device(1).now_ns();
+    let (read, write) = q0.enqueue_copy_to(&a, 4, &q1, &b, 8, 8).unwrap();
+    assert_eq!(read.kind(), &CommandKind::ReadBuffer { bytes: 8 });
+    assert_eq!(write.kind(), &CommandKind::WriteBuffer { bytes: 8 });
+    assert_eq!(read.device(), platform.device(0).id());
+    assert_eq!(write.device(), platform.device(1).id());
+    // Download + upload together cost the paper's device↔device transfer.
+    let spent = (platform.device(0).now_ns() - t0) + (platform.device(1).now_ns() - t1);
+    assert_eq!(
+        spent,
+        vgpu::cost::device_to_device_ns(platform.device(0).spec(), 8)
+    );
+    let mut out = vec![0u8; 16];
+    q1.enqueue_read(&b, 0, &mut out).unwrap();
+    assert_eq!(to_f32s(&out), vec![0.0, 0.0, 2.0, 3.0]);
+    // Wrong-device buffers are rejected on both sides.
+    assert!(matches!(
+        q0.enqueue_copy_to(&b, 0, &q1, &a, 0, 4),
+        Err(Error::WrongDevice { .. })
+    ));
+}
+
+#[test]
+fn heterogeneous_platform_and_scaled_specs() {
+    let platform = Platform::tesla_s1070_slow_fast();
+    assert_eq!(platform.device_count(), 4);
+    let slow = platform.device(0).spec();
+    let fast = platform.device(3).spec();
+    assert_eq!(slow.clock_hz * 2, fast.clock_hz);
+    assert!((slow.global_bandwidth * 2.0 - fast.global_bandwidth).abs() < 1.0);
+    assert_eq!(slow.cores, fast.cores);
+    assert_eq!(slow.transfer_latency_ns, fast.transfer_latency_ns);
+    // The same bytes take twice as long to move on the scaled-down device.
+    assert!(
+        vgpu::cost::transfer_ns(slow, 1 << 20) - slow.transfer_latency_ns
+            >= 2 * (vgpu::cost::transfer_ns(fast, 1 << 20) - fast.transfer_latency_ns) - 2
+    );
+}

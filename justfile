@@ -33,6 +33,22 @@ figures:
     cargo run --release -p skelcl-bench --bin scaling
     cargo run --release -p skelcl-bench --bin loc_table
 
+# Regenerate the reports into a scratch directory and diff them against
+# the committed baselines in bench/baselines/ (exits non-zero on any
+# regression — see crates/skelcl-bench/src/gate.rs for the rules).
+bench-gate:
+    rm -rf target/bench-fresh && mkdir -p target/bench-fresh
+    SKELCL_BENCH_DIR=target/bench-fresh cargo run --release -p skelcl-bench --bin fig4_mandelbrot
+    SKELCL_BENCH_DIR=target/bench-fresh cargo run --release -p skelcl-bench --bin fig5_sobel
+    SKELCL_BENCH_DIR=target/bench-fresh cargo run --release -p skelcl-bench --bin scaling
+    cargo run --release -p skelcl-bench --bin bench_gate -- bench/baselines target/bench-fresh
+
+# Refresh the committed baselines after an intentional perf change.
+bench-baseline:
+    SKELCL_BENCH_DIR=bench/baselines cargo run --release -p skelcl-bench --bin fig4_mandelbrot
+    SKELCL_BENCH_DIR=bench/baselines cargo run --release -p skelcl-bench --bin fig5_sobel
+    SKELCL_BENCH_DIR=bench/baselines cargo run --release -p skelcl-bench --bin scaling
+
 # Quickstart with profiling: prints the metrics summary and writes
 # trace.json for chrome://tracing.
 trace:

@@ -198,6 +198,34 @@ macro_rules! range_strategy {
 }
 range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
 
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 random bits -> uniform in [0, 1), then scale; clamp
+                // because rounding can land exactly on `end` for narrow
+                // ranges.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start + (unit as $t) * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                let v = lo + (unit as $t) * (hi - lo);
+                v.clamp(lo, hi)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -234,6 +262,17 @@ mod tests {
             assert!((1..=4).contains(&v));
             let w = (-1000i64..1000).generate(&mut rng);
             assert!((-1000..1000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let v = (0.01f64..100.0).generate(&mut rng);
+            assert!((0.01..100.0).contains(&v), "{v}");
+            let w = (-1.5f32..=1.5).generate(&mut rng);
+            assert!((-1.5..=1.5).contains(&w), "{w}");
         }
     }
 
