@@ -3,7 +3,8 @@
 //! §4.1's "overhead of less than 5%" claim, isolated per skeleton).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skelcl::{Context, Map, Reduce, Vector, Zip};
+use skelcl::engine::LaunchPlan;
+use skelcl::{Context, DeviceSelection, Map, Reduce, Vector, Zip};
 use skelcl_kernel::value::Value;
 use vgpu::{DeviceSpec, KernelArg, LaunchConfig, NdRange, Platform};
 
@@ -74,5 +75,79 @@ fn bench_zip_reduce_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_map_overhead, bench_zip_reduce_overhead);
+const SCALE_SRC: &str = "__kernel void scale(__global float* buf, int n) {
+         int i = (int)get_global_id(0);
+         if (i < n) buf[i] = buf[i] * 2.0f + 1.0f;
+     }";
+
+fn bench_async_engine_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_async");
+    group.sample_size(10);
+    let devices = 4usize;
+    let ctx = Context::init(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    );
+    let program = skelcl_kernel::compile("scale.cl", SCALE_SRC).unwrap();
+    let bytes: Vec<u8> = (0..N).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    let buffers: Vec<_> = (0..devices)
+        .map(|d| ctx.queue(d).create_buffer(4 * N).unwrap())
+        .collect();
+    let args = |d: usize| {
+        vec![
+            KernelArg::Buffer(buffers[d].clone()),
+            KernelArg::Scalar(Value::I32(N as i32)),
+        ]
+    };
+
+    // Host serializes on every command: each blocking call waits for the
+    // device before the next device's work can even be enqueued.
+    group.bench_function("blocking_queues", |bch| {
+        bch.iter(|| {
+            for (d, buffer) in buffers.iter().enumerate() {
+                let queue = ctx.queue(d);
+                queue.enqueue_write(buffer, 0, &bytes).unwrap();
+                queue
+                    .launch_kernel(
+                        &program,
+                        "scale",
+                        &args(d),
+                        NdRange::linear_default(N),
+                        &LaunchConfig::default(),
+                    )
+                    .unwrap();
+            }
+        })
+    });
+
+    // The same upload+kernel per device as one declarative plan: every
+    // queue works concurrently, the host blocks once at the end.
+    group.bench_function("async_plan", |bch| {
+        bch.iter(|| {
+            let mut plan = LaunchPlan::new();
+            for (d, buffer) in buffers.iter().enumerate() {
+                let write = plan.write(d, buffer, 0, bytes.clone(), &[]);
+                plan.kernel(
+                    d,
+                    &program,
+                    "scale",
+                    args(d),
+                    NdRange::linear_default(N),
+                    0,
+                    &[write],
+                );
+            }
+            let run = plan.execute(&ctx).unwrap();
+            run.wait().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_map_overhead,
+    bench_zip_reduce_overhead,
+    bench_async_engine_overhead
+);
 criterion_main!(benches);

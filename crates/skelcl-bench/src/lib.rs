@@ -6,6 +6,9 @@
 //!   of the paper's applications, each in a self-contained source file so
 //!   lines of code can be counted like the paper counts SDK samples;
 //! * [`loc`] — the LoC counter and the paper's reported numbers;
+//! * [`overlap`] — transfer/compute overlap analysis over profiler spans
+//!   (how much transfer time the async queues hid behind other devices'
+//!   kernels);
 //! * [`report`] — the `BENCH_*.json` machine-readable reports the figure
 //!   binaries emit alongside their tables;
 //! * [`gate`] — the regression rules `bench_gate` applies when diffing
@@ -21,5 +24,6 @@
 pub mod baselines;
 pub mod gate;
 pub mod loc;
+pub mod overlap;
 pub mod report;
 pub mod workloads;

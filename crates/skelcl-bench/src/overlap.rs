@@ -1,0 +1,185 @@
+//! Transfer/compute overlap analysis over profiler spans.
+//!
+//! The async queue engine lets one device's uploads and downloads proceed
+//! while other devices are still computing. This module quantifies that:
+//! for every device, how many of its transfer nanoseconds were *hidden*
+//! behind some other device's kernel time — the interval intersection of
+//! the device's transfer spans with the union of every other device's
+//! kernel spans. All device timelines share the simulated epoch (platform
+//! creation = 0 ns), so cross-device comparison is exact.
+
+use skelcl_profile::{Lane, SpanKind, SpanRecord};
+
+/// Per-device transfer/compute overlap totals, indexed by device id.
+#[derive(Debug, Clone, Default)]
+pub struct OverlapStats {
+    /// Transfer ns on this device that coincided with kernel execution on
+    /// at least one *other* device.
+    pub hidden_transfer_ns: Vec<u64>,
+    /// Total transfer ns on this device (upload + download + copy).
+    pub transfer_ns: Vec<u64>,
+}
+
+impl OverlapStats {
+    /// Hidden transfer ns summed across devices.
+    pub fn total_hidden_ns(&self) -> u64 {
+        self.hidden_transfer_ns.iter().sum()
+    }
+
+    /// Total transfer ns summed across devices.
+    pub fn total_transfer_ns(&self) -> u64 {
+        self.transfer_ns.iter().sum()
+    }
+}
+
+/// Computes per-device hidden-transfer time from recorded spans.
+///
+/// Host-lane spans are ignored; only device-lane transfer spans
+/// ([`SpanKind::Upload`], [`SpanKind::Download`], [`SpanKind::Copy`]) and
+/// kernel spans participate.
+pub fn overlap_stats(spans: &[SpanRecord]) -> OverlapStats {
+    let devices = spans
+        .iter()
+        .filter_map(|s| match s.lane {
+            Lane::Device(d) => Some(d + 1),
+            Lane::Host => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut kernels: Vec<Vec<(u64, u64)>> = vec![Vec::new(); devices];
+    let mut transfers: Vec<Vec<(u64, u64)>> = vec![Vec::new(); devices];
+    for s in spans {
+        let Lane::Device(d) = s.lane else { continue };
+        match s.kind {
+            SpanKind::Kernel => kernels[d].push((s.start_ns, s.end_ns)),
+            SpanKind::Upload | SpanKind::Download | SpanKind::Copy => {
+                transfers[d].push((s.start_ns, s.end_ns));
+            }
+            _ => {}
+        }
+    }
+    let mut stats = OverlapStats::default();
+    for (d, device_transfers) in transfers.into_iter().enumerate() {
+        let mine = merge(device_transfers);
+        let others = merge(
+            kernels
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != d)
+                .flat_map(|(_, iv)| iv.iter().copied())
+                .collect(),
+        );
+        stats
+            .hidden_transfer_ns
+            .push(intersection_ns(&mine, &others));
+        stats
+            .transfer_ns
+            .push(mine.iter().map(|&(s, e)| e - s).sum());
+    }
+    stats
+}
+
+/// Sorts and merges overlapping/adjacent intervals into a disjoint list.
+fn merge(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (start, end) in intervals {
+        match out.last_mut() {
+            Some(last) if start <= last.1 => last.1 = last.1.max(end),
+            _ => out.push((start, end)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two disjoint sorted interval lists.
+fn intersection_ns(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let start = a[i].0.max(b[j].0);
+        let end = a[i].1.min(b[j].1);
+        if end > start {
+            total += end - start;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(device: usize, kind: SpanKind, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id: 1,
+            parent: 0,
+            name: String::new(),
+            kind,
+            lane: Lane::Device(device),
+            queued_ns: None,
+            start_ns: start,
+            end_ns: end,
+            bytes: None,
+            nd_range: None,
+            counters: None,
+        }
+    }
+
+    #[test]
+    fn merge_coalesces_overlaps() {
+        assert_eq!(
+            merge(vec![(5, 10), (0, 3), (9, 12), (3, 4)]),
+            vec![(0, 4), (5, 12)]
+        );
+    }
+
+    #[test]
+    fn intersection_sums_pairwise_overlap() {
+        let a = [(0, 10), (20, 30)];
+        let b = [(5, 25)];
+        // [5,10) + [20,25)
+        assert_eq!(intersection_ns(&a, &b), 10);
+    }
+
+    #[test]
+    fn transfer_behind_other_devices_kernel_is_hidden() {
+        let spans = vec![
+            // Device 0 uploads [0,100), then computes [100,300).
+            span(0, SpanKind::Upload, 0, 100),
+            span(0, SpanKind::Kernel, 100, 300),
+            // Device 1 uploads [0,150) — the tail [100,150) is hidden
+            // behind device 0's kernel — then downloads [400,500), fully
+            // exposed (nothing else is computing).
+            span(1, SpanKind::Upload, 0, 150),
+            span(1, SpanKind::Download, 400, 500),
+        ];
+        let stats = overlap_stats(&spans);
+        assert_eq!(stats.hidden_transfer_ns, vec![0, 50]);
+        assert_eq!(stats.transfer_ns, vec![100, 250]);
+        assert_eq!(stats.total_hidden_ns(), 50);
+    }
+
+    #[test]
+    fn own_kernels_do_not_hide_own_transfers() {
+        // An in-order queue cannot overlap with itself: a single device's
+        // kernels must not count.
+        let spans = vec![
+            span(0, SpanKind::Upload, 0, 100),
+            span(0, SpanKind::Kernel, 50, 300),
+        ];
+        let stats = overlap_stats(&spans);
+        assert_eq!(stats.hidden_transfer_ns, vec![0]);
+    }
+
+    #[test]
+    fn empty_spans_yield_empty_stats() {
+        let stats = overlap_stats(&[]);
+        assert!(stats.hidden_transfer_ns.is_empty());
+        assert_eq!(stats.total_hidden_ns(), 0);
+    }
+}

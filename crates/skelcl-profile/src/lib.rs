@@ -169,6 +169,8 @@ impl Profiler {
                 inner.metrics.record(metrics::HIST_KERNEL_NS, dur);
                 inner.metrics.add_kernel_ns(device, dur);
             }
+            // Barrier markers carry no payload and occupy no timeline.
+            CommandKind::Marker => return,
         }
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let parent = inner.current_parent.load(Ordering::Relaxed);

@@ -104,6 +104,7 @@ impl SpanRecord {
                 Some(*bytes as u64),
             ),
             CommandKind::Kernel { name } => (SpanKind::Kernel, name.clone(), None),
+            CommandKind::Marker => (SpanKind::Other, "marker".to_string(), None),
         };
         SpanRecord {
             id,
@@ -116,7 +117,7 @@ impl SpanRecord {
             end_ns: event.ended_ns(),
             bytes,
             nd_range,
-            counters: event.counters().copied(),
+            counters: event.counters(),
         }
     }
 }

@@ -172,8 +172,16 @@ impl<T: KernelScalar> DistributedData<T> {
             let start = plan.stored.start * self.unit_elems;
             let end = plan.stored.end * self.unit_elems;
             let bytes = to_bytes(&st.host[start..end]);
-            let event = queue.enqueue_write(&buffer, 0, &bytes)?;
-            profiler.record_event(&event);
+            // Asynchronous upload: the queue is in-order, so kernels
+            // enqueued later on this device see the data; the span is
+            // recorded when the transfer retires on the queue worker.
+            let event = queue.enqueue_write_async(&buffer, 0, bytes, &[])?;
+            let p = profiler.clone();
+            event.on_complete(move |e| {
+                if e.error().is_none() {
+                    p.record_event(e);
+                }
+            });
             uploaded += byte_len as u64;
             chunks.push(DeviceChunk { plan, buffer });
         }
@@ -225,19 +233,38 @@ impl<T: KernelScalar> DistributedData<T> {
                 let src_off = (lo - oc.plan.stored.start) * bytes_per_unit;
                 let dst_off = (lo - plan.stored.start) * bytes_per_unit;
                 let len = (hi - lo) * bytes_per_unit;
+                // Asynchronous like the uploads; the cross-device variant
+                // chains its write onto the read through an event wait.
+                let record = |event: &vgpu::Event| {
+                    let p = profiler.clone();
+                    event.on_complete(move |e| {
+                        if e.error().is_none() {
+                            p.record_event(e);
+                        }
+                    });
+                };
                 if oc.plan.device == plan.device {
-                    let event = self
-                        .ctx
-                        .queue(oc.plan.device)
-                        .enqueue_copy(&oc.buffer, src_off, &buffer, dst_off, len)?;
-                    profiler.record_event(&event);
+                    let event = self.ctx.queue(oc.plan.device).enqueue_copy_async(
+                        &oc.buffer,
+                        src_off,
+                        &buffer,
+                        dst_off,
+                        len,
+                        &[],
+                    )?;
+                    record(&event);
                 } else {
-                    let (read, write) = self
-                        .ctx
-                        .queue(oc.plan.device)
-                        .enqueue_copy_to(&oc.buffer, src_off, dst_queue, &buffer, dst_off, len)?;
-                    profiler.record_event(&read);
-                    profiler.record_event(&write);
+                    let (read, write) = self.ctx.queue(oc.plan.device).enqueue_copy_to_async(
+                        &oc.buffer,
+                        src_off,
+                        dst_queue,
+                        &buffer,
+                        dst_off,
+                        len,
+                        &[],
+                    )?;
+                    record(&read);
+                    record(&write);
                 }
                 delta_bytes += len as u64;
             }
@@ -355,10 +382,18 @@ impl<T: KernelScalar> DistributedData<T> {
         for chunk in chunks {
             let queue = self.ctx.queue(chunk.plan.device);
             let core_units = chunk.plan.core_len();
-            let mut bytes = vec![0u8; core_units * self.unit_elems * elem];
+            let len = core_units * self.unit_elems * elem;
             let offset = chunk.plan.core_offset() * self.unit_elems * elem;
-            let event = queue.enqueue_read(&chunk.buffer, offset, &mut bytes)?;
-            self.ctx.profiler().record_event(&event);
+            // The in-order queue drains every pending write/kernel before
+            // this read executes, so waiting on it synchronises the chunk.
+            let read = queue.enqueue_read_async(&chunk.buffer, offset, len, &[])?;
+            let p = self.ctx.profiler().clone();
+            read.event().on_complete(move |e| {
+                if e.error().is_none() {
+                    p.record_event(e);
+                }
+            });
+            let (_event, bytes) = read.wait()?;
             let host_start = chunk.plan.core.start * self.unit_elems;
             let host_end = chunk.plan.core.end * self.unit_elems;
             st.host[host_start..host_end].copy_from_slice(&from_bytes::<T>(&bytes));
@@ -473,6 +508,7 @@ mod tests {
         d.mark_device_written();
         d.with_host(|_| ()).unwrap(); // download
         d.set_distribution(Distribution::Copy).unwrap(); // redistribution
+        ctx.finish().unwrap(); // drain async transfers so spans are recorded
 
         let p = ctx.profiler();
         assert_eq!(p.counter(m::TRANSFER_FORCED), 1);
@@ -495,6 +531,7 @@ mod tests {
         let d = DistributedData::from_host(ctx.clone(), n, 1, data.clone());
         d.ensure_device(Distribution::Block).unwrap(); // even 50/50 upload
         d.mark_device_written(); // device copy becomes authoritative
+        ctx.finish().unwrap(); // drain the async uploads before counting
         let p = ctx.profiler();
         let h2d_upload = p.counter(m::BYTES_H2D);
         assert_eq!(h2d_upload, 400, "full upload of 100 × i32");
@@ -507,6 +544,7 @@ mod tests {
         let chunks = d.ensure_device(Distribution::Block).unwrap();
         assert_eq!(chunks[0].plan.core, 0..75);
         assert_eq!(chunks[1].plan.core, 75..100);
+        ctx.finish().unwrap(); // drain the async delta copies
 
         assert_eq!(p.counter(m::SCHED_REBALANCES), 1);
         // 0..50 stays on gpu0 (200 B on-device), 50..75 crosses gpu1→gpu0

@@ -41,6 +41,11 @@ struct ContextInner {
 
 impl Drop for ContextInner {
     fn drop(&mut self) {
+        // Drain every queue first: completion callbacks are what record
+        // device spans, so the trace below must not race outstanding work.
+        for queue in &self.queues {
+            let _ = queue.finish();
+        }
         // `SKELCL_TRACE=<path>` dumps the Chrome trace of a profiled
         // session when it ends, so any example can produce a trace with no
         // code changes.
@@ -154,6 +159,17 @@ impl Context {
     /// Whether two contexts refer to the same session.
     pub fn same_as(&self, other: &Context) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Blocks until every command enqueued on every device queue has
+    /// completed (the analogue of calling `clFinish` on each queue).
+    /// Skeleton `call`s wait for their own plans, so this is only needed
+    /// when synchronising with work driven through the queues directly.
+    pub fn finish(&self) -> crate::error::Result<()> {
+        for queue in &self.inner.queues {
+            queue.finish()?;
+        }
+        Ok(())
     }
 
     /// The session's profiler (disabled unless requested — see

@@ -45,6 +45,7 @@ mod codegen;
 pub mod container;
 pub mod context;
 pub mod distribution;
+pub mod engine;
 pub mod error;
 pub mod schedule;
 pub mod skeleton;
@@ -53,6 +54,7 @@ pub mod types;
 pub use container::{InteropChunk, Matrix, Scalar, Vector};
 pub use context::{Context, DeviceSelection};
 pub use distribution::Distribution;
+pub use engine::{LaunchPlan, NodeId, PlanRun};
 pub use error::{Error, Result};
 pub use schedule::{SchedulePolicy, Scheduler};
 pub use skeleton::{

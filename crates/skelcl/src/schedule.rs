@@ -17,6 +17,7 @@
 //! to measure under a known-even split before going adaptive.
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -56,10 +57,16 @@ struct DeviceModel {
 /// The per-context scheduler: policy switch plus throughput model.
 ///
 /// Shared by every container and skeleton of a [`crate::Context`]; all
-/// methods are cheap and thread-safe (skeletons launch from one thread per
-/// device).
-#[derive(Debug)]
+/// methods are cheap and thread-safe. Cloning is shallow — every clone
+/// feeds the same model, which lets queue-worker completion callbacks own
+/// a handle without keeping the whole context alive.
+#[derive(Debug, Clone)]
 pub struct Scheduler {
+    state: Arc<SchedulerState>,
+}
+
+#[derive(Debug)]
+struct SchedulerState {
     policy: AtomicU8,
     alpha: f64,
     models: Mutex<Vec<DeviceModel>>,
@@ -75,12 +82,14 @@ impl Scheduler {
             DEFAULT_EWMA_ALPHA
         };
         Scheduler {
-            policy: AtomicU8::new(match policy {
-                SchedulePolicy::Even => POLICY_EVEN,
-                SchedulePolicy::Adaptive => POLICY_ADAPTIVE,
+            state: Arc::new(SchedulerState {
+                policy: AtomicU8::new(match policy {
+                    SchedulePolicy::Even => POLICY_EVEN,
+                    SchedulePolicy::Adaptive => POLICY_ADAPTIVE,
+                }),
+                alpha,
+                models: Mutex::new(Vec::new()),
             }),
-            alpha,
-            models: Mutex::new(Vec::new()),
         }
     }
 
@@ -100,7 +109,7 @@ impl Scheduler {
 
     /// The current policy.
     pub fn policy(&self) -> SchedulePolicy {
-        if self.policy.load(Ordering::Relaxed) == POLICY_ADAPTIVE {
+        if self.state.policy.load(Ordering::Relaxed) == POLICY_ADAPTIVE {
             SchedulePolicy::Adaptive
         } else {
             SchedulePolicy::Even
@@ -109,7 +118,7 @@ impl Scheduler {
 
     /// Switches the policy at runtime (e.g. after a calibration phase).
     pub fn set_policy(&self, policy: SchedulePolicy) {
-        self.policy.store(
+        self.state.policy.store(
             match policy {
                 SchedulePolicy::Even => POLICY_EVEN,
                 SchedulePolicy::Adaptive => POLICY_ADAPTIVE,
@@ -120,7 +129,7 @@ impl Scheduler {
 
     /// The EWMA smoothing factor.
     pub fn alpha(&self) -> f64 {
-        self.alpha
+        self.state.alpha
     }
 
     /// Feeds one measurement into the model: `device` processed `units`
@@ -132,7 +141,8 @@ impl Scheduler {
             return;
         }
         let tput = units as f64 / busy_ns as f64;
-        let mut models = self.models.lock();
+        let alpha = self.state.alpha;
+        let mut models = self.state.models.lock();
         if models.len() <= device {
             models.resize(device + 1, DeviceModel::default());
         }
@@ -140,7 +150,7 @@ impl Scheduler {
         if m.samples == 0 {
             m.units_per_ns = tput;
         } else {
-            m.units_per_ns = self.alpha * tput + (1.0 - self.alpha) * m.units_per_ns;
+            m.units_per_ns = alpha * tput + (1.0 - alpha) * m.units_per_ns;
         }
         m.samples += 1;
     }
@@ -148,7 +158,7 @@ impl Scheduler {
     /// Forgets all measurements (the model goes cold; adaptive planning
     /// degrades to the even split until re-fed).
     pub fn reset(&self) {
-        self.models.lock().clear();
+        self.state.models.lock().clear();
     }
 
     /// Per-device partition weights for `devices` devices, or `None` when
@@ -159,7 +169,7 @@ impl Scheduler {
         if self.policy() != SchedulePolicy::Adaptive {
             return None;
         }
-        let models = self.models.lock();
+        let models = self.state.models.lock();
         if models.len() < devices {
             return None;
         }

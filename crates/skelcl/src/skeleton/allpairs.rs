@@ -23,7 +23,7 @@ use crate::container::Matrix;
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
+use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
 use crate::types::KernelScalar;
 
 /// Tile edge of the zip-reduce specialisation's work-groups.
@@ -241,7 +241,7 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, self.kernel, launches)?;
+        let events = run_launches(&self.ctx, &self.program, self.kernel, launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)

@@ -1,5 +1,5 @@
-//! Shared skeleton execution machinery: multi-device parallel launches and
-//! per-skeleton event logs.
+//! Shared skeleton execution machinery: plan-based multi-device launches
+//! and per-skeleton event logs.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -8,7 +8,8 @@ use std::time::Duration;
 use vgpu::{CommandKind, Event, KernelArg, NdRange};
 
 use crate::context::Context;
-use crate::error::{Error, Result};
+use crate::engine::LaunchPlan;
+use crate::error::Result;
 
 /// One device's share of a skeleton execution.
 #[derive(Debug)]
@@ -25,62 +26,24 @@ pub(crate) struct DeviceLaunch {
     pub units: usize,
 }
 
-/// Launches `kernel` on every listed device in parallel (one host thread
-/// per device, as SkelCL's implementation drives one queue per GPU),
-/// returning the events in device order.
-pub(crate) fn launch_parallel(
+/// Runs `kernel` on every listed device concurrently through the plan
+/// engine — one independent plan node per device, executed by the
+/// devices' asynchronous queues — and waits for completion, returning the
+/// events in device order. Profiler spans and scheduler measurements are
+/// recorded by the engine's completion callbacks.
+pub(crate) fn run_launches(
     ctx: &Context,
     program: &skelcl_kernel::Program,
     kernel: &str,
     launches: Vec<DeviceLaunch>,
 ) -> Result<Vec<Event>> {
-    let events: Result<Vec<Event>> = if launches.len() <= 1 {
-        // Single device: no thread overhead.
-        launches
-            .iter()
-            .map(|l| {
-                ctx.queue(l.device)
-                    .launch_kernel(program, kernel, &l.args, l.range, ctx.launch_config())
-                    .map_err(Error::from)
-            })
-            .collect()
-    } else {
-        let results: Vec<Result<Event>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = launches
-                .iter()
-                .map(|l| {
-                    scope.spawn(move || {
-                        ctx.queue(l.device)
-                            .launch_kernel(program, kernel, &l.args, l.range, ctx.launch_config())
-                            .map_err(Error::from)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("launch thread panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
-    };
-    let events = events?;
-    let profiler = ctx.profiler();
-    if profiler.is_enabled() {
-        for (event, launch) in events.iter().zip(&launches) {
-            profiler.record_event_with(event, Some(nd_range_label(&launch.range)));
-        }
+    let mut plan = LaunchPlan::new();
+    for l in launches {
+        plan.kernel(l.device, program, kernel, l.args, l.range, l.units, &[]);
     }
-    // Feed measured kernel durations back into the throughput model —
-    // every skeleton launch is a scheduling measurement.
-    let scheduler = ctx.scheduler();
-    for (event, launch) in events.iter().zip(&launches) {
-        scheduler.observe(
-            launch.device,
-            launch.units,
-            event.duration().as_nanos() as u64,
-        );
-    }
-    Ok(events)
+    let run = plan.execute(ctx)?;
+    run.wait()?;
+    Ok(run.into_events())
 }
 
 /// Compact launch-geometry label for kernel spans, e.g. `1024/256`,
@@ -102,17 +65,6 @@ pub(crate) fn nd_range_label(range: &NdRange) -> String {
             range.local[2]
         ),
     }
-}
-
-/// Summed kernel-event duration of an event list in ns — the busy time a
-/// skeleton phase spent computing on one device (transfers excluded), as
-/// the scheduler's `observe` wants it.
-pub(crate) fn kernel_busy_ns(events: &[Event]) -> u64 {
-    events
-        .iter()
-        .filter(|e| matches!(e.kind(), CommandKind::Kernel { .. }))
-        .map(|e| e.duration().as_nanos() as u64)
-        .sum()
 }
 
 /// Opens the host-lane span for one skeleton invocation and bumps the

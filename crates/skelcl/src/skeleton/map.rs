@@ -14,7 +14,7 @@ use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::Result;
-use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
+use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
 use crate::types::KernelScalar;
 
 /// The Map skeleton: `map f [x1, …, xn] = [f(x1), …, f(xn)]`.
@@ -150,7 +150,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, "skelcl_map", launches)?;
+        let events = run_launches(&self.ctx, &self.program, "skelcl_map", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
@@ -198,7 +198,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, "skelcl_map", launches)?;
+        let events = run_launches(&self.ctx, &self.program, "skelcl_map", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
@@ -243,7 +243,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, "skelcl_map_index", launches)?;
+        let events = run_launches(&self.ctx, &self.program, "skelcl_map_index", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
@@ -438,7 +438,7 @@ mod tests {
             .events()
             .last_events()
             .iter()
-            .find_map(|e| e.counters().copied())
+            .find_map(|e| e.counters())
             .unwrap();
         assert_eq!(counters.global_loads, 0);
         assert_eq!(counters.global_stores, 8);

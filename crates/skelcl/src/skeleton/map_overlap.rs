@@ -23,7 +23,7 @@ use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
+use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
 use crate::types::KernelScalar;
 
 /// 2-D work-group edge for matrix stencils (16×16, as the paper's CUDA and
@@ -247,7 +247,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, "skelcl_mapoverlap", launches)?;
+        let events = run_launches(&self.ctx, &self.program, "skelcl_mapoverlap", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
@@ -428,7 +428,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, "skelcl_mapoverlap_vec", launches)?;
+        let events = run_launches(&self.ctx, &self.program, "skelcl_mapoverlap_vec", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)

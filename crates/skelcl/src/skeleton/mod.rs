@@ -2,7 +2,7 @@
 //! patterns customized by user functions given as SkelCL C source strings.
 
 mod allpairs;
-mod common;
+pub(crate) mod common;
 mod map;
 mod map_overlap;
 mod reduce;

@@ -16,8 +16,9 @@ use crate::codegen::{compile_cached, expect_return, expect_scalar_param, parse_u
 use crate::container::{Matrix, Scalar, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
+use crate::engine::{LaunchPlan, NodeId};
 use crate::error::{Error, Result};
-use crate::skeleton::common::{kernel_busy_ns, nd_range_label, skeleton_span, EventLog};
+use crate::skeleton::common::{skeleton_span, EventLog};
 use crate::types::KernelScalar;
 
 /// Work-group size used by the reduction kernels.
@@ -133,40 +134,29 @@ impl<T: KernelScalar> Reduce<T> {
         };
         let chunks = input.ensure_device(dist)?;
 
-        // Phase 1: each device reduces its chunk to a single value, in
-        // parallel host threads.
-        let partials: Vec<Result<(usize, T, Vec<Event>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut evs = Vec::new();
-                        let v = self.reduce_on_device(
-                            chunk.plan.device,
-                            chunk.buffer.clone(),
-                            chunk.plan.core_len(),
-                            &mut evs,
-                        )?;
-                        self.ctx.scheduler().observe(
-                            chunk.plan.device,
-                            chunk.plan.core_len(),
-                            kernel_busy_ns(&evs),
-                        );
-                        Ok((chunk.plan.device, v, evs))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reduce thread panicked"))
-                .collect()
-        });
-        let mut values = Vec::with_capacity(partials.len());
-        for p in partials {
-            let (_, v, mut evs) = p?;
-            events.append(&mut evs);
-            values.push(v);
+        // Phase 1: one plan — every device reduces its chunk down to a
+        // single value on its own asynchronous queue, ending in a
+        // one-element readback. The queues run concurrently; no host
+        // threads are involved.
+        let mut plan = LaunchPlan::new();
+        let mut read_ids = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            read_ids.push(self.plan_chain(
+                &mut plan,
+                chunk.plan.device,
+                chunk.buffer.clone(),
+                chunk.plan.core_len(),
+                chunk.plan.core_len(),
+                Vec::new(),
+            )?);
         }
+        let mut run = plan.execute(&self.ctx)?;
+        run.wait()?;
+        let mut values = Vec::with_capacity(read_ids.len());
+        for id in read_ids {
+            values.push(T::from_le_bytes(&run.take_read(id)?));
+        }
+        events.extend(run.into_events());
 
         // Phase 2: combine the per-device partials (at most one per GPU) on
         // the first participating device.
@@ -174,13 +164,17 @@ impl<T: KernelScalar> Reduce<T> {
             values[0]
         } else {
             let device = chunks[0].plan.device;
-            let queue = self.ctx.queue(device);
             let bytes = crate::types::to_bytes(&values);
-            let buf = queue.create_buffer(bytes.len())?;
-            let event = queue.enqueue_write(&buf, 0, &bytes)?;
-            self.ctx.profiler().record_event(&event);
-            events.push(event);
-            self.reduce_on_device(device, buf, values.len(), &mut events)?
+            let len = values.len();
+            let buf = self.ctx.queue(device).create_buffer(bytes.len())?;
+            let mut plan = LaunchPlan::new();
+            let upload = plan.write(device, &buf, 0, bytes, &[]);
+            let read = self.plan_chain(&mut plan, device, buf, len, 0, vec![upload])?;
+            let mut run = plan.execute(&self.ctx)?;
+            run.wait()?;
+            let v = T::from_le_bytes(&run.take_read(read)?);
+            events.extend(run.into_events());
+            v
         };
 
         self.events.record(events);
@@ -209,95 +203,86 @@ impl<T: KernelScalar> Reduce<T> {
         let chunks = input.ensure_device(dist)?;
         let cols = input.cols();
 
-        let partials: Vec<Result<(T, Vec<Event>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut evs = Vec::new();
-                        let v = self.reduce_on_device(
-                            chunk.plan.device,
-                            chunk.buffer.clone(),
-                            chunk.plan.core_len() * cols,
-                            &mut evs,
-                        )?;
-                        self.ctx.scheduler().observe(
-                            chunk.plan.device,
-                            chunk.plan.core_len(),
-                            kernel_busy_ns(&evs),
-                        );
-                        Ok((v, evs))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reduce thread panicked"))
-                .collect()
-        });
-        let mut values = Vec::with_capacity(partials.len());
-        for p in partials {
-            let (v, mut evs) = p?;
-            events.append(&mut evs);
-            values.push(v);
+        let mut plan = LaunchPlan::new();
+        let mut read_ids = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            read_ids.push(self.plan_chain(
+                &mut plan,
+                chunk.plan.device,
+                chunk.buffer.clone(),
+                chunk.plan.core_len() * cols,
+                chunk.plan.core_len(),
+                Vec::new(),
+            )?);
         }
+        let mut run = plan.execute(&self.ctx)?;
+        run.wait()?;
+        let mut values = Vec::with_capacity(read_ids.len());
+        for id in read_ids {
+            values.push(T::from_le_bytes(&run.take_read(id)?));
+        }
+        events.extend(run.into_events());
 
         let result = if values.len() == 1 {
             values[0]
         } else {
             let device = chunks[0].plan.device;
-            let queue = self.ctx.queue(device);
             let bytes = crate::types::to_bytes(&values);
-            let buf = queue.create_buffer(bytes.len())?;
-            let event = queue.enqueue_write(&buf, 0, &bytes)?;
-            self.ctx.profiler().record_event(&event);
-            events.push(event);
-            self.reduce_on_device(device, buf, values.len(), &mut events)?
+            let len = values.len();
+            let buf = self.ctx.queue(device).create_buffer(bytes.len())?;
+            let mut plan = LaunchPlan::new();
+            let upload = plan.write(device, &buf, 0, bytes, &[]);
+            let read = self.plan_chain(&mut plan, device, buf, len, 0, vec![upload])?;
+            let mut run = plan.execute(&self.ctx)?;
+            run.wait()?;
+            let v = T::from_le_bytes(&run.take_read(read)?);
+            events.extend(run.into_events());
+            v
         };
 
         self.events.record(events);
         Ok(Scalar::new(result, self.events.last_kernel_time()))
     }
 
-    /// Reduces `n` leading elements of `buffer` on one device, downloading
-    /// the final value.
-    fn reduce_on_device(
+    /// Appends the multi-pass reduction of `n` leading elements of
+    /// `buffer` on `device` to `plan`, ending in a one-element readback
+    /// node whose id is returned. `units` is the scheduler measurement
+    /// credited to the chain (0 for helper chains such as the partial
+    /// combine); `deps` gates the first pass.
+    fn plan_chain(
         &self,
+        plan: &mut LaunchPlan,
         device: usize,
         mut buffer: DeviceBuffer,
         mut n: usize,
-        events: &mut Vec<Event>,
-    ) -> Result<T> {
+        units: usize,
+        mut deps: Vec<NodeId>,
+    ) -> Result<NodeId> {
         let queue = self.ctx.queue(device);
         let elem = std::mem::size_of::<T>();
-        let profiler = self.ctx.profiler();
+        let mut first = true;
         while n > 1 {
             let groups = n.div_ceil(WG).min(MAX_GROUPS);
             let out = queue.create_buffer(groups * elem)?;
-            let range = NdRange::linear(groups * WG, WG);
-            let event = queue.launch_kernel(
+            let id = plan.kernel(
+                device,
                 &self.program,
                 "skelcl_reduce",
-                &[
+                vec![
                     KernelArg::Buffer(buffer.clone()),
                     KernelArg::Buffer(out.clone()),
                     KernelArg::Scalar(Value::I32(n as i32)),
                 ],
-                range,
-                self.ctx.launch_config(),
-            )?;
-            if profiler.is_enabled() {
-                profiler.record_event_with(&event, Some(nd_range_label(&range)));
-            }
-            events.push(event);
+                NdRange::linear(groups * WG, WG),
+                if first { units } else { 0 },
+                &deps,
+            );
+            deps = vec![id];
             buffer = out;
             n = groups.min(n.div_ceil(WG));
+            first = false;
         }
-        let mut bytes = vec![0u8; elem];
-        let event = queue.enqueue_read(&buffer, 0, &mut bytes)?;
-        profiler.record_event(&event);
-        events.push(event);
-        Ok(T::from_le_bytes(&bytes))
+        Ok(plan.read(device, &buffer, 0, elem, &deps))
     }
 
     /// Profiling of the most recent call.

@@ -10,14 +10,15 @@
 use std::marker::PhantomData;
 
 use skelcl_kernel::value::Value;
-use vgpu::{DeviceBuffer, Event, KernelArg, NdRange};
+use vgpu::{DeviceBuffer, KernelArg, NdRange};
 
 use crate::codegen::{compile_cached, expect_return, expect_scalar_param, parse_user_function};
 use crate::container::Vector;
 use crate::context::Context;
 use crate::distribution::Distribution;
+use crate::engine::{LaunchPlan, NodeId};
 use crate::error::{Error, Result};
-use crate::skeleton::common::{kernel_busy_ns, skeleton_span, EventLog};
+use crate::skeleton::common::{skeleton_span, EventLog};
 use crate::types::{from_bytes, to_bytes, KernelScalar};
 
 /// Work-group (and scan block) size.
@@ -129,137 +130,140 @@ impl<T: KernelScalar> Scan<T> {
         };
         let in_chunks = input.ensure_device(dist)?;
         let (output, out_chunks) = Vector::alloc_device(&self.ctx, input.len(), dist)?;
+        let elem = std::mem::size_of::<T>();
+        let multi = out_chunks.len() > 1;
 
-        // Phase 1: scan every chunk on its device, in parallel.
-        let scans: Vec<Result<Vec<Event>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = in_chunks
-                .iter()
-                .zip(&out_chunks)
-                .map(|(ic, oc)| {
-                    scope.spawn(move || {
-                        let mut evs = Vec::new();
-                        self.scan_on_device(
-                            ic.plan.device,
-                            &ic.buffer,
-                            &oc.buffer,
-                            ic.plan.core_len(),
-                            &mut evs,
-                        )?;
-                        self.ctx.scheduler().observe(
-                            ic.plan.device,
-                            ic.plan.core_len(),
-                            kernel_busy_ns(&evs),
-                        );
-                        Ok(evs)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scan thread panicked"))
-                .collect()
-        });
-        let mut events = Vec::new();
-        for s in scans {
-            events.extend(s?);
+        // Phase 1: one plan — every device scans its chunk on its own
+        // asynchronous queue. On multiple devices each chain ends in a
+        // one-element readback of the chunk total, dependent on the
+        // chunk's final scan pass.
+        let mut plan = LaunchPlan::new();
+        let mut total_reads = Vec::new();
+        for (ic, oc) in in_chunks.iter().zip(&out_chunks) {
+            let core = ic.plan.core_len();
+            let done = self.plan_scan(
+                &mut plan,
+                ic.plan.device,
+                &ic.buffer,
+                &oc.buffer,
+                core,
+                core,
+                &[],
+            )?;
+            if multi {
+                total_reads.push(plan.read(
+                    ic.plan.device,
+                    &oc.buffer,
+                    (core - 1) * elem,
+                    elem,
+                    &[done],
+                ));
+            }
         }
+        let mut run = plan.execute(&self.ctx)?;
+        run.wait()?;
+        let mut totals: Vec<T> = Vec::with_capacity(total_reads.len());
+        for id in total_reads {
+            totals.push(T::from_le_bytes(&run.take_read(id)?));
+        }
+        let mut events = run.into_events();
 
         // Phase 2: apply cross-device offsets (chunk totals scanned on the
-        // first device).
-        if out_chunks.len() > 1 {
-            let elem = std::mem::size_of::<T>();
-            let mut totals: Vec<T> = Vec::with_capacity(out_chunks.len());
-            for oc in &out_chunks {
-                let queue = self.ctx.queue(oc.plan.device);
-                let mut bytes = vec![0u8; elem];
-                events.push(queue.enqueue_read(
-                    &oc.buffer,
-                    (oc.plan.core_len() - 1) * elem,
-                    &mut bytes,
-                )?);
-                totals.push(T::from_le_bytes(&bytes));
-            }
-            // Inclusive scan of the (tiny) totals on the first device.
+        // first device, then one offset kernel per remaining chunk).
+        if multi {
             let first = out_chunks[0].plan.device;
             let queue = self.ctx.queue(first);
-            let tot_buf = queue.create_buffer(totals.len() * elem)?;
-            events.push(queue.enqueue_write(&tot_buf, 0, &to_bytes(&totals))?);
-            let scanned = queue.create_buffer(totals.len() * elem)?;
-            self.scan_on_device(first, &tot_buf, &scanned, totals.len(), &mut events)?;
-            let mut bytes = vec![0u8; totals.len() * elem];
-            events.push(queue.enqueue_read(&scanned, 0, &mut bytes)?);
-            let prefixes: Vec<T> = from_bytes(&bytes);
+            let count = totals.len();
+            let tot_buf = queue.create_buffer(count * elem)?;
+            let scanned = queue.create_buffer(count * elem)?;
+            let mut plan = LaunchPlan::new();
+            let upload = plan.write(first, &tot_buf, 0, to_bytes(&totals), &[]);
+            let done = self.plan_scan(&mut plan, first, &tot_buf, &scanned, count, 0, &[upload])?;
+            let read = plan.read(first, &scanned, 0, count * elem, &[done]);
+            let mut run = plan.execute(&self.ctx)?;
+            run.wait()?;
+            let prefixes: Vec<T> = from_bytes(&run.take_read(read)?);
+            events.extend(run.into_events());
 
+            let mut plan = LaunchPlan::new();
             for (i, oc) in out_chunks.iter().enumerate().skip(1) {
-                let queue = self.ctx.queue(oc.plan.device);
                 let n = oc.plan.core_len();
-                events.push(queue.launch_kernel(
+                plan.kernel(
+                    oc.plan.device,
                     &self.program,
                     "skelcl_scan_offset",
-                    &[
+                    vec![
                         KernelArg::Buffer(oc.buffer.clone()),
                         KernelArg::Scalar(prefixes[i - 1].to_value()),
                         KernelArg::Scalar(Value::I32(n as i32)),
                     ],
                     NdRange::linear(n, WG),
-                    self.ctx.launch_config(),
-                )?);
+                    0,
+                    &[],
+                );
             }
+            let run = plan.execute(&self.ctx)?;
+            run.wait()?;
+            events.extend(run.into_events());
         }
 
-        let profiler = self.ctx.profiler();
-        if profiler.is_enabled() {
-            for event in &events {
-                profiler.record_event(event);
-            }
-        }
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
     }
 
-    /// Scans `n` elements of `input` into `output` on one device
-    /// (recursive multi-block scan).
-    fn scan_on_device(
+    /// Appends the recursive multi-block scan of `n` elements of `input`
+    /// into `output` on `device` to `plan`, returning the node after which
+    /// `output` holds the finished scan. `units` is the scheduler
+    /// measurement credited to the top-level block pass (0 for helper
+    /// scans); `deps` gates the first pass.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_scan(
         &self,
+        plan: &mut LaunchPlan,
         device: usize,
         input: &DeviceBuffer,
         output: &DeviceBuffer,
         n: usize,
-        events: &mut Vec<Event>,
-    ) -> Result<()> {
+        units: usize,
+        deps: &[NodeId],
+    ) -> Result<NodeId> {
         let queue = self.ctx.queue(device);
         let elem = std::mem::size_of::<T>();
         let groups = n.div_ceil(WG);
         let sums = queue.create_buffer(groups * elem)?;
-        events.push(queue.launch_kernel(
+        let block = plan.kernel(
+            device,
             &self.program,
             "skelcl_scan_block",
-            &[
+            vec![
                 KernelArg::Buffer(input.clone()),
                 KernelArg::Buffer(output.clone()),
                 KernelArg::Buffer(sums.clone()),
                 KernelArg::Scalar(Value::I32(n as i32)),
             ],
             NdRange::linear(groups * WG, WG),
-            self.ctx.launch_config(),
-        )?);
-        if groups > 1 {
-            let scanned = queue.create_buffer(groups * elem)?;
-            self.scan_on_device(device, &sums, &scanned, groups, events)?;
-            events.push(queue.launch_kernel(
-                &self.program,
-                "skelcl_scan_add_sums",
-                &[
-                    KernelArg::Buffer(output.clone()),
-                    KernelArg::Buffer(scanned),
-                    KernelArg::Scalar(Value::I32(n as i32)),
-                ],
-                NdRange::linear(groups * WG, WG),
-                self.ctx.launch_config(),
-            )?);
+            units,
+            deps,
+        );
+        if groups == 1 {
+            return Ok(block);
         }
-        Ok(())
+        let scanned = queue.create_buffer(groups * elem)?;
+        let sums_done = self.plan_scan(plan, device, &sums, &scanned, groups, 0, &[block])?;
+        Ok(plan.kernel(
+            device,
+            &self.program,
+            "skelcl_scan_add_sums",
+            vec![
+                KernelArg::Buffer(output.clone()),
+                KernelArg::Buffer(scanned),
+                KernelArg::Scalar(Value::I32(n as i32)),
+            ],
+            NdRange::linear(groups * WG, WG),
+            0,
+            &[sums_done],
+        ))
     }
 
     /// Profiling of the most recent call.

@@ -14,7 +14,7 @@ use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{launch_parallel, skeleton_span, DeviceLaunch, EventLog};
+use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
 use crate::skeleton::map::normalize_elementwise;
 use crate::types::KernelScalar;
 
@@ -144,7 +144,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, "skelcl_zip", launches)?;
+        let events = run_launches(&self.ctx, &self.program, "skelcl_zip", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)
@@ -195,7 +195,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
                 }
             })
             .collect();
-        let events = launch_parallel(&self.ctx, &self.program, "skelcl_zip", launches)?;
+        let events = run_launches(&self.ctx, &self.program, "skelcl_zip", launches)?;
         self.events.record(events);
         output.mark_device_written();
         Ok(output)

@@ -1,0 +1,182 @@
+//! Integration tests of the asynchronous plan engine: topological
+//! execution order for arbitrary plans, `Context::finish` draining, and
+//! bit-identical determinism of async multi-device skeleton pipelines.
+
+use proptest::prelude::*;
+
+use skelcl::engine::LaunchPlan;
+use skelcl::{Context, DeviceSelection, Reduce, Vector, Zip};
+use vgpu::{DeviceSpec, EventStatus, KernelArg, NdRange, Platform};
+
+fn ctx(devices: usize) -> Context {
+    Context::init(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    )
+}
+
+const TOUCH_KERNEL: &str = "__kernel void touch(__global int* p, int n) {\n\
+         int i = (int)get_global_id(0);\n\
+         if (i < n) p[i] = p[i] + 1;\n\
+     }";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any plan the builder accepts — random mix of writes, reads and
+    /// kernels with random backward dependencies across 1–4 devices —
+    /// completes every node, exactly once, in an order where each
+    /// dependency's completion callback ran before its dependent's.
+    #[test]
+    fn plans_complete_in_topological_order(
+        specs in proptest::collection::vec(
+            (0usize..4, 0usize..3, any::<u64>()),
+            1..20,
+        ),
+        devices in 1usize..=4,
+    ) {
+        let ctx = ctx(devices);
+        let program = skelcl_kernel::compile("touch.cl", TOUCH_KERNEL).unwrap();
+        let buffers: Vec<_> = (0..devices)
+            .map(|d| ctx.queue(d).create_buffer(64).unwrap())
+            .collect();
+
+        let mut plan = LaunchPlan::new();
+        let mut ids = Vec::new();
+        let mut read_ids = Vec::new();
+        for (i, &(dev_raw, op_raw, seed)) in specs.iter().enumerate() {
+            let device = dev_raw % devices;
+            let mut deps = Vec::new();
+            if i > 0 {
+                if seed & 1 == 1 {
+                    deps.push(ids[(seed as usize >> 1) % i]);
+                }
+                if seed & 2 == 2 {
+                    deps.push(ids[(seed as usize >> 2) % i]);
+                }
+            }
+            let id = match op_raw {
+                0 => plan.write(device, &buffers[device], 0, vec![i as u8; 4], &deps),
+                1 => {
+                    let id = plan.read(device, &buffers[device], 0, 4, &deps);
+                    read_ids.push(id);
+                    id
+                }
+                _ => plan.kernel(
+                    device,
+                    &program,
+                    "touch",
+                    vec![
+                        KernelArg::Buffer(buffers[device].clone()),
+                        KernelArg::Scalar(skelcl::Value::I32(16)),
+                    ],
+                    NdRange::linear(16, 16),
+                    1,
+                    &deps,
+                ),
+            };
+            ids.push(id);
+        }
+
+        let mut run = plan.execute(&ctx).unwrap();
+        run.wait().unwrap();
+
+        // Every node completed exactly once…
+        let order = run.completion_order();
+        prop_assert_eq!(order.len(), specs.len());
+        let mut position = vec![usize::MAX; specs.len()];
+        for (pos, &node) in order.iter().enumerate() {
+            prop_assert_eq!(position[node], usize::MAX, "node completed twice");
+            position[node] = pos;
+        }
+        // …and only after all of its dependencies.
+        for (i, &(_, _, seed)) in specs.iter().enumerate() {
+            if i > 0 {
+                if seed & 1 == 1 {
+                    prop_assert!(position[(seed as usize >> 1) % i] < position[i]);
+                }
+                if seed & 2 == 2 {
+                    prop_assert!(position[(seed as usize >> 2) % i] < position[i]);
+                }
+            }
+        }
+        // Read nodes deliver their bytes.
+        for id in read_ids {
+            prop_assert_eq!(run.take_read(id).unwrap().len(), 4);
+        }
+        for event in run.events() {
+            prop_assert_eq!(event.status(), EventStatus::Complete);
+        }
+    }
+}
+
+/// `Context::finish` blocks until every queue has drained — after it
+/// returns, every event of a plan that was never waited on is complete.
+#[test]
+fn finish_drains_every_queue() {
+    let ctx = ctx(4);
+    let mut plan = LaunchPlan::new();
+    for device in 0..4 {
+        let buffer = ctx.queue(device).create_buffer(4096).unwrap();
+        let mut dep = None;
+        for round in 0..16 {
+            let bytes = vec![round as u8; 4096];
+            let deps: Vec<_> = dep.into_iter().collect();
+            dep = Some(plan.write(device, &buffer, 0, bytes, &deps));
+        }
+    }
+    let run = plan.execute(&ctx).unwrap();
+    // No run.wait(): finish alone must drain all four queues.
+    ctx.finish().unwrap();
+    for event in run.events() {
+        assert_eq!(event.status(), EventStatus::Complete);
+    }
+}
+
+fn dot_product_f32(devices: usize, n: usize) -> f32 {
+    let ctx = ctx(devices);
+    let mult: Zip<f32, f32, f32> =
+        Zip::new(&ctx, "float mult(float x, float y){ return x * y; }").unwrap();
+    let sum: Reduce<f32> =
+        Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }").unwrap();
+    let a = Vector::from_fn(&ctx, n, |i| ((i % 97) as f32) * 0.375 - 18.0);
+    let b = Vector::from_fn(&ctx, n, |i| ((i % 31) as f32) * 0.25 + 1.0);
+    sum.call(&mult.call(&a, &b).unwrap()).unwrap().value()
+}
+
+/// The async engine must not introduce run-to-run nondeterminism: the
+/// same multi-device dot product, executed in fresh contexts, returns
+/// bit-identical floats every time (each queue is in-order and the
+/// combination tree is fixed, so rounding order never varies).
+#[test]
+fn async_dot_product_is_bit_identical() {
+    for devices in [1, 2, 4] {
+        let reference = dot_product_f32(devices, 10_001).to_bits();
+        for _ in 0..3 {
+            assert_eq!(
+                dot_product_f32(devices, 10_001).to_bits(),
+                reference,
+                "devices = {devices}"
+            );
+        }
+    }
+}
+
+/// Exact integer cross-check of the async pipeline against the host.
+#[test]
+fn async_dot_product_matches_host_exactly() {
+    let ctx = ctx(4);
+    let mult: Zip<i64, i64, i64> =
+        Zip::new(&ctx, "long mult(long x, long y){ return x * y; }").unwrap();
+    let sum: Reduce<i64> = Reduce::new(&ctx, "long sum(long x, long y){ return x + y; }").unwrap();
+    let n = 4099usize;
+    let a = Vector::from_fn(&ctx, n, |i| (i as i64 % 113) - 56);
+    let b = Vector::from_fn(&ctx, n, |i| (i as i64 % 57) - 28);
+    let expected: i64 = (0..n)
+        .map(|i| ((i as i64 % 113) - 56) * ((i as i64 % 57) - 28))
+        .sum();
+    assert_eq!(
+        sum.call(&mult.call(&a, &b).unwrap()).unwrap().value(),
+        expected
+    );
+}

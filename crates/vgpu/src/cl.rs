@@ -68,6 +68,7 @@ fn status_of(e: &Error) -> Status {
         Error::WrongDevice { .. } => Status::InvalidValue,
         Error::Launch { .. } | Error::BarrierDivergence { .. } => Status::OutOfResources,
         Error::LocalMemoryExceeded { .. } => Status::InvalidWorkGroupSize,
+        Error::DeviceLost => Status::OutOfResources,
     }
 }
 
@@ -117,7 +118,8 @@ pub struct ClKernel {
     args: Arc<Mutex<Vec<Option<KernelArg>>>>,
 }
 
-/// `cl_event` (always complete; the simulator executes eagerly).
+/// `cl_event` — a shared-state handle whose status moves `Queued →
+/// Running → Complete` as the queue's worker executes the command.
 pub type ClEvent = Event;
 
 /// `clGetPlatformIDs` — discovers the virtual platform. In this simulator
@@ -380,9 +382,13 @@ pub fn enqueue_nd_range_kernel(
         .map_err(|e| status_of(&e))
 }
 
-/// `clFinish` — a no-op: the simulated queue is synchronous.
-pub fn finish(_queue: &ClCommandQueue) -> Status {
-    Status::Success
+/// `clFinish` — blocks until the queue's worker has drained every command
+/// enqueued so far.
+pub fn finish(queue: &ClCommandQueue) -> Status {
+    match queue.queue.finish() {
+        Ok(()) => Status::Success,
+        Err(e) => status_of(&e),
+    }
 }
 
 /// Which profiling timestamp to query, mirroring the

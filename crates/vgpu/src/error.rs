@@ -74,6 +74,11 @@ pub enum Error {
         /// Device limit in bytes.
         limit: usize,
     },
+    /// The queue's worker died mid-command (a panic inside the execution
+    /// engine) — the OpenCL analogue of `CL_DEVICE_NOT_AVAILABLE` after a
+    /// driver crash. Commands waiting on the lost command fail with the
+    /// same error.
+    DeviceLost,
 }
 
 impl fmt::Display for Error {
@@ -108,6 +113,7 @@ impl fmt::Display for Error {
                 f,
                 "local memory request of {requested} bytes exceeds the device limit of {limit}"
             ),
+            Error::DeviceLost => write!(f, "device lost: the command queue's worker crashed"),
         }
     }
 }

@@ -1,16 +1,23 @@
-//! Events with OpenCL-style profiling information.
+//! Events with OpenCL-style profiling information and shared completion
+//! state.
 //!
-//! Every enqueued command returns an [`Event`] carrying its simulated
-//! timeline timestamps, mirroring `clGetEventProfilingInfo` — the paper's
-//! Fig. 5 measurements use exactly this API ("measurements were taken using
-//! the OpenCL profiling API").
+//! Every enqueued command returns an [`Event`]. Since the queues execute
+//! commands on a worker thread (one per queue, in order), an event is a
+//! handle to *shared state*: its status moves `Queued → Running →
+//! Complete`/`Failed`, observers block in [`Event::wait`] on a condition
+//! variable, and completion callbacks fire on the worker thread before the
+//! event becomes observably complete. The profiling accessors mirror
+//! `clGetEventProfilingInfo` — the paper's Fig. 5 measurements use exactly
+//! this API ("measurements were taken using the OpenCL profiling API").
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use skelcl_kernel::vm::CostCounters;
 
 use crate::device::DeviceId;
+use crate::error::{Error, Result};
 
 /// What kind of command an event belongs to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,29 +42,75 @@ pub enum CommandKind {
         /// The kernel's name.
         name: String,
     },
+    /// A synchronisation point with no work of its own
+    /// (`clEnqueueMarkerWithWaitList`); also what [`finish`] waits on.
+    ///
+    /// [`finish`]: crate::CommandQueue::finish
+    Marker,
 }
 
-#[derive(Debug)]
-struct EventData {
-    device: DeviceId,
-    kind: CommandKind,
+/// Where an event is in its lifecycle, as `clGetEventInfo` would report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventStatus {
+    /// Enqueued, not yet picked up by the queue worker.
+    Queued,
+    /// The queue worker is executing the command.
+    Running,
+    /// The command finished successfully; profiling data is final.
+    Complete,
+    /// The command (or a command it waited on) failed.
+    Failed,
+}
+
+type Callback = Box<dyn FnOnce(&Event) + Send>;
+
+/// Mutable half of an event, shared between the enqueuing thread, the queue
+/// worker and any number of waiters.
+struct EventState {
+    status: EventStatus,
     queued_ns: u64,
     started_ns: u64,
     ended_ns: u64,
     counters: Option<CostCounters>,
+    error: Option<Error>,
+    callbacks: Vec<Callback>,
+    /// Set once the finalising thread has taken the callback list; late
+    /// registrations run immediately on the caller's thread.
+    callbacks_taken: bool,
 }
 
-/// A completed command with profiling data (commands execute eagerly in the
-/// simulator, so events are always complete).
-#[derive(Debug, Clone)]
+struct EventData {
+    device: DeviceId,
+    kind: CommandKind,
+    state: Mutex<EventState>,
+    cond: Condvar,
+}
+
+/// A handle to one enqueued command: completion state, an [`Error`] on
+/// failure, and OpenCL-style profiling timestamps once complete.
+#[derive(Clone)]
 pub struct Event {
     inner: Arc<EventData>,
 }
 
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.lock();
+        f.debug_struct("Event")
+            .field("device", &self.inner.device)
+            .field("kind", &self.inner.kind)
+            .field("status", &st.status)
+            .field("queued_ns", &st.queued_ns)
+            .field("started_ns", &st.started_ns)
+            .field("ended_ns", &st.ended_ns)
+            .finish()
+    }
+}
+
 impl Event {
-    /// Creates an event from raw profiling data. Normally events come from
-    /// [`crate::CommandQueue`]; this constructor exists for tooling and
-    /// tests that synthesise timelines.
+    /// Creates an already-complete event from raw profiling data. Normally
+    /// events come from [`crate::CommandQueue`]; this constructor exists for
+    /// tooling and tests that synthesise timelines.
     pub fn new(
         device: DeviceId,
         kind: CommandKind,
@@ -70,12 +123,49 @@ impl Event {
             inner: Arc::new(EventData {
                 device,
                 kind,
-                queued_ns,
-                started_ns,
-                ended_ns,
-                counters,
+                state: Mutex::new(EventState {
+                    status: EventStatus::Complete,
+                    queued_ns,
+                    started_ns,
+                    ended_ns,
+                    counters,
+                    error: None,
+                    callbacks: Vec::new(),
+                    callbacks_taken: true,
+                }),
+                cond: Condvar::new(),
             }),
         }
+    }
+
+    /// Creates a pending event for a command just handed to a queue worker.
+    pub(crate) fn pending(device: DeviceId, kind: CommandKind) -> Self {
+        Event {
+            inner: Arc::new(EventData {
+                device,
+                kind,
+                state: Mutex::new(EventState {
+                    status: EventStatus::Queued,
+                    queued_ns: 0,
+                    started_ns: 0,
+                    ended_ns: 0,
+                    counters: None,
+                    error: None,
+                    callbacks: Vec::new(),
+                    callbacks_taken: false,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EventState> {
+        // A panicking callback poisons nothing observable: callbacks run
+        // outside the lock, so recovering from poison is always safe here.
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The device the command ran on.
@@ -88,37 +178,139 @@ impl Event {
         &self.inner.kind
     }
 
-    /// Simulated enqueue timestamp (ns on the device timeline).
+    /// Where the command is in its lifecycle right now.
+    pub fn status(&self) -> EventStatus {
+        self.lock().status
+    }
+
+    /// The failure, if the command (or a dependency) failed.
+    pub fn error(&self) -> Option<Error> {
+        self.lock().error.clone()
+    }
+
+    /// Blocks until the command completes or fails, as
+    /// `clWaitForEvents` does. Completion callbacks registered through
+    /// [`Event::on_complete`] have all run by the time this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the command's execution error, or the error of the wait-list
+    /// dependency that failed first.
+    pub fn wait(&self) -> Result<()> {
+        let mut st = self.lock();
+        while matches!(st.status, EventStatus::Queued | EventStatus::Running) {
+            st = self
+                .inner
+                .cond
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        match st.status {
+            EventStatus::Failed => Err(st.error.clone().unwrap_or(Error::DeviceLost)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Registers a callback to run when the command completes *or fails*
+    /// (check [`Event::error`] inside the callback). Runs on the queue
+    /// worker thread before any [`Event::wait`] returns; if the event is
+    /// already finalised, runs immediately on the calling thread.
+    pub fn on_complete(&self, callback: impl FnOnce(&Event) + Send + 'static) {
+        {
+            let mut st = self.lock();
+            if !st.callbacks_taken {
+                st.callbacks.push(Box::new(callback));
+                return;
+            }
+        }
+        callback(self);
+    }
+
+    /// Marks the event as being executed by the queue worker.
+    pub(crate) fn start_running(&self) {
+        let mut st = self.lock();
+        if st.status == EventStatus::Queued {
+            st.status = EventStatus::Running;
+        }
+    }
+
+    /// Finalises the event with its profiling data, running completion
+    /// callbacks (outside the lock, before the status flips) and waking all
+    /// waiters.
+    pub(crate) fn complete(
+        &self,
+        queued_ns: u64,
+        started_ns: u64,
+        ended_ns: u64,
+        counters: Option<CostCounters>,
+    ) {
+        let callbacks = {
+            let mut st = self.lock();
+            st.queued_ns = queued_ns;
+            st.started_ns = started_ns;
+            st.ended_ns = ended_ns;
+            st.counters = counters;
+            st.callbacks_taken = true;
+            std::mem::take(&mut st.callbacks)
+        };
+        for cb in callbacks {
+            cb(self);
+        }
+        self.lock().status = EventStatus::Complete;
+        self.inner.cond.notify_all();
+    }
+
+    /// Finalises the event as failed, running completion callbacks and
+    /// waking all waiters (whose [`Event::wait`] then returns the error).
+    pub(crate) fn fail(&self, error: Error) {
+        let callbacks = {
+            let mut st = self.lock();
+            st.error = Some(error);
+            st.callbacks_taken = true;
+            std::mem::take(&mut st.callbacks)
+        };
+        for cb in callbacks {
+            cb(self);
+        }
+        self.lock().status = EventStatus::Failed;
+        self.inner.cond.notify_all();
+    }
+
+    /// Simulated enqueue timestamp (ns on the device timeline); zero until
+    /// the command completes.
     pub fn queued_ns(&self) -> u64 {
-        self.inner.queued_ns
+        self.lock().queued_ns
     }
 
-    /// Simulated execution start timestamp.
+    /// Simulated execution start timestamp; zero until the command
+    /// completes.
     pub fn started_ns(&self) -> u64 {
-        self.inner.started_ns
+        self.lock().started_ns
     }
 
-    /// Simulated execution end timestamp.
+    /// Simulated execution end timestamp; zero until the command completes.
     pub fn ended_ns(&self) -> u64 {
-        self.inner.ended_ns
+        self.lock().ended_ns
     }
 
     /// Simulated execution duration (`end - start`), the quantity the
     /// OpenCL profiling API reports per command. Saturates at zero for
     /// synthesised timelines whose end precedes their start.
     pub fn duration(&self) -> Duration {
-        Duration::from_nanos(self.inner.ended_ns.saturating_sub(self.inner.started_ns))
+        let st = self.lock();
+        Duration::from_nanos(st.ended_ns.saturating_sub(st.started_ns))
     }
 
     /// Time the command spent waiting in the queue (`start - queued`),
     /// saturating at zero.
     pub fn queue_latency(&self) -> Duration {
-        Duration::from_nanos(self.inner.started_ns.saturating_sub(self.inner.queued_ns))
+        let st = self.lock();
+        Duration::from_nanos(st.started_ns.saturating_sub(st.queued_ns))
     }
 
     /// Aggregate execution counters (kernel commands only).
-    pub fn counters(&self) -> Option<&CostCounters> {
-        self.inner.counters.as_ref()
+    pub fn counters(&self) -> Option<CostCounters> {
+        self.lock().counters
     }
 }
 
@@ -148,6 +340,8 @@ mod tests {
         assert_eq!(e.queue_latency(), Duration::from_nanos(5));
         assert!(e.counters().is_some());
         assert_eq!(e.kind(), &CommandKind::Kernel { name: "k".into() });
+        assert_eq!(e.status(), EventStatus::Complete);
+        assert!(e.wait().is_ok());
     }
 
     #[test]
@@ -179,5 +373,38 @@ mod tests {
         };
         let events = vec![mk(0, 10), mk(10, 25)];
         assert_eq!(total_duration(&events), Duration::from_nanos(25));
+    }
+
+    #[test]
+    fn pending_event_lifecycle_and_callbacks() {
+        let e = Event::pending(DeviceId(0), CommandKind::Marker);
+        assert_eq!(e.status(), EventStatus::Queued);
+        let ran = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let r = ran.clone();
+        e.on_complete(move |ev| {
+            // Timestamps are final before callbacks run.
+            assert_eq!(ev.ended_ns(), 30);
+            r.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        e.start_running();
+        assert_eq!(e.status(), EventStatus::Running);
+        e.complete(10, 20, 30, None);
+        assert_eq!(e.status(), EventStatus::Complete);
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Late registration runs immediately.
+        let r = ran.clone();
+        e.on_complete(move |_| {
+            r.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn failed_event_surfaces_error_from_wait() {
+        let e = Event::pending(DeviceId(0), CommandKind::Marker);
+        e.fail(Error::DeviceLost);
+        assert_eq!(e.status(), EventStatus::Failed);
+        assert_eq!(e.wait(), Err(Error::DeviceLost));
+        assert_eq!(e.error(), Some(Error::DeviceLost));
     }
 }

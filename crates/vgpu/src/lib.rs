@@ -7,8 +7,9 @@
 //! * [`Platform`] / [`Device`] — a host with N virtual GPUs, each with its
 //!   own memory capacity and simulated timeline;
 //! * [`DeviceBuffer`] — global-memory buffers with allocation accounting;
-//! * [`CommandQueue`] — in-order queues for transfers and kernel launches,
-//!   every command returning an [`Event`] with OpenCL-style profiling;
+//! * [`CommandQueue`] — asynchronous in-order queues (one worker thread
+//!   each) for transfers and kernel launches, every command returning an
+//!   [`Event`] with wait-list dependencies and OpenCL-style profiling;
 //! * an execution engine running compiled SkelCL C kernels
 //!   (`skelcl-kernel`) over ND-ranges: work-groups in parallel on host
 //!   threads, work-items of a group in lockstep rounds across `barrier()`s;
@@ -71,9 +72,9 @@ pub mod queue;
 pub use cost::Toolchain;
 pub use device::{Device, DeviceId, DeviceSpec};
 pub use error::{Error, Result};
-pub use event::{CommandKind, Event};
+pub use event::{CommandKind, Event, EventStatus};
 pub use exec::LaunchConfig;
 pub use memory::DeviceBuffer;
 pub use ndrange::NdRange;
 pub use platform::Platform;
-pub use queue::{CommandQueue, KernelArg};
+pub use queue::{CommandQueue, HostRead, KernelArg};

@@ -18,6 +18,9 @@ test:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Alias for clippy (matches the CI step name).
+lint: clippy
+
 # Formatting check (non-mutating).
 fmt-check:
     cargo fmt --all --check
