@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run --release -p skelcl-bench --bin scaling`
 
-use skelcl::{Context, Map, SchedulePolicy, Value, Vector};
+use skelcl::{Context, Map, Reduce, SchedulePolicy, Value, Vector, Zip};
 use skelcl_bench::baselines::{dot_skelcl, mandelbrot_skelcl, sobel_skelcl};
 use skelcl_bench::overlap::overlap_stats;
 use skelcl_bench::report::{profiled_ctx, write_report};
@@ -170,7 +170,76 @@ fn main() {
         if overlapped { "OVERLAPPED" } else { "EXPOSED" }
     );
 
-    let ok = shape_ok && adaptive_ok && overlapped;
+    // Elementwise kernel fusion: the dot product (paper Listing 1.1) as a
+    // single zip-mul + tree-reduce pass per device. The unfused pipeline
+    // launches the zip kernel, writes the product vector to device memory,
+    // and reads it back in the reduce's first pass; the fused pipeline
+    // welds the multiply into the reduction's load and skips the
+    // intermediate buffer entirely.
+    println!("\n== Elementwise kernel fusion (dot = zip \u{2218} reduce), 4 GPUs ==\n");
+    let c = ctx(4);
+    let sum: Reduce<f32> =
+        Reduce::new(&c, "float sum(float x, float y){ return x + y; }").expect("compile sum");
+    let mult: Zip<f32, f32, f32> =
+        Zip::new(&c, "float mult(float x, float y){ return x * y; }").expect("compile mult");
+    let va = Vector::from_vec(&c, a.clone());
+    let vb = Vector::from_vec(&c, b.clone());
+
+    let product = mult.call(&va, &vb).expect("unfused zip");
+    let unfused_dot = sum.call(&product).expect("unfused reduce");
+    let mut unfused_by_dev = mult.events().kernel_launches_by_device();
+    for (d, n) in sum.events().kernel_launches_by_device() {
+        *unfused_by_dev.entry(d).or_default() += n;
+    }
+
+    let expr = mult
+        .lazy(&va.expr(), &vb.expr())
+        .expect("build fused expression");
+    let stats = expr.stats().expect("fusion stats");
+    let fused_dot = sum.call_fused(&expr).expect("fused dot");
+    let fused_by_dev = sum.events().kernel_launches_by_device();
+
+    let unfused_launches: u64 = unfused_by_dev.values().sum();
+    let fused_launches: u64 = fused_by_dev.values().sum();
+    let saves_launch_per_device = unfused_by_dev
+        .iter()
+        .all(|(d, n)| n.saturating_sub(*fused_by_dev.get(d).unwrap_or(&0)) >= 1);
+    let results_identical = fused_dot.value().to_bits() == unfused_dot.value().to_bits();
+    println!(
+        "{:<10} {:>16} {:>22} {:>16}",
+        "pipeline", "kernel launches", "intermediate (bytes)", "dot"
+    );
+    println!(
+        "{:<10} {unfused_launches:>16} {:>22} {:>16.3}",
+        "unfused",
+        stats.unfused_stage_bytes,
+        unfused_dot.value()
+    );
+    println!(
+        "{:<10} {fused_launches:>16} {:>22} {:>16.3}",
+        "fused",
+        0,
+        fused_dot.value()
+    );
+    let fusion_ok =
+        results_identical && saves_launch_per_device && fused_launches < unfused_launches;
+    println!(
+        "\nfusion: {} launches saved ({} per device), {} intermediate-buffer bytes avoided — {}",
+        unfused_launches - fused_launches,
+        if saves_launch_per_device {
+            "\u{2265}1"
+        } else {
+            "<1"
+        },
+        stats.unfused_stage_bytes,
+        if results_identical {
+            "BIT-IDENTICAL"
+        } else {
+            "RESULTS DIVERGE"
+        }
+    );
+
+    let ok = shape_ok && adaptive_ok && overlapped && fusion_ok;
     println!(
         "\nresult: {}",
         if ok {
@@ -207,6 +276,25 @@ fn main() {
                     ("even_kernel_ms", Json::Num(even_ms)),
                     ("adaptive_kernel_ms", Json::Num(adaptive_ms)),
                     ("balanced", Json::Bool(adaptive_ok)),
+                ]),
+            ),
+            (
+                "fusion",
+                Json::obj([
+                    ("unfused_kernel_launches", unfused_launches.into()),
+                    ("fused_kernel_launches", fused_launches.into()),
+                    ("launches_saved", (unfused_launches - fused_launches).into()),
+                    (
+                        "intermediate_bytes_unfused",
+                        stats.unfused_stage_bytes.into(),
+                    ),
+                    ("intermediate_bytes_fused", 0u64.into()),
+                    ("fused_stages", (stats.stages as u64).into()),
+                    (
+                        "saves_launch_per_device",
+                        Json::Bool(saves_launch_per_device),
+                    ),
+                    ("results_identical", Json::Bool(results_identical)),
                 ]),
             ),
             (

@@ -204,6 +204,15 @@ pub(crate) fn check_extra_args(
             ),
         });
     }
+    for (i, (expected, value)) in extras.iter().zip(supplied).enumerate() {
+        if let (Type::Scalar(want), Some(got)) = (expected, value.scalar_type()) {
+            if *want != got {
+                return Err(Error::ShapeMismatch {
+                    reason: format!("{skeleton} extra argument {i} must be `{want}`, got `{got}`"),
+                });
+            }
+        }
+    }
     Ok(())
 }
 
@@ -268,97 +277,24 @@ pub(crate) fn rewrite_get_calls(f: &mut UserFunction, matrix: bool) -> Result<()
     }
     let expected_args = if matrix { 3 } else { 2 };
     let mut bad: Option<String> = None;
-    rewrite_block(&mut func.body, matrix, expected_args, &mut bad);
-    match bad {
-        Some(reason) => Err(Error::InvalidCustomizingFunction {
-            skeleton: "MapOverlap",
-            reason,
-        }),
-        None => Ok(()),
-    }
-}
-
-fn rewrite_block(b: &mut Block, matrix: bool, expected: usize, bad: &mut Option<String>) {
-    for s in &mut b.stmts {
-        rewrite_stmt(s, matrix, expected, bad);
-    }
-}
-
-fn rewrite_stmt(s: &mut Stmt, matrix: bool, expected: usize, bad: &mut Option<String>) {
-    match s {
-        Stmt::Block(b) => rewrite_block(b, matrix, expected, bad),
-        Stmt::Decl(VarDecl { declarators, .. }) => {
-            for Declarator {
-                array_size, init, ..
-            } in declarators
-            {
-                if let Some(e) = array_size {
-                    rewrite_expr(e, matrix, expected, bad);
-                }
-                if let Some(e) = init {
-                    rewrite_expr(e, matrix, expected, bad);
-                }
-            }
-        }
-        Stmt::Expr(e) => rewrite_expr(e, matrix, expected, bad),
-        Stmt::If {
-            cond,
-            then_branch,
-            else_branch,
-            ..
-        } => {
-            rewrite_expr(cond, matrix, expected, bad);
-            rewrite_stmt(then_branch, matrix, expected, bad);
-            if let Some(e) = else_branch {
-                rewrite_stmt(e, matrix, expected, bad);
-            }
-        }
-        Stmt::For {
-            init,
-            cond,
-            step,
-            body,
-            ..
-        } => {
-            if let Some(init) = init {
-                rewrite_stmt(init, matrix, expected, bad);
-            }
-            if let Some(cond) = cond {
-                rewrite_expr(cond, matrix, expected, bad);
-            }
-            if let Some(step) = step {
-                rewrite_expr(step, matrix, expected, bad);
-            }
-            rewrite_stmt(body, matrix, expected, bad);
-        }
-        Stmt::While { cond, body, .. } | Stmt::DoWhile { cond, body, .. } => {
-            rewrite_expr(cond, matrix, expected, bad);
-            rewrite_stmt(body, matrix, expected, bad);
-        }
-        Stmt::Return { value: Some(e), .. } => rewrite_expr(e, matrix, expected, bad),
-        Stmt::Return { value: None, .. } | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty(_) => {}
-    }
-}
-
-fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<String>) {
-    match e {
-        Expr::Call {
+    visit_block_exprs(&mut func.body, &mut |e| {
+        if let Expr::Call {
             callee,
             args,
-            span,
             callee_span,
-        } => {
-            for a in args.iter_mut() {
-                rewrite_expr(a, matrix, expected, bad);
-            }
+            ..
+        } = e
+        {
             if callee == "get" {
-                if args.len() != expected {
-                    *bad = Some(format!(
-                        "`get` takes {} arguments for {} stencils, found {}",
-                        expected,
-                        if matrix { "matrix" } else { "vector" },
-                        args.len()
-                    ));
+                if args.len() != expected_args {
+                    if bad.is_none() {
+                        bad = Some(format!(
+                            "`get` takes {} arguments for {} stencils, found {}",
+                            expected_args,
+                            if matrix { "matrix" } else { "vector" },
+                            args.len()
+                        ));
+                    }
                     return;
                 }
                 if matrix {
@@ -373,15 +309,94 @@ fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<St
                 } else {
                     *callee = "__skelcl_get1".into();
                 }
-                let _ = span;
             }
         }
-        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => {
-            rewrite_expr(expr, matrix, expected, bad)
+    });
+    match bad {
+        Some(reason) => Err(Error::InvalidCustomizingFunction {
+            skeleton: "MapOverlap",
+            reason,
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Applies `f` to every expression in a block, post-order (an expression's
+/// children are visited before the expression itself). The single traversal
+/// behind both the stencil `get()` rewrite and fusion-stage renaming.
+fn visit_block_exprs(b: &mut Block, f: &mut dyn FnMut(&mut Expr)) {
+    for s in &mut b.stmts {
+        visit_stmt_exprs(s, f);
+    }
+}
+
+fn visit_stmt_exprs(s: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
+    match s {
+        Stmt::Block(b) => visit_block_exprs(b, f),
+        Stmt::Decl(VarDecl { declarators, .. }) => {
+            for Declarator {
+                array_size, init, ..
+            } in declarators
+            {
+                if let Some(e) = array_size {
+                    visit_expr(e, f);
+                }
+                if let Some(e) = init {
+                    visit_expr(e, f);
+                }
+            }
         }
+        Stmt::Expr(e) => visit_expr(e, f),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            visit_expr(cond, f);
+            visit_stmt_exprs(then_branch, f);
+            if let Some(e) = else_branch {
+                visit_stmt_exprs(e, f);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            if let Some(init) = init {
+                visit_stmt_exprs(init, f);
+            }
+            if let Some(cond) = cond {
+                visit_expr(cond, f);
+            }
+            if let Some(step) = step {
+                visit_expr(step, f);
+            }
+            visit_stmt_exprs(body, f);
+        }
+        Stmt::While { cond, body, .. } | Stmt::DoWhile { cond, body, .. } => {
+            visit_expr(cond, f);
+            visit_stmt_exprs(body, f);
+        }
+        Stmt::Return { value: Some(e), .. } => visit_expr(e, f),
+        Stmt::Return { value: None, .. } | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty(_) => {}
+    }
+}
+
+fn visit_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    match e {
+        Expr::Call { args, .. } => {
+            for a in args.iter_mut() {
+                visit_expr(a, f);
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => visit_expr(expr, f),
         Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
-            rewrite_expr(lhs, matrix, expected, bad);
-            rewrite_expr(rhs, matrix, expected, bad);
+            visit_expr(lhs, f);
+            visit_expr(rhs, f);
         }
         Expr::Ternary {
             cond,
@@ -389,13 +404,13 @@ fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<St
             else_expr,
             ..
         } => {
-            rewrite_expr(cond, matrix, expected, bad);
-            rewrite_expr(then_expr, matrix, expected, bad);
-            rewrite_expr(else_expr, matrix, expected, bad);
+            visit_expr(cond, f);
+            visit_expr(then_expr, f);
+            visit_expr(else_expr, f);
         }
         Expr::Index { base, index, .. } => {
-            rewrite_expr(base, matrix, expected, bad);
-            rewrite_expr(index, matrix, expected, bad);
+            visit_expr(base, f);
+            visit_expr(index, f);
         }
         Expr::IntLit { .. }
         | Expr::FloatLit { .. }
@@ -403,6 +418,98 @@ fn rewrite_expr(e: &mut Expr, matrix: bool, expected: usize, bad: &mut Option<St
         | Expr::CharLit { .. }
         | Expr::Ident { .. } => {}
     }
+    f(e);
+}
+
+/// Renames every function defined in `unit` by appending `suffix`, and
+/// rewrites the call sites that refer to them. Calls to built-ins (or to
+/// anything not defined in the unit) are left alone. This lets several
+/// user translation units coexist in one fused kernel without name
+/// collisions.
+pub(crate) fn suffix_functions(unit: &mut ast::TranslationUnit, suffix: &str) {
+    let defined: std::collections::HashSet<String> =
+        unit.functions.iter().map(|f| f.name.clone()).collect();
+    for func in &mut unit.functions {
+        func.name = format!("{}{suffix}", func.name);
+        visit_block_exprs(&mut func.body, &mut |e| {
+            if let Expr::Call { callee, .. } = e {
+                if defined.contains(callee.as_str()) {
+                    *callee = format!("{callee}{suffix}");
+                }
+            }
+        });
+    }
+}
+
+/// One elementwise stage of a fused expression: the user's translation
+/// unit with every definition renamed by a content-derived suffix, so
+/// stages originating from different skeleton instances (or the same
+/// source used twice) weld into a single translation unit without
+/// collisions — identical sources rename identically and deduplicate.
+#[derive(Debug, Clone)]
+pub(crate) struct StageSpec {
+    /// Renamed, pretty-printed user translation unit.
+    pub source: String,
+    /// Renamed name of the customizing function.
+    pub name: String,
+    /// Output scalar type of the stage.
+    pub ret: ScalarType,
+}
+
+/// Builds the fusion [`StageSpec`] for a validated elementwise customizing
+/// function with scalar output type `ret`.
+pub(crate) fn stage_spec(f: &UserFunction, ret: ScalarType) -> StageSpec {
+    let mut unit = f.unit.clone();
+    let suffix = format!("_{:016x}", source_hash("stage", &f.source()));
+    suffix_functions(&mut unit, &suffix);
+    let name = unit.functions[0].name.clone();
+    StageSpec {
+        source: pretty::print_unit(&unit),
+        name,
+        ret,
+    }
+}
+
+/// Welds the uniform n-ary elementwise kernel around a customizing
+/// function — the single generator behind `Map` (arity 1), `Zip`
+/// (arity 2) and any future elementwise pattern:
+///
+/// ```text
+/// <user translation unit>
+/// __kernel void <kernel>(__global const I0* skelcl_in0, …,
+///                        __global O* skelcl_out, int skelcl_n, <extras>) {
+///     int skelcl_i = (int)get_global_id(0);
+///     if (skelcl_i < skelcl_n)
+///         skelcl_out[skelcl_i] = f(skelcl_in0[skelcl_i], …, <extras>);
+/// }
+/// ```
+pub(crate) fn weld_elementwise(
+    kernel: &str,
+    user: &UserFunction,
+    inputs: &[ScalarType],
+    out: ScalarType,
+) -> String {
+    let extras = user.extra_params(inputs.len());
+    let params: String = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("__global const {t}* skelcl_in{i}, "))
+        .collect();
+    let args = (0..inputs.len())
+        .map(|i| format!("skelcl_in{i}[skelcl_i]"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{unit}\n\
+         __kernel void {kernel}({params}__global {out}* skelcl_out, int skelcl_n{decls}) {{\n\
+         \x20   int skelcl_i = (int)get_global_id(0);\n\
+         \x20   if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = {f}({args}{uses});\n\
+         }}\n",
+        unit = user.source(),
+        f = user.name,
+        decls = extra_param_decls(extras, "skelcl_x"),
+        uses = extra_param_uses(extras, "skelcl_x"),
+    )
 }
 
 /// Compiles generated kernel source, classifying failures as SkelCL bugs
@@ -415,8 +522,9 @@ pub(crate) fn compile_generated(name: &str, source: &str) -> Result<skelcl_kerne
     })
 }
 
-/// FNV-1a hash of generated kernel source, the program-cache key.
-fn source_hash(name: &str, source: &str) -> u64 {
+/// FNV-1a hash of generated kernel source — the program-cache key, also
+/// used to derive collision-free fusion-stage suffixes.
+pub(crate) fn source_hash(name: &str, source: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes().chain([0u8]).chain(source.bytes()) {
         h ^= b as u64;
@@ -570,6 +678,65 @@ mod tests {
         .unwrap();
         let err = rewrite_get_calls(&mut f, true).unwrap_err();
         assert!(err.to_string().contains("takes 3 arguments"), "{err}");
+    }
+
+    #[test]
+    fn suffix_functions_renames_definitions_and_calls() {
+        let f = parse_user_function(
+            "Map",
+            "float func(float x){ return helper(x) + sqrt(x); }
+             float helper(float x){ return x + 1.0f; }",
+        )
+        .unwrap();
+        let mut unit = f.unit.clone();
+        suffix_functions(&mut unit, "_abc");
+        let src = pretty::print_unit(&unit);
+        assert!(src.contains("func_abc"), "{src}");
+        assert!(src.contains("helper_abc(x)"), "{src}");
+        // Built-ins keep their names.
+        assert!(src.contains("sqrt(x)"), "{src}");
+        assert!(!src.contains("helper(x)"), "{src}");
+    }
+
+    #[test]
+    fn stage_specs_dedupe_by_content() {
+        let f = parse_user_function("Map", "float neg(float x){ return -x; }").unwrap();
+        let g = parse_user_function("Map", "float neg(float x){ return -x; }").unwrap();
+        let h = parse_user_function("Map", "float neg(float x){ return -x - 0.0f; }").unwrap();
+        let sf = stage_spec(&f, ScalarType::Float);
+        let sg = stage_spec(&g, ScalarType::Float);
+        let sh = stage_spec(&h, ScalarType::Float);
+        // Identical sources rename identically (so they deduplicate)...
+        assert_eq!(sf.source, sg.source);
+        assert_eq!(sf.name, sg.name);
+        // ...while different bodies with the same function name diverge.
+        assert_ne!(sf.name, sh.name);
+        // The welded unit must still compile under the new names.
+        let probe = format!(
+            "{}\n{}\n__kernel void probe(__global float* o){{ o[0] = {}({}(1.0f)); }}",
+            sf.source, sh.source, sf.name, sh.name
+        );
+        compile_generated("stage_probe.cl", &probe).unwrap();
+    }
+
+    #[test]
+    fn welds_nary_elementwise_kernel() {
+        let f = parse_user_function(
+            "Zip",
+            "float madd(float a, float b, float s){ return a*b+s; }",
+        )
+        .unwrap();
+        let src = weld_elementwise(
+            "skelcl_zip",
+            &f,
+            &[ScalarType::Float, ScalarType::Float],
+            ScalarType::Float,
+        );
+        assert!(
+            src.contains("madd(skelcl_in0[skelcl_i], skelcl_in1[skelcl_i], skelcl_x0)"),
+            "{src}"
+        );
+        compile_generated("weld_probe.cl", &src).unwrap();
     }
 
     #[test]

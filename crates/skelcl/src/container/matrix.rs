@@ -220,6 +220,32 @@ impl<T: KernelScalar> Matrix<T> {
     }
 }
 
+impl<T: KernelScalar> crate::exec::ElementwiseInput for Matrix<T> {
+    fn input_ctx(&self) -> &Context {
+        self.context()
+    }
+
+    fn input_len(&self) -> usize {
+        self.len()
+    }
+
+    fn input_scalar(&self) -> skelcl_kernel::types::ScalarType {
+        T::SCALAR
+    }
+
+    fn input_distribution(&self, default: Distribution) -> Distribution {
+        self.effective_distribution(default)
+    }
+
+    fn input_chunks(&self, dist: Distribution) -> Result<Vec<DeviceChunk>> {
+        self.ensure_device(dist)
+    }
+
+    fn input_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as *const () as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -207,6 +207,39 @@ impl<T: KernelScalar> Vector<T> {
     pub(crate) fn mark_device_written(&self) {
         self.data.mark_device_written();
     }
+
+    /// Wraps the vector as a lazy fusion source: the result composes with
+    /// [`crate::Map::lazy`] / [`crate::Zip::lazy`] stages into a single
+    /// fused kernel (see [`crate::Expr`]).
+    pub fn expr(&self) -> crate::expr::Expr<T> {
+        crate::expr::Expr::from(self)
+    }
+}
+
+impl<T: KernelScalar> crate::exec::ElementwiseInput for Vector<T> {
+    fn input_ctx(&self) -> &Context {
+        self.context()
+    }
+
+    fn input_len(&self) -> usize {
+        self.len()
+    }
+
+    fn input_scalar(&self) -> skelcl_kernel::types::ScalarType {
+        T::SCALAR
+    }
+
+    fn input_distribution(&self, default: Distribution) -> Distribution {
+        self.effective_distribution(default)
+    }
+
+    fn input_chunks(&self, dist: Distribution) -> Result<Vec<DeviceChunk>> {
+        self.ensure_device(dist)
+    }
+
+    fn input_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as *const () as usize
+    }
 }
 
 impl<T: KernelScalar> FromIterator<T> for Vector<T> {

@@ -31,7 +31,7 @@ use vgpu::{DeviceBuffer, Event, HostRead, KernelArg, NdRange};
 
 use crate::context::Context;
 use crate::error::Result;
-use crate::skeleton::common::nd_range_label;
+use crate::exec::nd_range_label;
 
 /// Handle to one node of a [`LaunchPlan`], used to declare dependencies
 /// and to collect read results from the finished run.

@@ -47,6 +47,8 @@ pub mod context;
 pub mod distribution;
 pub mod engine;
 pub mod error;
+pub mod exec;
+pub mod expr;
 pub mod schedule;
 pub mod skeleton;
 pub mod types;
@@ -56,6 +58,8 @@ pub use context::{Context, DeviceSelection};
 pub use distribution::Distribution;
 pub use engine::{LaunchPlan, NodeId, PlanRun};
 pub use error::{Error, Result};
+pub use exec::Skeleton;
+pub use expr::{Expr, FusionStats};
 pub use schedule::{SchedulePolicy, Scheduler};
 pub use skeleton::{
     matrix_multiply, transpose, Allpairs, BoundaryHandling, EventLog, Map, MapOverlap,

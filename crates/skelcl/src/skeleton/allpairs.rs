@@ -23,7 +23,8 @@ use crate::container::Matrix;
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
+use crate::exec::{DeviceLaunch, Skeleton, SkeletonCore};
+use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
 /// Tile edge of the zip-reduce specialisation's work-groups.
@@ -56,10 +57,8 @@ const TILE: usize = 16;
 /// ```
 #[derive(Debug)]
 pub struct Allpairs<I: KernelScalar, O: KernelScalar> {
-    ctx: Context,
-    program: skelcl_kernel::Program,
+    core: SkeletonCore,
     kernel: &'static str,
-    events: EventLog,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -106,10 +105,8 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
         );
         let program = compile_cached(ctx, "skelcl_allpairs.cl", &kernel_source)?;
         Ok(Allpairs {
-            ctx: ctx.clone(),
-            program,
+            core: SkeletonCore::new(ctx, "Allpairs", program, Vec::new()),
             kernel: "skelcl_allpairs",
-            events: EventLog::default(),
             _types: PhantomData,
         })
     }
@@ -181,10 +178,8 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
         );
         let program = compile_cached(ctx, "skelcl_allpairs_zr.cl", &kernel_source)?;
         Ok(Allpairs {
-            ctx: ctx.clone(),
-            program,
+            core: SkeletonCore::new(ctx, "Allpairs", program, Vec::new()),
             kernel: "skelcl_allpairs_zr",
-            events: EventLog::default(),
             _types: PhantomData,
         })
     }
@@ -199,7 +194,7 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
     /// Fails with [`Error::ShapeMismatch`] when the row widths differ, plus
     /// any platform failure.
     pub fn call(&self, a: &Matrix<I>, b: &Matrix<I>) -> Result<Matrix<O>> {
-        let _span = skeleton_span(&self.ctx, "Allpairs.call");
+        let _span = self.core.begin("Allpairs.call");
         if a.cols() != b.cols() {
             return Err(Error::ShapeMismatch {
                 reason: format!(
@@ -212,7 +207,7 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
         let (n, m, d) = (a.rows(), b.rows(), a.cols());
         let a_chunks = a.ensure_device(Distribution::Block)?;
         let b_chunks = b.ensure_device(Distribution::Copy)?;
-        let (output, out_chunks) = Matrix::alloc_device(&self.ctx, n, m, Distribution::Block)?;
+        let (output, out_chunks) = Matrix::alloc_device(&self.core.ctx, n, m, Distribution::Block)?;
 
         let launches = a_chunks
             .iter()
@@ -241,15 +236,32 @@ impl<I: KernelScalar, O: KernelScalar> Allpairs<I, O> {
                 }
             })
             .collect();
-        let events = run_launches(&self.ctx, &self.program, self.kernel, launches)?;
-        self.events.record(events);
+        self.core.run(self.kernel, launches)?;
         output.mark_device_written();
         Ok(output)
     }
 
     /// Profiling of the most recent call.
     pub fn events(&self) -> &EventLog {
-        &self.events
+        &self.core.events
+    }
+}
+
+impl<I: KernelScalar, O: KernelScalar> Skeleton for Allpairs<I, O> {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn context(&self) -> &Context {
+        &self.core.ctx
+    }
+
+    fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    fn kernel_disassembly(&self) -> String {
+        self.core.program.disassemble()
     }
 }
 

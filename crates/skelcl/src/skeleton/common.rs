@@ -1,79 +1,10 @@
-//! Shared skeleton execution machinery: plan-based multi-device launches
-//! and per-skeleton event logs.
+//! Per-skeleton event logs (launch machinery lives in [`crate::exec`]).
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use vgpu::{CommandKind, Event, KernelArg, NdRange};
-
-use crate::context::Context;
-use crate::engine::LaunchPlan;
-use crate::error::Result;
-
-/// One device's share of a skeleton execution.
-#[derive(Debug)]
-pub(crate) struct DeviceLaunch {
-    /// Device index within the context.
-    pub device: usize,
-    /// Kernel arguments.
-    pub args: Vec<KernelArg>,
-    /// Launch geometry.
-    pub range: NdRange,
-    /// Distribution units (elements or rows) this launch owns — the
-    /// scheduler's throughput model divides them by the measured kernel
-    /// time.
-    pub units: usize,
-}
-
-/// Runs `kernel` on every listed device concurrently through the plan
-/// engine — one independent plan node per device, executed by the
-/// devices' asynchronous queues — and waits for completion, returning the
-/// events in device order. Profiler spans and scheduler measurements are
-/// recorded by the engine's completion callbacks.
-pub(crate) fn run_launches(
-    ctx: &Context,
-    program: &skelcl_kernel::Program,
-    kernel: &str,
-    launches: Vec<DeviceLaunch>,
-) -> Result<Vec<Event>> {
-    let mut plan = LaunchPlan::new();
-    for l in launches {
-        plan.kernel(l.device, program, kernel, l.args, l.range, l.units, &[]);
-    }
-    let run = plan.execute(ctx)?;
-    run.wait()?;
-    Ok(run.into_events())
-}
-
-/// Compact launch-geometry label for kernel spans, e.g. `1024/256`,
-/// `4096x3072/16x16` or `64x64x64/8x8x4` (global/local per dimension).
-pub(crate) fn nd_range_label(range: &NdRange) -> String {
-    match range.dims {
-        0 | 1 => format!("{}/{}", range.global[0], range.local[0]),
-        2 => format!(
-            "{}x{}/{}x{}",
-            range.global[0], range.global[1], range.local[0], range.local[1]
-        ),
-        _ => format!(
-            "{}x{}x{}/{}x{}x{}",
-            range.global[0],
-            range.global[1],
-            range.global[2],
-            range.local[0],
-            range.local[1],
-            range.local[2]
-        ),
-    }
-}
-
-/// Opens the host-lane span for one skeleton invocation and bumps the
-/// `skeleton.calls` counter. Inert when profiling is disabled.
-pub(crate) fn skeleton_span(ctx: &Context, name: &'static str) -> skelcl_profile::SpanGuard {
-    let profiler = ctx.profiler();
-    profiler.add(skelcl_profile::metrics::SKELETON_CALLS, 1);
-    profiler.host_span(skelcl_profile::SpanKind::Skeleton, name)
-}
+use vgpu::{CommandKind, Event};
 
 /// A log of the events produced by a skeleton's most recent call, exposing
 /// the paper's profiling measurements (Fig. 5 reports kernel-only times via
@@ -123,6 +54,19 @@ impl EventLog {
         per_device
     }
 
+    /// Kernel launches per device in the most recent call — the fusion
+    /// bench's evidence that a fused chain issues fewer launches.
+    pub fn kernel_launches_by_device(&self) -> HashMap<usize, u64> {
+        let events = self.events.lock().expect("event log lock");
+        let mut per_device: HashMap<usize, u64> = HashMap::new();
+        for e in events.iter() {
+            if matches!(e.kind(), CommandKind::Kernel { .. }) {
+                *per_device.entry(e.device().0).or_default() += 1;
+            }
+        }
+        per_device
+    }
+
     /// Kernel-time load imbalance of the most recent call: max/mean busy
     /// ns across the devices that ran kernels (1.0 is perfectly balanced;
     /// 0.0 when the log is empty).
@@ -141,12 +85,20 @@ impl EventLog {
     }
 
     /// Total simulated transfer time of the most recent call (max across
-    /// devices).
+    /// devices). Only actual data movement counts — kernels, markers and
+    /// other zero-duration barrier-style commands are excluded, so the
+    /// overlap report can't be skewed by synchronization events.
     pub fn last_transfer_time(&self) -> Duration {
         let events = self.events.lock().expect("event log lock");
         let mut per_device: HashMap<usize, Duration> = HashMap::new();
         for e in events.iter() {
-            if !matches!(e.kind(), CommandKind::Kernel { .. }) {
+            let is_transfer = matches!(
+                e.kind(),
+                CommandKind::WriteBuffer { .. }
+                    | CommandKind::ReadBuffer { .. }
+                    | CommandKind::CopyBuffer { .. }
+            );
+            if is_transfer && !e.duration().is_zero() {
                 *per_device.entry(e.device().0).or_default() += e.duration();
             }
         }
@@ -200,19 +152,51 @@ mod tests {
     }
 
     #[test]
-    fn nd_range_labels() {
-        assert_eq!(nd_range_label(&NdRange::linear(1000, 256)), "1024/256");
-        assert_eq!(
-            nd_range_label(&NdRange::grid([100, 60], [16, 16])),
-            "112x64/16x16"
-        );
-        // 3-D ranges must not silently drop the z dimension.
-        let r3 = NdRange {
-            dims: 3,
-            global: [64, 64, 64],
-            local: [8, 8, 4],
-        };
-        assert_eq!(nd_range_label(&r3), "64x64x64/8x8x4");
+    fn transfer_time_excludes_markers_and_barriers() {
+        let log = EventLog::default();
+        log.record(vec![
+            Event::new(
+                DeviceId(0),
+                CommandKind::ReadBuffer { bytes: 16 },
+                0,
+                0,
+                25,
+                None,
+            ),
+            // A marker with a nonzero span and a zero-duration write (a
+            // barrier-style sync point) must both be ignored.
+            Event::new(DeviceId(0), CommandKind::Marker, 25, 25, 90, None),
+            Event::new(
+                DeviceId(0),
+                CommandKind::WriteBuffer { bytes: 0 },
+                90,
+                90,
+                90,
+                None,
+            ),
+        ]);
+        assert_eq!(log.last_transfer_time(), Duration::from_nanos(25));
+    }
+
+    #[test]
+    fn kernel_launch_counts() {
+        let log = EventLog::default();
+        log.record(vec![
+            kernel_event(0, 0, 10),
+            kernel_event(0, 10, 20),
+            kernel_event(1, 0, 10),
+            Event::new(
+                DeviceId(1),
+                CommandKind::WriteBuffer { bytes: 8 },
+                0,
+                0,
+                5,
+                None,
+            ),
+        ]);
+        let launches = log.kernel_launches_by_device();
+        assert_eq!(launches[&0], 2);
+        assert_eq!(launches[&1], 1);
     }
 
     #[test]

@@ -7,14 +7,18 @@ use skelcl_kernel::value::Value;
 use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
-    check_extra_args, compile_cached, expect_return, expect_scalar_extras, expect_scalar_param,
-    extra_param_decls, extra_param_uses, parse_user_function,
+    compile_cached, expect_return, expect_scalar_extras, expect_scalar_param, extra_param_decls,
+    extra_param_uses, parse_user_function, stage_spec, weld_elementwise, StageSpec,
 };
 use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::Result;
-use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
+use crate::exec::{
+    elementwise_matrix, elementwise_vector, DeviceLaunch, ElementwiseInput, Skeleton, SkeletonCore,
+};
+use crate::expr::Expr;
+use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
 /// The Map skeleton: `map f [x1, …, xn] = [f(x1), …, f(xn)]`.
@@ -36,15 +40,15 @@ use crate::types::KernelScalar;
 /// ```
 ///
 /// The customizing function may take extra scalar parameters after the
-/// element; supply them per call with [`Map::call_with`].
+/// element; supply them per call with [`Map::call_with`]. [`Map::lazy`]
+/// defers the stage into a fusable [`Expr`] instead of executing it.
 #[derive(Debug)]
 pub struct Map<I: KernelScalar, O: KernelScalar> {
-    ctx: Context,
-    program: skelcl_kernel::Program,
+    core: SkeletonCore,
+    /// The fusion stage of the customizing function ([`Map::lazy`]).
+    stage: StageSpec,
     /// Whether an index-map entry point was generated (`I` is `int`).
     has_index_kernel: bool,
-    extras: Vec<skelcl_kernel::types::Type>,
-    events: EventLog,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -83,26 +87,14 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
             String::new()
         };
         let kernel_source = format!(
-            "{user}\n\
-             __kernel void skelcl_map(__global const {i}* skelcl_in, __global {o}* skelcl_out, int skelcl_n{decls}) {{\n\
-                 int skelcl_i = (int)get_global_id(0);\n\
-                 if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = {f}(skelcl_in[skelcl_i]{uses});\n\
-             }}\n\
-             {index_kernel}",
-            user = f.source(),
-            i = I::SCALAR,
-            o = O::SCALAR,
-            f = f.name,
-            decls = extra_param_decls(&extras, "skelcl_x"),
-            uses = extra_param_uses(&extras, "skelcl_x"),
+            "{main}{index_kernel}",
+            main = weld_elementwise("skelcl_map", &f, &[I::SCALAR], O::SCALAR),
         );
         let program = compile_cached(ctx, "skelcl_map.cl", &kernel_source)?;
         Ok(Map {
-            ctx: ctx.clone(),
-            program,
+            stage: stage_spec(&f, O::SCALAR),
+            core: SkeletonCore::new(ctx, "Map", program, extras),
             has_index_kernel,
-            extras,
-            events: EventLog::default(),
             _types: PhantomData,
         })
     }
@@ -124,36 +116,14 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
     /// Fails when the extra-argument count mismatches, plus anything
     /// [`Map::call`] can raise.
     pub fn call_with(&self, input: &Vector<I>, extra: &[Value]) -> Result<Vector<O>> {
-        let _span = skeleton_span(&self.ctx, "Map.call");
-        check_extra_args("Map", &self.extras, extra)?;
-        let dist = normalize_elementwise(input.effective_distribution(Distribution::Block));
-        let in_chunks = input.ensure_device(dist)?;
-        let (output, out_chunks) = Vector::alloc_device(&self.ctx, input.len(), dist)?;
-
-        let launches = in_chunks
-            .iter()
-            .zip(&out_chunks)
-            .map(|(ic, oc)| {
-                debug_assert_eq!(ic.plan.core, oc.plan.core);
-                let n = ic.plan.core_len();
-                let mut args = vec![
-                    KernelArg::Buffer(ic.buffer.clone()),
-                    KernelArg::Buffer(oc.buffer.clone()),
-                    KernelArg::Scalar(Value::I32(n as i32)),
-                ];
-                args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
-                DeviceLaunch {
-                    device: ic.plan.device,
-                    args,
-                    range: NdRange::linear_default(n),
-                    units: ic.plan.core_len(),
-                }
-            })
-            .collect();
-        let events = run_launches(&self.ctx, &self.program, "skelcl_map", launches)?;
-        self.events.record(events);
-        output.mark_device_written();
-        Ok(output)
+        let _span = self.core.begin("Map.call");
+        self.core.check_extras(extra)?;
+        elementwise_vector(
+            &self.core,
+            "skelcl_map",
+            &[input as &dyn ElementwiseInput],
+            extra,
+        )
     }
 
     /// Applies the skeleton elementwise to a matrix.
@@ -171,37 +141,16 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
     ///
     /// As for [`Map::call_with`].
     pub fn call_matrix_with(&self, input: &Matrix<I>, extra: &[Value]) -> Result<Matrix<O>> {
-        let _span = skeleton_span(&self.ctx, "Map.call_matrix");
-        check_extra_args("Map", &self.extras, extra)?;
-        let dist = normalize_elementwise(input.effective_distribution(Distribution::Block));
-        let in_chunks = input.ensure_device(dist)?;
-        let (output, out_chunks) =
-            Matrix::alloc_device(&self.ctx, input.rows(), input.cols(), dist)?;
-        let cols = input.cols();
-
-        let launches = in_chunks
-            .iter()
-            .zip(&out_chunks)
-            .map(|(ic, oc)| {
-                let n = ic.plan.core_len() * cols;
-                let mut args = vec![
-                    KernelArg::Buffer(ic.buffer.clone()),
-                    KernelArg::Buffer(oc.buffer.clone()),
-                    KernelArg::Scalar(Value::I32(n as i32)),
-                ];
-                args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
-                DeviceLaunch {
-                    device: ic.plan.device,
-                    args,
-                    range: NdRange::linear_default(n),
-                    units: ic.plan.core_len(),
-                }
-            })
-            .collect();
-        let events = run_launches(&self.ctx, &self.program, "skelcl_map", launches)?;
-        self.events.record(events);
-        output.mark_device_written();
-        Ok(output)
+        let _span = self.core.begin("Map.call_matrix");
+        self.core.check_extras(extra)?;
+        elementwise_matrix(
+            &self.core,
+            "skelcl_map",
+            &[input as &dyn ElementwiseInput],
+            input.rows(),
+            input.cols(),
+            extra,
+        )
     }
 
     /// Applies the customizing function to the index range `0..len`
@@ -214,7 +163,7 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
     /// Fails with [`crate::Error::ShapeMismatch`] when `I` is not `i32`,
     /// plus anything [`Map::call_with`] can raise.
     pub fn call_index(&self, len: usize, extra: &[Value]) -> Result<Vector<O>> {
-        let _span = skeleton_span(&self.ctx, "Map.call_index");
+        let _span = self.core.begin("Map.call_index");
         if !self.has_index_kernel {
             return Err(crate::error::Error::ShapeMismatch {
                 reason: format!(
@@ -223,8 +172,8 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                 ),
             });
         }
-        check_extra_args("Map", &self.extras, extra)?;
-        let (output, out_chunks) = Vector::alloc_device(&self.ctx, len, Distribution::Block)?;
+        self.core.check_extras(extra)?;
+        let (output, out_chunks) = Vector::alloc_device(&self.core.ctx, len, Distribution::Block)?;
         let launches = out_chunks
             .iter()
             .map(|oc| {
@@ -243,29 +192,67 @@ impl<I: KernelScalar, O: KernelScalar> Map<I, O> {
                 }
             })
             .collect();
-        let events = run_launches(&self.ctx, &self.program, "skelcl_map_index", launches)?;
-        self.events.record(events);
+        self.core.run("skelcl_map_index", launches)?;
         output.mark_device_written();
         Ok(output)
     }
 
+    /// Defers the stage onto `input` instead of executing it: the result
+    /// composes with further [`Map::lazy`] / [`crate::Zip::lazy`] stages
+    /// and evaluates as **one** fused kernel ([`Expr::eval`]), or feeds a
+    /// fused reduction ([`crate::Reduce::call_fused`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the customizing function takes extra arguments (use
+    /// [`Map::lazy_with`]).
+    pub fn lazy(&self, input: &Expr<I>) -> Result<Expr<O>> {
+        self.lazy_with(input, &[])
+    }
+
+    /// [`Map::lazy`] with extra scalar arguments, bound into the stage at
+    /// composition time (they are inlined as literals in the fused
+    /// kernel).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the extra-argument count mismatches.
+    pub fn lazy_with(&self, input: &Expr<I>, extra: &[Value]) -> Result<Expr<O>> {
+        self.core.check_extras(extra)?;
+        Ok(Expr::apply(
+            &self.core.ctx,
+            self.stage.clone(),
+            extra.to_vec(),
+            vec![input.node().clone()],
+        ))
+    }
+
     /// Profiling of the most recent call.
     pub fn events(&self) -> &EventLog {
-        &self.events
+        &self.core.events
     }
 
     /// The generated kernel's disassembly (debugging aid).
     pub fn kernel_disassembly(&self) -> String {
-        self.program.disassemble()
+        self.core.program.disassemble()
     }
 }
 
-/// Elementwise skeletons need no halo: an overlap request degrades to
-/// block.
-pub(crate) fn normalize_elementwise(dist: Distribution) -> Distribution {
-    match dist {
-        Distribution::Overlap { .. } => Distribution::Block,
-        other => other,
+impl<I: KernelScalar, O: KernelScalar> Skeleton for Map<I, O> {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn context(&self) -> &Context {
+        &self.core.ctx
+    }
+
+    fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    fn kernel_disassembly(&self) -> String {
+        self.core.program.disassemble()
     }
 }
 
@@ -354,6 +341,22 @@ mod tests {
         // Wrong arity reported.
         assert!(scale.call(&v).is_err());
         assert!(scale.call_with(&v, &[Value::F32(1.0)]).is_err());
+    }
+
+    #[test]
+    fn matrix_map_with_extra_arguments() {
+        let ctx = ctx(2);
+        let affine: Map<i32, i32> =
+            Map::new(&ctx, "int f(int x, int s, int o){ return x * s + o; }").unwrap();
+        let m = Matrix::from_fn(&ctx, 5, 3, |r, c| (r * 3 + c) as i32);
+        let out = affine
+            .call_matrix_with(&m, &[Value::I32(10), Value::I32(7)])
+            .unwrap();
+        assert_eq!(out.get(0, 0).unwrap(), 7);
+        assert_eq!(out.get(4, 2).unwrap(), 147);
+        // Wrong arity reported on the matrix path too.
+        assert!(affine.call_matrix(&m).is_err());
+        assert!(affine.call_matrix_with(&m, &[Value::I32(1)]).is_err());
     }
 
     #[test]
@@ -451,5 +454,15 @@ mod tests {
         let v = Vector::<f32>::zeros(&ctx, 0);
         let r = neg.call(&v).unwrap();
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn skeleton_trait_surface() {
+        let ctx = ctx(1);
+        let neg: Map<f32, f32> = Map::new(&ctx, "float f(float x){ return -x; }").unwrap();
+        let s: &dyn Skeleton = &neg;
+        assert_eq!(s.name(), "Map");
+        assert!(s.context().same_as(&ctx));
+        assert!(s.kernel_disassembly().contains("skelcl_map"));
     }
 }

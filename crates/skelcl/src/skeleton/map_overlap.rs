@@ -15,15 +15,15 @@ use skelcl_kernel::value::Value;
 use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
-    c_literal, check_extra_args, compile_cached, expect_pointer_param, expect_return,
-    expect_scalar_extras, extra_param_decls, extra_param_uses, parse_user_function,
-    rewrite_get_calls,
+    c_literal, compile_cached, expect_pointer_param, expect_return, expect_scalar_extras,
+    extra_param_decls, extra_param_uses, parse_user_function, rewrite_get_calls,
 };
 use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
+use crate::exec::{stencil_distributions, DeviceLaunch, Skeleton, SkeletonCore};
+use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
 /// 2-D work-group edge for matrix stencils (16×16, as the paper's CUDA and
@@ -96,11 +96,8 @@ fn load_body<I: KernelScalar>(boundary: &BoundaryHandling<I>, matrix: bool) -> S
 /// ```
 #[derive(Debug)]
 pub struct MapOverlap<I: KernelScalar, O: KernelScalar> {
-    ctx: Context,
-    program: skelcl_kernel::Program,
+    core: SkeletonCore,
     d: usize,
-    extras: Vec<skelcl_kernel::types::Type>,
-    events: EventLog,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -189,11 +186,8 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
         );
         let program = compile_cached(ctx, "skelcl_mapoverlap.cl", &kernel_source)?;
         Ok(MapOverlap {
-            ctx: ctx.clone(),
-            program,
+            core: SkeletonCore::new(ctx, "MapOverlap", program, extras),
             d,
-            extras,
-            events: EventLog::default(),
             _types: PhantomData,
         })
     }
@@ -213,15 +207,15 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
     ///
     /// As for [`MapOverlap::call`], plus extra-argument arity mismatches.
     pub fn call_with(&self, input: &Matrix<I>, extra: &[Value]) -> Result<Matrix<O>> {
-        let _span = skeleton_span(&self.ctx, "MapOverlap.call");
-        check_extra_args("MapOverlap", &self.extras, extra)?;
+        let _span = self.core.begin("MapOverlap.call");
+        self.core.check_extras(extra)?;
         let (in_dist, out_dist) = stencil_distributions(
             input.effective_distribution(Distribution::Overlap { size: self.d }),
             self.d,
         );
         let in_chunks = input.ensure_device(in_dist)?;
         let (output, out_chunks) =
-            Matrix::alloc_device(&self.ctx, input.rows(), input.cols(), out_dist)?;
+            Matrix::alloc_device(&self.core.ctx, input.rows(), input.cols(), out_dist)?;
         let cols = input.cols();
 
         let launches = in_chunks
@@ -247,8 +241,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
                 }
             })
             .collect();
-        let events = run_launches(&self.ctx, &self.program, "skelcl_mapoverlap", launches)?;
-        self.events.record(events);
+        self.core.run("skelcl_mapoverlap", launches)?;
         output.mark_device_written();
         Ok(output)
     }
@@ -260,27 +253,30 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlap<I, O> {
 
     /// Profiling of the most recent call.
     pub fn events(&self) -> &EventLog {
-        &self.events
+        &self.core.events
     }
 
     /// The generated kernel program (debugging/ablation aid).
     pub fn program(&self) -> &skelcl_kernel::Program {
-        &self.program
+        &self.core.program
     }
 }
 
-/// Chooses the input/output distributions for a stencil of range `d`:
-/// block-style inputs need an overlap halo of at least `d`; outputs are
-/// written core-only.
-fn stencil_distributions(requested: Distribution, d: usize) -> (Distribution, Distribution) {
-    match requested {
-        Distribution::Single(dev) => (Distribution::Single(dev), Distribution::Single(dev)),
-        Distribution::Copy => (Distribution::Copy, Distribution::Copy),
-        Distribution::Block => (Distribution::Overlap { size: d }, Distribution::Block),
-        Distribution::Overlap { size } => (
-            Distribution::Overlap { size: size.max(d) },
-            Distribution::Block,
-        ),
+impl<I: KernelScalar, O: KernelScalar> Skeleton for MapOverlap<I, O> {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn context(&self) -> &Context {
+        &self.core.ctx
+    }
+
+    fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    fn kernel_disassembly(&self) -> String {
+        self.core.program.disassemble()
     }
 }
 
@@ -305,11 +301,8 @@ fn stencil_distributions(requested: Distribution, d: usize) -> (Distribution, Di
 /// ```
 #[derive(Debug)]
 pub struct MapOverlapVec<I: KernelScalar, O: KernelScalar> {
-    ctx: Context,
-    program: skelcl_kernel::Program,
+    core: SkeletonCore,
     d: usize,
-    extras: Vec<skelcl_kernel::types::Type>,
-    events: EventLog,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -374,11 +367,8 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
         );
         let program = compile_cached(ctx, "skelcl_mapoverlap_vec.cl", &kernel_source)?;
         Ok(MapOverlapVec {
-            ctx: ctx.clone(),
-            program,
+            core: SkeletonCore::new(ctx, "MapOverlapVec", program, extras),
             d,
-            extras,
-            events: EventLog::default(),
             _types: PhantomData,
         })
     }
@@ -398,14 +388,14 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
     ///
     /// As for [`MapOverlap::call_with`].
     pub fn call_with(&self, input: &Vector<I>, extra: &[Value]) -> Result<Vector<O>> {
-        let _span = skeleton_span(&self.ctx, "MapOverlapVec.call");
-        check_extra_args("MapOverlap", &self.extras, extra)?;
+        let _span = self.core.begin("MapOverlapVec.call");
+        self.core.check_extras(extra)?;
         let (in_dist, out_dist) = stencil_distributions(
             input.effective_distribution(Distribution::Overlap { size: self.d }),
             self.d,
         );
         let in_chunks = input.ensure_device(in_dist)?;
-        let (output, out_chunks) = Vector::alloc_device(&self.ctx, input.len(), out_dist)?;
+        let (output, out_chunks) = Vector::alloc_device(&self.core.ctx, input.len(), out_dist)?;
 
         let launches = in_chunks
             .iter()
@@ -428,8 +418,7 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
                 }
             })
             .collect();
-        let events = run_launches(&self.ctx, &self.program, "skelcl_mapoverlap_vec", launches)?;
-        self.events.record(events);
+        self.core.run("skelcl_mapoverlap_vec", launches)?;
         output.mark_device_written();
         Ok(output)
     }
@@ -441,7 +430,25 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
 
     /// Profiling of the most recent call.
     pub fn events(&self) -> &EventLog {
-        &self.events
+        &self.core.events
+    }
+}
+
+impl<I: KernelScalar, O: KernelScalar> Skeleton for MapOverlapVec<I, O> {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn context(&self) -> &Context {
+        &self.core.ctx
+    }
+
+    fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    fn kernel_disassembly(&self) -> String {
+        self.core.program.disassemble()
     }
 }
 
@@ -586,6 +593,37 @@ mod tests {
         let out = thresh.call_with(&m, &[Value::F32(7.5)]).unwrap();
         assert_eq!(out.get(0, 0).unwrap(), 0);
         assert_eq!(out.get(3, 3).unwrap(), 255);
+    }
+
+    #[test]
+    fn matrix_stencil_extra_arguments_multi_gpu() {
+        // Extra scalar args must reach every device's launch identically.
+        let input: Vec<f32> = (0..40 * 17).map(|i| ((i * 13) % 23) as f32).collect();
+        let mut results = Vec::new();
+        for devices in [1usize, 3] {
+            let ctx = ctx(devices);
+            let thresh: MapOverlap<f32, u8> = MapOverlap::new(
+                &ctx,
+                "uchar f(const float* m, float limit, int on){
+                    return get(m, 0, 0) > limit ? on : 0;
+                }",
+                1,
+                BoundaryHandling::Neutral(0.0),
+            )
+            .unwrap();
+            let m = Matrix::from_vec(&ctx, 40, 17, input.clone());
+            results.push(
+                thresh
+                    .call_with(&m, &[Value::F32(11.0), Value::I32(7)])
+                    .unwrap()
+                    .to_vec()
+                    .unwrap(),
+            );
+            // Wrong arity / wrong type rejected.
+            assert!(thresh.call_with(&m, &[Value::F32(11.0)]).is_err());
+        }
+        assert_eq!(results[0], results[1]);
+        assert!(results[0].iter().all(|&v| v == 0 || v == 7));
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! behind barriers; partial results are reduced again until one value
 //! remains. No identity element is required (the paper's `Reduce` takes
 //! only the operator): the first loaded element seeds each accumulator.
+//!
+//! [`Reduce::call_fused`] accepts a lazy elementwise expression
+//! ([`crate::Expr`]) instead of a materialised vector: the expression DAG
+//! becomes the load prologue of the first reduction pass (a generated
+//! `skelcl_fused_load` device function), so e.g. the paper's dot product
+//! runs as a single zip-mul+tree-reduce pass with no intermediate buffer.
 
 use std::marker::PhantomData;
 
@@ -13,18 +19,65 @@ use skelcl_kernel::value::Value;
 use vgpu::{DeviceBuffer, Event, KernelArg, NdRange};
 
 use crate::codegen::{compile_cached, expect_return, expect_scalar_param, parse_user_function};
+use crate::container::data::DeviceChunk;
 use crate::container::{Matrix, Scalar, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::engine::{LaunchPlan, NodeId};
 use crate::error::{Error, Result};
-use crate::skeleton::common::{skeleton_span, EventLog};
+use crate::exec::{materialize, reduction_distribution, Skeleton, SkeletonCore};
+use crate::expr::{Expr, FusedPlan};
+use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
 /// Work-group size used by the reduction kernels.
 const WG: usize = 256;
 /// Maximum number of work-groups per pass (grid-stride covers the rest).
 const MAX_GROUPS: usize = 64;
+
+/// Generates a two-level tree-reduction kernel named `kernel`. The element
+/// loads are abstracted (`load_first` for the seeding load at `gid`,
+/// `load_loop` for the grid-stride load at `i`) so the same template welds
+/// both the plain kernel (loads from `skelcl_in`) and the fused kernel
+/// (loads through the generated `skelcl_fused_load` prologue) — both
+/// perform exactly the same operator applications in the same order, which
+/// is what makes fused and unfused results bit-identical.
+fn tree_reduce_kernel(
+    t: skelcl_kernel::types::ScalarType,
+    f: &str,
+    kernel: &str,
+    in_params: &str,
+    load_first: &str,
+    load_loop: &str,
+) -> String {
+    format!(
+        "__kernel void {kernel}({in_params}__global {t}* skelcl_out, int skelcl_n) {{\n\
+             __local {t} skelcl_scratch[{wg}];\n\
+             int lid = (int)get_local_id(0);\n\
+             int gid = (int)get_global_id(0);\n\
+             int gsize = (int)get_global_size(0);\n\
+             int lsz = (int)get_local_size(0);\n\
+             int active = skelcl_n < gsize ? skelcl_n : gsize;\n\
+             if (gid < active) {{\n\
+                 {t} acc = {load_first};\n\
+                 for (int i = gid + gsize; i < skelcl_n; i += gsize) acc = {f}(acc, {load_loop});\n\
+                 skelcl_scratch[lid] = acc;\n\
+             }}\n\
+             barrier(CLK_LOCAL_MEM_FENCE);\n\
+             int group_base = (int)get_group_id(0) * lsz;\n\
+             int group_active = active - group_base;\n\
+             if (group_active > lsz) group_active = lsz;\n\
+             for (int stride = lsz / 2; stride > 0; stride >>= 1) {{\n\
+                 if (lid < stride && lid + stride < group_active)\n\
+                     skelcl_scratch[lid] = {f}(skelcl_scratch[lid], skelcl_scratch[lid + stride]);\n\
+                 barrier(CLK_LOCAL_MEM_FENCE);\n\
+             }}\n\
+             if (lid == 0 && group_active > 0)\n\
+                 skelcl_out[get_group_id(0)] = skelcl_scratch[0];\n\
+         }}\n",
+        wg = WG,
+    )
+}
 
 /// The Reduce skeleton: `red (⊕) [v1, …, vn] = v1 ⊕ v2 ⊕ … ⊕ vn`.
 ///
@@ -45,9 +98,11 @@ const MAX_GROUPS: usize = 64;
 /// ```
 #[derive(Debug)]
 pub struct Reduce<T: KernelScalar> {
-    ctx: Context,
-    program: skelcl_kernel::Program,
-    events: EventLog,
+    core: SkeletonCore,
+    /// Pretty-printed user operator unit, rewelded into fused programs.
+    user_source: String,
+    /// Name of the user operator.
+    user_name: String,
     _types: PhantomData<fn(T, T) -> T>,
 }
 
@@ -71,41 +126,22 @@ impl<T: KernelScalar> Reduce<T> {
         }
 
         let kernel_source = format!(
-            "{user}\n\
-             __kernel void skelcl_reduce(__global const {t}* skelcl_in, __global {t}* skelcl_out, int skelcl_n) {{\n\
-                 __local {t} skelcl_scratch[{wg}];\n\
-                 int lid = (int)get_local_id(0);\n\
-                 int gid = (int)get_global_id(0);\n\
-                 int gsize = (int)get_global_size(0);\n\
-                 int lsz = (int)get_local_size(0);\n\
-                 int active = skelcl_n < gsize ? skelcl_n : gsize;\n\
-                 if (gid < active) {{\n\
-                     {t} acc = skelcl_in[gid];\n\
-                     for (int i = gid + gsize; i < skelcl_n; i += gsize) acc = {f}(acc, skelcl_in[i]);\n\
-                     skelcl_scratch[lid] = acc;\n\
-                 }}\n\
-                 barrier(CLK_LOCAL_MEM_FENCE);\n\
-                 int group_base = (int)get_group_id(0) * lsz;\n\
-                 int group_active = active - group_base;\n\
-                 if (group_active > lsz) group_active = lsz;\n\
-                 for (int stride = lsz / 2; stride > 0; stride >>= 1) {{\n\
-                     if (lid < stride && lid + stride < group_active)\n\
-                         skelcl_scratch[lid] = {f}(skelcl_scratch[lid], skelcl_scratch[lid + stride]);\n\
-                     barrier(CLK_LOCAL_MEM_FENCE);\n\
-                 }}\n\
-                 if (lid == 0 && group_active > 0)\n\
-                     skelcl_out[get_group_id(0)] = skelcl_scratch[0];\n\
-             }}\n",
+            "{user}\n{kernel}",
             user = f.source(),
-            t = T::SCALAR,
-            f = f.name,
-            wg = WG,
+            kernel = tree_reduce_kernel(
+                T::SCALAR,
+                &f.name,
+                "skelcl_reduce",
+                &format!("__global const {t}* skelcl_in, ", t = T::SCALAR),
+                "skelcl_in[gid]",
+                "skelcl_in[i]",
+            ),
         );
         let program = compile_cached(ctx, "skelcl_reduce.cl", &kernel_source)?;
         Ok(Reduce {
-            ctx: ctx.clone(),
-            program,
-            events: EventLog::default(),
+            user_source: f.source(),
+            user_name: f.name.clone(),
+            core: SkeletonCore::new(ctx, "Reduce", program, Vec::new()),
             _types: PhantomData,
         })
     }
@@ -117,68 +153,22 @@ impl<T: KernelScalar> Reduce<T> {
     /// Fails with [`Error::EmptyContainer`] on empty input, plus any
     /// platform failure.
     pub fn call(&self, input: &Vector<T>) -> Result<Scalar<T>> {
-        let _span = skeleton_span(&self.ctx, "Reduce.call");
+        let _span = self.core.begin("Reduce.call");
         if input.is_empty() {
             return Err(Error::EmptyContainer {
                 operation: "Reduce",
             });
         }
-        let mut events: Vec<Event> = Vec::new();
-
         // Distribute (block by default; copy degrades to a single device —
         // reducing the same copy on every GPU would be redundant work).
-        let dist = match input.effective_distribution(Distribution::Block) {
-            Distribution::Copy => Distribution::Single(0),
-            Distribution::Overlap { .. } => Distribution::Block,
-            other => other,
-        };
+        let dist = reduction_distribution(input.effective_distribution(Distribution::Block));
         let chunks = input.ensure_device(dist)?;
 
-        // Phase 1: one plan — every device reduces its chunk down to a
-        // single value on its own asynchronous queue, ending in a
-        // one-element readback. The queues run concurrently; no host
-        // threads are involved.
-        let mut plan = LaunchPlan::new();
-        let mut read_ids = Vec::with_capacity(chunks.len());
-        for chunk in &chunks {
-            read_ids.push(self.plan_chain(
-                &mut plan,
-                chunk.plan.device,
-                chunk.buffer.clone(),
-                chunk.plan.core_len(),
-                chunk.plan.core_len(),
-                Vec::new(),
-            )?);
-        }
-        let mut run = plan.execute(&self.ctx)?;
-        run.wait()?;
-        let mut values = Vec::with_capacity(read_ids.len());
-        for id in read_ids {
-            values.push(T::from_le_bytes(&run.take_read(id)?));
-        }
-        events.extend(run.into_events());
-
-        // Phase 2: combine the per-device partials (at most one per GPU) on
-        // the first participating device.
-        let result = if values.len() == 1 {
-            values[0]
-        } else {
-            let device = chunks[0].plan.device;
-            let bytes = crate::types::to_bytes(&values);
-            let len = values.len();
-            let buf = self.ctx.queue(device).create_buffer(bytes.len())?;
-            let mut plan = LaunchPlan::new();
-            let upload = plan.write(device, &buf, 0, bytes, &[]);
-            let read = self.plan_chain(&mut plan, device, buf, len, 0, vec![upload])?;
-            let mut run = plan.execute(&self.ctx)?;
-            run.wait()?;
-            let v = T::from_le_bytes(&run.take_read(read)?);
-            events.extend(run.into_events());
-            v
-        };
-
-        self.events.record(events);
-        Ok(Scalar::new(result, self.events.last_kernel_time()))
+        let mut events: Vec<Event> = Vec::new();
+        let values = self.reduce_chunks(&chunks, 1, &mut events)?;
+        let result = self.combine_partials(&values, chunks[0].plan.device, &mut events)?;
+        self.core.events.record(events);
+        Ok(Scalar::new(result, self.core.events.last_kernel_time()))
     }
 
     /// Reduces a matrix (all elements, row-major order of combination per
@@ -188,60 +178,200 @@ impl<T: KernelScalar> Reduce<T> {
     ///
     /// As for [`Reduce::call`].
     pub fn call_matrix(&self, input: &Matrix<T>) -> Result<Scalar<T>> {
-        let _span = skeleton_span(&self.ctx, "Reduce.call_matrix");
+        let _span = self.core.begin("Reduce.call_matrix");
         if input.is_empty() {
             return Err(Error::EmptyContainer {
                 operation: "Reduce",
             });
         }
-        let mut events: Vec<Event> = Vec::new();
-        let dist = match input.effective_distribution(Distribution::Block) {
-            Distribution::Copy => Distribution::Single(0),
-            Distribution::Overlap { .. } => Distribution::Block,
-            other => other,
-        };
+        let dist = reduction_distribution(input.effective_distribution(Distribution::Block));
         let chunks = input.ensure_device(dist)?;
-        let cols = input.cols();
 
+        let mut events: Vec<Event> = Vec::new();
+        let values = self.reduce_chunks(&chunks, input.cols(), &mut events)?;
+        let result = self.combine_partials(&values, chunks[0].plan.device, &mut events)?;
+        self.core.events.record(events);
+        Ok(Scalar::new(result, self.core.events.last_kernel_time()))
+    }
+
+    /// Reduces a lazy elementwise expression without materialising it: the
+    /// expression DAG is welded into the first reduction pass as a
+    /// `skelcl_fused_load` device function, so each element is computed
+    /// on the fly from the source containers (one kernel per device where
+    /// the unfused path needs at least two, and zero intermediate-buffer
+    /// traffic). Later passes reduce the per-group partials with the
+    /// ordinary kernel, performing exactly the same operator applications
+    /// in the same order as [`Reduce::call`] on the materialised
+    /// expression — the results are bit-identical.
+    ///
+    /// ```
+    /// use skelcl::{Context, Reduce, Vector, Zip};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let ctx = Context::tesla_s1070(); // 4 virtual GPUs
+    /// let sum: Reduce<f32> = Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }")?;
+    /// let mult: Zip<f32, f32, f32> =
+    ///     Zip::new(&ctx, "float mult(float x, float y){ return x * y; }")?;
+    /// let a = Vector::from_fn(&ctx, 1024, |i| i as f32);
+    /// let b = Vector::from_fn(&ctx, 1024, |_| 2.0);
+    /// // The paper's dot product as ONE fused pass, no intermediate vector:
+    /// let dot = sum.call_fused(&mult.lazy(&a.expr(), &b.expr())?)?;
+    /// assert_eq!(dot.value(), sum.call(&mult.call(&a, &b)?)?.value());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::EmptyContainer`] on an empty expression,
+    /// [`Error::ShapeMismatch`] when the expression lives on a different
+    /// context or is malformed, plus any platform failure.
+    pub fn call_fused(&self, expr: &Expr<T>) -> Result<Scalar<T>> {
+        let _span = self.core.begin("Reduce.call_fused");
+        let node = expr.node().clone();
+        let p = FusedPlan::build(&node)?;
+        if !p.ctx.same_as(&self.core.ctx) {
+            return Err(Error::ShapeMismatch {
+                reason: "fused expression belongs to a different context than this Reduce".into(),
+            });
+        }
+        if p.len == 0 {
+            return Err(Error::EmptyContainer {
+                operation: "Reduce",
+            });
+        }
+
+        // Weld: stage units + reduce operator + fused-load prologue + a
+        // tree-reduction first pass that loads through the prologue.
+        let in_params = p.input_params();
+        let in_args = p.input_args();
+        let source = format!(
+            "{units}\n{user}\n\
+             {t} skelcl_fused_load({in_params}int skelcl_i) {{\n\
+             \x20   return {load};\n\
+             }}\n{kernel}",
+            units = p.units,
+            user = self.user_source,
+            t = T::SCALAR,
+            load = p.load_expr,
+            kernel = tree_reduce_kernel(
+                T::SCALAR,
+                &self.user_name,
+                "skelcl_reduce_fused",
+                &in_params,
+                &format!("skelcl_fused_load({in_args}, gid)"),
+                &format!("skelcl_fused_load({in_args}, i)"),
+            ),
+        );
+        let fused_program = compile_cached(&self.core.ctx, "skelcl_reduce_fused.cl", &source)?;
+
+        let dist = reduction_distribution(p.sources[0].input_distribution(Distribution::Block));
+        let chunk_sets = materialize(&p.sources, dist)?;
+        let elem = std::mem::size_of::<T>();
+
+        // Phase 1: per device, one fused pass (sources → per-group
+        // partials), then the ordinary multi-pass chain over the partials
+        // — identical to what the plain path does after its first pass.
+        let mut plan = LaunchPlan::new();
+        let mut read_ids = Vec::new();
+        let mut first_device = None;
+        for j in 0..chunk_sets[0].len() {
+            let device = chunk_sets[0][j].plan.device;
+            first_device.get_or_insert(device);
+            let n = chunk_sets[0][j].plan.core_len();
+            let groups = n.div_ceil(WG).min(MAX_GROUPS);
+            let partials = self.core.ctx.queue(device).create_buffer(groups * elem)?;
+            let mut args: Vec<KernelArg> = chunk_sets
+                .iter()
+                .map(|chunks| {
+                    debug_assert_eq!(chunks[j].plan.core, chunk_sets[0][j].plan.core);
+                    KernelArg::Buffer(chunks[j].buffer.clone())
+                })
+                .collect();
+            args.push(KernelArg::Buffer(partials.clone()));
+            args.push(KernelArg::Scalar(Value::I32(n as i32)));
+            let first = plan.kernel(
+                device,
+                &fused_program,
+                "skelcl_reduce_fused",
+                args,
+                NdRange::linear(groups * WG, WG),
+                n,
+                &[],
+            );
+            read_ids.push(self.plan_chain(
+                &mut plan,
+                device,
+                partials,
+                groups.min(n.div_ceil(WG)),
+                0,
+                vec![first],
+            )?);
+        }
+        let mut run = plan.execute(&self.core.ctx)?;
+        run.wait()?;
+        let mut values = Vec::with_capacity(read_ids.len());
+        for id in read_ids {
+            values.push(T::from_le_bytes(&run.take_read(id)?));
+        }
+        let mut events = run.into_events();
+
+        // Phase 2: combine per-device partials, as in the plain path.
+        let device = first_device.expect("non-empty expression has chunks");
+        let result = self.combine_partials(&values, device, &mut events)?;
+        self.core.events.record(events);
+        Ok(Scalar::new(result, self.core.events.last_kernel_time()))
+    }
+
+    /// Phase 1 of a reduction: one plan — every device reduces its chunk
+    /// (of `core_len × unit_elems` elements) down to a single value on its
+    /// own asynchronous queue, ending in a one-element readback. The
+    /// queues run concurrently; no host threads are involved.
+    fn reduce_chunks(
+        &self,
+        chunks: &[DeviceChunk],
+        unit_elems: usize,
+        events: &mut Vec<Event>,
+    ) -> Result<Vec<T>> {
         let mut plan = LaunchPlan::new();
         let mut read_ids = Vec::with_capacity(chunks.len());
-        for chunk in &chunks {
+        for chunk in chunks {
             read_ids.push(self.plan_chain(
                 &mut plan,
                 chunk.plan.device,
                 chunk.buffer.clone(),
-                chunk.plan.core_len() * cols,
+                chunk.plan.core_len() * unit_elems,
                 chunk.plan.core_len(),
                 Vec::new(),
             )?);
         }
-        let mut run = plan.execute(&self.ctx)?;
+        let mut run = plan.execute(&self.core.ctx)?;
         run.wait()?;
         let mut values = Vec::with_capacity(read_ids.len());
         for id in read_ids {
             values.push(T::from_le_bytes(&run.take_read(id)?));
         }
         events.extend(run.into_events());
+        Ok(values)
+    }
 
-        let result = if values.len() == 1 {
-            values[0]
-        } else {
-            let device = chunks[0].plan.device;
-            let bytes = crate::types::to_bytes(&values);
-            let len = values.len();
-            let buf = self.ctx.queue(device).create_buffer(bytes.len())?;
-            let mut plan = LaunchPlan::new();
-            let upload = plan.write(device, &buf, 0, bytes, &[]);
-            let read = self.plan_chain(&mut plan, device, buf, len, 0, vec![upload])?;
-            let mut run = plan.execute(&self.ctx)?;
-            run.wait()?;
-            let v = T::from_le_bytes(&run.take_read(read)?);
-            events.extend(run.into_events());
-            v
-        };
-
-        self.events.record(events);
-        Ok(Scalar::new(result, self.events.last_kernel_time()))
+    /// Phase 2 of a reduction: combines the per-device partials (at most
+    /// one per GPU) on `device`. A single partial needs no kernel at all.
+    fn combine_partials(&self, values: &[T], device: usize, events: &mut Vec<Event>) -> Result<T> {
+        if values.len() == 1 {
+            return Ok(values[0]);
+        }
+        let bytes = crate::types::to_bytes(values);
+        let len = values.len();
+        let buf = self.core.ctx.queue(device).create_buffer(bytes.len())?;
+        let mut plan = LaunchPlan::new();
+        let upload = plan.write(device, &buf, 0, bytes, &[]);
+        let read = self.plan_chain(&mut plan, device, buf, len, 0, vec![upload])?;
+        let mut run = plan.execute(&self.core.ctx)?;
+        run.wait()?;
+        let v = T::from_le_bytes(&run.take_read(read)?);
+        events.extend(run.into_events());
+        Ok(v)
     }
 
     /// Appends the multi-pass reduction of `n` leading elements of
@@ -258,7 +388,7 @@ impl<T: KernelScalar> Reduce<T> {
         units: usize,
         mut deps: Vec<NodeId>,
     ) -> Result<NodeId> {
-        let queue = self.ctx.queue(device);
+        let queue = self.core.ctx.queue(device);
         let elem = std::mem::size_of::<T>();
         let mut first = true;
         while n > 1 {
@@ -266,7 +396,7 @@ impl<T: KernelScalar> Reduce<T> {
             let out = queue.create_buffer(groups * elem)?;
             let id = plan.kernel(
                 device,
-                &self.program,
+                &self.core.program,
                 "skelcl_reduce",
                 vec![
                     KernelArg::Buffer(buffer.clone()),
@@ -287,7 +417,25 @@ impl<T: KernelScalar> Reduce<T> {
 
     /// Profiling of the most recent call.
     pub fn events(&self) -> &EventLog {
-        &self.events
+        &self.core.events
+    }
+}
+
+impl<T: KernelScalar> Skeleton for Reduce<T> {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn context(&self) -> &Context {
+        &self.core.ctx
+    }
+
+    fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    fn kernel_disassembly(&self) -> String {
+        self.core.program.disassemble()
     }
 }
 
@@ -295,7 +443,8 @@ impl<T: KernelScalar> Reduce<T> {
 mod tests {
     use super::*;
     use crate::context::DeviceSelection;
-    use vgpu::{DeviceSpec, Platform};
+    use crate::Zip;
+    use vgpu::{CommandKind, DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
         Context::init(
@@ -390,5 +539,59 @@ mod tests {
         let v = Vector::from_fn(&ctx, 100, |i| i as i64);
         v.set_distribution(Distribution::Copy).unwrap();
         assert_eq!(sum.call(&v).unwrap().value(), (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn fused_dot_product_single_kernel_per_device() {
+        let ctx = ctx(2);
+        let sum: Reduce<f32> =
+            Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }").unwrap();
+        let mult: Zip<f32, f32, f32> =
+            Zip::new(&ctx, "float mult(float x, float y){ return x * y; }").unwrap();
+        let a = Vector::from_fn(&ctx, 1000, |i| (i % 97) as f32 * 0.5);
+        let b = Vector::from_fn(&ctx, 1000, |i| (i % 89) as f32 * 0.25);
+
+        let unfused = sum.call(&mult.call(&a, &b).unwrap()).unwrap().value();
+        let fused = sum
+            .call_fused(&mult.lazy(&a.expr(), &b.expr()).unwrap())
+            .unwrap()
+            .value();
+        assert_eq!(fused.to_bits(), unfused.to_bits());
+
+        // 1000 elements over 2 devices → 500 per chunk → 2 groups → one
+        // fused pass + one partial pass per device.
+        let launches = sum.events().kernel_launches_by_device();
+        assert_eq!(launches.len(), 2);
+        // The fused pass must actually be the fused kernel.
+        assert!(sum.events().last_events().iter().any(|e| matches!(
+            e.kind(),
+            CommandKind::Kernel { name } if name == "skelcl_reduce_fused"
+        )));
+    }
+
+    #[test]
+    fn fused_rejects_empty_and_foreign_context() {
+        let ctx1 = ctx(1);
+        let ctx2 = ctx(1);
+        let sum: Reduce<f32> =
+            Reduce::new(&ctx1, "float sum(float x, float y){ return x + y; }").unwrap();
+        let neg: crate::Map<f32, f32> =
+            crate::Map::new(&ctx1, "float neg(float x){ return -x; }").unwrap();
+
+        let empty = Vector::<f32>::zeros(&ctx1, 0);
+        let e = neg.lazy(&empty.expr()).unwrap();
+        assert!(matches!(
+            sum.call_fused(&e),
+            Err(Error::EmptyContainer { .. })
+        ));
+
+        let foreign = Vector::from_vec(&ctx2, vec![1.0f32, 2.0]);
+        let neg2: crate::Map<f32, f32> =
+            crate::Map::new(&ctx2, "float neg(float x){ return -x; }").unwrap();
+        let f = neg2.lazy(&foreign.expr()).unwrap();
+        assert!(matches!(
+            sum.call_fused(&f),
+            Err(Error::ShapeMismatch { .. })
+        ));
     }
 }

@@ -18,7 +18,8 @@ use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::engine::{LaunchPlan, NodeId};
 use crate::error::{Error, Result};
-use crate::skeleton::common::{skeleton_span, EventLog};
+use crate::exec::{reduction_distribution, Skeleton, SkeletonCore};
+use crate::skeleton::EventLog;
 use crate::types::{from_bytes, to_bytes, KernelScalar};
 
 /// Work-group (and scan block) size.
@@ -40,9 +41,7 @@ const WG: usize = 256;
 /// ```
 #[derive(Debug)]
 pub struct Scan<T: KernelScalar> {
-    ctx: Context,
-    program: skelcl_kernel::Program,
-    events: EventLog,
+    core: SkeletonCore,
     _types: PhantomData<fn(T, T) -> T>,
 }
 
@@ -106,9 +105,7 @@ impl<T: KernelScalar> Scan<T> {
         );
         let program = compile_cached(ctx, "skelcl_scan.cl", &kernel_source)?;
         Ok(Scan {
-            ctx: ctx.clone(),
-            program,
-            events: EventLog::default(),
+            core: SkeletonCore::new(ctx, "Scan", program, Vec::new()),
             _types: PhantomData,
         })
     }
@@ -119,17 +116,13 @@ impl<T: KernelScalar> Scan<T> {
     ///
     /// Propagates platform failures; empty input yields an empty output.
     pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
-        let _span = skeleton_span(&self.ctx, "Scan.call");
+        let _span = self.core.begin("Scan.call");
         if input.is_empty() {
-            return Ok(Vector::from_vec(&self.ctx, Vec::new()));
+            return Ok(Vector::from_vec(&self.core.ctx, Vec::new()));
         }
-        let dist = match input.effective_distribution(Distribution::Block) {
-            Distribution::Copy => Distribution::Single(0),
-            Distribution::Overlap { .. } => Distribution::Block,
-            other => other,
-        };
+        let dist = reduction_distribution(input.effective_distribution(Distribution::Block));
         let in_chunks = input.ensure_device(dist)?;
-        let (output, out_chunks) = Vector::alloc_device(&self.ctx, input.len(), dist)?;
+        let (output, out_chunks) = Vector::alloc_device(&self.core.ctx, input.len(), dist)?;
         let elem = std::mem::size_of::<T>();
         let multi = out_chunks.len() > 1;
 
@@ -160,7 +153,7 @@ impl<T: KernelScalar> Scan<T> {
                 ));
             }
         }
-        let mut run = plan.execute(&self.ctx)?;
+        let mut run = plan.execute(&self.core.ctx)?;
         run.wait()?;
         let mut totals: Vec<T> = Vec::with_capacity(total_reads.len());
         for id in total_reads {
@@ -172,7 +165,7 @@ impl<T: KernelScalar> Scan<T> {
         // first device, then one offset kernel per remaining chunk).
         if multi {
             let first = out_chunks[0].plan.device;
-            let queue = self.ctx.queue(first);
+            let queue = self.core.ctx.queue(first);
             let count = totals.len();
             let tot_buf = queue.create_buffer(count * elem)?;
             let scanned = queue.create_buffer(count * elem)?;
@@ -180,7 +173,7 @@ impl<T: KernelScalar> Scan<T> {
             let upload = plan.write(first, &tot_buf, 0, to_bytes(&totals), &[]);
             let done = self.plan_scan(&mut plan, first, &tot_buf, &scanned, count, 0, &[upload])?;
             let read = plan.read(first, &scanned, 0, count * elem, &[done]);
-            let mut run = plan.execute(&self.ctx)?;
+            let mut run = plan.execute(&self.core.ctx)?;
             run.wait()?;
             let prefixes: Vec<T> = from_bytes(&run.take_read(read)?);
             events.extend(run.into_events());
@@ -190,7 +183,7 @@ impl<T: KernelScalar> Scan<T> {
                 let n = oc.plan.core_len();
                 plan.kernel(
                     oc.plan.device,
-                    &self.program,
+                    &self.core.program,
                     "skelcl_scan_offset",
                     vec![
                         KernelArg::Buffer(oc.buffer.clone()),
@@ -202,12 +195,12 @@ impl<T: KernelScalar> Scan<T> {
                     &[],
                 );
             }
-            let run = plan.execute(&self.ctx)?;
+            let run = plan.execute(&self.core.ctx)?;
             run.wait()?;
             events.extend(run.into_events());
         }
 
-        self.events.record(events);
+        self.core.events.record(events);
         output.mark_device_written();
         Ok(output)
     }
@@ -228,13 +221,13 @@ impl<T: KernelScalar> Scan<T> {
         units: usize,
         deps: &[NodeId],
     ) -> Result<NodeId> {
-        let queue = self.ctx.queue(device);
+        let queue = self.core.ctx.queue(device);
         let elem = std::mem::size_of::<T>();
         let groups = n.div_ceil(WG);
         let sums = queue.create_buffer(groups * elem)?;
         let block = plan.kernel(
             device,
-            &self.program,
+            &self.core.program,
             "skelcl_scan_block",
             vec![
                 KernelArg::Buffer(input.clone()),
@@ -253,7 +246,7 @@ impl<T: KernelScalar> Scan<T> {
         let sums_done = self.plan_scan(plan, device, &sums, &scanned, groups, 0, &[block])?;
         Ok(plan.kernel(
             device,
-            &self.program,
+            &self.core.program,
             "skelcl_scan_add_sums",
             vec![
                 KernelArg::Buffer(output.clone()),
@@ -268,7 +261,25 @@ impl<T: KernelScalar> Scan<T> {
 
     /// Profiling of the most recent call.
     pub fn events(&self) -> &EventLog {
-        &self.events
+        &self.core.events
+    }
+}
+
+impl<T: KernelScalar> Skeleton for Scan<T> {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn context(&self) -> &Context {
+        &self.core.ctx
+    }
+
+    fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    fn kernel_disassembly(&self) -> String {
+        self.core.program.disassemble()
     }
 }
 

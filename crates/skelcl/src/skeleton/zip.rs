@@ -4,18 +4,19 @@
 use std::marker::PhantomData;
 
 use skelcl_kernel::value::Value;
-use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
-    check_extra_args, compile_cached, expect_return, expect_scalar_extras, expect_scalar_param,
-    extra_param_decls, extra_param_uses, parse_user_function,
+    compile_cached, expect_return, expect_scalar_extras, expect_scalar_param, parse_user_function,
+    stage_spec, weld_elementwise, StageSpec,
 };
 use crate::container::{Matrix, Vector};
 use crate::context::Context;
-use crate::distribution::Distribution;
 use crate::error::{Error, Result};
-use crate::skeleton::common::{run_launches, skeleton_span, DeviceLaunch, EventLog};
-use crate::skeleton::map::normalize_elementwise;
+use crate::exec::{
+    elementwise_matrix, elementwise_vector, ElementwiseInput, Skeleton, SkeletonCore,
+};
+use crate::expr::Expr;
+use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
 /// The Zip skeleton: `zip (⊕) xs ys = [x1 ⊕ y1, …, xn ⊕ yn]`.
@@ -33,12 +34,15 @@ use crate::types::KernelScalar;
 /// # Ok(())
 /// # }
 /// ```
+///
+/// [`Zip::lazy`] defers the stage into a fusable [`Expr`] instead of
+/// executing it — the paper's dot product becomes a single kernel when the
+/// zip feeds [`crate::Reduce::call_fused`].
 #[derive(Debug)]
 pub struct Zip<L: KernelScalar, R: KernelScalar, O: KernelScalar> {
-    ctx: Context,
-    program: skelcl_kernel::Program,
-    extras: Vec<skelcl_kernel::types::Type>,
-    events: EventLog,
+    core: SkeletonCore,
+    /// The fusion stage of the customizing function ([`Zip::lazy`]).
+    stage: StageSpec,
     _types: PhantomData<fn(L, R) -> O>,
 }
 
@@ -58,28 +62,11 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
         expect_scalar_extras("Zip", &f, 2)?;
         let extras = f.extra_params(2).to_vec();
 
-        let kernel_source = format!(
-            "{user}\n\
-             __kernel void skelcl_zip(__global const {l}* skelcl_lhs, __global const {r}* skelcl_rhs,\n\
-                                      __global {o}* skelcl_out, int skelcl_n{decls}) {{\n\
-                 int skelcl_i = (int)get_global_id(0);\n\
-                 if (skelcl_i < skelcl_n)\n\
-                     skelcl_out[skelcl_i] = {f}(skelcl_lhs[skelcl_i], skelcl_rhs[skelcl_i]{uses});\n\
-             }}\n",
-            user = f.source(),
-            l = L::SCALAR,
-            r = R::SCALAR,
-            o = O::SCALAR,
-            f = f.name,
-            decls = extra_param_decls(&extras, "skelcl_x"),
-            uses = extra_param_uses(&extras, "skelcl_x"),
-        );
+        let kernel_source = weld_elementwise("skelcl_zip", &f, &[L::SCALAR, R::SCALAR], O::SCALAR);
         let program = compile_cached(ctx, "skelcl_zip.cl", &kernel_source)?;
         Ok(Zip {
-            ctx: ctx.clone(),
-            program,
-            extras,
-            events: EventLog::default(),
+            stage: stage_spec(&f, O::SCALAR),
+            core: SkeletonCore::new(ctx, "Zip", program, extras),
             _types: PhantomData,
         })
     }
@@ -105,8 +92,8 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
         rhs: &Vector<R>,
         extra: &[Value],
     ) -> Result<Vector<O>> {
-        let _span = skeleton_span(&self.ctx, "Zip.call");
-        check_extra_args("Zip", &self.extras, extra)?;
+        let _span = self.core.begin("Zip.call");
+        self.core.check_extras(extra)?;
         if lhs.len() != rhs.len() {
             return Err(Error::ShapeMismatch {
                 reason: format!(
@@ -118,36 +105,12 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
         }
         // Both operands follow the left operand's effective distribution so
         // their chunks align (the right one is redistributed implicitly).
-        let dist = normalize_elementwise(lhs.effective_distribution(Distribution::Block));
-        let l_chunks = lhs.ensure_device(dist)?;
-        let r_chunks = rhs.ensure_device(dist)?;
-        let (output, out_chunks) = Vector::alloc_device(&self.ctx, lhs.len(), dist)?;
-
-        let launches = l_chunks
-            .iter()
-            .zip(&r_chunks)
-            .zip(&out_chunks)
-            .map(|((lc, rc), oc)| {
-                let n = lc.plan.core_len();
-                let mut args = vec![
-                    KernelArg::Buffer(lc.buffer.clone()),
-                    KernelArg::Buffer(rc.buffer.clone()),
-                    KernelArg::Buffer(oc.buffer.clone()),
-                    KernelArg::Scalar(Value::I32(n as i32)),
-                ];
-                args.extend(extra.iter().map(|v| KernelArg::Scalar(*v)));
-                DeviceLaunch {
-                    device: lc.plan.device,
-                    args,
-                    range: NdRange::linear_default(n),
-                    units: lc.plan.core_len(),
-                }
-            })
-            .collect();
-        let events = run_launches(&self.ctx, &self.program, "skelcl_zip", launches)?;
-        self.events.record(events);
-        output.mark_device_written();
-        Ok(output)
+        elementwise_vector(
+            &self.core,
+            "skelcl_zip",
+            &[lhs as &dyn ElementwiseInput, rhs as &dyn ElementwiseInput],
+            extra,
+        )
     }
 
     /// Applies the skeleton elementwise to two matrices of equal shape.
@@ -156,8 +119,22 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
     ///
     /// As for [`Zip::call`].
     pub fn call_matrix(&self, lhs: &Matrix<L>, rhs: &Matrix<R>) -> Result<Matrix<O>> {
-        let _span = skeleton_span(&self.ctx, "Zip.call_matrix");
-        check_extra_args("Zip", &self.extras, &[])?;
+        self.call_matrix_with(lhs, rhs, &[])
+    }
+
+    /// Matrix variant of [`Zip::call_with`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Zip::call_with`].
+    pub fn call_matrix_with(
+        &self,
+        lhs: &Matrix<L>,
+        rhs: &Matrix<R>,
+        extra: &[Value],
+    ) -> Result<Matrix<O>> {
+        let _span = self.core.begin("Zip.call_matrix");
+        self.core.check_extras(extra)?;
         if lhs.rows() != rhs.rows() || lhs.cols() != rhs.cols() {
             return Err(Error::ShapeMismatch {
                 reason: format!(
@@ -169,41 +146,67 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
                 ),
             });
         }
-        let dist = normalize_elementwise(lhs.effective_distribution(Distribution::Block));
-        let l_chunks = lhs.ensure_device(dist)?;
-        let r_chunks = rhs.ensure_device(dist)?;
-        let (output, out_chunks) = Matrix::alloc_device(&self.ctx, lhs.rows(), lhs.cols(), dist)?;
-        let cols = lhs.cols();
+        elementwise_matrix(
+            &self.core,
+            "skelcl_zip",
+            &[lhs as &dyn ElementwiseInput, rhs as &dyn ElementwiseInput],
+            lhs.rows(),
+            lhs.cols(),
+            extra,
+        )
+    }
 
-        let launches = l_chunks
-            .iter()
-            .zip(&r_chunks)
-            .zip(&out_chunks)
-            .map(|((lc, rc), oc)| {
-                let n = lc.plan.core_len() * cols;
-                let args = vec![
-                    KernelArg::Buffer(lc.buffer.clone()),
-                    KernelArg::Buffer(rc.buffer.clone()),
-                    KernelArg::Buffer(oc.buffer.clone()),
-                    KernelArg::Scalar(Value::I32(n as i32)),
-                ];
-                DeviceLaunch {
-                    device: lc.plan.device,
-                    args,
-                    range: NdRange::linear_default(n),
-                    units: lc.plan.core_len(),
-                }
-            })
-            .collect();
-        let events = run_launches(&self.ctx, &self.program, "skelcl_zip", launches)?;
-        self.events.record(events);
-        output.mark_device_written();
-        Ok(output)
+    /// Defers the stage onto two expressions instead of executing it: the
+    /// result composes with further lazy stages and evaluates as **one**
+    /// fused kernel ([`Expr::eval`]), or feeds a fused reduction
+    /// ([`crate::Reduce::call_fused`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the customizing function takes extra arguments (use
+    /// [`Zip::lazy_with`]).
+    pub fn lazy(&self, lhs: &Expr<L>, rhs: &Expr<R>) -> Result<Expr<O>> {
+        self.lazy_with(lhs, rhs, &[])
+    }
+
+    /// [`Zip::lazy`] with extra scalar arguments, bound into the stage at
+    /// composition time (they are inlined as literals in the fused
+    /// kernel).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the extra-argument count mismatches.
+    pub fn lazy_with(&self, lhs: &Expr<L>, rhs: &Expr<R>, extra: &[Value]) -> Result<Expr<O>> {
+        self.core.check_extras(extra)?;
+        Ok(Expr::apply(
+            &self.core.ctx,
+            self.stage.clone(),
+            extra.to_vec(),
+            vec![lhs.node().clone(), rhs.node().clone()],
+        ))
     }
 
     /// Profiling of the most recent call.
     pub fn events(&self) -> &EventLog {
-        &self.events
+        &self.core.events
+    }
+}
+
+impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Skeleton for Zip<L, R, O> {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn context(&self) -> &Context {
+        &self.core.ctx
+    }
+
+    fn events(&self) -> &EventLog {
+        &self.core.events
+    }
+
+    fn kernel_disassembly(&self) -> String {
+        self.core.program.disassemble()
     }
 }
 
@@ -211,6 +214,7 @@ impl<L: KernelScalar, R: KernelScalar, O: KernelScalar> Zip<L, R, O> {
 mod tests {
     use super::*;
     use crate::context::DeviceSelection;
+    use crate::distribution::Distribution;
     use vgpu::{DeviceSpec, Platform};
 
     fn ctx(n: usize) -> Context {
@@ -285,6 +289,27 @@ mod tests {
         assert_eq!(out.get(5, 3).unwrap(), 46);
         let bad = Matrix::<i32>::zeros(&ctx, 4, 6);
         assert!(sub.call_matrix(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn matrix_zip_with_extra_arguments() {
+        let ctx = ctx(2);
+        let saxpy: Zip<f32, f32, f32> = Zip::new(
+            &ctx,
+            "float f(float x, float y, float a){ return a * x + y; }",
+        )
+        .unwrap();
+        let x = Matrix::from_fn(&ctx, 4, 5, |r, c| (r * 5 + c) as f32);
+        let y = Matrix::from_fn(&ctx, 4, 5, |_, _| 1.0f32);
+        let out = saxpy.call_matrix_with(&x, &y, &[Value::F32(2.0)]).unwrap();
+        assert_eq!(out.get(0, 0).unwrap(), 1.0);
+        assert_eq!(out.get(3, 4).unwrap(), 2.0 * 19.0 + 1.0);
+        // Before call_matrix_with existed, extras could never reach the
+        // matrix path — both arities must now be enforced symmetrically.
+        assert!(saxpy.call_matrix(&x, &y).is_err());
+        assert!(saxpy
+            .call_matrix_with(&x, &y, &[Value::F32(1.0), Value::F32(2.0)])
+            .is_err());
     }
 
     #[test]

@@ -11,7 +11,9 @@ mod private {
 ///
 /// This trait is sealed: exactly the fixed-width numeric types that SkelCL C
 /// kernels can address implement it.
-pub trait KernelScalar: private::Sealed + Copy + Default + Send + Sync + 'static {
+pub trait KernelScalar:
+    private::Sealed + Copy + Default + std::fmt::Debug + Send + Sync + 'static
+{
     /// The corresponding SkelCL C type.
     const SCALAR: ScalarType;
 

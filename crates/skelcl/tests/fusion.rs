@@ -1,0 +1,215 @@
+//! Integration tests for the lazy elementwise fusion layer: fused
+//! pipelines must be bit-identical to their unfused equivalents on any
+//! device count, launch exactly one elementwise kernel however many
+//! stages are composed, and weld into Reduce's first pass.
+
+use proptest::prelude::*;
+
+use skelcl::{Context, DeviceSelection, EventLog, Map, Reduce, Value, Vector, Zip};
+use vgpu::{CommandKind, DeviceSpec, Platform};
+
+fn ctx(devices: usize) -> Context {
+    Context::init(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    )
+}
+
+fn dot_skeletons(ctx: &Context) -> (Zip<f32, f32, f32>, Reduce<f32>) {
+    let mult: Zip<f32, f32, f32> =
+        Zip::new(ctx, "float mult(float x, float y){ return x * y; }").unwrap();
+    let sum: Reduce<f32> =
+        Reduce::new(ctx, "float sum(float x, float y){ return x + y; }").unwrap();
+    (mult, sum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's dot product: `sum.call_fused(mult.lazy(a, b))` must be
+    /// **bit-identical** to the unfused `sum.call(mult.call(a, b))` —
+    /// the fused first pass performs exactly the same float operations in
+    /// the same order, only loading the products from registers instead of
+    /// an intermediate buffer.
+    #[test]
+    fn fused_dot_is_bit_identical(
+        data in proptest::collection::vec((any::<f32>(), any::<f32>()), 1..3000),
+        devices in 1usize..=4,
+    ) {
+        let ctx = ctx(devices);
+        let (mult, sum) = dot_skeletons(&ctx);
+        let (xs, ys): (Vec<f32>, Vec<f32>) = data.into_iter().unzip();
+        let a = Vector::from_vec(&ctx, xs);
+        let b = Vector::from_vec(&ctx, ys);
+
+        let unfused = sum.call(&mult.call(&a, &b).unwrap()).unwrap().value();
+        let fused = sum
+            .call_fused(&mult.lazy(&a.expr(), &b.expr()).unwrap())
+            .unwrap()
+            .value();
+        prop_assert_eq!(fused.to_bits(), unfused.to_bits());
+    }
+
+    /// Multi-stage elementwise chains evaluate to the same result fused
+    /// (one kernel) and unfused (one kernel per stage).
+    #[test]
+    fn fused_chain_matches_unfused(
+        data in proptest::collection::vec(-1000i32..1000, 1..2000),
+        devices in 1usize..=4,
+    ) {
+        let ctx = ctx(devices);
+        let sq: Map<i32, i32> = Map::new(&ctx, "int sq(int x){ return x * x; }").unwrap();
+        let neg: Map<i32, i32> = Map::new(&ctx, "int neg(int x){ return -x; }").unwrap();
+        let v = Vector::from_vec(&ctx, data.clone());
+
+        let unfused = neg.call(&sq.call(&v).unwrap()).unwrap().to_vec().unwrap();
+        let fused = neg
+            .lazy(&sq.lazy(&v.expr()).unwrap())
+            .unwrap()
+            .eval()
+            .unwrap()
+            .to_vec()
+            .unwrap();
+        prop_assert_eq!(&fused, &unfused);
+        let expected: Vec<i32> = data.iter().map(|&x| x.wrapping_mul(x).wrapping_neg()).collect();
+        prop_assert_eq!(fused, expected);
+    }
+}
+
+/// A three-stage expression must evaluate with exactly ONE kernel launch
+/// per device — that is the whole point of fusion.
+#[test]
+fn multi_stage_expr_runs_one_kernel_per_device() {
+    for devices in [1usize, 2, 4] {
+        let ctx = ctx(devices);
+        let scale: Map<f32, f32> =
+            Map::new(&ctx, "float scale(float x, float a){ return x * a; }").unwrap();
+        let add: Zip<f32, f32, f32> =
+            Zip::new(&ctx, "float add(float x, float y){ return x + y; }").unwrap();
+        let a = Vector::from_fn(&ctx, 4096, |i| i as f32);
+        let b = Vector::from_fn(&ctx, 4096, |i| (4096 - i) as f32);
+
+        // scale(a, 2) + scale(b, 3), three stages, two sources.
+        let e = add
+            .lazy(
+                &scale.lazy_with(&a.expr(), &[Value::F32(2.0)]).unwrap(),
+                &scale.lazy_with(&b.expr(), &[Value::F32(3.0)]).unwrap(),
+            )
+            .unwrap();
+        let stats = e.stats().unwrap();
+        assert_eq!(stats.stages, 3);
+        assert_eq!(stats.sources, 2);
+        assert_eq!(stats.len, 4096);
+
+        let log = EventLog::default();
+        let out = e.eval_logged(&log).unwrap();
+        let launches = log.kernel_launches_by_device();
+        assert_eq!(launches.len(), devices, "one chunk per device");
+        assert!(
+            launches.values().all(|&n| n == 1),
+            "fusion must launch exactly one kernel per device, got {launches:?}"
+        );
+        assert!(log.last_events().iter().any(|e| matches!(
+            e.kind(),
+            CommandKind::Kernel { name } if name == "skelcl_fused"
+        )));
+
+        let host = out.to_vec().unwrap();
+        for (i, v) in host.iter().enumerate() {
+            assert_eq!(*v, i as f32 * 2.0 + (4096 - i) as f32 * 3.0);
+        }
+    }
+}
+
+/// Fused reduce across the multi-pass boundary: n > WG * MAX_GROUPS
+/// (16384) forces a second reduction pass over the per-group partials;
+/// the fused and plain paths must still agree bit-for-bit.
+#[test]
+fn fused_reduce_across_multi_pass_boundary() {
+    for devices in [1usize, 4] {
+        let ctx = ctx(devices);
+        let (mult, sum) = dot_skeletons(&ctx);
+        let n = 100_000;
+        let a = Vector::from_fn(&ctx, n, |i| ((i * 29) % 1013) as f32 * 0.03125);
+        let b = Vector::from_fn(&ctx, n, |i| ((i * 17) % 911) as f32 * 0.0625);
+
+        let unfused = sum.call(&mult.call(&a, &b).unwrap()).unwrap().value();
+        let fused = sum
+            .call_fused(&mult.lazy(&a.expr(), &b.expr()).unwrap())
+            .unwrap()
+            .value();
+        assert_eq!(fused.to_bits(), unfused.to_bits(), "devices = {devices}");
+    }
+}
+
+/// Extra scalar arguments captured at `lazy_with` time are baked into the
+/// fused kernel as literals, including inside a fused reduction.
+#[test]
+fn extras_are_baked_into_fused_stages() {
+    let ctx = ctx(2);
+    let saxpy: Zip<f32, f32, f32> = Zip::new(
+        &ctx,
+        "float saxpy(float x, float y, float a){ return a * x + y; }",
+    )
+    .unwrap();
+    let sum: Reduce<f32> =
+        Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }").unwrap();
+    let x = Vector::from_fn(&ctx, 513, |i| i as f32);
+    let y = Vector::from_fn(&ctx, 513, |i| (i % 7) as f32);
+
+    let expr = saxpy
+        .lazy_with(&x.expr(), &y.expr(), &[Value::F32(2.5)])
+        .unwrap();
+    let eager = saxpy.call_with(&x, &y, &[Value::F32(2.5)]).unwrap();
+    assert_eq!(
+        expr.eval().unwrap().to_vec().unwrap(),
+        eager.to_vec().unwrap()
+    );
+    let fused = sum.call_fused(&expr).unwrap().value();
+    let unfused = sum.call(&eager).unwrap().value();
+    assert_eq!(fused.to_bits(), unfused.to_bits());
+
+    // Wrong arity is rejected at expression-build time, not at eval.
+    assert!(saxpy.lazy(&x.expr(), &y.expr()).is_err());
+    assert!(saxpy
+        .lazy_with(&x.expr(), &y.expr(), &[Value::I32(1)])
+        .is_err());
+}
+
+/// A shared source consumed by two stages is deduplicated: the fused
+/// kernel reads it once, and the DAG still evaluates correctly.
+#[test]
+fn shared_source_is_read_once() {
+    let ctx = ctx(2);
+    let mul: Zip<f32, f32, f32> =
+        Zip::new(&ctx, "float mul(float x, float y){ return x * y; }").unwrap();
+    let v = Vector::from_fn(&ctx, 1000, |i| (i % 31) as f32 - 15.0);
+
+    // v * v, both children the same container.
+    let e = mul.lazy(&v.expr(), &v.expr()).unwrap();
+    assert_eq!(e.stats().unwrap().sources, 1);
+    let out = e.eval().unwrap().to_vec().unwrap();
+    let host = v.to_vec().unwrap();
+    for (o, x) in out.iter().zip(&host) {
+        assert_eq!(*o, x * x);
+    }
+}
+
+/// Mixed contexts and mismatched lengths are rejected when the expression
+/// is built into a plan.
+#[test]
+fn fusion_validates_contexts_and_lengths() {
+    let ctx1 = ctx(1);
+    let ctx2 = ctx(1);
+    let add: Zip<f32, f32, f32> =
+        Zip::new(&ctx1, "float add(float x, float y){ return x + y; }").unwrap();
+
+    let a = Vector::from_fn(&ctx1, 10, |i| i as f32);
+    let foreign = Vector::from_fn(&ctx2, 10, |i| i as f32);
+    let e = add.lazy(&a.expr(), &foreign.expr()).unwrap();
+    assert!(e.eval().is_err(), "cross-context fusion must fail");
+
+    let short = Vector::from_fn(&ctx1, 7, |i| i as f32);
+    let e = add.lazy(&a.expr(), &short.expr()).unwrap();
+    assert!(e.eval().is_err(), "length mismatch must fail");
+}

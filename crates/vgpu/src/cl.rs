@@ -454,10 +454,7 @@ mod tests {
         let end = get_event_profiling(&ev, ProfilingInfo::CommandEnd);
         assert!(end > start);
         assert!(get_event_profiling(&ev, ProfilingInfo::CommandQueued) <= start);
-        #[allow(deprecated)]
-        {
-            assert_eq!(get_event_profiling_ns(&ev), end - start);
-        }
+        assert_eq!(ev.duration(), std::time::Duration::from_nanos(end - start));
         let mut out = vec![0u8; 40];
         enqueue_read_buffer(&queue, &mem, 0, &mut out).unwrap();
         assert!(out
