@@ -1,0 +1,404 @@
+//! A/B benchmark of the two vgpu execution engines (EXT-INTERP from
+//! DESIGN.md §5g): the pooled fast engine ([`vgpu::ExecStrategy::Fast`] —
+//! persistent per-device worker pools, barrier-free work-item reuse,
+//! zero-clone dispatch loop) against the legacy lockstep engine
+//! ([`vgpu::ExecStrategy::Lockstep`] — per-launch scoped threads, fresh
+//! per-item `WorkItem`s, reference interpreter), on three barrier-free
+//! shapes: dot-product (elementwise zip-multiply), mandelbrot (iteration-
+//! heavy) and gaussian blur (5x5 stencil).
+//!
+//! Host wall-clock here is *real* time on the build machine, not simulated
+//! nanoseconds, so the report nests all measured numbers under `host` keys
+//! (the bench gate checks their presence, never their values). The gated
+//! conclusions are the booleans: the fast engine is at least 2x the legacy
+//! engine on dot-product and mandelbrot, pooled launches spawn zero
+//! threads, and both engines produce bit-identical buffers and counters.
+//!
+//! Usage: `cargo run --release -p skelcl-bench --bin interp`
+
+use std::time::{Duration, Instant};
+
+use skelcl_bench::report::write_report;
+use skelcl_kernel::program::Program;
+use skelcl_kernel::value::Value;
+use skelcl_kernel::vm::CostCounters;
+use skelcl_profile::json::Json;
+use skelcl_profile::report::bench_report;
+use vgpu::{DeviceSpec, ExecStats, ExecStrategy, KernelArg, LaunchConfig, NdRange, Platform};
+
+const DEVICES: usize = 4;
+
+/// One benchmark shape: a barrier-free kernel plus its inputs, split
+/// across the platform's devices in contiguous chunks (each device
+/// receives the full input buffers and an `off` scalar selecting its
+/// chunk, like SkelCL's block distribution).
+struct Shape {
+    name: &'static str,
+    program: Program,
+    kernel: &'static str,
+    /// Input buffer contents, uploaded to every device.
+    inputs: Vec<Vec<u8>>,
+    /// Scalar args appended after `off` (the per-device chunk offset).
+    scalars: Vec<Value>,
+    /// Total work-items across all devices.
+    items: usize,
+    out_bytes_per_item: usize,
+    /// Timed repetitions (after one warm-up launch per device).
+    reps: usize,
+}
+
+/// One engine's run of a shape: wall-clock over the timed reps, the
+/// gathered output, per-device launch counters and the platform's
+/// execution statistics.
+struct EngineRun {
+    wall: Duration,
+    out: Vec<u8>,
+    counters: Vec<CostCounters>,
+    stats: ExecStats,
+}
+
+fn run_shape(shape: &Shape, strategy: ExecStrategy) -> EngineRun {
+    // A fresh platform per engine keeps `ExecStats` attributable.
+    let platform = Platform::new(DEVICES, DeviceSpec::tesla_t10());
+    let config = LaunchConfig {
+        strategy,
+        ..LaunchConfig::default()
+    };
+    let chunk = shape.items.div_ceil(DEVICES);
+    let out_bytes = shape.items * shape.out_bytes_per_item;
+
+    let mut queues = Vec::new();
+    let mut args = Vec::new();
+    let mut outs = Vec::new();
+    for d in 0..DEVICES {
+        let queue = platform.queue(d);
+        let mut a = Vec::new();
+        for input in &shape.inputs {
+            let buf = queue.create_buffer(input.len().max(1)).expect("in buffer");
+            queue.enqueue_write(&buf, 0, input).expect("upload");
+            a.push(KernelArg::Buffer(buf));
+        }
+        let out = queue.create_buffer(out_bytes.max(1)).expect("out buffer");
+        a.push(KernelArg::Buffer(out.clone()));
+        a.push(KernelArg::Scalar(Value::I32((d * chunk) as i32)));
+        a.extend(shape.scalars.iter().map(|s| KernelArg::Scalar(*s)));
+        queues.push(queue);
+        args.push(a);
+        outs.push(out);
+    }
+
+    let launch_all = || -> Vec<vgpu::Event> {
+        let events: Vec<vgpu::Event> = (0..DEVICES)
+            .filter(|d| d * chunk < shape.items)
+            .map(|d| {
+                let len = chunk.min(shape.items - d * chunk);
+                queues[d]
+                    .launch_kernel(
+                        &shape.program,
+                        shape.kernel,
+                        &args[d],
+                        NdRange::linear_default(len),
+                        &config,
+                    )
+                    .expect("launch")
+            })
+            .collect();
+        for e in &events {
+            e.wait().expect("kernel completes");
+        }
+        events
+    };
+
+    launch_all(); // warm-up: pool creation, buffer residency
+    let t = Instant::now();
+    let mut last = Vec::new();
+    for _ in 0..shape.reps {
+        last = launch_all();
+    }
+    let wall = t.elapsed();
+
+    let counters = last
+        .iter()
+        .map(|e| e.counters().expect("kernel events carry counters"))
+        .collect();
+    let mut out = vec![0u8; out_bytes];
+    for d in 0..DEVICES {
+        let start = (d * chunk).min(shape.items) * shape.out_bytes_per_item;
+        let end = ((d + 1) * chunk).min(shape.items) * shape.out_bytes_per_item;
+        if start < end {
+            queues[d]
+                .enqueue_read(&outs[d], start, &mut out[start..end])
+                .expect("gather");
+        }
+    }
+    EngineRun {
+        wall,
+        out,
+        counters,
+        stats: platform.exec_stats(),
+    }
+}
+
+fn f32s(vals: impl Iterator<Item = f32>) -> Vec<u8> {
+    vals.flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn dot_product() -> Shape {
+    let n = 1usize << 20;
+    let program = skelcl_kernel::compile(
+        "dotmul.cl",
+        "__kernel void dotmul(__global const float* a, __global const float* b,
+                              __global float* out, int off, int n){
+             int i = (int)get_global_id(0) + off;
+             if (i < n) out[i] = a[i] * b[i];
+         }",
+    )
+    .expect("compile dotmul");
+    Shape {
+        name: "dot_product",
+        program,
+        kernel: "dotmul",
+        inputs: vec![
+            f32s((0..n).map(|i| (i % 1000) as f32 * 0.25)),
+            f32s((0..n).map(|i| (i % 773) as f32 * 0.5 - 100.0)),
+        ],
+        scalars: vec![Value::I32(n as i32)],
+        items: n,
+        out_bytes_per_item: 4,
+        reps: 3,
+    }
+}
+
+fn mandelbrot() -> Shape {
+    let (w, h, max_iter) = (384usize, 288usize, 120i32);
+    let program = skelcl_kernel::compile(
+        "mandel.cl",
+        "__kernel void mandel(__global int* out, int off, int w, int h, int max_iter){
+             int gid = (int)get_global_id(0) + off;
+             if (gid >= w * h) return;
+             float x0 = (float)(gid % w) / (float)w * 3.5f - 2.5f;
+             float y0 = (float)(gid / w) / (float)h * 2.0f - 1.0f;
+             float x = 0.0f;
+             float y = 0.0f;
+             int it = 0;
+             while (x * x + y * y <= 4.0f && it < max_iter) {
+                 float xt = x * x - y * y + x0;
+                 y = 2.0f * x * y + y0;
+                 x = xt;
+                 it = it + 1;
+             }
+             out[gid] = it;
+         }",
+    )
+    .expect("compile mandel");
+    Shape {
+        name: "mandelbrot",
+        program,
+        kernel: "mandel",
+        inputs: vec![],
+        scalars: vec![
+            Value::I32(w as i32),
+            Value::I32(h as i32),
+            Value::I32(max_iter),
+        ],
+        items: w * h,
+        out_bytes_per_item: 4,
+        reps: 2,
+    }
+}
+
+fn gaussian_blur() -> Shape {
+    let (w, h) = (320usize, 320usize);
+    let program = skelcl_kernel::compile(
+        "blur.cl",
+        "float coef(int d){
+             int a = d < 0 ? -d : d;
+             return a == 0 ? 6.0f : (a == 1 ? 4.0f : 1.0f);
+         }
+         __kernel void blur(__global const float* in, __global float* out,
+                            int off, int w, int h){
+             int gid = (int)get_global_id(0) + off;
+             if (gid >= w * h) return;
+             int x = gid % w;
+             int y = gid / w;
+             float acc = 0.0f;
+             float norm = 0.0f;
+             for (int dy = -2; dy <= 2; dy++) {
+                 for (int dx = -2; dx <= 2; dx++) {
+                     int sx = x + dx;
+                     int sy = y + dy;
+                     if (sx < 0) sx = 0;
+                     if (sx >= w) sx = w - 1;
+                     if (sy < 0) sy = 0;
+                     if (sy >= h) sy = h - 1;
+                     float wgt = coef(dx) * coef(dy);
+                     acc += in[sy * w + sx] * wgt;
+                     norm += wgt;
+                 }
+             }
+             out[gid] = acc / norm;
+         }",
+    )
+    .expect("compile blur");
+    Shape {
+        name: "gaussian_blur",
+        program,
+        kernel: "blur",
+        inputs: vec![f32s(
+            (0..w * h).map(|i| ((i * 2654435761) % 255) as f32 / 255.0),
+        )],
+        scalars: vec![Value::I32(w as i32), Value::I32(h as i32)],
+        items: w * h,
+        out_bytes_per_item: 4,
+        reps: 2,
+    }
+}
+
+fn main() {
+    println!(
+        "== Interpreter A/B: pooled fast engine vs legacy lockstep engine, {DEVICES} virtual GPUs ==\n"
+    );
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>12} {:>8} {:>8}",
+        "shape", "items", "fast (ms)", "lockstep (ms)", "speedup", "bytes", "ctrs"
+    );
+
+    let shapes = [dot_product(), mandelbrot(), gaussian_blur()];
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    let mut speedups = Vec::new();
+    let mut fast_stats = ExecStats::default();
+    let mut lockstep_stats = ExecStats::default();
+    for shape in &shapes {
+        assert_eq!(
+            shape
+                .program
+                .kernel(shape.kernel)
+                .expect("kernel")
+                .barrier_count,
+            0,
+            "{}: A/B shapes are barrier-free (the fast path under test)",
+            shape.name
+        );
+        let fast = run_shape(shape, ExecStrategy::Fast);
+        let lockstep = run_shape(shape, ExecStrategy::Lockstep);
+        let outputs_identical = fast.out == lockstep.out;
+        let counters_identical = fast.counters == lockstep.counters;
+        all_identical &= outputs_identical && counters_identical;
+        fast_stats.merge(&fast.stats);
+        lockstep_stats.merge(&lockstep.stats);
+
+        let total_items = (shape.items * shape.reps) as f64;
+        let fast_ms = fast.wall.as_secs_f64() * 1e3;
+        let lockstep_ms = lockstep.wall.as_secs_f64() * 1e3;
+        let speedup = lockstep.wall.as_secs_f64() / fast.wall.as_secs_f64();
+        speedups.push(speedup);
+        println!(
+            "{:<14} {:>10} {:>14.2} {:>14.2} {:>11.2}x {:>8} {:>8}",
+            shape.name,
+            shape.items,
+            fast_ms,
+            lockstep_ms,
+            speedup,
+            if outputs_identical { "same" } else { "DIFF" },
+            if counters_identical { "same" } else { "DIFF" },
+        );
+        rows.push((
+            shape.name,
+            Json::obj([
+                ("items", (shape.items as u64).into()),
+                ("reps", (shape.reps as u64).into()),
+                ("outputs_identical", Json::Bool(outputs_identical)),
+                ("counters_identical", Json::Bool(counters_identical)),
+                (
+                    "host",
+                    Json::obj([
+                        ("fast_wall_ms", Json::Num(fast_ms)),
+                        ("lockstep_wall_ms", Json::Num(lockstep_ms)),
+                        (
+                            "fast_items_per_sec",
+                            Json::Num(total_items / fast.wall.as_secs_f64()),
+                        ),
+                        (
+                            "lockstep_items_per_sec",
+                            Json::Num(total_items / lockstep.wall.as_secs_f64()),
+                        ),
+                        ("speedup", Json::Num(speedup)),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+
+    // Acceptance: >=2x on the compute shapes, zero per-launch spawns on the
+    // pooled engine, per-launch spawns on every legacy launch.
+    let dot_2x = speedups[0] >= 2.0;
+    let mandel_2x = speedups[1] >= 2.0;
+    let zero_spawns = fast_stats.per_launch_thread_spawns == 0
+        && fast_stats.pooled_launches == fast_stats.launches
+        && fast_stats.launches > 0;
+    let legacy_spawns = lockstep_stats.per_launch_thread_spawns >= lockstep_stats.legacy_launches;
+    println!(
+        "\nthread spawns: fast engine {} per-launch spawns over {} pooled launches \
+         ({} persistent pool threads); legacy engine {} spawns over {} launches",
+        fast_stats.per_launch_thread_spawns,
+        fast_stats.pooled_launches,
+        fast_stats.pool_threads,
+        lockstep_stats.per_launch_thread_spawns,
+        lockstep_stats.legacy_launches,
+    );
+    println!(
+        "shape check: dot-product speedup {:.2}x (>=2x: {dot_2x}), mandelbrot {:.2}x (>=2x: {mandel_2x}), gaussian blur {:.2}x",
+        speedups[0], speedups[1], speedups[2]
+    );
+
+    let ok = dot_2x && mandel_2x && zero_spawns && legacy_spawns && all_identical;
+    println!(
+        "\nresult: {}",
+        if ok {
+            "SHAPE REPRODUCED"
+        } else {
+            "SHAPE MISMATCH"
+        }
+    );
+
+    let shape_objs: Vec<(&str, Json)> = rows;
+    let report = bench_report(
+        "interp",
+        &[
+            ("devices", (DEVICES as u64).into()),
+            ("engines", Json::from("fast vs lockstep")),
+        ],
+        Json::obj(
+            shape_objs
+                .into_iter()
+                .chain([
+                    (
+                        "acceptance",
+                        Json::obj([
+                            ("dot_product_fast_at_least_2x", Json::Bool(dot_2x)),
+                            ("mandelbrot_fast_at_least_2x", Json::Bool(mandel_2x)),
+                            ("zero_spawns_on_fast_path", Json::Bool(zero_spawns)),
+                            ("legacy_spawns_per_launch", Json::Bool(legacy_spawns)),
+                            (
+                                "host",
+                                Json::obj([
+                                    ("fast_pool_threads", fast_stats.pool_threads.into()),
+                                    (
+                                        "legacy_thread_spawns",
+                                        lockstep_stats.per_launch_thread_spawns.into(),
+                                    ),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                    ("shape_reproduced", Json::Bool(ok)),
+                ])
+                .collect::<Vec<_>>(),
+        ),
+        None,
+    );
+    let path = write_report("interp", &report).expect("write report");
+    println!("report: {}", path.display());
+    std::process::exit(i32::from(!ok));
+}

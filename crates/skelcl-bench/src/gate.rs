@@ -11,6 +11,11 @@
 //! * **strings** must match exactly (schema, params, names);
 //! * **numbers** (kernel milliseconds, speedups, imbalance ratios,
 //!   histogram stats) must stay within a relative tolerance;
+//! * **host-measured numbers** (any path containing `.host.`) are checked
+//!   for presence and type only — real wall-clock depends on the machine
+//!   and its load, so comparing values across machines would make the gate
+//!   flake; the shape *conclusions* drawn from them (e.g.
+//!   `fast_at_least_2x`) live outside `.host.` as gated booleans;
 //! * a key present in the baseline but **missing** from the fresh report
 //!   is a regression; extra keys in the fresh report are fine (schema
 //!   growth is not a regression).
@@ -65,7 +70,9 @@ fn walk(path: &str, baseline: &Json, fresh: &Json, cfg: &GateConfig, out: &mut V
             }
         }
         (Json::Num(b), Json::Num(f)) => {
-            if exact_path(path) {
+            if loose_path(path) {
+                // Presence and type already established by the match.
+            } else if exact_path(path) {
                 if b != f {
                     out.push(format!("{path}: expected exactly {b}, got {f}"));
                 }
@@ -107,6 +114,14 @@ fn walk(path: &str, baseline: &Json, fresh: &Json, cfg: &GateConfig, out: &mut V
 /// bit, so any drift is a behaviour change.
 fn exact_path(path: &str) -> bool {
     path.contains(".metrics.counters.")
+}
+
+/// Machine-dependent fields: real host wall-clock (as opposed to the
+/// simulator's deterministic nanoseconds) varies with the machine and its
+/// load. Reports nest such numbers under a `host` object; the gate checks
+/// they are still emitted but never compares their values.
+fn loose_path(path: &str) -> bool {
+    path.contains(".host.")
 }
 
 fn type_name(v: &Json) -> &'static str {
@@ -209,6 +224,67 @@ mod tests {
         let violations = diff_reports("scaling", &base, &fresh, &GateConfig::default());
         assert!(violations.iter().any(|v| v.contains("missing")));
         assert!(violations.iter().any(|v| v.contains("array length")));
+    }
+
+    fn host_report() -> Json {
+        Json::parse(
+            r#"{
+                "schema": "skelcl-bench-report/1",
+                "name": "interp",
+                "results": {
+                    "fast_at_least_2x": true,
+                    "host": {"fast_wall_ms": 120.0, "lockstep_wall_ms": 310.0}
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn host_wall_clock_values_are_not_compared() {
+        let base = host_report();
+        // 10x slower wall-clock: a loaded CI machine, not a regression.
+        let fresh = Json::parse(
+            r#"{
+                "schema": "skelcl-bench-report/1",
+                "name": "interp",
+                "results": {
+                    "fast_at_least_2x": true,
+                    "host": {"fast_wall_ms": 1200.0, "lockstep_wall_ms": 310.0}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(diff_reports("interp", &base, &fresh, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn host_wall_clock_keys_must_stay_present() {
+        let base = host_report();
+        let fresh = Json::parse(
+            r#"{
+                "schema": "skelcl-bench-report/1",
+                "name": "interp",
+                "results": {
+                    "fast_at_least_2x": true,
+                    "host": {"lockstep_wall_ms": 310.0}
+                }
+            }"#,
+        )
+        .unwrap();
+        let violations = diff_reports("interp", &base, &fresh, &GateConfig::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("fast_wall_ms"));
+        assert!(violations[0].contains("missing"));
+    }
+
+    #[test]
+    fn conclusions_outside_host_still_gate() {
+        let base = host_report();
+        let fresh = Json::parse(&base.to_json().replace("true", "false")).unwrap();
+        let violations = diff_reports("interp", &base, &fresh, &GateConfig::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("fast_at_least_2x"));
     }
 
     #[test]

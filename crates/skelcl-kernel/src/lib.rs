@@ -62,6 +62,7 @@
 pub mod ast;
 pub mod builtins;
 pub mod codegen;
+mod decode;
 pub mod diag;
 pub mod fold;
 pub mod hir;

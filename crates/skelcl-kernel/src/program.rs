@@ -76,6 +76,9 @@ pub struct Program {
 #[derive(Debug)]
 struct ProgramInner {
     functions: Vec<FuncCode>,
+    /// Superinstruction stream per function, parallel to `functions` (see
+    /// [`crate::decode`]); consumed by the optimised dispatch loop.
+    decoded: Vec<Vec<crate::decode::Decoded>>,
     kernels: Vec<KernelInfo>,
     kernel_index: HashMap<String, usize>,
     source_name: String,
@@ -94,9 +97,14 @@ impl Program {
             .enumerate()
             .map(|(i, k)| (k.name.clone(), i))
             .collect();
+        let decoded = functions
+            .iter()
+            .map(|f| crate::decode::decode(&f.code))
+            .collect();
         Program {
             inner: Arc::new(ProgramInner {
                 functions,
+                decoded,
                 kernels,
                 kernel_index,
                 source_name: source_name.into(),
@@ -104,9 +112,23 @@ impl Program {
         }
     }
 
+    /// The pre-decoded superinstruction stream of function `func` (same
+    /// `pc` indexing as its `code`; see [`crate::decode`]).
+    pub(crate) fn decoded_fn(&self, func: usize) -> &[crate::decode::Decoded] {
+        &self.inner.decoded[func]
+    }
+
     /// All compiled functions, indexable by the ids in `Call` instructions.
     pub fn functions(&self) -> &[FuncCode] {
         &self.inner.functions
+    }
+
+    /// Whether two handles refer to the same compiled program (pointer
+    /// identity, not structural equality). Lets executors recycle
+    /// [`crate::vm::WorkItem`]s across work-items of one launch without
+    /// re-cloning the program `Arc` per item.
+    pub fn ptr_eq(a: &Program, b: &Program) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
     }
 
     /// All kernels in the program.

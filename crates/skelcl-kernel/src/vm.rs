@@ -13,6 +13,8 @@ use std::fmt;
 
 use crate::builtins::{self, Builtin};
 use crate::codegen::UNINIT_BUFFER;
+use crate::decode::{ChainTail, CmpUse, Decoded, Dst, Operand};
+use crate::hir::{BinOp, CmpOp};
 use crate::ir::Op;
 use crate::program::Program;
 use crate::types::{AddressSpace, ScalarType};
@@ -309,12 +311,33 @@ struct Frame {
     stack: Vec<Value>,
 }
 
+impl Frame {
+    /// An empty frame shell, ready to be filled from a frame pool.
+    fn blank() -> Self {
+        Frame {
+            func: 0,
+            pc: 0,
+            locals: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+}
+
 /// A single work-item's suspended or running execution state.
+///
+/// A `WorkItem` is reusable: [`WorkItem::reset`] rearms a finished (or
+/// faulted) item for a new launch geometry while recycling its frame,
+/// locals and operand-stack allocations — the executor's barrier-free fast
+/// path keeps one item per host thread and resets it per work-item instead
+/// of constructing fresh ones.
 #[derive(Debug)]
 pub struct WorkItem {
     program: Program,
     geometry: ItemGeometry,
     frames: Vec<Frame>,
+    /// Retired frames kept for reuse: `Call` draws from this pool instead
+    /// of allocating locals/stack vectors per call.
+    free_frames: Vec<Frame>,
     /// Cost counters accumulated so far.
     pub counters: CostCounters,
     /// Remaining instruction budget.
@@ -332,28 +355,58 @@ impl WorkItem {
     /// Panics if `func` is out of range or `args` doesn't match the
     /// function's parameter count.
     pub fn new(program: &Program, func: u16, args: &[Value], geometry: ItemGeometry) -> Self {
-        let code = &program.functions()[func as usize];
+        let mut item = WorkItem {
+            program: program.clone(),
+            geometry,
+            frames: Vec::with_capacity(4),
+            free_frames: Vec::new(),
+            counters: CostCounters::default(),
+            ops_budget: u64::MAX,
+            finished: false,
+        };
+        item.push_entry_frame(func, args);
+        item
+    }
+
+    /// Rearms this item for another work-item of a launch: same `program`
+    /// (the `Arc` is only re-cloned when it actually changed), new entry
+    /// function, arguments and geometry; counters and budget reset. All
+    /// frame/locals/stack allocations are recycled, so a reset item executes
+    /// without any steady-state heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// As for [`WorkItem::new`].
+    pub fn reset(&mut self, program: &Program, func: u16, args: &[Value], geometry: ItemGeometry) {
+        if !Program::ptr_eq(&self.program, program) {
+            self.program = program.clone();
+        }
+        self.geometry = geometry;
+        self.counters = CostCounters::default();
+        self.ops_budget = u64::MAX;
+        self.finished = false;
+        // A finished item has popped every frame; a faulted or suspended one
+        // may still hold some — recycle them all.
+        self.free_frames.append(&mut self.frames);
+        self.push_entry_frame(func, args);
+    }
+
+    fn push_entry_frame(&mut self, func: u16, args: &[Value]) {
+        let code = &self.program.functions()[func as usize];
         assert_eq!(
             args.len(),
             code.param_count as usize,
             "kernel `{}` argument count mismatch",
             code.name
         );
-        let mut locals = code.local_init.clone();
-        locals[..args.len()].copy_from_slice(args);
-        WorkItem {
-            program: program.clone(),
-            geometry,
-            frames: vec![Frame {
-                func,
-                pc: 0,
-                locals,
-                stack: Vec::new(),
-            }],
-            counters: CostCounters::default(),
-            ops_budget: u64::MAX,
-            finished: false,
-        }
+        let mut frame = self.free_frames.pop().unwrap_or_else(Frame::blank);
+        frame.func = func;
+        frame.pc = 0;
+        frame.stack.clear();
+        frame.locals.clear();
+        frame.locals.extend_from_slice(&code.local_init);
+        frame.locals[..args.len()].copy_from_slice(args);
+        self.frames.push(frame);
     }
 
     /// Overrides a local slot of the entry frame (used by the executor to
@@ -388,6 +441,17 @@ impl WorkItem {
     /// `local_mem` is the work-group's shared local-memory arena; `global`
     /// is the device's global memory.
     ///
+    /// This is the optimised dispatch loop: the current function's code
+    /// slice is re-derived only on frame transitions (call/return), each
+    /// instruction is fetched by reference instead of cloned, call frames
+    /// are drawn from the item's frame pool instead of cloning `local_init`
+    /// per call, and hot `LoadLocal`/`Const` + `Bin`/`Cmp` sequences run as
+    /// pre-decoded superinstructions ([`crate::decode`]) that charge
+    /// identical [`CostCounters`]. It is observationally identical to
+    /// [`WorkItem::run_reference`]
+    /// — same results, same [`CostCounters`] — which the executor's legacy
+    /// path and the differential tests use as the semantic baseline.
+    ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the kernel faults; the item must not be
@@ -397,6 +461,327 @@ impl WorkItem {
     ///
     /// Panics if called again after [`Exit::Done`].
     pub fn run(
+        &mut self,
+        global: &dyn GlobalMemory,
+        local_mem: &mut [u8],
+    ) -> Result<Exit, RuntimeError> {
+        assert!(!self.finished, "work-item already finished");
+        // A local handle keeps the `functions` borrow independent of
+        // `self`, so the frame stack stays mutable for call/return.
+        let program = self.program.clone();
+        let functions = program.functions();
+        'frame: loop {
+            // Call depth is constant between frame transitions, so the
+            // overflow check below needs no extra borrow of the stack.
+            let depth = self.frames.len();
+            let frame = self
+                .frames
+                .last_mut()
+                .expect("frame stack never empty while running");
+            let func = &functions[frame.func as usize];
+            let dec = program.decoded_fn(frame.func as usize);
+            loop {
+                let d = &dec[frame.pc];
+                let op = match d {
+                    Decoded::Plain(op) => op,
+                    fused => {
+                        // A fused instruction covers `k` source ops: charge
+                        // all of them, and run out of budget iff the
+                        // reference would have inside the block.
+                        let k = fused.cost();
+                        if self.counters.ops + (k - 1) >= self.ops_budget {
+                            return Err(RuntimeError::OpLimitExceeded);
+                        }
+                        self.counters.ops += k;
+                        frame.pc += k as usize;
+                        match fused {
+                            Decoded::Bin { l, r, op, dst, .. } => {
+                                // The rhs is popped first when unfused.
+                                let rv = operand_value(frame, r)?;
+                                let lv = operand_value(frame, l)?;
+                                let v = vm_binary(*op, lv, rv)?;
+                                match dst {
+                                    Dst::Stack => frame.stack.push(v),
+                                    Dst::Local(s) => frame.locals[*s as usize] = v,
+                                }
+                            }
+                            Decoded::Cmp {
+                                l, r, op, along, ..
+                            } => {
+                                let rv = operand_value(frame, r)?;
+                                let lv = operand_value(frame, l)?;
+                                let b = vm_compare(*op, lv, rv)?;
+                                cmp_use(frame, *along, b);
+                            }
+                            Decoded::Chain(c) => {
+                                let rv = operand_value(frame, &c.r)?;
+                                let lv = operand_value(frame, &c.l)?;
+                                let mut acc = vm_binary(c.op, lv, rv)?;
+                                if let Some((l2, r2, op2, comb)) = &c.tree {
+                                    // Both producer results stay in
+                                    // registers; the unfused push/pop pair
+                                    // cancels out.
+                                    let rv2 = operand_value(frame, r2)?;
+                                    let lv2 = operand_value(frame, l2)?;
+                                    let acc2 = vm_binary(*op2, lv2, rv2)?;
+                                    acc = vm_binary(*comb, acc, acc2)?;
+                                }
+                                for (op, r) in &c.links {
+                                    // Link operands are fused loads, never
+                                    // stack pops; the accumulator is the lhs.
+                                    let rv = operand_value(frame, r)?;
+                                    acc = vm_binary(*op, acc, rv)?;
+                                }
+                                match &c.tail {
+                                    ChainTail::Push => frame.stack.push(acc),
+                                    ChainTail::Store(s) => frame.locals[*s as usize] = acc,
+                                    ChainTail::Cmp { op, r, along } => {
+                                        let rv = operand_value(frame, r)?;
+                                        let b = vm_compare(*op, acc, rv)?;
+                                        cmp_use(frame, *along, b);
+                                    }
+                                }
+                            }
+                            Decoded::StMem { v, ptr, ty, .. } => {
+                                // The pointer is popped (and checked) before
+                                // the value when unfused; keep that order.
+                                let p = match frame.locals[*ptr as usize] {
+                                    Value::Ptr(p) => p,
+                                    other => {
+                                        return Err(RuntimeError::Internal(format!(
+                                            "expected pointer, found {other}"
+                                        )))
+                                    }
+                                };
+                                let vv = operand_value(frame, v)?;
+                                mem_store(&mut self.counters, global, local_mem, p, *ty, vv)?;
+                            }
+                            Decoded::Mov(a, s) => {
+                                frame.locals[*s as usize] = frame.locals[*a as usize];
+                            }
+                            Decoded::MovC(c, s) => {
+                                frame.locals[*s as usize] = *c;
+                            }
+                            Decoded::PtrIdx {
+                                ptr,
+                                idx,
+                                size,
+                                load,
+                                dst,
+                                ..
+                            } => {
+                                // Conversion happens before the pointer
+                                // check when unfused; keep that order.
+                                let count =
+                                    value::convert(frame.locals[*idx as usize], ScalarType::Long)
+                                        .as_i64();
+                                let base = match frame.locals[*ptr as usize] {
+                                    Value::Ptr(p) => p,
+                                    other => {
+                                        return Err(RuntimeError::Internal(format!(
+                                            "expected pointer, found {other}"
+                                        )))
+                                    }
+                                };
+                                let p = Ptr {
+                                    byte_offset: base
+                                        .byte_offset
+                                        .wrapping_add(count.wrapping_mul(*size as i64)),
+                                    ..base
+                                };
+                                let v = match load {
+                                    Some(ty) => {
+                                        mem_load(&mut self.counters, global, local_mem, p, *ty)?
+                                    }
+                                    None => Value::Ptr(p),
+                                };
+                                match dst {
+                                    Dst::Stack => frame.stack.push(v),
+                                    Dst::Local(s) => frame.locals[*s as usize] = v,
+                                }
+                            }
+                            Decoded::Plain(_) => unreachable!("matched above"),
+                        }
+                        continue;
+                    }
+                };
+                if self.counters.ops >= self.ops_budget {
+                    return Err(RuntimeError::OpLimitExceeded);
+                }
+                self.counters.ops += 1;
+                frame.pc += 1;
+
+                match op {
+                    Op::Const(v) => frame.stack.push(*v),
+                    Op::LoadLocal(s) => {
+                        let v = frame.locals[*s as usize];
+                        frame.stack.push(v);
+                    }
+                    Op::StoreLocal(s) => {
+                        let v = pop(frame)?;
+                        frame.locals[*s as usize] = v;
+                    }
+                    Op::Dup => {
+                        let v = *frame.stack.last().ok_or_else(stack_underflow)?;
+                        frame.stack.push(v);
+                    }
+                    Op::Pop => {
+                        pop(frame)?;
+                    }
+                    Op::Un(un) => {
+                        let v = pop(frame)?;
+                        frame.stack.push(value::unary(*un, v).map_err(eval_err)?);
+                    }
+                    Op::Bin(bin) => {
+                        let r = pop(frame)?;
+                        let l = pop(frame)?;
+                        frame.stack.push(vm_binary(*bin, l, r)?);
+                    }
+                    Op::Cmp(cmp) => {
+                        let r = pop(frame)?;
+                        let l = pop(frame)?;
+                        frame.stack.push(Value::Bool(vm_compare(*cmp, l, r)?));
+                    }
+                    Op::Convert(to) => {
+                        let v = pop(frame)?;
+                        frame.stack.push(value::convert(v, *to));
+                    }
+                    Op::ToBool => {
+                        let v = pop(frame)?;
+                        frame.stack.push(Value::Bool(v.is_truthy()));
+                    }
+                    Op::Jump(t) => frame.pc = *t as usize,
+                    Op::JumpIfFalse(t) => {
+                        if !pop(frame)?.is_truthy() {
+                            frame.pc = *t as usize;
+                        }
+                    }
+                    Op::JumpIfTrue(t) => {
+                        if pop(frame)?.is_truthy() {
+                            frame.pc = *t as usize;
+                        }
+                    }
+                    Op::Call { func, argc } => {
+                        if depth >= MAX_CALL_DEPTH {
+                            return Err(RuntimeError::StackOverflow);
+                        }
+                        let callee = &functions[*func as usize];
+                        let mut callee_frame = self.free_frames.pop().unwrap_or_else(Frame::blank);
+                        callee_frame.func = *func;
+                        callee_frame.pc = 0;
+                        callee_frame.stack.clear();
+                        callee_frame.locals.clear();
+                        callee_frame.locals.extend_from_slice(&callee.local_init);
+                        for i in (0..*argc as usize).rev() {
+                            callee_frame.locals[i] = pop(frame)?;
+                        }
+                        self.frames.push(callee_frame);
+                        continue 'frame;
+                    }
+                    Op::CallPure(b, argc) => {
+                        let start = frame
+                            .stack
+                            .len()
+                            .checked_sub(*argc as usize)
+                            .ok_or_else(stack_underflow)?;
+                        let result = builtins::eval_pure(*b, &frame.stack[start..]);
+                        frame.stack.truncate(start);
+                        frame.stack.push(result);
+                    }
+                    Op::WorkItem(b) => {
+                        let v = work_item_query(&self.geometry, frame, *b)?;
+                        frame.stack.push(v);
+                    }
+                    Op::Barrier { id } => {
+                        self.counters.barriers += 1;
+                        return Ok(Exit::Barrier(*id));
+                    }
+                    Op::Trap => {
+                        let code = pop(frame)?;
+                        return Err(RuntimeError::Trap {
+                            code: code.as_i64() as i32,
+                        });
+                    }
+                    Op::LoadMem(ty) => {
+                        let p = pop_ptr(frame)?;
+                        let v = mem_load(&mut self.counters, global, local_mem, p, *ty)?;
+                        frame.stack.push(v);
+                    }
+                    Op::StoreMem(ty) => {
+                        let p = pop_ptr(frame)?;
+                        let v = pop(frame)?;
+                        mem_store(&mut self.counters, global, local_mem, p, *ty, v)?;
+                    }
+                    Op::PtrOffset(size) => {
+                        let count = pop(frame)?.as_i64();
+                        let p = pop_ptr(frame)?;
+                        frame.stack.push(Value::Ptr(Ptr {
+                            byte_offset: p
+                                .byte_offset
+                                .wrapping_add(count.wrapping_mul(*size as i64)),
+                            ..p
+                        }));
+                    }
+                    Op::PtrDiff(size) => {
+                        let r = pop_ptr(frame)?;
+                        let l = pop_ptr(frame)?;
+                        if l.space != r.space || l.buffer != r.buffer {
+                            return Err(RuntimeError::IncompatiblePointers);
+                        }
+                        frame
+                            .stack
+                            .push(Value::I64((l.byte_offset - r.byte_offset) / *size as i64));
+                    }
+                    Op::Return => {
+                        let v = pop(frame)?;
+                        let retired = self.frames.pop().expect("frame");
+                        self.free_frames.push(retired);
+                        match self.frames.last_mut() {
+                            Some(caller) => {
+                                caller.stack.push(v);
+                                continue 'frame;
+                            }
+                            None => {
+                                self.finished = true;
+                                return Ok(Exit::Done);
+                            }
+                        }
+                    }
+                    Op::ReturnVoid => {
+                        let retired = self.frames.pop().expect("frame");
+                        self.free_frames.push(retired);
+                        if self.frames.is_empty() {
+                            self.finished = true;
+                            return Ok(Exit::Done);
+                        }
+                        continue 'frame;
+                    }
+                    Op::MissingReturn => {
+                        return Err(RuntimeError::MissingReturn {
+                            function: func.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reference interpreter: the original straight-line dispatch loop,
+    /// kept byte-for-byte in behaviour (per-op clone, per-call `local_init`
+    /// clone, no frame pooling). The executor's legacy lockstep path runs on
+    /// it, which makes the `lockstep`-vs-`fast` benchmark an honest A/B of
+    /// the whole optimisation stack and gives the equivalence tests a
+    /// semantic baseline that shares no dispatch code with [`WorkItem::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the kernel faults; the item must not be
+    /// resumed afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again after [`Exit::Done`].
+    pub fn run_reference(
         &mut self,
         global: &dyn GlobalMemory,
         local_mem: &mut [u8],
@@ -499,8 +884,9 @@ impl WorkItem {
                     frame.stack.push(result);
                 }
                 Op::WorkItem(b) => {
-                    let v = self.work_item_query(b)?;
-                    self.frames.last_mut().expect("frame").stack.push(v);
+                    let frame = self.frames.last_mut().expect("frame");
+                    let v = work_item_query(&self.geometry, frame, b)?;
+                    frame.stack.push(v);
                 }
                 Op::Barrier { id } => {
                     self.counters.barriers += 1;
@@ -514,14 +900,14 @@ impl WorkItem {
                 }
                 Op::LoadMem(ty) => {
                     let p = pop_ptr(self.frames.last_mut().expect("frame"))?;
-                    let v = self.load(global, local_mem, p, ty)?;
+                    let v = mem_load(&mut self.counters, global, local_mem, p, ty)?;
                     self.frames.last_mut().expect("frame").stack.push(v);
                 }
                 Op::StoreMem(ty) => {
                     let frame = self.frames.last_mut().expect("frame");
                     let p = pop_ptr(frame)?;
                     let v = pop(frame)?;
-                    self.store(global, local_mem, p, ty, v)?;
+                    mem_store(&mut self.counters, global, local_mem, p, ty, v)?;
                 }
                 Op::PtrOffset(size) => {
                     let frame = self.frames.last_mut().expect("frame");
@@ -572,97 +958,196 @@ impl WorkItem {
             }
         }
     }
+}
 
-    fn work_item_query(&mut self, b: Builtin) -> Result<Value, RuntimeError> {
-        if b == Builtin::GetWorkDim {
-            return Ok(Value::U32(self.geometry.work_dim));
-        }
-        let frame = self.frames.last_mut().expect("frame");
-        let dim = pop(frame)?.as_i64();
-        let g = &self.geometry;
-        // OpenCL: out-of-range dims yield 0 (sizes yield 1).
-        let (arr, default): (&[u64; 3], u64) = match b {
-            Builtin::GetGlobalId => (&g.global_id, 0),
-            Builtin::GetLocalId => (&g.local_id, 0),
-            Builtin::GetGroupId => (&g.group_id, 0),
-            Builtin::GetGlobalSize => (&g.global_size, 1),
-            Builtin::GetLocalSize => (&g.local_size, 1),
-            Builtin::GetNumGroups => (&g.num_groups, 1),
-            other => {
-                return Err(RuntimeError::Internal(format!(
-                    "not a work-item query: {other:?}"
-                )))
-            }
-        };
-        let v = if (0..3).contains(&dim) {
-            arr[dim as usize]
-        } else {
-            default
-        };
-        Ok(Value::U64(v))
+/// Evaluates a work-item query builtin against `geometry`, popping the
+/// dimension argument (if any) off `frame`'s operand stack. Free function so
+/// both dispatch loops can call it while holding a frame borrow.
+fn work_item_query(
+    geometry: &ItemGeometry,
+    frame: &mut Frame,
+    b: Builtin,
+) -> Result<Value, RuntimeError> {
+    if b == Builtin::GetWorkDim {
+        return Ok(Value::U32(geometry.work_dim));
     }
+    let dim = pop(frame)?.as_i64();
+    // OpenCL: out-of-range dims yield 0 (sizes yield 1).
+    let (arr, default): (&[u64; 3], u64) = match b {
+        Builtin::GetGlobalId => (&geometry.global_id, 0),
+        Builtin::GetLocalId => (&geometry.local_id, 0),
+        Builtin::GetGroupId => (&geometry.group_id, 0),
+        Builtin::GetGlobalSize => (&geometry.global_size, 1),
+        Builtin::GetLocalSize => (&geometry.local_size, 1),
+        Builtin::GetNumGroups => (&geometry.num_groups, 1),
+        other => {
+            return Err(RuntimeError::Internal(format!(
+                "not a work-item query: {other:?}"
+            )))
+        }
+    };
+    let v = if (0..3).contains(&dim) {
+        arr[dim as usize]
+    } else {
+        default
+    };
+    Ok(Value::U64(v))
+}
 
-    fn load(
-        &mut self,
-        global: &dyn GlobalMemory,
-        local_mem: &[u8],
-        p: Ptr,
-        ty: ScalarType,
-    ) -> Result<Value, RuntimeError> {
-        if p.buffer == UNINIT_BUFFER && p.space == AddressSpace::Private {
-            return Err(RuntimeError::UninitializedPointer);
-        }
-        match p.space {
-            AddressSpace::Global => {
-                self.counters.global_loads += 1;
-                self.counters.global_bytes += ty.size_bytes() as u64;
-                global
-                    .load(p.buffer, p.byte_offset, ty)
-                    .map_err(RuntimeError::OutOfBounds)
-            }
-            AddressSpace::Local => {
-                self.counters.local_loads += 1;
-                let off = check_range(local_mem.len(), p.byte_offset, ty, p.space, p.buffer)
-                    .map_err(RuntimeError::OutOfBounds)?;
-                Ok(value::read_scalar(&local_mem[off..], ty))
-            }
-            AddressSpace::Private => Err(RuntimeError::UninitializedPointer),
-        }
+/// Typed load through `p`, charging `counters`. Free function so the
+/// dispatch loops can call it while holding a frame borrow.
+fn mem_load(
+    counters: &mut CostCounters,
+    global: &dyn GlobalMemory,
+    local_mem: &[u8],
+    p: Ptr,
+    ty: ScalarType,
+) -> Result<Value, RuntimeError> {
+    if p.buffer == UNINIT_BUFFER && p.space == AddressSpace::Private {
+        return Err(RuntimeError::UninitializedPointer);
     }
+    match p.space {
+        AddressSpace::Global => {
+            counters.global_loads += 1;
+            counters.global_bytes += ty.size_bytes() as u64;
+            global
+                .load(p.buffer, p.byte_offset, ty)
+                .map_err(RuntimeError::OutOfBounds)
+        }
+        AddressSpace::Local => {
+            counters.local_loads += 1;
+            let off = check_range(local_mem.len(), p.byte_offset, ty, p.space, p.buffer)
+                .map_err(RuntimeError::OutOfBounds)?;
+            Ok(value::read_scalar(&local_mem[off..], ty))
+        }
+        AddressSpace::Private => Err(RuntimeError::UninitializedPointer),
+    }
+}
 
-    fn store(
-        &mut self,
-        global: &dyn GlobalMemory,
-        local_mem: &mut [u8],
-        p: Ptr,
-        ty: ScalarType,
-        v: Value,
-    ) -> Result<(), RuntimeError> {
-        if p.buffer == UNINIT_BUFFER && p.space == AddressSpace::Private {
-            return Err(RuntimeError::UninitializedPointer);
+/// Typed store through `p`, charging `counters`. Free function so the
+/// dispatch loops can call it while holding a frame borrow.
+fn mem_store(
+    counters: &mut CostCounters,
+    global: &dyn GlobalMemory,
+    local_mem: &mut [u8],
+    p: Ptr,
+    ty: ScalarType,
+    v: Value,
+) -> Result<(), RuntimeError> {
+    if p.buffer == UNINIT_BUFFER && p.space == AddressSpace::Private {
+        return Err(RuntimeError::UninitializedPointer);
+    }
+    match p.space {
+        AddressSpace::Global => {
+            counters.global_stores += 1;
+            counters.global_bytes += ty.size_bytes() as u64;
+            global
+                .store(p.buffer, p.byte_offset, ty, v)
+                .map_err(RuntimeError::OutOfBounds)
         }
-        match p.space {
-            AddressSpace::Global => {
-                self.counters.global_stores += 1;
-                self.counters.global_bytes += ty.size_bytes() as u64;
-                global
-                    .store(p.buffer, p.byte_offset, ty, v)
-                    .map_err(RuntimeError::OutOfBounds)
-            }
-            AddressSpace::Local => {
-                self.counters.local_stores += 1;
-                let off = check_range(local_mem.len(), p.byte_offset, ty, p.space, p.buffer)
-                    .map_err(RuntimeError::OutOfBounds)?;
-                value::write_scalar(&mut local_mem[off..], ty, v);
-                Ok(())
-            }
-            AddressSpace::Private => Err(RuntimeError::UninitializedPointer),
+        AddressSpace::Local => {
+            counters.local_stores += 1;
+            let off = check_range(local_mem.len(), p.byte_offset, ty, p.space, p.buffer)
+                .map_err(RuntimeError::OutOfBounds)?;
+            value::write_scalar(&mut local_mem[off..], ty, v);
+            Ok(())
         }
+        AddressSpace::Private => Err(RuntimeError::UninitializedPointer),
     }
 }
 
 fn pop(frame: &mut Frame) -> Result<Value, RuntimeError> {
     frame.stack.pop().ok_or_else(stack_underflow)
+}
+
+/// Materialises one fused operand (see [`crate::decode`]). Callers evaluate
+/// the rhs before the lhs so stack pops happen in the unfused order.
+#[inline]
+fn operand_value(frame: &mut Frame, operand: &Operand) -> Result<Value, RuntimeError> {
+    match operand {
+        Operand::Stack => pop(frame),
+        Operand::Local(s) => Ok(frame.locals[*s as usize]),
+        Operand::Const(c) => Ok(*c),
+    }
+}
+
+/// Arithmetic for the optimised dispatch loop: inlines the hot scalar
+/// cases — bit-identically to [`value::binary`], whose float and wrapping
+/// integer expressions these are — and falls back to it for every other
+/// type and for the fallible operations. The reference loop keeps calling
+/// [`value::binary`] so its machine code is untouched.
+#[inline(always)]
+fn vm_binary(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+    match (a, b) {
+        (Value::F32(x), Value::F32(y)) => match op {
+            BinOp::Add => return Ok(Value::F32(x + y)),
+            BinOp::Sub => return Ok(Value::F32(x - y)),
+            BinOp::Mul => return Ok(Value::F32(x * y)),
+            BinOp::Div => return Ok(Value::F32(x / y)),
+            _ => {}
+        },
+        (Value::I32(x), Value::I32(y)) => match op {
+            BinOp::Add => return Ok(Value::I32(x.wrapping_add(y))),
+            BinOp::Sub => return Ok(Value::I32(x.wrapping_sub(y))),
+            BinOp::Mul => return Ok(Value::I32(x.wrapping_mul(y))),
+            BinOp::BitAnd => return Ok(Value::I32(x & y)),
+            BinOp::BitOr => return Ok(Value::I32(x | y)),
+            BinOp::BitXor => return Ok(Value::I32(x ^ y)),
+            _ => {}
+        },
+        _ => {}
+    }
+    value::binary(op, a, b).map_err(eval_err)
+}
+
+/// Routes a fused comparison's boolean (see [`CmpUse`]): pushed, or a
+/// branch with one or both successors resolved at decode time. The caller
+/// has already advanced `pc` past the fused block.
+#[inline(always)]
+fn cmp_use(frame: &mut Frame, along: CmpUse, b: bool) {
+    match along {
+        CmpUse::Push => frame.stack.push(Value::Bool(b)),
+        CmpUse::BranchIfFalse(t) => {
+            if !b {
+                frame.pc = t as usize;
+            }
+        }
+        CmpUse::BranchIfTrue(t) => {
+            if b {
+                frame.pc = t as usize;
+            }
+        }
+        CmpUse::BranchBoth { if_true, if_false } => {
+            frame.pc = if b { if_true } else { if_false } as usize;
+        }
+    }
+}
+
+/// Comparison twin of [`vm_binary`]: native float operators implement the
+/// same IEEE semantics as the reference's `float_cmp` (ordered comparisons
+/// with NaN are false, `!=` is true), and integer operators match its
+/// `Ord`-based table.
+#[inline(always)]
+fn vm_compare(op: CmpOp, a: Value, b: Value) -> Result<bool, RuntimeError> {
+    match (a, b) {
+        (Value::F32(x), Value::F32(y)) => Ok(match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        }),
+        (Value::I32(x), Value::I32(y)) => Ok(match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        }),
+        _ => value::compare(op, a, b).map_err(eval_err),
+    }
 }
 
 fn pop_ptr(frame: &mut Frame) -> Result<Ptr, RuntimeError> {
@@ -1111,6 +1596,89 @@ mod tests {
         let out = mem.add_buffer(vec![0u8; 8]);
         run_simple_mem(&p, "sums", &[gptr(m), gptr(out), Value::I32(3)], 2, &mem);
         assert_eq!(read_f32s(&mem.bytes(out)), vec![6.0, 60.0]);
+    }
+
+    #[test]
+    fn optimized_and_reference_interpreters_agree() {
+        // A kernel exercising calls, loops, conversions and memory traffic;
+        // the optimized loop must match the reference loop bit-for-bit in
+        // output and exactly in counters.
+        let p = program(
+            "float poly(float x, int k){
+                 float acc = 0.0f;
+                 for (int i = 0; i < k; ++i) acc = acc * x + (float)i;
+                 return acc;
+             }
+             __kernel void stress(__global const float* in, __global float* out, int n){
+                 int i = (int)get_global_id(0);
+                 if (i < n) out[i] = poly(in[i], i + 3);
+             }",
+        );
+        let k = p.kernel("stress").unwrap();
+        let input = f32_buffer(&[0.5, -1.25, 3.0, 0.0, 9.5, -0.125]);
+        let n = 6u64;
+
+        let run_with = |reference: bool| -> (Vec<u8>, CostCounters) {
+            let mut mem = HostMemory::new();
+            let a = mem.add_buffer(input.clone());
+            let b = mem.add_buffer(vec![0u8; input.len()]);
+            let args = [gptr(a), gptr(b), Value::I32(n as i32)];
+            let mut total = CostCounters::default();
+            // One item reset per element also exercises WorkItem reuse.
+            let mut item = None;
+            for i in 0..n {
+                let geom = ItemGeometry {
+                    work_dim: 1,
+                    global_id: [i, 0, 0],
+                    local_id: [i, 0, 0],
+                    group_id: [0, 0, 0],
+                    global_size: [n, 1, 1],
+                    local_size: [n, 1, 1],
+                    num_groups: [1, 1, 1],
+                };
+                let it = match item.as_mut() {
+                    None => item.insert(WorkItem::new(&p, k.func, &args, geom)),
+                    Some(it) => {
+                        it.reset(&p, k.func, &args, geom);
+                        it
+                    }
+                };
+                let exit = if reference {
+                    it.run_reference(&mem, &mut []).expect("kernel ran")
+                } else {
+                    it.run(&mem, &mut []).expect("kernel ran")
+                };
+                assert_eq!(exit, Exit::Done);
+                total.merge(&it.counters);
+            }
+            (mem.bytes(b), total)
+        };
+
+        let (ref_bytes, ref_counters) = run_with(true);
+        let (fast_bytes, fast_counters) = run_with(false);
+        assert_eq!(ref_bytes, fast_bytes, "outputs must be bit-identical");
+        assert_eq!(ref_counters, fast_counters, "counters must not drift");
+    }
+
+    #[test]
+    fn reset_recycles_across_programs() {
+        let p1 = program("__kernel void a(__global int* out){ out[0] = 1; }");
+        let p2 = program("__kernel void b(__global int* out){ out[0] = 2; }");
+        let mut mem = HostMemory::new();
+        let out = mem.add_buffer(vec![0u8; 4]);
+        let k1 = p1.kernel("a").unwrap();
+        let k2 = p2.kernel("b").unwrap();
+        let mut item = WorkItem::new(&p1, k1.func, &[gptr(out)], ItemGeometry::single());
+        assert_eq!(item.run(&mem, &mut []).unwrap(), Exit::Done);
+        // Reset onto a different program must rebind the handle.
+        item.reset(&p2, k2.func, &[gptr(out)], ItemGeometry::single());
+        assert_eq!(item.run(&mem, &mut []).unwrap(), Exit::Done);
+        assert_eq!(
+            i32::from_le_bytes(mem.bytes(out)[..4].try_into().unwrap()),
+            2
+        );
+        // Counters reflect only the latest run after a reset.
+        assert!(item.counters.ops > 0 && item.counters.ops < 10);
     }
 
     #[test]

@@ -2,6 +2,9 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::pool::WorkerPool;
 
 /// Identifies a device within a [`crate::Platform`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -130,8 +133,40 @@ impl Default for DeviceSpec {
     }
 }
 
-/// A virtual compute device: spec plus mutable state (memory accounting and
-/// the simulated timeline).
+/// Host-side execution statistics of one device (or a whole platform when
+/// aggregated): how launches were dispatched and what they cost in OS
+/// threads. The `interp` benchmark reads these to prove the pooled engine
+/// spawns zero threads per launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total kernel launches executed.
+    pub launches: u64,
+    /// Launches dispatched to the persistent worker pool
+    /// ([`crate::ExecStrategy::Fast`]).
+    pub pooled_launches: u64,
+    /// Launches run by the legacy per-launch-spawn engine
+    /// ([`crate::ExecStrategy::Lockstep`]).
+    pub legacy_launches: u64,
+    /// OS threads spawned *per launch* (legacy engine only; the pooled
+    /// engine reports 0 here by construction).
+    pub per_launch_thread_spawns: u64,
+    /// Persistent pool threads currently alive.
+    pub pool_threads: u64,
+}
+
+impl ExecStats {
+    /// Adds another device's stats into this one (platform aggregation).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.launches += other.launches;
+        self.pooled_launches += other.pooled_launches;
+        self.legacy_launches += other.legacy_launches;
+        self.per_launch_thread_spawns += other.per_launch_thread_spawns;
+        self.pool_threads += other.pool_threads;
+    }
+}
+
+/// A virtual compute device: spec plus mutable state (memory accounting,
+/// the simulated timeline, and the persistent execution worker pool).
 #[derive(Debug)]
 pub struct Device {
     id: DeviceId,
@@ -140,6 +175,13 @@ pub struct Device {
     /// The device timeline in simulated nanoseconds. Commands enqueued to
     /// this device execute in order at this clock.
     clock_ns: AtomicU64,
+    /// Persistent worker pool; created on the first pooled launch, joined
+    /// on drop.
+    pool: OnceLock<WorkerPool>,
+    launches: AtomicU64,
+    pooled_launches: AtomicU64,
+    legacy_launches: AtomicU64,
+    legacy_thread_spawns: AtomicU64,
 }
 
 impl Device {
@@ -150,6 +192,11 @@ impl Device {
             spec,
             allocated: AtomicUsize::new(0),
             clock_ns: AtomicU64::new(0),
+            pool: OnceLock::new(),
+            launches: AtomicU64::new(0),
+            pooled_launches: AtomicU64::new(0),
+            legacy_launches: AtomicU64::new(0),
+            legacy_thread_spawns: AtomicU64::new(0),
         }
     }
 
@@ -168,9 +215,13 @@ impl Device {
         self.allocated.load(Ordering::Relaxed)
     }
 
-    /// Bytes still available for allocation.
+    /// Bytes still available for allocation. Saturating: concurrent
+    /// reservations may momentarily push the observed allocation past
+    /// capacity, which reads as 0 available rather than underflowing.
     pub fn available_bytes(&self) -> usize {
-        self.spec.memory_bytes - self.allocated_bytes()
+        self.spec
+            .memory_bytes
+            .saturating_sub(self.allocated_bytes())
     }
 
     /// Reserves `bytes` of device memory.
@@ -182,11 +233,11 @@ impl Device {
     pub(crate) fn reserve(&self, bytes: usize) -> crate::Result<()> {
         let mut current = self.allocated.load(Ordering::Relaxed);
         loop {
-            let new = current + bytes;
+            let new = current.saturating_add(bytes);
             if new > self.spec.memory_bytes {
                 return Err(crate::Error::OutOfDeviceMemory {
                     requested: bytes,
-                    available: self.spec.memory_bytes - current,
+                    available: self.spec.memory_bytes.saturating_sub(current),
                 });
             }
             match self.allocated.compare_exchange_weak(
@@ -202,8 +253,51 @@ impl Device {
     }
 
     /// Releases `bytes` of device memory (called by buffer drops).
+    /// Saturating: releasing more than is allocated clamps to 0 instead of
+    /// wrapping into a multi-exabyte phantom allocation.
     pub(crate) fn release(&self, bytes: usize) {
-        self.allocated.fetch_sub(bytes, Ordering::Relaxed);
+        let prev = self
+            .allocated
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            })
+            .expect("fetch_update closure never returns None");
+        debug_assert!(
+            prev >= bytes,
+            "device {} released {bytes} bytes with only {prev} allocated",
+            self.id
+        );
+    }
+
+    /// The persistent execution worker pool, created with `threads` workers
+    /// on first use (later calls reuse the existing pool regardless of
+    /// `threads`).
+    pub(crate) fn worker_pool(&self, threads: usize) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::new(self.id.0, threads))
+    }
+
+    /// Records one launch dispatch for [`Device::exec_stats`].
+    pub(crate) fn note_launch(&self, pooled: bool, spawned_threads: usize) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        if pooled {
+            self.pooled_launches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.legacy_launches.fetch_add(1, Ordering::Relaxed);
+            self.legacy_thread_spawns
+                .fetch_add(spawned_threads as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of this device's host-side execution statistics.
+    pub fn exec_stats(&self) -> ExecStats {
+        ExecStats {
+            launches: self.launches.load(Ordering::Relaxed),
+            pooled_launches: self.pooled_launches.load(Ordering::Relaxed),
+            legacy_launches: self.legacy_launches.load(Ordering::Relaxed),
+            per_launch_thread_spawns: self.legacy_thread_spawns.load(Ordering::Relaxed),
+            pool_threads: self.pool.get().map_or(0, |p| p.threads() as u64),
+        }
     }
 
     /// Current simulated time of this device's timeline in nanoseconds.
@@ -242,6 +336,52 @@ mod tests {
         assert!(d.reserve(1).is_err());
         d.release(1000);
         d.reserve(500).unwrap();
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "released"))]
+    fn over_release_saturates_instead_of_wrapping() {
+        let d = Device::new(DeviceId(0), DeviceSpec::test_tiny());
+        d.reserve(100).unwrap();
+        // Releasing more than allocated is a bookkeeping bug: debug builds
+        // assert, release builds clamp to zero instead of wrapping the
+        // counter into a phantom multi-exabyte allocation.
+        d.release(200);
+        assert_eq!(d.allocated_bytes(), 0);
+        assert_eq!(d.available_bytes(), d.spec().memory_bytes);
+        // Accounting still works afterwards.
+        d.reserve(d.spec().memory_bytes).unwrap();
+        assert!(d.reserve(1).is_err());
+    }
+
+    #[test]
+    fn out_of_memory_error_reports_saturated_available() {
+        let d = Device::new(DeviceId(0), DeviceSpec::test_tiny());
+        d.reserve(d.spec().memory_bytes).unwrap();
+        match d.reserve(usize::MAX) {
+            Err(crate::Error::OutOfDeviceMemory {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, usize::MAX);
+                assert_eq!(available, 0);
+            }
+            other => panic!("expected OutOfDeviceMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_stats_start_empty() {
+        let d = Device::new(DeviceId(0), DeviceSpec::test_tiny());
+        assert_eq!(d.exec_stats(), ExecStats::default());
+        d.note_launch(true, 0);
+        d.note_launch(false, 4);
+        let s = d.exec_stats();
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.pooled_launches, 1);
+        assert_eq!(s.legacy_launches, 1);
+        assert_eq!(s.per_launch_thread_spawns, 4);
+        assert_eq!(s.pool_threads, 0); // no pool created yet
     }
 
     #[test]

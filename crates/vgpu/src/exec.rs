@@ -6,19 +6,70 @@
 //! only proceeds past a barrier once *all* items arrived at the *same*
 //! barrier site, which is checked and reported as
 //! [`Error::BarrierDivergence`] instead of OpenCL's undefined behaviour.
+//!
+//! Two execution strategies exist, selectable per launch via
+//! [`LaunchConfig::strategy`] (default from `SKELCL_VGPU_EXEC`):
+//!
+//! * [`ExecStrategy::Fast`] — launches run on the device's persistent
+//!   [worker pool](crate::pool): a launch costs a queue push instead of N
+//!   thread spawns. Kernels whose [`KernelInfo::barrier_count`] is zero
+//!   additionally take the **barrier-free fast path**: one reusable
+//!   [`WorkItem`] per pool thread is [`reset`](WorkItem::reset) per item and
+//!   run to completion in a tight loop, skipping the lockstep-round
+//!   machinery and all per-item allocation. Kernels *with* barriers keep
+//!   lockstep rounds (on pooled, reusable items).
+//! * [`ExecStrategy::Lockstep`] — the legacy engine: scoped threads spawned
+//!   per launch, a fresh `WorkItem` per work-item, and the reference
+//!   interpreter ([`WorkItem::run_reference`]). Kept precisely so the
+//!   `interp` benchmark can A/B the whole optimisation stack and the
+//!   equivalence tests have a semantic baseline.
+//!
+//! Both strategies iterate the items of a group in the same (row-major
+//! local-id) order, so even racy barrier-free kernels produce bit-identical
+//! buffers within a group, and [`CostCounters`] are identical by
+//! construction — simulated-time results cannot drift with the strategy.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use skelcl_kernel::program::{KernelInfo, Program};
 use skelcl_kernel::types::AddressSpace;
 use skelcl_kernel::value::{Ptr, Value};
-use skelcl_kernel::vm::{CostCounters, Exit, ItemGeometry, WorkItem};
+use skelcl_kernel::vm::{CostCounters, Exit, ItemGeometry, RuntimeError, WorkItem};
 
 use crate::cost::Toolchain;
+use crate::device::Device;
 use crate::error::{Error, Result};
 use crate::memory::BufferTable;
 use crate::ndrange::NdRange;
+
+/// Which execution engine runs a launch (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// Legacy engine: per-launch scoped threads, per-item `WorkItem`
+    /// construction, reference interpreter.
+    Lockstep,
+    /// Pooled engine with the barrier-free fast path and the optimised
+    /// interpreter.
+    Fast,
+}
+
+impl ExecStrategy {
+    /// Reads the strategy from `SKELCL_VGPU_EXEC` (`lockstep` or `fast`);
+    /// unset or unrecognised values mean [`ExecStrategy::Fast`].
+    pub fn from_env() -> Self {
+        match std::env::var("SKELCL_VGPU_EXEC").as_deref() {
+            Ok("lockstep") => ExecStrategy::Lockstep,
+            _ => ExecStrategy::Fast,
+        }
+    }
+}
+
+impl Default for ExecStrategy {
+    fn default() -> Self {
+        ExecStrategy::from_env()
+    }
+}
 
 /// Tuning knobs for a kernel launch.
 #[derive(Debug, Clone)]
@@ -32,6 +83,9 @@ pub struct LaunchConfig {
     /// Number of host threads executing work-groups (`None`: one per
     /// available CPU).
     pub host_threads: Option<usize>,
+    /// Which execution engine to use (default: `SKELCL_VGPU_EXEC`, falling
+    /// back to [`ExecStrategy::Fast`]).
+    pub strategy: ExecStrategy,
 }
 
 impl Default for LaunchConfig {
@@ -40,6 +94,7 @@ impl Default for LaunchConfig {
             toolchain: Toolchain::OpenCl,
             ops_budget_per_item: 1 << 34,
             host_threads: None,
+            strategy: ExecStrategy::default(),
         }
     }
 }
@@ -55,8 +110,428 @@ impl LaunchConfig {
     }
 }
 
-/// Executes a launch and returns the aggregated counters.
+/// Everything the pool workers need to execute one launch. Shared as an
+/// `Arc` with every participating worker; owns clones of the program and
+/// argument values so it is `'static` (pool threads outlive the launch
+/// call frame, unlike the legacy scoped threads).
+pub(crate) struct LaunchState {
+    program: Program,
+    kernel: KernelInfo,
+    args: Vec<Value>,
+    buffers: BufferTable,
+    range: NdRange,
+    local_bytes: usize,
+    ops_budget: u64,
+    /// Whether groups take the barrier-free fast path.
+    fast: bool,
+    group_counts: [usize; 3],
+    total_groups: usize,
+    next_group: AtomicUsize,
+    abort: AtomicBool,
+    failure: Mutex<Option<Error>>,
+    totals: Mutex<CostCounters>,
+    /// Completion latch, shared separately from the payload so a worker
+    /// can release its payload reference *before* arriving.
+    latch: Arc<Latch>,
+}
+
+/// Completion latch for one launch. Lives in its own `Arc`, apart from the
+/// [`LaunchState`] payload: a worker must be able to drop its state clone
+/// (and with it the buffer-table reference) *before* signalling, otherwise
+/// the caller can observe the launch as complete — and free the containers
+/// — while a descheduled worker still pins the buffers.
+#[derive(Debug, Default)]
+pub(crate) struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    /// Declares `participants` arrivals outstanding.
+    fn begin(&self, participants: usize) {
+        *self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = participants;
+    }
+
+    /// Marks one participant done, waking the waiter on the last.
+    pub(crate) fn arrive(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every declared participant has arrived.
+    fn wait(&self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *remaining > 0 {
+            remaining = self
+                .done
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl LaunchState {
+    fn new(
+        program: &Program,
+        kernel: &KernelInfo,
+        args: &[Value],
+        buffers: &BufferTable,
+        range: &NdRange,
+        local_bytes: usize,
+        config: &LaunchConfig,
+    ) -> Self {
+        LaunchState {
+            program: program.clone(),
+            kernel: kernel.clone(),
+            args: args.to_vec(),
+            buffers: buffers.clone(),
+            range: *range,
+            local_bytes,
+            ops_budget: config.ops_budget_per_item,
+            fast: kernel.barrier_count == 0,
+            group_counts: range.group_counts(),
+            total_groups: range.total_groups(),
+            next_group: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            totals: Mutex::new(CostCounters::default()),
+            latch: Arc::new(Latch::default()),
+        }
+    }
+
+    /// Declares `participants` workers about to run this launch.
+    pub(crate) fn begin(&self, participants: usize) {
+        self.latch.begin(participants);
+    }
+
+    /// A handle to the launch's completion latch. Workers clone this, drop
+    /// their [`LaunchState`] reference, and only then arrive.
+    pub(crate) fn latch(&self) -> Arc<Latch> {
+        Arc::clone(&self.latch)
+    }
+
+    /// Records a failure (first one wins) and asks other workers to stop.
+    pub(crate) fn fail(&self, e: Error) {
+        self.abort.store(true, Ordering::Relaxed);
+        self.failure
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_insert(e);
+    }
+
+    /// Marks one participant done, waking the launch caller on the last.
+    /// Callers that hold their own `Arc<LaunchState>` clone should instead
+    /// drop it and arrive on the [`LaunchState::latch`] handle.
+    pub(crate) fn finish_participant(&self) {
+        self.latch.arrive();
+    }
+
+    /// Blocks until every participant declared by [`LaunchState::begin`]
+    /// has finished.
+    pub(crate) fn wait(&self) {
+        self.latch.wait();
+    }
+
+    /// The launch outcome: the first failure, or the merged counters.
+    fn outcome(&self) -> Result<CostCounters> {
+        if let Some(e) = self
+            .failure
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            return Err(e);
+        }
+        Ok(*self.totals.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn group_id(&self, g: usize) -> [u64; 3] {
+        let gx = g % self.group_counts[0];
+        let gy = (g / self.group_counts[0]) % self.group_counts[1];
+        let gz = g / (self.group_counts[0] * self.group_counts[1]);
+        [gx as u64, gy as u64, gz as u64]
+    }
+}
+
+/// Per-worker reusable execution state. Owned by a pool thread and kept
+/// across launches, so in steady state a launch performs no `WorkItem` or
+/// local-memory allocation at all.
+#[derive(Default)]
+pub(crate) struct WorkerScratch {
+    /// The single reusable item of the barrier-free fast path.
+    item: Option<WorkItem>,
+    /// Reusable items of the pooled lockstep path (one per work-item of the
+    /// largest group seen so far).
+    items: Vec<WorkItem>,
+    /// The work-group's local-memory arena.
+    local_mem: Vec<u8>,
+}
+
+/// One worker's share of a launch: pulls group indices off the shared
+/// counter until the launch is drained or aborted. Called by pool threads;
+/// the pool wraps it in `catch_unwind` and always calls
+/// [`LaunchState::finish_participant`] afterwards.
+pub(crate) fn run_worker(state: &LaunchState, scratch: &mut WorkerScratch) {
+    let mut local_counters = CostCounters::default();
+    loop {
+        if state.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let g = state.next_group.fetch_add(1, Ordering::Relaxed);
+        if g >= state.total_groups {
+            break;
+        }
+        let group_id = state.group_id(g);
+        let result = if state.fast {
+            run_group_fast(state, scratch, group_id)
+        } else {
+            run_group_lockstep(state, scratch, group_id)
+        };
+        match result {
+            Ok(c) => local_counters.merge(&c),
+            Err(e) => {
+                state.fail(e);
+                break;
+            }
+        }
+    }
+    state
+        .totals
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .merge(&local_counters);
+}
+
+/// The geometry of the work-item at `local_id` within group `group_id`.
+fn item_geometry(
+    range: &NdRange,
+    group_counts: [usize; 3],
+    group_id: [u64; 3],
+    local_id: [u64; 3],
+) -> ItemGeometry {
+    ItemGeometry {
+        work_dim: range.dims,
+        global_id: [
+            group_id[0] * range.local[0] as u64 + local_id[0],
+            group_id[1] * range.local[1] as u64 + local_id[1],
+            group_id[2] * range.local[2] as u64 + local_id[2],
+        ],
+        local_id,
+        group_id,
+        global_size: [
+            range.global[0] as u64,
+            range.global[1] as u64,
+            range.global[2] as u64,
+        ],
+        local_size: [
+            range.local[0] as u64,
+            range.local[1] as u64,
+            range.local[2] as u64,
+        ],
+        num_groups: [
+            group_counts[0] as u64,
+            group_counts[1] as u64,
+            group_counts[2] as u64,
+        ],
+    }
+}
+
+/// Rearms `item` (or creates it on first use) for the work-item at
+/// `local_id` and binds static `__local` arrays.
+fn arm_item<'a>(
+    slot: &'a mut Option<WorkItem>,
+    state: &LaunchState,
+    geometry: ItemGeometry,
+) -> &'a mut WorkItem {
+    let item = match slot {
+        Some(item) => {
+            item.reset(&state.program, state.kernel.func, &state.args, geometry);
+            item
+        }
+        None => slot.insert(WorkItem::new(
+            &state.program,
+            state.kernel.func,
+            &state.args,
+            geometry,
+        )),
+    };
+    item.set_ops_budget(state.ops_budget);
+    for b in &state.kernel.local_arrays {
+        item.bind_entry_slot(
+            b.slot,
+            Value::Ptr(Ptr {
+                space: AddressSpace::Local,
+                buffer: 0,
+                byte_offset: b.byte_offset as i64,
+            }),
+        );
+    }
+    item
+}
+
+/// Barrier-free fast path: each item runs start-to-finish on one reusable
+/// `WorkItem`, in the same row-major order the lockstep path would use.
+fn run_group_fast(
+    state: &LaunchState,
+    scratch: &mut WorkerScratch,
+    group_id: [u64; 3],
+) -> Result<CostCounters> {
+    let range = &state.range;
+    scratch.local_mem.clear();
+    scratch.local_mem.resize(state.local_bytes, 0);
+    let mut counters = CostCounters::default();
+    for lz in 0..range.local[2] {
+        for ly in 0..range.local[1] {
+            for lx in 0..range.local[0] {
+                let local_id = [lx as u64, ly as u64, lz as u64];
+                let geometry = item_geometry(range, state.group_counts, group_id, local_id);
+                let global_id = geometry.global_id;
+                let item = arm_item(&mut scratch.item, state, geometry);
+                match item.run(&state.buffers, &mut scratch.local_mem) {
+                    Ok(Exit::Done) => counters.merge(&item.counters),
+                    Ok(Exit::Barrier(_)) => {
+                        // barrier_count == 0 guaranteed no barrier sites.
+                        return Err(Error::Launch {
+                            kernel: state.kernel.name.clone(),
+                            global_id,
+                            error: RuntimeError::Internal(
+                                "barrier reached on the barrier-free fast path".into(),
+                            ),
+                        });
+                    }
+                    Err(error) => {
+                        return Err(Error::Launch {
+                            kernel: state.kernel.name.clone(),
+                            global_id,
+                            error,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(counters)
+}
+
+/// Pooled lockstep path for kernels with barriers: the classic round
+/// machinery, but on reusable `WorkItem`s and the optimised interpreter.
+fn run_group_lockstep(
+    state: &LaunchState,
+    scratch: &mut WorkerScratch,
+    group_id: [u64; 3],
+) -> Result<CostCounters> {
+    let range = &state.range;
+    let items_per_group = range.items_per_group();
+    scratch.local_mem.clear();
+    scratch.local_mem.resize(state.local_bytes, 0);
+
+    let mut idx = 0;
+    for lz in 0..range.local[2] {
+        for ly in 0..range.local[1] {
+            for lx in 0..range.local[0] {
+                let local_id = [lx as u64, ly as u64, lz as u64];
+                let geometry = item_geometry(range, state.group_counts, group_id, local_id);
+                if idx == scratch.items.len() {
+                    scratch.items.push(WorkItem::new(
+                        &state.program,
+                        state.kernel.func,
+                        &state.args,
+                        geometry,
+                    ));
+                } else {
+                    scratch.items[idx].reset(
+                        &state.program,
+                        state.kernel.func,
+                        &state.args,
+                        geometry,
+                    );
+                }
+                let item = &mut scratch.items[idx];
+                item.set_ops_budget(state.ops_budget);
+                for b in &state.kernel.local_arrays {
+                    item.bind_entry_slot(
+                        b.slot,
+                        Value::Ptr(Ptr {
+                            space: AddressSpace::Local,
+                            buffer: 0,
+                            byte_offset: b.byte_offset as i64,
+                        }),
+                    );
+                }
+                idx += 1;
+            }
+        }
+    }
+    let items = &mut scratch.items[..items_per_group];
+
+    // Lockstep rounds across barriers.
+    loop {
+        let mut barrier: Option<u32> = None;
+        let mut any_done = false;
+        for item in items.iter_mut() {
+            if item.is_finished() {
+                any_done = true;
+                continue;
+            }
+            let global_id = item.geometry().global_id;
+            let exit = item
+                .run(&state.buffers, &mut scratch.local_mem)
+                .map_err(|error| Error::Launch {
+                    kernel: state.kernel.name.clone(),
+                    global_id,
+                    error,
+                })?;
+            match exit {
+                Exit::Done => any_done = true,
+                Exit::Barrier(id) => match barrier {
+                    None => barrier = Some(id),
+                    Some(prev) if prev == id => {}
+                    Some(_) => {
+                        return Err(Error::BarrierDivergence {
+                            kernel: state.kernel.name.clone(),
+                            group_id,
+                        })
+                    }
+                },
+            }
+        }
+        match barrier {
+            None => break, // every item finished
+            Some(_) if any_done => {
+                // Some items finished while others wait at a barrier: the
+                // barrier can never be satisfied.
+                return Err(Error::BarrierDivergence {
+                    kernel: state.kernel.name.clone(),
+                    group_id,
+                });
+            }
+            Some(_) => {} // all at the same barrier: next round resumes them
+        }
+    }
+
+    let mut counters = CostCounters::default();
+    for item in items.iter() {
+        counters.merge(&item.counters);
+    }
+    Ok(counters)
+}
+
+/// Executes a launch on `device` and returns the aggregated counters.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_launch(
+    device: &Device,
     program: &Program,
     kernel: &KernelInfo,
     args: &[Value],
@@ -65,7 +540,6 @@ pub(crate) fn execute_launch(
     local_bytes: usize,
     config: &LaunchConfig,
 ) -> Result<CostCounters> {
-    let group_counts = range.group_counts();
     let total_groups = range.total_groups();
     if total_groups == 0 {
         return Ok(CostCounters::default());
@@ -78,7 +552,56 @@ pub(crate) fn execute_launch(
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
-        .clamp(1, total_groups);
+        .max(1);
+
+    match config.strategy {
+        ExecStrategy::Fast => {
+            let state = Arc::new(LaunchState::new(
+                program,
+                kernel,
+                args,
+                buffers,
+                range,
+                local_bytes,
+                config,
+            ));
+            let pool = device.worker_pool(threads);
+            device.note_launch(true, 0);
+            pool.run(&state);
+            state.outcome()
+        }
+        ExecStrategy::Lockstep => {
+            let threads = threads.min(total_groups);
+            device.note_launch(false, threads);
+            execute_launch_legacy(
+                program,
+                kernel,
+                args,
+                buffers,
+                range,
+                local_bytes,
+                config,
+                threads,
+            )
+        }
+    }
+}
+
+/// The legacy engine: scoped threads spawned per launch, fresh `WorkItem`s
+/// per item, reference interpreter. The `interp` benchmark's baseline.
+#[allow(clippy::too_many_arguments)]
+fn execute_launch_legacy(
+    program: &Program,
+    kernel: &KernelInfo,
+    args: &[Value],
+    buffers: &BufferTable,
+    range: &NdRange,
+    local_bytes: usize,
+    config: &LaunchConfig,
+    threads: usize,
+) -> Result<CostCounters> {
+    let group_counts = range.group_counts();
+    let total_groups = range.total_groups();
 
     let next_group = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
@@ -100,7 +623,7 @@ pub(crate) fn execute_launch(
                     let gx = g % group_counts[0];
                     let gy = (g / group_counts[0]) % group_counts[1];
                     let gz = g / (group_counts[0] * group_counts[1]);
-                    match run_group(
+                    match run_group_reference(
                         program,
                         kernel,
                         args,
@@ -130,9 +653,10 @@ pub(crate) fn execute_launch(
     Ok(totals.into_inner().expect("totals mutex"))
 }
 
-/// Runs one work-group's items in lockstep rounds.
+/// Runs one work-group's items in lockstep rounds with fresh `WorkItem`s on
+/// the reference interpreter (legacy engine).
 #[allow(clippy::too_many_arguments)]
-fn run_group(
+fn run_group_reference(
     program: &Program,
     kernel: &KernelInfo,
     args: &[Value],
@@ -151,32 +675,7 @@ fn run_group(
         for ly in 0..range.local[1] {
             for lx in 0..range.local[0] {
                 let local_id = [lx as u64, ly as u64, lz as u64];
-                let global_id = [
-                    group_id[0] * range.local[0] as u64 + local_id[0],
-                    group_id[1] * range.local[1] as u64 + local_id[1],
-                    group_id[2] * range.local[2] as u64 + local_id[2],
-                ];
-                let geometry = ItemGeometry {
-                    work_dim: range.dims,
-                    global_id,
-                    local_id,
-                    group_id,
-                    global_size: [
-                        range.global[0] as u64,
-                        range.global[1] as u64,
-                        range.global[2] as u64,
-                    ],
-                    local_size: [
-                        range.local[0] as u64,
-                        range.local[1] as u64,
-                        range.local[2] as u64,
-                    ],
-                    num_groups: [
-                        group_counts[0] as u64,
-                        group_counts[1] as u64,
-                        group_counts[2] as u64,
-                    ],
-                };
+                let geometry = item_geometry(range, group_counts, group_id, local_id);
                 let mut item = WorkItem::new(program, kernel.func, args, geometry);
                 item.set_ops_budget(config.ops_budget_per_item);
                 for b in &kernel.local_arrays {
@@ -205,7 +704,7 @@ fn run_group(
             }
             let global_id = item.geometry().global_id;
             let exit = item
-                .run(buffers, &mut local_mem)
+                .run_reference(buffers, &mut local_mem)
                 .map_err(|error| Error::Launch {
                     kernel: kernel.name.clone(),
                     global_id,
@@ -228,8 +727,6 @@ fn run_group(
         match barrier {
             None => break, // every item finished
             Some(_) if any_done => {
-                // Some items finished while others wait at a barrier: the
-                // barrier can never be satisfied.
                 return Err(Error::BarrierDivergence {
                     kernel: kernel.name.clone(),
                     group_id,

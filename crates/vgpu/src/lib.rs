@@ -67,13 +67,14 @@ mod exec;
 pub mod memory;
 pub mod ndrange;
 pub mod platform;
+mod pool;
 pub mod queue;
 
 pub use cost::Toolchain;
-pub use device::{Device, DeviceId, DeviceSpec};
+pub use device::{Device, DeviceId, DeviceSpec, ExecStats};
 pub use error::{Error, Result};
 pub use event::{CommandKind, Event, EventStatus};
-pub use exec::LaunchConfig;
+pub use exec::{ExecStrategy, LaunchConfig};
 pub use memory::DeviceBuffer;
 pub use ndrange::NdRange;
 pub use platform::Platform;

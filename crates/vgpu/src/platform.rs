@@ -92,6 +92,16 @@ impl Platform {
     pub fn queue(&self, index: usize) -> CommandQueue {
         CommandQueue::new(self.devices[index].clone())
     }
+
+    /// Host-side execution statistics aggregated over all devices (launch
+    /// dispatch counts, per-launch thread spawns, live pool threads).
+    pub fn exec_stats(&self) -> crate::device::ExecStats {
+        let mut total = crate::device::ExecStats::default();
+        for d in &self.devices {
+            total.merge(&d.exec_stats());
+        }
+        total
+    }
 }
 
 impl Default for Platform {

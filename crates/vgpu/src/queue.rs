@@ -715,6 +715,7 @@ fn execute_op(
                 .ok_or_else(|| Error::UnknownKernel { name: name.clone() })?;
             let table = BufferTable { buffers };
             let counters = execute_launch(
+                device,
                 &program,
                 kernel,
                 &values,

@@ -1,0 +1,304 @@
+//! Equivalence and routing tests for the two execution engines.
+//!
+//! The pooled fast engine ([`vgpu::ExecStrategy::Fast`]) must be
+//! observationally identical to the legacy lockstep engine
+//! ([`vgpu::ExecStrategy::Lockstep`]): bit-identical buffers and identical
+//! [`CostCounters`] — otherwise simulated-time results would drift with the
+//! optimisation. Kernels **with** barriers must keep lockstep-round
+//! semantics even on the fast strategy (the barrier-free path would fault
+//! on a barrier, so success here *is* the routing proof).
+
+use proptest::prelude::*;
+
+use skelcl_kernel::compile;
+use skelcl_kernel::program::Program;
+use skelcl_kernel::value::Value;
+use skelcl_kernel::vm::CostCounters;
+use vgpu::{DeviceSpec, Event, ExecStrategy, KernelArg, LaunchConfig, NdRange, Platform};
+
+fn config(strategy: ExecStrategy) -> LaunchConfig {
+    LaunchConfig {
+        strategy,
+        ..LaunchConfig::default()
+    }
+}
+
+/// Launches `kernel` over `range` on device `device` of a fresh platform,
+/// returning the output buffer bytes and the launch counters.
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    program: &Program,
+    kernel: &str,
+    input: &[u8],
+    out_len: usize,
+    extra_args: &[KernelArg],
+    range: NdRange,
+    devices: usize,
+    device: usize,
+    strategy: ExecStrategy,
+) -> (Vec<u8>, CostCounters, Event) {
+    let platform = Platform::new(devices, DeviceSpec::tesla_t10());
+    let queue = platform.queue(device);
+    let a = queue.create_buffer(input.len().max(1)).unwrap();
+    let b = queue.create_buffer(out_len.max(1)).unwrap();
+    if !input.is_empty() {
+        queue.enqueue_write(&a, 0, input).unwrap();
+    }
+    let mut args = vec![KernelArg::Buffer(a), KernelArg::Buffer(b.clone())];
+    args.extend_from_slice(extra_args);
+    let event = queue
+        .launch_kernel(program, kernel, &args, range, &config(strategy))
+        .unwrap();
+    let mut out = vec![0u8; out_len];
+    if out_len > 0 {
+        queue.enqueue_read(&b, 0, &mut out).unwrap();
+    }
+    let counters = event.counters().expect("kernel events carry counters");
+    (out, counters, event)
+}
+
+fn f32s(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn i32s(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Barrier-free kernels: bit-identical buffers and identical counters
+    /// under both engines, across 1–4 devices.
+    #[test]
+    fn barrier_free_paths_agree(
+        data in proptest::collection::vec(any::<f32>(), 1..400),
+        devices in 1usize..=4,
+    ) {
+        let program = compile(
+            "ew.cl",
+            "float f(float x, int i){ return x * 0.5f + (float)(i % 7); }
+             __kernel void ew(__global const float* in, __global float* out, int n){
+                 int i = (int)get_global_id(0);
+                 if (i < n) out[i] = f(in[i], i) * in[i] - 1.0f;
+             }",
+        ).unwrap();
+        prop_assert_eq!(program.kernel("ew").unwrap().barrier_count, 0);
+        let n = data.len();
+        let input = f32s(&data);
+        let extra = [KernelArg::Scalar(Value::I32(n as i32))];
+        let range = NdRange::linear_default(n);
+        let device = devices - 1;
+        let (fast, fast_c, _) = run_once(
+            &program, "ew", &input, n * 4, &extra, range,
+            devices, device, ExecStrategy::Fast,
+        );
+        let (lockstep, lockstep_c, _) = run_once(
+            &program, "ew", &input, n * 4, &extra, range,
+            devices, device, ExecStrategy::Lockstep,
+        );
+        prop_assert_eq!(fast, lockstep, "buffers must be bit-identical");
+        prop_assert_eq!(fast_c, lockstep_c, "counters must be identical");
+    }
+
+    /// Kernels *with* barriers keep lockstep-round semantics on the fast
+    /// strategy: same results as the legacy engine, and no fast-path fault
+    /// (which a misrouted barrier kernel would produce).
+    #[test]
+    fn barrier_kernels_never_take_fast_path(
+        data in proptest::collection::vec(any::<i32>(), 1..6),
+        devices in 1usize..=4,
+    ) {
+        let program = compile(
+            "rev.cl",
+            "__kernel void rev(__global const int* in, __global int* out){
+                 __local int tile[64];
+                 int lid = (int)get_local_id(0);
+                 int n = (int)get_local_size(0);
+                 tile[lid] = in[get_global_id(0)];
+                 barrier(CLK_LOCAL_MEM_FENCE);
+                 out[get_global_id(0)] = tile[n - 1 - lid];
+             }",
+        ).unwrap();
+        prop_assert!(program.kernel("rev").unwrap().barrier_count > 0);
+        // `data` seeds the group count: one group of 64 items per element.
+        let groups = data.len();
+        let n = groups * 64;
+        let values: Vec<i32> = (0..n).map(|i| {
+            data[i / 64].wrapping_mul(31).wrapping_add(i as i32)
+        }).collect();
+        let input = i32s(&values);
+        let range = NdRange::linear(n, 64);
+        let device = devices - 1;
+        let (fast, fast_c, _) = run_once(
+            &program, "rev", &input, n * 4, &[], range,
+            devices, device, ExecStrategy::Fast,
+        );
+        let (lockstep, lockstep_c, _) = run_once(
+            &program, "rev", &input, n * 4, &[], range,
+            devices, device, ExecStrategy::Lockstep,
+        );
+        prop_assert_eq!(fast, lockstep, "buffers must be bit-identical");
+        prop_assert_eq!(fast_c, lockstep_c, "counters must be identical");
+    }
+}
+
+/// `CostCounters.ops` (and every other counter) for a fixed kernel is
+/// identical across the engines, so simulated-time results cannot drift
+/// with the optimisation (no double-counting in the new dispatch loop).
+#[test]
+fn counter_ops_identical_across_engines() {
+    let program = compile(
+        "mix.cl",
+        "int collatz_steps(int x){
+             int steps = 0;
+             while (x > 1 && steps < 200) {
+                 x = (x % 2 == 0) ? x / 2 : 3 * x + 1;
+                 steps++;
+             }
+             return steps;
+         }
+         __kernel void mix(__global const int* in, __global int* out, int n){
+             int i = (int)get_global_id(0);
+             if (i < n) out[i] = collatz_steps(in[i] % 1000 + 1);
+         }",
+    )
+    .unwrap();
+    let n = 3000usize;
+    let values: Vec<i32> = (0..n as i32).map(|i| i * 7 + 1).collect();
+    let input = i32s(&values);
+    let extra = [KernelArg::Scalar(Value::I32(n as i32))];
+    let range = NdRange::linear_default(n);
+    let (fast, fast_c, _) = run_once(
+        &program,
+        "mix",
+        &input,
+        n * 4,
+        &extra,
+        range,
+        1,
+        0,
+        ExecStrategy::Fast,
+    );
+    let (lockstep, lockstep_c, _) = run_once(
+        &program,
+        "mix",
+        &input,
+        n * 4,
+        &extra,
+        range,
+        1,
+        0,
+        ExecStrategy::Lockstep,
+    );
+    assert_eq!(fast, lockstep);
+    assert_eq!(fast_c.ops, lockstep_c.ops, "instruction counts must match");
+    assert_eq!(fast_c, lockstep_c, "all counters must match");
+    assert!(fast_c.ops > n as u64, "kernel actually executed work");
+}
+
+/// The pooled engine spawns zero threads per launch; the legacy engine
+/// spawns some every launch. `ExecStats` is how the benchmark proves it.
+#[test]
+fn pooled_launches_spawn_zero_threads() {
+    let program = compile(
+        "nop.cl",
+        "__kernel void nop(__global int* out){ out[get_global_id(0)] = 1; }",
+    )
+    .unwrap();
+    let platform = Platform::new(2, DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let buf = queue.create_buffer(256 * 4).unwrap();
+    let range = NdRange::linear(256, 64);
+
+    for _ in 0..5 {
+        queue
+            .launch_kernel(
+                &program,
+                "nop",
+                &[KernelArg::Buffer(buf.clone())],
+                range,
+                &config(ExecStrategy::Fast),
+            )
+            .unwrap();
+    }
+    let stats = platform.exec_stats();
+    assert_eq!(stats.launches, 5);
+    assert_eq!(stats.pooled_launches, 5);
+    assert_eq!(stats.legacy_launches, 0);
+    assert_eq!(
+        stats.per_launch_thread_spawns, 0,
+        "pooled launches must not spawn threads"
+    );
+    assert!(stats.pool_threads >= 1, "device 0's pool is alive");
+
+    // The legacy engine pays thread spawns on every launch.
+    for _ in 0..3 {
+        queue
+            .launch_kernel(
+                &program,
+                "nop",
+                &[KernelArg::Buffer(buf.clone())],
+                range,
+                &config(ExecStrategy::Lockstep),
+            )
+            .unwrap();
+    }
+    let stats = platform.exec_stats();
+    assert_eq!(stats.launches, 8);
+    assert_eq!(stats.legacy_launches, 3);
+    assert!(
+        stats.per_launch_thread_spawns >= 3,
+        "legacy launches spawn at least one thread each, got {}",
+        stats.per_launch_thread_spawns
+    );
+}
+
+/// Faults surface identically through both engines (first faulting item in
+/// group order), and a faulted pool stays usable for the next launch.
+#[test]
+fn faults_equivalent_and_pool_survives() {
+    let program = compile(
+        "oob.cl",
+        "__kernel void oob(__global int* out, int n) {
+             int i = (int)get_global_id(0);
+             out[i + n] = i;
+         }",
+    )
+    .unwrap();
+    let platform = Platform::single(DeviceSpec::tesla_t10());
+    let queue = platform.queue(0);
+    let out = queue.create_buffer(8 * 4).unwrap();
+    let args = [
+        KernelArg::Buffer(out.clone()),
+        KernelArg::Scalar(Value::I32(4)),
+    ];
+    let range = NdRange::linear(8, 8);
+
+    let fast_err = queue
+        .launch_kernel(&program, "oob", &args, range, &config(ExecStrategy::Fast))
+        .unwrap_err();
+    let lockstep_err = queue
+        .launch_kernel(
+            &program,
+            "oob",
+            &args,
+            range,
+            &config(ExecStrategy::Lockstep),
+        )
+        .unwrap_err();
+    assert_eq!(fast_err.to_string(), lockstep_err.to_string());
+
+    // The pool is not poisoned: a good launch on the same device succeeds.
+    let ok = compile(
+        "ok.cl",
+        "__kernel void ok(__global int* out, int n){
+             int i = (int)get_global_id(0);
+             if (i < n) out[i] = i;
+         }",
+    )
+    .unwrap();
+    queue
+        .launch_kernel(&ok, "ok", &args, range, &config(ExecStrategy::Fast))
+        .unwrap();
+}

@@ -34,7 +34,13 @@ figures:
     cargo run --release -p skelcl-bench --bin fig4_mandelbrot
     cargo run --release -p skelcl-bench --bin fig5_sobel
     cargo run --release -p skelcl-bench --bin scaling
+    cargo run --release -p skelcl-bench --bin interp
     cargo run --release -p skelcl-bench --bin loc_table
+
+# A/B the two vgpu execution engines (EXT-INTERP): pooled fast engine vs
+# legacy lockstep, with bit-identical-output checks and spawn accounting.
+bench-interp:
+    cargo run --release -p skelcl-bench --bin interp
 
 # Regenerate the reports into a scratch directory and diff them against
 # the committed baselines in bench/baselines/ (exits non-zero on any
@@ -44,6 +50,7 @@ bench-gate:
     SKELCL_BENCH_DIR=target/bench-fresh cargo run --release -p skelcl-bench --bin fig4_mandelbrot
     SKELCL_BENCH_DIR=target/bench-fresh cargo run --release -p skelcl-bench --bin fig5_sobel
     SKELCL_BENCH_DIR=target/bench-fresh cargo run --release -p skelcl-bench --bin scaling
+    SKELCL_BENCH_DIR=target/bench-fresh cargo run --release -p skelcl-bench --bin interp
     cargo run --release -p skelcl-bench --bin bench_gate -- bench/baselines target/bench-fresh
 
 # Refresh the committed baselines after an intentional perf change.
@@ -51,6 +58,7 @@ bench-baseline:
     SKELCL_BENCH_DIR=bench/baselines cargo run --release -p skelcl-bench --bin fig4_mandelbrot
     SKELCL_BENCH_DIR=bench/baselines cargo run --release -p skelcl-bench --bin fig5_sobel
     SKELCL_BENCH_DIR=bench/baselines cargo run --release -p skelcl-bench --bin scaling
+    SKELCL_BENCH_DIR=bench/baselines cargo run --release -p skelcl-bench --bin interp
 
 # Quickstart with profiling: prints the metrics summary and writes
 # trace.json for chrome://tracing.
