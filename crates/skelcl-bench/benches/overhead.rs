@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use skelcl::engine::LaunchPlan;
 use skelcl::{Context, DeviceSelection, Map, Reduce, Vector, Zip};
 use skelcl_kernel::value::Value;
+use skelcl_profile::{FlightRecorder, Profiler};
 use vgpu::{DeviceSpec, KernelArg, LaunchConfig, NdRange, Platform};
 
 const N: usize = 1 << 14;
@@ -144,10 +145,72 @@ fn bench_async_engine_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_flight_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_flight_recorder");
+    group.sample_size(10);
+    let program = skelcl_kernel::compile("scale.cl", SCALE_SRC).unwrap();
+    let bytes: Vec<u8> = (0..N).flat_map(|i| (i as f32).to_le_bytes()).collect();
+
+    // Baseline: one pooled launch on a queue with no observer installed.
+    {
+        let platform = Platform::single(DeviceSpec::tesla_t10());
+        let queue = platform.queue(0);
+        let buf = queue.create_buffer(4 * N).unwrap();
+        queue.enqueue_write(&buf, 0, &bytes).unwrap();
+        let args = [
+            KernelArg::Buffer(buf),
+            KernelArg::Scalar(Value::I32(N as i32)),
+        ];
+        group.bench_function("no_observer", |bch| {
+            bch.iter(|| {
+                queue
+                    .launch_kernel(
+                        &program,
+                        "scale",
+                        &args,
+                        NdRange::linear_default(N),
+                        &LaunchConfig::default(),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+
+    // Same launch with the flight recorder riding the queue observer (the
+    // `SKELCL_FLIGHT` configuration): three ring writes per command.
+    {
+        let platform = Platform::single(DeviceSpec::tesla_t10());
+        let queue = platform.queue(0);
+        let flight = FlightRecorder::with_capacity(1 << 12);
+        flight.attach_queue(&Profiler::disabled(), &queue);
+        let buf = queue.create_buffer(4 * N).unwrap();
+        queue.enqueue_write(&buf, 0, &bytes).unwrap();
+        let args = [
+            KernelArg::Buffer(buf),
+            KernelArg::Scalar(Value::I32(N as i32)),
+        ];
+        group.bench_function("flight_recorder", |bch| {
+            bch.iter(|| {
+                queue
+                    .launch_kernel(
+                        &program,
+                        "scale",
+                        &args,
+                        NdRange::linear_default(N),
+                        &LaunchConfig::default(),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_map_overhead,
     bench_zip_reduce_overhead,
-    bench_async_engine_overhead
+    bench_async_engine_overhead,
+    bench_flight_recorder_overhead
 );
 criterion_main!(benches);

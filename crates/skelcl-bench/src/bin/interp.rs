@@ -24,6 +24,7 @@ use skelcl_kernel::value::Value;
 use skelcl_kernel::vm::CostCounters;
 use skelcl_profile::json::Json;
 use skelcl_profile::report::bench_report;
+use skelcl_profile::{FlightRecorder, Profiler};
 use vgpu::{DeviceSpec, ExecStats, ExecStrategy, KernelArg, LaunchConfig, NdRange, Platform};
 
 const DEVICES: usize = 4;
@@ -57,7 +58,20 @@ struct EngineRun {
     stats: ExecStats,
 }
 
-fn run_shape(shape: &Shape, strategy: ExecStrategy) -> EngineRun {
+/// Optional observability attachments for one engine run. The two knobs
+/// measure different things, so they sit on opposite sides of the timer:
+/// an enabled [`Profiler`] has the run's events recorded *after* the
+/// timed loop (filling the duration/size histograms for the report
+/// without perturbing the A/B walls), while a [`FlightRecorder`] rides
+/// the queue observers *inside* the timed loop, which is exactly the
+/// overhead the `flight_overhead` acceptance check quantifies.
+#[derive(Clone, Copy, Default)]
+struct Observe<'a> {
+    profiler: Option<&'a Profiler>,
+    flight: Option<&'a FlightRecorder>,
+}
+
+fn run_shape(shape: &Shape, strategy: ExecStrategy, observe: Observe<'_>) -> EngineRun {
     // A fresh platform per engine keeps `ExecStats` attributable.
     let platform = Platform::new(DEVICES, DeviceSpec::tesla_t10());
     let config = LaunchConfig {
@@ -67,15 +81,20 @@ fn run_shape(shape: &Shape, strategy: ExecStrategy) -> EngineRun {
     let chunk = shape.items.div_ceil(DEVICES);
     let out_bytes = shape.items * shape.out_bytes_per_item;
 
+    let off = Profiler::disabled();
     let mut queues = Vec::new();
     let mut args = Vec::new();
     let mut outs = Vec::new();
+    let mut uploads = Vec::new();
     for d in 0..DEVICES {
         let queue = platform.queue(d);
+        if let Some(flight) = observe.flight {
+            flight.attach_queue(&off, &queue);
+        }
         let mut a = Vec::new();
         for input in &shape.inputs {
             let buf = queue.create_buffer(input.len().max(1)).expect("in buffer");
-            queue.enqueue_write(&buf, 0, input).expect("upload");
+            uploads.push(queue.enqueue_write(&buf, 0, input).expect("upload"));
             a.push(KernelArg::Buffer(buf));
         }
         let out = queue.create_buffer(out_bytes.max(1)).expect("out buffer");
@@ -122,13 +141,21 @@ fn run_shape(shape: &Shape, strategy: ExecStrategy) -> EngineRun {
         .map(|e| e.counters().expect("kernel events carry counters"))
         .collect();
     let mut out = vec![0u8; out_bytes];
+    let mut gathers = Vec::new();
     for d in 0..DEVICES {
         let start = (d * chunk).min(shape.items) * shape.out_bytes_per_item;
         let end = ((d + 1) * chunk).min(shape.items) * shape.out_bytes_per_item;
         if start < end {
-            queues[d]
-                .enqueue_read(&outs[d], start, &mut out[start..end])
-                .expect("gather");
+            gathers.push(
+                queues[d]
+                    .enqueue_read(&outs[d], start, &mut out[start..end])
+                    .expect("gather"),
+            );
+        }
+    }
+    if let Some(profiler) = observe.profiler {
+        for e in uploads.iter().chain(&last).chain(&gathers) {
+            profiler.record_event(e);
         }
     }
     EngineRun {
@@ -264,6 +291,9 @@ fn main() {
     );
 
     let shapes = [dot_product(), mandelbrot(), gaussian_blur()];
+    // Histograms for the report come from the fast-engine runs only, so
+    // the p50/p90/p99 quantiles describe the engine under test.
+    let profiler = Profiler::enabled();
     let mut rows = Vec::new();
     let mut all_identical = true;
     let mut speedups = Vec::new();
@@ -280,8 +310,15 @@ fn main() {
             "{}: A/B shapes are barrier-free (the fast path under test)",
             shape.name
         );
-        let fast = run_shape(shape, ExecStrategy::Fast);
-        let lockstep = run_shape(shape, ExecStrategy::Lockstep);
+        let fast = run_shape(
+            shape,
+            ExecStrategy::Fast,
+            Observe {
+                profiler: Some(&profiler),
+                flight: None,
+            },
+        );
+        let lockstep = run_shape(shape, ExecStrategy::Lockstep, Observe::default());
         let outputs_identical = fast.out == lockstep.out;
         let counters_identical = fast.counters == lockstep.counters;
         all_identical &= outputs_identical && counters_identical;
@@ -352,7 +389,43 @@ fn main() {
         speedups[0], speedups[1], speedups[2]
     );
 
-    let ok = dot_2x && mandel_2x && zero_spawns && legacy_spawns && all_identical;
+    // Flight-recorder overhead on the dot-product workload: the recorder
+    // rides the queue observer inside the timed loop, so the wall delta is
+    // its real cost. Plain and instrumented runs are interleaved (min of
+    // three each) so both see the same machine conditions.
+    let flight = FlightRecorder::with_capacity(4_096);
+    let mut plain_wall = Duration::MAX;
+    let mut flight_wall = Duration::MAX;
+    for _ in 0..3 {
+        plain_wall =
+            plain_wall.min(run_shape(&shapes[0], ExecStrategy::Fast, Observe::default()).wall);
+        flight_wall = flight_wall.min(
+            run_shape(
+                &shapes[0],
+                ExecStrategy::Fast,
+                Observe {
+                    profiler: None,
+                    flight: Some(&flight),
+                },
+            )
+            .wall,
+        );
+    }
+    let flight_overhead = flight_wall.as_secs_f64() / plain_wall.as_secs_f64() - 1.0;
+    let flight_under_5pct = flight_overhead < 0.05;
+    assert!(
+        flight.recorded() > 0,
+        "instrumented runs must feed the recorder"
+    );
+    println!(
+        "flight recorder: dot-product wall {:.2} ms plain vs {:.2} ms recorded ({:+.2}% overhead, <5%: {flight_under_5pct})",
+        plain_wall.as_secs_f64() * 1e3,
+        flight_wall.as_secs_f64() * 1e3,
+        flight_overhead * 1e2,
+    );
+
+    let ok =
+        dot_2x && mandel_2x && zero_spawns && legacy_spawns && all_identical && flight_under_5pct;
     println!(
         "\nresult: {}",
         if ok {
@@ -373,6 +446,21 @@ fn main() {
             shape_objs
                 .into_iter()
                 .chain([
+                    (
+                        "flight_overhead",
+                        Json::obj([
+                            ("under_5pct", Json::Bool(flight_under_5pct)),
+                            ("events_recorded", flight.recorded().into()),
+                            (
+                                "host",
+                                Json::obj([
+                                    ("plain_wall_ms", Json::Num(plain_wall.as_secs_f64() * 1e3)),
+                                    ("flight_wall_ms", Json::Num(flight_wall.as_secs_f64() * 1e3)),
+                                    ("overhead_pct", Json::Num(flight_overhead * 1e2)),
+                                ]),
+                            ),
+                        ]),
+                    ),
                     (
                         "acceptance",
                         Json::obj([
@@ -396,7 +484,7 @@ fn main() {
                 ])
                 .collect::<Vec<_>>(),
         ),
-        None,
+        profiler.metrics_snapshot().as_ref(),
     );
     let path = write_report("interp", &report).expect("write report");
     println!("report: {}", path.display());

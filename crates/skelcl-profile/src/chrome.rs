@@ -6,11 +6,17 @@
 //! the host lane shows wall time since the profiler's epoch. Each lane is
 //! internally consistent (timestamps are monotone per lane) even though
 //! the lanes use different time bases.
+//!
+//! Beyond `"X"` duration events, the exporter emits **flow event pairs**
+//! (`ph: "s"` / `ph: "t"` with a shared `id`) for recorded [`FlowEdge`]s —
+//! the causal arrows a `LaunchPlan`'s wait-list dependencies draw between
+//! spans — and **counter events** (`ph: "C"`) for per-device counter
+//! tracks such as queue depth.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::json::Json;
-use crate::span::{Lane, SpanRecord};
+use crate::span::{CounterSample, FlowEdge, Lane, SpanRecord};
 
 /// The process id used for all lanes.
 const PID: u64 = 1;
@@ -24,9 +30,11 @@ fn tid_of(lane: Lane) -> u64 {
     }
 }
 
-/// Builds the trace object for a set of recorded spans.
-pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
-    let mut events: Vec<Json> = Vec::with_capacity(spans.len() + 8);
+/// Builds the trace object for a set of recorded spans, flow edges and
+/// counter samples.
+pub fn chrome_trace(spans: &[SpanRecord], flows: &[FlowEdge], counters: &[CounterSample]) -> Json {
+    let mut events: Vec<Json> =
+        Vec::with_capacity(spans.len() + 2 * flows.len() + counters.len() + 8);
 
     // Metadata: name the process and every lane that appears.
     events.push(meta("process_name", PID, HOST_TID, "skelcl"));
@@ -93,6 +101,59 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
         ]));
     }
 
+    // Flow event pairs: an arrow from the end of `from` to the start of
+    // `to`. Both endpoints must resolve to recorded spans; dangling ids
+    // (e.g. spans pruned by a cap) are skipped.
+    let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    for (idx, edge) in flows.iter().enumerate() {
+        let (Some(from), Some(to)) = (by_id.get(&edge.from), by_id.get(&edge.to)) else {
+            continue;
+        };
+        events.push(Json::obj([
+            ("name", Json::from("dep")),
+            ("cat", Json::from("flow")),
+            ("ph", Json::from("s")),
+            ("id", (idx as u64).into()),
+            ("ts", Json::Num(from.end_ns as f64 / 1000.0)),
+            ("pid", PID.into()),
+            ("tid", tid_of(from.lane).into()),
+        ]));
+        events.push(Json::obj([
+            ("name", Json::from("dep")),
+            ("cat", Json::from("flow")),
+            ("ph", Json::from("t")),
+            ("id", (idx as u64).into()),
+            ("ts", Json::Num(to.start_ns as f64 / 1000.0)),
+            ("pid", PID.into()),
+            ("tid", tid_of(to.lane).into()),
+            // Bind to enclosing slice: draw the arrow even if the
+            // destination span starts exactly when the source ends.
+            ("bp", Json::from("e")),
+        ]));
+    }
+
+    // Counter tracks, one per (name, device) so Perfetto draws separate
+    // stacked charts per device.
+    let mut ordered_counters: Vec<&CounterSample> = counters.iter().collect();
+    ordered_counters.sort_by(|a, b| {
+        (a.name, a.device, a.t_ns)
+            .cmp(&(b.name, b.device, b.t_ns))
+            .then(a.value.total_cmp(&b.value))
+    });
+    for sample in ordered_counters {
+        events.push(Json::obj([
+            (
+                "name",
+                Json::from(format!("{} gpu{}", sample.name, sample.device).as_str()),
+            ),
+            ("ph", Json::from("C")),
+            ("ts", Json::Num(sample.t_ns as f64 / 1000.0)),
+            ("pid", PID.into()),
+            ("tid", tid_of(Lane::Device(sample.device)).into()),
+            ("args", Json::obj([("value", Json::Num(sample.value))])),
+        ]));
+    }
+
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", Json::from("ns")),
@@ -137,7 +198,7 @@ mod tests {
             span(2, Lane::Device(0), 10, 60),
             span(3, Lane::Device(1), 5, 90),
         ];
-        let trace = chrome_trace(&spans);
+        let trace = chrome_trace(&spans, &[], &[]);
         let text = trace.to_json();
         let parsed = Json::parse(&text).unwrap();
         let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
@@ -166,12 +227,75 @@ mod tests {
 
     #[test]
     fn empty_trace_still_valid() {
-        let trace = chrome_trace(&[]);
+        let trace = chrome_trace(&[], &[], &[]);
         let parsed = Json::parse(&trace.to_json()).unwrap();
         // Metadata only (process + host lane).
         assert_eq!(
             parsed.get("traceEvents").unwrap().as_arr().unwrap().len(),
             2
+        );
+    }
+
+    #[test]
+    fn flow_pairs_and_counters() {
+        let spans = vec![
+            span(1, Lane::Device(0), 0, 50),
+            span(2, Lane::Device(1), 60, 90),
+        ];
+        let flows = vec![
+            FlowEdge { from: 1, to: 2 },
+            // Dangling destination: must be skipped, not emitted half-paired.
+            FlowEdge { from: 1, to: 99 },
+        ];
+        let counters = vec![
+            CounterSample {
+                name: "queue.depth",
+                device: 0,
+                t_ns: 10,
+                value: 3.0,
+            },
+            CounterSample {
+                name: "queue.depth",
+                device: 0,
+                t_ns: 40,
+                value: 1.0,
+            },
+        ];
+        let parsed = Json::parse(&chrome_trace(&spans, &flows, &counters).to_json()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let starts: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .collect();
+        let ends: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("t"))
+            .collect();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(ends.len(), 1);
+        // Matching ids, source at from.end_ns, dest at to.start_ns.
+        assert_eq!(
+            starts[0].get("id").unwrap().as_f64(),
+            ends[0].get("id").unwrap().as_f64()
+        );
+        assert_eq!(starts[0].get("ts").unwrap().as_f64(), Some(0.05));
+        assert_eq!(ends[0].get("ts").unwrap().as_f64(), Some(0.06));
+        assert_eq!(starts[0].get("tid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(ends[0].get("tid").unwrap().as_f64(), Some(2.0));
+
+        let cs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(
+            cs[0].get("name").unwrap().as_str(),
+            Some("queue.depth gpu0")
+        );
+        assert_eq!(
+            cs[0].get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(3.0)
         );
     }
 }

@@ -20,7 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod report;
 pub mod span;
@@ -31,9 +33,11 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use json::Json;
+pub use live::StatsReporter;
 pub use metrics::{DeviceBusy, Histogram, Metrics, MetricsSnapshot};
-pub use span::{Lane, SpanKind, SpanRecord};
+pub use span::{CounterSample, FlowEdge, Lane, SpanKind, SpanRecord};
 
 use vgpu::{CommandKind, Event};
 
@@ -47,6 +51,10 @@ struct Inner {
     /// never timing or metrics.
     current_parent: AtomicU64,
     spans: Mutex<Vec<SpanRecord>>,
+    /// Causal edges between spans (LaunchPlan wait-list dependencies).
+    flows: Mutex<Vec<FlowEdge>>,
+    /// Per-device counter-track samples (queue depth, …).
+    counter_samples: Mutex<Vec<CounterSample>>,
     metrics: Metrics,
 }
 
@@ -84,6 +92,8 @@ impl Profiler {
                 next_id: AtomicU64::new(1),
                 current_parent: AtomicU64::new(0),
                 spans: Mutex::new(Vec::new()),
+                flows: Mutex::new(Vec::new()),
+                counter_samples: Mutex::new(Vec::new()),
                 metrics: Metrics::default(),
             })),
         }
@@ -138,9 +148,11 @@ impl Profiler {
     }
 
     /// Like [`Profiler::record_event`], with explicit launch geometry for
-    /// kernel spans (e.g. `"4096/256"`).
-    pub fn record_event_with(&self, event: &Event, nd_range: Option<String>) {
-        let Some(inner) = &self.inner else { return };
+    /// kernel spans (e.g. `"4096/256"`). Returns the recorded span's id
+    /// (for [`Profiler::record_flow`] edges); 0 when disabled or for
+    /// markers, which record no span.
+    pub fn record_event_with(&self, event: &Event, nd_range: Option<String>) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
         let dur = event.ended_ns().saturating_sub(event.started_ns());
         let device = event.device().0;
         match event.kind() {
@@ -170,12 +182,54 @@ impl Profiler {
                 inner.metrics.add_kernel_ns(device, dur);
             }
             // Barrier markers carry no payload and occupy no timeline.
-            CommandKind::Marker => return,
+            CommandKind::Marker => return 0,
         }
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let parent = inner.current_parent.load(Ordering::Relaxed);
         let record = SpanRecord::from_event(id, parent, event, nd_range);
         inner.spans.lock().push(record);
+        id
+    }
+
+    /// Records a causal edge between two recorded spans (a `LaunchPlan`
+    /// wait-list dependency), exported as a Chrome flow event. No-op when
+    /// disabled or when either id is 0 (an unrecorded span).
+    pub fn record_flow(&self, from_span: u64, to_span: u64) {
+        let Some(inner) = &self.inner else { return };
+        if from_span == 0 || to_span == 0 || from_span == to_span {
+            return;
+        }
+        inner.flows.lock().push(FlowEdge {
+            from: from_span,
+            to: to_span,
+        });
+    }
+
+    /// Records one sample of the per-device counter track `name` at
+    /// device-time `t_ns` (exported as a Chrome `"C"` event). No-op when
+    /// disabled.
+    pub fn record_counter_sample(&self, name: &'static str, device: usize, t_ns: u64, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.counter_samples.lock().push(CounterSample {
+            name,
+            device,
+            t_ns,
+            value,
+        });
+    }
+
+    /// Copies of all recorded flow edges (empty when disabled).
+    pub fn flows(&self) -> Vec<FlowEdge> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.flows.lock().clone())
+    }
+
+    /// Copies of all recorded counter samples (empty when disabled).
+    pub fn counter_samples(&self) -> Vec<CounterSample> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.counter_samples.lock().clone())
     }
 
     /// Adds `delta` to counter `name` (no-op when disabled).
@@ -216,12 +270,14 @@ impl Profiler {
         self.inner.as_ref().map(|i| i.metrics.snapshot())
     }
 
-    /// The Chrome-trace JSON of everything recorded so far; `None` when
-    /// disabled. Load the result in `chrome://tracing` or Perfetto.
+    /// The Chrome-trace JSON of everything recorded so far — spans, flow
+    /// edges and counter tracks; `None` when disabled. Load the result in
+    /// `chrome://tracing` or Perfetto.
     pub fn chrome_trace_json(&self) -> Option<String> {
-        self.inner
-            .as_ref()
-            .map(|i| chrome::chrome_trace(&i.spans.lock()).to_json())
+        self.inner.as_ref().map(|i| {
+            chrome::chrome_trace(&i.spans.lock(), &i.flows.lock(), &i.counter_samples.lock())
+                .to_json()
+        })
     }
 
     /// The human-readable summary table; `None` when disabled.

@@ -39,6 +39,18 @@ pub const SCHED_FULL_BYTES: &str = "sched.full_redistribution_bytes";
 
 /// Per-device gauge: the scheduler's current partition weight.
 pub const SCHED_WEIGHT: &str = "sched.weight";
+/// Per-device gauge: steal balance of the last pooled launch —
+/// `min/max` work-groups executed across the pool's workers (1.0 means the
+/// steal cursor distributed groups perfectly evenly; 0.0 means at least one
+/// worker starved).
+pub const POOL_STEAL_BALANCE: &str = "pool.steal_balance";
+/// Per-device gauge: persistent pool threads alive on the device.
+pub const POOL_THREADS: &str = "pool.threads";
+/// Per-device gauge: total work-groups executed by the device's pool.
+pub const POOL_GROUPS: &str = "pool.groups_executed";
+/// Counter-track name for per-device queue depth samples (Chrome "C"
+/// events; see [`crate::Profiler::record_counter_sample`]).
+pub const QUEUE_DEPTH: &str = "queue.depth";
 
 /// Histogram of individual transfer sizes (bytes).
 pub const HIST_TRANSFER_BYTES: &str = "transfer.bytes";
@@ -61,8 +73,48 @@ impl DeviceBusy {
     }
 }
 
-/// Running statistics of one histogram.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// Linear sub-buckets per power-of-two octave of the histogram's
+/// log-bucketed storage. Values below `SUB` land in exact unit buckets;
+/// larger values quantise with relative error at most `1/SUB` (≈3.1%).
+const SUB: u64 = 32;
+/// `log2(SUB)`.
+const SUB_BITS: u32 = 5;
+
+/// The bucket a value lands in (HDR-histogram style: an exact region for
+/// small values, then `SUB` linear sub-buckets per power-of-two octave).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    let sub = (v >> (octave - SUB_BITS)) - SUB;
+    (octave - SUB_BITS + 1) as usize * SUB as usize + sub as usize
+}
+
+/// The lowest value mapping to bucket `idx` (inverse of [`bucket_index`]).
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let region = idx / SUB as usize - 1;
+    let sub = (idx % SUB as usize) as u64;
+    (SUB + sub) << region
+}
+
+/// A representative value for bucket `idx` (its midpoint).
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let region = idx / SUB as usize - 1;
+    bucket_low(idx) + (1u64 << region) / 2
+}
+
+/// Running statistics of one histogram, with log-bucketed (HDR-style)
+/// storage for quantile queries. Recording is O(1); the bucket array grows
+/// only as far as the largest value seen (at most ~1.9k buckets for the
+/// full `u64` range).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     /// Number of recorded values.
     pub count: u64,
@@ -72,6 +124,8 @@ pub struct Histogram {
     pub min: u64,
     /// Largest value.
     pub max: u64,
+    /// Bucketed counts; index via [`bucket_index`].
+    buckets: Vec<u64>,
 }
 
 impl Histogram {
@@ -85,6 +139,11 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
     }
 
     /// Arithmetic mean (0 when empty).
@@ -94,6 +153,40 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) of the recorded values, accurate
+    /// to the bucket resolution (exact below `32`, ≤3.1% relative error
+    /// above). Returns 0 when empty; results are clamped to `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // 0-based rank of the requested order statistic.
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -155,7 +248,7 @@ impl Metrics {
                 .histograms
                 .lock()
                 .iter()
-                .map(|(k, v)| (k.to_string(), *v))
+                .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
             devices: self.devices.lock().clone(),
             gauges: self
@@ -213,12 +306,79 @@ mod tests {
         assert_eq!(m.counter(BYTES_H2D), 150);
         assert_eq!(m.counter(BYTES_D2H), 0);
         let snap = m.snapshot();
-        let h = snap.histograms[HIST_TRANSFER_BYTES];
+        let h = &snap.histograms[HIST_TRANSFER_BYTES];
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 150);
         assert_eq!(h.min, 50);
         assert_eq!(h.max, 100);
         assert_eq!(h.mean(), 75.0);
+    }
+
+    #[test]
+    fn bucket_roundtrip() {
+        // Exact region: values below 32 occupy their own bucket.
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_mid(bucket_index(v)), v);
+        }
+        // Log region: a bucket's low bound maps back to the same bucket,
+        // and the relative quantisation error stays under 1/32.
+        for v in [32u64, 33, 63, 64, 100, 1 << 10, 123_456, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_index(bucket_low(idx)), idx, "low bound of {v}");
+            let mid = bucket_mid(idx) as f64;
+            let err = (mid - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-12, "value {v}: rel err {err}");
+        }
+        // Bucket indices are monotone in the value.
+        let mut prev = 0;
+        for v in (0..1 << 20).step_by(97) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 1000);
+        let p50 = h.p50() as f64;
+        let p90 = h.p90() as f64;
+        let p99 = h.p99() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 = {p50}");
+        assert!((p90 - 900.0).abs() / 900.0 < 0.05, "p90 = {p90}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 = {p99}");
+        // Quantiles are monotone and clamped to the observed range.
+        assert!(h.quantile(0.0) >= h.min);
+        assert!(h.quantile(1.0) <= h.max);
+        assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn quantiles_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0); // empty
+        let mut h = Histogram::default();
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        // A heavily skewed distribution: p99 must see the tail.
+        let mut h = Histogram::default();
+        for _ in 0..98 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        h.record(1_000_000);
+        assert_eq!(h.p50(), 10);
+        let p99 = h.p99() as f64;
+        assert!(
+            (p99 - 1_000_000.0).abs() / 1_000_000.0 < 0.04,
+            "p99 = {p99}"
+        );
     }
 
     #[test]

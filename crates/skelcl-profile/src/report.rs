@@ -28,18 +28,21 @@ pub fn summary_table(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String 
         let _ = writeln!(out, "-- histograms --");
         let _ = writeln!(
             out,
-            "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}",
-            "name", "count", "sum", "min", "mean", "max"
+            "  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "sum", "min", "mean", "p50", "p90", "p99", "max"
         );
         for (name, h) in &metrics.histograms {
             let _ = writeln!(
                 out,
-                "  {:<28} {:>8} {:>12} {:>12} {:>12.1} {:>12}",
+                "  {:<28} {:>8} {:>12} {:>12} {:>12.1} {:>12} {:>12} {:>12} {:>12}",
                 name,
                 h.count,
                 h.sum,
                 h.min,
                 h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
                 h.max
             );
         }
@@ -120,6 +123,9 @@ pub fn metrics_json(metrics: &MetricsSnapshot) -> Json {
                     ("sum", h.sum.into()),
                     ("min", h.min.into()),
                     ("mean", h.mean().into()),
+                    ("p50", h.p50().into()),
+                    ("p90", h.p90().into()),
+                    ("p99", h.p99().into()),
                     ("max", h.max.into()),
                 ]),
             )
@@ -257,6 +263,16 @@ mod tests {
             Some(4096.0)
         );
         assert!(metrics.get("load_imbalance").unwrap().as_f64().unwrap() > 1.0);
+        // Histogram objects carry quantiles (single sample: all equal it,
+        // clamped to the observed max).
+        let hist = metrics
+            .get("histograms")
+            .unwrap()
+            .get("transfer.bytes")
+            .unwrap();
+        for q in ["p50", "p90", "p99"] {
+            assert_eq!(hist.get(q).unwrap().as_f64(), Some(4096.0), "{q}");
+        }
     }
 
     #[test]

@@ -52,6 +52,31 @@ impl SpanKind {
     }
 }
 
+/// A causal edge between two recorded spans: the span `to` could not start
+/// before `from` finished (a `LaunchPlan` wait-list dependency). Exported
+/// as a Chrome-trace flow event pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEdge {
+    /// Span id of the dependency (the earlier span).
+    pub from: u64,
+    /// Span id of the dependent (the later span).
+    pub to: u64,
+}
+
+/// One sample of a per-device counter track (queue depth, pool
+/// utilization…), exported as a Chrome-trace `"C"` event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterSample {
+    /// Track name (e.g. [`crate::metrics::QUEUE_DEPTH`]).
+    pub name: &'static str,
+    /// Device index the sample belongs to.
+    pub device: usize,
+    /// Timestamp on the device's simulated timeline, in nanoseconds.
+    pub t_ns: u64,
+    /// The sampled value.
+    pub value: f64,
+}
+
 /// One recorded span.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {

@@ -1,0 +1,123 @@
+//! Concurrent trace export: several threads record spans, flow edges and
+//! counter samples into one shared profiler; the resulting Chrome trace
+//! must be valid JSON with correctly paired flow events and per-lane
+//! monotone timestamps.
+
+use std::collections::HashMap;
+
+use skelcl_profile::{Json, Profiler, SpanKind};
+use vgpu::{CommandKind, DeviceId, Event};
+
+const THREADS: usize = 4;
+const SPANS_PER_THREAD: usize = 25;
+
+fn kernel_event(device: usize, start: u64, end: u64) -> Event {
+    Event::new(
+        DeviceId(device),
+        CommandKind::Kernel {
+            name: format!("k{device}"),
+        },
+        start,
+        start,
+        end,
+        None,
+    )
+}
+
+#[test]
+fn concurrent_spans_flows_and_counters_export_cleanly() {
+    let profiler = Profiler::enabled();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let profiler = profiler.clone();
+            scope.spawn(move || {
+                let _host = profiler.host_span(SpanKind::Skeleton, &format!("thread{t}"));
+                let mut prev = 0u64;
+                for i in 0..SPANS_PER_THREAD {
+                    // Each thread owns one device lane with strictly
+                    // increasing device timestamps.
+                    let start = (i as u64) * 100;
+                    let id = profiler.record_event_with(
+                        &kernel_event(t, start, start + 60),
+                        Some("64/64".into()),
+                    );
+                    assert_ne!(id, 0);
+                    // Chain: span i depends on span i-1 (same lane).
+                    profiler.record_flow(prev, id);
+                    prev = id;
+                    profiler.record_counter_sample(
+                        skelcl_profile::metrics::QUEUE_DEPTH,
+                        t,
+                        start,
+                        (i % 5) as f64,
+                    );
+                }
+            });
+        }
+    });
+
+    let text = profiler.chrome_trace_json().expect("profiler enabled");
+    let parsed = Json::parse(&text).expect("trace must be valid JSON");
+    let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+
+    let ph = |e: &Json| e.get("ph").unwrap().as_str().unwrap().to_string();
+
+    // Every lane's "X" timestamps must be monotone non-decreasing in
+    // emission order (the exporter sorts per lane).
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut x_count = 0usize;
+    for e in events.iter().filter(|e| ph(e) == "X") {
+        x_count += 1;
+        let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+        let ts = e.get("ts").unwrap().as_f64().unwrap();
+        if let Some(prev) = last_ts.get(&tid) {
+            assert!(ts >= *prev, "lane {tid} went backwards: {ts} after {prev}");
+        }
+        last_ts.insert(tid, ts);
+    }
+    // THREADS host spans + THREADS * SPANS_PER_THREAD device spans.
+    assert_eq!(x_count, THREADS + THREADS * SPANS_PER_THREAD);
+
+    // Flow events pair up: every "s" id has exactly one "t" id and vice
+    // versa, and each pair's timestamps are ordered (source end precedes
+    // or equals destination start).
+    let mut starts: HashMap<u64, f64> = HashMap::new();
+    let mut ends: HashMap<u64, f64> = HashMap::new();
+    for e in events {
+        let id = || e.get("id").unwrap().as_f64().unwrap() as u64;
+        let ts = || e.get("ts").unwrap().as_f64().unwrap();
+        match ph(e).as_str() {
+            "s" => {
+                assert!(starts.insert(id(), ts()).is_none(), "duplicate flow id");
+            }
+            "t" => {
+                assert!(ends.insert(id(), ts()).is_none(), "duplicate flow id");
+            }
+            _ => {}
+        }
+    }
+    // Each thread chains SPANS_PER_THREAD - 1 edges (the first record_flow
+    // has from == 0 and is dropped).
+    assert_eq!(starts.len(), THREADS * (SPANS_PER_THREAD - 1));
+    assert_eq!(starts.len(), ends.len());
+    for (id, s_ts) in &starts {
+        let t_ts = ends.get(id).expect("unpaired flow start");
+        assert!(s_ts <= t_ts, "flow {id} goes backwards: {s_ts} -> {t_ts}");
+    }
+
+    // Counter tracks made it out, one track per device.
+    let counters: Vec<&Json> = events.iter().filter(|e| ph(e) == "C").collect();
+    assert_eq!(counters.len(), THREADS * SPANS_PER_THREAD);
+    for c in &counters {
+        let name = c.get("name").unwrap().as_str().unwrap();
+        assert!(name.starts_with("queue.depth gpu"), "track name: {name}");
+        assert!(c
+            .get("args")
+            .unwrap()
+            .get("value")
+            .unwrap()
+            .as_f64()
+            .is_some());
+    }
+}

@@ -5,7 +5,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use skelcl_profile::{metrics, Profiler, SpanKind};
+use skelcl_profile::{metrics, FlightKind, FlightRecorder, Profiler, SpanKind};
 use vgpu::{CommandKind, DeviceId, Event};
 
 struct CountingAlloc;
@@ -50,15 +50,40 @@ fn disabled_profiler_never_allocates() {
         profiler.record_event(&event);
         profiler.add(metrics::SKELETON_CALLS, 1);
         profiler.record_value(metrics::HIST_KERNEL_NS, 42);
+        profiler.record_flow(3, 7);
+        profiler.record_counter_sample(metrics::QUEUE_DEPTH, 0, 10, 2.0);
+        profiler.set_device_gauge(metrics::POOL_STEAL_BALANCE, 0, 1.0);
         assert_eq!(guard.id(), 0);
         drop(guard);
     }
     assert!(profiler.spans().is_empty());
+    assert!(profiler.flows().is_empty());
+    assert!(profiler.counter_samples().is_empty());
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         after - before,
         0,
         "disabled profiler allocated on the hot path"
+    );
+}
+
+#[test]
+fn disabled_flight_recorder_never_allocates() {
+    let flight = FlightRecorder::disabled();
+    assert!(!flight.is_enabled());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..100u64 {
+        flight.record(FlightKind::LaunchBegin, 0, "kernel", i, 256, 0);
+        flight.record(FlightKind::Transfer, 1, "write", i, 4096, 0);
+        assert!(!flight.dump_once("should not dump"));
+    }
+    assert_eq!(flight.recorded(), 0);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled flight recorder allocated on the hot path"
     );
 }
 

@@ -121,6 +121,14 @@ impl<T: KernelScalar> DistributedData<T> {
             self.ctx
                 .profiler()
                 .add(skelcl_profile::metrics::REDISTRIBUTIONS, 1);
+            self.ctx.flight().record(
+                skelcl_profile::FlightKind::Redistribution,
+                skelcl_profile::flight::HOST_DEVICE,
+                "gather",
+                0,
+                self.units as u64,
+                0,
+            );
             self.download_locked(&mut st)?;
             st.device = None;
         }
@@ -192,6 +200,14 @@ impl<T: KernelScalar> DistributedData<T> {
                 downloaded + uploaded,
             );
         }
+        self.ctx.flight().record(
+            skelcl_profile::FlightKind::Redistribution,
+            skelcl_profile::flight::HOST_DEVICE,
+            "scatter",
+            0,
+            self.units as u64,
+            uploaded,
+        );
         st.device = Some(DevicePart {
             dist,
             chunks: chunks.clone(),
@@ -272,6 +288,14 @@ impl<T: KernelScalar> DistributedData<T> {
         }
         profiler.add(skelcl_profile::metrics::SCHED_REBALANCES, 1);
         profiler.add(skelcl_profile::metrics::SCHED_DELTA_BYTES, delta_bytes);
+        self.ctx.flight().record(
+            skelcl_profile::FlightKind::Redistribution,
+            skelcl_profile::flight::HOST_DEVICE,
+            "delta",
+            0,
+            self.units as u64,
+            delta_bytes,
+        );
         st.device = Some(DevicePart {
             dist: old.dist,
             chunks: chunks.clone(),

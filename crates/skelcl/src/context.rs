@@ -4,15 +4,18 @@
 //! count) and one command queue per device. Containers and skeletons hold a
 //! clone of the context, which is cheap (`Arc` internally).
 //!
-//! The context also carries the session's [`Profiler`] (enabled via
-//! `SKELCL_PROFILE=1` or [`Context::init_with_profiler`]) and a cache of
-//! compiled skeleton programs keyed by source hash.
+//! The context also carries the session's observability handles — the
+//! [`Profiler`] (enabled via `SKELCL_PROFILE=1` or
+//! [`Context::init_with_profiler`]), the [`FlightRecorder`]
+//! (`SKELCL_FLIGHT=<capacity>`), and the live [`StatsReporter`]
+//! (`SKELCL_STATS_INTERVAL_MS`) — plus a cache of compiled skeleton
+//! programs keyed by source hash.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use skelcl_profile::Profiler;
+use skelcl_profile::{FlightRecorder, Profiler, StatsReporter};
 use vgpu::{CommandQueue, DeviceSpec, LaunchConfig, Platform};
 
 use crate::distribution::{ChunkPlan, Distribution};
@@ -34,6 +37,8 @@ struct ContextInner {
     queues: Vec<CommandQueue>,
     launch_config: LaunchConfig,
     profiler: Profiler,
+    flight: FlightRecorder,
+    stats: Mutex<StatsReporter>,
     scheduler: Scheduler,
     /// Compiled skeleton programs, keyed by a hash of the generated source.
     program_cache: Mutex<HashMap<u64, skelcl_kernel::Program>>,
@@ -46,6 +51,9 @@ impl Drop for ContextInner {
         for queue in &self.queues {
             let _ = queue.finish();
         }
+        // Stop the live reporter before exporting: its final snapshot line
+        // then covers the fully drained session.
+        self.stats.lock().stop();
         // `SKELCL_TRACE=<path>` dumps the Chrome trace of a profiled
         // session when it ends, so any example can produce a trace with no
         // code changes.
@@ -79,7 +87,8 @@ impl Context {
     }
 
     /// [`Context::init`] with an explicit profiler (instead of the
-    /// `SKELCL_PROFILE` environment default).
+    /// `SKELCL_PROFILE` environment default). The flight recorder still
+    /// comes from `SKELCL_FLIGHT`.
     ///
     /// # Panics
     ///
@@ -88,6 +97,25 @@ impl Context {
         platform: Platform,
         selection: DeviceSelection,
         profiler: Profiler,
+    ) -> Self {
+        Context::init_with_observability(platform, selection, profiler, FlightRecorder::from_env())
+    }
+
+    /// [`Context::init`] with explicit observability handles — profiler
+    /// *and* flight recorder — bypassing the `SKELCL_PROFILE` /
+    /// `SKELCL_FLIGHT` environment defaults (tests inject handles here
+    /// without touching process-global state). Queue telemetry observers
+    /// are installed on every selected device queue, and the live stats
+    /// reporter starts if `SKELCL_STATS_INTERVAL_MS` asks for one.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Context::init`].
+    pub fn init_with_observability(
+        platform: Platform,
+        selection: DeviceSelection,
+        profiler: Profiler,
+        flight: FlightRecorder,
     ) -> Self {
         let count = match selection {
             DeviceSelection::All => platform.device_count(),
@@ -100,13 +128,19 @@ impl Context {
                 n
             }
         };
-        let queues = (0..count).map(|i| platform.queue(i)).collect();
+        let queues: Vec<CommandQueue> = (0..count).map(|i| platform.queue(i)).collect();
+        for queue in &queues {
+            flight.attach_queue(&profiler, queue);
+        }
+        let stats = StatsReporter::from_env(&profiler);
         Context {
             inner: Arc::new(ContextInner {
                 platform,
                 queues,
                 launch_config: LaunchConfig::default(),
                 profiler,
+                flight,
+                stats: Mutex::new(stats),
                 scheduler: Scheduler::from_env(),
                 program_cache: Mutex::new(HashMap::new()),
             }),
@@ -176,6 +210,19 @@ impl Context {
     /// [`Context::init_with_profiler`] and `SKELCL_PROFILE`).
     pub fn profiler(&self) -> &Profiler {
         &self.inner.profiler
+    }
+
+    /// The session's flight recorder (disabled unless requested — see
+    /// [`Context::init_with_observability`] and `SKELCL_FLIGHT`).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// Renders the flight recorder's event ring as an aligned table —
+    /// the on-demand counterpart of the automatic crash dump on
+    /// [`vgpu::Error::DeviceLost`]. `None` when the recorder is disabled.
+    pub fn dump_flight(&self) -> Option<String> {
+        self.inner.flight.dump()
     }
 
     /// The session's chunk scheduler (policy from `SKELCL_SCHEDULE`, even

@@ -12,9 +12,18 @@
 //! blocking waits:
 //!
 //! * profiler spans for kernels and transfers are recorded the moment the
-//!   command retires on its queue worker (see `SKELCL_PROFILE`);
+//!   command retires on its queue worker (see `SKELCL_PROFILE`), and every
+//!   wait-list dependency becomes a Chrome-trace **flow edge** between the
+//!   dependency's span and the dependent's (causal arrows in the trace);
+//! * plan-node completions feed the flight recorder (`SKELCL_FLIGHT`);
 //! * the scheduler's throughput model is fed once per plan and device,
 //!   when the device's last kernel of the plan completes.
+//!
+//! Flow edges need the dependency's span id inside the dependent's
+//! callback. That is race-free by construction: a dependent command only
+//! starts after `Event::wait` on its dependency returns, and `vgpu` runs an
+//! event's completion callbacks *before* releasing waiters — so the
+//! dependency's slot in the per-plan span-id table is always filled first.
 //!
 //! The callbacks deliberately capture only the cheap, `Clone` observability
 //! handles ([`skelcl_profile::Profiler`], [`crate::Scheduler`]) — never the
@@ -27,6 +36,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use skelcl_profile::FlightKind;
 use vgpu::{DeviceBuffer, Event, HostRead, KernelArg, NdRange};
 
 use crate::context::Context;
@@ -231,8 +241,15 @@ impl LaunchPlan {
     /// reported by [`PlanRun::wait`].
     pub fn execute(self, ctx: &Context) -> Result<PlanRun> {
         let profiler = ctx.profiler().clone();
+        let flight = ctx.flight().clone();
         let scheduler = ctx.scheduler().clone();
         let profiling = profiler.is_enabled();
+
+        // Span ids per plan node, filled by completion callbacks: slot `d`
+        // is guaranteed populated before node `i`'s callback reads it for
+        // any dependency edge `d → i` (see the module docs).
+        let span_ids: Option<Arc<Vec<AtomicU64>>> =
+            profiling.then(|| Arc::new((0..self.nodes.len()).map(|_| AtomicU64::new(0)).collect()));
 
         // Per-device aggregate over the plan's kernel nodes: the scheduler
         // wants one (units, busy_ns) sample per device per skeleton call,
@@ -252,6 +269,12 @@ impl LaunchPlan {
         for (index, node) in self.nodes.into_iter().enumerate() {
             let waits: Vec<Event> = node.deps.iter().map(|d| events[d.0].clone()).collect();
             let device = node.op.device();
+            let deps: Vec<usize> = node.deps.iter().map(|d| d.0).collect();
+            let node_kind = match node.op {
+                PlanOp::Kernel { .. } => "kernel",
+                PlanOp::Write { .. } => "write",
+                PlanOp::Read { .. } => "read",
+            };
             let obs = match node.op {
                 PlanOp::Kernel { .. } => observations.get(&device).cloned(),
                 _ => None,
@@ -301,12 +324,28 @@ impl LaunchPlan {
                 }
             };
             let profiler = profiler.clone();
+            let flight = flight.clone();
             let scheduler = scheduler.clone();
             let order = Arc::clone(&order);
+            let span_ids = span_ids.clone();
             event.on_complete(move |e| {
                 order.lock().push(index);
+                flight.record(
+                    FlightKind::PlanNode,
+                    device,
+                    node_kind,
+                    e.ended_ns(),
+                    index as u64,
+                    deps.len() as u64,
+                );
                 if e.error().is_none() {
-                    profiler.record_event_with(e, label);
+                    let span = profiler.record_event_with(e, label);
+                    if let Some(ids) = &span_ids {
+                        ids[index].store(span, Ordering::Release);
+                        for dep in &deps {
+                            profiler.record_flow(ids[*dep].load(Ordering::Acquire), span);
+                        }
+                    }
                 }
                 if let Some(obs) = obs {
                     if e.error().is_some() {

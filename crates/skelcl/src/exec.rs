@@ -144,7 +144,29 @@ pub(crate) fn run_launches(
     }
     let run = plan.execute(ctx)?;
     run.wait()?;
+    publish_pool_gauges(ctx);
     Ok(run.into_events())
+}
+
+/// Publishes the fast-path worker pools' execution telemetry — groups
+/// executed, thread count, and the steal-cursor balance (min/max groups a
+/// worker ran in the most recent pooled launch) — as per-device gauges.
+/// Inert when profiling is disabled.
+pub(crate) fn publish_pool_gauges(ctx: &Context) {
+    let profiler = ctx.profiler();
+    if !profiler.is_enabled() {
+        return;
+    }
+    use skelcl_profile::metrics as m;
+    for d in 0..ctx.device_count() {
+        let stats = ctx.platform().device(d).exec_stats();
+        if stats.pool_groups_executed == 0 {
+            continue;
+        }
+        profiler.set_device_gauge(m::POOL_GROUPS, d, stats.pool_groups_executed as f64);
+        profiler.set_device_gauge(m::POOL_THREADS, d, stats.pool_threads as f64);
+        profiler.set_device_gauge(m::POOL_STEAL_BALANCE, d, stats.steal_balance());
+    }
 }
 
 /// Compact launch-geometry label for kernel spans, e.g. `1024/256`,

@@ -75,5 +75,8 @@ pub use skelcl_kernel::value::Value;
 /// every [`Context`] (see [`Context::profiler`]); `profile::metrics` names
 /// the counters, and `profile::report` builds summaries and JSON reports.
 pub use skelcl_profile as profile;
+/// Re-export of the flight-recorder handle carried by [`Context`] (see
+/// [`Context::flight`] and `SKELCL_FLIGHT`).
+pub use skelcl_profile::FlightRecorder;
 /// Re-export of the profiler handle carried by [`Context`].
 pub use skelcl_profile::Profiler;

@@ -413,13 +413,6 @@ pub fn get_event_profiling(event: &ClEvent, info: ProfilingInfo) -> u64 {
     }
 }
 
-/// `CL_PROFILING_COMMAND_END - CL_PROFILING_COMMAND_START`, in nanoseconds.
-#[deprecated(note = "use `get_event_profiling(event, ProfilingInfo::…)` or `Event::duration`")]
-pub fn get_event_profiling_ns(event: &ClEvent) -> u64 {
-    get_event_profiling(event, ProfilingInfo::CommandEnd)
-        .saturating_sub(get_event_profiling(event, ProfilingInfo::CommandStart))
-}
-
 /// Simulated device-timeline clock of the queue's device (for end-to-end
 /// timing in host programs).
 pub fn device_clock_ns(queue: &ClCommandQueue) -> u64 {

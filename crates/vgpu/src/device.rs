@@ -152,16 +152,50 @@ pub struct ExecStats {
     pub per_launch_thread_spawns: u64,
     /// Persistent pool threads currently alive.
     pub pool_threads: u64,
+    /// Total work-groups executed by the persistent pool (all pooled
+    /// launches).
+    pub pool_groups_executed: u64,
+    /// Most work-groups any one pool worker executed in the last pooled
+    /// launch (steal-cursor telemetry).
+    pub last_steal_max_groups: u64,
+    /// Fewest work-groups any one pool worker executed in the last pooled
+    /// launch. `max == min` means the atomic steal cursor dealt groups
+    /// perfectly evenly; a zero `min` with a nonzero `max` means a worker
+    /// starved.
+    pub last_steal_min_groups: u64,
 }
 
 impl ExecStats {
     /// Adds another device's stats into this one (platform aggregation).
+    /// Counters sum; the last-launch steal extrema combine as the widest
+    /// observed spread (max of maxes, min of mins over devices that ran
+    /// pooled work).
     pub fn merge(&mut self, other: &ExecStats) {
+        self.last_steal_min_groups = if self.pool_groups_executed == 0 {
+            other.last_steal_min_groups
+        } else if other.pool_groups_executed == 0 {
+            self.last_steal_min_groups
+        } else {
+            self.last_steal_min_groups.min(other.last_steal_min_groups)
+        };
+        self.last_steal_max_groups = self.last_steal_max_groups.max(other.last_steal_max_groups);
         self.launches += other.launches;
         self.pooled_launches += other.pooled_launches;
         self.legacy_launches += other.legacy_launches;
         self.per_launch_thread_spawns += other.per_launch_thread_spawns;
         self.pool_threads += other.pool_threads;
+        self.pool_groups_executed += other.pool_groups_executed;
+    }
+
+    /// Steal balance of the last pooled launch: `min/max` groups per
+    /// worker (1.0 = perfectly even; 0.0 = a worker starved; 0.0 also when
+    /// no pooled launch ran).
+    pub fn steal_balance(&self) -> f64 {
+        if self.last_steal_max_groups == 0 {
+            0.0
+        } else {
+            self.last_steal_min_groups as f64 / self.last_steal_max_groups as f64
+        }
     }
 }
 
@@ -182,6 +216,9 @@ pub struct Device {
     pooled_launches: AtomicU64,
     legacy_launches: AtomicU64,
     legacy_thread_spawns: AtomicU64,
+    pool_groups: AtomicU64,
+    steal_max: AtomicU64,
+    steal_min: AtomicU64,
 }
 
 impl Device {
@@ -197,6 +234,9 @@ impl Device {
             pooled_launches: AtomicU64::new(0),
             legacy_launches: AtomicU64::new(0),
             legacy_thread_spawns: AtomicU64::new(0),
+            pool_groups: AtomicU64::new(0),
+            steal_max: AtomicU64::new(0),
+            steal_min: AtomicU64::new(0),
         }
     }
 
@@ -289,6 +329,20 @@ impl Device {
         }
     }
 
+    /// Records the per-worker group counts of a finished pooled launch
+    /// (steal-cursor telemetry for [`Device::exec_stats`]).
+    pub(crate) fn note_pool_groups(&self, per_worker: &[u64]) {
+        if per_worker.is_empty() {
+            return;
+        }
+        let total: u64 = per_worker.iter().sum();
+        let max = per_worker.iter().copied().max().unwrap_or(0);
+        let min = per_worker.iter().copied().min().unwrap_or(0);
+        self.pool_groups.fetch_add(total, Ordering::Relaxed);
+        self.steal_max.store(max, Ordering::Relaxed);
+        self.steal_min.store(min, Ordering::Relaxed);
+    }
+
     /// A snapshot of this device's host-side execution statistics.
     pub fn exec_stats(&self) -> ExecStats {
         ExecStats {
@@ -297,6 +351,9 @@ impl Device {
             legacy_launches: self.legacy_launches.load(Ordering::Relaxed),
             per_launch_thread_spawns: self.legacy_thread_spawns.load(Ordering::Relaxed),
             pool_threads: self.pool.get().map_or(0, |p| p.threads() as u64),
+            pool_groups_executed: self.pool_groups.load(Ordering::Relaxed),
+            last_steal_max_groups: self.steal_max.load(Ordering::Relaxed),
+            last_steal_min_groups: self.steal_min.load(Ordering::Relaxed),
         }
     }
 

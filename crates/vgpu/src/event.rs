@@ -49,6 +49,59 @@ pub enum CommandKind {
     Marker,
 }
 
+/// Coarse, payload-free classification of a command, for telemetry
+/// observers that must not allocate (see
+/// [`QueueNotice`](crate::queue::QueueNotice)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandClass {
+    /// Host → device transfer.
+    Write,
+    /// Device → host transfer.
+    Read,
+    /// Device → device copy.
+    Copy,
+    /// Kernel execution.
+    Kernel,
+    /// Synchronisation marker.
+    Marker,
+}
+
+impl CommandClass {
+    /// A static label for traces and dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommandClass::Write => "write",
+            CommandClass::Read => "read",
+            CommandClass::Copy => "copy",
+            CommandClass::Kernel => "kernel",
+            CommandClass::Marker => "marker",
+        }
+    }
+}
+
+impl CommandKind {
+    /// This command's [`CommandClass`].
+    pub fn class(&self) -> CommandClass {
+        match self {
+            CommandKind::WriteBuffer { .. } => CommandClass::Write,
+            CommandKind::ReadBuffer { .. } => CommandClass::Read,
+            CommandKind::CopyBuffer { .. } => CommandClass::Copy,
+            CommandKind::Kernel { .. } => CommandClass::Kernel,
+            CommandKind::Marker => CommandClass::Marker,
+        }
+    }
+
+    /// Bytes the command moves (0 for kernels and markers).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            CommandKind::WriteBuffer { bytes }
+            | CommandKind::ReadBuffer { bytes }
+            | CommandKind::CopyBuffer { bytes } => *bytes,
+            CommandKind::Kernel { .. } | CommandKind::Marker => 0,
+        }
+    }
+}
+
 /// Where an event is in its lifecycle, as `clGetEventInfo` would report it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventStatus {

@@ -71,6 +71,18 @@ impl Default for ExecStrategy {
     }
 }
 
+/// Deliberate faults injected into the execution engine, for tests that
+/// exercise crash-recovery paths (panics on pool workers, `DeviceLost`
+/// reporting, flight-recorder dumps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// Panic on a pool worker the moment it picks up the launch — the
+    /// simulated analogue of a driver crash mid-kernel. The pool's
+    /// `catch_unwind` turns it into [`Error::DeviceLost`] and resets the
+    /// worker's scratch.
+    PanicInKernel,
+}
+
 /// Tuning knobs for a kernel launch.
 #[derive(Debug, Clone)]
 pub struct LaunchConfig {
@@ -86,6 +98,8 @@ pub struct LaunchConfig {
     /// Which execution engine to use (default: `SKELCL_VGPU_EXEC`, falling
     /// back to [`ExecStrategy::Fast`]).
     pub strategy: ExecStrategy,
+    /// Deliberate fault to inject (tests only; `None` in normal operation).
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl Default for LaunchConfig {
@@ -95,6 +109,7 @@ impl Default for LaunchConfig {
             ops_budget_per_item: 1 << 34,
             host_threads: None,
             strategy: ExecStrategy::default(),
+            fault_injection: None,
         }
     }
 }
@@ -130,6 +145,12 @@ pub(crate) struct LaunchState {
     abort: AtomicBool,
     failure: Mutex<Option<Error>>,
     totals: Mutex<CostCounters>,
+    /// Deliberate fault to inject (tests only).
+    fault: Option<FaultInjection>,
+    /// Work-groups each participating worker executed (one entry per
+    /// worker that finished its share) — the steal-cursor telemetry the
+    /// device aggregates after the launch.
+    worker_groups: Mutex<Vec<u64>>,
     /// Completion latch, shared separately from the payload so a worker
     /// can release its payload reference *before* arriving.
     latch: Arc<Latch>,
@@ -207,8 +228,18 @@ impl LaunchState {
             abort: AtomicBool::new(false),
             failure: Mutex::new(None),
             totals: Mutex::new(CostCounters::default()),
+            fault: config.fault_injection,
+            worker_groups: Mutex::new(Vec::new()),
             latch: Arc::new(Latch::default()),
         }
+    }
+
+    /// Per-worker group counts of the finished launch (steal telemetry).
+    fn worker_group_counts(&self) -> Vec<u64> {
+        self.worker_groups
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Declares `participants` workers about to run this launch.
@@ -284,7 +315,11 @@ pub(crate) struct WorkerScratch {
 /// the pool wraps it in `catch_unwind` and always calls
 /// [`LaunchState::finish_participant`] afterwards.
 pub(crate) fn run_worker(state: &LaunchState, scratch: &mut WorkerScratch) {
+    if state.fault == Some(FaultInjection::PanicInKernel) {
+        panic!("vgpu: injected fault (FaultInjection::PanicInKernel)");
+    }
     let mut local_counters = CostCounters::default();
+    let mut groups_executed = 0u64;
     loop {
         if state.abort.load(Ordering::Relaxed) {
             break;
@@ -300,13 +335,21 @@ pub(crate) fn run_worker(state: &LaunchState, scratch: &mut WorkerScratch) {
             run_group_lockstep(state, scratch, group_id)
         };
         match result {
-            Ok(c) => local_counters.merge(&c),
+            Ok(c) => {
+                local_counters.merge(&c);
+                groups_executed += 1;
+            }
             Err(e) => {
                 state.fail(e);
                 break;
             }
         }
     }
+    state
+        .worker_groups
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(groups_executed);
     state
         .totals
         .lock()
@@ -568,6 +611,7 @@ pub(crate) fn execute_launch(
             let pool = device.worker_pool(threads);
             device.note_launch(true, 0);
             pool.run(&state);
+            device.note_pool_groups(&state.worker_group_counts());
             state.outcome()
         }
         ExecStrategy::Lockstep => {

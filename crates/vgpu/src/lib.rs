@@ -73,9 +73,9 @@ pub mod queue;
 pub use cost::Toolchain;
 pub use device::{Device, DeviceId, DeviceSpec, ExecStats};
 pub use error::{Error, Result};
-pub use event::{CommandKind, Event, EventStatus};
-pub use exec::{ExecStrategy, LaunchConfig};
+pub use event::{CommandClass, CommandKind, Event, EventStatus};
+pub use exec::{ExecStrategy, FaultInjection, LaunchConfig};
 pub use memory::DeviceBuffer;
 pub use ndrange::NdRange;
 pub use platform::Platform;
-pub use queue::{CommandQueue, HostRead, KernelArg};
+pub use queue::{CommandQueue, HostRead, KernelArg, QueueNotice, QueueObserver, QueuePhase};

@@ -16,8 +16,9 @@
 //! [`Error::DeviceLost`] instead of poisoning the process.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 use skelcl_kernel::program::{KernelParamKind, Program};
@@ -28,10 +29,71 @@ use skelcl_kernel::vm::CostCounters;
 use crate::cost;
 use crate::device::Device;
 use crate::error::{Error, Result};
-use crate::event::{CommandKind, Event};
+use crate::event::{CommandClass, CommandKind, Event};
 use crate::exec::{execute_launch, LaunchConfig};
 use crate::memory::{BufferTable, DeviceBuffer};
 use crate::ndrange::NdRange;
+
+/// Where in a command's lifecycle a [`QueueNotice`] was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePhase {
+    /// The command was handed to the queue worker (caller's thread).
+    Enqueued,
+    /// The worker began executing it (wait-list satisfied).
+    Started,
+    /// The command settled — completed or failed (worker's thread).
+    Finished,
+}
+
+/// A compact, allocation-free telemetry notice about one queue command.
+///
+/// Observers installed with [`CommandQueue::set_observer`] receive one
+/// notice per lifecycle phase. Everything is `Copy`; an observer that wants
+/// structure (a flight recorder, counter tracks) builds it on its own side.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueNotice {
+    /// Index of the queue's device.
+    pub device: usize,
+    /// Lifecycle point.
+    pub phase: QueuePhase,
+    /// What kind of command this is.
+    pub class: CommandClass,
+    /// Bytes the command moves (0 for kernels and markers).
+    pub bytes: usize,
+    /// Commands enqueued but not yet finished on this queue, including
+    /// this one (queue depth after the notice's effect).
+    pub depth: usize,
+    /// The device's simulated clock at the notice, in nanoseconds.
+    pub t_ns: u64,
+    /// `Finished` only: the command (or a dependency) failed.
+    pub failed: bool,
+    /// `Finished` only: the failure was [`Error::DeviceLost`] — a worker
+    /// crash rather than an ordinary kernel fault.
+    pub device_lost: bool,
+}
+
+/// An installed queue observer. Called inline on the enqueueing thread
+/// (`Enqueued`) and the queue worker (`Started`/`Finished`), so it must be
+/// cheap and must not block on queue operations.
+pub type QueueObserver = Arc<dyn Fn(&QueueNotice) + Send + Sync>;
+
+/// Telemetry state shared between the queue handle and its worker. The
+/// depth counter always runs (two relaxed atomic ops per command); the
+/// observer slot is set at most once, so the unobserved hot path costs one
+/// `OnceLock` load.
+#[derive(Default)]
+struct QueueTelemetry {
+    depth: AtomicUsize,
+    observer: OnceLock<QueueObserver>,
+}
+
+impl QueueTelemetry {
+    fn notify(&self, notice: &QueueNotice) {
+        if let Some(observer) = self.observer.get() {
+            observer(notice);
+        }
+    }
+}
 
 /// An argument bound to a kernel launch.
 #[derive(Debug, Clone)]
@@ -127,6 +189,7 @@ struct Command {
 
 struct QueueShared {
     device: Arc<Device>,
+    telemetry: Arc<QueueTelemetry>,
     /// `None` only during teardown: dropped first so the worker's `recv`
     /// ends and the join below cannot deadlock.
     sender: Option<Sender<Command>>,
@@ -161,14 +224,17 @@ impl CommandQueue {
     /// Creates a queue on `device`, spawning its worker thread.
     pub fn new(device: Arc<Device>) -> Self {
         let (sender, receiver) = mpsc::channel();
+        let telemetry = Arc::new(QueueTelemetry::default());
         let worker_device = device.clone();
+        let worker_telemetry = telemetry.clone();
         let worker = std::thread::Builder::new()
             .name(format!("vgpu-queue-{}", device.id().0))
-            .spawn(move || worker_loop(worker_device, receiver))
+            .spawn(move || worker_loop(worker_device, worker_telemetry, receiver))
             .expect("spawn queue worker thread");
         CommandQueue {
             shared: Arc::new(QueueShared {
                 device,
+                telemetry,
                 sender: Some(sender),
                 worker: Some(worker),
             }),
@@ -178,6 +244,18 @@ impl CommandQueue {
     /// The queue's device.
     pub fn device(&self) -> &Arc<Device> {
         &self.shared.device
+    }
+
+    /// Installs a telemetry observer receiving a [`QueueNotice`] per
+    /// command lifecycle phase. The slot is write-once: returns `false`
+    /// (and leaves the existing observer) if one is already installed.
+    pub fn set_observer(&self, observer: QueueObserver) -> bool {
+        self.shared.telemetry.observer.set(observer).is_ok()
+    }
+
+    /// Commands enqueued but not yet finished on this queue right now.
+    pub fn depth(&self) -> usize {
+        self.shared.telemetry.depth.load(Ordering::Relaxed)
     }
 
     /// Allocates a zero-initialised device buffer (no simulated cost, as
@@ -197,12 +275,32 @@ impl CommandQueue {
             waits: waits.to_vec(),
             op,
         };
-        self.shared
+        let telemetry = &self.shared.telemetry;
+        let depth = telemetry.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        // Notify *before* handing the command to the worker so observers
+        // always see Enqueued ahead of the worker's Started/Finished.
+        let notice = |phase, depth, failed| QueueNotice {
+            device: self.shared.device.id().0,
+            phase,
+            class: event.kind().class(),
+            bytes: event.kind().payload_bytes(),
+            depth,
+            t_ns: self.shared.device.now_ns(),
+            failed,
+            device_lost: failed,
+        };
+        telemetry.notify(&notice(QueuePhase::Enqueued, depth, false));
+        let send_result = self
+            .shared
             .sender
             .as_ref()
-            .ok_or(Error::DeviceLost)?
-            .send(command)
-            .map_err(|_| Error::DeviceLost)?;
+            .ok_or(Error::DeviceLost)
+            .and_then(|s| s.send(command).map_err(|_| Error::DeviceLost));
+        if send_result.is_err() {
+            let depth = telemetry.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            telemetry.notify(&notice(QueuePhase::Finished, depth, true));
+            return Err(Error::DeviceLost);
+        }
         Ok(event)
     }
 
@@ -611,8 +709,20 @@ impl CommandQueue {
 
 /// The per-queue worker: executes commands in enqueue order, blocking on
 /// each command's wait-list first. Ends when the queue (all clones) drops.
-fn worker_loop(device: Arc<Device>, receiver: Receiver<Command>) {
+fn worker_loop(device: Arc<Device>, telemetry: Arc<QueueTelemetry>, receiver: Receiver<Command>) {
     while let Ok(Command { event, waits, op }) = receiver.recv() {
+        let class = event.kind().class();
+        let bytes = event.kind().payload_bytes();
+        let notice = |phase, depth, error: Option<&Error>| QueueNotice {
+            device: device.id().0,
+            phase,
+            class,
+            bytes,
+            depth,
+            t_ns: device.now_ns(),
+            failed: error.is_some(),
+            device_lost: matches!(error, Some(Error::DeviceLost)),
+        };
         let mut dependency_error = None;
         for wait in &waits {
             if let Err(e) = wait.wait() {
@@ -622,19 +732,39 @@ fn worker_loop(device: Arc<Device>, receiver: Receiver<Command>) {
         }
         if let Some(e) = dependency_error {
             drop(op); // release buffer clones before observers wake
+            let depth = telemetry.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            telemetry.notify(&notice(QueuePhase::Finished, depth, Some(&e)));
             event.fail(e);
             continue;
         }
         event.start_running();
+        telemetry.notify(&notice(
+            QueuePhase::Started,
+            telemetry.depth.load(Ordering::Relaxed),
+            None,
+        ));
         // `op` moves into the closure and is dropped inside it — buffer
         // clones are released before the event completes, whether the
         // command succeeds, errs, or panics (unwind drops it too).
-        match panic::catch_unwind(AssertUnwindSafe(|| execute_op(&device, op))) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| execute_op(&device, op)));
+        let depth = telemetry.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        match outcome {
             Ok(Ok((queued, started, ended, counters))) => {
+                telemetry.notify(&notice(QueuePhase::Finished, depth, None));
                 event.complete(queued, started, ended, counters)
             }
-            Ok(Err(e)) => event.fail(e),
-            Err(_) => event.fail(Error::DeviceLost),
+            Ok(Err(e)) => {
+                telemetry.notify(&notice(QueuePhase::Finished, depth, Some(&e)));
+                event.fail(e)
+            }
+            Err(_) => {
+                telemetry.notify(&notice(
+                    QueuePhase::Finished,
+                    depth,
+                    Some(&Error::DeviceLost),
+                ));
+                event.fail(Error::DeviceLost)
+            }
         }
     }
 }

@@ -64,3 +64,9 @@ bench-baseline:
 # trace.json for chrome://tracing.
 trace:
     SKELCL_TRACE=trace.json cargo run --release -p skelcl-repro --example quickstart
+
+# Full observability demo: 2-GPU dot product with the Chrome trace (flow
+# arrows + counter tracks) and the flight recorder, dumping the ring at
+# the end of the run.
+trace-demo:
+    SKELCL_TRACE=trace_demo.json SKELCL_FLIGHT=1024 cargo run --release -p skelcl-repro --example trace_demo

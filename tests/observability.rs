@@ -55,6 +55,8 @@ fn dot_product_trace_matches_trace_events_schema() {
     // Every event carries the schema's required fields per phase.
     let mut metadata = 0;
     let mut complete = 0;
+    let mut flow_starts = 0;
+    let mut flow_ends = 0;
     for e in events {
         assert!(e.get("name").and_then(Json::as_str).is_some(), "event name");
         assert!(e.get("pid").and_then(Json::as_f64).is_some(), "event pid");
@@ -66,9 +68,28 @@ fn dot_product_trace_matches_trace_events_schema() {
                 assert!(e.get("ts").and_then(Json::as_f64).is_some(), "X has ts");
                 assert!(e.get("dur").and_then(Json::as_f64).is_some(), "X has dur");
             }
+            // Flow events pair LaunchPlan wait-list edges across lanes.
+            Some(ph @ ("s" | "t")) => {
+                if ph == "s" {
+                    flow_starts += 1;
+                } else {
+                    flow_ends += 1;
+                }
+                assert!(e.get("ts").and_then(Json::as_f64).is_some(), "flow has ts");
+                assert!(e.get("id").and_then(Json::as_f64).is_some(), "flow has id");
+            }
+            // Counter tracks (queue depth, pool gauges).
+            Some("C") => {
+                assert!(e.get("ts").and_then(Json::as_f64).is_some(), "C has ts");
+                assert!(
+                    e.get("args").and_then(|a| a.get("value")).is_some(),
+                    "C has args.value"
+                );
+            }
             other => panic!("unexpected phase {other:?}"),
         }
     }
+    assert_eq!(flow_starts, flow_ends, "flow starts pair with flow ends");
     // Process name + host lane + 4 device lanes, and real work happened.
     assert!(
         metadata >= 6,
