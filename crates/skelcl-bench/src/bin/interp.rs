@@ -3,16 +3,25 @@
 //! persistent per-device worker pools, barrier-free work-item reuse,
 //! zero-clone dispatch loop) against the legacy lockstep engine
 //! ([`vgpu::ExecStrategy::Lockstep`] — per-launch scoped threads, fresh
-//! per-item `WorkItem`s, reference interpreter), on three barrier-free
+//! per-item `WorkItem`s, reference interpreter), on four barrier-free
 //! shapes: dot-product (elementwise zip-multiply), mandelbrot (iteration-
-//! heavy) and gaussian blur (5x5 stencil).
+//! heavy), gaussian blur (5x5 stencil) and a strided reduction
+//! (loop-dominated partial sums).
+//!
+//! A second section (EXT-IR from DESIGN.md §5h) A/Bs the two *compile*
+//! pipelines on the same engine: the legacy HIR → stack-codegen path
+//! (`SKELCL_KERNEL_OPT=0`) against the MIR optimization pipeline, per
+//! pass and end-to-end. Instruction and dispatch counts there are
+//! deterministic and gated; walls stay under `host` keys.
 //!
 //! Host wall-clock here is *real* time on the build machine, not simulated
 //! nanoseconds, so the report nests all measured numbers under `host` keys
 //! (the bench gate checks their presence, never their values). The gated
 //! conclusions are the booleans: the fast engine is at least 2x the legacy
 //! engine on dot-product and mandelbrot, pooled launches spawn zero
-//! threads, and both engines produce bit-identical buffers and counters.
+//! threads, both engines produce bit-identical buffers and counters, and
+//! the optimized compile pipeline executes strictly fewer source ops and
+//! dispatch-loop iterations than the legacy pipeline on blur and reduce.
 //!
 //! Usage: `cargo run --release -p skelcl-bench --bin interp`
 
@@ -20,8 +29,10 @@ use std::time::{Duration, Instant};
 
 use skelcl_bench::report::write_report;
 use skelcl_kernel::program::Program;
-use skelcl_kernel::value::Value;
-use skelcl_kernel::vm::CostCounters;
+use skelcl_kernel::types::AddressSpace;
+use skelcl_kernel::value::{Ptr, Value};
+use skelcl_kernel::vm::{CostCounters, HostMemory, ItemGeometry, WorkItem};
+use skelcl_kernel::{compile_with_config, OptConfig};
 use skelcl_profile::json::Json;
 use skelcl_profile::report::bench_report;
 use skelcl_profile::{FlightRecorder, Profiler};
@@ -35,6 +46,9 @@ const DEVICES: usize = 4;
 /// chunk, like SkelCL's block distribution).
 struct Shape {
     name: &'static str,
+    /// Kernel source, kept so the EXT-IR section can recompile the shape
+    /// under each `SKELCL_KERNEL_OPT` configuration.
+    source: &'static str,
     program: Program,
     kernel: &'static str,
     /// Input buffer contents, uploaded to every device.
@@ -71,7 +85,12 @@ struct Observe<'a> {
     flight: Option<&'a FlightRecorder>,
 }
 
-fn run_shape(shape: &Shape, strategy: ExecStrategy, observe: Observe<'_>) -> EngineRun {
+fn run_shape(
+    shape: &Shape,
+    program: &Program,
+    strategy: ExecStrategy,
+    observe: Observe<'_>,
+) -> EngineRun {
     // A fresh platform per engine keeps `ExecStats` attributable.
     let platform = Platform::new(DEVICES, DeviceSpec::tesla_t10());
     let config = LaunchConfig {
@@ -113,7 +132,7 @@ fn run_shape(shape: &Shape, strategy: ExecStrategy, observe: Observe<'_>) -> Eng
                 let len = chunk.min(shape.items - d * chunk);
                 queues[d]
                     .launch_kernel(
-                        &shape.program,
+                        program,
                         shape.kernel,
                         &args[d],
                         NdRange::linear_default(len),
@@ -170,19 +189,152 @@ fn f32s(vals: impl Iterator<Item = f32>) -> Vec<u8> {
     vals.flat_map(|v| v.to_le_bytes()).collect()
 }
 
+/// Specs for the EXT-IR per-pass sweep: the legacy stack pipeline, the
+/// MIR pipeline with every pass off, each pass in isolation, and the
+/// full default pipeline.
+const IR_SPECS: [&str; 8] = [
+    "0",
+    "none",
+    "const-prop",
+    "cse",
+    "dce",
+    "licm",
+    "unroll",
+    "1",
+];
+
+/// Static and executed cost of one compile configuration on a small IR
+/// case. Measured with a direct single-threaded [`WorkItem`] sweep — no
+/// engine, no pools — so every number is exact and deterministic, which
+/// lets the bench gate compare them without tolerance.
+struct IrRun {
+    static_ops: usize,
+    static_dispatches: usize,
+    executed: CostCounters,
+    executed_dispatches: u64,
+    out: Vec<u8>,
+}
+
+fn run_ir_case(
+    name: &str,
+    src: &str,
+    kernel: &str,
+    buffers: &[Vec<u8>],
+    scalars: &[Value],
+    items: u64,
+    spec: &str,
+) -> IrRun {
+    let program = compile_with_config(name, src, &OptConfig::from_str_spec(spec))
+        .unwrap_or_else(|e| panic!("compile {name} under spec {spec}: {e}"));
+    let k = program.kernel(kernel).expect("kernel exists");
+    let (static_ops, static_dispatches) = program.decode_stats(k.func as usize);
+
+    let mut mem = HostMemory::new();
+    let mut args = Vec::new();
+    let mut out_buf = 0;
+    for bytes in buffers {
+        out_buf = mem.add_buffer(bytes.clone()); // last buffer is the output
+        args.push(Value::Ptr(Ptr {
+            space: AddressSpace::Global,
+            buffer: out_buf,
+            byte_offset: 0,
+        }));
+    }
+    args.push(Value::I32(0)); // off
+    args.extend_from_slice(scalars);
+
+    let mut executed = CostCounters::default();
+    let mut executed_dispatches = 0u64;
+    for gid in 0..items {
+        let geo = ItemGeometry {
+            work_dim: 1,
+            global_id: [gid, 0, 0],
+            local_id: [gid, 0, 0],
+            group_id: [0, 0, 0],
+            global_size: [items, 1, 1],
+            local_size: [items, 1, 1],
+            num_groups: [1, 1, 1],
+        };
+        let mut item = WorkItem::new(&program, k.func, &args, geo);
+        item.run(&mem, &mut []).expect("work-item completes");
+        executed.merge(&item.counters);
+        executed_dispatches += item.dispatches;
+    }
+    IrRun {
+        static_ops,
+        static_dispatches,
+        executed,
+        executed_dispatches,
+        out: mem.bytes(out_buf),
+    }
+}
+
+const DOTMUL_SRC: &str = "__kernel void dotmul(__global const float* a, __global const float* b,
+                      __global float* out, int off, int n){
+     int i = (int)get_global_id(0) + off;
+     if (i < n) out[i] = a[i] * b[i];
+ }";
+
+const MANDEL_SRC: &str =
+    "__kernel void mandel(__global int* out, int off, int w, int h, int max_iter){
+     int gid = (int)get_global_id(0) + off;
+     if (gid >= w * h) return;
+     float x0 = (float)(gid % w) / (float)w * 3.5f - 2.5f;
+     float y0 = (float)(gid / w) / (float)h * 2.0f - 1.0f;
+     float x = 0.0f;
+     float y = 0.0f;
+     int it = 0;
+     while (x * x + y * y <= 4.0f && it < max_iter) {
+         float xt = x * x - y * y + x0;
+         y = 2.0f * x * y + y0;
+         x = xt;
+         it = it + 1;
+     }
+     out[gid] = it;
+ }";
+
+const BLUR_SRC: &str = "float coef(int d){
+     int a = d < 0 ? -d : d;
+     return a == 0 ? 6.0f : (a == 1 ? 4.0f : 1.0f);
+ }
+ __kernel void blur(__global const float* in, __global float* out,
+                    int off, int w, int h){
+     int gid = (int)get_global_id(0) + off;
+     if (gid >= w * h) return;
+     int x = gid % w;
+     int y = gid / w;
+     float acc = 0.0f;
+     float norm = 0.0f;
+     for (int dy = -2; dy <= 2; dy++) {
+         for (int dx = -2; dx <= 2; dx++) {
+             int sx = x + dx;
+             int sy = y + dy;
+             if (sx < 0) sx = 0;
+             if (sx >= w) sx = w - 1;
+             if (sy < 0) sy = 0;
+             if (sy >= h) sy = h - 1;
+             float wgt = coef(dx) * coef(dy);
+             acc += in[sy * w + sx] * wgt;
+             norm += wgt;
+         }
+     }
+     out[gid] = acc / norm;
+ }";
+
+const REDUCE_SRC: &str = "__kernel void reduce(__global const float* in, __global float* out,
+                      int off, int n, int stride){
+     int gid = (int)get_global_id(0) + off;
+     float acc = 0.0f;
+     for (int i = gid; i < n; i += stride) acc += in[i];
+     out[gid] = acc;
+ }";
+
 fn dot_product() -> Shape {
     let n = 1usize << 20;
-    let program = skelcl_kernel::compile(
-        "dotmul.cl",
-        "__kernel void dotmul(__global const float* a, __global const float* b,
-                              __global float* out, int off, int n){
-             int i = (int)get_global_id(0) + off;
-             if (i < n) out[i] = a[i] * b[i];
-         }",
-    )
-    .expect("compile dotmul");
+    let program = skelcl_kernel::compile("dotmul.cl", DOTMUL_SRC).expect("compile dotmul");
     Shape {
         name: "dot_product",
+        source: DOTMUL_SRC,
         program,
         kernel: "dotmul",
         inputs: vec![
@@ -198,28 +350,10 @@ fn dot_product() -> Shape {
 
 fn mandelbrot() -> Shape {
     let (w, h, max_iter) = (384usize, 288usize, 120i32);
-    let program = skelcl_kernel::compile(
-        "mandel.cl",
-        "__kernel void mandel(__global int* out, int off, int w, int h, int max_iter){
-             int gid = (int)get_global_id(0) + off;
-             if (gid >= w * h) return;
-             float x0 = (float)(gid % w) / (float)w * 3.5f - 2.5f;
-             float y0 = (float)(gid / w) / (float)h * 2.0f - 1.0f;
-             float x = 0.0f;
-             float y = 0.0f;
-             int it = 0;
-             while (x * x + y * y <= 4.0f && it < max_iter) {
-                 float xt = x * x - y * y + x0;
-                 y = 2.0f * x * y + y0;
-                 x = xt;
-                 it = it + 1;
-             }
-             out[gid] = it;
-         }",
-    )
-    .expect("compile mandel");
+    let program = skelcl_kernel::compile("mandel.cl", MANDEL_SRC).expect("compile mandel");
     Shape {
         name: "mandelbrot",
+        source: MANDEL_SRC,
         program,
         kernel: "mandel",
         inputs: vec![],
@@ -236,39 +370,10 @@ fn mandelbrot() -> Shape {
 
 fn gaussian_blur() -> Shape {
     let (w, h) = (320usize, 320usize);
-    let program = skelcl_kernel::compile(
-        "blur.cl",
-        "float coef(int d){
-             int a = d < 0 ? -d : d;
-             return a == 0 ? 6.0f : (a == 1 ? 4.0f : 1.0f);
-         }
-         __kernel void blur(__global const float* in, __global float* out,
-                            int off, int w, int h){
-             int gid = (int)get_global_id(0) + off;
-             if (gid >= w * h) return;
-             int x = gid % w;
-             int y = gid / w;
-             float acc = 0.0f;
-             float norm = 0.0f;
-             for (int dy = -2; dy <= 2; dy++) {
-                 for (int dx = -2; dx <= 2; dx++) {
-                     int sx = x + dx;
-                     int sy = y + dy;
-                     if (sx < 0) sx = 0;
-                     if (sx >= w) sx = w - 1;
-                     if (sy < 0) sy = 0;
-                     if (sy >= h) sy = h - 1;
-                     float wgt = coef(dx) * coef(dy);
-                     acc += in[sy * w + sx] * wgt;
-                     norm += wgt;
-                 }
-             }
-             out[gid] = acc / norm;
-         }",
-    )
-    .expect("compile blur");
+    let program = skelcl_kernel::compile("blur.cl", BLUR_SRC).expect("compile blur");
     Shape {
         name: "gaussian_blur",
+        source: BLUR_SRC,
         program,
         kernel: "blur",
         inputs: vec![f32s(
@@ -281,6 +386,28 @@ fn gaussian_blur() -> Shape {
     }
 }
 
+fn strided_reduce() -> Shape {
+    // 4096 partial sums over 2^20 elements: each work-item walks the
+    // input with a stride of the *total* item count (SkelCL's partial
+    // reduction layout), so the kernel is loop-dominated — the shape the
+    // MIR pipeline's preamble/exit wins matter least and dispatch-loop
+    // savings matter most.
+    let n = 1usize << 20;
+    let items = 4096usize;
+    let program = skelcl_kernel::compile("reduce.cl", REDUCE_SRC).expect("compile reduce");
+    Shape {
+        name: "strided_reduce",
+        source: REDUCE_SRC,
+        program,
+        kernel: "reduce",
+        inputs: vec![f32s((0..n).map(|i| ((i % 641) as f32) * 0.125 - 40.0))],
+        scalars: vec![Value::I32(n as i32), Value::I32(items as i32)],
+        items,
+        out_bytes_per_item: 4,
+        reps: 3,
+    }
+}
+
 fn main() {
     println!(
         "== Interpreter A/B: pooled fast engine vs legacy lockstep engine, {DEVICES} virtual GPUs ==\n"
@@ -290,7 +417,12 @@ fn main() {
         "shape", "items", "fast (ms)", "lockstep (ms)", "speedup", "bytes", "ctrs"
     );
 
-    let shapes = [dot_product(), mandelbrot(), gaussian_blur()];
+    let shapes = [
+        dot_product(),
+        mandelbrot(),
+        gaussian_blur(),
+        strided_reduce(),
+    ];
     // Histograms for the report come from the fast-engine runs only, so
     // the p50/p90/p99 quantiles describe the engine under test.
     let profiler = Profiler::enabled();
@@ -312,13 +444,19 @@ fn main() {
         );
         let fast = run_shape(
             shape,
+            &shape.program,
             ExecStrategy::Fast,
             Observe {
                 profiler: Some(&profiler),
                 flight: None,
             },
         );
-        let lockstep = run_shape(shape, ExecStrategy::Lockstep, Observe::default());
+        let lockstep = run_shape(
+            shape,
+            &shape.program,
+            ExecStrategy::Lockstep,
+            Observe::default(),
+        );
         let outputs_identical = fast.out == lockstep.out;
         let counters_identical = fast.counters == lockstep.counters;
         all_identical &= outputs_identical && counters_identical;
@@ -385,8 +523,8 @@ fn main() {
         lockstep_stats.legacy_launches,
     );
     println!(
-        "shape check: dot-product speedup {:.2}x (>=2x: {dot_2x}), mandelbrot {:.2}x (>=2x: {mandel_2x}), gaussian blur {:.2}x",
-        speedups[0], speedups[1], speedups[2]
+        "shape check: dot-product speedup {:.2}x (>=2x: {dot_2x}), mandelbrot {:.2}x (>=2x: {mandel_2x}), gaussian blur {:.2}x, strided reduce {:.2}x",
+        speedups[0], speedups[1], speedups[2], speedups[3]
     );
 
     // Flight-recorder overhead on the dot-product workload: the recorder
@@ -397,11 +535,19 @@ fn main() {
     let mut plain_wall = Duration::MAX;
     let mut flight_wall = Duration::MAX;
     for _ in 0..3 {
-        plain_wall =
-            plain_wall.min(run_shape(&shapes[0], ExecStrategy::Fast, Observe::default()).wall);
+        plain_wall = plain_wall.min(
+            run_shape(
+                &shapes[0],
+                &shapes[0].program,
+                ExecStrategy::Fast,
+                Observe::default(),
+            )
+            .wall,
+        );
         flight_wall = flight_wall.min(
             run_shape(
                 &shapes[0],
+                &shapes[0].program,
                 ExecStrategy::Fast,
                 Observe {
                     profiler: None,
@@ -424,8 +570,169 @@ fn main() {
         flight_overhead * 1e2,
     );
 
-    let ok =
-        dot_2x && mandel_2x && zero_spawns && legacy_spawns && all_identical && flight_under_5pct;
+    // EXT-IR: A/B of the two compile pipelines. First the per-pass sweep
+    // on small variants of the two loop-heavy shapes, measured exactly
+    // with direct work-item sweeps (deterministic counts: these gate);
+    // then legacy-vs-optimized wall clock on the fast engine with the
+    // full-size shapes (host keys: presence-checked only).
+    println!("\n== IR pipeline A/B: legacy stack codegen vs MIR passes (SKELCL_KERNEL_OPT) ==\n");
+    let (bw, bh) = (64usize, 64usize);
+    let (rn, ritems) = (16384usize, 256u64);
+    let ir_cases = [
+        (
+            "blur",
+            BLUR_SRC,
+            "blur",
+            vec![
+                f32s((0..bw * bh).map(|i| ((i * 2654435761) % 255) as f32 / 255.0)),
+                vec![0u8; bw * bh * 4],
+            ],
+            vec![Value::I32(bw as i32), Value::I32(bh as i32)],
+            (bw * bh) as u64,
+        ),
+        (
+            "reduce",
+            REDUCE_SRC,
+            "reduce",
+            vec![
+                f32s((0..rn).map(|i| (i as f32) * 0.25)),
+                vec![0u8; ritems as usize * 4],
+            ],
+            vec![Value::I32(rn as i32), Value::I32(ritems as i32)],
+            ritems,
+        ),
+    ];
+    let mut ir_objs: Vec<(&str, Json)> = Vec::new();
+    let mut ir_ok = true;
+    for (name, src, kernel, buffers, scalars, items) in &ir_cases {
+        println!("{name} ({items} items):");
+        println!(
+            "{:>12} {:>11} {:>12} {:>13} {:>14}",
+            "spec", "static_ops", "static_disp", "executed_ops", "executed_disp"
+        );
+        let runs: Vec<IrRun> = IR_SPECS
+            .iter()
+            .map(|spec| {
+                let r = run_ir_case(name, src, kernel, buffers, scalars, *items, spec);
+                println!(
+                    "{:>12} {:>11} {:>12} {:>13} {:>14}",
+                    spec, r.static_ops, r.static_dispatches, r.executed.ops, r.executed_dispatches
+                );
+                r
+            })
+            .collect();
+        let legacy = &runs[0];
+        let full = runs.last().expect("spec list is non-empty");
+        let outputs_identical = runs.iter().all(|r| r.out == legacy.out);
+        let fewer_ops = full.executed.ops < legacy.executed.ops;
+        let fewer_dispatches = full.executed_dispatches < legacy.executed_dispatches;
+        ir_ok &= outputs_identical && fewer_ops && fewer_dispatches;
+        let ops_saved = legacy.executed.ops.saturating_sub(full.executed.ops);
+        let dispatches_saved = legacy
+            .executed_dispatches
+            .saturating_sub(full.executed_dispatches);
+        println!(
+            "  ops_saved={ops_saved} dispatches_saved={dispatches_saved} \
+             (fewer ops: {fewer_ops}, fewer dispatches: {fewer_dispatches}, \
+             outputs identical: {outputs_identical})\n"
+        );
+        let spec_objs: Vec<(&str, Json)> = IR_SPECS
+            .iter()
+            .zip(&runs)
+            .map(|(spec, r)| {
+                (
+                    *spec,
+                    Json::obj([
+                        ("static_ops", (r.static_ops as u64).into()),
+                        ("static_dispatches", (r.static_dispatches as u64).into()),
+                        ("executed_ops", r.executed.ops.into()),
+                        ("executed_dispatches", r.executed_dispatches.into()),
+                    ]),
+                )
+            })
+            .collect();
+        ir_objs.push((
+            name,
+            Json::obj([
+                ("items", (*items).into()),
+                (
+                    "outputs_identical_across_specs",
+                    Json::Bool(outputs_identical),
+                ),
+                ("opt_executes_fewer_ops", Json::Bool(fewer_ops)),
+                (
+                    "opt_executes_fewer_dispatches",
+                    Json::Bool(fewer_dispatches),
+                ),
+                (
+                    "counters",
+                    Json::obj([
+                        ("ops_saved", ops_saved.into()),
+                        ("dispatches_saved", dispatches_saved.into()),
+                    ]),
+                ),
+                ("specs", Json::obj(spec_objs)),
+            ]),
+        ));
+    }
+
+    // End-to-end on the engine: recompile the loop shapes with the legacy
+    // pipeline and race both programs on the fast engine (min of three,
+    // interleaved so both see the same machine conditions).
+    for shape in [&shapes[2], &shapes[3]] {
+        let legacy_prog =
+            compile_with_config(shape.name, shape.source, &OptConfig::from_str_spec("0"))
+                .expect("legacy compile");
+        let mut legacy_wall = Duration::MAX;
+        let mut opt_wall = Duration::MAX;
+        let mut outputs_identical = true;
+        for _ in 0..3 {
+            let legacy = run_shape(shape, &legacy_prog, ExecStrategy::Fast, Observe::default());
+            let opt = run_shape(
+                shape,
+                &shape.program,
+                ExecStrategy::Fast,
+                Observe::default(),
+            );
+            outputs_identical &= legacy.out == opt.out;
+            legacy_wall = legacy_wall.min(legacy.wall);
+            opt_wall = opt_wall.min(opt.wall);
+        }
+        let ir_speedup = legacy_wall.as_secs_f64() / opt_wall.as_secs_f64();
+        ir_ok &= outputs_identical;
+        println!(
+            "{}: legacy compile {:.2} ms vs optimized {:.2} ms on the fast engine \
+             ({:.2}x, outputs {})",
+            shape.name,
+            legacy_wall.as_secs_f64() * 1e3,
+            opt_wall.as_secs_f64() * 1e3,
+            ir_speedup,
+            if outputs_identical { "same" } else { "DIFF" },
+        );
+        ir_objs.push((
+            shape.name,
+            Json::obj([
+                ("outputs_identical", Json::Bool(outputs_identical)),
+                (
+                    "host",
+                    Json::obj([
+                        ("legacy_wall_ms", Json::Num(legacy_wall.as_secs_f64() * 1e3)),
+                        ("opt_wall_ms", Json::Num(opt_wall.as_secs_f64() * 1e3)),
+                        ("speedup", Json::Num(ir_speedup)),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+    println!("ir pipeline check: optimized compile strictly cheaper and bit-identical: {ir_ok}");
+
+    let ok = dot_2x
+        && mandel_2x
+        && zero_spawns
+        && legacy_spawns
+        && all_identical
+        && flight_under_5pct
+        && ir_ok;
     println!(
         "\nresult: {}",
         if ok {
@@ -446,6 +753,7 @@ fn main() {
             shape_objs
                 .into_iter()
                 .chain([
+                    ("ir", Json::obj(ir_objs)),
                     (
                         "flight_overhead",
                         Json::obj([

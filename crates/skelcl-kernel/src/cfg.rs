@@ -1,0 +1,437 @@
+//! Control-flow-graph analyses and cleanup over [`crate::mir`].
+//!
+//! Provides the building blocks the optimization passes share:
+//! predecessor lists, reverse post-order, iterative dominators
+//! (Cooper–Harvey–Kennedy), natural-loop discovery from back edges, and a
+//! `simplify` cleanup that folds trivially-redundant control flow
+//! (branch-to-same-target, empty-block threading, single-predecessor block
+//! merging, unreachable-block removal).
+
+use std::collections::HashSet;
+
+use crate::mir::{Block, BlockId, MirFunction, Terminator};
+
+/// Predecessor lists, indexed by block.
+pub fn predecessors(f: &MirFunction) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for (i, b) in f.blocks.iter().enumerate() {
+        for s in b.term.successors() {
+            preds[s.idx()].push(BlockId(i as u32));
+        }
+    }
+    preds
+}
+
+/// Reverse post-order over reachable blocks, starting at the entry.
+pub fn reverse_post_order(f: &MirFunction) -> Vec<BlockId> {
+    let mut visited = vec![false; f.blocks.len()];
+    let mut post = Vec::with_capacity(f.blocks.len());
+    // Iterative DFS with an explicit "children pushed" marker.
+    let mut stack = vec![(BlockId(0), false)];
+    while let Some((bb, children_done)) = stack.pop() {
+        if children_done {
+            post.push(bb);
+            continue;
+        }
+        if visited[bb.idx()] {
+            continue;
+        }
+        visited[bb.idx()] = true;
+        stack.push((bb, true));
+        let succs = f.blocks[bb.idx()].term.successors();
+        for s in succs.into_iter().rev() {
+            if !visited[s.idx()] {
+                stack.push((s, false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators of every reachable block (`idom[entry] == entry`;
+/// unreachable blocks map to `None`).
+pub fn dominators(f: &MirFunction) -> Vec<Option<BlockId>> {
+    let rpo = reverse_post_order(f);
+    let preds = predecessors(f);
+    let mut rpo_index = vec![usize::MAX; f.blocks.len()];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.idx()] = i;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    idom[0] = Some(BlockId(0));
+
+    let intersect =
+        |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.idx()] > rpo_index[b.idx()] {
+                    a = idom[a.idx()].expect("processed");
+                }
+                while rpo_index[b.idx()] > rpo_index[a.idx()] {
+                    b = idom[b.idx()].expect("processed");
+                }
+            }
+            a
+        };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &bb in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[bb.idx()] {
+                if idom[p.idx()].is_none() {
+                    continue; // not yet processed or unreachable
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[bb.idx()] != Some(ni) {
+                    idom[bb.idx()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Whether `a` dominates `b` under `idom` (reflexive).
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.idx()] {
+            Some(next) if next != cur => cur = next,
+            _ => return false,
+        }
+    }
+}
+
+/// A natural loop: the header plus every block that can reach a back edge
+/// without leaving through the header.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, header included.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Discovers the natural loops of `f`. Loops sharing a header are merged.
+/// Returned innermost-first (by ascending block count), so passes that
+/// process loops in order handle nested loops inside-out.
+pub fn natural_loops(f: &MirFunction) -> Vec<NaturalLoop> {
+    let idom = dominators(f);
+    let preds = predecessors(f);
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+
+    for (i, b) in f.blocks.iter().enumerate() {
+        let u = BlockId(i as u32);
+        if idom[i].is_none() {
+            continue; // unreachable
+        }
+        for h in b.term.successors() {
+            if dominates(&idom, h, u) {
+                // Back edge u -> h: collect the loop body by walking
+                // predecessors from u until h.
+                let mut body: HashSet<BlockId> = HashSet::new();
+                body.insert(h);
+                let mut stack = vec![u];
+                while let Some(n) = stack.pop() {
+                    if body.insert(n) {
+                        for &p in &preds[n.idx()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == h) {
+                    existing.latches.push(u);
+                    for bb in body {
+                        if !existing.blocks.contains(&bb) {
+                            existing.blocks.push(bb);
+                        }
+                    }
+                } else {
+                    let mut blocks: Vec<BlockId> = body.into_iter().collect();
+                    blocks.sort();
+                    loops.push(NaturalLoop {
+                        header: h,
+                        latches: vec![u],
+                        blocks,
+                    });
+                }
+            }
+        }
+    }
+    for l in &mut loops {
+        l.blocks.sort();
+    }
+    loops.sort_by_key(|l| l.blocks.len());
+    loops
+}
+
+/// Inserts a preheader block in front of `header`: every edge into the
+/// header from outside `loop_blocks` is redirected through a fresh block
+/// that jumps to the header. Returns the preheader's id.
+pub fn insert_preheader(f: &mut MirFunction, header: BlockId, loop_blocks: &[BlockId]) -> BlockId {
+    let pre = BlockId(f.blocks.len() as u32);
+    f.blocks.push(Block {
+        insts: Vec::new(),
+        term: Terminator::Jump(header),
+    });
+    let in_loop: HashSet<BlockId> = loop_blocks.iter().copied().collect();
+    for (i, b) in f.blocks.iter_mut().enumerate() {
+        let from = BlockId(i as u32);
+        if from == pre || in_loop.contains(&from) {
+            continue;
+        }
+        b.term.for_each_succ_mut(|s| {
+            if *s == header {
+                *s = pre;
+            }
+        });
+    }
+    pre
+}
+
+/// Folds trivially-redundant control flow until a fixed point:
+///
+/// 1. `Branch` with identical targets → `Jump`;
+/// 2. edges through empty `Jump`-only blocks are threaded to their target;
+/// 3. a block whose terminator is `Jump(c)` absorbs `c` when it is `c`'s
+///    only predecessor;
+/// 4. unreachable blocks are dropped (ids are compacted).
+pub fn simplify(f: &mut MirFunction) {
+    loop {
+        let mut changed = false;
+
+        // 1. Branch with equal targets.
+        for b in &mut f.blocks {
+            if let Terminator::Branch {
+                then_bb, else_bb, ..
+            } = b.term
+            {
+                if then_bb == else_bb {
+                    b.term = Terminator::Jump(then_bb);
+                    changed = true;
+                }
+            }
+        }
+
+        // 2. Thread through empty jump-only blocks (resolving chains, with
+        // cycle protection for degenerate empty infinite loops).
+        let resolve: Vec<BlockId> = (0..f.blocks.len())
+            .map(|i| {
+                let mut cur = BlockId(i as u32);
+                let mut seen = HashSet::new();
+                while f.blocks[cur.idx()].insts.is_empty() && seen.insert(cur) {
+                    match f.blocks[cur.idx()].term {
+                        Terminator::Jump(t) if t != cur => cur = t,
+                        _ => break,
+                    }
+                }
+                cur
+            })
+            .collect();
+        for b in &mut f.blocks {
+            b.term.for_each_succ_mut(|s| {
+                let r = resolve[s.idx()];
+                if r != *s {
+                    *s = r;
+                    changed = true;
+                }
+            });
+        }
+
+        // 3. Merge single-pred/single-succ pairs.
+        let preds = predecessors(f);
+        for i in 0..f.blocks.len() {
+            let Terminator::Jump(c) = f.blocks[i].term else {
+                continue;
+            };
+            if c.idx() == i || c == BlockId(0) {
+                continue;
+            }
+            if preds[c.idx()].len() != 1 {
+                continue;
+            }
+            // Absorb c into i.
+            let Block { insts, term } = std::mem::replace(
+                &mut f.blocks[c.idx()],
+                Block {
+                    insts: Vec::new(),
+                    term: Terminator::MissingReturn,
+                },
+            );
+            f.blocks[i].insts.extend(insts);
+            f.blocks[i].term = term;
+            changed = true;
+            // `preds` is stale now; restart the scan.
+            break;
+        }
+
+        // 4. Drop unreachable blocks and compact ids.
+        let rpo = reverse_post_order(f);
+        if rpo.len() != f.blocks.len() {
+            let mut remap = vec![None; f.blocks.len()];
+            let mut kept = Vec::with_capacity(rpo.len());
+            let mut reachable: Vec<BlockId> = rpo;
+            reachable.sort();
+            for (new_idx, bb) in reachable.iter().enumerate() {
+                remap[bb.idx()] = Some(BlockId(new_idx as u32));
+            }
+            for (i, b) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+                if remap[i].is_some() {
+                    kept.push(b);
+                }
+            }
+            for b in &mut kept {
+                b.term.for_each_succ_mut(|s| {
+                    *s = remap[s.idx()].expect("successor of reachable block is reachable");
+                });
+            }
+            f.blocks = kept;
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{Inst, VReg};
+    use crate::value::Value;
+
+    fn block(term: Terminator) -> Block {
+        Block {
+            insts: Vec::new(),
+            term,
+        }
+    }
+
+    fn func(blocks: Vec<Block>) -> MirFunction {
+        MirFunction {
+            name: "t".into(),
+            is_kernel: false,
+            param_count: 0,
+            local_init: vec![],
+            blocks,
+            vreg_count: 16,
+            returns_void: true,
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_skips_unreachable() {
+        let f = func(vec![
+            block(Terminator::Jump(BlockId(2))),
+            block(Terminator::Return(None)), // unreachable
+            block(Terminator::Return(None)),
+        ]);
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo, vec![BlockId(0), BlockId(2)]);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        // 0 -> {1, 2} -> 3
+        let f = func(vec![
+            block(Terminator::Branch {
+                cond: VReg(0),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            }),
+            block(Terminator::Jump(BlockId(3))),
+            block(Terminator::Jump(BlockId(3))),
+            block(Terminator::Return(None)),
+        ]);
+        let idom = dominators(&f);
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!dominates(&idom, BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn natural_loop_discovery() {
+        // 0 -> 1 (header) -> {2 (body), 3 (exit)}; 2 -> 1.
+        let f = func(vec![
+            block(Terminator::Jump(BlockId(1))),
+            block(Terminator::Branch {
+                cond: VReg(0),
+                then_bb: BlockId(2),
+                else_bb: BlockId(3),
+            }),
+            block(Terminator::Jump(BlockId(1))),
+            block(Terminator::Return(None)),
+        ]);
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].latches, vec![BlockId(2)]);
+        let mut blocks = loops[0].blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn simplify_threads_and_merges() {
+        // 0 -> 1 (empty) -> 2; after simplify everything collapses into one
+        // block ending in Return.
+        let mut f = func(vec![
+            block(Terminator::Jump(BlockId(1))),
+            block(Terminator::Jump(BlockId(2))),
+            block(Terminator::Return(None)),
+        ]);
+        f.blocks[2].insts.push(Inst::Const {
+            dst: VReg(0),
+            value: Value::I32(1),
+        });
+        simplify(&mut f);
+        assert_eq!(f.blocks.len(), 1);
+        assert!(matches!(f.blocks[0].term, Terminator::Return(None)));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn simplify_removes_unreachable() {
+        let mut f = func(vec![
+            block(Terminator::Return(None)),
+            block(Terminator::Return(None)),
+        ]);
+        simplify(&mut f);
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn preheader_redirects_outside_edges() {
+        // 0 -> 1 (header); 2 -> 1 is the back edge.
+        let mut f = func(vec![
+            block(Terminator::Jump(BlockId(1))),
+            block(Terminator::Branch {
+                cond: VReg(0),
+                then_bb: BlockId(2),
+                else_bb: BlockId(3),
+            }),
+            block(Terminator::Jump(BlockId(1))),
+            block(Terminator::Return(None)),
+        ]);
+        let pre = insert_preheader(&mut f, BlockId(1), &[BlockId(1), BlockId(2)]);
+        assert_eq!(f.blocks[0].term, Terminator::Jump(pre));
+        assert_eq!(f.blocks[2].term, Terminator::Jump(BlockId(1)));
+        assert_eq!(f.blocks[pre.idx()].term, Terminator::Jump(BlockId(1)));
+    }
+}

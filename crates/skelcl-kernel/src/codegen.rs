@@ -38,7 +38,10 @@ pub fn generate(unit: &Unit, source_name: &str) -> Program {
     Program::from_parts(functions, kernels, source_name)
 }
 
-fn kernel_info(f: &Function, func: u16) -> KernelInfo {
+/// Builds the launch metadata of one `__kernel` function (parameter
+/// binding kinds, `__local` array layout). Shared by the legacy stack
+/// code generator and the MIR lowering in [`crate::lower`].
+pub(crate) fn kernel_info(f: &Function, func: u16) -> KernelInfo {
     let params = f
         .params()
         .iter()
@@ -545,7 +548,7 @@ fn pointee_of(ty: Type) -> ScalarType {
 }
 
 /// The constant `1` of a scalar type (for inc/dec).
-fn one_of(s: ScalarType) -> Value {
+pub(crate) fn one_of(s: ScalarType) -> Value {
     use ScalarType::*;
     match s {
         Bool => Value::Bool(true),

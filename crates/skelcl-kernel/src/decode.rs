@@ -172,8 +172,11 @@ pub(crate) enum Decoded {
     Mov(u16, u16),
     /// `Const v; StoreLocal dst` (k = 2).
     MovC(Value, u16),
-    /// `LoadLocal ptr; LoadLocal idx; Convert long; PtrOffset size` — the
-    /// array-indexing idiom: push (or store) `locals[ptr] + idx*size`.
+    /// `LoadLocal ptr; LoadLocal idx; [Convert long;] PtrOffset size` — the
+    /// array-indexing idiom: push (or store) `locals[ptr] + idx*size`. The
+    /// legacy codegen widens the index inline (`conv` true); the
+    /// register-allocating lowering usually hoists the widening into the
+    /// index slot, leaving a bare `PtrOffset` (`conv` false).
     PtrIdx {
         /// Local slot holding the base pointer.
         ptr: u16,
@@ -181,9 +184,48 @@ pub(crate) enum Decoded {
         idx: u16,
         /// Element byte size.
         size: u32,
+        /// Whether a fused `Convert long` widens the index first.
+        conv: bool,
         /// When `Some(ty)`, a fused trailing `LoadMem ty`: push the loaded
         /// element instead of the pointer.
         load: Option<ScalarType>,
+        /// Result destination.
+        dst: Dst,
+        /// Source ops covered.
+        k: u8,
+    },
+    /// `[v load] LoadLocal ptr; LoadLocal idx; [Convert long;]
+    /// PtrOffset size; StoreMem ty` — store a value at an array index
+    /// computed inline. The register lowering keeps the address on the
+    /// operand stack instead of spilling it to a slot, which puts it out
+    /// of reach of the plain [`Decoded::StMem`] fusion; this covers the
+    /// whole indexed store in one dispatch with the pointer never touching
+    /// the stack.
+    StIdx {
+        /// The value to store.
+        v: Operand,
+        /// Local slot holding the base pointer.
+        ptr: u16,
+        /// Local slot holding the element index.
+        idx: u16,
+        /// Element byte size.
+        size: u32,
+        /// Whether a fused `Convert long` widens the index first.
+        conv: bool,
+        /// Element type written.
+        ty: ScalarType,
+        /// Source ops covered.
+        k: u8,
+    },
+    /// `[load] Convert ty [StoreLocal]` — convert a local, constant or
+    /// stack value and push or store the result. The register lowering
+    /// rematerialises conversion sources and spills results to slots, so
+    /// this shape is common in its output.
+    Cvt {
+        /// The value to convert.
+        src: Operand,
+        /// Target scalar type.
+        to: ScalarType,
         /// Result destination.
         dst: Dst,
         /// Source ops covered.
@@ -202,6 +244,8 @@ impl Decoded {
             Decoded::Bin { k, .. }
             | Decoded::Cmp { k, .. }
             | Decoded::PtrIdx { k, .. }
+            | Decoded::StIdx { k, .. }
+            | Decoded::Cvt { k, .. }
             | Decoded::StMem { k, .. } => *k as u64,
         }
     }
@@ -413,34 +457,114 @@ fn decode_at(code: &[Op], i: usize, is_target: &[bool]) -> Decoded {
         }
     }
 
-    // The array-indexing idiom, with an optional fused load.
-    if let (Op::LoadLocal(p), true, true, true) = (&code[i], free(i + 1), free(i + 2), free(i + 3))
-    {
-        if let (Op::LoadLocal(idx), Op::Convert(ScalarType::Long), Op::PtrOffset(size)) =
-            (&code[i + 1], &code[i + 2], &code[i + 3])
-        {
-            let mut k = 4u8;
-            let mut load = None;
-            let mut dst = Dst::Stack;
-            if free(i + 4) {
-                if let Op::LoadMem(ty) = &code[i + 4] {
-                    load = Some(*ty);
-                    k += 1;
-                }
+    // Indexed stores: `[v load] LoadLocal p; LoadLocal i; [Convert long;]
+    // PtrOffset; StoreMem`. Checked before the plain indexing idiom below
+    // so the trailing `StoreMem` joins the fusion.
+    // Try the fused-value form first (`[v load] LoadLocal p; ...`), then
+    // the stack-value form (the head op itself is `LoadLocal p`).
+    for (v, base) in [(operand(&code[i]), i + 1), (Some(Operand::Stack), i)] {
+        let Some(v) = v else { continue };
+        if base > i && !free(base) {
+            continue;
+        }
+        let (Some(Op::LoadLocal(p)), Some(Op::LoadLocal(idx))) =
+            (code.get(base), code.get(base + 1))
+        else {
+            continue;
+        };
+        if !free(base + 1) {
+            continue;
+        }
+        let parsed = match &code[base + 2..] {
+            [Op::Convert(ScalarType::Long), Op::PtrOffset(size), Op::StoreMem(ty), ..]
+                if free(base + 2) && free(base + 3) && free(base + 4) =>
+            {
+                Some((*size, true, *ty, base + 5))
             }
-            if free(i + k as usize) {
-                if let Op::StoreLocal(s) = &code[i + k as usize] {
-                    dst = Dst::Local(*s);
-                    k += 1;
-                }
+            [Op::PtrOffset(size), Op::StoreMem(ty), ..] if free(base + 2) && free(base + 3) => {
+                Some((*size, false, *ty, base + 4))
             }
-            return Decoded::PtrIdx {
+            _ => None,
+        };
+        if let Some((size, conv, ty, end)) = parsed {
+            return Decoded::StIdx {
+                v,
                 ptr: *p,
                 idx: *idx,
-                size: *size,
-                load,
-                dst,
-                k,
+                size,
+                conv,
+                ty,
+                k: (end - i) as u8,
+            };
+        }
+    }
+
+    // The array-indexing idiom, with an optional fused load. The index
+    // widening is either inline (legacy codegen) or already hoisted into
+    // the slot (register lowering) — both forms fuse.
+    if free(i + 1) {
+        if let (Op::LoadLocal(p), Op::LoadLocal(idx)) = (&code[i], &code[i + 1]) {
+            let parsed = match (&code[i + 1..], free(i + 2), free(i + 3)) {
+                ([_, Op::Convert(ScalarType::Long), Op::PtrOffset(size), ..], true, true) => {
+                    Some((*size, true, 4u8))
+                }
+                ([_, Op::PtrOffset(size), ..], true, _) => Some((*size, false, 3u8)),
+                _ => None,
+            };
+            if let Some((size, conv, mut k)) = parsed {
+                let mut load = None;
+                let mut dst = Dst::Stack;
+                if free(i + k as usize) {
+                    if let Op::LoadMem(ty) = &code[i + k as usize] {
+                        load = Some(*ty);
+                        k += 1;
+                    }
+                }
+                if free(i + k as usize) {
+                    if let Op::StoreLocal(s) = &code[i + k as usize] {
+                        dst = Dst::Local(*s);
+                        k += 1;
+                    }
+                }
+                return Decoded::PtrIdx {
+                    ptr: *p,
+                    idx: *idx,
+                    size,
+                    conv,
+                    load,
+                    dst,
+                    k,
+                };
+            }
+        }
+    }
+
+    // Conversions, with the source and destination fused where possible.
+    if free(i + 1) {
+        if let Some(src) = operand(&code[i]) {
+            if let Op::Convert(to) = &code[i + 1] {
+                let mut k = 2u8;
+                let mut dst = Dst::Stack;
+                if free(i + 2) {
+                    if let Op::StoreLocal(s) = &code[i + 2] {
+                        dst = Dst::Local(*s);
+                        k = 3;
+                    }
+                }
+                return Decoded::Cvt {
+                    src,
+                    to: *to,
+                    dst,
+                    k,
+                };
+            }
+        }
+        if let (Op::Convert(to), Op::StoreLocal(s)) = (&code[i], &code[i + 1]) {
+            return Decoded::Cvt {
+                src: Operand::Stack,
+                to: *to,
+                dst: Dst::Local(*s),
+                k: 2,
             };
         }
     }
@@ -598,9 +722,79 @@ mod tests {
                 ptr: 0,
                 idx: 5,
                 size: 4,
+                conv: true,
                 load: Some(ScalarType::Float),
                 dst: Dst::Stack,
                 k: 5,
+            }
+        ));
+    }
+
+    #[test]
+    fn fuses_array_access_with_hoisted_widening() {
+        // The register lowering widens the index ahead of time, so the
+        // access is `LoadLocal; LoadLocal; PtrOffset; LoadMem; StoreLocal`
+        // with no inline `Convert` — five ops, one dispatch.
+        let code = [
+            Op::LoadLocal(0),
+            Op::LoadLocal(13),
+            Op::PtrOffset(4),
+            Op::LoadMem(ScalarType::Float),
+            Op::StoreLocal(15),
+        ];
+        let dec = decode(&code);
+        assert!(matches!(
+            dec[0],
+            Decoded::PtrIdx {
+                ptr: 0,
+                idx: 13,
+                size: 4,
+                conv: false,
+                load: Some(ScalarType::Float),
+                dst: Dst::Local(15),
+                k: 5,
+            }
+        ));
+        assert_eq!(dec[0].cost(), 5);
+    }
+
+    #[test]
+    fn fuses_conversions() {
+        let code = [
+            Op::LoadLocal(6),
+            Op::Convert(ScalarType::Long),
+            Op::StoreLocal(10),
+            Op::Convert(ScalarType::Int),
+            Op::StoreLocal(7),
+            Op::Const(Value::I32(3)),
+            Op::Convert(ScalarType::Float),
+        ];
+        let dec = decode(&code);
+        assert!(matches!(
+            dec[0],
+            Decoded::Cvt {
+                src: Operand::Local(6),
+                to: ScalarType::Long,
+                dst: Dst::Local(10),
+                k: 3,
+            }
+        ));
+        assert!(matches!(
+            dec[3],
+            Decoded::Cvt {
+                src: Operand::Stack,
+                to: ScalarType::Int,
+                dst: Dst::Local(7),
+                k: 2,
+            }
+        ));
+        assert!(matches!(
+            dec[5],
+            Decoded::Cvt {
+                src: Operand::Const(Value::I32(3)),
+                to: ScalarType::Float,
+                dst: Dst::Stack,
+                k: 2,
             }
         ));
     }
@@ -733,6 +927,83 @@ mod tests {
         ));
         // The remote conditional keeps its own slot (it is a jump target).
         assert!(matches!(dec[5], Decoded::Plain(Op::JumpIfFalse(9))));
+    }
+
+    #[test]
+    fn fuses_indexed_store_into_one_dispatch() {
+        // The register lowering's store idiom: value from a local, address
+        // computed inline — six ops, one dispatch.
+        let code = [
+            Op::LoadLocal(6),
+            Op::LoadLocal(1),
+            Op::LoadLocal(5),
+            Op::Convert(ScalarType::Long),
+            Op::PtrOffset(4),
+            Op::StoreMem(ScalarType::Float),
+        ];
+        let dec = decode(&code);
+        assert!(matches!(
+            dec[0],
+            Decoded::StIdx {
+                v: Operand::Local(6),
+                ptr: 1,
+                idx: 5,
+                size: 4,
+                conv: true,
+                ty: ScalarType::Float,
+                k: 6,
+            }
+        ));
+        // Entered one op in (value already on the stack), the rest still
+        // fuses.
+        assert!(matches!(
+            dec[1],
+            Decoded::StIdx {
+                v: Operand::Stack,
+                ptr: 1,
+                idx: 5,
+                k: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fuses_indexed_store_with_hoisted_widening() {
+        let code = [
+            Op::Const(Value::I32(7)),
+            Op::LoadLocal(2),
+            Op::LoadLocal(9),
+            Op::PtrOffset(8),
+            Op::StoreMem(ScalarType::Double),
+        ];
+        let dec = decode(&code);
+        assert!(matches!(
+            dec[0],
+            Decoded::StIdx {
+                v: Operand::Const(Value::I32(7)),
+                ptr: 2,
+                idx: 9,
+                size: 8,
+                conv: false,
+                ty: ScalarType::Double,
+                k: 5,
+            }
+        ));
+    }
+
+    #[test]
+    fn jump_target_blocks_indexed_store_fusion() {
+        // A jump lands on the StoreMem: the fusion must stop short of it.
+        let code = [
+            Op::Jump(4),
+            Op::LoadLocal(1),
+            Op::LoadLocal(5),
+            Op::PtrOffset(4),
+            Op::StoreMem(ScalarType::Float),
+        ];
+        let dec = decode(&code);
+        assert!(!matches!(dec[1], Decoded::StIdx { .. }));
     }
 
     #[test]

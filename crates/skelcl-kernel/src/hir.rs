@@ -187,7 +187,7 @@ pub enum Place {
 }
 
 /// Unary operations that survive into HIR (pure value ops).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Arithmetic negation.
     Neg,
@@ -198,7 +198,7 @@ pub enum UnOp {
 }
 
 /// Binary value operations (no short-circuit, no comparisons).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Addition.
     Add,
@@ -223,7 +223,7 @@ pub enum BinOp {
 }
 
 /// Comparison operators (result type `bool`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `<`
     Lt,

@@ -61,6 +61,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod cfg;
 pub mod codegen;
 mod decode;
 pub mod diag;
@@ -69,7 +70,10 @@ pub mod hir;
 pub mod inline;
 pub mod ir;
 pub mod lexer;
+pub mod lower;
+pub mod mir;
 pub mod parser;
+pub mod passes;
 pub mod pretty;
 pub mod program;
 pub mod sema;
@@ -81,6 +85,7 @@ pub mod vm;
 
 use std::fmt;
 
+pub use passes::OptConfig;
 pub use program::Program;
 pub use source::SourceFile;
 
@@ -106,11 +111,37 @@ impl std::error::Error for CompileError {}
 /// `name` is the file name used in diagnostics (kernels are generated
 /// in-memory, so this is typically a synthetic name like `"map.cl"`).
 ///
+/// The optimization pipeline is selected by the `SKELCL_KERNEL_OPT`
+/// environment variable (see [`OptConfig`]); use [`compile_with_config`]
+/// to pick it programmatically. `SKELCL_KERNEL_DUMP=mir|mir-opt` prints
+/// the mid-level IR before/after optimization to stderr.
+///
 /// # Errors
 ///
 /// Returns a [`CompileError`] with a rendered build log when the source has
 /// lexical, syntactic or semantic errors.
 pub fn compile(name: &str, source: &str) -> Result<Program, CompileError> {
+    compile_with_config(name, source, &OptConfig::from_env())
+}
+
+/// Compiles with an explicit pipeline configuration instead of reading
+/// `SKELCL_KERNEL_OPT`.
+///
+/// [`OptConfig::legacy`] reproduces the pre-MIR pipeline exactly (HIR
+/// constant folding plus the stack code generator); every other
+/// configuration lowers through the MIR, runs the enabled passes, and
+/// emits bytecode through the register-allocating scheduler in
+/// [`lower`]. All configurations produce bit-identical buffer results.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with a rendered build log when the source has
+/// lexical, syntactic or semantic errors.
+pub fn compile_with_config(
+    name: &str,
+    source: &str,
+    cfg: &OptConfig,
+) -> Result<Program, CompileError> {
     let file = SourceFile::new(name, source);
     let mut diags = diag::Diagnostics::new();
     let tu = parser::parse(&file, &mut diags);
@@ -122,10 +153,22 @@ pub fn compile(name: &str, source: &str) -> Result<Program, CompileError> {
     match unit {
         Some(mut unit) => {
             inline::inline_unit(&mut unit);
-            for f in &mut unit.functions {
-                fold::fold_stmts(&mut f.body);
+            if !cfg.enabled {
+                for f in &mut unit.functions {
+                    fold::fold_stmts(&mut f.body);
+                }
+                return Ok(codegen::generate(&unit, name));
             }
-            Ok(codegen::generate(&unit, name))
+            let dump = std::env::var("SKELCL_KERNEL_DUMP").unwrap_or_default();
+            let mut mir = mir::lower_unit(&unit);
+            if dump == "mir" {
+                eprintln!("{}", pretty::mir_unit_to_string(&mir));
+            }
+            passes::run(&mut mir, cfg);
+            if dump == "mir-opt" {
+                eprintln!("{}", pretty::mir_unit_to_string(&mir));
+            }
+            Ok(lower::emit_unit(&mir, &unit, name))
         }
         None => {
             let log = diags.render(&file);

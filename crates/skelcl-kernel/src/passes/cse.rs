@@ -1,0 +1,251 @@
+//! Per-block common-subexpression elimination and local copy propagation.
+//!
+//! Classic local value numbering over the pure instructions: two
+//! instructions in one block computing the same operation over the same
+//! operands share one register. Local slots get copy propagation on top:
+//! after `SetLocal s, v` a following `GetLocal s` in the same block is an
+//! alias of `v` (SkelCL C has no address-of and no private arrays, so local
+//! slots cannot alias memory — only another `SetLocal` invalidates them).
+//! Memory loads are never value-numbered: a store or barrier in between may
+//! change the loaded value.
+
+use std::collections::HashMap;
+
+use crate::builtins::Builtin;
+use crate::hir::{BinOp, CmpOp, UnOp};
+use crate::mir::{Inst, MirFunction, VReg};
+use crate::types::ScalarType;
+use crate::value::Value;
+
+use super::UnitInfo;
+
+/// Hashable identity of a value (bit-exact for floats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Int(u8, i64),
+    F32(u32),
+    F64(u64),
+    Bool(bool),
+    Ptr(u8, u32, i64),
+}
+
+fn value_key(v: Value) -> ValueKey {
+    match v {
+        Value::Bool(b) => ValueKey::Bool(b),
+        Value::F32(x) => ValueKey::F32(x.to_bits()),
+        Value::F64(x) => ValueKey::F64(x.to_bits()),
+        Value::Ptr(p) => ValueKey::Ptr(p.space as u8, p.buffer, p.byte_offset),
+        other => ValueKey::Int(
+            other.scalar_type().map(|t| t as u8).unwrap_or(u8::MAX),
+            other.as_i64(),
+        ),
+    }
+}
+
+/// Value number of one pure computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Const(ValueKey),
+    Un(UnOp, VReg),
+    Bin(BinOp, VReg, VReg),
+    Cmp(CmpOp, VReg, VReg),
+    Convert(ScalarType, VReg),
+    ToBool(VReg),
+    CallPure(Builtin, Vec<VReg>),
+    /// Call of a strictly pure user function (see [`UnitInfo`]).
+    Call(u16, Vec<VReg>),
+    WorkItem(Builtin, Option<VReg>),
+    PtrOffset(u32, VReg, VReg),
+    PtrDiff(u32, VReg, VReg),
+}
+
+/// Runs the pass over every block of `f`.
+pub fn run(f: &mut MirFunction, info: &UnitInfo) {
+    // dst -> surviving equivalent register, applied transitively.
+    let mut replace: HashMap<VReg, VReg> = HashMap::new();
+    let resolve = |replace: &HashMap<VReg, VReg>, mut v: VReg| {
+        while let Some(&r) = replace.get(&v) {
+            v = r;
+        }
+        v
+    };
+
+    for b in &mut f.blocks {
+        let mut table: HashMap<Key, VReg> = HashMap::new();
+        let mut cur_local: HashMap<u16, VReg> = HashMap::new();
+        let mut kept: Vec<Inst> = Vec::with_capacity(b.insts.len());
+
+        for mut inst in b.insts.drain(..) {
+            inst.for_each_use_mut(|u| *u = resolve(&replace, *u));
+
+            match &inst {
+                Inst::GetLocal { dst, slot } => {
+                    if let Some(&v) = cur_local.get(slot) {
+                        replace.insert(*dst, v);
+                        continue; // drop the redundant read
+                    }
+                    cur_local.insert(*slot, *dst);
+                    kept.push(inst);
+                    continue;
+                }
+                Inst::SetLocal { slot, src } => {
+                    if cur_local.get(slot) == Some(src) {
+                        continue; // re-storing the value the slot holds
+                    }
+                    cur_local.insert(*slot, *src);
+                    kept.push(inst);
+                    continue;
+                }
+                _ => {}
+            }
+
+            let key = match &inst {
+                Inst::Const { value, .. } => Some(Key::Const(value_key(*value))),
+                Inst::Un { op, src, .. } => Some(Key::Un(*op, *src)),
+                Inst::Bin { op, lhs, rhs, .. } => Some(Key::Bin(*op, *lhs, *rhs)),
+                Inst::Cmp { op, lhs, rhs, .. } => Some(Key::Cmp(*op, *lhs, *rhs)),
+                Inst::Convert { to, src, .. } => Some(Key::Convert(*to, *src)),
+                Inst::ToBool { src, .. } => Some(Key::ToBool(*src)),
+                Inst::CallPure { builtin, args, .. } => Some(Key::CallPure(*builtin, args.clone())),
+                Inst::Call {
+                    dst: Some(_),
+                    func,
+                    args,
+                    ..
+                } if info.is_pure(*func) => Some(Key::Call(*func, args.clone())),
+                Inst::WorkItem { builtin, dim, .. } => Some(Key::WorkItem(*builtin, *dim)),
+                Inst::PtrOffset {
+                    size, ptr, count, ..
+                } => Some(Key::PtrOffset(*size, *ptr, *count)),
+                Inst::PtrDiff { size, lhs, rhs, .. } => Some(Key::PtrDiff(*size, *lhs, *rhs)),
+                // Loads, stores, impure calls and barriers are not
+                // value-numbered.
+                _ => None,
+            };
+
+            match (key, inst.dst()) {
+                (Some(k), Some(dst)) => match table.get(&k) {
+                    Some(&prev) => {
+                        replace.insert(dst, prev);
+                        // drop the duplicate computation
+                    }
+                    None => {
+                        table.insert(k, dst);
+                        kept.push(inst);
+                    }
+                },
+                _ => kept.push(inst),
+            }
+        }
+        b.insts = kept;
+    }
+
+    // Rewrite any remaining uses (later blocks reference registers whose
+    // defs were dropped above; the surviving def is earlier in the same
+    // block, so it dominates every rewritten use).
+    if !replace.is_empty() {
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                inst.for_each_use_mut(|u| *u = resolve(&replace, *u));
+            }
+            b.term.for_each_use_mut(|u| *u = resolve(&replace, *u));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::lower_unit;
+
+    fn lowered(src: &str) -> MirFunction {
+        let f = crate::SourceFile::new("t.cl", src);
+        let mut d = crate::diag::Diagnostics::new();
+        let tu = crate::parser::parse(&f, &mut d);
+        let unit = crate::sema::analyze(&tu, &mut d).unwrap_or_else(|| panic!("{}", d.render(&f)));
+        let mut mf = lower_unit(&unit).functions.remove(0);
+        crate::cfg::simplify(&mut mf);
+        mf
+    }
+
+    fn run(f: &mut MirFunction) {
+        super::run(f, &UnitInfo::opaque());
+    }
+
+    fn count(f: &MirFunction, pred: impl Fn(&Inst) -> bool) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn duplicate_binary_ops_share_a_register() {
+        let mut f = lowered("int f(int a, int b){ return (a + b) * (a + b); }");
+        let before = count(&f, |i| matches!(i, Inst::Bin { op: BinOp::Add, .. }));
+        assert_eq!(before, 2);
+        run(&mut f);
+        assert_eq!(
+            count(&f, |i| matches!(i, Inst::Bin { op: BinOp::Add, .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn repeated_local_reads_collapse() {
+        let mut f = lowered("int f(int a){ return a + a; }");
+        run(&mut f);
+        assert_eq!(count(&f, |i| matches!(i, Inst::GetLocal { .. })), 1);
+    }
+
+    #[test]
+    fn store_then_load_copy_propagates() {
+        let mut f = lowered("int f(int a){ int t = a * 2; return t + 1; }");
+        run(&mut f);
+        // The GetLocal of `t` right after its SetLocal is gone.
+        assert_eq!(count(&f, |i| matches!(i, Inst::GetLocal { .. })), 1);
+    }
+
+    #[test]
+    fn loads_are_not_merged() {
+        let mut f = lowered("float f(__global float* p){ return p[0] + p[0]; }");
+        run(&mut f);
+        // Two loads stay (a store from another work-item could intervene),
+        // but the address computation is shared.
+        assert_eq!(count(&f, |i| matches!(i, Inst::LoadMem { .. })), 2);
+        assert_eq!(count(&f, |i| matches!(i, Inst::PtrOffset { .. })), 1);
+    }
+
+    #[test]
+    fn duplicate_pure_calls_merge() {
+        let src = "int coef(int d){
+                int a = d < 0 ? -d : d;
+                return a == 0 ? 6 : (a == 1 ? 4 : 1);
+            }
+            int f(int x){ return coef(x) * coef(x); }";
+        let fsrc = crate::SourceFile::new("t.cl", src);
+        let mut d = crate::diag::Diagnostics::new();
+        let tu = crate::parser::parse(&fsrc, &mut d);
+        let unit =
+            crate::sema::analyze(&tu, &mut d).unwrap_or_else(|| panic!("{}", d.render(&fsrc)));
+        let mut m = lower_unit(&unit);
+        let info = UnitInfo::analyze(&m);
+        let mut f = m.functions.remove(1);
+        crate::cfg::simplify(&mut f);
+        assert_eq!(count(&f, |i| matches!(i, Inst::Call { .. })), 2);
+        super::run(&mut f, &info);
+        assert_eq!(
+            count(&f, |i| matches!(i, Inst::Call { .. })),
+            1,
+            "identical pure calls share one register"
+        );
+    }
+
+    #[test]
+    fn duplicate_constants_merge() {
+        let mut f = lowered("int f(int a){ return (a + 7) * (a + 7); }");
+        run(&mut f);
+        assert_eq!(count(&f, |i| matches!(i, Inst::Const { .. })), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Dead-code elimination over the MIR.
+//!
+//! Two cooperating analyses, iterated to a fixed point:
+//!
+//! * **dead registers** — an effect-free, non-faulting instruction whose
+//!   destination is never used is removed (integer division with an
+//!   unknown divisor stays: deleting it could hide a runtime trap);
+//! * **dead local stores** — a `SetLocal` to a slot that is never read
+//!   again on any path is removed (backward liveness over the CFG).
+//!
+//! A `Call` whose result is unused keeps its side effects but drops its
+//! destination, which later saves the result spill during lowering.
+
+use std::collections::HashSet;
+
+use crate::mir::{Inst, MirFunction};
+
+use super::UnitInfo;
+
+/// Runs the pass to a fixed point.
+pub fn run(f: &mut MirFunction, info: &UnitInfo) {
+    loop {
+        let mut changed = remove_dead_registers(f, info);
+        changed |= remove_dead_stores(f);
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn remove_dead_registers(f: &mut MirFunction, info: &UnitInfo) -> bool {
+    let consts = super::const_defs(f);
+    let mut changed = false;
+    loop {
+        let mut used = vec![false; f.vreg_count as usize];
+        for b in &f.blocks {
+            for i in &b.insts {
+                i.for_each_use(|u| used[u.0 as usize] = true);
+            }
+            b.term.for_each_use(|u| used[u.0 as usize] = true);
+        }
+
+        let mut round = false;
+        for b in &mut f.blocks {
+            b.insts.retain(|inst| {
+                // A strictly pure call cannot trap or touch memory; with
+                // no used result it is dead like any arithmetic.
+                if let Inst::Call { dst, func, .. } = inst {
+                    if info.is_pure(*func) && dst.is_none_or(|d| !used[d.0 as usize]) {
+                        round = true;
+                        return false;
+                    }
+                    return true;
+                }
+                let Some(dst) = inst.dst() else { return true };
+                if used[dst.0 as usize] {
+                    return true;
+                }
+                if inst.has_side_effects() {
+                    return true;
+                }
+                if inst.can_fault(|rhs| super::div_is_safe(&consts, rhs)) {
+                    return true;
+                }
+                round = true;
+                false
+            });
+            // A call whose result is ignored keeps running for its effects
+            // but no longer defines a register.
+            for inst in &mut b.insts {
+                if let Inst::Call { dst, .. } = inst {
+                    if dst.is_some_and(|d| !used[d.0 as usize]) {
+                        *dst = None;
+                        round = true;
+                    }
+                }
+            }
+        }
+        changed |= round;
+        if !round {
+            return changed;
+        }
+    }
+}
+
+fn remove_dead_stores(f: &mut MirFunction) -> bool {
+    let nblocks = f.blocks.len();
+    // live-out slot sets per block, grown to fixpoint.
+    let mut live_out: Vec<HashSet<u16>> = vec![HashSet::new(); nblocks];
+    let mut live_in: Vec<HashSet<u16>> = vec![HashSet::new(); nblocks];
+    loop {
+        let mut changed = false;
+        for i in (0..nblocks).rev() {
+            let mut out: HashSet<u16> = HashSet::new();
+            for s in f.blocks[i].term.successors() {
+                out.extend(live_in[s.idx()].iter().copied());
+            }
+            let mut live = out.clone();
+            for inst in f.blocks[i].insts.iter().rev() {
+                match inst {
+                    Inst::GetLocal { slot, .. } => {
+                        live.insert(*slot);
+                    }
+                    Inst::SetLocal { slot, .. } => {
+                        live.remove(slot);
+                    }
+                    _ => {}
+                }
+            }
+            if out != live_out[i] || live != live_in[i] {
+                live_out[i] = out;
+                live_in[i] = live;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut removed = false;
+    for (i, b) in f.blocks.iter_mut().enumerate() {
+        // Walk backward, tracking liveness inside the block.
+        let mut live = live_out[i].clone();
+        let mut keep: Vec<bool> = Vec::with_capacity(b.insts.len());
+        for inst in b.insts.iter().rev() {
+            match inst {
+                Inst::SetLocal { slot, .. } => {
+                    if live.contains(slot) {
+                        keep.push(true);
+                        live.remove(slot);
+                    } else {
+                        keep.push(false);
+                        removed = true;
+                    }
+                }
+                Inst::GetLocal { slot, .. } => {
+                    live.insert(*slot);
+                    keep.push(true);
+                }
+                _ => keep.push(true),
+            }
+        }
+        keep.reverse();
+        let mut it = keep.into_iter();
+        b.insts.retain(|_| it.next().unwrap());
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::lower_unit;
+
+    fn lowered(src: &str) -> MirFunction {
+        let f = crate::SourceFile::new("t.cl", src);
+        let mut d = crate::diag::Diagnostics::new();
+        let tu = crate::parser::parse(&f, &mut d);
+        let unit = crate::sema::analyze(&tu, &mut d).unwrap_or_else(|| panic!("{}", d.render(&f)));
+        let mut mf = lower_unit(&unit).functions.remove(0);
+        crate::cfg::simplify(&mut mf);
+        mf
+    }
+
+    fn run(f: &mut MirFunction) {
+        super::run(f, &UnitInfo::opaque());
+    }
+
+    fn count(f: &MirFunction, pred: impl Fn(&Inst) -> bool) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn unused_pure_computation_is_removed() {
+        let mut f = lowered("int f(int a){ a * 2; return a; }");
+        run(&mut f);
+        assert_eq!(count(&f, |i| matches!(i, Inst::Bin { .. })), 0);
+    }
+
+    #[test]
+    fn unused_variable_store_is_removed() {
+        let mut f = lowered("int f(int a){ int t = a * 3; return a; }");
+        run(&mut f);
+        assert_eq!(count(&f, |i| matches!(i, Inst::SetLocal { .. })), 0);
+        assert_eq!(count(&f, |i| matches!(i, Inst::Bin { .. })), 0);
+    }
+
+    #[test]
+    fn stores_read_in_loops_stay() {
+        let mut f =
+            lowered("int f(int n){ int s = 0; for (int i = 0; i < n; i++) s = s + 1; return s; }");
+        run(&mut f);
+        // `s` and `i` stores all survive (read on later iterations).
+        assert!(count(&f, |i| matches!(i, Inst::SetLocal { .. })) >= 3);
+    }
+
+    #[test]
+    fn possible_division_fault_is_kept() {
+        let mut f = lowered("int f(int a, int b){ int t = a / b; return a; }");
+        run(&mut f);
+        assert_eq!(count(&f, |i| matches!(i, Inst::Bin { .. })), 1);
+        // But the store of the unused result goes away.
+        assert_eq!(count(&f, |i| matches!(i, Inst::SetLocal { .. })), 0);
+    }
+
+    #[test]
+    fn memory_stores_always_stay() {
+        let mut f = lowered("void f(__global int* p){ p[0] = 1; }");
+        run(&mut f);
+        assert_eq!(count(&f, |i| matches!(i, Inst::StoreMem { .. })), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists effect-free, non-faulting instructions whose operands are
+//! loop-invariant into a preheader block, innermost loops first. Hoisted
+//! instructions may execute even when the loop body would not have run —
+//! safe precisely because they are pure and cannot fault (integer division
+//! with an unknown divisor and memory loads are never hoisted; loads
+//! additionally because another work-item may store between iterations).
+//! `GetLocal` is invariant when no `SetLocal` in the loop writes the slot
+//! (locals cannot alias memory), and work-item queries are invariant
+//! because launch geometry is fixed for a work-item's lifetime.
+
+use std::collections::HashSet;
+
+use crate::cfg::{self, NaturalLoop};
+use crate::mir::{BlockId, Inst, MirFunction, VReg};
+
+use super::UnitInfo;
+
+/// Runs the pass over every natural loop of `f`, innermost first.
+pub fn run(f: &mut MirFunction, info: &UnitInfo) {
+    let mut processed: HashSet<Vec<BlockId>> = HashSet::new();
+    loop {
+        let loops = cfg::natural_loops(f);
+        let Some(l) = loops
+            .into_iter()
+            .find(|l| l.header != BlockId(0) && !processed.contains(&loop_key(l)))
+        else {
+            break;
+        };
+        processed.insert(loop_key(&l));
+        hoist_loop(f, &l, info);
+    }
+}
+
+/// Identity of a loop across recomputations (header + sorted latches).
+fn loop_key(l: &NaturalLoop) -> Vec<BlockId> {
+    let mut k = vec![l.header];
+    let mut latches = l.latches.clone();
+    latches.sort();
+    k.extend(latches);
+    k
+}
+
+fn hoist_loop(f: &mut MirFunction, l: &NaturalLoop, info: &UnitInfo) {
+    let consts = super::const_defs(f);
+
+    // Slots written anywhere in the loop: their reads are not invariant.
+    let mut written_slots: HashSet<u16> = HashSet::new();
+    for bb in &l.blocks {
+        for inst in &f.blocks[bb.idx()].insts {
+            if let Inst::SetLocal { slot, .. } = inst {
+                written_slots.insert(*slot);
+            }
+        }
+    }
+
+    // Registers defined inside the loop.
+    let mut defined_in_loop: HashSet<VReg> = HashSet::new();
+    for bb in &l.blocks {
+        for inst in &f.blocks[bb.idx()].insts {
+            if let Some(d) = inst.dst() {
+                defined_in_loop.insert(d);
+            }
+        }
+    }
+
+    // Grow the invariant set to a fixed point. Order of discovery follows
+    // block order, which preserves def-before-use among hoisted
+    // instructions.
+    let mut invariant: HashSet<VReg> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for bb in &l.blocks {
+            for inst in &f.blocks[bb.idx()].insts {
+                let Some(dst) = inst.dst() else { continue };
+                if invariant.contains(&dst) {
+                    continue;
+                }
+                // A strictly pure call is hoistable like arithmetic: no
+                // effects, and purity already excludes anything that can
+                // fault, so executing it when the body would not have run
+                // is unobservable.
+                let pure_call = matches!(inst, Inst::Call { func, .. } if info.is_pure(*func));
+                if !pure_call {
+                    if inst.has_side_effects() {
+                        continue;
+                    }
+                    if inst.can_fault(|rhs| super::div_is_safe(&consts, rhs)) {
+                        continue;
+                    }
+                }
+                if let Inst::GetLocal { slot, .. } = inst {
+                    if written_slots.contains(slot) {
+                        continue;
+                    }
+                }
+                let mut ok = true;
+                inst.for_each_use(|u| {
+                    if defined_in_loop.contains(&u) && !invariant.contains(&u) {
+                        ok = false;
+                    }
+                });
+                if ok {
+                    invariant.insert(dst);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if invariant.is_empty() {
+        return;
+    }
+
+    // Move the invariant instructions (in block/program order) into a
+    // preheader.
+    let pre = cfg::insert_preheader(f, l.header, &l.blocks);
+    let mut hoisted: Vec<Inst> = Vec::new();
+    for bb in &l.blocks {
+        let block = &mut f.blocks[bb.idx()];
+        let mut kept = Vec::with_capacity(block.insts.len());
+        for inst in block.insts.drain(..) {
+            match inst.dst() {
+                Some(d) if invariant.contains(&d) => hoisted.push(inst),
+                _ => kept.push(inst),
+            }
+        }
+        block.insts = kept;
+    }
+    f.blocks[pre.idx()].insts = hoisted;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::lower_unit;
+
+    fn lowered(src: &str) -> MirFunction {
+        let f = crate::SourceFile::new("t.cl", src);
+        let mut d = crate::diag::Diagnostics::new();
+        let tu = crate::parser::parse(&f, &mut d);
+        let unit = crate::sema::analyze(&tu, &mut d).unwrap_or_else(|| panic!("{}", d.render(&f)));
+        let mut mf = lower_unit(&unit).functions.remove(0);
+        crate::cfg::simplify(&mut mf);
+        mf
+    }
+
+    fn run(f: &mut MirFunction) {
+        super::run(f, &UnitInfo::opaque());
+    }
+
+    /// Instruction count inside loop bodies (blocks that belong to a
+    /// natural loop).
+    fn loop_insts(f: &MirFunction, pred: impl Fn(&Inst) -> bool) -> usize {
+        let loops = cfg::natural_loops(f);
+        let mut in_loop = HashSet::new();
+        for l in &loops {
+            in_loop.extend(l.blocks.iter().copied());
+        }
+        in_loop
+            .iter()
+            .flat_map(|bb| f.blocks[bb.idx()].insts.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn invariant_multiply_is_hoisted() {
+        let mut f = lowered(
+            "int f(int n, int a, int b){
+                int s = 0;
+                for (int i = 0; i < n; i++) s = s + a * b;
+                return s;
+            }",
+        );
+        assert!(
+            loop_insts(&f, |i| matches!(
+                i,
+                Inst::Bin {
+                    op: crate::hir::BinOp::Mul,
+                    ..
+                }
+            )) > 0
+        );
+        run(&mut f);
+        assert_eq!(
+            loop_insts(&f, |i| matches!(
+                i,
+                Inst::Bin {
+                    op: crate::hir::BinOp::Mul,
+                    ..
+                }
+            )),
+            0
+        );
+    }
+
+    #[test]
+    fn loop_varying_reads_stay() {
+        let mut f =
+            lowered("int f(int n){ int s = 0; for (int i = 0; i < n; i++) s = s + i; return s; }");
+        run(&mut f);
+        // The read of `i` inside the loop must stay put.
+        assert!(loop_insts(&f, |i| matches!(i, Inst::GetLocal { .. })) > 0);
+    }
+
+    #[test]
+    fn memory_loads_are_not_hoisted() {
+        let mut f = lowered(
+            "float f(__global float* p, int n){
+                float s = 0.0f;
+                for (int i = 0; i < n; i++) s = s + p[0];
+                return s;
+            }",
+        );
+        run(&mut f);
+        assert!(loop_insts(&f, |i| matches!(i, Inst::LoadMem { .. })) > 0);
+    }
+
+    #[test]
+    fn pure_call_with_invariant_args_is_hoisted() {
+        let src = "int coef(int d){
+                int a = d < 0 ? -d : d;
+                return a == 0 ? 6 : (a == 1 ? 4 : 1);
+            }
+            int f(int n, int x){
+                int s = 0;
+                for (int i = 0; i < n; i++) s = s + coef(x);
+                return s;
+            }";
+        let fsrc = crate::SourceFile::new("t.cl", src);
+        let mut d = crate::diag::Diagnostics::new();
+        let tu = crate::parser::parse(&fsrc, &mut d);
+        let unit =
+            crate::sema::analyze(&tu, &mut d).unwrap_or_else(|| panic!("{}", d.render(&fsrc)));
+        let m = lower_unit(&unit);
+        let info = UnitInfo::analyze(&m);
+        assert!(info.is_pure(0), "coef is strictly pure");
+        let mut f = m.functions.into_iter().nth(1).unwrap();
+        crate::cfg::simplify(&mut f);
+        assert!(loop_insts(&f, |i| matches!(i, Inst::Call { .. })) > 0);
+        super::run(&mut f, &info);
+        assert_eq!(
+            loop_insts(&f, |i| matches!(i, Inst::Call { .. })),
+            0,
+            "the pure call left the loop body"
+        );
+    }
+
+    #[test]
+    fn work_item_queries_are_hoisted() {
+        let mut f = lowered(
+            "__kernel void k(__global int* out, int n){
+                for (int i = 0; i < n; i++) out[i] = (int)get_global_id(0);
+            }",
+        );
+        run(&mut f);
+        assert_eq!(loop_insts(&f, |i| matches!(i, Inst::WorkItem { .. })), 0);
+    }
+}

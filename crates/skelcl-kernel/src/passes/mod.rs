@@ -1,0 +1,361 @@
+//! The MIR optimization pipeline.
+//!
+//! Pass order for the full pipeline is `const-prop → cse → licm → unroll →
+//! const-prop → cse → dce` with CFG simplification interleaved: unrolling
+//! relies on constants exposed by the first propagation round, and the
+//! second round evaporates the per-iteration loop tests the unroller leaves
+//! behind. Every pass preserves observable behaviour bit-for-bit: constant
+//! folding evaluates through [`crate::value`] / [`crate::builtins`] (the
+//! same code the VM runs), faulting operations are never folded, hoisted or
+//! deleted speculatively, and no pass reassociates floating-point math.
+//!
+//! The pipeline is driven by the `SKELCL_KERNEL_OPT` environment variable
+//! (see [`OptConfig::from_env`]) or programmatically through
+//! [`crate::compile_with_config`].
+
+mod const_prop;
+mod cse;
+mod dce;
+mod licm;
+mod unroll;
+
+use std::collections::HashMap;
+
+use crate::cfg;
+use crate::mir::{BlockId, Inst, MirFunction, MirUnit, Terminator, VReg};
+use crate::value::Value;
+
+/// Which compile pipeline and optimization passes to run.
+///
+/// Parsed from `SKELCL_KERNEL_OPT`:
+///
+/// * `0` — legacy pipeline (HIR folding + stack codegen), no MIR;
+/// * `1`, unset or empty — MIR pipeline with every pass (the default);
+/// * a comma list of pass names (`const-prop`, `cse`, `dce`, `licm`,
+///   `unroll`) — MIR pipeline with just those passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// `false` selects the legacy HIR → stack-codegen pipeline.
+    pub enabled: bool,
+    /// Constant propagation and folding (subsumes the legacy HIR folder).
+    pub const_prop: bool,
+    /// Common-subexpression elimination + local copy propagation.
+    pub cse: bool,
+    /// Dead-code elimination (unused pure defs, dead local stores).
+    pub dce: bool,
+    /// Loop-invariant code motion.
+    pub licm: bool,
+    /// Unrolling of small constant-trip loops.
+    pub unroll: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig::all()
+    }
+}
+
+impl OptConfig {
+    /// The full pipeline: every pass enabled.
+    pub fn all() -> Self {
+        OptConfig {
+            enabled: true,
+            const_prop: true,
+            cse: true,
+            dce: true,
+            licm: true,
+            unroll: true,
+        }
+    }
+
+    /// The legacy pipeline (`SKELCL_KERNEL_OPT=0`): HIR constant folding
+    /// plus the stack code generator, exactly as before the MIR existed.
+    pub fn legacy() -> Self {
+        OptConfig {
+            enabled: false,
+            const_prop: false,
+            cse: false,
+            dce: false,
+            licm: false,
+            unroll: false,
+        }
+    }
+
+    /// The MIR pipeline with no passes (lowering + register allocation
+    /// only).
+    pub fn none() -> Self {
+        OptConfig {
+            enabled: true,
+            const_prop: false,
+            cse: false,
+            dce: false,
+            licm: false,
+            unroll: false,
+        }
+    }
+
+    /// Parses a `SKELCL_KERNEL_OPT` value. Unrecognised pass names are
+    /// ignored (so typos degrade to fewer passes, never to a crash).
+    pub fn from_str_spec(spec: &str) -> Self {
+        let spec = spec.trim();
+        match spec {
+            "" | "1" => OptConfig::all(),
+            "0" => OptConfig::legacy(),
+            list => {
+                let mut cfg = OptConfig::none();
+                for name in list.split(',') {
+                    match name.trim() {
+                        "const-prop" | "constprop" | "const_prop" => cfg.const_prop = true,
+                        "cse" => cfg.cse = true,
+                        "dce" => cfg.dce = true,
+                        "licm" => cfg.licm = true,
+                        "unroll" => cfg.unroll = true,
+                        _ => {}
+                    }
+                }
+                cfg
+            }
+        }
+    }
+
+    /// Reads the configuration from `SKELCL_KERNEL_OPT`.
+    pub fn from_env() -> Self {
+        match std::env::var("SKELCL_KERNEL_OPT") {
+            Ok(v) => OptConfig::from_str_spec(&v),
+            Err(_) => OptConfig::all(),
+        }
+    }
+
+    /// The list of enabled pass names, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.const_prop {
+            out.push("const-prop");
+        }
+        if self.cse {
+            out.push("cse");
+        }
+        if self.dce {
+            out.push("dce");
+        }
+        if self.licm {
+            out.push("licm");
+        }
+        if self.unroll {
+            out.push("unroll");
+        }
+        out
+    }
+}
+
+/// Runs the configured passes over every function of `unit`.
+pub fn run(unit: &mut MirUnit, cfg: &OptConfig) {
+    if !cfg.enabled {
+        return;
+    }
+    let info = UnitInfo::analyze(unit);
+    for f in &mut unit.functions {
+        run_function(f, cfg, &info);
+    }
+}
+
+fn run_function(f: &mut MirFunction, cfg: &OptConfig, info: &UnitInfo) {
+    cfg::simplify(f);
+    if cfg.const_prop {
+        const_prop::run(f, info);
+        cfg::simplify(f);
+    }
+    if cfg.cse {
+        cse::run(f, info);
+    }
+    if cfg.licm {
+        licm::run(f, info);
+        cfg::simplify(f);
+    }
+    if cfg.unroll {
+        unroll::run(f);
+        cfg::simplify(f);
+        // Clean up the per-iteration copies the unroller leaves behind.
+        if cfg.const_prop {
+            const_prop::run(f, info);
+            cfg::simplify(f);
+        }
+        if cfg.cse {
+            cse::run(f, info);
+        }
+    }
+    if cfg.dce {
+        dce::run(f, info);
+        cfg::simplify(f);
+    }
+}
+
+/// Unit-wide context shared by the passes: which user functions are
+/// strictly pure, plus a pre-pass snapshot of every body so constant
+/// propagation can evaluate pure calls on constant arguments.
+pub(crate) struct UnitInfo {
+    /// `pure[f]` — every instruction reachable in `f`'s body is free of
+    /// memory access, barriers and possible faults, and calls only other
+    /// pure functions. A call to such a function behaves like an
+    /// arithmetic instruction: deterministic within a work-item, no
+    /// effects, no traps — so it may be folded, merged, hoisted or
+    /// deleted like one.
+    pure: Vec<bool>,
+    /// Function bodies as lowered, before any pass mutates them (callee
+    /// results are identical either way; the snapshot sidesteps borrowing
+    /// the unit while one of its functions is being rewritten).
+    snapshot: Vec<MirFunction>,
+}
+
+impl UnitInfo {
+    /// Analyzes `unit` before any pass runs.
+    pub(crate) fn analyze(unit: &MirUnit) -> Self {
+        let n = unit.functions.len();
+        let mut pure = vec![false; n];
+        // Sema rejects recursion, so call chains are acyclic and this
+        // fixpoint converges in at most `n` rounds.
+        loop {
+            let mut changed = false;
+            for (i, f) in unit.functions.iter().enumerate() {
+                if !pure[i] && !f.is_kernel && function_is_pure(f, &pure) {
+                    pure[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        UnitInfo {
+            pure,
+            snapshot: unit.functions.clone(),
+        }
+    }
+
+    /// A context with no known functions (every call treated as opaque).
+    #[cfg(test)]
+    pub(crate) fn opaque() -> Self {
+        UnitInfo {
+            pure: Vec::new(),
+            snapshot: Vec::new(),
+        }
+    }
+
+    /// Whether calls to function `func` are strictly pure.
+    pub(crate) fn is_pure(&self, func: u16) -> bool {
+        self.pure.get(func as usize).copied().unwrap_or(false)
+    }
+
+    /// The pre-pass body of pure function `func`.
+    pub(crate) fn pure_body(&self, func: u16) -> Option<&MirFunction> {
+        if self.is_pure(func) {
+            self.snapshot.get(func as usize)
+        } else {
+            None
+        }
+    }
+}
+
+/// Whether every reachable instruction of `f` is effect-free and
+/// non-faulting, with `pure` giving the verdict for already-classified
+/// callees. `SetLocal` is allowed (the callee's frame is private to the
+/// call), work-item queries are allowed (launch geometry is fixed for a
+/// work-item's lifetime); reachable `MissingReturn`/`Trap` terminators,
+/// memory access, barriers and possibly-faulting arithmetic are not.
+fn function_is_pure(f: &MirFunction, pure: &[bool]) -> bool {
+    let consts = const_defs(f);
+    let mut seen = vec![false; f.blocks.len()];
+    let mut stack = vec![BlockId(0)];
+    seen[0] = true;
+    while let Some(bb) = stack.pop() {
+        let b = &f.blocks[bb.idx()];
+        for inst in &b.insts {
+            let ok = match inst {
+                Inst::SetLocal { .. } => true,
+                Inst::Call { func, .. } => pure.get(*func as usize).copied().unwrap_or(false),
+                Inst::Barrier { .. } | Inst::StoreMem { .. } => false,
+                _ => !inst.can_fault(|rhs| div_is_safe(&consts, rhs)),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        match &b.term {
+            Terminator::MissingReturn | Terminator::Trap { .. } => return false,
+            t => {
+                for s in t.successors() {
+                    if !seen[s.idx()] {
+                        seen[s.idx()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+// ----- shared pass helpers --------------------------------------------------
+
+/// Bit-exact value identity: unlike `PartialEq`, distinguishes `-0.0` from
+/// `0.0` and compares NaNs by representation, so replacing one value by an
+/// "identical" one can never change observable results.
+pub(crate) fn values_identical(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::F32(x), Value::F32(y)) => x.to_bits() == y.to_bits(),
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::F32(_) | Value::F64(_), _) | (_, Value::F32(_) | Value::F64(_)) => false,
+        (x, y) => x == y,
+    }
+}
+
+/// Map from every register defined by a `Const` instruction to its value.
+/// Registers are single-def, so the map is flow-insensitive.
+pub(crate) fn const_defs(f: &MirFunction) -> HashMap<VReg, Value> {
+    let mut map = HashMap::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let Inst::Const { dst, value } = i {
+                map.insert(*dst, *value);
+            }
+        }
+    }
+    map
+}
+
+/// Whether dividing by `rhs` can fault, given the known constant defs: a
+/// non-zero integer constant or any float constant cannot.
+pub(crate) fn div_is_safe(consts: &HashMap<VReg, Value>, rhs: VReg) -> bool {
+    match consts.get(&rhs) {
+        Some(Value::F32(_) | Value::F64(_)) => true,
+        Some(v) => v.as_i64() != 0 && !matches!(v, Value::Ptr(_)),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_spec_parsing() {
+        assert_eq!(OptConfig::from_str_spec("1"), OptConfig::all());
+        assert_eq!(OptConfig::from_str_spec(""), OptConfig::all());
+        assert_eq!(OptConfig::from_str_spec("0"), OptConfig::legacy());
+        let c = OptConfig::from_str_spec("const-prop,dce");
+        assert!(c.enabled && c.const_prop && c.dce);
+        assert!(!c.cse && !c.licm && !c.unroll);
+        // Unknown names are ignored.
+        let c = OptConfig::from_str_spec("licm,bogus");
+        assert!(c.licm && !c.cse);
+    }
+
+    #[test]
+    fn value_identity_is_bit_exact() {
+        assert!(values_identical(Value::F32(1.5), Value::F32(1.5)));
+        assert!(!values_identical(Value::F32(0.0), Value::F32(-0.0)));
+        assert!(values_identical(Value::F64(f64::NAN), Value::F64(f64::NAN)));
+        assert!(values_identical(Value::I32(3), Value::I32(3)));
+        assert!(!values_identical(Value::I32(3), Value::I64(3)));
+    }
+}

@@ -276,6 +276,117 @@ fn print_primary(e: &Expr) -> String {
     }
 }
 
+// ----- MIR printing ---------------------------------------------------------
+
+/// Renders a whole MIR unit (one function after another), as dumped by
+/// `SKELCL_KERNEL_DUMP=mir|mir-opt`.
+pub fn mir_unit_to_string(unit: &crate::mir::MirUnit) -> String {
+    let mut out = String::new();
+    for f in &unit.functions {
+        out.push_str(&mir_function_to_string(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one MIR function: a header line followed by its basic blocks.
+pub fn mir_function_to_string(f: &crate::mir::MirFunction) -> String {
+    use crate::mir::{Inst, Terminator};
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}fn {} (params: {}, locals: {}, vregs: {})",
+        if f.is_kernel { "kernel " } else { "" },
+        f.name,
+        f.param_count,
+        f.local_init.len(),
+        f.vreg_count
+    )
+    .unwrap();
+    let v = |r: crate::mir::VReg| format!("v{}", r.0);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        writeln!(out, "bb{bi}:").unwrap();
+        for inst in &b.insts {
+            out.push_str("    ");
+            let line = match inst {
+                Inst::Const { dst, value } => format!("{} = const {value}", v(*dst)),
+                Inst::GetLocal { dst, slot } => format!("{} = get_local {slot}", v(*dst)),
+                Inst::SetLocal { slot, src } => format!("set_local {slot}, {}", v(*src)),
+                Inst::Un { dst, op, src } => format!("{} = un {op:?} {}", v(*dst), v(*src)),
+                Inst::Bin { dst, op, lhs, rhs } => {
+                    format!("{} = bin {op:?} {}, {}", v(*dst), v(*lhs), v(*rhs))
+                }
+                Inst::Cmp { dst, op, lhs, rhs } => {
+                    format!("{} = cmp {op:?} {}, {}", v(*dst), v(*lhs), v(*rhs))
+                }
+                Inst::Convert { dst, to, src } => {
+                    format!("{} = convert {to} {}", v(*dst), v(*src))
+                }
+                Inst::ToBool { dst, src } => format!("{} = to_bool {}", v(*dst), v(*src)),
+                Inst::Call {
+                    dst, func, args, ..
+                } => {
+                    let args: Vec<String> = args.iter().map(|a| v(*a)).collect();
+                    match dst {
+                        Some(d) => format!("{} = call f{func}({})", v(*d), args.join(", ")),
+                        None => format!("call f{func}({})", args.join(", ")),
+                    }
+                }
+                Inst::CallPure { dst, builtin, args } => {
+                    let args: Vec<String> = args.iter().map(|a| v(*a)).collect();
+                    format!("{} = {}({})", v(*dst), builtin.name(), args.join(", "))
+                }
+                Inst::WorkItem { dst, builtin, dim } => match dim {
+                    Some(d) => format!("{} = {}({})", v(*dst), builtin.name(), v(*d)),
+                    None => format!("{} = {}()", v(*dst), builtin.name()),
+                },
+                Inst::Barrier { id } => format!("barrier #{id}"),
+                Inst::LoadMem { dst, ty, ptr } => {
+                    format!("{} = load {ty} [{}]", v(*dst), v(*ptr))
+                }
+                Inst::StoreMem { ty, ptr, value } => {
+                    format!("store {ty} [{}], {}", v(*ptr), v(*value))
+                }
+                Inst::PtrOffset {
+                    dst,
+                    size,
+                    ptr,
+                    count,
+                } => format!(
+                    "{} = ptr_offset x{size} {}, {}",
+                    v(*dst),
+                    v(*ptr),
+                    v(*count)
+                ),
+                Inst::PtrDiff {
+                    dst,
+                    size,
+                    lhs,
+                    rhs,
+                } => format!("{} = ptr_diff x{size} {}, {}", v(*dst), v(*lhs), v(*rhs)),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str("    ");
+        let line = match &b.term {
+            Terminator::Jump(t) => format!("jump bb{}", t.0),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!("branch {}, bb{}, bb{}", v(*cond), then_bb.0, else_bb.0),
+            Terminator::Return(Some(r)) => format!("return {}", v(*r)),
+            Terminator::Return(None) => "return".into(),
+            Terminator::MissingReturn => "missing_return".into(),
+            Terminator::Trap { code } => format!("trap {}", v(*code)),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Formats a float so it round-trips and always contains `.` or `e`.
 fn format_float(v: f64) -> String {
     let s = format!("{v}");

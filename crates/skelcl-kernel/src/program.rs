@@ -123,6 +123,23 @@ impl Program {
         &self.inner.functions
     }
 
+    /// Static decode summary of function `func`: `(ops, dispatches)`,
+    /// where `ops` is the bytecode length and `dispatches` is how many
+    /// superinstruction heads cover it. Fusion never spans a jump target,
+    /// so every op belongs to exactly one head and a linear scan is exact;
+    /// fewer dispatches over the same source means longer fused chains in
+    /// the interpreter's hot loop. Benchmarks use this to compare compile
+    /// pipelines without running the kernel.
+    pub fn decode_stats(&self, func: usize) -> (usize, usize) {
+        let dec = &self.inner.decoded[func];
+        let (mut pc, mut dispatches) = (0usize, 0usize);
+        while pc < dec.len() {
+            dispatches += 1;
+            pc += dec[pc].cost() as usize;
+        }
+        (dec.len(), dispatches)
+    }
+
     /// Whether two handles refer to the same compiled program (pointer
     /// identity, not structural equality). Lets executors recycle
     /// [`crate::vm::WorkItem`]s across work-items of one launch without

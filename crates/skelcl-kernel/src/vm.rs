@@ -60,7 +60,13 @@ impl ItemGeometry {
 /// Execution cost counters of one work-item (or aggregated over many).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CostCounters {
-    /// Executed instructions.
+    /// Executed instructions (decoded superinstructions, not source ops).
+    ///
+    /// The op budget ([`WorkItem::set_ops_budget`]) is charged against this
+    /// counter, i.e. against what actually executes. Two compiles of the
+    /// same source under different `SKELCL_KERNEL_OPT` settings therefore
+    /// report different `ops` for identical buffer results; the gap is
+    /// what [`CostCounters::ops_saved`] records.
     pub ops: u64,
     /// Loads from global memory.
     pub global_loads: u64,
@@ -74,6 +80,15 @@ pub struct CostCounters {
     pub barriers: u64,
     /// Bytes moved to or from global memory.
     pub global_bytes: u64,
+    /// Executed ops avoided by the optimizing compile pipeline, measured
+    /// against an unoptimized reference compile of the same source.
+    ///
+    /// The VM never sets this field (it is always 0 during execution —
+    /// the VM only sees one program and cannot know the counterfactual);
+    /// benchmark harnesses fill it in by running both compiles and
+    /// subtracting, and [`CostCounters::merge`] sums it like every other
+    /// counter.
+    pub ops_saved: u64,
 }
 
 impl CostCounters {
@@ -86,6 +101,7 @@ impl CostCounters {
         self.local_stores += other.local_stores;
         self.barriers += other.barriers;
         self.global_bytes += other.global_bytes;
+        self.ops_saved += other.ops_saved;
     }
 
     /// Total global memory operations.
@@ -340,6 +356,15 @@ pub struct WorkItem {
     free_frames: Vec<Frame>,
     /// Cost counters accumulated so far.
     pub counters: CostCounters,
+    /// Dispatch-loop iterations so far. Unlike [`CostCounters::ops`] (which
+    /// counts *source* ops — a fused superinstruction covering `k` ops
+    /// charges `k`, so both engines agree), this counts one per decoded
+    /// head in [`WorkItem::run`] and one per op in
+    /// [`WorkItem::run_reference`]: it measures interpreter-loop overhead,
+    /// the quantity fusion and register lowering exist to shrink. It is
+    /// deliberately *not* part of `CostCounters` so the engines' counter
+    /// cross-checks stay exact.
+    pub dispatches: u64,
     /// Remaining instruction budget.
     ops_budget: u64,
     finished: bool,
@@ -361,6 +386,7 @@ impl WorkItem {
             frames: Vec::with_capacity(4),
             free_frames: Vec::new(),
             counters: CostCounters::default(),
+            dispatches: 0,
             ops_budget: u64::MAX,
             finished: false,
         };
@@ -383,6 +409,7 @@ impl WorkItem {
         }
         self.geometry = geometry;
         self.counters = CostCounters::default();
+        self.dispatches = 0;
         self.ops_budget = u64::MAX;
         self.finished = false;
         // A finished item has popped every frame; a faulted or suspended one
@@ -482,6 +509,7 @@ impl WorkItem {
             let dec = program.decoded_fn(frame.func as usize);
             loop {
                 let d = &dec[frame.pc];
+                self.dispatches += 1;
                 let op = match d {
                     Decoded::Plain(op) => op,
                     fused => {
@@ -556,6 +584,38 @@ impl WorkItem {
                                 let vv = operand_value(frame, v)?;
                                 mem_store(&mut self.counters, global, local_mem, p, *ty, vv)?;
                             }
+                            Decoded::StIdx {
+                                v,
+                                ptr,
+                                idx,
+                                size,
+                                conv,
+                                ty,
+                                ..
+                            } => {
+                                let count = if *conv {
+                                    value::convert(frame.locals[*idx as usize], ScalarType::Long)
+                                        .as_i64()
+                                } else {
+                                    frame.locals[*idx as usize].as_i64()
+                                };
+                                let base = match frame.locals[*ptr as usize] {
+                                    Value::Ptr(p) => p,
+                                    other => {
+                                        return Err(RuntimeError::Internal(format!(
+                                            "expected pointer, found {other}"
+                                        )))
+                                    }
+                                };
+                                let p = Ptr {
+                                    byte_offset: base
+                                        .byte_offset
+                                        .wrapping_add(count.wrapping_mul(*size as i64)),
+                                    ..base
+                                };
+                                let vv = operand_value(frame, v)?;
+                                mem_store(&mut self.counters, global, local_mem, p, *ty, vv)?;
+                            }
                             Decoded::Mov(a, s) => {
                                 frame.locals[*s as usize] = frame.locals[*a as usize];
                             }
@@ -566,15 +626,22 @@ impl WorkItem {
                                 ptr,
                                 idx,
                                 size,
+                                conv,
                                 load,
                                 dst,
                                 ..
                             } => {
                                 // Conversion happens before the pointer
-                                // check when unfused; keep that order.
-                                let count =
+                                // check when unfused; keep that order. When
+                                // the widening was hoisted (`conv` false)
+                                // the slot is read exactly as the bare
+                                // `PtrOffset` pops it.
+                                let count = if *conv {
                                     value::convert(frame.locals[*idx as usize], ScalarType::Long)
-                                        .as_i64();
+                                        .as_i64()
+                                } else {
+                                    frame.locals[*idx as usize].as_i64()
+                                };
                                 let base = match frame.locals[*ptr as usize] {
                                     Value::Ptr(p) => p,
                                     other => {
@@ -595,6 +662,13 @@ impl WorkItem {
                                     }
                                     None => Value::Ptr(p),
                                 };
+                                match dst {
+                                    Dst::Stack => frame.stack.push(v),
+                                    Dst::Local(s) => frame.locals[*s as usize] = v,
+                                }
+                            }
+                            Decoded::Cvt { src, to, dst, .. } => {
+                                let v = value::convert(operand_value(frame, src)?, *to);
                                 match dst {
                                     Dst::Stack => frame.stack.push(v),
                                     Dst::Local(s) => frame.locals[*s as usize] = v,
@@ -792,6 +866,7 @@ impl WorkItem {
                 return Err(RuntimeError::OpLimitExceeded);
             }
             self.counters.ops += 1;
+            self.dispatches += 1;
 
             let frame = self
                 .frames

@@ -1,0 +1,70 @@
+//! Golden tests for the MIR pretty-printer behind `SKELCL_KERNEL_DUMP`.
+//!
+//! These pin the exact textual shape of the MIR dump — block labels,
+//! register numbering, instruction mnemonics — so accidental format churn
+//! (which breaks downstream dump-diffing scripts) shows up as a test
+//! failure with a readable diff.
+
+use skelcl_kernel::{diag::Diagnostics, inline, mir, parser, passes, sema, source::SourceFile};
+
+fn mir_dump(src: &str, cfg: &passes::OptConfig) -> String {
+    let f = SourceFile::new("t.cl", src);
+    let mut d = Diagnostics::new();
+    let tu = parser::parse(&f, &mut d);
+    let mut unit = sema::analyze(&tu, &mut d).unwrap_or_else(|| panic!("{}", d.render(&f)));
+    inline::inline_unit(&mut unit);
+    let mut m = mir::lower_unit(&unit);
+    passes::run(&mut m, cfg);
+    skelcl_kernel::pretty::mir_unit_to_string(&m)
+}
+
+#[test]
+fn straight_line_function_golden() {
+    let got = mir_dump(
+        "int f(int a){ return a * 2 + 1; }",
+        &passes::OptConfig::none(),
+    );
+    let want = "\
+fn f (params: 1, locals: 1, vregs: 5)
+bb0:
+    v0 = get_local 0
+    v1 = const 2
+    v2 = bin Mul v0, v1
+    v3 = const 1
+    v4 = bin Add v2, v3
+    return v4
+
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+#[test]
+fn optimized_branch_golden() {
+    // `3 < 4` folds, the branch collapses, and DCE sweeps the dead arm.
+    let got = mir_dump(
+        "int f(){ if (3 < 4) return 7; return 9; }",
+        &passes::OptConfig::all(),
+    );
+    let want = "\
+fn f (params: 0, locals: 0, vregs: 5)
+bb0:
+    v3 = const 7
+    return v3
+
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+#[test]
+fn loop_golden_has_stable_block_labels() {
+    let got = mir_dump(
+        "int f(int n){ int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        &passes::OptConfig::none(),
+    );
+    // Structure, not exact text: one header with a branch, a body that
+    // jumps back, stable `bbN:` labels and `%N` registers throughout.
+    assert!(got.starts_with("fn f (params: 1,"), "got:\n{got}");
+    for needle in ["bb0:", "bb1:", "branch", "jump bb", "set_local", "cmp Lt"] {
+        assert!(got.contains(needle), "missing {needle:?} in:\n{got}");
+    }
+}

@@ -159,13 +159,19 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 
 /// Compiles and runs `expr` as a kernel, returning the VM's result.
 fn run_compiled(expr: &Expr, vars: [i64; 3]) -> i64 {
+    run_with(expr, vars, &skelcl_kernel::OptConfig::from_env(), false)
+}
+
+/// Compiles `expr` under `cfg` and runs it — through the reference
+/// interpreter when `reference` is set — returning the result.
+fn run_with(expr: &Expr, vars: [i64; 3], cfg: &skelcl_kernel::OptConfig, reference: bool) -> i64 {
     let source = format!(
         "__kernel void eval(__global long* out, long x, long y, long z) {{\n\
              out[0] = {};\n\
          }}",
         expr.render()
     );
-    let program = skelcl_kernel::compile("prop.cl", &source)
+    let program = skelcl_kernel::compile_with_config("prop.cl", &source, cfg)
         .unwrap_or_else(|e| panic!("generated source failed to compile:\n{source}\n{e}"));
     let kernel = program.kernel("eval").expect("kernel");
     let mut mem = HostMemory::new();
@@ -181,7 +187,11 @@ fn run_compiled(expr: &Expr, vars: [i64; 3]) -> i64 {
         Value::I64(vars[2]),
     ];
     let mut item = WorkItem::new(&program, kernel.func, &args, ItemGeometry::single());
-    item.run(&mem, &mut []).expect("kernel runs");
+    if reference {
+        item.run_reference(&mem, &mut []).expect("kernel runs");
+    } else {
+        item.run(&mem, &mut []).expect("kernel runs");
+    }
     i64::from_le_bytes(mem.bytes(out)[..8].try_into().unwrap())
 }
 
@@ -199,6 +209,23 @@ proptest! {
         let expected = expr.eval(&vars);
         let actual = run_compiled(&expr, vars);
         prop_assert_eq!(actual, expected, "expr: {}", expr.render());
+    }
+
+    /// The full MIR pipeline and the legacy pipeline agree bit-for-bit:
+    /// the optimized program (fast interpreter) must compute exactly what
+    /// the legacy program computes on the reference interpreter.
+    #[test]
+    fn optimized_pipeline_matches_legacy_reference(
+        expr in arb_expr(),
+        x in any::<i64>(),
+        y in -1000i64..1000,
+        z in any::<i64>(),
+    ) {
+        use skelcl_kernel::OptConfig;
+        let vars = [x, y, z];
+        let oracle = run_with(&expr, vars, &OptConfig::legacy(), true);
+        let optimized = run_with(&expr, vars, &OptConfig::all(), false);
+        prop_assert_eq!(optimized, oracle, "expr: {}", expr.render());
     }
 
     /// The pretty-printer is a fixed point: parse(print(parse(src))) gives

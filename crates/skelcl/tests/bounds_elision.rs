@@ -54,16 +54,52 @@ fn constant_offsets_prove_bounds_statically() {
 }
 
 #[test]
-fn dynamic_offsets_keep_the_runtime_check() {
+fn constant_trip_loops_unroll_and_prove_bounds() {
     let ctx = Context::single_gpu();
-    // Listing 1.2 style: offsets are loop variables — not statically
-    // provable, so the check must remain and still fire at runtime.
+    // Listing 1.2 style: offsets are loop variables. The trip counts are
+    // small compile-time constants, so the unroller turns `i`/`j` into
+    // literals and constant folding then proves every access in bounds —
+    // the same elimination the straight-line Sobel kernel gets.
     let m: MapOverlap<f32, f32> = MapOverlap::new(
         &ctx,
         "float func(const float* m_in){
             float sum = 0.0f;
             for (int i = -1; i <= 1; ++i)
                 for (int j = -1; j <= 1; ++j)
+                    sum += get(m_in, i, j);
+            return sum;
+        }",
+        1,
+        BoundaryHandling::Neutral(0.0),
+    )
+    .unwrap();
+    assert_eq!(
+        kernel_trap_count(&m),
+        0,
+        "constant-trip loops unroll; bounds prove statically:\n{}",
+        m.program().disassemble()
+    );
+    // And the unrolled kernel still computes the 3x3 sum correctly.
+    let input = Matrix::from_fn(&ctx, 8, 8, |r, c| (r * 8 + c) as f32);
+    let out = m.call(&input).unwrap();
+    let expect: f32 = (3..6)
+        .flat_map(|r| (3..6).map(move |c| (r * 8 + c) as f32))
+        .sum();
+    assert_eq!(out.get(4, 4).unwrap(), expect);
+}
+
+#[test]
+fn dynamic_offsets_keep_the_runtime_check() {
+    let ctx = Context::single_gpu();
+    // The loop bound is a kernel argument: the trip count is unknown at
+    // compile time, so the accesses are not statically provable and the
+    // check must remain in the executed code.
+    let m: MapOverlap<f32, f32> = MapOverlap::new(
+        &ctx,
+        "float func(const float* m_in, int r){
+            float sum = 0.0f;
+            for (int i = -1; i <= r; ++i)
+                for (int j = -1; j <= r; ++j)
                     sum += get(m_in, i, j);
             return sum;
         }",

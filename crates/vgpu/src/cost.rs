@@ -80,6 +80,7 @@ mod tests {
             local_stores: 0,
             barriers: 0,
             global_bytes: bytes,
+            ops_saved: 0,
         }
     }
 

@@ -42,6 +42,12 @@ figures:
 bench-interp:
     cargo run --release -p skelcl-bench --bin interp
 
+# A/B the two compile pipelines (EXT-IR): legacy stack codegen vs the MIR
+# optimization passes, per pass and end-to-end. Same binary as
+# bench-interp — the EXT-IR section is the second half of its report.
+bench-ir:
+    cargo run --release -p skelcl-bench --bin interp
+
 # Regenerate the reports into a scratch directory and diff them against
 # the committed baselines in bench/baselines/ (exits non-zero on any
 # regression — see crates/skelcl-bench/src/gate.rs for the rules).
