@@ -5,7 +5,9 @@
 //!
 //! Usage: `cargo run --release -p skelcl-bench --bin scaling`
 
-use skelcl::{Context, Map, Reduce, SchedulePolicy, Value, Vector, Zip};
+use skelcl::{
+    BoundaryHandling, Context, Map, MapOverlapVec, Reduce, SchedulePolicy, Value, Vector, Zip,
+};
 use skelcl_bench::baselines::{dot_skelcl, mandelbrot_skelcl, sobel_skelcl};
 use skelcl_bench::overlap::overlap_stats;
 use skelcl_bench::report::{profiled_ctx, write_report};
@@ -239,6 +241,86 @@ fn main() {
         }
     );
 
+    // Plan rewrite rules: the same welding generalised to whole pipelines.
+    // The same 1M-element vector through map → stencil(d=1) → reduce on 4
+    // GPUs, lowered fully staged (SKELCL_PLAN=0: one kernel and one
+    // intermediate buffer per stage) and rewritten (SKELCL_PLAN=1: the map
+    // is recomputed inside the stencil's halo loads and the stencil output
+    // is welded into the reduction's first pass). Launches and intermediate
+    // bytes come from the profiler's kernel histogram and the
+    // `plan.intermediate_bytes` counter on a fresh context per run.
+    println!("\n== Plan rewrite rules (map \u{2218} stencil \u{2218} reduce), 4 GPUs ==\n");
+    let plan_run = |spec: &str| {
+        std::env::set_var("SKELCL_PLAN", spec);
+        let c = ctx(4);
+        let scale: Map<f32, f32> =
+            Map::new(&c, "float scale(float x){ return x * 0.5f; }").expect("compile scale");
+        let blur: MapOverlapVec<f32, f32> = MapOverlapVec::new(
+            &c,
+            "float blur(const float* v){ return (get(v,-1) + get(v,0) + get(v,1)) / 3.0f; }",
+            1,
+            BoundaryHandling::Neutral(0.0),
+        )
+        .expect("compile blur");
+        let psum: Reduce<f32> =
+            Reduce::new(&c, "float sum(float x, float y){ return x + y; }").expect("compile sum");
+        let v = Vector::from_vec(&c, a.clone());
+        let total = psum
+            .call_fused(
+                &blur
+                    .lazy(&scale.lazy(&v.expr()).expect("lazy map"))
+                    .expect("lazy stencil"),
+            )
+            .expect("plan pipeline")
+            .value();
+        let m = c.profiler().metrics_snapshot().expect("profiled context");
+        std::env::remove_var("SKELCL_PLAN");
+        (
+            m.histograms[skelcl_profile::metrics::HIST_KERNEL_NS].count,
+            m.counters
+                .get(skelcl_profile::metrics::PLAN_INTERMEDIATE_BYTES)
+                .copied()
+                .unwrap_or(0),
+            m.counters
+                .get(skelcl_profile::metrics::PLAN_RULES_FIRED)
+                .copied()
+                .unwrap_or(0),
+            m.counters
+                .get(skelcl_profile::metrics::PLAN_NODES_FUSED)
+                .copied()
+                .unwrap_or(0),
+            total.to_bits(),
+        )
+    };
+    let (staged_launches, staged_bytes, _, _, staged_bits) = plan_run("0");
+    let (plan_launches, plan_bytes, plan_rules, plan_nodes, plan_bits) = plan_run("1");
+    let plan_identical = plan_bits == staged_bits;
+    println!(
+        "{:<10} {:>16} {:>22} {:>16}",
+        "plan", "kernel launches", "intermediate (bytes)", "result"
+    );
+    println!(
+        "{:<10} {staged_launches:>16} {staged_bytes:>22} {:>16.3}",
+        "staged",
+        f32::from_bits(staged_bits)
+    );
+    println!(
+        "{:<10} {plan_launches:>16} {plan_bytes:>22} {:>16.3}",
+        "rewritten",
+        f32::from_bits(plan_bits)
+    );
+    let plan_ok = plan_identical && plan_launches < staged_launches && plan_bytes < staged_bytes;
+    println!(
+        "\nplan: {} launches and {} intermediate bytes saved, {plan_rules} rules fired, {plan_nodes} nodes fused — {}",
+        staged_launches.saturating_sub(plan_launches),
+        staged_bytes.saturating_sub(plan_bytes),
+        if plan_identical {
+            "BIT-IDENTICAL"
+        } else {
+            "RESULTS DIVERGE"
+        }
+    );
+
     // Host wall-clock delta between the two vgpu execution engines on the
     // same 4-GPU mandelbrot frames — the skeleton-level companion to the
     // EXT-INTERP A/B (`interp` binary). Real build-machine time, not
@@ -268,7 +350,7 @@ fn main() {
         lockstep_wall_ms / fast_wall_ms
     );
 
-    let ok = shape_ok && adaptive_ok && overlapped && fusion_ok;
+    let ok = shape_ok && adaptive_ok && overlapped && fusion_ok && plan_ok;
     println!(
         "\nresult: {}",
         if ok {
@@ -324,6 +406,26 @@ fn main() {
                         Json::Bool(saves_launch_per_device),
                     ),
                     ("results_identical", Json::Bool(results_identical)),
+                ]),
+            ),
+            (
+                "plan",
+                Json::obj([
+                    ("staged_kernel_launches", staged_launches.into()),
+                    ("rewritten_kernel_launches", plan_launches.into()),
+                    ("staged_intermediate_bytes", staged_bytes.into()),
+                    ("rewritten_intermediate_bytes", plan_bytes.into()),
+                    ("rules_fired", plan_rules.into()),
+                    ("nodes_fused", plan_nodes.into()),
+                    (
+                        "fewer_launches",
+                        Json::Bool(plan_launches < staged_launches),
+                    ),
+                    (
+                        "fewer_intermediate_bytes",
+                        Json::Bool(plan_bytes < staged_bytes),
+                    ),
+                    ("bit_identical", Json::Bool(plan_identical)),
                 ]),
             ),
             (

@@ -127,6 +127,7 @@ mod tests {
             bytes: None,
             nd_range: None,
             counters: None,
+            extras: Vec::new(),
         }
     }
 

@@ -74,6 +74,9 @@ pub fn chrome_trace(spans: &[SpanRecord], flows: &[FlowEdge], counters: &[Counte
                 span.start_ns.saturating_sub(q).into(),
             ));
         }
+        for (key, value) in &span.extras {
+            args.push((key.clone(), Json::from(value.as_str())));
+        }
         if let Some(c) = &span.counters {
             args.push((
                 "counters".into(),
@@ -188,7 +191,24 @@ mod tests {
             bytes: None,
             nd_range: Some("256/64".into()),
             counters: None,
+            extras: Vec::new(),
         }
+    }
+
+    #[test]
+    fn span_extras_become_args() {
+        let mut s = span(1, Lane::Host, 0, 100);
+        s.extras.push(("plan.rules".into(), "chain,stencil".into()));
+        let parsed = Json::parse(&chrome_trace(&[s], &[], &[]).to_json()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(
+            x.get("args").unwrap().get("plan.rules").unwrap().as_str(),
+            Some("chain,stencil")
+        );
     }
 
     #[test]

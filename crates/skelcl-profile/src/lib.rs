@@ -136,6 +136,7 @@ impl Profiler {
                 name: name.to_string(),
                 kind,
                 start_ns: Self::host_now_ns(inner),
+                extras: Vec::new(),
             }),
         }
     }
@@ -295,6 +296,7 @@ struct GuardState {
     name: String,
     kind: SpanKind,
     start_ns: u64,
+    extras: Vec<(String, String)>,
 }
 
 /// Closes its span when dropped. Inert (and allocation-free) when the
@@ -307,6 +309,15 @@ impl SpanGuard {
     /// The span's id; 0 when profiling is disabled.
     pub fn id(&self) -> u64 {
         self.state.as_ref().map_or(0, |s| s.id)
+    }
+
+    /// Attaches a key/value annotation to the span, recorded when the
+    /// guard drops and exported as a Chrome-trace arg. Allocation-free
+    /// no-op when the profiler is disabled.
+    pub fn attach(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        if let Some(s) = &mut self.state {
+            s.extras.push((key.into(), value.into()));
+        }
     }
 }
 
@@ -327,6 +338,7 @@ impl Drop for SpanGuard {
             bytes: None,
             nd_range: None,
             counters: None,
+            extras: s.extras,
         });
     }
 }
@@ -418,6 +430,29 @@ mod tests {
         assert_eq!(m.devices[&0].transfer_ns, 40);
         assert_eq!(m.devices[&1].transfer_ns, 20);
         assert_eq!(m.histograms[metrics::HIST_TRANSFER_BYTES].count, 2);
+    }
+
+    #[test]
+    fn span_guard_attaches_extras() {
+        let p = Profiler::enabled();
+        {
+            let mut g = p.host_span(SpanKind::Skeleton, "plan.lower");
+            g.attach("plan.rules", "chain,reduce-weld");
+            g.attach("plan.decision", "fused");
+        }
+        let spans = p.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].extras,
+            vec![
+                ("plan.rules".to_string(), "chain,reduce-weld".to_string()),
+                ("plan.decision".to_string(), "fused".to_string()),
+            ]
+        );
+        // Disabled guards accept attachments without recording anything.
+        let d = Profiler::disabled();
+        let mut g = d.host_span(SpanKind::Skeleton, "plan.lower");
+        g.attach("k", "v");
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub const COMPILE_CACHE_HIT: &str = "compile.cache_hit";
 pub const COMPILE_CACHE_MISS: &str = "compile.cache_miss";
 /// Skeleton invocations.
 pub const SKELETON_CALLS: &str = "skeleton.calls";
+/// Plan rewrite-rule firings (chain fusion, reduce welding, stencil
+/// fusion, scan-offset folding) across all pipeline lowerings.
+pub const PLAN_RULES_FIRED: &str = "plan.rules_fired";
+/// Plan nodes eliminated by fusion (each firing welds one or more
+/// producer nodes into its consumer's kernel instead of staging them).
+pub const PLAN_NODES_FUSED: &str = "plan.nodes_fused";
+/// Bytes of intermediate device buffers a plan lowering allocated for
+/// staged (unfused) pipeline steps — the traffic fusion eliminates.
+pub const PLAN_INTERMEDIATE_BYTES: &str = "plan.intermediate_bytes";
 /// Rebalances: redistributions where only block boundaries shifted and the
 /// container moved boundary units device-to-device instead of a full
 /// gather + re-upload.

@@ -226,6 +226,7 @@ mod tests {
             bytes: None,
             nd_range: None,
             counters: None,
+            extras: Vec::new(),
         }];
         let text = summary_table(&spans, &sample_metrics());
         assert!(text.contains("bytes.h2d"));
@@ -289,6 +290,7 @@ mod tests {
             bytes: None,
             nd_range: None,
             counters: None,
+            extras: Vec::new(),
         };
         let spans = vec![
             mk(Lane::Device(0), SpanKind::Kernel, 100),

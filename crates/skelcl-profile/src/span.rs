@@ -102,6 +102,10 @@ pub struct SpanRecord {
     pub nd_range: Option<String>,
     /// Aggregate execution counters (kernel spans).
     pub counters: Option<CostCounters>,
+    /// Free-form key/value annotations attached while the span was open
+    /// (e.g. which plan rewrite rules fired), exported as Chrome-trace
+    /// args.
+    pub extras: Vec<(String, String)>,
 }
 
 impl SpanRecord {
@@ -143,6 +147,7 @@ impl SpanRecord {
             bytes,
             nd_range,
             counters: event.counters(),
+            extras: Vec::new(),
         }
     }
 }

@@ -460,7 +460,7 @@ pub(crate) struct StageSpec {
 /// function with scalar output type `ret`.
 pub(crate) fn stage_spec(f: &UserFunction, ret: ScalarType) -> StageSpec {
     let mut unit = f.unit.clone();
-    let suffix = format!("_{:016x}", source_hash("stage", &f.source()));
+    let suffix = format!("_{:032x}", source_hash("stage", &f.source()));
     suffix_functions(&mut unit, &suffix);
     let name = unit.functions[0].name.clone();
     StageSpec {
@@ -468,6 +468,20 @@ pub(crate) fn stage_spec(f: &UserFunction, ret: ScalarType) -> StageSpec {
         name,
         ret,
     }
+}
+
+/// Builds the fusion translation unit and renamed entry point for a
+/// stencil customizing function (after `get` rewriting). The hash seed
+/// differs from elementwise stages so a stencil function and an
+/// identically-sourced elementwise function never collide in one unit;
+/// calls to `__skelcl_get1` survive unsuffixed (not defined in the unit)
+/// and bind to the fused kernel's accessor.
+pub(crate) fn stencil_stage(f: &UserFunction) -> (String, String) {
+    let mut unit = f.unit.clone();
+    let suffix = format!("_{:032x}", source_hash("stencil", &f.source()));
+    suffix_functions(&mut unit, &suffix);
+    let name = unit.functions[0].name.clone();
+    (pretty::print_unit(&unit), name)
 }
 
 /// Welds the uniform n-ary elementwise kernel around a customizing
@@ -522,13 +536,17 @@ pub(crate) fn compile_generated(name: &str, source: &str) -> Result<skelcl_kerne
     })
 }
 
-/// FNV-1a hash of generated kernel source — the program-cache key, also
-/// used to derive collision-free fusion-stage suffixes.
-pub(crate) fn source_hash(name: &str, source: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a-128 hash of generated kernel source — the program-cache key,
+/// also used to derive collision-free fusion-stage suffixes. 128 bits
+/// (rather than the original 64) because stage suffixes are a *naming*
+/// mechanism: a collision between two distinct stage bodies would silently
+/// weld the wrong function into a fused kernel, so the collision
+/// probability has to be negligible even across adversarial inputs.
+pub(crate) fn source_hash(name: &str, source: &str) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     for b in name.bytes().chain([0u8]).chain(source.bytes()) {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
     }
     h
 }
@@ -717,6 +735,33 @@ mod tests {
             sf.source, sh.source, sf.name, sh.name
         );
         compile_generated("stage_probe.cl", &probe).unwrap();
+    }
+
+    #[test]
+    fn stage_suffix_is_full_width_and_collision_resistant() {
+        // Regression test for the content-hash widening: the suffix must
+        // carry the full 128-bit digest (32 hex chars), the hash must be
+        // domain-separated (name vs source boundary matters), and
+        // near-identical stage bodies must never share a suffix.
+        let f = parse_user_function("Map", "float f(float x){ return x + 1.0f; }").unwrap();
+        let s = stage_spec(&f, ScalarType::Float);
+        let suffix = s.name.strip_prefix("f_").unwrap();
+        assert_eq!(suffix.len(), 32, "suffix carries the full digest: {s:?}");
+        assert!(suffix.chars().all(|c| c.is_ascii_hexdigit()));
+
+        // Domain separation: moving a byte across the name/source boundary
+        // must change the digest.
+        assert_ne!(source_hash("a", "bc"), source_hash("ab", "c"));
+        assert_ne!(source_hash("stage", "x"), source_hash("stagex", ""));
+
+        // Single-character body variations all hash apart.
+        let mut seen = std::collections::HashSet::new();
+        for op in ["+", "-", "*", "/"] {
+            let src = format!("float f(float x){{ return x {op} 2.0f; }}");
+            let g = parse_user_function("Map", &src).unwrap();
+            let spec = stage_spec(&g, ScalarType::Float);
+            assert!(seen.insert(spec.name.clone()), "suffix collision: {op}");
+        }
     }
 
     #[test]

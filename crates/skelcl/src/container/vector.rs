@@ -240,6 +240,18 @@ impl<T: KernelScalar> crate::exec::ElementwiseInput for Vector<T> {
     fn input_id(&self) -> usize {
         Arc::as_ptr(&self.data) as *const () as usize
     }
+
+    fn input_mark_device_written(&self) {
+        self.mark_device_written();
+    }
+
+    fn input_boxed(&self) -> Box<dyn crate::exec::ElementwiseInput> {
+        Box::new(self.clone())
+    }
+
+    fn input_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 impl<T: KernelScalar> FromIterator<T> for Vector<T> {

@@ -40,8 +40,10 @@ struct ContextInner {
     flight: FlightRecorder,
     stats: Mutex<StatsReporter>,
     scheduler: Scheduler,
-    /// Compiled skeleton programs, keyed by a hash of the generated source.
-    program_cache: Mutex<HashMap<u64, skelcl_kernel::Program>>,
+    /// Compiled skeleton programs, keyed by a 128-bit hash of the
+    /// generated source (wide enough that two distinct sources can never
+    /// collide in practice).
+    program_cache: Mutex<HashMap<u128, skelcl_kernel::Program>>,
 }
 
 impl Drop for ContextInner {
@@ -257,12 +259,12 @@ impl Context {
     }
 
     /// Looks up a compiled program by source hash.
-    pub(crate) fn cached_program(&self, hash: u64) -> Option<skelcl_kernel::Program> {
+    pub(crate) fn cached_program(&self, hash: u128) -> Option<skelcl_kernel::Program> {
         self.inner.program_cache.lock().get(&hash).cloned()
     }
 
     /// Stores a compiled program under its source hash.
-    pub(crate) fn store_program(&self, hash: u64, program: skelcl_kernel::Program) {
+    pub(crate) fn store_program(&self, hash: u128, program: skelcl_kernel::Program) {
         self.inner.program_cache.lock().insert(hash, program);
     }
 }

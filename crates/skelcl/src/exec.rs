@@ -252,6 +252,14 @@ pub(crate) trait ElementwiseInput: std::fmt::Debug + Send + Sync {
     fn input_chunks(&self, dist: Distribution) -> Result<Vec<DeviceChunk>>;
     /// Stable identity of the backing storage (fusion source dedup).
     fn input_id(&self) -> usize;
+    /// Marks device buffers as freshly written (plan lowering writes to
+    /// them behind the container's back).
+    fn input_mark_device_written(&self);
+    /// Clones the container behind the trait (plan nodes own their leaves).
+    fn input_boxed(&self) -> Box<dyn ElementwiseInput>;
+    /// Downcast hook so a root-level staged intermediate can be returned
+    /// as a typed container without a device round-trip.
+    fn input_any(&self) -> &dyn std::any::Any;
 }
 
 /// Stage 5 for uniform elementwise kernels: one launch per output chunk

@@ -1,48 +1,45 @@
-//! Lazy elementwise expressions fused into a single kernel.
+//! Lazy skeleton expressions lowered through the plan layer.
 //!
-//! [`crate::Map::lazy`] and [`crate::Zip::lazy`] defer their stage into an
-//! [`Expr`] instead of executing it. Chained stages form a DAG whose
-//! leaves are containers; [`Expr::eval`] welds the whole DAG into **one**
-//! kernel — each stage's customizing function (with its helpers) is
-//! renamed with a content-derived suffix so every stage coexists in a
-//! single translation unit, and the per-element value is computed by a
-//! nested call expression with no intermediate buffer. Feeding an
-//! expression to [`crate::Reduce::call_fused`] goes further: the
-//! elementwise DAG becomes the load prologue of the tree reduction, so the
-//! paper's dot product (§3.3, zip-mult then reduce-add) runs as a single
-//! pass over the two input vectors.
+//! [`crate::Map::lazy`], [`crate::Zip::lazy`], [`crate::MapOverlap::lazy`]
+//! and [`crate::Scan::lazy`] defer their stage into an [`Expr`] instead of
+//! executing it. Chained stages form a logical plan DAG (see
+//! [`crate::plan`]) whose leaves are containers; [`Expr::eval`] lowers the
+//! DAG through the rewrite-rule engine — by default welding every
+//! elementwise region into **one** kernel, fusing stencils with their
+//! producers and folding pending scan-offset passes into downstream loads.
+//! Each stage's customizing function (with its helpers) is renamed with a
+//! content-derived suffix so every stage coexists in a single translation
+//! unit, and the per-element value is computed by a nested call expression
+//! with no intermediate buffer. Feeding an expression to
+//! [`crate::Reduce::call_fused`] goes further: the elementwise DAG becomes
+//! the load prologue of the tree reduction, so the paper's dot product
+//! (§3.3, zip-mult then reduce-add) runs as a single pass over the two
+//! input vectors.
 //!
-//! What fuses: any DAG of `map`/`zip` stages over vectors, including
-//! reused sub-expressions and stages with bound extra arguments (inlined
-//! as literals). What forces materialization: redistribution between
-//! stages (all sources share one distribution, resolved from the first
-//! source), `MapOverlap` halos (a stencil reads neighbours, not just the
-//! aligned element — run [`Expr::eval`] first and feed it the result), and
-//! `Scan`/`Allpairs` (non-elementwise access patterns).
+//! The `SKELCL_PLAN` environment variable selects which rewrite rules
+//! apply ([`crate::plan::PlanConfig`]); `SKELCL_PLAN=0` stages every node
+//! through an intermediate vector, which is the bit-identical oracle the
+//! fused paths are validated against.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use skelcl_kernel::types::ScalarType;
 use skelcl_kernel::value::Value;
 
-use crate::codegen::{c_literal, compile_cached, StageSpec};
+use crate::codegen::StageSpec;
 use crate::container::Vector;
 use crate::context::Context;
-use crate::distribution::Distribution;
-use crate::error::{Error, Result};
-use crate::exec::{
-    elementwise_distribution, elementwise_launches, materialize, run_launches, skeleton_span,
-    ElementwiseInput,
-};
+use crate::error::Result;
+use crate::plan::{eval_vector, FusedPlan, PlanNode};
 use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
-/// A deferred elementwise computation producing elements of type `O`.
+/// A deferred computation producing elements of type `O`.
 ///
 /// Built from containers ([`Vector::expr`] or `Expr::from(&vector)`) and
-/// composed through [`crate::Map::lazy`] / [`crate::Zip::lazy`]; executed
-/// by [`Expr::eval`] (one fused kernel producing a vector) or
+/// composed through [`crate::Map::lazy`] / [`crate::Zip::lazy`] /
+/// [`crate::MapOverlap::lazy`] / [`crate::Scan::lazy`]; executed by
+/// [`Expr::eval`] (lowered through the plan rewrite rules) or
 /// [`crate::Reduce::call_fused`] (fused into the reduction's first pass).
 ///
 /// ```
@@ -60,7 +57,7 @@ use crate::types::KernelScalar;
 /// # }
 /// ```
 pub struct Expr<O: KernelScalar> {
-    node: Arc<Node>,
+    node: Arc<PlanNode>,
     _t: PhantomData<fn() -> O>,
 }
 
@@ -79,193 +76,12 @@ impl<O: KernelScalar> std::fmt::Debug for Expr<O> {
     }
 }
 
-/// One node of the deferred DAG.
-#[derive(Debug)]
-pub(crate) enum Node {
-    /// A container leaf.
-    Source {
-        /// The container's context.
-        ctx: Context,
-        /// The container, type-erased to the pipeline-input surface.
-        input: Box<dyn ElementwiseInput>,
-    },
-    /// An elementwise stage applied to child expressions.
-    Apply {
-        /// The owning skeleton's context.
-        ctx: Context,
-        /// The stage's renamed translation unit and entry point.
-        stage: StageSpec,
-        /// Extra scalar arguments bound at composition time.
-        extras: Vec<Value>,
-        /// Child expressions, one per fixed parameter.
-        args: Vec<Arc<Node>>,
-    },
-}
-
-/// Everything needed to weld and launch a fused expression: the deduped
-/// sources and stage translation units, plus the per-element load
-/// expression in terms of `skelcl_inN[skelcl_i]`.
-pub(crate) struct FusedPlan<'a> {
-    /// Distinct source containers in first-use order (`skelcl_inN` order).
-    pub sources: Vec<&'a dyn ElementwiseInput>,
-    /// Element types of `sources`.
-    pub input_types: Vec<ScalarType>,
-    /// Concatenated deduplicated stage translation units.
-    pub units: String,
-    /// The per-element value as a nested call expression; the index
-    /// variable is `skelcl_i`.
-    pub load_expr: String,
-    /// Common length of every source.
-    pub len: usize,
-    /// The common context.
-    pub ctx: Context,
-    /// Number of stage applications in the DAG.
-    pub stages: usize,
-    /// Bytes per element of all stage outputs combined — what an unfused
-    /// execution writes to device memory as intermediate/result vectors.
-    pub stage_bytes_per_elem: u64,
-}
-
-impl<'a> FusedPlan<'a> {
-    /// Builds the plan by walking the DAG: dedupes sources by storage
-    /// identity and stage units by content, validates context and length
-    /// agreement.
-    pub fn build(root: &'a Node) -> Result<Self> {
-        struct Builder<'a> {
-            source_ids: Vec<usize>,
-            sources: Vec<&'a dyn ElementwiseInput>,
-            input_types: Vec<ScalarType>,
-            unit_sources: Vec<&'a str>,
-            ctx: Option<&'a Context>,
-            stages: usize,
-            stage_bytes_per_elem: u64,
-            error: Option<Error>,
-        }
-
-        impl<'a> Builder<'a> {
-            fn check_ctx(&mut self, ctx: &'a Context) {
-                match self.ctx {
-                    None => self.ctx = Some(ctx),
-                    Some(first) if first.same_as(ctx) => {}
-                    Some(_) if self.error.is_none() => {
-                        self.error = Some(Error::ShapeMismatch {
-                            reason: "fused expression mixes containers or skeletons \
-                                     from different contexts"
-                                .into(),
-                        });
-                    }
-                    Some(_) => {}
-                }
-            }
-
-            fn walk(&mut self, node: &'a Node) -> String {
-                match node {
-                    Node::Source { ctx, input } => {
-                        self.check_ctx(ctx);
-                        let id = input.input_id();
-                        let idx = self
-                            .source_ids
-                            .iter()
-                            .position(|&x| x == id)
-                            .unwrap_or_else(|| {
-                                self.source_ids.push(id);
-                                self.sources.push(input.as_ref());
-                                self.input_types.push(input.input_scalar());
-                                self.sources.len() - 1
-                            });
-                        format!("skelcl_in{idx}[skelcl_i]")
-                    }
-                    Node::Apply {
-                        ctx,
-                        stage,
-                        extras,
-                        args,
-                    } => {
-                        self.check_ctx(ctx);
-                        self.stages += 1;
-                        self.stage_bytes_per_elem += stage.ret.size_bytes() as u64;
-                        if !self.unit_sources.contains(&stage.source.as_str()) {
-                            self.unit_sources.push(&stage.source);
-                        }
-                        let mut call_args: Vec<String> =
-                            args.iter().map(|a| self.walk(a)).collect();
-                        call_args.extend(extras.iter().map(|v| c_literal(*v)));
-                        format!("{}({})", stage.name, call_args.join(", "))
-                    }
-                }
-            }
-        }
-
-        let mut b = Builder {
-            source_ids: Vec::new(),
-            sources: Vec::new(),
-            input_types: Vec::new(),
-            unit_sources: Vec::new(),
-            ctx: None,
-            stages: 0,
-            stage_bytes_per_elem: 0,
-            error: None,
-        };
-        let load_expr = b.walk(root);
-        if let Some(e) = b.error {
-            return Err(e);
-        }
-        let Some(first) = b.sources.first() else {
-            return Err(Error::ShapeMismatch {
-                reason: "fused expression has no container sources".into(),
-            });
-        };
-        let len = first.input_len();
-        for s in &b.sources {
-            if s.input_len() != len {
-                return Err(Error::ShapeMismatch {
-                    reason: format!(
-                        "fused expression requires equal source lengths, found {} and {}",
-                        len,
-                        s.input_len()
-                    ),
-                });
-            }
-        }
-        let ctx = b.ctx.expect("a source implies a context").clone();
-        Ok(FusedPlan {
-            sources: b.sources,
-            input_types: b.input_types,
-            units: b.unit_sources.join("\n"),
-            load_expr,
-            len,
-            ctx,
-            stages: b.stages,
-            stage_bytes_per_elem: b.stage_bytes_per_elem,
-        })
-    }
-
-    /// The `__global const T* skelcl_inN, ` parameter list prefix shared
-    /// by the fused kernels.
-    pub fn input_params(&self) -> String {
-        self.input_types
-            .iter()
-            .enumerate()
-            .map(|(i, t)| format!("__global const {t}* skelcl_in{i}, "))
-            .collect()
-    }
-
-    /// The `skelcl_in0, skelcl_in1, …` forwarding list for calls to a
-    /// generated device helper taking the input pointers.
-    pub fn input_args(&self) -> String {
-        (0..self.input_types.len())
-            .map(|i| format!("skelcl_in{i}"))
-            .collect::<Vec<_>>()
-            .join(", ")
-    }
-}
-
 /// Shape of a fused expression, for reporting what fusion saves: the
 /// launch and intermediate-buffer accounting behind the bench's `fusion`
 /// section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FusionStats {
-    /// Number of elementwise stages welded into the kernel.
+    /// Number of skeleton stages in the DAG.
     pub stages: usize,
     /// Number of distinct container sources.
     pub sources: usize,
@@ -285,10 +101,10 @@ impl<O: KernelScalar> Expr<O> {
         ctx: &Context,
         stage: StageSpec,
         extras: Vec<Value>,
-        args: Vec<Arc<Node>>,
+        args: Vec<Arc<PlanNode>>,
     ) -> Self {
         Expr {
-            node: Arc::new(Node::Apply {
+            node: Arc::new(PlanNode::Apply {
                 ctx: ctx.clone(),
                 stage,
                 extras,
@@ -298,8 +114,17 @@ impl<O: KernelScalar> Expr<O> {
         }
     }
 
+    /// Wraps an arbitrary plan node (crate-internal: stencil and scan
+    /// `lazy`).
+    pub(crate) fn from_node(node: Arc<PlanNode>) -> Self {
+        Expr {
+            node,
+            _t: PhantomData,
+        }
+    }
+
     /// The DAG node (crate-internal: composition and fused reduction).
-    pub(crate) fn node(&self) -> &Arc<Node> {
+    pub(crate) fn node(&self) -> &Arc<PlanNode> {
         &self.node
     }
 
@@ -337,16 +162,17 @@ impl<O: KernelScalar> Expr<O> {
         })
     }
 
-    /// Welds the whole DAG into one elementwise kernel, runs it, and
-    /// returns the result vector. The distribution is resolved from the
-    /// first source exactly as an eager `map`/`zip` call would.
+    /// Lowers the DAG through the plan rewrite rules, runs the resulting
+    /// kernels, and returns the result vector. The distribution is
+    /// resolved from the first source exactly as an eager `map`/`zip`
+    /// call would.
     ///
     /// # Errors
     ///
     /// Fails on mismatched source lengths or contexts, plus any platform
     /// failure.
     pub fn eval(&self) -> Result<Vector<O>> {
-        self.eval_impl(None)
+        eval_vector(&self.node, None)
     }
 
     /// [`Expr::eval`], additionally recording the launch events into
@@ -357,34 +183,7 @@ impl<O: KernelScalar> Expr<O> {
     ///
     /// As for [`Expr::eval`].
     pub fn eval_logged(&self, log: &EventLog) -> Result<Vector<O>> {
-        self.eval_impl(Some(log))
-    }
-
-    fn eval_impl(&self, log: Option<&EventLog>) -> Result<Vector<O>> {
-        let p = FusedPlan::build(&self.node)?;
-        let _span = skeleton_span(&p.ctx, "Expr.eval");
-        let source = format!(
-            "{units}\n\
-             __kernel void skelcl_fused({params}__global {out}* skelcl_out, int skelcl_n) {{\n\
-             \x20   int skelcl_i = (int)get_global_id(0);\n\
-             \x20   if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = {expr};\n\
-             }}\n",
-            units = p.units,
-            params = p.input_params(),
-            out = O::SCALAR,
-            expr = p.load_expr,
-        );
-        let program = compile_cached(&p.ctx, "skelcl_fused.cl", &source)?;
-        let dist = elementwise_distribution(p.sources[0].input_distribution(Distribution::Block));
-        let in_chunks = materialize(&p.sources, dist)?;
-        let (output, out_chunks) = Vector::alloc_device(&p.ctx, p.len, dist)?;
-        let launches = elementwise_launches(&in_chunks, &out_chunks, 1, &[]);
-        let events = run_launches(&p.ctx, &program, "skelcl_fused", launches)?;
-        if let Some(log) = log {
-            log.record(events);
-        }
-        output.mark_device_written();
-        Ok(output)
+        eval_vector(&self.node, Some(log))
     }
 }
 
@@ -392,9 +191,10 @@ impl<T: KernelScalar> From<&Vector<T>> for Expr<T> {
     /// Wraps a vector as a fusion source leaf.
     fn from(v: &Vector<T>) -> Self {
         Expr {
-            node: Arc::new(Node::Source {
+            node: Arc::new(PlanNode::Source {
                 ctx: crate::exec::ElementwiseInput::input_ctx(v).clone(),
                 input: Box::new(v.clone()),
+                fresh: false,
             }),
             _t: PhantomData,
         }

@@ -49,6 +49,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod plan;
 pub mod schedule;
 pub mod skeleton;
 pub mod types;
@@ -60,6 +61,7 @@ pub use engine::{LaunchPlan, NodeId, PlanRun};
 pub use error::{Error, Result};
 pub use exec::Skeleton;
 pub use expr::{Expr, FusionStats};
+pub use plan::PlanConfig;
 pub use schedule::{SchedulePolicy, Scheduler};
 pub use skeleton::{
     matrix_multiply, transpose, Allpairs, BoundaryHandling, EventLog, Map, MapOverlap,

@@ -1,0 +1,36 @@
+//! Fused-vs-staged arbitration for the stencil rewrite rule.
+//!
+//! Fusing a stencil with its elementwise producer trades intermediate
+//! buffer traffic (write + read of one full-length container) for halo
+//! recomputation (each device re-evaluates the producer chain on `2d`
+//! border elements per stage). The other rules strictly remove work, so
+//! only the stencil rule consults this model.
+
+use crate::context::Context;
+
+/// Decides whether to fuse an elementwise producer chain into a stencil.
+///
+/// `stages` is the producer chain depth, `d` the halo radius and `len`
+/// the container length. Costs are counted in element operations:
+/// fusing recomputes `stages * 2d` elements per device, staging moves
+/// `2 * len` elements through an intermediate buffer. When the EWMA
+/// scheduler has throughput observations for every device, both sides
+/// are converted to time (recomputation is bounded by the slowest
+/// device, traffic is spread across all of them); cold-start falls back
+/// to comparing raw element counts.
+pub(crate) fn should_fuse_stencil(ctx: &Context, stages: usize, d: usize, len: usize) -> bool {
+    let devices = ctx.device_count();
+    let recompute = (stages * 2 * d * devices) as f64;
+    let traffic = (2 * len) as f64;
+    let scheduler = ctx.scheduler();
+    let mut tputs = Vec::with_capacity(devices);
+    for dev in 0..devices {
+        match scheduler.throughput(dev) {
+            Some(t) if t > 0.0 => tputs.push(t),
+            _ => return recompute < traffic,
+        }
+    }
+    let min_tput = tputs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let total_tput: f64 = tputs.iter().sum();
+    recompute / min_tput < traffic / total_tput
+}

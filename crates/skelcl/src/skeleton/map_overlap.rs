@@ -10,19 +10,22 @@
 //! valid element (§3.4).
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use skelcl_kernel::value::Value;
 use vgpu::{KernelArg, NdRange};
 
 use crate::codegen::{
     c_literal, compile_cached, expect_pointer_param, expect_return, expect_scalar_extras,
-    extra_param_decls, extra_param_uses, parse_user_function, rewrite_get_calls,
+    extra_param_decls, extra_param_uses, parse_user_function, rewrite_get_calls, stencil_stage,
 };
 use crate::container::{Matrix, Vector};
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::error::{Error, Result};
 use crate::exec::{stencil_distributions, DeviceLaunch, Skeleton, SkeletonCore};
+use crate::expr::Expr;
+use crate::plan::{PlanNode, StencilSpec};
 use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
@@ -303,6 +306,7 @@ impl<I: KernelScalar, O: KernelScalar> Skeleton for MapOverlap<I, O> {
 pub struct MapOverlapVec<I: KernelScalar, O: KernelScalar> {
     core: SkeletonCore,
     d: usize,
+    spec: StencilSpec,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -366,9 +370,24 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
             uses = extra_param_uses(&extras, "skelcl_x"),
         );
         let program = compile_cached(ctx, "skelcl_mapoverlap_vec.cl", &kernel_source)?;
+        let (unit, func) = stencil_stage(&f);
+        let spec = StencilSpec {
+            unit,
+            func,
+            d,
+            neutral: match &boundary {
+                BoundaryHandling::Neutral(v) => Some(v.to_value()),
+                BoundaryHandling::Nearest => None,
+            },
+            in_scalar: I::SCALAR,
+            out_scalar: O::SCALAR,
+            extras: Vec::new(),
+            standalone: program.clone(),
+        };
         Ok(MapOverlapVec {
             core: SkeletonCore::new(ctx, "MapOverlapVec", program, extras),
             d,
+            spec,
             _types: PhantomData,
         })
     }
@@ -421,6 +440,36 @@ impl<I: KernelScalar, O: KernelScalar> MapOverlapVec<I, O> {
         self.core.run("skelcl_mapoverlap_vec", launches)?;
         output.mark_device_written();
         Ok(output)
+    }
+
+    /// Defers the stencil into an [`Expr`] node instead of executing it.
+    ///
+    /// Under the default plan configuration the stencil welds its
+    /// elementwise producer chain into its own kernel, recomputing halo
+    /// elements instead of materialising the producer's output (the
+    /// `stencil` rewrite rule; `SKELCL_PLAN` controls this).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` for uniformity with the eager call.
+    pub fn lazy(&self, input: &Expr<I>) -> Result<Expr<O>> {
+        self.lazy_with(input, &[])
+    }
+
+    /// [`MapOverlapVec::lazy`] with extra scalar arguments bound now.
+    ///
+    /// # Errors
+    ///
+    /// Fails on extra-argument arity or type mismatches.
+    pub fn lazy_with(&self, input: &Expr<I>, extra: &[Value]) -> Result<Expr<O>> {
+        self.core.check_extras(extra)?;
+        let mut spec = self.spec.clone();
+        spec.extras = extra.to_vec();
+        Ok(Expr::from_node(Arc::new(PlanNode::Stencil {
+            ctx: self.core.ctx.clone(),
+            spec,
+            arg: input.node().clone(),
+        })))
     }
 
     /// The overlap range `d`.

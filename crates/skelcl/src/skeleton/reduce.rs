@@ -26,7 +26,8 @@ use crate::distribution::Distribution;
 use crate::engine::{LaunchPlan, NodeId};
 use crate::error::{Error, Result};
 use crate::exec::{materialize, reduction_distribution, Skeleton, SkeletonCore};
-use crate::expr::{Expr, FusedPlan};
+use crate::expr::Expr;
+use crate::plan::{prepare_reduce, FusedPlan, PlanNode, ReduceInput};
 use crate::skeleton::EventLog;
 use crate::types::KernelScalar;
 
@@ -229,20 +230,47 @@ impl<T: KernelScalar> Reduce<T> {
     pub fn call_fused(&self, expr: &Expr<T>) -> Result<Scalar<T>> {
         let _span = self.core.begin("Reduce.call_fused");
         let node = expr.node().clone();
-        let p = FusedPlan::build(&node)?;
-        if !p.ctx.same_as(&self.core.ctx) {
-            return Err(Error::ShapeMismatch {
-                reason: "fused expression belongs to a different context than this Reduce".into(),
-            });
-        }
-        if p.len == 0 {
-            return Err(Error::EmptyContainer {
-                operation: "Reduce",
-            });
+        // Validate the raw tree before lowering launches anything.
+        {
+            let p = FusedPlan::build(&node)?;
+            if !p.ctx.same_as(&self.core.ctx) {
+                return Err(Error::ShapeMismatch {
+                    reason: "fused expression belongs to a different context than this Reduce"
+                        .into(),
+                });
+            }
+            if p.len == 0 {
+                return Err(Error::EmptyContainer {
+                    operation: "Reduce",
+                });
+            }
         }
 
-        // Weld: stage units + reduce operator + fused-load prologue + a
-        // tree-reduction first pass that loads through the prologue.
+        // Lower the input DAG (stencils always execute here; staging
+        // depends on SKELCL_PLAN), then weld or plainly reduce the rest.
+        let (input, pre_events) = prepare_reduce(&node)?;
+        let mut events = pre_events;
+        let result = match &input {
+            ReduceInput::Staged(collapsed) => {
+                let PlanNode::Source { input, .. } = collapsed.as_ref() else {
+                    unreachable!("staged lowering returns a Source");
+                };
+                let dist = reduction_distribution(input.input_distribution(Distribution::Block));
+                let chunks = input.input_chunks(dist)?;
+                let values = self.reduce_chunks(&chunks, 1, &mut events)?;
+                self.combine_partials(&values, chunks[0].plan.device, &mut events)?
+            }
+            ReduceInput::Welded(collapsed) => self.reduce_welded(collapsed, &mut events)?,
+        };
+        self.core.events.record(events);
+        Ok(Scalar::new(result, self.core.events.last_kernel_time()))
+    }
+
+    /// Welds a collapsed elementwise/scan region into the reduction's
+    /// first pass: stage units + reduce operator + fused-load prologue +
+    /// a tree reduction that loads through the prologue.
+    fn reduce_welded(&self, collapsed: &PlanNode, events: &mut Vec<Event>) -> Result<T> {
+        let p = FusedPlan::build(collapsed)?;
         let in_params = p.input_params();
         let in_args = p.input_args();
         let source = format!(
@@ -267,6 +295,9 @@ impl<T: KernelScalar> Reduce<T> {
 
         let dist = reduction_distribution(p.sources[0].input_distribution(Distribution::Block));
         let chunk_sets = materialize(&p.sources, dist)?;
+        if !p.scan_leaves.is_empty() {
+            p.prepare_scan(&chunk_sets, events)?;
+        }
         let elem = std::mem::size_of::<T>();
 
         // Phase 1: per device, one fused pass (sources → per-group
@@ -288,6 +319,7 @@ impl<T: KernelScalar> Reduce<T> {
                     KernelArg::Buffer(chunks[j].buffer.clone())
                 })
                 .collect();
+            args.extend(p.scan_args(&chunk_sets, j));
             args.push(KernelArg::Buffer(partials.clone()));
             args.push(KernelArg::Scalar(Value::I32(n as i32)));
             let first = plan.kernel(
@@ -314,13 +346,11 @@ impl<T: KernelScalar> Reduce<T> {
         for id in read_ids {
             values.push(T::from_le_bytes(&run.take_read(id)?));
         }
-        let mut events = run.into_events();
+        events.extend(run.into_events());
 
         // Phase 2: combine per-device partials, as in the plain path.
         let device = first_device.expect("non-empty expression has chunks");
-        let result = self.combine_partials(&values, device, &mut events)?;
-        self.core.events.record(events);
-        Ok(Scalar::new(result, self.core.events.last_kernel_time()))
+        self.combine_partials(&values, device, events)
     }
 
     /// Phase 1 of a reduction: one plan — every device reduces its chunk
@@ -558,15 +588,19 @@ mod tests {
             .value();
         assert_eq!(fused.to_bits(), unfused.to_bits());
 
-        // 1000 elements over 2 devices → 500 per chunk → 2 groups → one
-        // fused pass + one partial pass per device.
-        let launches = sum.events().kernel_launches_by_device();
-        assert_eq!(launches.len(), 2);
-        // The fused pass must actually be the fused kernel.
-        assert!(sum.events().last_events().iter().any(|e| matches!(
-            e.kind(),
-            CommandKind::Kernel { name } if name == "skelcl_reduce_fused"
-        )));
+        // Launch-shape assertions only hold when the weld rule is on
+        // (`SKELCL_PLAN=0` runs this test in staged mode).
+        if crate::plan::PlanConfig::from_env().weld {
+            // 1000 elements over 2 devices → 500 per chunk → 2 groups →
+            // one fused pass + one partial pass per device.
+            let launches = sum.events().kernel_launches_by_device();
+            assert_eq!(launches.len(), 2);
+            // The fused pass must actually be the fused kernel.
+            assert!(sum.events().last_events().iter().any(|e| matches!(
+                e.kind(),
+                CommandKind::Kernel { name } if name == "skelcl_reduce_fused"
+            )));
+        }
     }
 
     #[test]

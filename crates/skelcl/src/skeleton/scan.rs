@@ -8,17 +8,23 @@
 //! scanned on the first device and applied as per-device offsets.
 
 use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
 
 use skelcl_kernel::value::Value;
-use vgpu::{DeviceBuffer, KernelArg, NdRange};
+use vgpu::{DeviceBuffer, Event, KernelArg, NdRange};
 
-use crate::codegen::{compile_cached, expect_return, expect_scalar_param, parse_user_function};
+use crate::codegen::{
+    compile_cached, expect_return, expect_scalar_param, parse_user_function, stage_spec, StageSpec,
+};
+use crate::container::data::DeviceChunk;
 use crate::container::Vector;
 use crate::context::Context;
 use crate::distribution::Distribution;
 use crate::engine::{LaunchPlan, NodeId};
 use crate::error::{Error, Result};
 use crate::exec::{reduction_distribution, Skeleton, SkeletonCore};
+use crate::expr::Expr;
+use crate::plan::{PlanNode, ScanOffsetState};
 use crate::skeleton::EventLog;
 use crate::types::{from_bytes, to_bytes, KernelScalar};
 
@@ -42,7 +48,18 @@ const WG: usize = 256;
 #[derive(Debug)]
 pub struct Scan<T: KernelScalar> {
     core: SkeletonCore,
+    stage: StageSpec,
     _types: PhantomData<fn(T, T) -> T>,
+}
+
+/// Result of the eager part of a scan: per-chunk inclusive scans plus the
+/// scanned chunk totals (empty on a single chunk).
+struct ScanPhase1<T: KernelScalar> {
+    output: Vector<T>,
+    out_chunks: Vec<DeviceChunk>,
+    dist: Distribution,
+    prefixes: Vec<T>,
+    events: Vec<Event>,
 }
 
 impl<T: KernelScalar> Scan<T> {
@@ -104,8 +121,10 @@ impl<T: KernelScalar> Scan<T> {
             wg = WG,
         );
         let program = compile_cached(ctx, "skelcl_scan.cl", &kernel_source)?;
+        let stage = stage_spec(&f, T::SCALAR);
         Ok(Scan {
             core: SkeletonCore::new(ctx, "Scan", program, Vec::new()),
+            stage,
             _types: PhantomData,
         })
     }
@@ -120,6 +139,78 @@ impl<T: KernelScalar> Scan<T> {
         if input.is_empty() {
             return Ok(Vector::from_vec(&self.core.ctx, Vec::new()));
         }
+        let mut p1 = self.run_phase1(input)?;
+
+        // Phase 2b: one offset kernel per remaining chunk.
+        if !p1.prefixes.is_empty() {
+            let mut plan = LaunchPlan::new();
+            for (i, oc) in p1.out_chunks.iter().enumerate().skip(1) {
+                let n = oc.plan.core_len();
+                plan.kernel(
+                    oc.plan.device,
+                    &self.core.program,
+                    "skelcl_scan_offset",
+                    vec![
+                        KernelArg::Buffer(oc.buffer.clone()),
+                        KernelArg::Scalar(p1.prefixes[i - 1].to_value()),
+                        KernelArg::Scalar(Value::I32(n as i32)),
+                    ],
+                    NdRange::linear(n, WG),
+                    0,
+                    &[],
+                );
+            }
+            let run = plan.execute(&self.core.ctx)?;
+            run.wait()?;
+            p1.events.extend(run.into_events());
+        }
+
+        self.core.events.record(p1.events);
+        p1.output.mark_device_written();
+        Ok(p1.output)
+    }
+
+    /// Computes the inclusive prefix lazily: per-chunk scans run now, but
+    /// on multiple devices the cross-chunk offset pass is parked as a
+    /// [`PlanNode::ScanOffset`] leaf. The plan layer either folds the
+    /// offset into a downstream fused load (the `scan-offset` rewrite
+    /// rule) or applies it standalone — bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scan::call`].
+    pub fn lazy(&self, input: &Vector<T>) -> Result<Expr<T>> {
+        let _span = self.core.begin("Scan.lazy");
+        if input.is_empty() {
+            return Ok(Expr::from(&Vector::from_vec(&self.core.ctx, Vec::new())));
+        }
+        let p1 = self.run_phase1(input)?;
+        self.core.events.record(p1.events);
+        p1.output.mark_device_written();
+        if p1.prefixes.is_empty() {
+            return Ok(Expr::from(&p1.output));
+        }
+        let state = ScanOffsetState {
+            program: self.core.program.clone(),
+            stage: self.stage.clone(),
+            scalar: T::SCALAR,
+            zero: T::default().to_value(),
+            vector: Box::new(p1.output.clone()),
+            dist: p1.dist,
+            offsets: p1.prefixes.iter().map(|v| v.to_value()).collect(),
+            plans: p1.out_chunks.iter().map(|c| c.plan.clone()).collect(),
+            applied: Mutex::new(false),
+        };
+        Ok(Expr::from_node(Arc::new(PlanNode::ScanOffset {
+            ctx: self.core.ctx.clone(),
+            state: Arc::new(state),
+        })))
+    }
+
+    /// Phase 1 (per-chunk inclusive scans) plus phase 2a (scan of the
+    /// chunk totals on the first device). `prefixes` stays empty on a
+    /// single chunk, where the scan is already complete.
+    fn run_phase1(&self, input: &Vector<T>) -> Result<ScanPhase1<T>> {
         let dist = reduction_distribution(input.effective_distribution(Distribution::Block));
         let in_chunks = input.ensure_device(dist)?;
         let (output, out_chunks) = Vector::alloc_device(&self.core.ctx, input.len(), dist)?;
@@ -161,8 +252,9 @@ impl<T: KernelScalar> Scan<T> {
         }
         let mut events = run.into_events();
 
-        // Phase 2: apply cross-device offsets (chunk totals scanned on the
-        // first device, then one offset kernel per remaining chunk).
+        // Phase 2a: scan the chunk totals on the first device to get the
+        // per-chunk offsets.
+        let mut prefixes = Vec::new();
         if multi {
             let first = out_chunks[0].plan.device;
             let queue = self.core.ctx.queue(first);
@@ -175,34 +267,17 @@ impl<T: KernelScalar> Scan<T> {
             let read = plan.read(first, &scanned, 0, count * elem, &[done]);
             let mut run = plan.execute(&self.core.ctx)?;
             run.wait()?;
-            let prefixes: Vec<T> = from_bytes(&run.take_read(read)?);
-            events.extend(run.into_events());
-
-            let mut plan = LaunchPlan::new();
-            for (i, oc) in out_chunks.iter().enumerate().skip(1) {
-                let n = oc.plan.core_len();
-                plan.kernel(
-                    oc.plan.device,
-                    &self.core.program,
-                    "skelcl_scan_offset",
-                    vec![
-                        KernelArg::Buffer(oc.buffer.clone()),
-                        KernelArg::Scalar(prefixes[i - 1].to_value()),
-                        KernelArg::Scalar(Value::I32(n as i32)),
-                    ],
-                    NdRange::linear(n, WG),
-                    0,
-                    &[],
-                );
-            }
-            let run = plan.execute(&self.core.ctx)?;
-            run.wait()?;
+            prefixes = from_bytes(&run.take_read(read)?);
             events.extend(run.into_events());
         }
 
-        self.core.events.record(events);
-        output.mark_device_written();
-        Ok(output)
+        Ok(ScanPhase1 {
+            output,
+            out_chunks,
+            dist,
+            prefixes,
+            events,
+        })
     }
 
     /// Appends the recursive multi-block scan of `n` elements of `input`

@@ -105,10 +105,14 @@ fn multi_stage_expr_runs_one_kernel_per_device() {
         let out = e.eval_logged(&log).unwrap();
         let launches = log.kernel_launches_by_device();
         assert_eq!(launches.len(), devices, "one chunk per device");
-        assert!(
-            launches.values().all(|&n| n == 1),
-            "fusion must launch exactly one kernel per device, got {launches:?}"
-        );
+        // Launch counts depend on the chain rule (`SKELCL_PLAN=0` runs
+        // this staged: one kernel per stage instead of one in total).
+        if skelcl::PlanConfig::from_env().chain {
+            assert!(
+                launches.values().all(|&n| n == 1),
+                "fusion must launch exactly one kernel per device, got {launches:?}"
+            );
+        }
         assert!(log.last_events().iter().any(|e| matches!(
             e.kind(),
             CommandKind::Kernel { name } if name == "skelcl_fused"

@@ -1,0 +1,93 @@
+//! Property tests for the plan layer: randomly shaped pipelines over
+//! random data and 1–4 devices must produce bit-identical results with
+//! rewrite rules enabled (`SKELCL_PLAN=1`) and fully staged
+//! (`SKELCL_PLAN=0`).
+//!
+//! `SKELCL_PLAN` is process-global, so this binary holds exactly one
+//! test; the proptest runner executes cases sequentially within it.
+
+use proptest::prelude::*;
+
+use skelcl::{
+    BoundaryHandling, Context, DeviceSelection, Map, MapOverlapVec, Reduce, Scan, Vector,
+};
+use vgpu::{DeviceSpec, Platform};
+
+/// Runs pipeline `shape` over `data` on `devices` devices under the
+/// current `SKELCL_PLAN`, returning the result's bit patterns.
+fn run(shape: u8, data: &[f32], devices: usize) -> Vec<u32> {
+    let ctx = Context::init(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    );
+    let v = Vector::from_vec(&ctx, data.to_vec());
+    let sq: Map<f32, f32> = Map::new(&ctx, "float sq(float x){ return x * x; }").unwrap();
+    let neg: Map<f32, f32> = Map::new(&ctx, "float neg(float x){ return -x; }").unwrap();
+    let sum: Reduce<f32> =
+        Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }").unwrap();
+    let blur: MapOverlapVec<f32, f32> = MapOverlapVec::new(
+        &ctx,
+        "float blur(const float* v){ return get(v,-1) + get(v,0) + get(v,1); }",
+        1,
+        BoundaryHandling::Neutral(0.25),
+    )
+    .unwrap();
+    let scan: Scan<f32> = Scan::new(&ctx, "float add(float x, float y){ return x + y; }").unwrap();
+
+    let bits =
+        |v: Vector<f32>| -> Vec<u32> { v.to_vec().unwrap().iter().map(|x| x.to_bits()).collect() };
+    match shape {
+        // Elementwise chain (chain rule).
+        0 => bits(
+            neg.lazy(&sq.lazy(&v.expr()).unwrap())
+                .unwrap()
+                .eval()
+                .unwrap(),
+        ),
+        // Map welded into reduce (reduce-weld rule).
+        1 => vec![sum
+            .call_fused(&sq.lazy(&v.expr()).unwrap())
+            .unwrap()
+            .value()
+            .to_bits()],
+        // Map fused into a stencil, consumed by a map (stencil rule).
+        2 => bits(
+            neg.lazy(&blur.lazy(&sq.lazy(&v.expr()).unwrap()).unwrap())
+                .unwrap()
+                .eval()
+                .unwrap(),
+        ),
+        // Scan offsets folded into a downstream map (scan-offset rule).
+        3 => bits(sq.lazy(&scan.lazy(&v).unwrap()).unwrap().eval().unwrap()),
+        // All rules at once: map → stencil → reduce.
+        4 => vec![sum
+            .call_fused(&blur.lazy(&sq.lazy(&v.expr()).unwrap()).unwrap())
+            .unwrap()
+            .value()
+            .to_bits()],
+        // Scan offsets folded into the reduce weld prologue.
+        _ => vec![sum
+            .call_fused(&scan.lazy(&v).unwrap())
+            .unwrap()
+            .value()
+            .to_bits()],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plan_fused_is_bit_identical_to_staged(
+        data in proptest::collection::vec(any::<f32>(), 1..2500),
+        devices in 1usize..=4,
+        shape in 0u8..6,
+    ) {
+        std::env::set_var("SKELCL_PLAN", "0");
+        let staged = run(shape, &data, devices);
+        std::env::set_var("SKELCL_PLAN", "1");
+        let fused = run(shape, &data, devices);
+        std::env::remove_var("SKELCL_PLAN");
+        prop_assert_eq!(fused, staged, "shape {} on {} device(s)", shape, devices);
+    }
+}

@@ -48,6 +48,13 @@ bench-interp:
 bench-ir:
     cargo run --release -p skelcl-bench --bin interp
 
+# A/B the plan rewrite rules (EXT-PLAN): map → stencil → reduce lowered
+# staged (SKELCL_PLAN=0) vs rewritten (SKELCL_PLAN=1), with launch and
+# intermediate-byte accounting. The EXT-PLAN section is part of the
+# scaling binary's report (`results.plan` in BENCH_scaling.json).
+bench-plan:
+    cargo run --release -p skelcl-bench --bin scaling
+
 # Regenerate the reports into a scratch directory and diff them against
 # the committed baselines in bench/baselines/ (exits non-zero on any
 # regression — see crates/skelcl-bench/src/gate.rs for the rules).
