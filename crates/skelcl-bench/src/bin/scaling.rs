@@ -321,6 +321,119 @@ fn main() {
         }
     );
 
+    // Out-of-core streaming: a 1M-element map → stencil → reduce pipeline
+    // with SKELCL_DEVICE_BUDGET capping per-device residency far below
+    // each device's ~1 MiB share. The streaming executor splits every
+    // lowered region into halo-aware chunks driven through a depth-2 ring
+    // of staging buffers; peak residency stays under the budget while
+    // chunk uploads hide behind kernels. Device queues are in-order, so
+    // hiding is cross-device — the map's value-dependent trip count over a
+    // ramped input makes the upper devices' chunk kernels long enough to
+    // cover the lower devices' chunk stagings (the same imbalance
+    // mechanism as the mandelbrot overlap section). SKELCL_STREAM=0
+    // re-runs the identical pipeline as the non-streamed oracle (whose
+    // peak residency shows the budget is really exceeded without
+    // chunking).
+    println!("\n== Out-of-core streaming (SKELCL_STREAM), 4 GPUs ==\n");
+    const STREAM_BUDGET: usize = 256 * 1024;
+    const STREAM_N: usize = 1 << 20;
+    let stream_run = |stream: &str| {
+        std::env::set_var("SKELCL_DEVICE_BUDGET", STREAM_BUDGET.to_string());
+        std::env::set_var("SKELCL_STREAM", stream);
+        let c = ctx(4);
+        let heat: Map<f32, f32> = Map::new(
+            &c,
+            "float heat(float x){\n\
+                 float acc = 0.0f;\n\
+                 for (int i = 0; i < (int)x; i++) { acc += 1.0f / (float)(i + 1); }\n\
+                 return acc;\n\
+             }",
+        )
+        .expect("compile heat");
+        let blur: MapOverlapVec<f32, f32> = MapOverlapVec::new(
+            &c,
+            "float blur(const float* v){ return (get(v,-1) + get(v,0) + get(v,1)) / 3.0f; }",
+            1,
+            BoundaryHandling::Neutral(0.0),
+        )
+        .expect("compile blur");
+        let psum: Reduce<f32> =
+            Reduce::new(&c, "float sum(float x, float y){ return x + y; }").expect("compile sum");
+        // Trip counts ramp 0..63 across the vector, so device 3's quarter
+        // costs ~7x device 0's.
+        let v = Vector::from_fn(&c, STREAM_N, |i| (i / (STREAM_N / 64)) as f32);
+        for d in 0..4 {
+            c.platform().device(d).reset_peak();
+        }
+        let total = psum
+            .call_fused(
+                &blur
+                    .lazy(&heat.lazy(&v.expr()).expect("lazy map"))
+                    .expect("lazy stencil"),
+            )
+            .expect("stream pipeline")
+            .value();
+        c.finish().expect("drain queues");
+        let ov = overlap_stats(&c.profiler().spans());
+        let m = c.profiler().metrics_snapshot().expect("profiled context");
+        std::env::remove_var("SKELCL_STREAM");
+        std::env::remove_var("SKELCL_DEVICE_BUDGET");
+        let counter = |key| m.counters.get(key).copied().unwrap_or(0);
+        let peak = (0..4)
+            .map(|d| c.platform().device(d).peak_allocated_bytes())
+            .max()
+            .unwrap_or(0);
+        (
+            total.to_bits(),
+            peak,
+            counter(skelcl_profile::metrics::STREAM_REGIONS),
+            counter(skelcl_profile::metrics::STREAM_CHUNKS),
+            counter(skelcl_profile::metrics::STREAM_BYTES_STAGED),
+            ov,
+        )
+    };
+    let (stream_oracle_bits, stream_oracle_peak, _, _, _, _) = stream_run("0");
+    let (stream_bits, stream_peak, stream_regions, stream_chunks, stream_staged, stream_ov) =
+        stream_run("2");
+    let stream_identical = stream_bits == stream_oracle_bits;
+    let stream_under_budget = stream_peak <= STREAM_BUDGET;
+    let stream_hidden_fraction = if stream_ov.total_transfer_ns() == 0 {
+        0.0
+    } else {
+        stream_ov.total_hidden_ns() as f64 / stream_ov.total_transfer_ns() as f64
+    };
+    println!(
+        "{:<10} {:>20} {:>10} {:>16}",
+        "mode", "peak resident (B)", "chunks", "result"
+    );
+    println!(
+        "{:<10} {stream_oracle_peak:>20} {:>10} {:>16.3}",
+        "oracle",
+        "-",
+        f32::from_bits(stream_oracle_bits)
+    );
+    println!(
+        "{:<10} {stream_peak:>20} {stream_chunks:>10} {:>16.3}",
+        "streamed",
+        f32::from_bits(stream_bits)
+    );
+    let stream_ok = stream_identical
+        && stream_under_budget
+        && stream_oracle_peak > STREAM_BUDGET
+        && stream_regions >= 2
+        && stream_hidden_fraction > 0.0;
+    println!(
+        "\nstream: {stream_regions} regions chunked ({stream_staged} bytes staged), {:.1}% of \
+         transfer ns hidden behind\nother devices' kernels, peak {stream_peak} B within the \
+         {STREAM_BUDGET} B budget (oracle needed {stream_oracle_peak} B) — {}",
+        stream_hidden_fraction * 100.0,
+        if stream_identical {
+            "BIT-IDENTICAL"
+        } else {
+            "RESULTS DIVERGE"
+        }
+    );
+
     // Host wall-clock delta between the two vgpu execution engines on the
     // same 4-GPU mandelbrot frames — the skeleton-level companion to the
     // EXT-INTERP A/B (`interp` binary). Real build-machine time, not
@@ -350,7 +463,7 @@ fn main() {
         lockstep_wall_ms / fast_wall_ms
     );
 
-    let ok = shape_ok && adaptive_ok && overlapped && fusion_ok && plan_ok;
+    let ok = shape_ok && adaptive_ok && overlapped && fusion_ok && plan_ok && stream_ok;
     println!(
         "\nresult: {}",
         if ok {
@@ -426,6 +539,33 @@ fn main() {
                         Json::Bool(plan_bytes < staged_bytes),
                     ),
                     ("bit_identical", Json::Bool(plan_identical)),
+                ]),
+            ),
+            (
+                "stream",
+                Json::obj([
+                    ("budget_bytes", (STREAM_BUDGET as u64).into()),
+                    (
+                        "oracle_peak_resident_bytes",
+                        (stream_oracle_peak as u64).into(),
+                    ),
+                    ("peak_resident_bytes", (stream_peak as u64).into()),
+                    ("under_budget", Json::Bool(stream_under_budget)),
+                    (
+                        "oracle_exceeds_budget",
+                        Json::Bool(stream_oracle_peak > STREAM_BUDGET),
+                    ),
+                    ("regions", stream_regions.into()),
+                    ("chunks", stream_chunks.into()),
+                    ("bytes_staged", stream_staged.into()),
+                    ("transfer_ns", stream_ov.total_transfer_ns().into()),
+                    ("hidden_transfer_ns", stream_ov.total_hidden_ns().into()),
+                    (
+                        "hidden_transfer_fraction",
+                        Json::Num(stream_hidden_fraction),
+                    ),
+                    ("transfer_hidden", Json::Bool(stream_hidden_fraction > 0.0)),
+                    ("bit_identical", Json::Bool(stream_identical)),
                 ]),
             ),
             (

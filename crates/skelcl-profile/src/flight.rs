@@ -52,6 +52,17 @@ pub enum FlightKind {
     PlanNode,
     /// A command failed (`a` = bytes, `b` = 1 when the device was lost).
     Failure,
+    /// The streaming executor leased a staging-ring slot for a chunk
+    /// (`a` = per-device chunk sequence number, `b` = ring occupancy —
+    /// chunks leased but not yet retired — after the acquire).
+    ChunkAcquire,
+    /// A chunk's commands were submitted to the engine (`a` = chunk
+    /// sequence number, `b` = staged input bytes).
+    ChunkSubmit,
+    /// A chunk fully retired — its last command completed and its ring
+    /// slot became reusable (`a` = chunk sequence number, `b` = ring
+    /// occupancy after the retire).
+    ChunkRetire,
 }
 
 impl FlightKind {
@@ -65,6 +76,9 @@ impl FlightKind {
             FlightKind::Redistribution => "redistribution",
             FlightKind::PlanNode => "plan_node",
             FlightKind::Failure => "failure",
+            FlightKind::ChunkAcquire => "chunk_acquire",
+            FlightKind::ChunkSubmit => "chunk_submit",
+            FlightKind::ChunkRetire => "chunk_retire",
         }
     }
 }

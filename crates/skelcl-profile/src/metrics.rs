@@ -61,6 +61,16 @@ pub const POOL_GROUPS: &str = "pool.groups_executed";
 /// events; see [`crate::Profiler::record_counter_sample`]).
 pub const QUEUE_DEPTH: &str = "queue.depth";
 
+/// Streaming executor: plan regions that ran chunked (out-of-core).
+pub const STREAM_REGIONS: &str = "stream.regions";
+/// Streaming executor: chunks driven through the pipeline.
+pub const STREAM_CHUNKS: &str = "stream.chunks";
+/// Streaming executor: input bytes staged host→device across all chunks.
+pub const STREAM_BYTES_STAGED: &str = "stream.bytes_staged";
+/// Per-device gauge: bytes resident in the streaming executor's staging
+/// ring (plus fixed per-share buffers) during the last streamed region.
+pub const STREAM_RESIDENT_BYTES: &str = "stream.resident_bytes";
+
 /// Histogram of individual transfer sizes (bytes).
 pub const HIST_TRANSFER_BYTES: &str = "transfer.bytes";
 /// Histogram of individual kernel durations (simulated ns).

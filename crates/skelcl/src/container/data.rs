@@ -385,6 +385,152 @@ impl<T: KernelScalar> DistributedData<T> {
         }
     }
 
+    /// Returns the elements of unit range `units`, downloading only the
+    /// device chunks whose cores intersect it when the host copy is stale.
+    ///
+    /// This is the ranged sibling of the full gather in
+    /// [`DistributedData::download_locked`]: it reuses the delta
+    /// redistribution path's intersection arithmetic to move exactly the
+    /// bytes the caller asked for instead of round-tripping whole buffers.
+    /// The host copy's validity is unchanged — only the requested range is
+    /// freshened in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the container's units.
+    pub fn read_host_range(&self, units: std::ops::Range<usize>) -> Result<Vec<T>> {
+        assert!(
+            units.start <= units.end && units.end <= self.units,
+            "unit range {units:?} out of bounds for {} units",
+            self.units
+        );
+        let mut st = self.state.lock();
+        if !st.host_valid {
+            let part = st
+                .device
+                .as_ref()
+                .expect("host invalid implies a device copy exists");
+            assert!(part.valid, "neither host nor device copy is valid");
+            let elem = std::mem::size_of::<T>();
+            // For `copy` distribution the first chunk's core covers
+            // everything; for block/overlap the cores disjointly cover
+            // `0..units` and are authoritative after kernel writes.
+            let chunks: &[DeviceChunk] = if part.dist == Distribution::Copy {
+                &part.chunks[..1.min(part.chunks.len())]
+            } else {
+                &part.chunks
+            };
+            let mut pending = Vec::new();
+            for chunk in chunks {
+                let lo = units.start.max(chunk.plan.core.start);
+                let hi = units.end.min(chunk.plan.core.end);
+                if lo >= hi {
+                    continue;
+                }
+                let offset = (lo - chunk.plan.stored.start) * self.unit_elems * elem;
+                let len = (hi - lo) * self.unit_elems * elem;
+                let queue = self.ctx.queue(chunk.plan.device);
+                // The in-order queue drains pending writes/kernels before
+                // the read executes, so waiting on it synchronises the
+                // intersection.
+                let read = queue.enqueue_read_async(&chunk.buffer, offset, len, &[])?;
+                let p = self.ctx.profiler().clone();
+                read.event().on_complete(move |e| {
+                    if e.error().is_none() {
+                        p.record_event(e);
+                    }
+                });
+                pending.push((lo, read));
+            }
+            let mut moved = 0u64;
+            for (lo, read) in pending {
+                let (_event, bytes) = read.wait()?;
+                moved += bytes.len() as u64;
+                let host_start = lo * self.unit_elems;
+                st.host[host_start..host_start + bytes.len() / elem]
+                    .copy_from_slice(&from_bytes::<T>(&bytes));
+            }
+            self.ctx.flight().record(
+                skelcl_profile::FlightKind::Redistribution,
+                skelcl_profile::flight::HOST_DEVICE,
+                "partial_read",
+                0,
+                (units.end - units.start) as u64,
+                moved,
+            );
+        }
+        let start = units.start * self.unit_elems;
+        let end = units.end * self.unit_elems;
+        Ok(st.host[start..end].to_vec())
+    }
+
+    /// Overwrites unit range `units` with `data`, patching every valid
+    /// copy in place: the host range (when the host copy is valid) and the
+    /// intersecting stored ranges of valid device chunks via ranged
+    /// uploads. Unlike [`DistributedData::with_host_mut`], a valid device
+    /// part *stays* valid — a boundary-sized change moves boundary-sized
+    /// bytes instead of invalidating the device copy and forcing a full
+    /// re-upload at the next use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the container's units or `data` does not
+    /// match the range's element count.
+    pub fn write_host_range(&self, units: std::ops::Range<usize>, data: &[T]) -> Result<()> {
+        assert!(
+            units.start <= units.end && units.end <= self.units,
+            "unit range {units:?} out of bounds for {} units",
+            self.units
+        );
+        assert_eq!(
+            data.len(),
+            (units.end - units.start) * self.unit_elems,
+            "replacement size mismatch"
+        );
+        let mut st = self.state.lock();
+        if st.host_valid {
+            let start = units.start * self.unit_elems;
+            st.host[start..start + data.len()].copy_from_slice(data);
+        }
+        let elem = std::mem::size_of::<T>();
+        let mut moved = 0u64;
+        if let Some(part) = &st.device {
+            if part.valid {
+                // Patch *stored* ranges (cores plus halos) so overlap
+                // halos stay coherent with the new contents.
+                for chunk in &part.chunks {
+                    let lo = units.start.max(chunk.plan.stored.start);
+                    let hi = units.end.min(chunk.plan.stored.end);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let src_start = (lo - units.start) * self.unit_elems;
+                    let src_end = (hi - units.start) * self.unit_elems;
+                    let bytes = to_bytes(&data[src_start..src_end]);
+                    let offset = (lo - chunk.plan.stored.start) * self.unit_elems * elem;
+                    let queue = self.ctx.queue(chunk.plan.device);
+                    let event = queue.enqueue_write_async(&chunk.buffer, offset, bytes, &[])?;
+                    let p = self.ctx.profiler().clone();
+                    event.on_complete(move |e| {
+                        if e.error().is_none() {
+                            p.record_event(e);
+                        }
+                    });
+                    moved += ((hi - lo) * self.unit_elems * elem) as u64;
+                }
+            }
+        }
+        self.ctx.flight().record(
+            skelcl_profile::FlightKind::Redistribution,
+            skelcl_profile::flight::HOST_DEVICE,
+            "partial_write",
+            0,
+            (units.end - units.start) as u64,
+            moved,
+        );
+        Ok(())
+    }
+
     /// Gathers the freshest data to the host if the host copy is stale.
     fn download_locked(&self, st: &mut State<T>) -> Result<()> {
         if st.host_valid {
@@ -610,6 +756,70 @@ mod tests {
         assert_eq!(
             d.with_host(|h| h.to_vec()).unwrap(),
             (0..10i32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partial_read_moves_only_intersecting_bytes() {
+        use skelcl_profile::{metrics as m, Profiler};
+        let ctx = Context::init_with_profiler(
+            Platform::new(2, DeviceSpec::tesla_t10()),
+            crate::context::DeviceSelection::All,
+            Profiler::enabled(),
+        );
+        let n = 100usize;
+        let data: Vec<i32> = (0..n as i32).collect();
+        let d = DistributedData::from_host(ctx.clone(), n, 1, data.clone());
+        d.ensure_device(Distribution::Block).unwrap(); // 50/50 upload
+        d.mark_device_written(); // host becomes stale
+        ctx.finish().unwrap();
+        let p = ctx.profiler();
+        assert_eq!(p.counter(m::BYTES_D2H), 0);
+
+        // 40..60 straddles the 50/50 boundary: 10 units from each device.
+        let got = d.read_host_range(40..60).unwrap();
+        assert_eq!(got, (40..60).collect::<Vec<i32>>());
+        ctx.finish().unwrap();
+        assert_eq!(p.counter(m::BYTES_D2H), 80, "20 × i32, not the full 400");
+
+        // The partial read does not validate the host copy; a full
+        // gather still works and fetches everything.
+        assert_eq!(d.with_host(|h| h.to_vec()).unwrap(), data);
+    }
+
+    #[test]
+    fn partial_write_keeps_device_copy_valid() {
+        use skelcl_profile::{metrics as m, Profiler};
+        let ctx = Context::init_with_profiler(
+            Platform::new(2, DeviceSpec::tesla_t10()),
+            crate::context::DeviceSelection::All,
+            Profiler::enabled(),
+        );
+        let n = 10usize;
+        let d = DistributedData::from_host(ctx.clone(), n, 1, (0..n as i32).collect());
+        d.ensure_device(Distribution::Block).unwrap();
+        ctx.finish().unwrap();
+        let p = ctx.profiler();
+        let uploaded = p.counter(m::BYTES_H2D);
+        assert_eq!(uploaded, 40);
+
+        // Patch two units straddling the boundary; both copies stay valid.
+        d.write_host_range(4..6, &[40, 50]).unwrap();
+        ctx.finish().unwrap();
+        assert_eq!(
+            p.counter(m::BYTES_H2D) - uploaded,
+            8,
+            "only the patched units travel"
+        );
+        // Next use is a cache hit — no forced re-upload.
+        d.ensure_device(Distribution::Block).unwrap();
+        assert_eq!(p.counter(m::TRANSFER_FORCED), 1, "only the initial upload");
+        assert_eq!(p.counter(m::TRANSFER_CACHE_HIT), 1);
+        // Device contents reflect the patch.
+        d.mark_device_written();
+        assert_eq!(
+            d.with_host(|h| h.to_vec()).unwrap(),
+            vec![0, 1, 2, 3, 40, 50, 6, 7, 8, 9]
         );
     }
 

@@ -169,6 +169,37 @@ impl<T: KernelScalar> Matrix<T> {
         self.data.with_host_mut(f)
     }
 
+    /// Copies row range `rows` to the host, downloading only the device
+    /// chunks that intersect it when the host copy is stale (the ranged
+    /// sibling of [`Matrix::to_vec`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transfer failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_rows(&self, rows: std::ops::Range<usize>) -> Result<Vec<T>> {
+        self.data.read_host_range(rows)
+    }
+
+    /// Overwrites row range `rows` with row-major `data`, patching valid
+    /// host and device copies in place with ranged transfers (device
+    /// buffers stay valid, see [`crate::Vector::write_range`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transfer failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `data` does not hold
+    /// exactly the range's elements.
+    pub fn write_rows(&self, rows: std::ops::Range<usize>, data: &[T]) -> Result<()> {
+        self.data.write_host_range(rows, data)
+    }
+
     /// Eagerly materialises the matrix on the devices under `dist`.
     ///
     /// # Errors
@@ -247,6 +278,10 @@ impl<T: KernelScalar> crate::exec::ElementwiseInput for Matrix<T> {
 
     fn input_mark_device_written(&self) {
         self.mark_device_written();
+    }
+
+    fn input_host_units(&self, units: std::ops::Range<usize>) -> Result<Vec<u8>> {
+        Ok(crate::types::to_bytes(&self.data.read_host_range(units)?))
     }
 
     fn input_boxed(&self) -> Box<dyn crate::exec::ElementwiseInput> {

@@ -150,6 +150,40 @@ impl<T: KernelScalar> Vector<T> {
         self.data.replace_host(data);
     }
 
+    /// Copies element range `range` to the host, downloading only the
+    /// device chunks that intersect it when the host copy is stale —
+    /// a ranged alternative to [`Vector::to_vec`] that never round-trips
+    /// the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transfer failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_range(&self, range: std::ops::Range<usize>) -> Result<Vec<T>> {
+        self.data.read_host_range(range)
+    }
+
+    /// Overwrites element range `range` with `data`, patching valid host
+    /// and device copies in place with ranged transfers. Unlike
+    /// [`Vector::with_slice_mut`], device buffers stay valid — a
+    /// boundary-sized change moves boundary-sized bytes instead of forcing
+    /// a full re-upload at the next use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transfer failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `data` has a different
+    /// length.
+    pub fn write_range(&self, range: std::ops::Range<usize>, data: &[T]) -> Result<()> {
+        self.data.write_host_range(range, data)
+    }
+
     /// Eagerly materialises the vector on the devices under `dist`
     /// (transfers are otherwise lazy). Useful to move upload costs out of
     /// a measured region, or to force a redistribution now.
@@ -243,6 +277,10 @@ impl<T: KernelScalar> crate::exec::ElementwiseInput for Vector<T> {
 
     fn input_mark_device_written(&self) {
         self.mark_device_written();
+    }
+
+    fn input_host_units(&self, units: std::ops::Range<usize>) -> Result<Vec<u8>> {
+        Ok(crate::types::to_bytes(&self.data.read_host_range(units)?))
     }
 
     fn input_boxed(&self) -> Box<dyn crate::exec::ElementwiseInput> {

@@ -105,6 +105,10 @@ struct PlanNode {
 #[derive(Default)]
 pub struct LaunchPlan {
     nodes: Vec<PlanNode>,
+    /// Feed the scheduler one sample per kernel node instead of one
+    /// aggregate per device — the streaming executor's per-chunk EWMA
+    /// feedback, where every chunk is an independent throughput sample.
+    per_kernel_observations: bool,
 }
 
 impl std::fmt::Debug for LaunchPlan {
@@ -129,6 +133,14 @@ impl LaunchPlan {
     /// Whether the plan has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Switches scheduler feedback from one aggregate sample per device to
+    /// one sample per kernel node with non-zero `units`. Chunked
+    /// (streaming) plans use this so the adaptive scheduler's EWMA keeps
+    /// tracking per-chunk throughput under pipelining.
+    pub fn observe_per_kernel(&mut self) {
+        self.per_kernel_observations = true;
     }
 
     fn push(&mut self, op: PlanOp, deps: &[NodeId]) -> NodeId {
@@ -255,13 +267,16 @@ impl LaunchPlan {
         // wants one (units, busy_ns) sample per device per skeleton call,
         // delivered when the device's last kernel completes.
         let mut observations: HashMap<usize, Arc<DeviceObservation>> = HashMap::new();
-        for node in &self.nodes {
-            if let PlanOp::Kernel { device, units, .. } = &node.op {
-                let obs = observations.entry(*device).or_default();
-                obs.pending.fetch_add(1, Ordering::Relaxed);
-                obs.units.fetch_add(*units, Ordering::Relaxed);
+        if !self.per_kernel_observations {
+            for node in &self.nodes {
+                if let PlanOp::Kernel { device, units, .. } = &node.op {
+                    let obs = observations.entry(*device).or_default();
+                    obs.pending.fetch_add(1, Ordering::Relaxed);
+                    obs.units.fetch_add(*units, Ordering::Relaxed);
+                }
             }
         }
+        let per_kernel = self.per_kernel_observations;
 
         let order = Arc::new(Mutex::new(Vec::with_capacity(self.nodes.len())));
         let mut events: Vec<Event> = Vec::with_capacity(self.nodes.len());
@@ -276,7 +291,11 @@ impl LaunchPlan {
                 PlanOp::Read { .. } => "read",
             };
             let obs = match node.op {
-                PlanOp::Kernel { .. } => observations.get(&device).cloned(),
+                PlanOp::Kernel { .. } if !per_kernel => observations.get(&device).cloned(),
+                _ => None,
+            };
+            let kernel_units = match node.op {
+                PlanOp::Kernel { units, .. } if per_kernel && units > 0 => Some(units),
                 _ => None,
             };
             let mut label = None;
@@ -345,6 +364,11 @@ impl LaunchPlan {
                         for dep in &deps {
                             profiler.record_flow(ids[*dep].load(Ordering::Acquire), span);
                         }
+                    }
+                }
+                if let Some(units) = kernel_units {
+                    if e.error().is_none() {
+                        scheduler.observe(device, units, e.duration().as_nanos() as u64);
                     }
                 }
                 if let Some(obs) = obs {

@@ -255,6 +255,10 @@ pub(crate) trait ElementwiseInput: std::fmt::Debug + Send + Sync {
     /// Marks device buffers as freshly written (plan lowering writes to
     /// them behind the container's back).
     fn input_mark_device_written(&self);
+    /// Reads unit range `units` as raw bytes from the freshest copy,
+    /// staging only intersecting device chunks when the host copy is
+    /// stale (the streaming executor's partial-range source reads).
+    fn input_host_units(&self, units: std::ops::Range<usize>) -> Result<Vec<u8>>;
     /// Clones the container behind the trait (plan nodes own their leaves).
     fn input_boxed(&self) -> Box<dyn ElementwiseInput>;
     /// Downcast hook so a root-level staged intermediate can be returned

@@ -52,6 +52,7 @@ pub mod expr;
 pub mod plan;
 pub mod schedule;
 pub mod skeleton;
+pub mod stream;
 pub mod types;
 
 pub use container::{InteropChunk, Matrix, Scalar, Vector};
@@ -67,6 +68,7 @@ pub use skeleton::{
     matrix_multiply, transpose, Allpairs, BoundaryHandling, EventLog, Map, MapOverlap,
     MapOverlapVec, Reduce, Scan, Zip,
 };
+pub use stream::StreamConfig;
 pub use types::KernelScalar;
 
 /// Re-export of the kernel argument value type, used for skeletons' extra

@@ -324,6 +324,17 @@ impl<'a> FusedPlan<'a> {
         Ok(())
     }
 
+    /// Lands every folded scan's pending offsets in its source vector now
+    /// (idempotent) — used by the streaming executor, whose chunks never
+    /// line up with the chunks the scan recorded. Afterwards the kernels'
+    /// per-leaf `(has_offset, offset)` pairs degenerate to "no offset".
+    pub fn apply_scan_offsets(&self, events: &mut Vec<Event>) -> Result<()> {
+        for leaf in &self.scan_leaves {
+            apply_offsets(&leaf.state, &self.ctx, events, None)?;
+        }
+        Ok(())
+    }
+
     /// The `(has_offset, offset)` scalar argument pairs for output chunk
     /// `j`, in scan-leaf order. Call [`FusedPlan::prepare_scan`] first.
     pub fn scan_args(&self, chunk_sets: &[Vec<DeviceChunk>], j: usize) -> Vec<KernelArg> {
@@ -588,6 +599,48 @@ impl Lowering {
         );
         let program = compile_cached(&p.ctx, "skelcl_fused.cl", &source)?;
         let dist = elementwise_distribution(p.sources[0].input_distribution(Distribution::Block));
+        let bytes_per_unit: usize =
+            p.input_types.iter().map(|t| t.size_bytes()).sum::<usize>() + O::SCALAR.size_bytes();
+        if let Some(sched) =
+            crate::stream::plan_stream(&p.ctx, p.len, dist, bytes_per_unit, &|_| 0, 0)
+        {
+            // Streamed chunks do not line up with the chunks a folded scan
+            // recorded, so land the offsets in the source first — the
+            // exact pass the oracle's `prepare_scan` runs for misaligned
+            // chunks, keeping results bit-identical.
+            p.apply_scan_offsets(&mut self.events)?;
+            let scan_args: Vec<KernelArg> = p
+                .scan_leaves
+                .iter()
+                .flat_map(|leaf| {
+                    [
+                        KernelArg::Scalar(Value::I32(0)),
+                        KernelArg::Scalar(leaf.state.zero),
+                    ]
+                })
+                .collect();
+            let bytes = crate::stream::stream_map_like(
+                &p.ctx,
+                &sched,
+                0,
+                p.len,
+                &p.sources,
+                O::SCALAR.size_bytes(),
+                &program,
+                "skelcl_fused",
+                &|chunk, ins, out| {
+                    let mut args: Vec<KernelArg> =
+                        ins.iter().map(|b| KernelArg::Buffer(b.clone())).collect();
+                    args.extend(scan_args.iter().cloned());
+                    args.push(KernelArg::Buffer(out.clone()));
+                    let n = chunk.range.len();
+                    args.push(KernelArg::Scalar(Value::I32(n as i32)));
+                    (args, NdRange::linear_default(n))
+                },
+                &mut self.events,
+            )?;
+            return Ok(Vector::from_vec(&p.ctx, crate::types::from_bytes(&bytes)));
+        }
         let in_chunks = materialize(&p.sources, dist)?;
         if !p.scan_leaves.is_empty() {
             p.prepare_scan(&in_chunks, &mut self.events)?;
@@ -673,6 +726,53 @@ impl Lowering {
             input.input_distribution(Distribution::Overlap { size: spec.d }),
             spec.d,
         );
+        let bytes_per_unit = spec.in_scalar.size_bytes() + O::SCALAR.size_bytes();
+        if let Some(sched) = crate::stream::plan_stream(
+            ctx,
+            input.input_len(),
+            out_dist,
+            bytes_per_unit,
+            &|_| 0,
+            spec.d,
+        ) {
+            // Each chunk stages `range ± d` (clamped), so the kernel's
+            // boundary handling fires only at the true container edges —
+            // exactly as on a whole `Overlap` chunk.
+            let sources: [&dyn ElementwiseInput; 1] = [input];
+            let extras: Vec<KernelArg> =
+                spec.extras.iter().map(|v| KernelArg::Scalar(*v)).collect();
+            let bytes = crate::stream::stream_map_like(
+                ctx,
+                &sched,
+                spec.d,
+                input.input_len(),
+                &sources,
+                O::SCALAR.size_bytes(),
+                &spec.standalone,
+                "skelcl_mapoverlap_vec",
+                &|chunk, ins, out| {
+                    let mut args = vec![
+                        KernelArg::Buffer(ins[0].clone()),
+                        KernelArg::Buffer(out.clone()),
+                        KernelArg::Scalar(Value::I32(chunk.staged.len() as i32)),
+                        KernelArg::Scalar(Value::I32(chunk.range.len() as i32)),
+                        KernelArg::Scalar(Value::I32(
+                            (chunk.range.start - chunk.staged.start) as i32,
+                        )),
+                    ];
+                    args.extend(extras.iter().cloned());
+                    (args, NdRange::linear(chunk.range.len(), WG))
+                },
+                &mut self.events,
+            )?;
+            let output = Vector::<O>::from_vec(ctx, crate::types::from_bytes(&bytes));
+            self.intermediate_bytes += (output.len() * O::SCALAR.size_bytes()) as u64;
+            return Ok(Arc::new(PlanNode::Source {
+                ctx: ctx.clone(),
+                input: Box::new(output),
+                fresh: true,
+            }));
+        }
         let in_chunks = input.input_chunks(in_dist)?;
         let (output, out_chunks) = Vector::<O>::alloc_device(ctx, input.input_len(), out_dist)?;
         let launches = in_chunks
@@ -788,6 +888,41 @@ impl Lowering {
             p.sources[0].input_distribution(Distribution::Overlap { size: d }),
             d,
         );
+        let bytes_per_unit: usize =
+            p.input_types.iter().map(|t| t.size_bytes()).sum::<usize>() + O::SCALAR.size_bytes();
+        if let Some(sched) =
+            crate::stream::plan_stream(ctx, p.len, out_dist, bytes_per_unit, &|_| 0, d)
+        {
+            let bytes = crate::stream::stream_map_like(
+                ctx,
+                &sched,
+                d,
+                p.len,
+                &p.sources,
+                O::SCALAR.size_bytes(),
+                &program,
+                "skelcl_mapoverlap_fused",
+                &|chunk, ins, out| {
+                    let mut args: Vec<KernelArg> =
+                        ins.iter().map(|b| KernelArg::Buffer(b.clone())).collect();
+                    args.push(KernelArg::Buffer(out.clone()));
+                    args.push(KernelArg::Scalar(Value::I32(chunk.staged.len() as i32)));
+                    args.push(KernelArg::Scalar(Value::I32(chunk.range.len() as i32)));
+                    args.push(KernelArg::Scalar(Value::I32(
+                        (chunk.range.start - chunk.staged.start) as i32,
+                    )));
+                    (args, NdRange::linear(chunk.range.len(), WG))
+                },
+                &mut self.events,
+            )?;
+            let output = Vector::<O>::from_vec(ctx, crate::types::from_bytes(&bytes));
+            self.intermediate_bytes += (output.len() * O::SCALAR.size_bytes()) as u64;
+            return Ok(Arc::new(PlanNode::Source {
+                ctx: ctx.clone(),
+                input: Box::new(output),
+                fresh: true,
+            }));
+        }
         let in_chunks = materialize(&p.sources, in_dist)?;
         let (output, out_chunks) = Vector::<O>::alloc_device(ctx, p.len, out_dist)?;
         let launches = out_chunks

@@ -294,6 +294,24 @@ impl<T: KernelScalar> Reduce<T> {
         let fused_program = compile_cached(&self.core.ctx, "skelcl_reduce_fused.cl", &source)?;
 
         let dist = reduction_distribution(p.sources[0].input_distribution(Distribution::Block));
+        let bytes_per_unit: usize = p.input_types.iter().map(|t| t.size_bytes()).sum();
+        if let Some(sched) = crate::stream::plan_stream(
+            &self.core.ctx,
+            p.len,
+            dist,
+            bytes_per_unit,
+            &|n| {
+                // Resident outside the staging ring: the grid-sized lane
+                // accumulator, the per-group partials buffer, and the
+                // partial chain's intermediates (bounded by another
+                // `groups` elements — pass outputs shrink geometrically).
+                let groups = n.div_ceil(WG).min(MAX_GROUPS);
+                (groups * WG + 2 * groups) * std::mem::size_of::<T>()
+            },
+            0,
+        ) {
+            return self.reduce_streamed(&p, &sched, events);
+        }
         let chunk_sets = materialize(&p.sources, dist)?;
         if !p.scan_leaves.is_empty() {
             p.prepare_scan(&chunk_sets, events)?;
@@ -350,6 +368,208 @@ impl<T: KernelScalar> Reduce<T> {
 
         // Phase 2: combine per-device partials, as in the plain path.
         let device = first_device.expect("non-empty expression has chunks");
+        self.combine_partials(&values, device, events)
+    }
+
+    /// The out-of-core streamed reduction (`SKELCL_STREAM`): each device
+    /// keeps a persistent grid-sized lane accumulator and folds its share
+    /// chunk-by-chunk from a staging ring; a finish kernel then
+    /// tree-combines the lanes into the same per-group partials the
+    /// oracle's one-shot first pass produces. Every lane seeds with the
+    /// same element and folds the same elements in the same order as the
+    /// one-shot grid-stride kernel (a lane is live exactly when its index
+    /// is below the elements consumed so far), so results stay
+    /// bit-identical to the non-streamed path.
+    fn reduce_streamed(
+        &self,
+        p: &FusedPlan,
+        sched: &crate::stream::StreamSchedule,
+        events: &mut Vec<Event>,
+    ) -> Result<T> {
+        use skelcl_profile::{metrics as m, FlightKind};
+
+        let ctx = &self.core.ctx;
+        let profiler = ctx.profiler().clone();
+        profiler.add(m::STREAM_REGIONS, 1);
+        // Streamed chunks never line up with the chunks a folded scan
+        // recorded: land the offsets in the source first (the kernel's
+        // `(has_offset, offset)` pairs degenerate to "no offset").
+        p.apply_scan_offsets(events)?;
+        let in_params = p.input_params();
+        let in_args = p.input_args();
+        let t = T::SCALAR;
+        let f = &self.user_name;
+        let source = format!(
+            "{units}\n{user}\n\
+             {t} skelcl_fused_load({in_params}int skelcl_i) {{\n\
+             \x20   return {load};\n\
+             }}\n\
+             __kernel void skelcl_reduce_stream({in_params}__global {t}* skelcl_acc,\n\
+             \x20       int skelcl_cs, int skelcl_ce) {{\n\
+             \x20   int g = (int)get_global_id(0);\n\
+             \x20   int gsize = (int)get_global_size(0);\n\
+             \x20   int i0 = g;\n\
+             \x20   if (i0 < skelcl_cs) i0 += ((skelcl_cs - g + gsize - 1) / gsize) * gsize;\n\
+             \x20   int have = g < skelcl_cs;\n\
+             \x20   {t} acc = ({t})0;\n\
+             \x20   if (have) acc = skelcl_acc[g];\n\
+             \x20   for (int i = i0; i < skelcl_ce; i += gsize) {{\n\
+             \x20       {t} x = skelcl_fused_load({in_args}, i - skelcl_cs);\n\
+             \x20       if (have) {{ acc = {f}(acc, x); }} else {{ acc = x; have = 1; }}\n\
+             \x20   }}\n\
+             \x20   if (have) skelcl_acc[g] = acc;\n\
+             }}\n\
+             __kernel void skelcl_reduce_stream_finish(__global const {t}* skelcl_acc,\n\
+             \x20       __global {t}* skelcl_out, int skelcl_n) {{\n\
+             \x20   __local {t} skelcl_scratch[{wg}];\n\
+             \x20   int lid = (int)get_local_id(0);\n\
+             \x20   int gid = (int)get_global_id(0);\n\
+             \x20   int gsize = (int)get_global_size(0);\n\
+             \x20   int lsz = (int)get_local_size(0);\n\
+             \x20   int active = skelcl_n < gsize ? skelcl_n : gsize;\n\
+             \x20   if (gid < active) skelcl_scratch[lid] = skelcl_acc[gid];\n\
+             \x20   barrier(CLK_LOCAL_MEM_FENCE);\n\
+             \x20   int group_base = (int)get_group_id(0) * lsz;\n\
+             \x20   int group_active = active - group_base;\n\
+             \x20   if (group_active > lsz) group_active = lsz;\n\
+             \x20   for (int stride = lsz / 2; stride > 0; stride >>= 1) {{\n\
+             \x20       if (lid < stride && lid + stride < group_active)\n\
+             \x20           skelcl_scratch[lid] = {f}(skelcl_scratch[lid], skelcl_scratch[lid + stride]);\n\
+             \x20       barrier(CLK_LOCAL_MEM_FENCE);\n\
+             \x20   }}\n\
+             \x20   if (lid == 0 && group_active > 0)\n\
+             \x20       skelcl_out[get_group_id(0)] = skelcl_scratch[0];\n\
+             }}\n",
+            units = p.units,
+            user = self.user_source,
+            load = p.load_expr,
+            wg = WG,
+        );
+        let program = compile_cached(ctx, "skelcl_reduce_stream.cl", &source)?;
+
+        let elem = std::mem::size_of::<T>();
+        let bytes_per_unit: usize = p.input_types.iter().map(|ty| ty.size_bytes()).sum();
+        let mut plan = LaunchPlan::new();
+        plan.observe_per_kernel();
+        let mut rings = Vec::new();
+        let mut lifecycles = Vec::new();
+        let mut read_ids = Vec::new();
+        let mut first_device = None;
+        let mut staged_total = 0u64;
+        let mut chunk_total = 0u64;
+        for share in &sched.shares {
+            let device = share.plan.device;
+            first_device.get_or_insert(device);
+            let core = share.plan.core.clone();
+            let n = core.len();
+            let groups = n.div_ceil(WG).min(MAX_GROUPS);
+            let gsize = groups * WG;
+            let acc = ctx.queue(device).create_buffer(gsize * elem)?;
+            let partials = ctx.queue(device).create_buffer(groups * elem)?;
+            let cu = share.chunk_units.clamp(1, n);
+            let chunks = n.div_ceil(cu);
+            let depth = sched.depth.min(chunks).max(1);
+            let caps: Vec<usize> = p
+                .input_types
+                .iter()
+                .map(|ty| cu * ty.size_bytes())
+                .collect();
+            let mut ring = crate::stream::StagingRing::new(ctx, device, depth, &caps)?;
+            profiler.set_device_gauge(
+                m::STREAM_RESIDENT_BYTES,
+                device,
+                (ring.bytes() + (gsize + groups) * elem) as f64,
+            );
+            let mut prev_kernel: Option<NodeId> = None;
+            for seq in 0..chunks {
+                let cs = seq * cu;
+                let ce = (cs + cu).min(n);
+                let (slot, recycle) = ring.lease(seq);
+                let mut writes = Vec::with_capacity(p.sources.len());
+                for (i, src) in p.sources.iter().enumerate() {
+                    let bytes = src.input_host_units(core.start + cs..core.start + ce)?;
+                    staged_total += bytes.len() as u64;
+                    writes.push(plan.write(device, &ring.bufs(slot)[i], 0, bytes, &recycle));
+                }
+                let mut args: Vec<KernelArg> = ring
+                    .bufs(slot)
+                    .iter()
+                    .map(|b| KernelArg::Buffer(b.clone()))
+                    .collect();
+                for leaf in &p.scan_leaves {
+                    args.push(KernelArg::Scalar(Value::I32(0)));
+                    args.push(KernelArg::Scalar(leaf.state.zero));
+                }
+                args.push(KernelArg::Buffer(acc.clone()));
+                args.push(KernelArg::Scalar(Value::I32(cs as i32)));
+                args.push(KernelArg::Scalar(Value::I32(ce as i32)));
+                let mut deps = writes.clone();
+                // The lane accumulator chains chunk to chunk (a RAW edge);
+                // ring recycling already gates the uploads.
+                deps.extend(prev_kernel);
+                let kid = plan.kernel(
+                    device,
+                    &program,
+                    "skelcl_reduce_stream",
+                    args,
+                    NdRange::linear(gsize, WG),
+                    ce - cs,
+                    &deps,
+                );
+                ring.set_consumer(slot, kid);
+                prev_kernel = Some(kid);
+                ctx.flight().record(
+                    FlightKind::ChunkSubmit,
+                    device,
+                    "stream",
+                    0,
+                    seq as u64,
+                    ((ce - cs) * bytes_per_unit) as u64,
+                );
+                lifecycles.push(crate::stream::ChunkLifecycle {
+                    device,
+                    seq,
+                    acquire: writes[0],
+                    retire: kid,
+                });
+                chunk_total += 1;
+            }
+            let last = prev_kernel.expect("non-empty share has chunks");
+            let fid = plan.kernel(
+                device,
+                &program,
+                "skelcl_reduce_stream_finish",
+                vec![
+                    KernelArg::Buffer(acc.clone()),
+                    KernelArg::Buffer(partials.clone()),
+                    KernelArg::Scalar(Value::I32(n as i32)),
+                ],
+                NdRange::linear(gsize, WG),
+                0,
+                &[last],
+            );
+            read_ids.push(self.plan_chain(
+                &mut plan,
+                device,
+                partials,
+                groups.min(n.div_ceil(WG)),
+                0,
+                vec![fid],
+            )?);
+            rings.push(ring);
+        }
+        profiler.add(m::STREAM_CHUNKS, chunk_total);
+        profiler.add(m::STREAM_BYTES_STAGED, staged_total);
+        let mut run = plan.execute(ctx)?;
+        crate::stream::attach_chunk_lifecycle(ctx, run.events(), &lifecycles);
+        run.wait()?;
+        let mut values = Vec::with_capacity(read_ids.len());
+        for id in read_ids {
+            values.push(T::from_le_bytes(&run.take_read(id)?));
+        }
+        events.extend(run.into_events());
+        drop(rings);
+        let device = first_device.expect("engaged schedule has shares");
         self.combine_partials(&values, device, events)
     }
 

@@ -1,0 +1,109 @@
+//! Property tests for the streaming executor: streamed execution
+//! (`SKELCL_STREAM=<depth>` under a tiny `SKELCL_DEVICE_BUDGET`) must be
+//! bit-identical to the non-streamed oracle (`SKELCL_STREAM=0`) across
+//! random data, ring depths, 1–4 devices and every rewrite rule
+//! (chain, reduce-weld, stencil, scan-offset) — the default `SKELCL_PLAN`
+//! enables them all, so each shape exercises its rule's streamed lowering.
+//!
+//! The env gates are process-global, so this binary holds exactly one
+//! test; the proptest runner executes cases sequentially within it.
+
+use proptest::prelude::*;
+
+use skelcl::{
+    BoundaryHandling, Context, DeviceSelection, Map, MapOverlapVec, Reduce, Scan, Vector,
+};
+use vgpu::{DeviceSpec, Platform};
+
+/// Runs pipeline `shape` over `data` on `devices` devices under the
+/// current `SKELCL_STREAM`, returning the result's bit patterns.
+fn run(shape: u8, data: &[f32], devices: usize) -> Vec<u32> {
+    let ctx = Context::init(
+        Platform::new(devices, DeviceSpec::tesla_t10()),
+        DeviceSelection::All,
+    );
+    let v = Vector::from_vec(&ctx, data.to_vec());
+    let sq: Map<f32, f32> = Map::new(&ctx, "float sq(float x){ return x * x; }").unwrap();
+    let neg: Map<f32, f32> = Map::new(&ctx, "float neg(float x){ return -x; }").unwrap();
+    let sum: Reduce<f32> =
+        Reduce::new(&ctx, "float sum(float x, float y){ return x + y; }").unwrap();
+    let blur: MapOverlapVec<f32, f32> = MapOverlapVec::new(
+        &ctx,
+        "float blur(const float* v){ return get(v,-1) + get(v,0) + get(v,1); }",
+        1,
+        BoundaryHandling::Neutral(0.25),
+    )
+    .unwrap();
+    let scan: Scan<f32> = Scan::new(&ctx, "float add(float x, float y){ return x + y; }").unwrap();
+
+    let bits =
+        |v: Vector<f32>| -> Vec<u32> { v.to_vec().unwrap().iter().map(|x| x.to_bits()).collect() };
+    match shape {
+        // Elementwise chain (chain rule) → streamed fused region.
+        0 => bits(
+            neg.lazy(&sq.lazy(&v.expr()).unwrap())
+                .unwrap()
+                .eval()
+                .unwrap(),
+        ),
+        // Map welded into reduce (reduce-weld rule) → streamed reduction.
+        1 => vec![sum
+            .call_fused(&sq.lazy(&v.expr()).unwrap())
+            .unwrap()
+            .value()
+            .to_bits()],
+        // Map fused into a stencil, consumed by a map (stencil rule) →
+        // halo-aware streamed chunks.
+        2 => bits(
+            neg.lazy(&blur.lazy(&sq.lazy(&v.expr()).unwrap()).unwrap())
+                .unwrap()
+                .eval()
+                .unwrap(),
+        ),
+        // Scan offsets folded into a downstream map (scan-offset rule) →
+        // streaming pre-applies the cross-chunk offset state.
+        3 => bits(sq.lazy(&scan.lazy(&v).unwrap()).unwrap().eval().unwrap()),
+        // All rules at once: map → stencil → reduce.
+        4 => vec![sum
+            .call_fused(&blur.lazy(&sq.lazy(&v.expr()).unwrap()).unwrap())
+            .unwrap()
+            .value()
+            .to_bits()],
+        // Scan offsets folded into the reduce weld prologue.
+        _ => vec![sum
+            .call_fused(&scan.lazy(&v).unwrap())
+            .unwrap()
+            .value()
+            .to_bits()],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streamed_is_bit_identical_to_oracle(
+        data in proptest::collection::vec(any::<f32>(), 1..2500),
+        devices in 1usize..=4,
+        shape in 0u8..6,
+        depth in 2usize..=4,
+    ) {
+        // A budget far below the shares' working sets, so every region
+        // large enough to chunk (≥ the 256-unit floor) streams.
+        std::env::set_var("SKELCL_DEVICE_BUDGET", "8192");
+        std::env::set_var("SKELCL_STREAM", "0");
+        let oracle = run(shape, &data, devices);
+        std::env::set_var("SKELCL_STREAM", depth.to_string());
+        let streamed = run(shape, &data, devices);
+        std::env::remove_var("SKELCL_STREAM");
+        std::env::remove_var("SKELCL_DEVICE_BUDGET");
+        prop_assert_eq!(
+            streamed,
+            oracle,
+            "shape {} on {} device(s), depth {}",
+            shape,
+            devices,
+            depth
+        );
+    }
+}

@@ -206,6 +206,10 @@ pub struct Device {
     id: DeviceId,
     spec: DeviceSpec,
     allocated: AtomicUsize,
+    /// High-water mark of `allocated` since creation (or the last
+    /// [`Device::reset_peak`]). Lets streaming harnesses assert peak
+    /// residency stayed within a budget.
+    peak_allocated: AtomicUsize,
     /// The device timeline in simulated nanoseconds. Commands enqueued to
     /// this device execute in order at this clock.
     clock_ns: AtomicU64,
@@ -228,6 +232,7 @@ impl Device {
             id,
             spec,
             allocated: AtomicUsize::new(0),
+            peak_allocated: AtomicUsize::new(0),
             clock_ns: AtomicU64::new(0),
             pool: OnceLock::new(),
             launches: AtomicU64::new(0),
@@ -253,6 +258,18 @@ impl Device {
     /// Bytes currently allocated on this device.
     pub fn allocated_bytes(&self) -> usize {
         self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// The highest concurrent allocation observed since creation or the
+    /// last [`Device::reset_peak`].
+    pub fn peak_allocated_bytes(&self) -> usize {
+        self.peak_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Resets the allocation high-water mark to the current allocation.
+    pub fn reset_peak(&self) {
+        self.peak_allocated
+            .store(self.allocated_bytes(), Ordering::Relaxed);
     }
 
     /// Bytes still available for allocation. Saturating: concurrent
@@ -286,7 +303,10 @@ impl Device {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    self.peak_allocated.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
                 Err(actual) => current = actual,
             }
         }

@@ -55,6 +55,15 @@ bench-ir:
 bench-plan:
     cargo run --release -p skelcl-bench --bin scaling
 
+# A/B the out-of-core streaming executor (EXT-STREAM): map → stencil →
+# reduce under a 256 KiB per-device budget, streamed (SKELCL_STREAM=2)
+# vs the non-streamed oracle (SKELCL_STREAM=0), with peak-residency,
+# hidden-transfer and bit-identity accounting. The EXT-STREAM section is
+# part of the scaling binary's report (`results.stream` in
+# BENCH_scaling.json).
+bench-stream:
+    cargo run --release -p skelcl-bench --bin scaling
+
 # Regenerate the reports into a scratch directory and diff them against
 # the committed baselines in bench/baselines/ (exits non-zero on any
 # regression — see crates/skelcl-bench/src/gate.rs for the rules).
